@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Section VIII reporter: the hazard-pointer announcement kernel.
+ *
+ * The announcement loop (Figure 12) needs the re-check load to
+ * execute after the announcement store is visible; on AArch64 that
+ * is a full DMB today.  With EDE, the store produces a key the load
+ * consumes (Section VIII-A):
+ *
+ *     str (1,0), x3, [x2]      ; announce
+ *     ldr (0,1), x4, [x1]      ; re-check, ordered after the store
+ *
+ * The bench measures announcements under the DMB version and the EDE
+ * version on both hardware realizations.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "mem/mem_system.hh"
+#include "pipeline/core.hh"
+#include "trace/builder.hh"
+
+using namespace ede;
+
+namespace {
+
+/**
+ * Emit @p count hazard-pointer announcements (Figure 12 body),
+ * interleaved with the data-structure reads a lock-free traversal
+ * performs.  The full fence serializes those unrelated reads; the
+ * EDE store->load dependence only orders the re-check.
+ */
+Trace
+buildKernel(bool use_ede, int count)
+{
+    Trace t;
+    TraceBuilder b(t);
+    const Addr elem_loc = 0x200000;   // Element-pointer cell.
+    const Addr hazard = 0x300000;     // This thread's hazard slot.
+    const Addr nodes = 0x400000;      // Lock-free structure nodes.
+    // Warm the shared cells.
+    b.str(1, 2, elem_loc, 0xabc);
+    b.str(1, 2, hazard, 0);
+    b.dsbSy();
+    for (int i = 0; i < count; ++i) {
+        // ldr x3, [x1]: load the element's location.
+        b.ldr(3, 1, elem_loc);
+        // str x3, [x2]: announce it.
+        if (use_ede) {
+            b.str(3, 2, hazard, 0xabc, 0, {1, 0});
+            // ldr (0,1) x4, [x1]: ordered re-check, no fence.
+            b.ldr(4, 1, elem_loc, 0, {0, 1});
+        } else {
+            b.str(3, 2, hazard, 0xabc);
+            // Figure 12 line 5: dmb sy, a *full* fence.  Our DSB SY
+            // models its all-older-complete semantics.
+            b.dsbSy();
+            b.ldr(4, 1, elem_loc);
+        }
+        // cmp + b.ne Loop (succeeds: locations match).
+        b.branchCond("hp.retry", 3, 4, false);
+        // Traverse the protected structure: independent reads that a
+        // full fence needlessly serializes.
+        for (int l = 0; l < 3; ++l) {
+            b.ldr(static_cast<RegIndex>(5 + l), 8,
+                  nodes + 64ull * ((i * 7 + l * 131) % 4096));
+        }
+        b.alu(9, 9, kNoReg, 1);
+    }
+    return t;
+}
+
+Cycle
+run(EnforceMode mode, bool use_ede, int count)
+{
+    MemSystem mem{MemSystemParams{}};
+    CoreParams params;
+    params.ede = mode;
+    OoOCore core(params, mem);
+    return core.run(buildKernel(use_ede, count));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Section VIII: hazard-pointer announcement ==\n\n");
+    constexpr int kCount = 2000;
+    const Cycle fence = run(EnforceMode::None, false, kCount);
+    const Cycle iq = run(EnforceMode::IQ, true, kCount);
+    const Cycle wb = run(EnforceMode::WB, true, kCount);
+
+    TextTable t({"variant", "cycles", "cycles/announce", "speedup"});
+    auto row = [&](const char *name, Cycle c) {
+        t.addRow({name, std::to_string(c),
+                  fmtDouble(static_cast<double>(c) / kCount, 2),
+                  fmtDouble(static_cast<double>(fence) / c, 2) + "x"});
+    };
+    row("DMB fence (Figure 12)", fence);
+    row("EDE str->ldr, IQ", iq);
+    row("EDE str->ldr, WB", wb);
+    std::printf("%s\n", t.str().c_str());
+    std::printf("note: the load variant gates at issue in both "
+                "designs (Section VIII-C),\nso IQ and WB behave "
+                "identically here; both remove the full fence.\n");
+    return 0;
+}

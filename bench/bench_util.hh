@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction benches: command-line options
+ * and the standard (application x configuration) sweep used by the
+ * Figure 9/10/11 reporters.
+ *
+ * Every bench accepts:
+ *   --txns N   transactions per application        (default 40)
+ *   --ops M    operations per transaction          (default 25)
+ *   --paper    paper-scale run: 1000 txns x 100 ops (Section VI-B)
+ *   --seed S   workload RNG seed                   (default 42)
+ *   --app LIST comma-separated subset of apps
+ *
+ * The default scale keeps every bench under a few minutes while
+ * preserving the steady-state behaviour the figures report; --paper
+ * reproduces the full 100,000-operation runs.
+ */
+
+#ifndef EDE_BENCH_BENCH_UTIL_HH
+#define EDE_BENCH_BENCH_UTIL_HH
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/harness.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace ede {
+namespace bench {
+
+/** Parsed command line. */
+struct BenchOptions
+{
+    RunSpec spec{40, 25, 42};
+    std::vector<AppId> apps{kAllApps.begin(), kAllApps.end()};
+    bool paperScale = false;
+};
+
+/** Parse the standard options; unknown flags are fatal. */
+inline BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                ede_fatal("flag ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--txns") {
+            opt.spec.txns = std::stoull(next());
+        } else if (arg == "--ops") {
+            opt.spec.opsPerTxn = std::stoull(next());
+        } else if (arg == "--seed") {
+            opt.spec.seed = std::stoull(next());
+        } else if (arg == "--paper") {
+            opt.paperScale = true;
+            opt.spec.txns = 1000;
+            opt.spec.opsPerTxn = 100;
+        } else if (arg == "--app") {
+            opt.apps.clear();
+            std::string list = next();
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string name =
+                    list.substr(pos, comma == std::string::npos
+                                         ? comma : comma - pos);
+                bool found = false;
+                for (AppId id : kAllApps) {
+                    if (appName(id) == name) {
+                        opt.apps.push_back(id);
+                        found = true;
+                    }
+                }
+                if (!found)
+                    ede_fatal("unknown app '", name, "'");
+                pos = (comma == std::string::npos) ? comma : comma + 1;
+            }
+        } else {
+            ede_fatal("unknown flag '", arg,
+                      "' (see bench_util.hh for usage)");
+        }
+    }
+    return opt;
+}
+
+/** One completed run. */
+struct SweepCell
+{
+    AppId app;
+    Config config;
+    Cycle opCycles = 0;  ///< Transaction-phase cycles (the paper's
+                         ///< measurement excludes pool setup).
+    RunResult result;
+};
+
+/** Run every (app, config) pair and collect the results. */
+inline std::vector<SweepCell>
+runSweep(const BenchOptions &opt,
+         const std::vector<Config> &configs =
+             {kAllConfigs.begin(), kAllConfigs.end()})
+{
+    std::vector<SweepCell> cells;
+    for (AppId app : opt.apps) {
+        for (Config cfg : configs) {
+            WorkloadHarness h(app, cfg, opt.spec);
+            h.generate();
+            h.simulate();
+            SweepCell cell;
+            cell.app = app;
+            cell.config = cfg;
+            cell.opCycles = h.opPhaseCycles();
+            cell.result = h.system().result();
+            cells.push_back(std::move(cell));
+        }
+    }
+    return cells;
+}
+
+/** Find one cell in a sweep. */
+inline const SweepCell &
+cellOf(const std::vector<SweepCell> &cells, AppId app, Config cfg)
+{
+    for (const SweepCell &c : cells) {
+        if (c.app == app && c.config == cfg)
+            return c;
+    }
+    ede_fatal("missing sweep cell");
+}
+
+/** Standard bench banner. */
+inline void
+printBanner(const char *figure, const BenchOptions &opt)
+{
+    std::printf("== %s ==\n", figure);
+    std::printf("workload: %zu txns x %zu ops/txn (seed %llu)%s\n\n",
+                opt.spec.txns, opt.spec.opsPerTxn,
+                static_cast<unsigned long long>(opt.spec.seed),
+                opt.paperScale ? " [paper scale]" : "");
+}
+
+} // namespace bench
+} // namespace ede
+
+#endif // EDE_BENCH_BENCH_UTIL_HH

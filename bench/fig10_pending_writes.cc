@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 10 reporter: distribution of pending writes in the
+ * persistent 128-slot on-DIMM NVM buffer, sampled each time a store
+ * reaches the media.
+ *
+ * Expected shape (Section VII-C): U keeps the buffer fullest -- near
+ * capacity for the kernels, lower for the PMDK applications -- and
+ * WB holds slightly more pending writes than the remaining
+ * configurations.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace ede;
+using namespace ede::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(argc, argv);
+    printBanner("Figure 10: pending NVM writes in the on-DIMM buffer",
+                opt);
+
+    const auto cells = runSweep(opt);
+
+    for (AppId app : opt.apps) {
+        std::printf("-- %s --\n",
+                    std::string(appName(app)).c_str());
+        TextTable t({"pending", "B", "SU", "IQ", "WB", "U"});
+        // Present in 16-slot buckets, 0..128.
+        const std::size_t kBuckets = 9;
+        for (std::size_t bkt = 0; bkt < kBuckets; ++bkt) {
+            const std::uint64_t lo = bkt * 16;
+            const std::uint64_t hi = bkt == 8 ? 128 : lo + 15;
+            std::vector<std::string> row{
+                std::to_string(lo) + "-" + std::to_string(hi)};
+            for (Config cfg : kAllConfigs) {
+                const Distribution &d =
+                    cellOf(cells, app, cfg).result.nvmOccupancy;
+                double frac = 0.0;
+                for (std::uint64_t v = lo; v <= hi; ++v) {
+                    if (v < d.numBuckets())
+                        frac += d.fraction(v);
+                }
+                row.push_back(fmtPercent(frac, 1));
+            }
+            t.addRow(row);
+        }
+        std::vector<std::string> mean_row{"mean"};
+        for (Config cfg : kAllConfigs) {
+            mean_row.push_back(fmtDouble(
+                cellOf(cells, app, cfg).result.nvmOccupancy.mean(),
+                1));
+        }
+        t.addRow(mean_row);
+        std::printf("%s\n", t.str().c_str());
+    }
+
+    // Paper check: U has the most pending writes on every app.
+    std::printf("U fullest on every app (paper, Section VII-C): ");
+    bool ok = true;
+    for (AppId app : opt.apps) {
+        const double u =
+            cellOf(cells, app, Config::U).result.nvmOccupancy.mean();
+        for (Config cfg : {Config::B, Config::SU, Config::IQ,
+                           Config::WB}) {
+            ok &= u >= cellOf(cells, app, cfg)
+                      .result.nvmOccupancy.mean();
+        }
+    }
+    std::printf("%s\n", ok ? "yes" : "NO");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 11 reporter: distribution of the number of instructions
+ * issued each cycle (issue width 8), plus the per-configuration IPC
+ * the paper quotes alongside it (Section VII-B: on average 0.40,
+ * 0.42, 0.46, 0.49 and 0.64 for B, SU, IQ, WB and U).
+ *
+ * Expected shape: all configurations issue 0 instructions in most
+ * cycles (NVM-bound pipelines); IQ and WB spend fewer cycles unable
+ * to issue than SU and B; WB issues more instructions than IQ during
+ * its active cycles.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace ede;
+using namespace ede::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(argc, argv);
+    printBanner("Figure 11: instructions issued per cycle", opt);
+
+    const auto cells = runSweep(opt);
+
+    // Aggregate the issue histograms across applications per config.
+    std::map<Config, Histogram> agg;
+    for (Config cfg : kAllConfigs)
+        agg.emplace(cfg, Histogram(9));
+    for (const SweepCell &c : cells)
+        agg.at(c.config).merge(c.result.core.issueHist);
+
+    TextTable t({"issued/cycle", "B", "SU", "IQ", "WB", "U"});
+    for (std::size_t w = 0; w < 9; ++w) {
+        std::vector<std::string> row{std::to_string(w)};
+        for (Config cfg : kAllConfigs)
+            row.push_back(fmtPercent(agg.at(cfg).fraction(w), 2));
+        t.addRow(row);
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    TextTable s({"metric", "B", "SU", "IQ", "WB", "U"});
+    std::vector<std::string> ipc_row{"IPC (paper: .40/.42/.46/.49/.64)"};
+    std::vector<std::string> active{"active-cycle fraction"};
+    std::vector<std::string> per_active{"issued per active cycle"};
+    for (Config cfg : kAllConfigs) {
+        std::vector<double> ipcs;
+        for (AppId app : opt.apps)
+            ipcs.push_back(cellOf(cells, app, cfg).result.core.ipc());
+        ipc_row.push_back(fmtDouble(mean(ipcs), 3));
+        const Histogram &h = agg.at(cfg);
+        const double active_frac = 1.0 - h.fraction(0);
+        active.push_back(fmtPercent(active_frac, 1));
+        per_active.push_back(fmtDouble(
+            active_frac > 0 ? h.mean() / active_frac : 0.0, 2));
+    }
+    s.addRow(ipc_row);
+    s.addRow(active);
+    s.addRow(per_active);
+    std::printf("%s\n", s.str().c_str());
+    return 0;
+}

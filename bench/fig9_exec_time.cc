@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 9 reporter: application execution time for each Table III
+ * configuration, normalized to the DSB baseline (B).
+ *
+ * The paper reports geomean execution-time reductions of about
+ * 5% (SU), 15% (IQ), 20% (WB) and 38% (U), i.e. speedups of 18% for
+ * IQ and 26% for WB, with WB recovering ~54% of U's reduction.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace ede;
+using namespace ede::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(argc, argv);
+    printBanner("Figure 9: normalized execution time", opt);
+
+    const auto cells = runSweep(opt);
+
+    TextTable t({"app", "B", "SU", "IQ", "WB", "U", "cycles(B)"});
+    std::map<Config, std::vector<double>> normalized;
+    for (AppId app : opt.apps) {
+        const double base = static_cast<double>(
+            cellOf(cells, app, Config::B).opCycles);
+        std::vector<std::string> row{std::string(appName(app))};
+        for (Config cfg : kAllConfigs) {
+            const double norm = static_cast<double>(
+                cellOf(cells, app, cfg).opCycles) / base;
+            normalized[cfg].push_back(norm);
+            row.push_back(fmtDouble(norm, 3));
+        }
+        row.push_back(std::to_string(
+            cellOf(cells, app, Config::B).opCycles));
+        t.addRow(row);
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (Config cfg : kAllConfigs)
+        gm.push_back(fmtDouble(geomean(normalized[cfg]), 3));
+    gm.push_back("-");
+    t.addRow(gm);
+    std::printf("%s\n", t.str().c_str());
+
+    const double red_su = 1.0 - geomean(normalized[Config::SU]);
+    const double red_iq = 1.0 - geomean(normalized[Config::IQ]);
+    const double red_wb = 1.0 - geomean(normalized[Config::WB]);
+    const double red_u = 1.0 - geomean(normalized[Config::U]);
+    std::printf("execution time reduction vs B (paper: SU 5%%, IQ "
+                "15%%, WB 20%%, U 38%%):\n");
+    std::printf("  SU %s  IQ %s  WB %s  U %s\n",
+                fmtPercent(red_su).c_str(), fmtPercent(red_iq).c_str(),
+                fmtPercent(red_wb).c_str(), fmtPercent(red_u).c_str());
+    std::printf("speedup over B (paper: IQ 18%%, WB 26%%):\n");
+    std::printf("  IQ %s  WB %s\n",
+                fmtPercent(1.0 / geomean(normalized[Config::IQ]) - 1.0)
+                    .c_str(),
+                fmtPercent(1.0 / geomean(normalized[Config::WB]) - 1.0)
+                    .c_str());
+    if (red_u > 0.0) {
+        std::printf("WB recovers %s of U's reduction (paper: ~54%%)\n",
+                    fmtPercent(red_wb / red_u).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table I reporter: prints the architectural parameters the simulator
+ * actually uses, for verification against the paper.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/config.hh"
+
+using namespace ede;
+
+int
+main()
+{
+    const SimParams p = makeParams(Config::B);
+    const CoreParams &c = p.core;
+    const MemSystemParams &m = p.mem;
+
+    std::printf("== Table I: architectural parameters ==\n\n");
+    TextTable t({"Parameter", "Value"});
+    t.addRow({"ISA", "AArch64-flavoured micro-ops + EDE extension"});
+    t.addRow({"Processor", "OoO core, " +
+              std::to_string(c.fetchWidth) + "-instr decode width, "
+              "3GHz (latencies in core cycles)"});
+    t.addRow({"Issue queue", std::to_string(c.iqSize) + " entries, " +
+              std::to_string(c.issueWidth) + "-wide issue"});
+    t.addRow({"ROB", std::to_string(c.robSize) + " entries, " +
+              std::to_string(c.retireWidth) + "-wide retire"});
+    t.addRow({"Ld-St queue", std::to_string(c.lqSize) + " / " +
+              std::to_string(c.sqSize) + " entries"});
+    t.addRow({"Write buffer", std::to_string(c.wbSize) + " entries"});
+    t.addRow({"L1 D-cache", std::to_string(m.l1d.sizeBytes / 1024) +
+              "KB, " + std::to_string(m.l1d.assoc) + "-way, " +
+              std::to_string(m.l1d.latency) + "-cycle access"});
+    t.addRow({"L2 cache", std::to_string(m.l2.sizeBytes / 1024) +
+              "KB, " + std::to_string(m.l2.assoc) + "-way, " +
+              std::to_string(m.l2.latency) + "-cycle access"});
+    t.addRow({"L3 cache", std::to_string(m.l3.sizeBytes / 1024) +
+              "KB, " + std::to_string(m.l3.assoc) + "-way, " +
+              std::to_string(m.l3.latency) + "-cycle access"});
+    t.addRow({"DRAM capacity", std::to_string(m.map.dramBytes >> 30) +
+              "GB"});
+    t.addRow({"NVM capacity", std::to_string(m.map.nvmBytes >> 30) +
+              "GB"});
+    t.addRow({"NVM latency", std::to_string(m.nvm.readLatency) +
+              " cyc read (150ns); " +
+              std::to_string(m.nvm.writeLatency) +
+              " cyc write (500ns)"});
+    t.addRow({"NVM line size", std::to_string(m.nvm.lineBytes) + "B"});
+    t.addRow({"NVM on-DIMM buffer", std::to_string(m.nvm.bufferSlots) +
+              " slots"});
+    t.addRow({"DRAM type", "2400MHz DDR4-like (row hit " +
+              std::to_string(m.dram.rowHit) + " cyc, miss " +
+              std::to_string(m.dram.rowMiss) + " cyc)"});
+    t.addRow({"DRAM banks", std::to_string(m.dram.banks) +
+              " (2 ranks x 16 banks)"});
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf("Configurations (Table III): ");
+    for (Config cfg : kAllConfigs) {
+        std::printf("%s(%s) ", std::string(configName(cfg)).c_str(),
+                    configIsUnsafe(cfg) ? "unsafe"
+                    : configUsesEde(cfg)
+                        ? std::string(enforceModeName(
+                              configEnforceMode(cfg))).c_str()
+                        : "fences");
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Section IX demo: assemble EDE code from text, and lower a program
+ * with *virtual* keys onto the fifteen physical EDKs.
+ *
+ * Part 1 assembles the paper's Figure 7 listing and prints the
+ * binary encodings.  Part 2 builds an IR with 40 overlapping virtual
+ * dependences, runs the linear-scan EDK allocator, and shows where
+ * WAIT_KEY spills were inserted.
+ */
+
+#include <cstdio>
+
+#include "compiler/edk_alloc.hh"
+#include "isa/assembler.hh"
+#include "isa/encoding.hh"
+
+using namespace ede;
+
+int
+main()
+{
+    std::printf("== Part 1: assembling the Figure 7 listing ==\n\n");
+    const char *listing = R"(
+        ; log_value tail: persist the undo entry, produce EDK #1
+        stp x0, x1, [x2]
+        dc cvap (1,0), x2
+        ; update_value: the store consumes EDK #1 -- no DSB needed
+        str (0,1), x3, [x0]
+        dc cvap x0
+    )";
+    std::string err;
+    const auto program = assemble(listing, &err);
+    if (!program) {
+        std::fprintf(stderr, "assembly failed: %s\n", err.c_str());
+        return 1;
+    }
+    for (const StaticInst &si : *program) {
+        const auto word = encode(si);
+        std::printf("  %-28s -> 0x%016llx\n", disassemble(si).c_str(),
+                    static_cast<unsigned long long>(
+                        word ? *word : 0));
+    }
+
+    std::printf("\n== Part 2: virtual-key allocation "
+                "(Section IX-A) ==\n\n");
+    // 40 producer/consumer pairs whose live ranges all overlap: far
+    // more than the 15 architectural keys.
+    std::vector<VKeyedInst> ir;
+    for (VKey v = 1; v <= 40; ++v) {
+        VKeyedInst p;
+        p.si.op = Op::DcCvap;
+        p.si.base = 2;
+        p.vdef = v;
+        ir.push_back(p);
+    }
+    for (VKey v = 1; v <= 40; ++v) {
+        VKeyedInst c;
+        c.si.op = Op::Str;
+        c.si.src1 = 3;
+        c.si.base = 4;
+        c.si.size = 8;
+        c.vuse = v;
+        ir.push_back(c);
+    }
+    const EdkAllocResult r = allocateEdks(ir);
+    std::printf("input: %zu IR instructions, 40 virtual keys\n",
+                ir.size());
+    std::printf("output: %zu instructions (%zu WAIT_KEY spills, %zu "
+                "fence fallbacks)\n\n",
+                r.code.size(), r.waitKeysInserted, r.fencesInserted);
+    std::printf("first lowered instructions:\n");
+    for (std::size_t i = 0; i < r.code.size() && i < 20; ++i) {
+        std::printf("  %-30s%s\n", disassemble(r.code[i]).c_str(),
+                    r.origin[i] == EdkAllocResult::kInserted
+                        ? "   <- inserted spill" : "");
+    }
+    std::printf("  ...\n\nThe allocator reuses keys whose ranges "
+                "closed; when more than 15\nranges are live it ends "
+                "one with WAIT_KEY, exactly the register-\n"
+                "allocation analogy of Section IX.\n");
+    return 0;
+}

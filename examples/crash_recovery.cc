@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Crash-and-recover demo: run btree inserts under WB, crash at
+ * several points, rebuild the durable NVM image, run undo-log
+ * recovery and validate the tree.
+ */
+
+#include <cstdio>
+
+#include "apps/harness.hh"
+
+using namespace ede;
+
+int
+main()
+{
+    std::printf("== Crash recovery with EDE (WB) ==\n\n");
+    RunSpec spec;
+    spec.txns = 6;
+    spec.opsPerTxn = 10;
+    WorkloadHarness h(AppId::Btree, Config::WB, spec);
+    h.enableAudit();
+    h.generate();
+    const Cycle total = h.simulate();
+
+    std::printf("ran %zu instructions in %llu cycles; audit: %s\n\n",
+                h.trace().size(),
+                static_cast<unsigned long long>(total),
+                h.audit().clean() ? "clean" : "VIOLATIONS");
+
+    const Cycle start = h.setupCompleteCycle();
+    TextTable t({"crash cycle", "recovery", "tree state"});
+    for (int i = 0; i <= 8; ++i) {
+        const Cycle at = start + (total - start) * i / 8;
+        MemoryImage recovered = h.recoveredImageAt(at);
+        const bool ok = h.app().checkRecovered(recovered);
+        t.addRow({std::to_string(at), "undo-log replay",
+                  ok ? "consistent (a txn boundary)" : "CORRUPT"});
+        if (!ok)
+            return 1;
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("Every crash point recovers to a transaction "
+                "boundary: EDE's fine-grained\nordering preserves "
+                "undo logging's crash consistency while removing "
+                "the fences.\n");
+    return 0;
+}

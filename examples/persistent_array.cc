@@ -1,0 +1,55 @@
+/**
+ * @file
+ * End-to-end persistent-array example (Figures 1, 2, 7): run the
+ * update kernel through the full framework under all five
+ * configurations and report timing, fence counts and the audit.
+ */
+
+#include <cstdio>
+
+#include "apps/harness.hh"
+
+using namespace ede;
+
+int
+main()
+{
+    std::printf("== Persistent array updates under the five "
+                "configurations ==\n\n");
+    RunSpec spec;
+    spec.txns = 10;
+    spec.opsPerTxn = 25;
+
+    TextTable t({"config", "op cycles", "norm", "fences", "EDE insts",
+                 "audit"});
+    Cycle base = 0;
+    for (Config cfg : kAllConfigs) {
+        WorkloadHarness h(AppId::Update, cfg, spec);
+        h.enableAudit();
+        h.generate();
+        h.simulate();
+        const Cycle cycles = h.opPhaseCycles();
+        if (cfg == Config::B)
+            base = cycles;
+        const AuditReport audit = h.audit();
+        if (!h.app().checkFinal()) {
+            std::fprintf(stderr, "functional check failed!\n");
+            return 1;
+        }
+        t.addRow({std::string(configName(cfg)),
+                  std::to_string(cycles),
+                  fmtDouble(static_cast<double>(cycles) / base, 2),
+                  std::to_string(h.trace().fenceCount()),
+                  std::to_string(h.trace().edeCount()),
+                  audit.clean()
+                      ? "clean"
+                      : std::to_string(audit.violations) +
+                            " violations"});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("B uses a DSB per update (Figure 2); IQ/WB express "
+                "the same ordering\nwith EDK #1 (Figure 7) and run "
+                "faster; U drops ordering and fails the\n"
+                "undo-logging audit.\n");
+    return 0;
+}

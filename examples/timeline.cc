@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 3 / Figure 8 visualisation: per-instruction completion
+ * timelines for three independent persistent-array updates under
+ * every configuration.
+ *
+ * Under B, the DSBs create the four serial phases of Figure 3; under
+ * EDE each update only waits for its own log persist, and the three
+ * updates overlap.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mem/mem_system.hh"
+#include "pipeline/core.hh"
+#include "sim/config.hh"
+#include "trace/builder.hh"
+
+using namespace ede;
+
+namespace {
+
+struct Labeled
+{
+    std::size_t idx;
+    std::string label;
+};
+
+/** Emit p_array[i] = v for three elements (Figures 1, 4, 7). */
+void
+emitUpdates(TraceBuilder &b, Config cfg, Addr log_base, Addr array,
+            std::vector<Labeled> &out)
+{
+    for (int i = 0; i < 3; ++i) {
+        const Addr slot = log_base + 64ull * i;
+        const Addr elem = array + 8ull * i;
+        const std::string tag = "upd" + std::to_string(i);
+        b.movImm(0, static_cast<std::int64_t>(elem));
+        b.ldr(1, 0, elem);
+        b.movImm(2, static_cast<std::int64_t>(slot));
+        out.push_back({b.stp(0, 1, 2, slot, elem, 7), tag + ".log-stp"});
+        if (configUsesEde(cfg)) {
+            out.push_back({b.cvap(2, slot, {1, 0}),
+                           tag + ".log-cvap (1,0)"});
+        } else {
+            out.push_back({b.cvap(2, slot), tag + ".log-cvap"});
+            if (cfg == Config::B)
+                b.dsbSy();
+            else if (cfg == Config::SU)
+                b.dmbSt();
+        }
+        b.movImm(3, 6 + i);
+        if (configUsesEde(cfg)) {
+            out.push_back({b.str(3, 0, elem,
+                                 static_cast<std::uint64_t>(6 + i), 0,
+                                 {0, 1}),
+                           tag + ".elem-str (0,1)"});
+        } else {
+            out.push_back({b.str(3, 0, elem,
+                                 static_cast<std::uint64_t>(6 + i)),
+                           tag + ".elem-str"});
+        }
+        out.push_back({b.cvap(0, elem), tag + ".elem-cvap"});
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Figure 3: three updates, completion "
+                "timelines ==\n");
+    const Addr nvm = MemSystemParams{}.map.nvmBase();
+    for (Config cfg : kAllConfigs) {
+        MemSystem mem{MemSystemParams{}};
+        CoreParams params;
+        params.ede = configEnforceMode(cfg);
+        OoOCore core(params, mem);
+        core.setRecordCompletions(true);
+
+        Trace t;
+        TraceBuilder b(t);
+        std::vector<Labeled> labeled;
+        emitUpdates(b, cfg, nvm + 0x1000, nvm + 0x8000, labeled);
+        const Cycle total = core.run(t);
+
+        std::printf("\n[%s]  total=%llu cycles\n",
+                    std::string(configName(cfg)).c_str(),
+                    static_cast<unsigned long long>(total));
+        for (const Labeled &l : labeled) {
+            const Cycle done = core.completionCycles()[l.idx];
+            std::printf("  %-22s done @%5llu  |%s\n", l.label.c_str(),
+                        static_cast<unsigned long long>(done),
+                        std::string(std::min<std::size_t>(
+                                        done / 8, 70), '=')
+                            .c_str());
+        }
+    }
+    std::printf("\nUnder B the phases serialize (Figure 3); under "
+                "IQ/WB the three\nupdates' log persists overlap and "
+                "each element store waits only\nfor its own log "
+                "entry.\n");
+    return 0;
+}

@@ -1,0 +1,34 @@
+#include "apps/app.hh"
+
+#include "apps/btree.hh"
+#include "apps/ctree.hh"
+#include "apps/kernels.hh"
+#include "apps/rbtree.hh"
+#include "apps/rtree.hh"
+#include "common/logging.hh"
+
+namespace ede {
+
+std::unique_ptr<App>
+makeApp(AppId id, NvmFramework &fw, const AppParams &params)
+{
+    switch (id) {
+      case AppId::Update:
+        return std::make_unique<UpdateKernel>(fw, params.arrayLen,
+                                              params.seed);
+      case AppId::Swap:
+        return std::make_unique<SwapKernel>(fw, params.arrayLen,
+                                            params.seed);
+      case AppId::Btree:
+        return std::make_unique<BtreeApp>(fw, params.seed);
+      case AppId::Ctree:
+        return std::make_unique<CtreeApp>(fw, params.seed);
+      case AppId::Rbtree:
+        return std::make_unique<RbtreeApp>(fw, params.seed);
+      case AppId::Rtree:
+        return std::make_unique<RtreeApp>(fw, params.seed);
+    }
+    ede_panic("unknown AppId");
+}
+
+} // namespace ede

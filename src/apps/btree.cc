@@ -1,0 +1,347 @@
+#include "apps/btree.hh"
+
+#include "common/logging.hh"
+
+namespace ede {
+
+BtreeApp::BtreeApp(NvmFramework &fw, std::uint64_t seed)
+    : App(fw), seed_(seed)
+{
+}
+
+std::uint64_t
+BtreeApp::rd(Addr node, int f, RegIndex base)
+{
+    std::uint64_t v = 0;
+    fw_.loadU64(fieldAddr(node, f), base, &v);
+    return v;
+}
+
+void
+BtreeApp::wr(Addr node, int f, std::uint64_t v)
+{
+    // PMDK-style: snapshot the whole node on first touch per tx.
+    fw_.pWriteU64InRange(fieldAddr(node, f), v, node, 24);
+}
+
+Addr
+BtreeApp::allocNode(bool leaf)
+{
+    const Addr node = fw_.heap().alloc(kNodeBytes);
+    fw_.compute(1); // Allocator bookkeeping.
+    wr(node, fNKeys, 0);
+    wr(node, fIsLeaf, leaf ? 1 : 0);
+    return node;
+}
+
+void
+BtreeApp::setup()
+{
+    rootPtr_ = fw_.heap().alloc(16);
+    fw_.rawStoreU64(rootPtr_, 0);
+    fw_.persistLine(rootPtr_);
+}
+
+void
+BtreeApp::splitChild(Addr parent, int idx, RegIndex parent_reg)
+{
+    const Addr child = rd(parent, fChild0 + idx, parent_reg);
+    const RegIndex child_reg = fw_.movAddr(child);
+    const bool child_leaf = rd(child, fIsLeaf, child_reg) != 0;
+    const Addr fresh = allocNode(child_leaf);
+
+    // Move the upper t-1 keys (and t children) into the new node.
+    for (int k = 0; k < kMinDegree - 1; ++k) {
+        wr(fresh, fKey0 + k, rd(child, fKey0 + kMinDegree + k,
+                                child_reg));
+        wr(fresh, fVal0 + k, rd(child, fVal0 + kMinDegree + k,
+                                child_reg));
+    }
+    if (!child_leaf) {
+        for (int k = 0; k < kMinDegree; ++k) {
+            wr(fresh, fChild0 + k,
+               rd(child, fChild0 + kMinDegree + k, child_reg));
+        }
+    }
+    wr(fresh, fNKeys, kMinDegree - 1);
+    wr(child, fNKeys, kMinDegree - 1);
+
+    // Shift the parent's keys/children right of idx and insert the
+    // median.
+    const int parent_n = static_cast<int>(rd(parent, fNKeys,
+                                             parent_reg));
+    for (int k = parent_n - 1; k >= idx; --k) {
+        wr(parent, fKey0 + k + 1, rd(parent, fKey0 + k, parent_reg));
+        wr(parent, fVal0 + k + 1, rd(parent, fVal0 + k, parent_reg));
+    }
+    for (int k = parent_n; k >= idx + 1; --k) {
+        wr(parent, fChild0 + k + 1,
+           rd(parent, fChild0 + k, parent_reg));
+    }
+    wr(parent, fKey0 + idx, rd(child, fKey0 + kMinDegree - 1,
+                               child_reg));
+    wr(parent, fVal0 + idx, rd(child, fVal0 + kMinDegree - 1,
+                               child_reg));
+    wr(parent, fChild0 + idx + 1, fresh);
+    wr(parent, fNKeys, parent_n + 1);
+}
+
+void
+BtreeApp::insertNonFull(Addr node, RegIndex node_reg, std::uint64_t key,
+                        std::uint64_t val)
+{
+    while (true) {
+        const int n = static_cast<int>(rd(node, fNKeys, node_reg));
+        const bool leaf = rd(node, fIsLeaf, node_reg) != 0;
+        // Search for the position, emitting the compare-and-branch
+        // work the compiled loop performs.
+        int pos = 0;
+        const RegIndex key_reg = fw_.movAddr(key);
+        while (pos < n) {
+            const std::uint64_t k = rd(node, fKey0 + pos, node_reg);
+            const RegIndex cmp_reg = fw_.movAddr(k);
+            if (k == key) {
+                fw_.branchCmp("btree.eq", key_reg, cmp_reg, true);
+                wr(node, fVal0 + pos, val);
+                return;
+            }
+            const bool stop = k > key;
+            fw_.branchCmp("btree.scan", key_reg, cmp_reg, stop);
+            if (stop)
+                break;
+            ++pos;
+        }
+        if (leaf) {
+            for (int k = n - 1; k >= pos; --k) {
+                wr(node, fKey0 + k + 1, rd(node, fKey0 + k, node_reg));
+                wr(node, fVal0 + k + 1, rd(node, fVal0 + k, node_reg));
+            }
+            wr(node, fKey0 + pos, key);
+            wr(node, fVal0 + pos, val);
+            wr(node, fNKeys, n + 1);
+            return;
+        }
+        Addr child = rd(node, fChild0 + pos, node_reg);
+        RegIndex child_reg = fw_.movAddr(child);
+        if (rd(child, fNKeys, child_reg) == kMaxKeys) {
+            splitChild(node, pos, node_reg);
+            const std::uint64_t median =
+                fw_.image().read<std::uint64_t>(
+                    fieldAddr(node, fKey0 + pos));
+            if (key == median) {
+                wr(node, fVal0 + pos, val);
+                return;
+            }
+            if (key > median) {
+                ++pos;
+                child = fw_.image().read<std::uint64_t>(
+                    fieldAddr(node, fChild0 + pos));
+                child_reg = fw_.movAddr(child);
+            } else {
+                child = fw_.image().read<std::uint64_t>(
+                    fieldAddr(node, fChild0 + pos));
+                child_reg = fw_.movAddr(child);
+            }
+        }
+        node = child;
+        node_reg = child_reg;
+    }
+}
+
+void
+BtreeApp::insert(std::uint64_t key, std::uint64_t val)
+{
+    const RegIndex root_ptr_reg = fw_.movAddr(rootPtr_);
+    Addr root = 0;
+    fw_.loadU64(rootPtr_, root_ptr_reg, &root);
+    if (root == 0) {
+        root = allocNode(true);
+        wr(root, fKey0, key);
+        wr(root, fVal0, val);
+        wr(root, fNKeys, 1);
+        fw_.pWriteU64(rootPtr_, root);
+        return;
+    }
+    RegIndex root_reg = fw_.movAddr(root);
+    if (rd(root, fNKeys, root_reg) == kMaxKeys) {
+        const Addr fresh = allocNode(false);
+        wr(fresh, fChild0, root);
+        splitChild(fresh, 0, fw_.movAddr(fresh));
+        fw_.pWriteU64(rootPtr_, fresh);
+        root = fresh;
+        root_reg = fw_.movAddr(fresh);
+    }
+    insertNonFull(root, root_reg, key, val);
+}
+
+void
+BtreeApp::op(Rng &rng)
+{
+    const std::uint64_t key = rng.next() & 0xffffffffffffull;
+    const std::uint64_t val = rng.next() | 1;
+    insert(key, val);
+    ref_[key] = val;
+    curTxn_.emplace_back(key, val);
+}
+
+void
+BtreeApp::noteCommit()
+{
+    history_.push_back(std::move(curTxn_));
+    curTxn_.clear();
+}
+
+bool
+BtreeApp::collect(const MemoryImage &img, Addr node, int depth,
+                  int &leaf_depth, bool is_root, std::uint64_t lo,
+                  std::uint64_t hi,
+                  std::vector<std::pair<std::uint64_t,
+                                        std::uint64_t>> &out,
+                  std::size_t &budget)
+{
+    if (budget == 0 || depth > 64)
+        return false;
+    --budget;
+    if (node == 0 || (node & 0xf) != 0)
+        return false;
+    const auto n = img.read<std::uint64_t>(fieldAddr(node, fNKeys));
+    const bool leaf = img.read<std::uint64_t>(
+        fieldAddr(node, fIsLeaf)) != 0;
+    if (n > kMaxKeys)
+        return false;
+    if (!is_root && n < kMinDegree - 1)
+        return false;
+    if (is_root && n < 1)
+        return false;
+    if (leaf) {
+        if (leaf_depth < 0)
+            leaf_depth = depth;
+        else if (leaf_depth != depth)
+            return false;
+    }
+    std::uint64_t prev = lo;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const auto key = img.read<std::uint64_t>(
+            fieldAddr(node, fKey0 + static_cast<int>(i)));
+        const auto val = img.read<std::uint64_t>(
+            fieldAddr(node, fVal0 + static_cast<int>(i)));
+        if (key < prev || key > hi)
+            return false;
+        if (!leaf) {
+            const auto child = img.read<std::uint64_t>(
+                fieldAddr(node, fChild0 + static_cast<int>(i)));
+            if (!collect(img, child, depth + 1, leaf_depth, false,
+                         prev, key, out, budget)) {
+                return false;
+            }
+        }
+        out.emplace_back(key, val);
+        prev = key;
+    }
+    if (!leaf) {
+        const auto child = img.read<std::uint64_t>(
+            fieldAddr(node, fChild0 + static_cast<int>(n)));
+        if (!collect(img, child, depth + 1, leaf_depth, false, prev, hi,
+                     out, budget)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+BtreeApp::extract(const MemoryImage &img, Addr root_ptr,
+                  std::vector<std::pair<std::uint64_t,
+                                        std::uint64_t>> &out)
+{
+    const Addr root = img.read<std::uint64_t>(root_ptr);
+    if (root == 0)
+        return true; // Empty tree.
+    int leaf_depth = -1;
+    std::size_t budget = 1u << 22;
+    return collect(img, root, 0, leaf_depth, true, 0,
+                   ~std::uint64_t{0}, out, budget);
+}
+
+bool
+BtreeApp::lookup(const MemoryImage &img, Addr root_ptr,
+                 std::uint64_t key, std::uint64_t *val_out)
+{
+    Addr node = img.read<std::uint64_t>(root_ptr);
+    int depth = 0;
+    while (node != 0 && depth++ < 64) {
+        const auto n = img.read<std::uint64_t>(fieldAddr(node, fNKeys));
+        const bool leaf = img.read<std::uint64_t>(
+            fieldAddr(node, fIsLeaf)) != 0;
+        std::uint64_t i = 0;
+        while (i < n && img.read<std::uint64_t>(
+                   fieldAddr(node, fKey0 + static_cast<int>(i))) < key) {
+            ++i;
+        }
+        if (i < n) {
+            const auto k = img.read<std::uint64_t>(
+                fieldAddr(node, fKey0 + static_cast<int>(i)));
+            if (k == key) {
+                if (val_out) {
+                    *val_out = img.read<std::uint64_t>(
+                        fieldAddr(node, fVal0 + static_cast<int>(i)));
+                }
+                return true;
+            }
+        }
+        if (leaf)
+            return false;
+        node = img.read<std::uint64_t>(
+            fieldAddr(node, fChild0 + static_cast<int>(i)));
+    }
+    return false;
+}
+
+bool
+BtreeApp::checkFinal() const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    if (!extract(fw_.image(), rootPtr_, got))
+        return false;
+    if (got.size() != ref_.size())
+        return false;
+    auto it = ref_.begin();
+    for (const auto &kv : got) {
+        if (kv.first != it->first || kv.second != it->second)
+            return false;
+        ++it;
+    }
+    return true;
+}
+
+bool
+BtreeApp::checkRecovered(const MemoryImage &img) const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    if (!extract(img, rootPtr_, got))
+        return false;
+
+    std::map<std::uint64_t, std::uint64_t> state;
+    auto matches = [&]() {
+        if (got.size() != state.size())
+            return false;
+        auto it = state.begin();
+        for (const auto &kv : got) {
+            if (kv.first != it->first || kv.second != it->second)
+                return false;
+            ++it;
+        }
+        return true;
+    };
+    if (matches())
+        return true;
+    for (const auto &txn : history_) {
+        for (const auto &[k, v] : txn)
+            state[k] = v;
+        if (matches())
+            return true;
+    }
+    return false;
+}
+
+} // namespace ede

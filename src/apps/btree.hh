@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Persistent B-tree with between 3 and 7 keys per node (Table II),
+ * undo-logged through the framework like PMDK pmembench's btree.
+ *
+ * Node layout (all fields u64, 192 bytes, allocated as 256):
+ *   [0] nKeys   [1] isLeaf
+ *   [2..8]   keys[7]
+ *   [9..15]  vals[7]
+ *   [16..23] children[8]
+ *
+ * Insertion uses preemptive splitting on the way down (minimum degree
+ * t = 4, so full nodes hold 2t-1 = 7 keys and non-root nodes never
+ * drop below t-1 = 3).
+ */
+
+#ifndef EDE_APPS_BTREE_HH
+#define EDE_APPS_BTREE_HH
+
+#include <map>
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace ede {
+
+/** Persistent B-tree insert workload. */
+class BtreeApp : public App
+{
+  public:
+    BtreeApp(NvmFramework &fw, std::uint64_t seed);
+
+    std::string_view name() const override { return "btree"; }
+    void setup() override;
+    void op(Rng &rng) override;
+    void noteCommit() override;
+    bool checkFinal() const override;
+    bool checkRecovered(const MemoryImage &img) const override;
+
+    /** Transactional insert (exposed for unit tests). */
+    void insert(std::uint64_t key, std::uint64_t val);
+
+    /** Functional lookup on an arbitrary image (tests/recovery). */
+    static bool lookup(const MemoryImage &img, Addr root_ptr,
+                       std::uint64_t key, std::uint64_t *val_out);
+
+  private:
+    static constexpr int kMaxKeys = 7;
+    static constexpr int kMinDegree = 4;
+    static constexpr std::uint64_t kNodeBytes = 256;
+
+    /** @name Field offsets (u64 indices). */
+    /// @{
+    static constexpr int fNKeys = 0;
+    static constexpr int fIsLeaf = 1;
+    static constexpr int fKey0 = 2;
+    static constexpr int fVal0 = 9;
+    static constexpr int fChild0 = 16;
+    /// @}
+
+    static Addr fieldAddr(Addr node, int f) { return node + 8 * f; }
+
+    /** Functional field read that also emits the load. */
+    std::uint64_t rd(Addr node, int f, RegIndex base = kNoReg);
+
+    /** Undo-logged field write. */
+    void wr(Addr node, int f, std::uint64_t v);
+
+    Addr allocNode(bool leaf);
+    void splitChild(Addr parent, int idx, RegIndex parent_reg);
+    void insertNonFull(Addr node, RegIndex node_reg, std::uint64_t key,
+                       std::uint64_t val);
+
+    /**
+     * Collect (key, val) pairs in order while checking invariants.
+     * @return false on any structural anomaly.
+     */
+    static bool collect(const MemoryImage &img, Addr node, int depth,
+                        int &leaf_depth, bool is_root,
+                        std::uint64_t lo, std::uint64_t hi,
+                        std::vector<std::pair<std::uint64_t,
+                                              std::uint64_t>> &out,
+                        std::size_t &budget);
+
+    static bool extract(const MemoryImage &img, Addr root_ptr,
+                        std::vector<std::pair<std::uint64_t,
+                                              std::uint64_t>> &out);
+
+    std::uint64_t seed_;
+    Addr rootPtr_ = kNoAddr;
+
+    std::map<std::uint64_t, std::uint64_t> ref_;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> curTxn_;
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+        history_;
+};
+
+} // namespace ede
+
+#endif // EDE_APPS_BTREE_HH

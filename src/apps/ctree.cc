@@ -1,0 +1,227 @@
+#include "apps/ctree.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace ede {
+
+CtreeApp::CtreeApp(NvmFramework &fw, std::uint64_t seed)
+    : App(fw), seed_(seed)
+{
+}
+
+std::uint64_t
+CtreeApp::rd(Addr node, int f, RegIndex base)
+{
+    std::uint64_t v = 0;
+    fw_.loadU64(fieldAddr(node, f), base, &v);
+    return v;
+}
+
+void
+CtreeApp::wr(Addr node, int f, std::uint64_t v)
+{
+    // PMDK-style: snapshot the 32-byte node on first touch per tx.
+    fw_.pWriteU64InRange(fieldAddr(node, f), v, node, 4);
+}
+
+Addr
+CtreeApp::makeLeaf(std::uint64_t key, std::uint64_t val)
+{
+    const Addr leaf = fw_.heap().alloc(kNodeBytes);
+    fw_.compute(1);
+    wr(leaf, fTag, 1);
+    wr(leaf, fAux, key);
+    wr(leaf, fA, val);
+    return leaf;
+}
+
+void
+CtreeApp::setup()
+{
+    rootPtr_ = fw_.heap().alloc(16);
+    fw_.rawStoreU64(rootPtr_, 0);
+    fw_.persistLine(rootPtr_);
+}
+
+void
+CtreeApp::insert(std::uint64_t key, std::uint64_t val)
+{
+    const RegIndex root_ptr_reg = fw_.movAddr(rootPtr_);
+    Addr root = 0;
+    fw_.loadU64(rootPtr_, root_ptr_reg, &root);
+    if (root == 0) {
+        fw_.pWriteU64(rootPtr_, makeLeaf(key, val));
+        return;
+    }
+
+    // Phase 1: walk to the closest leaf.
+    Addr node = root;
+    RegIndex node_reg = fw_.movAddr(root);
+    int guard = 0;
+    while (rd(node, fTag, node_reg) == 0) {
+        ede_assert(++guard <= 70, "ctree path too deep");
+        const std::uint64_t bit = rd(node, fAux, node_reg);
+        const bool dir = testBit(key, bit);
+        fw_.compute(1); // Bit extraction.
+        Addr child = 0;
+        fw_.loadU64(fieldAddr(node, dir ? fB : fA), node_reg, &child);
+        node = child;
+        node_reg = fw_.movAddr(child); // Chained pointer register.
+    }
+    const std::uint64_t leaf_key = rd(node, fAux, node_reg);
+    const RegIndex key_reg = fw_.movAddr(key);
+    if (leaf_key == key) {
+        fw_.branchCmp("ctree.dup", key_reg, node_reg, true);
+        wr(node, fA, val);
+        return;
+    }
+    fw_.branchCmp("ctree.dup", key_reg, node_reg, false);
+
+    // The critical bit: highest differing bit, MSB-first index.
+    const std::uint64_t diff = leaf_key ^ key;
+    const auto crit =
+        static_cast<std::uint64_t>(std::countl_zero(diff));
+    fw_.compute(2); // clz + direction computation.
+
+    // Phase 2: find the insertion point (first node whose bit index
+    // exceeds the critical bit).
+    const Addr fresh_leaf = makeLeaf(key, val);
+    const Addr inode = fw_.heap().alloc(kNodeBytes);
+    fw_.compute(1);
+    wr(inode, fTag, 0);
+    wr(inode, fAux, crit);
+
+    Addr parent = 0;
+    int parent_dir = 0;
+    node = root;
+    node_reg = fw_.movAddr(root);
+    guard = 0;
+    while (rd(node, fTag, node_reg) == 0 &&
+           rd(node, fAux, node_reg) < crit) {
+        ede_assert(++guard <= 70, "ctree reinsert path too deep");
+        const std::uint64_t bit =
+            fw_.image().read<std::uint64_t>(fieldAddr(node, fAux));
+        const bool dir = testBit(key, bit);
+        parent = node;
+        parent_dir = dir ? fB : fA;
+        Addr child = 0;
+        fw_.loadU64(fieldAddr(node, parent_dir), node_reg, &child);
+        node = child;
+        node_reg = fw_.movAddr(child);
+    }
+
+    const bool new_dir = testBit(key, crit);
+    wr(inode, new_dir ? fB : fA, fresh_leaf);
+    wr(inode, new_dir ? fA : fB, node);
+    if (parent == 0)
+        fw_.pWriteU64(rootPtr_, inode);
+    else
+        wr(parent, parent_dir, inode);
+}
+
+void
+CtreeApp::op(Rng &rng)
+{
+    const std::uint64_t key = rng.next() & 0xffffffffffffull;
+    const std::uint64_t val = rng.next() | 1;
+    insert(key, val);
+    ref_[key] = val;
+    curTxn_.emplace_back(key, val);
+}
+
+void
+CtreeApp::noteCommit()
+{
+    history_.push_back(std::move(curTxn_));
+    curTxn_.clear();
+}
+
+bool
+CtreeApp::collect(const MemoryImage &img, Addr node, std::uint64_t path,
+                  std::uint64_t mask, std::uint64_t last_bit, bool first,
+                  std::vector<std::pair<std::uint64_t,
+                                        std::uint64_t>> &out,
+                  std::size_t &budget)
+{
+    if (budget == 0)
+        return false;
+    --budget;
+    if (node == 0 || (node & 0xf) != 0)
+        return false;
+    const auto tag = img.read<std::uint64_t>(fieldAddr(node, fTag));
+    if (tag == 1) {
+        const auto key = img.read<std::uint64_t>(fieldAddr(node, fAux));
+        const auto val = img.read<std::uint64_t>(fieldAddr(node, fA));
+        // Every bit decided on the path must match the key.
+        if ((key & mask) != path)
+            return false;
+        out.emplace_back(key, val);
+        return true;
+    }
+    if (tag != 0)
+        return false;
+    const auto bit = img.read<std::uint64_t>(fieldAddr(node, fAux));
+    if (bit > 63 || (!first && bit <= last_bit))
+        return false; // Bit indices must strictly increase.
+    const std::uint64_t bit_mask = 1ull << (63 - bit);
+    const auto c0 = img.read<std::uint64_t>(fieldAddr(node, fA));
+    const auto c1 = img.read<std::uint64_t>(fieldAddr(node, fB));
+    return collect(img, c0, path, mask | bit_mask, bit, false, out,
+                   budget) &&
+           collect(img, c1, path | bit_mask, mask | bit_mask, bit,
+                   false, out, budget);
+}
+
+bool
+CtreeApp::extract(const MemoryImage &img, Addr root_ptr,
+                  std::vector<std::pair<std::uint64_t,
+                                        std::uint64_t>> &out)
+{
+    const Addr root = img.read<std::uint64_t>(root_ptr);
+    if (root == 0)
+        return true;
+    std::size_t budget = 1u << 22;
+    return collect(img, root, 0, 0, 0, true, out, budget);
+}
+
+bool
+CtreeApp::checkFinal() const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    if (!extract(fw_.image(), rootPtr_, got))
+        return false;
+    if (got.size() != ref_.size())
+        return false;
+    std::map<std::uint64_t, std::uint64_t> sorted(got.begin(),
+                                                  got.end());
+    return sorted.size() == got.size() &&
+           std::equal(sorted.begin(), sorted.end(), ref_.begin());
+}
+
+bool
+CtreeApp::checkRecovered(const MemoryImage &img) const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    if (!extract(img, rootPtr_, got))
+        return false;
+    std::map<std::uint64_t, std::uint64_t> sorted(got.begin(),
+                                                  got.end());
+    if (sorted.size() != got.size())
+        return false;
+
+    std::map<std::uint64_t, std::uint64_t> state;
+    auto matches = [&]() { return sorted == state; };
+    if (matches())
+        return true;
+    for (const auto &txn : history_) {
+        for (const auto &[k, v] : txn)
+            state[k] = v;
+        if (matches())
+            return true;
+    }
+    return false;
+}
+
+} // namespace ede

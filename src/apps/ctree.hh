@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Persistent crit-bit trie (Table II "ctree", after PMDK pmembench's
+ * crit-bit tree [Morrison's PATRICIA]).
+ *
+ * Node layout (32 bytes, all fields u64):
+ *   leaf:     [0]=1  [1]=key     [2]=val     [3]=unused
+ *   internal: [0]=0  [1]=bitIdx  [2]=child0  [3]=child1
+ *
+ * Bits are numbered MSB-first (bitIdx 0 tests bit 63), so bit indices
+ * strictly increase along any root-to-leaf path.
+ */
+
+#ifndef EDE_APPS_CTREE_HH
+#define EDE_APPS_CTREE_HH
+
+#include <map>
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace ede {
+
+/** Crit-bit trie insert workload. */
+class CtreeApp : public App
+{
+  public:
+    CtreeApp(NvmFramework &fw, std::uint64_t seed);
+
+    std::string_view name() const override { return "ctree"; }
+    void setup() override;
+    void op(Rng &rng) override;
+    void noteCommit() override;
+    bool checkFinal() const override;
+    bool checkRecovered(const MemoryImage &img) const override;
+
+    /** Transactional insert (exposed for unit tests). */
+    void insert(std::uint64_t key, std::uint64_t val);
+
+    /**
+     * Validate structure on @p img and collect (key, val) pairs.
+     * @return false on any structural anomaly.
+     */
+    bool
+    contents(const MemoryImage &img,
+             std::vector<std::pair<std::uint64_t, std::uint64_t>> &out)
+        const
+    {
+        return extract(img, rootPtr_, out);
+    }
+
+  private:
+    static constexpr std::uint64_t kNodeBytes = 32;
+    static constexpr int fTag = 0;
+    static constexpr int fAux = 1;  ///< key (leaf) / bitIdx (internal).
+    static constexpr int fA = 2;    ///< val (leaf) / child0.
+    static constexpr int fB = 3;    ///< child1.
+
+    static Addr fieldAddr(Addr n, int f) { return n + 8 * f; }
+
+    /** MSB-first bit test. */
+    static bool
+    testBit(std::uint64_t key, std::uint64_t bit_idx)
+    {
+        return (key >> (63 - bit_idx)) & 1;
+    }
+
+    std::uint64_t rd(Addr node, int f, RegIndex base = kNoReg);
+    void wr(Addr node, int f, std::uint64_t v);
+    Addr makeLeaf(std::uint64_t key, std::uint64_t val);
+
+    static bool collect(const MemoryImage &img, Addr node,
+                        std::uint64_t path, std::uint64_t mask,
+                        std::uint64_t last_bit, bool first,
+                        std::vector<std::pair<std::uint64_t,
+                                              std::uint64_t>> &out,
+                        std::size_t &budget);
+    static bool extract(const MemoryImage &img, Addr root_ptr,
+                        std::vector<std::pair<std::uint64_t,
+                                              std::uint64_t>> &out);
+
+    std::uint64_t seed_;
+    Addr rootPtr_ = kNoAddr;
+
+    std::map<std::uint64_t, std::uint64_t> ref_;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> curTxn_;
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+        history_;
+};
+
+} // namespace ede
+
+#endif // EDE_APPS_CTREE_HH

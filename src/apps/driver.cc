@@ -1,0 +1,23 @@
+#include "apps/driver.hh"
+
+namespace ede {
+
+std::size_t
+generateWorkload(App &app, NvmFramework &fw, const RunSpec &spec)
+{
+    app.setup();
+    fw.warmUndoLog();
+    fw.setupFence();
+    const std::size_t setup_end = fw.builder().trace().size() - 1;
+    Rng rng(spec.seed);
+    for (std::size_t t = 0; t < spec.txns; ++t) {
+        fw.txBegin();
+        for (std::size_t i = 0; i < spec.opsPerTxn; ++i)
+            app.op(rng);
+        fw.txCommit();
+        app.noteCommit();
+    }
+    return setup_end;
+}
+
+} // namespace ede

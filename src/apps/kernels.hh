@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The two kernel applications of Table II.
+ *
+ * update: each operation overwrites one random array element.
+ * swap:   each operation exchanges two random array elements.
+ *
+ * Both use undo logging through the framework, producing exactly the
+ * Figure 4 instruction pattern per element write.
+ */
+
+#ifndef EDE_APPS_KERNELS_HH
+#define EDE_APPS_KERNELS_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace ede {
+
+/** Common state for the array kernels. */
+class ArrayKernelBase : public App
+{
+  public:
+    ArrayKernelBase(NvmFramework &fw, std::size_t len,
+                    std::uint64_t seed);
+
+    void setup() override;
+    bool checkFinal() const override;
+    bool checkRecovered(const MemoryImage &img) const override;
+    void noteCommit() override;
+
+    /** Base address of the persistent array. */
+    Addr arrayAddr() const { return array_; }
+
+  protected:
+    Addr elemAddr(std::size_t i) const { return array_ + 8 * i; }
+
+    /** Reference-model write (mirrors one pWriteU64). */
+    void refWrite(std::size_t idx, std::uint64_t val);
+
+    std::size_t len_;
+    std::uint64_t seed_;
+    Addr array_ = kNoAddr;
+
+    /** Reference model, mirrored alongside the functional image. */
+    std::vector<std::uint64_t> ref_;
+
+    /** Semantic op log: (index, new value), grouped per txn. */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> curTxn_;
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
+        history_;
+};
+
+/** Table II "update": random single-element overwrites. */
+class UpdateKernel : public ArrayKernelBase
+{
+  public:
+    using ArrayKernelBase::ArrayKernelBase;
+    std::string_view name() const override { return "update"; }
+    void op(Rng &rng) override;
+};
+
+/** Table II "swap": pairwise random element exchanges. */
+class SwapKernel : public ArrayKernelBase
+{
+  public:
+    using ArrayKernelBase::ArrayKernelBase;
+    std::string_view name() const override { return "swap"; }
+    void op(Rng &rng) override;
+};
+
+} // namespace ede
+
+#endif // EDE_APPS_KERNELS_HH

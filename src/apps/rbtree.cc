@@ -1,0 +1,294 @@
+#include "apps/rbtree.hh"
+
+#include "common/logging.hh"
+
+namespace ede {
+
+RbtreeApp::RbtreeApp(NvmFramework &fw, std::uint64_t seed)
+    : App(fw), seed_(seed)
+{
+}
+
+std::uint64_t
+RbtreeApp::rd(Addr node, int f, RegIndex base)
+{
+    std::uint64_t v = 0;
+    fw_.loadU64(fieldAddr(node, f), base, &v);
+    return v;
+}
+
+std::uint64_t
+RbtreeApp::peek(Addr node, int f) const
+{
+    return fw_.image().read<std::uint64_t>(fieldAddr(node, f));
+}
+
+void
+RbtreeApp::wr(Addr node, int f, std::uint64_t v)
+{
+    // PMDK-style: snapshot the whole node on first touch per tx.
+    fw_.pWriteU64InRange(fieldAddr(node, f), v, node, 6);
+}
+
+void
+RbtreeApp::setup()
+{
+    rootPtr_ = fw_.heap().alloc(16);
+    nil_ = fw_.heap().alloc(kNodeBytes);
+    fw_.rawStoreU64(fieldAddr(nil_, fColor), kBlack);
+    fw_.rawStoreU64(fieldAddr(nil_, fParent), nil_);
+    fw_.rawStoreU64(fieldAddr(nil_, fLeft), nil_);
+    fw_.rawStoreU64(fieldAddr(nil_, fRight), nil_);
+    fw_.rawStoreU64(rootPtr_, nil_);
+    fw_.persistLine(nil_);
+    fw_.persistLine(rootPtr_);
+}
+
+void
+RbtreeApp::rotate(Addr x, bool left)
+{
+    const int near = left ? fRight : fLeft;
+    const int far = left ? fLeft : fRight;
+    const RegIndex x_reg = fw_.movAddr(x);
+    const Addr y = rd(x, near, x_reg);
+    const RegIndex y_reg = fw_.movAddr(y);
+    const Addr y_far = rd(y, far, y_reg);
+
+    wr(x, near, y_far);
+    if (y_far != nil_)
+        wr(y_far, fParent, x);
+    const Addr x_parent = rd(x, fParent, x_reg);
+    wr(y, fParent, x_parent);
+    if (x_parent == nil_) {
+        fw_.pWriteU64(rootPtr_, y);
+    } else if (peek(x_parent, fLeft) == x) {
+        wr(x_parent, fLeft, y);
+    } else {
+        wr(x_parent, fRight, y);
+    }
+    wr(y, far, x);
+    wr(x, fParent, y);
+}
+
+void
+RbtreeApp::fixup(Addr z)
+{
+    int guard = 0;
+    while (peek(peek(z, fParent), fColor) == kRed) {
+        ede_assert(++guard <= 128, "rbtree fixup runaway");
+        const Addr parent = peek(z, fParent);
+        const Addr grand = peek(parent, fParent);
+        const RegIndex g_reg = fw_.movAddr(grand);
+        const bool parent_is_left = peek(grand, fLeft) == parent;
+        const Addr uncle = rd(grand, parent_is_left ? fRight : fLeft,
+                              g_reg);
+        const RegIndex u_reg = fw_.movAddr(uncle);
+        const std::uint64_t uncle_color = rd(uncle, fColor, u_reg);
+        fw_.branchCmp("rbtree.unclered", u_reg, g_reg,
+                      uncle_color == kRed);
+        if (uncle_color == kRed) {
+            wr(parent, fColor, kBlack);
+            wr(uncle, fColor, kBlack);
+            wr(grand, fColor, kRed);
+            z = grand;
+            continue;
+        }
+        if (parent_is_left) {
+            if (z == peek(parent, fRight)) {
+                z = parent;
+                rotate(z, /*left=*/true);
+            }
+            wr(peek(z, fParent), fColor, kBlack);
+            wr(peek(peek(z, fParent), fParent), fColor, kRed);
+            rotate(peek(peek(z, fParent), fParent), /*left=*/false);
+        } else {
+            if (z == peek(parent, fLeft)) {
+                z = parent;
+                rotate(z, /*left=*/false);
+            }
+            wr(peek(z, fParent), fColor, kBlack);
+            wr(peek(peek(z, fParent), fParent), fColor, kRed);
+            rotate(peek(peek(z, fParent), fParent), /*left=*/true);
+        }
+    }
+    const Addr root = peek(rootPtr_, 0);
+    if (peek(root, fColor) != kBlack)
+        wr(root, fColor, kBlack);
+}
+
+void
+RbtreeApp::insert(std::uint64_t key, std::uint64_t val)
+{
+    // BST descent, emitting the pointer-chasing loads and compare
+    // branches of the compiled search loop.
+    const RegIndex root_ptr_reg = fw_.movAddr(rootPtr_);
+    Addr root = 0;
+    fw_.loadU64(rootPtr_, root_ptr_reg, &root);
+
+    Addr parent = nil_;
+    Addr cur = root;
+    RegIndex cur_reg = fw_.movAddr(cur);
+    bool went_left = false;
+    const RegIndex key_reg = fw_.movAddr(key);
+    int guard = 0;
+    while (cur != nil_) {
+        ede_assert(++guard <= 128, "rbtree descent runaway");
+        const std::uint64_t ck = rd(cur, fKey, cur_reg);
+        const RegIndex ck_reg = fw_.movAddr(ck);
+        if (ck == key) {
+            fw_.branchCmp("rbtree.eq", key_reg, ck_reg, true);
+            wr(cur, fVal, val);
+            return;
+        }
+        fw_.branchCmp("rbtree.eq", key_reg, ck_reg, false);
+        went_left = key < ck;
+        fw_.branchCmp("rbtree.dir", key_reg, ck_reg, went_left);
+        parent = cur;
+        Addr next = 0;
+        fw_.loadU64(fieldAddr(cur, went_left ? fLeft : fRight), cur_reg,
+                    &next);
+        cur = next;
+        cur_reg = fw_.movAddr(cur);
+    }
+
+    const Addr z = fw_.heap().alloc(kNodeBytes);
+    fw_.compute(1);
+    wr(z, fKey, key);
+    wr(z, fVal, val);
+    wr(z, fColor, kRed);
+    wr(z, fParent, parent);
+    wr(z, fLeft, nil_);
+    wr(z, fRight, nil_);
+    if (parent == nil_)
+        fw_.pWriteU64(rootPtr_, z);
+    else
+        wr(parent, went_left ? fLeft : fRight, z);
+    fixup(z);
+}
+
+void
+RbtreeApp::op(Rng &rng)
+{
+    const std::uint64_t key = rng.next() & 0xffffffffffffull;
+    const std::uint64_t val = rng.next() | 1;
+    insert(key, val);
+    ref_[key] = val;
+    curTxn_.emplace_back(key, val);
+}
+
+void
+RbtreeApp::noteCommit()
+{
+    history_.push_back(std::move(curTxn_));
+    curTxn_.clear();
+}
+
+bool
+RbtreeApp::validate(const MemoryImage &img, Addr node, std::uint64_t lo,
+                    std::uint64_t hi, int &black_height,
+                    std::vector<std::pair<std::uint64_t,
+                                          std::uint64_t>> &out,
+                    std::size_t &budget) const
+{
+    if (node == nil_) {
+        black_height = 1;
+        return true;
+    }
+    if (budget == 0)
+        return false;
+    --budget;
+    if (node == 0 || (node & 0xf) != 0)
+        return false;
+    const auto key = img.read<std::uint64_t>(fieldAddr(node, fKey));
+    const auto val = img.read<std::uint64_t>(fieldAddr(node, fVal));
+    const auto color = img.read<std::uint64_t>(fieldAddr(node, fColor));
+    const auto left = img.read<std::uint64_t>(fieldAddr(node, fLeft));
+    const auto right = img.read<std::uint64_t>(fieldAddr(node, fRight));
+    if (key < lo || key > hi)
+        return false;
+    if (color != kRed && color != kBlack)
+        return false;
+    if (color == kRed) {
+        // Red nodes have black children.
+        if (img.read<std::uint64_t>(fieldAddr(left, fColor)) == kRed ||
+            img.read<std::uint64_t>(fieldAddr(right, fColor)) == kRed) {
+            return false;
+        }
+    }
+    int bh_left = 0;
+    int bh_right = 0;
+    if (!validate(img, left, lo, key ? key - 1 : 0, bh_left, out,
+                  budget)) {
+        return false;
+    }
+    out.emplace_back(key, val);
+    if (!validate(img, right, key + 1, hi, bh_right, out, budget))
+        return false;
+    if (bh_left != bh_right)
+        return false;
+    black_height = bh_left + (color == kBlack ? 1 : 0);
+    return true;
+}
+
+bool
+RbtreeApp::extract(const MemoryImage &img,
+                   std::vector<std::pair<std::uint64_t,
+                                         std::uint64_t>> &out) const
+{
+    const Addr root = img.read<std::uint64_t>(rootPtr_);
+    if (root == nil_)
+        return true;
+    if (img.read<std::uint64_t>(fieldAddr(root, fColor)) != kBlack)
+        return false;
+    int bh = 0;
+    std::size_t budget = 1u << 22;
+    return validate(img, root, 0, ~std::uint64_t{0}, bh, out, budget);
+}
+
+bool
+RbtreeApp::checkFinal() const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    if (!extract(fw_.image(), got))
+        return false;
+    if (got.size() != ref_.size())
+        return false;
+    auto it = ref_.begin();
+    for (const auto &kv : got) {
+        if (kv.first != it->first || kv.second != it->second)
+            return false;
+        ++it;
+    }
+    return true;
+}
+
+bool
+RbtreeApp::checkRecovered(const MemoryImage &img) const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    if (!extract(img, got))
+        return false;
+    std::map<std::uint64_t, std::uint64_t> state;
+    auto matches = [&]() {
+        if (got.size() != state.size())
+            return false;
+        auto it = state.begin();
+        for (const auto &kv : got) {
+            if (kv.first != it->first || kv.second != it->second)
+                return false;
+            ++it;
+        }
+        return true;
+    };
+    if (matches())
+        return true;
+    for (const auto &txn : history_) {
+        for (const auto &[k, v] : txn)
+            state[k] = v;
+        if (matches())
+            return true;
+    }
+    return false;
+}
+
+} // namespace ede

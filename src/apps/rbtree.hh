@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Persistent red-black tree with a sentinel nil node (Table II
+ * "rbtree", after PMDK pmembench's rbtree).
+ *
+ * Node layout (64 bytes, all fields u64):
+ *   [0] key  [1] val  [2] color (0=black, 1=red)
+ *   [3] parent  [4] left  [5] right
+ *
+ * A single black sentinel ("nil") stands in for every external leaf
+ * and for the root's parent, exactly as in CLRS; the root pointer
+ * cell holds the current root (or nil when empty).
+ */
+
+#ifndef EDE_APPS_RBTREE_HH
+#define EDE_APPS_RBTREE_HH
+
+#include <map>
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace ede {
+
+/** Red-black tree insert workload. */
+class RbtreeApp : public App
+{
+  public:
+    RbtreeApp(NvmFramework &fw, std::uint64_t seed);
+
+    std::string_view name() const override { return "rbtree"; }
+    void setup() override;
+    void op(Rng &rng) override;
+    void noteCommit() override;
+    bool checkFinal() const override;
+    bool checkRecovered(const MemoryImage &img) const override;
+
+    /** Transactional insert (exposed for unit tests). */
+    void insert(std::uint64_t key, std::uint64_t val);
+
+    /** The sentinel address (tests). */
+    Addr nil() const { return nil_; }
+
+    /**
+     * Validate red-black invariants on @p img and collect the
+     * in-order (key, val) pairs.  @return false on any violation.
+     */
+    bool
+    contents(const MemoryImage &img,
+             std::vector<std::pair<std::uint64_t, std::uint64_t>> &out)
+        const
+    {
+        return extract(img, out);
+    }
+
+  private:
+    static constexpr std::uint64_t kNodeBytes = 64;
+    static constexpr int fKey = 0;
+    static constexpr int fVal = 1;
+    static constexpr int fColor = 2;
+    static constexpr int fParent = 3;
+    static constexpr int fLeft = 4;
+    static constexpr int fRight = 5;
+    static constexpr std::uint64_t kBlack = 0;
+    static constexpr std::uint64_t kRed = 1;
+
+    static Addr fieldAddr(Addr n, int f) { return n + 8 * f; }
+
+    std::uint64_t rd(Addr node, int f, RegIndex base = kNoReg);
+    /** Pure read (no trace emission) for fixup bookkeeping. */
+    std::uint64_t peek(Addr node, int f) const;
+    void wr(Addr node, int f, std::uint64_t v);
+
+    void rotate(Addr x, bool left);
+    void fixup(Addr z);
+
+    bool validate(const MemoryImage &img, Addr node, std::uint64_t lo,
+                  std::uint64_t hi, int &black_height,
+                  std::vector<std::pair<std::uint64_t,
+                                        std::uint64_t>> &out,
+                  std::size_t &budget) const;
+    bool extract(const MemoryImage &img,
+                 std::vector<std::pair<std::uint64_t,
+                                       std::uint64_t>> &out) const;
+
+    std::uint64_t seed_;
+    Addr rootPtr_ = kNoAddr;
+    Addr nil_ = kNoAddr;
+
+    std::map<std::uint64_t, std::uint64_t> ref_;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> curTxn_;
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+        history_;
+};
+
+} // namespace ede
+
+#endif // EDE_APPS_RBTREE_HH

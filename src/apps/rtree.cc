@@ -1,0 +1,155 @@
+#include "apps/rtree.hh"
+
+#include "common/logging.hh"
+
+namespace ede {
+
+RtreeApp::RtreeApp(NvmFramework &fw, std::uint64_t seed)
+    : App(fw), seed_(seed)
+{
+}
+
+std::uint64_t
+RtreeApp::rd(Addr node, std::uint32_t idx, RegIndex base)
+{
+    std::uint64_t v = 0;
+    fw_.loadU64(slotAddr(node, idx), base, &v);
+    return v;
+}
+
+void
+RtreeApp::wr(Addr node, std::uint32_t idx, std::uint64_t v)
+{
+    fw_.pWriteU64(slotAddr(node, idx), v);
+}
+
+void
+RtreeApp::setup()
+{
+    // The root node exists from the start; interior nodes appear
+    // lazily.  Fresh heap memory is zero, i.e. "all slots empty".
+    root_ = fw_.heap().alloc(kNodeBytes);
+    fw_.persistLine(root_); // Make the (empty) root line durable.
+}
+
+void
+RtreeApp::insert(std::uint32_t key, std::uint64_t val)
+{
+    Addr node = root_;
+    RegIndex node_reg = fw_.movAddr(node);
+    for (int level = 0; level < kLevels - 1; ++level) {
+        const std::uint32_t idx = byteAt(key, level);
+        fw_.compute(1); // Byte extraction.
+        Addr child = rd(node, idx, node_reg);
+        if (child == 0) {
+            child = fw_.heap().alloc(kNodeBytes);
+            fw_.compute(1);
+            wr(node, idx, child);
+        }
+        node = child;
+        node_reg = fw_.movAddr(child);
+    }
+    fw_.compute(1);
+    wr(node, byteAt(key, kLevels - 1), val);
+}
+
+void
+RtreeApp::op(Rng &rng)
+{
+    const auto key = static_cast<std::uint32_t>(rng.next());
+    const std::uint64_t val = rng.next() | 1;
+    insert(key, val);
+    ref_[key] = val;
+    curTxn_.emplace_back(key, val);
+}
+
+void
+RtreeApp::noteCommit()
+{
+    history_.push_back(std::move(curTxn_));
+    curTxn_.clear();
+}
+
+bool
+RtreeApp::collect(const MemoryImage &img, Addr node, int level,
+                  std::uint32_t prefix,
+                  std::vector<std::pair<std::uint64_t,
+                                        std::uint64_t>> &out,
+                  std::size_t &budget) const
+{
+    if (budget == 0)
+        return false;
+    --budget;
+    if (node == 0 || (node & 0xf) != 0)
+        return false;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        const auto slot = img.read<std::uint64_t>(slotAddr(node, i));
+        if (slot == 0)
+            continue;
+        const std::uint32_t next_prefix = (prefix << 8) | i;
+        if (level == kLevels - 1) {
+            out.emplace_back(next_prefix, slot);
+        } else if (!collect(img, slot, level + 1, next_prefix, out,
+                            budget)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+RtreeApp::extract(const MemoryImage &img,
+                  std::vector<std::pair<std::uint64_t,
+                                        std::uint64_t>> &out) const
+{
+    std::size_t budget = 1u << 22;
+    return collect(img, root_, 0, 0, out, budget);
+}
+
+bool
+RtreeApp::checkFinal() const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    if (!extract(fw_.image(), got))
+        return false;
+    if (got.size() != ref_.size())
+        return false;
+    auto it = ref_.begin();
+    for (const auto &kv : got) {
+        if (kv.first != it->first || kv.second != it->second)
+            return false;
+        ++it;
+    }
+    return true;
+}
+
+bool
+RtreeApp::checkRecovered(const MemoryImage &img) const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    if (!extract(img, got))
+        return false;
+    std::map<std::uint64_t, std::uint64_t> state;
+    auto matches = [&]() {
+        if (got.size() != state.size())
+            return false;
+        auto it = state.begin();
+        for (const auto &kv : got) {
+            if (kv.first != it->first || kv.second != it->second)
+                return false;
+            ++it;
+        }
+        return true;
+    };
+    if (matches())
+        return true;
+    for (const auto &txn : history_) {
+        for (const auto &[k, v] : txn)
+            state[k] = v;
+        if (matches())
+            return true;
+    }
+    return false;
+}
+
+} // namespace ede

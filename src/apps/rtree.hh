@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Persistent radix tree with radix 256 (Table II "rtree", after PMDK
+ * pmembench's rtree).
+ *
+ * Keys are 32 bits, consumed one byte per level MSB-first: three
+ * levels of 256-slot pointer nodes and a final 256-slot value level.
+ * Nodes are 2 KiB (256 x u64) and are allocated zeroed (slot 0 means
+ * "empty"); values are kept non-zero by construction.
+ */
+
+#ifndef EDE_APPS_RTREE_HH
+#define EDE_APPS_RTREE_HH
+
+#include <map>
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace ede {
+
+/** Radix-256 tree insert workload. */
+class RtreeApp : public App
+{
+  public:
+    RtreeApp(NvmFramework &fw, std::uint64_t seed);
+
+    std::string_view name() const override { return "rtree"; }
+    void setup() override;
+    void op(Rng &rng) override;
+    void noteCommit() override;
+    bool checkFinal() const override;
+    bool checkRecovered(const MemoryImage &img) const override;
+
+    /** Transactional insert (exposed for unit tests). */
+    void insert(std::uint32_t key, std::uint64_t val);
+
+  private:
+    static constexpr std::uint64_t kNodeBytes = 256 * 8;
+    static constexpr int kLevels = 4;
+
+    static Addr
+    slotAddr(Addr node, std::uint32_t idx)
+    {
+        return node + 8 * idx;
+    }
+
+    static std::uint32_t
+    byteAt(std::uint32_t key, int level)
+    {
+        return (key >> (8 * (kLevels - 1 - level))) & 0xff;
+    }
+
+    std::uint64_t rd(Addr node, std::uint32_t idx,
+                     RegIndex base = kNoReg);
+    void wr(Addr node, std::uint32_t idx, std::uint64_t v);
+
+    bool collect(const MemoryImage &img, Addr node, int level,
+                 std::uint32_t prefix,
+                 std::vector<std::pair<std::uint64_t,
+                                       std::uint64_t>> &out,
+                 std::size_t &budget) const;
+    bool extract(const MemoryImage &img,
+                 std::vector<std::pair<std::uint64_t,
+                                       std::uint64_t>> &out) const;
+
+    std::uint64_t seed_;
+    Addr root_ = kNoAddr;
+
+    std::map<std::uint64_t, std::uint64_t> ref_;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> curTxn_;
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+        history_;
+};
+
+} // namespace ede
+
+#endif // EDE_APPS_RTREE_HH

@@ -1,0 +1,57 @@
+#include "audit/auditor.hh"
+
+#include "common/logging.hh"
+
+namespace ede {
+
+AuditReport
+auditPersistOrdering(const std::vector<PersistObligation> &obligations,
+                     const std::vector<Cycle> &completionCycles)
+{
+    AuditReport report;
+    for (std::size_t i = 0; i < obligations.size(); ++i) {
+        const PersistObligation &ob = obligations[i];
+        ede_assert(ob.logCvapIdx < completionCycles.size() &&
+                   ob.dataStrIdx < completionCycles.size(),
+                   "obligation indexes beyond the trace");
+        const Cycle log_persisted = completionCycles[ob.logCvapIdx];
+        const Cycle data_visible = completionCycles[ob.dataStrIdx];
+        ede_assert(log_persisted != kNoCycle &&
+                   data_visible != kNoCycle,
+                   "trace element never completed; was completion "
+                   "recording enabled?");
+        ++report.checked;
+        if (data_visible < log_persisted) {
+            if (report.violations == 0)
+                report.firstViolationOp = i;
+            ++report.violations;
+        }
+    }
+    return report;
+}
+
+void
+applyPersistEvents(MemoryImage &image,
+                   const std::vector<PersistEvent> &events,
+                   Cycle crashCycle)
+{
+    for (const PersistEvent &ev : events) {
+        if (ev.cycle > crashCycle)
+            continue;
+        ede_assert(ev.bytes.size() == ev.size,
+                   "persist event without data; enable "
+                   "System::recordPersistData before running");
+        image.write(ev.addr, ev.bytes.data(), ev.size);
+    }
+}
+
+MemoryImage
+buildCrashImage(const std::vector<PersistEvent> &events,
+                Cycle crashCycle)
+{
+    MemoryImage img;
+    applyPersistEvents(img, events, crashCycle);
+    return img;
+}
+
+} // namespace ede

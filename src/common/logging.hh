@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug in
+ *            this library).  Aborts so a debugger/core dump can be used.
+ * fatal()  - the user asked for something impossible (bad configuration,
+ *            out-of-range parameter).  Exits with status 1.
+ * warn()   - something is modelled approximately; simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef EDE_COMMON_LOGGING_HH
+#define EDE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace ede {
+
+namespace detail {
+
+/** Concatenate any streamable arguments into a std::string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace ede
+
+/** Abort with a message: internal invariant violated. */
+#define ede_panic(...) \
+    ::ede::detail::panicImpl(__FILE__, __LINE__, \
+                             ::ede::detail::concat(__VA_ARGS__))
+
+/** Exit with a message: user error (bad config / arguments). */
+#define ede_fatal(...) \
+    ::ede::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::ede::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define ede_warn(...) \
+    ::ede::detail::warnImpl(::ede::detail::concat(__VA_ARGS__))
+
+/** Status message. */
+#define ede_inform(...) \
+    ::ede::detail::informImpl(::ede::detail::concat(__VA_ARGS__))
+
+/** Panic unless a condition holds. */
+#define ede_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ede_panic("assertion '" #cond "' failed: ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // EDE_COMMON_LOGGING_HH

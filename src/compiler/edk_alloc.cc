@@ -1,0 +1,178 @@
+#include "compiler/edk_alloc.hh"
+
+#include <array>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace ede {
+
+namespace {
+
+/** Where and how a virtual key is consumed. */
+struct VKeyInfo
+{
+    std::size_t lastUse = 0;        ///< Last consumer position.
+    std::vector<std::size_t> uses;  ///< All consumer positions.
+    std::vector<bool> useIsLoad;    ///< Consumer observes at execute.
+};
+
+/** Per-physical-key state during the scan. */
+struct PhysState
+{
+    VKey owner = 0;   ///< 0 = free.
+};
+
+} // namespace
+
+EdkAllocResult
+allocateEdks(const std::vector<VKeyedInst> &program)
+{
+    // Pass 1: live ranges of every virtual key.
+    std::map<VKey, VKeyInfo> info;
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        const VKeyedInst &in = program[i];
+        auto note_use = [&](VKey v) {
+            if (!v)
+                return;
+            VKeyInfo &k = info[v];
+            k.lastUse = i;
+            k.uses.push_back(i);
+            k.useIsLoad.push_back(opIsLoad(in.si.op));
+        };
+        note_use(in.vuse);
+        note_use(in.vuse2);
+        if (in.vdef)
+            info[in.vdef]; // Ensure the entry exists.
+    }
+
+    EdkAllocResult result;
+    std::array<PhysState, kNumEdks> phys{};  // Index 1..15 used.
+    std::map<VKey, Edk> assignment;          // Live vkey -> phys.
+    std::map<VKey, bool> evicted;
+
+    auto remaining_use_is_load = [&](VKey v, std::size_t after) {
+        const VKeyInfo &k = info.at(v);
+        for (std::size_t u = 0; u < k.uses.size(); ++u) {
+            if (k.uses[u] > after && k.useIsLoad[u])
+                return true;
+        }
+        return false;
+    };
+    auto next_use_after = [&](VKey v, std::size_t after) {
+        const VKeyInfo &k = info.at(v);
+        for (std::size_t pos : k.uses) {
+            if (pos > after)
+                return pos;
+        }
+        return program.size();
+    };
+
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        const VKeyedInst &in = program[i];
+        StaticInst out = in.si;
+        out.edkDef = kZeroEdk;
+        out.edkUse = kZeroEdk;
+        out.edkUse2 = kZeroEdk;
+
+        // Consumers first (Section IV-A1 ordering).
+        auto lower_use = [&](VKey v, Edk &field) {
+            if (!v)
+                return;
+            auto it = assignment.find(v);
+            if (it != assignment.end()) {
+                field = it->second;
+            } else {
+                // Evicted: ordering was made architectural by the
+                // WAIT/DSB inserted at eviction time.
+                ede_assert(evicted.count(v),
+                           "consumer of an unknown virtual key ", v);
+            }
+        };
+        lower_use(in.vuse, out.edkUse);
+        lower_use(in.vuse2, out.edkUse2);
+
+        // Free keys whose ranges have closed.
+        for (auto it = assignment.begin(); it != assignment.end();) {
+            const VKeyInfo &k = info.at(it->first);
+            if (k.lastUse <= i) {
+                phys[it->second].owner = 0;
+                it = assignment.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        // Producer definition.
+        if (in.vdef) {
+            // A redefinition of a live virtual key keeps its slot.
+            Edk chosen = kZeroEdk;
+            if (auto it = assignment.find(in.vdef);
+                it != assignment.end()) {
+                chosen = it->second;
+            }
+            if (!chosen) {
+                for (Edk k = 1; k < kNumEdks; ++k) {
+                    if (phys[k].owner == 0) {
+                        chosen = k;
+                        break;
+                    }
+                }
+            }
+            if (!chosen) {
+                // Spill: end the range whose next use is farthest,
+                // among ranges with only store-class consumers left.
+                VKey victim = 0;
+                std::size_t best = 0;
+                for (const auto &[v, k] : assignment) {
+                    if (remaining_use_is_load(v, i))
+                        continue;
+                    const std::size_t nu = next_use_after(v, i);
+                    if (nu >= best) {
+                        best = nu;
+                        victim = v;
+                    }
+                }
+                if (victim) {
+                    const Edk freed = assignment.at(victim);
+                    StaticInst wait;
+                    wait.op = Op::WaitKey;
+                    wait.edkDef = freed;
+                    wait.edkUse = freed;
+                    result.code.push_back(wait);
+                    result.origin.push_back(
+                        EdkAllocResult::kInserted);
+                    ++result.waitKeysInserted;
+                    assignment.erase(victim);
+                    evicted[victim] = true;
+                    phys[freed].owner = 0;
+                    chosen = freed;
+                } else {
+                    // Every live range still has load consumers:
+                    // fall back to the fence EDE exists to avoid.
+                    StaticInst dsb;
+                    dsb.op = Op::DsbSy;
+                    result.code.push_back(dsb);
+                    result.origin.push_back(
+                        EdkAllocResult::kInserted);
+                    ++result.fencesInserted;
+                    for (const auto &[v, k] : assignment) {
+                        evicted[v] = true;
+                        phys[k].owner = 0;
+                    }
+                    assignment.clear();
+                    chosen = 1;
+                }
+            }
+            phys[chosen].owner = in.vdef;
+            assignment[in.vdef] = chosen;
+            out.edkDef = chosen;
+        }
+
+        result.code.push_back(out);
+        result.origin.push_back(i);
+    }
+    return result;
+}
+
+} // namespace ede

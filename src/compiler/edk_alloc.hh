@@ -1,0 +1,70 @@
+/**
+ * @file
+ * EDK virtualization (Section IX-A): compiler-side assignment of
+ * physical Execution Dependence Keys.
+ *
+ * A compiler IR can carry unbounded *virtual* keys; the hardware has
+ * fifteen.  This pass maps virtual keys onto EDK #1..#15 with a
+ * linear scan over live ranges (a virtual key is live from its
+ * producer to its last consumer), reusing keys whose ranges have
+ * closed -- exactly the register-allocation analogy the paper draws.
+ *
+ * When more than fifteen ranges overlap, a range must be ended
+ * early.  Ending the range of key K is made sound by inserting
+ * WAIT_KEY (K): every instruction younger than the WAIT retires
+ * after K's producers complete, so the dropped consumer links are
+ * subsumed by retirement order -- valid for store-class consumers,
+ * whose effects are post-retirement.  A range that still has *load*
+ * consumers (which observe memory at execute, Section VIII-C) cannot
+ * be ended that way; if only such ranges remain, the allocator falls
+ * back to a DSB SY, the catch-all the extension exists to avoid --
+ * and counts it, so callers can see the spill pressure.
+ */
+
+#ifndef EDE_COMPILER_EDK_ALLOC_HH
+#define EDE_COMPILER_EDK_ALLOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace ede {
+
+/** A virtual key name; 0 means "none". */
+using VKey = std::uint32_t;
+
+/** One IR instruction: opcode/operands plus virtual key operands. */
+struct VKeyedInst
+{
+    StaticInst si;    ///< Physical key fields are ignored on input.
+    VKey vdef = 0;
+    VKey vuse = 0;
+    VKey vuse2 = 0;   ///< JOIN only.
+};
+
+/** Allocation outcome. */
+struct EdkAllocResult
+{
+    /** The lowered program: physical keys, plus inserted spill ops. */
+    std::vector<StaticInst> code;
+
+    /**
+     * For each output instruction, the index of the input
+     * instruction it lowers (kInserted for spill WAIT_KEY/DSB ops).
+     */
+    std::vector<std::size_t> origin;
+
+    std::size_t waitKeysInserted = 0;
+    std::size_t fencesInserted = 0;
+
+    static constexpr std::size_t kInserted =
+        static_cast<std::size_t>(-1);
+};
+
+/** Run the linear-scan allocation over @p program. */
+EdkAllocResult allocateEdks(const std::vector<VKeyedInst> &program);
+
+} // namespace ede
+
+#endif // EDE_COMPILER_EDK_ALLOC_HH

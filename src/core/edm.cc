@@ -1,0 +1,29 @@
+#include "core/edm.hh"
+
+namespace ede {
+
+bool
+EdmMap::empty() const
+{
+    for (SeqNum s : entries_)
+        if (s != kNoSeq)
+            return false;
+    return true;
+}
+
+void
+Edm::squashRestore(const std::vector<std::pair<Edk, SeqNum>> &survivors)
+{
+    spec_ = nonspec_;
+    for (const auto &[key, seq] : survivors)
+        spec_.define(key, seq);
+}
+
+void
+Edm::reset()
+{
+    spec_.reset();
+    nonspec_.reset();
+}
+
+} // namespace ede

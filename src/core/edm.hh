@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The Execution Dependence Map (EDM).
+ *
+ * The EDM holds EDK-to-instruction links (Section V-A): one slot per
+ * real key (EDK #1..#15) containing the in-flight sequence number of
+ * the most recent dependence producer of that key, or kNoSeq when the
+ * producer has completed (or none was ever named).
+ *
+ * Two copies are kept, as the paper prescribes (Section V-A1):
+ *  - the *speculative* map, read and updated at decode/rename;
+ *  - the *non-speculative* map, updated at retirement.
+ *
+ * On a pipeline squash the speculative map is restored from the
+ * non-speculative one and then repaired by replaying the definitions
+ * of the surviving (unretired, older-than-the-squash) instructions in
+ * program order -- the checkpoint-repair scheme of Hwu & Patt that
+ * the paper cites for its register-map analogy.
+ */
+
+#ifndef EDE_CORE_EDM_HH
+#define EDE_CORE_EDM_HH
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/edk.hh"
+
+namespace ede {
+
+/** One architectural copy of the map. */
+class EdmMap
+{
+  public:
+    /** Producer currently linked to @p key (kNoSeq when empty). */
+    SeqNum
+    lookup(Edk key) const
+    {
+        return edkIsReal(key) ? entries_[key] : kNoSeq;
+    }
+
+    /** Record @p producer as the dependence source for @p key. */
+    void
+    define(Edk key, SeqNum producer)
+    {
+        if (edkIsReal(key))
+            entries_[key] = producer;
+    }
+
+    /**
+     * A producer completed: clear its entry if the map still points
+     * at it (Section V-A: query, compare IDs, clear on match).
+     * @return true when an entry was cleared.
+     */
+    bool
+    clearIfMatch(Edk key, SeqNum producer)
+    {
+        if (edkIsReal(key) && entries_[key] == producer) {
+            entries_[key] = kNoSeq;
+            return true;
+        }
+        return false;
+    }
+
+    /** Empty every slot. */
+    void reset() { entries_.fill(kNoSeq); }
+
+    /** True when no key has an in-flight producer. */
+    bool empty() const;
+
+    bool operator==(const EdmMap &) const = default;
+
+  private:
+    std::array<SeqNum, kNumEdks> entries_{};
+};
+
+/** The speculative / non-speculative EDM pair. */
+class Edm
+{
+  public:
+    /** @name Front-end (decode/rename) interface: speculative map. */
+    /// @{
+    SeqNum specLookup(Edk key) const { return spec_.lookup(key); }
+    void specDefine(Edk key, SeqNum producer) { spec_.define(key, producer); }
+    /// @}
+
+    /** Retirement updates the non-speculative map. */
+    void
+    retireDefine(Edk key, SeqNum producer)
+    {
+        nonspec_.define(key, producer);
+    }
+
+    /**
+     * A dependence producer completed: clear matching entries in both
+     * copies.
+     */
+    void
+    complete(Edk key, SeqNum producer)
+    {
+        spec_.clearIfMatch(key, producer);
+        nonspec_.clearIfMatch(key, producer);
+    }
+
+    /**
+     * Squash recovery: restore the speculative map from the
+     * non-speculative one, then replay the (key, seq) definitions of
+     * the surviving in-flight instructions in program order.
+     */
+    void squashRestore(
+        const std::vector<std::pair<Edk, SeqNum>> &survivors);
+
+    /** Direct access for tests. */
+    const EdmMap &spec() const { return spec_; }
+    const EdmMap &nonspec() const { return nonspec_; }
+
+    /** Reset both copies. */
+    void reset();
+
+  private:
+    EdmMap spec_;
+    EdmMap nonspec_;
+};
+
+} // namespace ede
+
+#endif // EDE_CORE_EDM_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * EDE enforcement point selection.
+ *
+ * The paper evaluates two hardware realizations (Section V-B): IQ
+ * enforces execution dependences in the issue queue via an eDepReady
+ * wakeup flag; WB lets consumers retire and gates their write-buffer
+ * push on a srcID CAM match.  None disables EDE enforcement entirely
+ * (used by the fence-based configurations, whose traces contain no
+ * EDE instructions).
+ */
+
+#ifndef EDE_CORE_ENFORCEMENT_HH
+#define EDE_CORE_ENFORCEMENT_HH
+
+#include <string_view>
+
+namespace ede {
+
+/** Where execution dependences are enforced. */
+enum class EnforceMode {
+    None,  ///< No EDE hardware (fence-only configurations).
+    IQ,    ///< Enforce at the issue queue (Section V-B1).
+    WB,    ///< Enforce at the write buffer (Section V-B3 / V-D).
+};
+
+/** Printable name. */
+constexpr std::string_view
+enforceModeName(EnforceMode m)
+{
+    switch (m) {
+      case EnforceMode::None: return "none";
+      case EnforceMode::IQ: return "IQ";
+      case EnforceMode::WB: return "WB";
+    }
+    return "<bad-mode>";
+}
+
+} // namespace ede
+
+#endif // EDE_CORE_ENFORCEMENT_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-EDK and global in-flight EDE instruction counters backing
+ * WAIT_KEY and WAIT_ALL_KEYS (Section V-D).
+ *
+ * Stores, writebacks and JOINs carry their key tags into the write
+ * buffer; the counters are incremented when such an instruction
+ * enters the tracked window and decremented when it completes.  A
+ * WAIT instruction may retire only when the matching counter (or the
+ * global counter, for WAIT_ALL_KEYS) is zero.  Because retirement is
+ * in order, every counted instruction is older than the waiting one.
+ */
+
+#ifndef EDE_CORE_WAIT_COUNTERS_HH
+#define EDE_CORE_WAIT_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "isa/edk.hh"
+#include "isa/inst.hh"
+
+namespace ede {
+
+/** The WAIT_KEY / WAIT_ALL_KEYS counter file. */
+class WaitCounters
+{
+  public:
+    /** Track an EDE instruction entering the monitored window. */
+    void
+    enter(const StaticInst &si)
+    {
+        bump(si, +1);
+    }
+
+    /** An EDE instruction completed (or was squashed pre-entry). */
+    void
+    exit(const StaticInst &si)
+    {
+        bump(si, -1);
+    }
+
+    /** True when no tracked instruction names @p key. */
+    bool
+    keyClear(Edk key) const
+    {
+        return edkIsReal(key) ? perKey_[key] == 0 : true;
+    }
+
+    /** True when no tracked EDE instruction is in flight at all. */
+    bool allClear() const { return all_ == 0; }
+
+    /** Tracked-instruction count for @p key (tests). */
+    std::uint32_t keyCount(Edk key) const { return perKey_.at(key); }
+
+    /** Global tracked-instruction count (tests). */
+    std::uint32_t allCount() const { return all_; }
+
+    /** Clear every counter. */
+    void
+    reset()
+    {
+        perKey_.fill(0);
+        all_ = 0;
+    }
+
+  private:
+    void
+    bump(const StaticInst &si, int delta)
+    {
+        if (!si.usesEde())
+            return;
+        bool counted = false;
+        // A key named in several fields of one instruction is counted
+        // once per field; symmetric on enter/exit so the zero test is
+        // still exact.
+        for (Edk k : {si.edkDef, si.edkUse, si.edkUse2}) {
+            if (edkIsReal(k)) {
+                ede_assert(delta > 0 || perKey_[k] > 0,
+                           "wait counter underflow on key ",
+                           static_cast<int>(k));
+                perKey_[k] += delta;
+                counted = true;
+            }
+        }
+        if (counted) {
+            ede_assert(delta > 0 || all_ > 0,
+                       "global wait counter underflow");
+            all_ += delta;
+        }
+    }
+
+    std::array<std::uint32_t, kNumEdks> perKey_{};
+    std::uint32_t all_ = 0;
+};
+
+} // namespace ede
+
+#endif // EDE_CORE_WAIT_COUNTERS_HH

@@ -1,0 +1,386 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <charconv>
+
+namespace ede {
+
+namespace {
+
+/** Cursor over one line. */
+class Scanner
+{
+  public:
+    explicit Scanner(std::string_view text) : text_(text) {}
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool done() { skipSpace(); return pos_ >= text_.size(); }
+
+    /** Consume @p tok (case sensitive) if present. */
+    bool
+    eat(std::string_view tok)
+    {
+        skipSpace();
+        if (text_.substr(pos_, tok.size()) == tok) {
+            pos_ += tok.size();
+            return true;
+        }
+        return false;
+    }
+
+    /** Next identifier-ish word (letters, digits, '_', '.'). */
+    std::string_view
+    word()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '_' || c == '.') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        return text_.substr(start, pos_ - start);
+    }
+
+    /** Parse a signed integer. */
+    bool
+    integer(std::int64_t &out)
+    {
+        skipSpace();
+        const char *begin = text_.data() + pos_;
+        const char *end = text_.data() + text_.size();
+        auto [ptr, ec] = std::from_chars(begin, end, out);
+        if (ec != std::errc{})
+            return false;
+        pos_ += static_cast<std::size_t>(ptr - begin);
+        return true;
+    }
+
+    std::size_t pos() const { return pos_; }
+
+  private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+bool
+parseReg(Scanner &s, RegIndex &out)
+{
+    s.skipSpace();
+    if (s.eat("xzr")) {
+        out = kZeroReg;
+        return true;
+    }
+    if (!s.eat("x"))
+        return false;
+    std::int64_t n = 0;
+    if (!s.integer(n) || n < 0 || n >= kNumArchRegs)
+        return false;
+    out = static_cast<RegIndex>(n);
+    return true;
+}
+
+/**
+ * Parse a parenthesized key list with exactly @p n_keys keys:
+ * "(k)", "(d,u)" or "(d,u1,u2)".
+ */
+bool
+parseKeys(Scanner &s, Edk &def, Edk &use1, Edk *use2, int n_keys)
+{
+    if (!s.eat("("))
+        return false;
+    std::int64_t a = 0;
+    if (!s.integer(a) || a < 0 || a >= kNumEdks)
+        return false;
+    if (n_keys == 1) {
+        if (!s.eat(")"))
+            return false;
+        def = static_cast<Edk>(a);
+        return true;
+    }
+    if (!s.eat(","))
+        return false;
+    std::int64_t b = 0;
+    if (!s.integer(b) || b < 0 || b >= kNumEdks)
+        return false;
+    if (n_keys == 3) {
+        if (!s.eat(","))
+            return false;
+        std::int64_t c = 0;
+        if (!s.integer(c) || c < 0 || c >= kNumEdks)
+            return false;
+        *use2 = static_cast<Edk>(c);
+    }
+    if (!s.eat(")"))
+        return false;
+    def = static_cast<Edk>(a);
+    use1 = static_cast<Edk>(b);
+    return true;
+}
+
+/** "[xN]" or "[xN, #imm]". */
+bool
+parseMem(Scanner &s, RegIndex &base, std::int64_t &disp)
+{
+    if (!s.eat("["))
+        return false;
+    if (!parseReg(s, base))
+        return false;
+    disp = 0;
+    if (s.eat(",")) {
+        if (!s.eat("#"))
+            return false;
+        if (!s.integer(disp))
+            return false;
+    }
+    return s.eat("]");
+}
+
+AsmResult
+fail(const std::string &msg)
+{
+    AsmResult r;
+    r.error = msg;
+    return r;
+}
+
+AsmResult
+finish(const StaticInst &si)
+{
+    AsmResult r;
+    r.ok = true;
+    r.inst = si;
+    return r;
+}
+
+} // namespace
+
+AsmResult
+assembleLine(std::string_view line)
+{
+    // Strip comments.
+    if (const auto sc = line.find(';'); sc != std::string_view::npos)
+        line = line.substr(0, sc);
+
+    Scanner s(line);
+    if (s.done())
+        return fail("empty line");
+
+    StaticInst si;
+
+    // Multi-word mnemonics first.
+    if (s.eat("dc")) {
+        if (s.word() != "cvap")
+            return fail("expected 'dc cvap'");
+        si.op = Op::DcCvap;
+        Edk use2_unused = 0;
+        (void)use2_unused;
+        // Optional keys, then base register.
+        Scanner probe = s;
+        if (probe.eat("(")) {
+            if (!parseKeys(s, si.edkDef, si.edkUse, nullptr, 2))
+                return fail("bad key operands");
+            if (!s.eat(","))
+                return fail("expected ',' after keys");
+        }
+        if (!parseReg(s, si.base))
+            return fail("expected base register");
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    if (s.eat("dsb")) {
+        if (s.word() != "sy")
+            return fail("expected 'dsb sy'");
+        si.op = Op::DsbSy;
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    if (s.eat("dmb")) {
+        if (s.word() != "st")
+            return fail("expected 'dmb st'");
+        si.op = Op::DmbSt;
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+
+    const std::string_view mnem = s.word();
+    if (mnem == "nop") {
+        si.op = Op::Nop;
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    if (mnem == "wait_all_keys") {
+        si.op = Op::WaitAllKeys;
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    if (mnem == "wait_key") {
+        si.op = Op::WaitKey;
+        Edk key = 0;
+        Edk dummy = 0;
+        if (!parseKeys(s, key, dummy, nullptr, 1))
+            return fail("expected '(key)'");
+        if (!edkIsReal(key))
+            return fail("WAIT_KEY needs a non-zero key");
+        // Producer and consumer of the same key (Section IV-B2).
+        si.edkDef = key;
+        si.edkUse = key;
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    if (mnem == "join") {
+        si.op = Op::Join;
+        if (!parseKeys(s, si.edkDef, si.edkUse, &si.edkUse2, 3))
+            return fail("expected '(def,use1,use2)'");
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    if (mnem == "mov") {
+        si.op = Op::Mov;
+        if (!parseReg(s, si.dst))
+            return fail("expected destination register");
+        if (!s.eat(","))
+            return fail("expected ','");
+        if (s.eat("#")) {
+            if (!s.integer(si.imm))
+                return fail("bad immediate");
+        } else if (!parseReg(s, si.src1)) {
+            return fail("expected register or immediate");
+        }
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    if (mnem == "add" || mnem == "sub" || mnem == "and" ||
+        mnem == "orr" || mnem == "eor" || mnem == "cmp" ||
+        mnem == "alu") {
+        si.op = Op::IntAlu;
+        if (mnem == "cmp") {
+            // cmp xA, xB reads two sources, writes flags (modelled
+            // as no destination).
+            if (!parseReg(s, si.src1))
+                return fail("expected register");
+            if (!s.eat(","))
+                return fail("expected ','");
+            if (!parseReg(s, si.src2))
+                return fail("expected register");
+            return s.done() ? finish(si) : fail("trailing input");
+        }
+        if (!parseReg(s, si.dst))
+            return fail("expected destination register");
+        if (!s.eat(","))
+            return fail("expected ','");
+        if (!parseReg(s, si.src1))
+            return fail("expected source register");
+        if (s.eat(",")) {
+            if (s.eat("#")) {
+                if (!s.integer(si.imm))
+                    return fail("bad immediate");
+            } else if (!parseReg(s, si.src2)) {
+                return fail("expected register or immediate");
+            }
+        }
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    if (mnem == "mul") {
+        si.op = Op::IntMult;
+        if (!parseReg(s, si.dst) || !s.eat(",") ||
+            !parseReg(s, si.src1) || !s.eat(",") ||
+            !parseReg(s, si.src2)) {
+            return fail("expected 'mul xd, xa, xb'");
+        }
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    if (mnem == "b") {
+        si.op = Op::Branch;
+        if (s.eat("#") && !s.integer(si.imm))
+            return fail("bad displacement");
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    if (mnem == "b.cond" || mnem == "b.ne" || mnem == "b.eq") {
+        si.op = Op::BranchCond;
+        if (parseReg(s, si.src1)) {
+            if (!s.eat(",") || !parseReg(s, si.src2))
+                return fail("expected second register");
+            s.eat(","); // Optional displacement follows.
+        }
+        if (s.eat("#") && !s.integer(si.imm))
+            return fail("bad displacement");
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    if (mnem == "ldr" || mnem == "str" || mnem == "stp") {
+        si.op = mnem == "ldr" ? Op::Ldr
+                : mnem == "str" ? Op::Str : Op::Stp;
+        si.size = si.op == Op::Stp ? 16 : 8;
+        Scanner probe = s;
+        if (probe.eat("(")) {
+            if (!parseKeys(s, si.edkDef, si.edkUse, nullptr, 2))
+                return fail("bad key operands");
+            if (!s.eat(","))
+                return fail("expected ',' after keys");
+        }
+        RegIndex r1;
+        if (!parseReg(s, r1))
+            return fail("expected register");
+        if (si.op == Op::Ldr)
+            si.dst = r1;
+        else
+            si.src1 = r1;
+        if (si.op == Op::Stp) {
+            if (!s.eat(",") || !parseReg(s, si.src2))
+                return fail("expected second register");
+        }
+        if (!s.eat(","))
+            return fail("expected ','");
+        if (!parseMem(s, si.base, si.imm))
+            return fail("expected '[xN]' address operand");
+        return s.done() ? finish(si) : fail("trailing input");
+    }
+    return fail("unknown mnemonic '" + std::string(mnem) + "'");
+}
+
+std::optional<std::vector<StaticInst>>
+assemble(std::string_view listing, std::string *error_out)
+{
+    std::vector<StaticInst> out;
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= listing.size()) {
+        const std::size_t nl = listing.find('\n', pos);
+        const std::string_view line = listing.substr(
+            pos, nl == std::string_view::npos ? nl : nl - pos);
+        ++line_no;
+        pos = (nl == std::string_view::npos) ? listing.size() + 1
+                                             : nl + 1;
+
+        // Skip blank/comment-only lines.
+        std::string_view body = line;
+        if (const auto sc = body.find(';');
+            sc != std::string_view::npos) {
+            body = body.substr(0, sc);
+        }
+        bool blank = true;
+        for (char c : body) {
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                blank = false;
+        }
+        if (blank)
+            continue;
+
+        const AsmResult r = assembleLine(line);
+        if (!r.ok) {
+            if (error_out) {
+                *error_out = "line " + std::to_string(line_no) +
+                             ": " + r.error;
+            }
+            return std::nullopt;
+        }
+        out.push_back(r.inst);
+    }
+    return out;
+}
+
+} // namespace ede

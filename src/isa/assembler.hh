@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Text assembler for the model ISA, accepting the paper's syntax:
+ *
+ *   ldr x1, [x0]              load
+ *   ldr (0,1), x4, [x1]       EDE load variant (Section VIII-C)
+ *   str (0,1), x3, [x0]       EDE store variant (Figure 7)
+ *   stp x0, x1, [x2]          pairwise store
+ *   dc cvap (1,0), x2         cacheline writeback to PoP
+ *   dsb sy / dmb st           barriers
+ *   join (3,1,2)              JOIN (EDKdef, EDKuse1, EDKuse2)
+ *   wait_key (4)              WAIT_KEY
+ *   wait_all_keys             WAIT_ALL_KEYS
+ *   mov x3, #42               immediate move
+ *   add x1, x2, x3 / add x1, x2, #4
+ *   mul x1, x2, x3
+ *   b #label-displacement / b.cond x1, x2, #disp
+ *   nop
+ *
+ * The assembler produces StaticInst records (what encode() accepts);
+ * it is the inverse of disassemble() for every supported form.
+ */
+
+#ifndef EDE_ISA_ASSEMBLER_HH
+#define EDE_ISA_ASSEMBLER_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace ede {
+
+/** Result of assembling one line. */
+struct AsmResult
+{
+    bool ok = false;
+    StaticInst inst;
+    std::string error;   ///< Filled when !ok.
+};
+
+/** Assemble a single instruction line (comments after ';' ignored). */
+AsmResult assembleLine(std::string_view line);
+
+/**
+ * Assemble a multi-line listing.  Blank lines and ';' comments are
+ * skipped.  @return the instructions, or std::nullopt with
+ * @p error_out set to "line N: message".
+ */
+std::optional<std::vector<StaticInst>>
+assemble(std::string_view listing, std::string *error_out = nullptr);
+
+} // namespace ede
+
+#endif // EDE_ISA_ASSEMBLER_HH

@@ -1,0 +1,142 @@
+#include "isa/inst.hh"
+
+#include <sstream>
+
+namespace ede {
+
+std::string_view
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::IntAlu: return "alu";
+      case Op::IntMult: return "mul";
+      case Op::Mov: return "mov";
+      case Op::Ldr: return "ldr";
+      case Op::Str: return "str";
+      case Op::Stp: return "stp";
+      case Op::DcCvap: return "dc cvap";
+      case Op::DsbSy: return "dsb sy";
+      case Op::DmbSt: return "dmb st";
+      case Op::Branch: return "b";
+      case Op::BranchCond: return "b.cond";
+      case Op::Join: return "join";
+      case Op::WaitKey: return "wait_key";
+      case Op::WaitAllKeys: return "wait_all_keys";
+      default: return "<bad-op>";
+    }
+}
+
+namespace {
+
+std::string
+regName(RegIndex r)
+{
+    if (r == kNoReg)
+        return "-";
+    if (r == kZeroReg)
+        return "xzr";
+    return "x" + std::to_string(static_cast<int>(r));
+}
+
+/** Render "(def, use)" or "(def, use1, use2)" key operands. */
+std::string
+keyOperands(const StaticInst &si)
+{
+    std::ostringstream os;
+    os << "(" << static_cast<int>(si.edkDef) << ","
+       << static_cast<int>(si.edkUse);
+    if (si.op == Op::Join)
+        os << "," << static_cast<int>(si.edkUse2);
+    os << ")";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disassemble(const StaticInst &si)
+{
+    std::ostringstream os;
+    os << opName(si.op);
+    switch (si.op) {
+      case Op::Nop:
+      case Op::DsbSy:
+      case Op::DmbSt:
+      case Op::WaitAllKeys:
+        break;
+      case Op::IntAlu:
+      case Op::IntMult:
+        os << " " << regName(si.dst) << ", " << regName(si.src1) << ", ";
+        if (si.src2 != kNoReg)
+            os << regName(si.src2);
+        else
+            os << "#" << si.imm;
+        break;
+      case Op::Mov:
+        os << " " << regName(si.dst) << ", ";
+        if (si.src1 != kNoReg)
+            os << regName(si.src1);
+        else
+            os << "#" << si.imm;
+        break;
+      case Op::Ldr:
+        if (si.usesEde())
+            os << " " << keyOperands(si) << ",";
+        os << " " << regName(si.dst) << ", [" << regName(si.base);
+        if (si.imm)
+            os << ", #" << si.imm;
+        os << "]";
+        break;
+      case Op::Str:
+        if (si.usesEde())
+            os << " " << keyOperands(si) << ",";
+        os << " " << regName(si.src1) << ", [" << regName(si.base);
+        if (si.imm)
+            os << ", #" << si.imm;
+        os << "]";
+        break;
+      case Op::Stp:
+        if (si.usesEde())
+            os << " " << keyOperands(si) << ",";
+        os << " " << regName(si.src1) << ", " << regName(si.src2)
+           << ", [" << regName(si.base);
+        if (si.imm)
+            os << ", #" << si.imm;
+        os << "]";
+        break;
+      case Op::DcCvap:
+        if (si.usesEde())
+            os << " " << keyOperands(si) << ",";
+        os << " " << regName(si.base);
+        break;
+      case Op::Branch:
+      case Op::BranchCond:
+        os << " #" << si.imm;
+        break;
+      case Op::Join:
+        os << " " << keyOperands(si);
+        break;
+      case Op::WaitKey:
+        os << " (" << static_cast<int>(si.edkUse) << ")";
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const DynInst &di)
+{
+    std::ostringstream os;
+    os << disassemble(di.si);
+    if (di.isMemRef() && di.addr != kNoAddr) {
+        os << "  ; addr=0x" << std::hex << di.addr << std::dec;
+    }
+    if (di.isBranch())
+        os << "  ; " << (di.taken ? "taken" : "not-taken");
+    return os.str();
+}
+
+} // namespace ede

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Execution Dependence Keys (EDKs).
+ *
+ * EDE defines sixteen keys (EDK #0 .. EDK #15).  EDK #0 is the *zero
+ * key*: encoding it in a producer or consumer field means "this field
+ * is unused".  Consequently the Execution Dependence Map only needs
+ * fifteen real entries (Section IV-A1 of the paper).
+ */
+
+#ifndef EDE_ISA_EDK_HH
+#define EDE_ISA_EDK_HH
+
+#include <cstdint>
+
+namespace ede {
+
+/** An Execution Dependence Key operand. */
+using Edk = std::uint8_t;
+
+/** Total number of architecturally named keys, including the zero key. */
+inline constexpr int kNumEdks = 16;
+
+/** The zero key: "no dependence conveyed through this field". */
+inline constexpr Edk kZeroEdk = 0;
+
+/** True when @p k names a real (non-zero) key. */
+constexpr bool
+edkIsReal(Edk k)
+{
+    return k != kZeroEdk && k < kNumEdks;
+}
+
+/** True when @p k is any architecturally valid key, including zero. */
+constexpr bool
+edkIsValid(Edk k)
+{
+    return k < kNumEdks;
+}
+
+} // namespace ede
+
+#endif // EDE_ISA_EDK_HH

@@ -1,0 +1,92 @@
+#include "isa/encoding.hh"
+
+namespace ede {
+
+namespace {
+
+constexpr std::int64_t kImmMax = (1ll << 20) - 1;
+constexpr std::int64_t kImmMin = -(1ll << 20);
+
+/**
+ * Unused register operands are encoded as the zero register: neither
+ * creates a scheduling dependence, so the forms are equivalent.
+ */
+std::uint64_t
+canonicalReg(RegIndex r)
+{
+    return (r == kNoReg) ? kZeroReg : r;
+}
+
+} // namespace
+
+std::optional<MachineWord>
+encode(const StaticInst &si)
+{
+    if (si.op >= Op::NumOps)
+        return std::nullopt;
+    if (!edkIsValid(si.edkDef) || !edkIsValid(si.edkUse) ||
+        !edkIsValid(si.edkUse2)) {
+        return std::nullopt;
+    }
+    if (si.usesEde() && !opAllowsEdkOperands(si.op))
+        return std::nullopt;
+    if (edkIsReal(si.edkUse2) && si.op != Op::Join)
+        return std::nullopt;
+    if (si.imm < kImmMin || si.imm > kImmMax)
+        return std::nullopt;
+    if (si.size > 16)
+        return std::nullopt;
+    if ((si.dst != kNoReg && si.dst >= kNumArchRegs) ||
+        (si.src1 != kNoReg && si.src1 >= kNumArchRegs) ||
+        (si.src2 != kNoReg && si.src2 >= kNumArchRegs) ||
+        (si.base != kNoReg && si.base >= kNumArchRegs)) {
+        return std::nullopt;
+    }
+
+    MachineWord w = 0;
+    w |= static_cast<std::uint64_t>(si.op) & 0x3f;
+    w |= canonicalReg(si.dst) << 6;
+    w |= canonicalReg(si.src1) << 11;
+    w |= canonicalReg(si.src2) << 16;
+    w |= canonicalReg(si.base) << 21;
+    w |= static_cast<std::uint64_t>(si.edkDef & 0xf) << 26;
+    w |= static_cast<std::uint64_t>(si.edkUse & 0xf) << 30;
+    w |= static_cast<std::uint64_t>(si.edkUse2 & 0xf) << 34;
+    w |= static_cast<std::uint64_t>(si.size & 0x1f) << 38;
+    w |= (static_cast<std::uint64_t>(si.imm) & 0x1fffff) << 43;
+    return w;
+}
+
+std::optional<StaticInst>
+decode(MachineWord word)
+{
+    StaticInst si;
+    const auto op_raw = word & 0x3f;
+    if (op_raw >= static_cast<std::uint64_t>(Op::NumOps))
+        return std::nullopt;
+    si.op = static_cast<Op>(op_raw);
+    si.dst = static_cast<RegIndex>((word >> 6) & 0x1f);
+    si.src1 = static_cast<RegIndex>((word >> 11) & 0x1f);
+    si.src2 = static_cast<RegIndex>((word >> 16) & 0x1f);
+    si.base = static_cast<RegIndex>((word >> 21) & 0x1f);
+    si.edkDef = static_cast<Edk>((word >> 26) & 0xf);
+    si.edkUse = static_cast<Edk>((word >> 30) & 0xf);
+    si.edkUse2 = static_cast<Edk>((word >> 34) & 0xf);
+    si.size = static_cast<std::uint8_t>((word >> 38) & 0x1f);
+
+    // Sign-extend the 21-bit immediate.
+    std::uint64_t imm_raw = (word >> 43) & 0x1fffff;
+    if (imm_raw & (1ull << 20))
+        imm_raw |= ~0x1fffffull;
+    si.imm = static_cast<std::int64_t>(imm_raw);
+
+    if (si.usesEde() && !opAllowsEdkOperands(si.op))
+        return std::nullopt;
+    if (edkIsReal(si.edkUse2) && si.op != Op::Join)
+        return std::nullopt;
+    if (si.size > 16)
+        return std::nullopt;
+    return si;
+}
+
+} // namespace ede

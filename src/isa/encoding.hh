@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Binary encoding for the model ISA, including the EDE key fields.
+ *
+ * A real EDE implementation would claim unused AArch64 opcode space;
+ * this library is a microarchitecture study, so we use a transparent
+ * 64-bit container with explicit fields.  The encoding exists so the
+ * key-operand plumbing (two 4-bit keys on memory variants, three on
+ * JOIN) is demonstrably encodable and round-trippable, and so traces
+ * can be serialized compactly.
+ *
+ * Layout (bit 0 = least significant):
+ *
+ *   [5:0]   opcode          [10:6]  dst        [15:11] src1
+ *   [20:16] src2            [25:21] base       [29:26] edkDef
+ *   [33:30] edkUse          [37:34] edkUse2    [42:38] size
+ *   [63:43] imm (21-bit two's complement)
+ *
+ * Register fields use 0x1f (kNoReg is mapped to 0x1f... note x31 is
+ * the zero register; "no register" is encoded as the zero register
+ * since neither creates a dependence).
+ */
+
+#ifndef EDE_ISA_ENCODING_HH
+#define EDE_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/inst.hh"
+
+namespace ede {
+
+/** Encoded instruction word. */
+using MachineWord = std::uint64_t;
+
+/**
+ * Encode a static instruction.
+ *
+ * @return the machine word, or std::nullopt if the instruction is not
+ *         encodable (immediate out of the 21-bit range, EDE keys on an
+ *         opcode that does not allow them, or invalid key numbers).
+ */
+std::optional<MachineWord> encode(const StaticInst &si);
+
+/**
+ * Decode a machine word.
+ *
+ * @return the static instruction, or std::nullopt if the word is not
+ *         a valid encoding (bad opcode, malformed key fields).
+ */
+std::optional<StaticInst> decode(MachineWord word);
+
+} // namespace ede
+
+#endif // EDE_ISA_ENCODING_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Instruction records: the static (program) part and the dynamic
+ * (per-execution) part.
+ *
+ * StaticInst is what an assembler/compiler produces: opcode, register
+ * operands, immediate, and EDE key operands.  DynInst is one element
+ * of a dynamic instruction stream: a StaticInst plus the resolved
+ * effective address, store data, and branch outcome.  The pipeline
+ * consumes DynInst streams.
+ */
+
+#ifndef EDE_ISA_INST_HH
+#define EDE_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/edk.hh"
+#include "isa/opcodes.hh"
+
+namespace ede {
+
+/**
+ * The static portion of an instruction.
+ *
+ * Register conventions: @c dst is the destination register (loads and
+ * ALU ops); @c src1/@c src2 are data sources; @c base is the address
+ * base register for memory ops.  Unused operands hold kNoReg.
+ * EDE key operands follow Section IV-B: @c edkDef is the
+ * dependence-producer key, @c edkUse the consumer key, and
+ * @c edkUse2 the second consumer key (JOIN only).
+ */
+struct StaticInst
+{
+    Op op = Op::Nop;
+    RegIndex dst = kNoReg;
+    RegIndex src1 = kNoReg;
+    RegIndex src2 = kNoReg;
+    RegIndex base = kNoReg;
+    Edk edkDef = kZeroEdk;
+    Edk edkUse = kZeroEdk;
+    Edk edkUse2 = kZeroEdk;
+    std::uint8_t size = 0;   ///< Memory access size in bytes.
+    std::int64_t imm = 0;    ///< Immediate / address displacement.
+
+    /** True when this instruction produces an EDE dependence. */
+    bool isEdeProducer() const { return edkIsReal(edkDef); }
+
+    /** True when this instruction consumes an EDE dependence. */
+    bool
+    isEdeConsumer() const
+    {
+        return edkIsReal(edkUse) || edkIsReal(edkUse2);
+    }
+
+    /** True when any EDE key field is in use. */
+    bool usesEde() const { return isEdeProducer() || isEdeConsumer(); }
+
+    /** True when this instruction writes a general purpose register. */
+    bool
+    writesReg() const
+    {
+        return dst != kNoReg && dst != kZeroReg;
+    }
+
+    bool operator==(const StaticInst &) const = default;
+};
+
+/**
+ * One element of a dynamic instruction stream.
+ *
+ * The trace layer resolves control flow and effective addresses, so a
+ * DynInst carries the actual address touched, the value(s) a store
+ * writes (used to keep the simulated NVM image functionally correct),
+ * and the actual branch outcome (the predictor guesses, the outcome
+ * decides squashes).
+ */
+struct DynInst
+{
+    StaticInst si;
+    Addr pc = kNoAddr;        ///< Static PC of the emitting site.
+    Addr addr = kNoAddr;      ///< Effective address (memory ops).
+    std::uint64_t val0 = 0;   ///< Store data (first 8 bytes).
+    std::uint64_t val1 = 0;   ///< Store data (second 8 bytes, STP).
+    bool taken = false;       ///< Actual branch outcome.
+
+    /** Convenience accessors that forward to the static part. */
+    Op op() const { return si.op; }
+    bool isLoad() const { return opIsLoad(si.op); }
+    bool isStore() const { return opIsStore(si.op); }
+    bool isCvap() const { return opIsCvap(si.op); }
+    bool isMemRef() const { return opIsMemRef(si.op); }
+    bool isFence() const { return opIsFence(si.op); }
+    bool isBranch() const { return opIsBranch(si.op); }
+    bool isEdeControl() const { return opIsEdeControl(si.op); }
+    bool isEdeProducer() const { return si.isEdeProducer(); }
+    bool isEdeConsumer() const { return si.isEdeConsumer(); }
+
+    /**
+     * True when the instruction occupies a write-buffer entry after
+     * retirement: stores, cache-line writebacks and, in the WB
+     * enforcement design, JOINs (Section V-D).
+     */
+    bool
+    entersWriteBuffer() const
+    {
+        return isStore() || isCvap() || si.op == Op::Join;
+    }
+};
+
+/** Render a static instruction in the paper's assembly syntax. */
+std::string disassemble(const StaticInst &si);
+
+/** Render a dynamic instruction, including its resolved address. */
+std::string disassemble(const DynInst &di);
+
+} // namespace ede
+
+#endif // EDE_ISA_INST_HH

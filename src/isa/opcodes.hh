@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Micro-op opcode classes for the AArch64-flavoured model ISA.
+ *
+ * The simulator executes dynamic micro-ops rather than encoded
+ * AArch64; each opcode class carries the scheduling-relevant semantics
+ * of the corresponding AArch64 instruction group.  EDE's new
+ * instructions (Section IV-B of the paper) are first-class opcodes.
+ */
+
+#ifndef EDE_ISA_OPCODES_HH
+#define EDE_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace ede {
+
+/** Opcode classes. */
+enum class Op : std::uint8_t {
+    Nop,         ///< No operation.
+    IntAlu,      ///< Single-cycle integer op (add/sub/logical/cmp).
+    IntMult,     ///< Multi-cycle integer multiply.
+    Mov,         ///< Register/immediate move.
+    Ldr,         ///< Load register from memory.
+    Str,         ///< Store register to memory (EDE variant capable).
+    Stp,         ///< Store pair, 16 bytes (EDE variant capable).
+    DcCvap,      ///< Clean data cache line to point of persistence.
+    DsbSy,       ///< Full data synchronization barrier.
+    DmbSt,       ///< Store-only data memory barrier (like x86 SFENCE).
+    Branch,      ///< Unconditional branch.
+    BranchCond,  ///< Conditional branch.
+    Join,        ///< EDE JOIN (EDKdef, EDKuse1, EDKuse2).
+    WaitKey,     ///< EDE WAIT_KEY (EDK).
+    WaitAllKeys, ///< EDE WAIT_ALL_KEYS.
+    NumOps
+};
+
+/** Number of opcode classes. */
+inline constexpr int kNumOps = static_cast<int>(Op::NumOps);
+
+/** Mnemonic for an opcode class. */
+std::string_view opName(Op op);
+
+/** True for memory loads. */
+constexpr bool
+opIsLoad(Op op)
+{
+    return op == Op::Ldr;
+}
+
+/** True for memory stores (including the pairwise store). */
+constexpr bool
+opIsStore(Op op)
+{
+    return op == Op::Str || op == Op::Stp;
+}
+
+/** True for cache-line writebacks to the persistence point. */
+constexpr bool
+opIsCvap(Op op)
+{
+    return op == Op::DcCvap;
+}
+
+/** True for any instruction that references memory. */
+constexpr bool
+opIsMemRef(Op op)
+{
+    return opIsLoad(op) || opIsStore(op) || opIsCvap(op);
+}
+
+/** True for barrier/fence instructions. */
+constexpr bool
+opIsFence(Op op)
+{
+    return op == Op::DsbSy || op == Op::DmbSt;
+}
+
+/** True for control-transfer instructions. */
+constexpr bool
+opIsBranch(Op op)
+{
+    return op == Op::Branch || op == Op::BranchCond;
+}
+
+/** True for EDE's control instructions (Section IV-B2). */
+constexpr bool
+opIsEdeControl(Op op)
+{
+    return op == Op::Join || op == Op::WaitKey || op == Op::WaitAllKeys;
+}
+
+/**
+ * True when the EDE memory-variant key fields are architecturally
+ * permitted on this opcode.  The paper adds the (EDKdef, EDKuse)
+ * variant to stores and cache-line writebacks only (Section IV-B1);
+ * the load variant from the technical report is supported as a
+ * future-work extension (Section VIII-C) and is exercised by the
+ * hazard-pointer example.
+ */
+constexpr bool
+opAllowsEdkOperands(Op op)
+{
+    return opIsStore(op) || opIsCvap(op) || opIsLoad(op) ||
+           opIsEdeControl(op);
+}
+
+} // namespace ede
+
+#endif // EDE_ISA_OPCODES_HH

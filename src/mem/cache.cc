@@ -1,0 +1,291 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace ede {
+
+Cache::Cache(CacheParams params, MemSink *below)
+    : params_(std::move(params)), below_(below)
+{
+    ede_assert(below_, "cache '", params_.name, "' needs a level below");
+    ede_assert((params_.lineBytes & (params_.lineBytes - 1)) == 0,
+               "line size must be a power of two");
+    mask_ = params_.lineBytes - 1;
+    numSets_ = params_.sizeBytes / (params_.lineBytes * params_.assoc);
+    ede_assert(numSets_ > 0, "cache '", params_.name, "' too small");
+    lines_.resize(numSets_ * params_.assoc);
+    mshrs_.resize(params_.mshrs);
+}
+
+std::size_t
+Cache::setIndex(Addr line_addr) const
+{
+    return (line_addr / params_.lineBytes) % numSets_;
+}
+
+Cache::Line *
+Cache::lookup(Addr addr)
+{
+    const Addr la = lineAddr(addr);
+    const std::size_t set = setIndex(la);
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == la)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::lookup(Addr addr) const
+{
+    return const_cast<Cache *>(this)->lookup(addr);
+}
+
+void
+Cache::preload(Addr addr, Cycle now)
+{
+    if (!lookup(addr))
+        installLine(lineAddr(addr), /*dirty=*/false, now);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return lookup(addr) != nullptr;
+}
+
+bool
+Cache::probeDirty(Addr addr) const
+{
+    const Line *line = lookup(addr);
+    return line && line->dirty;
+}
+
+bool
+Cache::tryAccept(const MemReq &req, Cycle now)
+{
+    (void)now;
+    if (inputQ_.size() >= params_.inputQueue) {
+        ++stats_.rejects;
+        return false;
+    }
+    inputQ_.push_back(req);
+    return true;
+}
+
+Cache::Mshr *
+Cache::findMshr(Addr line_addr)
+{
+    for (Mshr &m : mshrs_) {
+        if (m.valid && m.lineAddr == line_addr)
+            return &m;
+    }
+    return nullptr;
+}
+
+Cache::Mshr *
+Cache::allocMshr(Addr line_addr)
+{
+    for (Mshr &m : mshrs_) {
+        if (!m.valid) {
+            m.valid = true;
+            m.fillSent = false;
+            m.lineAddr = line_addr;
+            m.waiters.clear();
+            return &m;
+        }
+    }
+    return nullptr;
+}
+
+std::size_t
+Cache::freeMshrCount() const
+{
+    std::size_t n = 0;
+    for (const Mshr &m : mshrs_)
+        if (!m.valid)
+            ++n;
+    return n;
+}
+
+void
+Cache::scheduleResp(const MemResp &resp, Cycle due)
+{
+    respQ_.push(PendingResp{due, resp});
+}
+
+void
+Cache::sendBelowOrRetry(const MemReq &req, Cycle now)
+{
+    if (!below_->tryAccept(req, now))
+        retryQ_.push_back(req);
+}
+
+void
+Cache::installLine(Addr line_addr, bool dirty, Cycle now)
+{
+    const std::size_t set = setIndex(line_addr);
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[set * params_.assoc + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->dirty) {
+            ++stats_.writebacks;
+            MemReq wb;
+            wb.id = kNoReq;
+            wb.kind = ReqKind::Writeback;
+            wb.addr = victim->tag;
+            wb.size = static_cast<std::uint8_t>(
+                std::min<std::uint32_t>(params_.lineBytes, 255));
+            sendBelowOrRetry(wb, now);
+        }
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = line_addr;
+    victim->lastUse = now;
+}
+
+void
+Cache::processRequest(const MemReq &req, Cycle now)
+{
+    const Addr la = lineAddr(req.addr);
+    switch (req.kind) {
+      case ReqKind::Clean: {
+        if (Line *line = lookup(req.addr)) {
+            // Data (if any was dirty here) travels with the clean.
+            line->dirty = false;
+        }
+        ++stats_.cleansForwarded;
+        ++inFlightCleans_;
+        MemReq fwd = req;
+        fwd.addr = la;
+        sendBelowOrRetry(fwd, now);
+        return;
+      }
+      case ReqKind::Writeback: {
+        if (Line *line = lookup(req.addr)) {
+            line->dirty = true;
+            line->lastUse = now;
+            ++stats_.hits;
+        } else {
+            // The victim carries the whole line: allocate without fill.
+            ++stats_.misses;
+            installLine(la, /*dirty=*/true, now);
+        }
+        return;
+      }
+      case ReqKind::Read:
+      case ReqKind::Write: {
+        if (Line *line = lookup(req.addr)) {
+            ++stats_.hits;
+            line->lastUse = now;
+            if (req.kind == ReqKind::Write)
+                line->dirty = true;
+            scheduleResp(MemResp{req.id, req.kind, req.addr},
+                         now + params_.latency);
+            return;
+        }
+        ++stats_.misses;
+        if (Mshr *m = findMshr(la)) {
+            ++stats_.mshrMerges;
+            m->waiters.push_back(req);
+            return;
+        }
+        Mshr *m = allocMshr(la);
+        ede_assert(m, "allocMshr after freeMshrCount check");
+        m->waiters.push_back(req);
+        m->fillSent = true;
+        MemReq fill;
+        fill.id = kNoReq;
+        fill.kind = ReqKind::Read;
+        fill.addr = la;
+        fill.size = static_cast<std::uint8_t>(
+            std::min<std::uint32_t>(params_.lineBytes, 255));
+        sendBelowOrRetry(fill, now + params_.latency);
+        return;
+      }
+    }
+}
+
+void
+Cache::handleResp(const MemResp &resp, Cycle now)
+{
+    if (resp.kind == ReqKind::Clean) {
+        ede_assert(inFlightCleans_ > 0,
+                   params_.name, ": clean response with none in flight");
+        --inFlightCleans_;
+        respond_(resp, now);
+        return;
+    }
+
+    // A returning line fill.
+    ede_assert(resp.kind == ReqKind::Read,
+               params_.name, ": unexpected response kind");
+    Mshr *m = findMshr(lineAddr(resp.addr));
+    ede_assert(m, params_.name, ": fill response without an MSHR for 0x",
+               std::hex, resp.addr);
+    bool any_write = false;
+    for (const MemReq &w : m->waiters)
+        any_write |= (w.kind == ReqKind::Write);
+    installLine(m->lineAddr, any_write, now);
+    for (const MemReq &w : m->waiters)
+        scheduleResp(MemResp{w.id, w.kind, w.addr}, now + params_.latency);
+    m->valid = false;
+}
+
+void
+Cache::tick(Cycle now)
+{
+    // Deliver due responses upward.
+    while (!respQ_.empty() && respQ_.top().due <= now) {
+        MemResp resp = respQ_.top().resp;
+        respQ_.pop();
+        respond_(resp, now);
+    }
+
+    // Retry requests the level below refused earlier.
+    while (!retryQ_.empty()) {
+        if (!below_->tryAccept(retryQ_.front(), now))
+            break;
+        retryQ_.pop_front();
+    }
+
+    // Process new requests, up to the port limit.
+    for (std::uint32_t p = 0; p < params_.ports && !inputQ_.empty(); ++p) {
+        const MemReq req = inputQ_.front();
+        // A miss needs either a matching MSHR or a free one; stall the
+        // head of the queue otherwise (the fill path is saturated).
+        if ((req.kind == ReqKind::Read || req.kind == ReqKind::Write) &&
+            !lookup(req.addr) && !findMshr(lineAddr(req.addr)) &&
+            freeMshrCount() == 0) {
+            break;
+        }
+        inputQ_.pop_front();
+        processRequest(req, now);
+    }
+}
+
+bool
+Cache::idle() const
+{
+    if (!inputQ_.empty() || !retryQ_.empty() || !respQ_.empty())
+        return false;
+    if (inFlightCleans_ > 0)
+        return false;
+    for (const Mshr &m : mshrs_)
+        if (m.valid)
+            return false;
+    return true;
+}
+
+} // namespace ede

@@ -1,0 +1,54 @@
+#include "mem/controller.hh"
+
+#include "common/logging.hh"
+
+namespace ede {
+
+MemController::MemController(AddrMap map, DramParams dram, NvmParams nvm)
+    : map_(map), dram_(dram), nvm_(nvm)
+{
+}
+
+bool
+MemController::tryAccept(const MemReq &req, Cycle now)
+{
+    if (req.addr >= map_.limit()) {
+        ede_panic("request beyond physical memory: 0x", std::hex,
+                  req.addr);
+    }
+    if (map_.isNvm(req.addr))
+        return nvm_.tryAccept(req, now);
+
+    // DRAM side: a Clean has nothing durable to do; acknowledge it at
+    // the controller boundary.
+    if (req.kind == ReqKind::Clean) {
+        immediate_.push_back(MemResp{req.id, ReqKind::Clean, req.addr});
+        return true;
+    }
+    return dram_.tryAccept(req, now);
+}
+
+void
+MemController::tick(Cycle now)
+{
+    scratch_.clear();
+    dram_.tick(now, scratch_);
+    nvm_.tick(now, scratch_);
+    for (const MemResp &resp : immediate_)
+        scratch_.push_back(resp);
+    immediate_.clear();
+    for (const MemResp &resp : scratch_) {
+        // Silent completions (evictions) carry no requester.
+        if (resp.kind == ReqKind::Writeback && resp.id == kNoReq)
+            continue;
+        respond_(resp, now);
+    }
+}
+
+bool
+MemController::idle() const
+{
+    return dram_.idle() && nvm_.idle() && immediate_.empty();
+}
+
+} // namespace ede

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hybrid memory controller fronting DRAM and NVM.
+ *
+ * One controller receives all requests below the LLC and routes them
+ * by physical address (Section VI-A).  Cleans addressed to DRAM
+ * complete immediately at the controller: with ADR, the controller
+ * queues are already inside the persistence domain and DRAM data is
+ * not expected to survive anyway.
+ */
+
+#ifndef EDE_MEM_CONTROLLER_HH
+#define EDE_MEM_CONTROLLER_HH
+
+#include <vector>
+
+#include "mem/addr_map.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/nvm.hh"
+
+namespace ede {
+
+/** Routes requests to the DRAM or NVM device by address. */
+class MemController : public MemSink
+{
+  public:
+    MemController(AddrMap map, DramParams dram, NvmParams nvm);
+
+    bool tryAccept(const MemReq &req, Cycle now) override;
+
+    /** Install the callback receiving responses (to the LLC). */
+    void setRespFn(RespFn fn) { respond_ = std::move(fn); }
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** True when both devices are drained. */
+    bool idle() const;
+
+    /** Device access for stats and hooks. */
+    NvmDevice &nvm() { return nvm_; }
+    const NvmDevice &nvm() const { return nvm_; }
+    DramDevice &dram() { return dram_; }
+    const DramDevice &dram() const { return dram_; }
+    const AddrMap &addrMap() const { return map_; }
+
+  private:
+    AddrMap map_;
+    DramDevice dram_;
+    NvmDevice nvm_;
+    RespFn respond_;
+    std::vector<MemResp> immediate_;
+    std::vector<MemResp> scratch_;
+};
+
+} // namespace ede
+
+#endif // EDE_MEM_CONTROLLER_HH

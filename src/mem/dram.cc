@@ -1,0 +1,92 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace ede {
+
+DramDevice::DramDevice(DramParams params) : params_(params)
+{
+    banks_.resize(params_.banks);
+}
+
+std::size_t
+DramDevice::bankIndex(Addr addr) const
+{
+    return (addr / params_.rowBytes) % params_.banks;
+}
+
+Addr
+DramDevice::rowIndex(Addr addr) const
+{
+    return addr / (static_cast<Addr>(params_.rowBytes) * params_.banks);
+}
+
+bool
+DramDevice::tryAccept(const MemReq &req, Cycle now)
+{
+    (void)now;
+    if (queue_.size() >= params_.queueDepth) {
+        ++stats_.rejects;
+        return false;
+    }
+    queue_.push_back(req);
+    return true;
+}
+
+void
+DramDevice::tick(Cycle now, std::vector<MemResp> &out)
+{
+    while (!completions_.empty() && completions_.top().due <= now) {
+        const Pending &p = completions_.top();
+        if (p.resp.id != kNoReq || p.resp.kind == ReqKind::Read) {
+            out.push_back(p.resp);
+        } else {
+            --inFlightWrites_;
+        }
+        completions_.pop();
+    }
+
+    // FCFS with bank-availability bypass: issue the first request in
+    // the queue whose bank and the shared bus are both free.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        Bank &bank = banks_[bankIndex(it->addr)];
+        if (bank.busyUntil > now || busBusyUntil_ > now)
+            continue;
+        const Addr row = rowIndex(it->addr);
+        Cycle lat;
+        if (bank.rowOpen && bank.openRow == row) {
+            ++stats_.rowHits;
+            lat = params_.rowHit;
+        } else {
+            ++stats_.rowMisses;
+            lat = params_.rowMiss;
+            bank.rowOpen = true;
+            bank.openRow = row;
+        }
+        const Cycle done = now + lat + params_.busBurst;
+        bank.busyUntil = now + lat;
+        busBusyUntil_ = now + params_.busBurst;
+        if (it->kind == ReqKind::Read) {
+            ++stats_.reads;
+            completions_.push(Pending{done, MemResp{it->id, it->kind,
+                                                    it->addr}});
+        } else {
+            // Writebacks complete silently when the burst lands.
+            ++stats_.writes;
+            ++inFlightWrites_;
+            completions_.push(Pending{done, MemResp{kNoReq,
+                                                    ReqKind::Writeback,
+                                                    it->addr}});
+        }
+        queue_.erase(it);
+        break;
+    }
+}
+
+bool
+DramDevice::idle() const
+{
+    return queue_.empty() && completions_.empty();
+}
+
+} // namespace ede

@@ -1,0 +1,93 @@
+#include "mem/mem_system.hh"
+
+#include "common/logging.hh"
+
+namespace ede {
+
+MemSystem::MemSystem(MemSystemParams params) : params_(std::move(params))
+{
+    ctrl_ = std::make_unique<MemController>(params_.map, params_.dram,
+                                            params_.nvm);
+    l3_ = std::make_unique<Cache>(params_.l3, ctrl_.get());
+    l2_ = std::make_unique<Cache>(params_.l2, l3_.get());
+    l1d_ = std::make_unique<Cache>(params_.l1d, l2_.get());
+
+    ctrl_->setRespFn([this](const MemResp &r, Cycle now) {
+        l3_->handleResp(r, now);
+    });
+    l3_->setRespFn([this](const MemResp &r, Cycle now) {
+        l2_->handleResp(r, now);
+    });
+    l2_->setRespFn([this](const MemResp &r, Cycle now) {
+        l1d_->handleResp(r, now);
+    });
+    l1d_->setRespFn([this](const MemResp &r, Cycle) {
+        if (r.id != kNoReq)
+            done_.insert(r.id);
+    });
+}
+
+std::optional<ReqId>
+MemSystem::send(ReqKind kind, Addr addr, std::uint8_t size, Cycle now)
+{
+    MemReq req;
+    req.id = nextId_;
+    req.kind = kind;
+    req.addr = addr;
+    req.size = size;
+    if (!l1d_->tryAccept(req, now))
+        return std::nullopt;
+    ++nextId_;
+    return req.id;
+}
+
+std::optional<ReqId>
+MemSystem::sendLoad(Addr addr, std::uint8_t size, Cycle now)
+{
+    return send(ReqKind::Read, addr, size, now);
+}
+
+std::optional<ReqId>
+MemSystem::sendStore(Addr addr, std::uint8_t size, Cycle now)
+{
+    return send(ReqKind::Write, addr, size, now);
+}
+
+std::optional<ReqId>
+MemSystem::sendClean(Addr addr, Cycle now)
+{
+    return send(ReqKind::Clean, addr, 64, now);
+}
+
+bool
+MemSystem::consumeDone(ReqId id)
+{
+    return done_.erase(id) > 0;
+}
+
+void
+MemSystem::warmLine(Addr addr, int level)
+{
+    l3_->preload(addr);
+    if (level <= 2)
+        l2_->preload(addr);
+    if (level <= 1)
+        l1d_->preload(addr);
+}
+
+void
+MemSystem::tick(Cycle now)
+{
+    ctrl_->tick(now);
+    l3_->tick(now);
+    l2_->tick(now);
+    l1d_->tick(now);
+}
+
+bool
+MemSystem::idle() const
+{
+    return ctrl_->idle() && l3_->idle() && l2_->idle() && l1d_->idle();
+}
+
+} // namespace ede

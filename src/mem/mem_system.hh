@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Core-facing memory hierarchy: L1D -> L2 -> L3 -> controller.
+ *
+ * The pipeline issues loads, store drains and cleans here and polls
+ * for completion by request id.  Instruction fetch is modelled as
+ * always hitting (the evaluated kernels fit comfortably in the 32 KB
+ * L1I), which matches the data-bound behaviour of the paper's
+ * workloads; the L1I parameters remain in the Table I printout for
+ * completeness.
+ */
+
+#ifndef EDE_MEM_MEM_SYSTEM_HH
+#define EDE_MEM_MEM_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <unordered_set>
+
+#include "mem/cache.hh"
+#include "mem/controller.hh"
+
+namespace ede {
+
+/** Aggregate parameters for the whole hierarchy (Table I defaults). */
+struct MemSystemParams
+{
+    CacheParams l1d{"l1d", 48 * 1024, 3, 64, 1, 2, 8, 16};
+    CacheParams l2{"l2", 256 * 1024, 16, 64, 12, 1, 16, 16};
+    CacheParams l3{"l3", 1024 * 1024, 16, 64, 20, 1, 16, 16};
+    DramParams dram{};
+    NvmParams nvm{};
+    AddrMap map{};
+};
+
+/** The assembled hierarchy. */
+class MemSystem
+{
+  public:
+    explicit MemSystem(MemSystemParams params = {});
+
+    /** @name Core request interface.
+     *  Each returns the request id, or std::nullopt when the L1D
+     *  cannot accept this cycle (backpressure; retry later).
+     */
+    /// @{
+    std::optional<ReqId> sendLoad(Addr addr, std::uint8_t size, Cycle now);
+    std::optional<ReqId> sendStore(Addr addr, std::uint8_t size,
+                                   Cycle now);
+    std::optional<ReqId> sendClean(Addr addr, Cycle now);
+    /// @}
+
+    /** Consume a completion: true exactly once per finished request. */
+    bool consumeDone(ReqId id);
+
+    /**
+     * Functional warmup: make @p addr's line resident (clean) in the
+     * hierarchy down to @p level (1 = L1D..L3).  Pre-run use only.
+     */
+    void warmLine(Addr addr, int level);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** True when every component is drained. */
+    bool idle() const;
+
+    /** @name Component access (stats, hooks, tests). */
+    /// @{
+    Cache &l1d() { return *l1d_; }
+    Cache &l2() { return *l2_; }
+    Cache &l3() { return *l3_; }
+    const Cache &l1d() const { return *l1d_; }
+    const Cache &l2() const { return *l2_; }
+    const Cache &l3() const { return *l3_; }
+    MemController &controller() { return *ctrl_; }
+    const MemController &controller() const { return *ctrl_; }
+    const MemSystemParams &params() const { return params_; }
+    /// @}
+
+  private:
+    std::optional<ReqId> send(ReqKind kind, Addr addr, std::uint8_t size,
+                              Cycle now);
+
+    MemSystemParams params_;
+    std::unique_ptr<MemController> ctrl_;
+    std::unique_ptr<Cache> l3_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> l1d_;
+    std::unordered_set<ReqId> done_;
+    ReqId nextId_ = 1;
+};
+
+} // namespace ede
+
+#endif // EDE_MEM_MEM_SYSTEM_HH

@@ -1,0 +1,66 @@
+#include "mem/memory_image.hh"
+
+#include <algorithm>
+
+namespace ede {
+
+const MemoryImage::Page *
+MemoryImage::findPage(Addr page_addr) const
+{
+    auto it = pages_.find(page_addr);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+MemoryImage::Page &
+MemoryImage::getPage(Addr page_addr)
+{
+    auto [it, inserted] = pages_.try_emplace(page_addr);
+    if (inserted)
+        it->second.assign(kPageSize, 0);
+    return it->second;
+}
+
+void
+MemoryImage::read(Addr addr, void *out, std::size_t len) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        const Addr page_addr = addr & ~(kPageSize - 1);
+        const std::size_t off = addr - page_addr;
+        const std::size_t chunk = std::min(len, kPageSize - off);
+        if (const Page *page = findPage(page_addr)) {
+            std::memcpy(dst, page->data() + off, chunk);
+        } else {
+            std::memset(dst, 0, chunk);
+        }
+        dst += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MemoryImage::write(Addr addr, const void *in, std::size_t len)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    while (len > 0) {
+        const Addr page_addr = addr & ~(kPageSize - 1);
+        const std::size_t off = addr - page_addr;
+        const std::size_t chunk = std::min(len, kPageSize - off);
+        Page &page = getPage(page_addr);
+        std::memcpy(page.data() + off, src, chunk);
+        src += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MemoryImage::copyRange(const MemoryImage &src, Addr addr, std::size_t len)
+{
+    std::vector<std::uint8_t> buf(len);
+    src.read(addr, buf.data(), len);
+    write(addr, buf.data(), len);
+}
+
+} // namespace ede

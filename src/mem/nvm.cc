@@ -1,0 +1,151 @@
+#include "mem/nvm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ede {
+
+NvmDevice::NvmDevice(NvmParams params)
+    : params_(params), occupancy_(params.bufferSlots, 1)
+{
+    slots_.reserve(params_.bufferSlots);
+    readPortFree_.assign(params_.mediaReaders, 0);
+}
+
+NvmDevice::Slot *
+NvmDevice::findSlot(Addr line_addr)
+{
+    for (Slot &s : slots_) {
+        if (s.lineAddr == line_addr)
+            return &s;
+    }
+    return nullptr;
+}
+
+bool
+NvmDevice::acceptWrite(const MemReq &req, Cycle now, bool is_clean)
+{
+    const Addr line = mediaLine(req.addr);
+    Slot *slot = findSlot(line);
+    if (slot) {
+        ++stats_.writesCoalesced;
+        // A write being pushed to the media cannot absorb new data;
+        // coalescing into it would lose the update.  Re-arm the slot.
+        if (slot->writing) {
+            slot->writing = false;
+            slot->enqueued = now;
+        }
+    } else {
+        if (slots_.size() >= params_.bufferSlots) {
+            ++stats_.bufferFullRejects;
+            return false;
+        }
+        Slot fresh;
+        fresh.lineAddr = line;
+        fresh.enqueued = now;
+        slots_.push_back(fresh);
+    }
+    ++stats_.writesAccepted;
+    if (is_clean) {
+        ++stats_.cleansAccepted;
+        completions_.push(Pending{now + params_.bufferAccept,
+                                  MemResp{req.id, ReqKind::Clean,
+                                          req.addr}});
+    }
+    // The buffer is inside the persistence domain (ADR): entering it
+    // makes the data crash-durable.
+    if (persistHook_)
+        persistHook_(req.addr, req.size ? req.size : 64, now);
+    return true;
+}
+
+bool
+NvmDevice::tryAccept(const MemReq &req, Cycle now)
+{
+    switch (req.kind) {
+      case ReqKind::Writeback:
+        return acceptWrite(req, now, /*is_clean=*/false);
+      case ReqKind::Clean:
+        return acceptWrite(req, now, /*is_clean=*/true);
+      case ReqKind::Read:
+      case ReqKind::Write: {
+        if (readQ_.size() >= params_.readQueueDepth)
+            return false;
+        readQ_.push_back(req);
+        return true;
+      }
+    }
+    return false;
+}
+
+void
+NvmDevice::tick(Cycle now, std::vector<MemResp> &out)
+{
+    while (!completions_.empty() && completions_.top().due <= now) {
+        out.push_back(completions_.top().resp);
+        completions_.pop();
+    }
+
+    // Media read ports.
+    while (!readQ_.empty()) {
+        const MemReq &req = readQ_.front();
+        const Addr line = mediaLine(req.addr);
+        if (findSlot(line)) {
+            // Served from the pending-write buffer.
+            ++stats_.reads;
+            ++stats_.bufferReadHits;
+            completions_.push(Pending{now + params_.bufferReadHit,
+                                      MemResp{req.id, req.kind,
+                                              req.addr}});
+            readQ_.pop_front();
+            continue;
+        }
+        auto port = std::min_element(readPortFree_.begin(),
+                                     readPortFree_.end());
+        if (*port > now)
+            break;
+        ++stats_.reads;
+        *port = now + params_.readLatency;
+        completions_.push(Pending{now + params_.readLatency,
+                                  MemResp{req.id, req.kind, req.addr}});
+        readQ_.pop_front();
+    }
+
+    // Media write ports: finish in-flight writes, then launch new
+    // ones oldest-first.
+    for (auto it = slots_.begin(); it != slots_.end();) {
+        if (it->writing && it->writeDone <= now) {
+            ++stats_.mediaWrites;
+            // Fig. 10 sample: pending writes when a store reaches the
+            // media (the completing write still occupies its slot).
+            occupancy_.sample(slots_.size());
+            it = slots_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    std::uint32_t busy = 0;
+    for (const Slot &s : slots_)
+        busy += s.writing ? 1 : 0;
+    while (busy < params_.mediaWriters) {
+        Slot *oldest = nullptr;
+        for (Slot &s : slots_) {
+            if (!s.writing && (!oldest || s.enqueued < oldest->enqueued))
+                oldest = &s;
+        }
+        if (!oldest)
+            break;
+        oldest->writing = true;
+        oldest->writeDone = now + params_.writeLatency;
+        ++busy;
+    }
+}
+
+bool
+NvmDevice::idle() const
+{
+    return slots_.empty() && readQ_.empty() && completions_.empty();
+}
+
+} // namespace ede

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * NVM device model: asymmetric read/write latency, 256-byte internal
+ * lines, and a persistent 128-slot on-DIMM write buffer.
+ *
+ * Matching Section VI-A of the paper: writes (cache evictions and DC
+ * CVAP cleans) are accepted into the persistent buffer, where they may
+ * coalesce with pending writes to the same 256 B internal line; a
+ * small number of media writers drain the buffer at the 500 ns write
+ * latency.  Because the buffer sits inside the ADR persistence
+ * domain, a Clean *completes* (is persistent) as soon as its line is
+ * accepted into the buffer.
+ *
+ * Every time a write reaches the media, the current buffer occupancy
+ * is sampled -- this is exactly the Fig. 10 distribution.
+ */
+
+#ifndef EDE_MEM_NVM_HH
+#define EDE_MEM_NVM_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/req.hh"
+
+namespace ede {
+
+/** NVM timing/geometry parameters (Table I defaults). */
+struct NvmParams
+{
+    Cycle readLatency = 450;     ///< 150 ns at 3 GHz.
+    Cycle writeLatency = 1500;   ///< 500 ns at 3 GHz.
+    Cycle bufferAccept = 60;     ///< WPQ accept round trip (~20 ns).
+    Cycle bufferReadHit = 60;    ///< Read served from a pending write.
+    std::uint32_t lineBytes = 256;
+    std::uint32_t bufferSlots = 128;
+
+    /**
+     * Concurrent media write streams drained from the buffer:
+     * 5 x 256 B / 500 ns = ~2.6 GB/s sustained write bandwidth, in
+     * line with a 3D-XPoint-class DIMM.  Under the unsafe
+     * configuration the kernels' persist rate exceeds this, keeping
+     * the 128-slot buffer full (Fig. 10).
+     */
+    std::uint32_t mediaWriters = 5;
+    std::uint32_t mediaReaders = 4;  ///< Concurrent media read ports.
+    std::uint32_t readQueueDepth = 16;
+};
+
+/** NVM counters. */
+struct NvmStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t bufferReadHits = 0;
+    std::uint64_t writesAccepted = 0;
+    std::uint64_t writesCoalesced = 0;
+    std::uint64_t mediaWrites = 0;
+    std::uint64_t cleansAccepted = 0;
+    std::uint64_t bufferFullRejects = 0;
+};
+
+/**
+ * Hook invoked when a write/clean enters the persistence domain
+ * (i.e. the persistent buffer): (cache-line address, size, cycle).
+ */
+using PersistHook = std::function<void(Addr, std::uint32_t, Cycle)>;
+
+/** NVM DIMM with persistent write buffering. */
+class NvmDevice
+{
+  public:
+    explicit NvmDevice(NvmParams params = {});
+
+    /** Offer a request; false when buffers/queues are full. */
+    bool tryAccept(const MemReq &req, Cycle now);
+
+    /** Advance one cycle; completed reads/cleans are pushed to @p out. */
+    void tick(Cycle now, std::vector<MemResp> &out);
+
+    /** True when nothing is pending (buffer drained). */
+    bool idle() const;
+
+    /** Current number of pending writes in the on-DIMM buffer. */
+    std::size_t bufferOccupancy() const { return slots_.size(); }
+
+    /** Fig. 10 distribution: occupancy sampled at each media write. */
+    const Distribution &occupancyDist() const { return occupancy_; }
+
+    /** Install the persistence-domain entry hook. */
+    void setPersistHook(PersistHook hook) { persistHook_ = std::move(hook); }
+
+    const NvmStats &stats() const { return stats_; }
+
+    const NvmParams &params() const { return params_; }
+
+  private:
+    struct Slot
+    {
+        Addr lineAddr = 0;        ///< 256 B aligned media line.
+        Cycle enqueued = 0;
+        bool writing = false;
+        Cycle writeDone = 0;
+    };
+
+    struct Pending
+    {
+        Cycle due;
+        MemResp resp;
+        bool operator>(const Pending &o) const { return due > o.due; }
+    };
+
+    Addr mediaLine(Addr a) const
+    {
+        return a & ~static_cast<Addr>(params_.lineBytes - 1);
+    }
+
+    Slot *findSlot(Addr line_addr);
+    bool acceptWrite(const MemReq &req, Cycle now, bool is_clean);
+
+    NvmParams params_;
+    std::vector<Slot> slots_;            ///< Pending buffer entries.
+    std::deque<MemReq> readQ_;
+    std::priority_queue<Pending, std::vector<Pending>,
+                        std::greater<Pending>> completions_;
+    std::vector<Cycle> readPortFree_;    ///< Per-port busy-until.
+    Distribution occupancy_;
+    PersistHook persistHook_;
+    NvmStats stats_;
+};
+
+} // namespace ede
+
+#endif // EDE_MEM_NVM_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Memory request records exchanged between hierarchy levels.
+ */
+
+#ifndef EDE_MEM_REQ_HH
+#define EDE_MEM_REQ_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ede {
+
+/** Opaque identifier for a core-visible memory request. */
+using ReqId = std::uint64_t;
+
+/** Identifier meaning "no core request attached" (e.g. evictions). */
+inline constexpr ReqId kNoReq = 0;
+
+/** Request kinds. */
+enum class ReqKind : std::uint8_t {
+    Read,       ///< Demand load (completes at the level that hits).
+    Write,      ///< Store drain from the write buffer (write-allocate).
+    Clean,      ///< DC CVAP: clean line to the point of persistence.
+    Writeback,  ///< Dirty eviction moving down one level (no response).
+};
+
+/** One request flowing down the hierarchy. */
+struct MemReq
+{
+    ReqId id = kNoReq;        ///< Core request id (kNoReq for evictions).
+    ReqKind kind = ReqKind::Read;
+    Addr addr = kNoAddr;      ///< Byte address (line-aligned for fills).
+    std::uint8_t size = 0;    ///< Access size in bytes.
+};
+
+/** A response delivered back up the hierarchy. */
+struct MemResp
+{
+    ReqId id = kNoReq;
+    ReqKind kind = ReqKind::Read;
+    Addr addr = kNoAddr;
+};
+
+} // namespace ede
+
+#endif // EDE_MEM_REQ_HH

@@ -1,0 +1,52 @@
+#include "nvm/heap.hh"
+
+#include "common/logging.hh"
+
+namespace ede {
+
+PersistentHeap::PersistentHeap(Addr base, std::uint64_t size)
+    : base_(base), size_(size), cursor_(base)
+{
+    ede_assert((base & 0xf) == 0, "heap base must be 16-byte aligned");
+    ede_assert(size >= (1ull << kMinClassLog2), "heap too small");
+}
+
+int
+PersistentHeap::sizeClass(std::uint64_t bytes)
+{
+    int log2 = kMinClassLog2;
+    while ((1ull << log2) < bytes)
+        ++log2;
+    ede_assert(log2 <= kMaxClassLog2, "allocation of ", bytes,
+               " bytes exceeds the largest size class");
+    return log2 - kMinClassLog2;
+}
+
+Addr
+PersistentHeap::alloc(std::uint64_t bytes)
+{
+    const int cls = sizeClass(bytes);
+    const std::uint64_t rounded = 1ull << (cls + kMinClassLog2);
+    live_ += rounded;
+    auto &list = freeLists_[cls];
+    if (!list.empty()) {
+        const Addr a = list.back();
+        list.pop_back();
+        return a;
+    }
+    if (cursor_ + rounded > base_ + size_)
+        ede_fatal("persistent heap exhausted (", size_, " bytes)");
+    const Addr a = cursor_;
+    cursor_ += rounded;
+    return a;
+}
+
+void
+PersistentHeap::free(Addr addr, std::uint64_t bytes)
+{
+    const int cls = sizeClass(bytes);
+    live_ -= 1ull << (cls + kMinClassLog2);
+    freeLists_[cls].push_back(addr);
+}
+
+} // namespace ede

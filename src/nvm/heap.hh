@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Persistent heap: a segregated-free-list allocator over the NVM
+ * address range.
+ *
+ * The paper's applications allocate tree nodes and log slots from a
+ * PMDK pool.  This allocator hands out addresses in the simulated NVM
+ * region; like PMDK's, allocations are 16-byte aligned (so STP-based
+ * undo logging can persist an {addr, value} pair with one DC CVAP).
+ *
+ * Substitution note (see DESIGN.md): allocator *metadata* is kept in
+ * volatile host memory rather than being made crash-consistent
+ * itself; recovery tests reconstruct reachability from the data
+ * structure roots, which is the property the paper's evaluation
+ * depends on.
+ */
+
+#ifndef EDE_NVM_HEAP_HH
+#define EDE_NVM_HEAP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ede {
+
+/** Bump-plus-free-list allocator over [base, base+size). */
+class PersistentHeap
+{
+  public:
+    /** Manage the range [base, base+size). */
+    PersistentHeap(Addr base, std::uint64_t size);
+
+    /**
+     * Allocate @p bytes (rounded up to a power-of-two class, minimum
+     * 16, maximum 64 KiB).  @return the address; aborts when the
+     * region is exhausted.
+     */
+    Addr alloc(std::uint64_t bytes);
+
+    /** Return a block obtained from alloc() with the same size. */
+    void free(Addr addr, std::uint64_t bytes);
+
+    /** Bytes handed out and not yet freed. */
+    std::uint64_t bytesLive() const { return live_; }
+
+    /** Bytes consumed from the bump region so far. */
+    std::uint64_t bytesReserved() const { return cursor_ - base_; }
+
+    /** First managed address. */
+    Addr base() const { return base_; }
+
+    /** One past the last managed address. */
+    Addr limit() const { return base_ + size_; }
+
+  private:
+    static constexpr int kMinClassLog2 = 4;   // 16 B
+    static constexpr int kMaxClassLog2 = 26;  // 64 MiB
+
+    static int sizeClass(std::uint64_t bytes);
+
+    Addr base_;
+    std::uint64_t size_;
+    Addr cursor_;
+    std::uint64_t live_ = 0;
+    std::array<std::vector<Addr>,
+               kMaxClassLog2 - kMinClassLog2 + 1> freeLists_;
+};
+
+} // namespace ede
+
+#endif // EDE_NVM_HEAP_HH

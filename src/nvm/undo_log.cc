@@ -1,0 +1,49 @@
+#include "nvm/undo_log.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ede {
+
+RecoveryResult
+recoverUndoLog(MemoryImage &image, const UndoLogLayout &layout)
+{
+    ede_assert(layout.stateAddr != kNoAddr && layout.capacity > 0,
+               "recovery needs a valid log layout");
+    RecoveryResult result;
+    const std::uint64_t state =
+        image.read<std::uint64_t>(layout.stateAddr);
+    result.sawCommitted = (state == kTxCommitted);
+
+    // Collect the valid entries in log order.
+    std::vector<std::uint64_t> valid;
+    for (std::uint64_t i = 0; i < layout.capacity; ++i) {
+        const Addr a = image.read<std::uint64_t>(layout.entryAddr(i));
+        if (a != 0)
+            valid.push_back(i);
+    }
+
+    if (!result.sawCommitted) {
+        // Roll back the in-flight transaction, newest entry first so
+        // repeated writes to one location restore the oldest value.
+        for (auto it = valid.rbegin(); it != valid.rend(); ++it) {
+            const Addr entry = layout.entryAddr(*it);
+            const Addr target = image.read<std::uint64_t>(entry);
+            const std::uint64_t old_val =
+                image.read<std::uint64_t>(entry + 8);
+            image.write(target, old_val);
+            ++result.entriesApplied;
+        }
+    }
+
+    // Either way, finish with an empty, active log.
+    for (std::uint64_t i : valid) {
+        image.write<std::uint64_t>(layout.entryAddr(i), 0);
+        ++result.entriesZeroed;
+    }
+    image.write<std::uint64_t>(layout.stateAddr, kTxActive);
+    return result;
+}
+
+} // namespace ede

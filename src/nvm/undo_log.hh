@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Undo-log layout and crash recovery.
+ *
+ * The log lives at a fixed place in NVM:
+ *
+ *   stateAddr      : u64  -- kTxActive (0) or kTxCommitted (1)
+ *   entriesBase    : array of 16-byte entries { u64 addr; u64 val }
+ *
+ * An entry is *valid* when its addr field is non-zero (entries are
+ * zeroed at commit).  The commit protocol is:
+ *
+ *   1. all transactional data updates persisted        (barrier)
+ *   2. state := COMMITTED, persisted                   (barrier)
+ *   3. every used entry's addr := 0, persisted         (barrier)
+ *   4. state := ACTIVE, persisted                      (barrier)
+ *
+ * Recovery (over a crash image):
+ *   - state == COMMITTED: the crash hit step 3: finish the commit by
+ *     zeroing entries; data is already durable.
+ *   - state == ACTIVE: apply valid entries newest-first (roll back
+ *     the in-flight transaction), then zero them.
+ *
+ * How each "barrier" is realized is configuration-dependent and is
+ * the subject of the paper: see NvmFramework.
+ */
+
+#ifndef EDE_NVM_UNDO_LOG_HH
+#define EDE_NVM_UNDO_LOG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/memory_image.hh"
+
+namespace ede {
+
+/** Transaction state words stored at UndoLogLayout::stateAddr. */
+inline constexpr std::uint64_t kTxActive = 0;
+inline constexpr std::uint64_t kTxCommitted = 1;
+
+/** Where the log lives in NVM. */
+struct UndoLogLayout
+{
+    Addr stateAddr = kNoAddr;   ///< 8-byte state word (16-aligned).
+    Addr entriesBase = kNoAddr; ///< First {addr, val} entry.
+    std::uint64_t capacity = 0; ///< Maximum number of entries.
+
+    /** Address of entry @p i. */
+    Addr entryAddr(std::uint64_t i) const { return entriesBase + 16 * i; }
+
+    /** Bytes the log occupies. */
+    std::uint64_t
+    footprint() const
+    {
+        return (entriesBase - stateAddr) + 16 * capacity;
+    }
+};
+
+/** Result of a recovery pass. */
+struct RecoveryResult
+{
+    bool sawCommitted = false;       ///< Crash hit the commit window.
+    std::uint64_t entriesApplied = 0;///< Undo entries rolled back.
+    std::uint64_t entriesZeroed = 0;
+};
+
+/**
+ * Run undo-log recovery over a crash image, mutating it into a
+ * consistent post-recovery state.
+ */
+RecoveryResult recoverUndoLog(MemoryImage &image,
+                              const UndoLogLayout &layout);
+
+} // namespace ede
+
+#endif // EDE_NVM_UNDO_LOG_HH

@@ -1,0 +1,691 @@
+#include "pipeline/core.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace ede {
+
+OoOCore::OoOCore(CoreParams params, MemSystem &mem)
+    : params_(params), mem_(mem), predictor_(params.predictorEntries)
+{
+    regMap_.fill(kNoSeq);
+    wb_ = std::make_unique<WriteBuffer>(
+        params_.wbSize, params_.wbDrainPerCycle,
+        mem_.params().l1d.lineBytes, mem_,
+        [this](const WbEntry &e, Cycle now) { onWbComplete(e, now); },
+        [this](SeqNum barrier) { return storesOlderIncomplete(barrier); });
+}
+
+InflightInst *
+OoOCore::find(SeqNum seq)
+{
+    auto it = index_.find(seq);
+    return it == index_.end() ? nullptr : it->second;
+}
+
+bool
+OoOCore::regsReady(const InflightInst &inst) const
+{
+    for (SeqNum dep : {inst.regDep1, inst.regDep2, inst.regDepBase}) {
+        if (dep != kNoSeq && notExecuted_.count(dep))
+            return false;
+    }
+    return true;
+}
+
+bool
+OoOCore::gatesAtIssue(const InflightInst &inst) const
+{
+    if (inst.edeSrc == kNoSeq && inst.edeSrc2 == kNoSeq)
+        return false;
+    if (params_.ede == EnforceMode::WB) {
+        // Loads observe memory at execute, so the load variant must
+        // still be enforced at issue even in the WB design.
+        return inst.di.isLoad();
+    }
+    return true;
+}
+
+bool
+OoOCore::edeIssueReady(const InflightInst &inst) const
+{
+    if (inst.edeSrc != kNoSeq && incomplete_.count(inst.edeSrc))
+        return false;
+    if (inst.edeSrc2 != kNoSeq && incomplete_.count(inst.edeSrc2))
+        return false;
+    return true;
+}
+
+bool
+OoOCore::storesOlderIncomplete(SeqNum barrier) const
+{
+    auto st = incompleteStores_.begin();
+    if (st != incompleteStores_.end() && *st < barrier)
+        return true;
+    if (params_.dmbStCoversCvap) {
+        auto cv = incompleteCvaps_.begin();
+        if (cv != incompleteCvaps_.end() && *cv < barrier)
+            return true;
+    }
+    return false;
+}
+
+void
+OoOCore::recordCompletion(std::size_t trace_idx, Cycle now)
+{
+    if (recordCompletions_)
+        completionCycles_[trace_idx] = now;
+    if (!watched_.empty()) {
+        auto it = watched_.find(trace_idx);
+        if (it != watched_.end())
+            it->second = now;
+    }
+}
+
+void
+OoOCore::completeSeq(SeqNum seq, const StaticInst &si,
+                     std::size_t trace_idx, Cycle now)
+{
+    incomplete_.erase(seq);
+    if (opIsStore(si.op))
+        incompleteStores_.erase(seq);
+    if (opIsCvap(si.op))
+        incompleteCvaps_.erase(seq);
+    if (si.isEdeProducer())
+        edm_.complete(si.edkDef, seq);
+    wb_->onProducerComplete(seq);
+    if (InflightInst *in = find(seq)) {
+        in->completed = true;
+        in->completeCycle = now;
+        if (in->edeCounted) {
+            counters_.exit(si);
+            in->edeCounted = false;
+        }
+    }
+    recordCompletion(trace_idx, now);
+}
+
+void
+OoOCore::onWbComplete(const WbEntry &entry, Cycle now)
+{
+    if (opIsStore(entry.si.op) && timingImage_) {
+        timingImage_->write(entry.addr, entry.val0);
+        if (entry.si.op == Op::Stp)
+            timingImage_->write(entry.addr + 8, entry.val1);
+    }
+    if (entry.edeCounted)
+        counters_.exit(entry.si);
+    completeSeq(entry.seq, entry.si, entry.traceIdx, now);
+}
+
+void
+OoOCore::pollLoads(Cycle now)
+{
+    for (auto it = outstandingLoads_.begin();
+         it != outstandingLoads_.end();) {
+        if (mem_.consumeDone(it->first)) {
+            InflightInst *in = find(it->second);
+            ede_assert(in, "load completion for unknown seq ",
+                       it->second);
+            in->executed = true;
+            in->execCycle = now;
+            notExecuted_.erase(in->seq);
+            completeSeq(in->seq, in->di.si, in->traceIdx, now);
+            it = outstandingLoads_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto it = orphanReqs_.begin(); it != orphanReqs_.end();) {
+        if (mem_.consumeDone(*it))
+            it = orphanReqs_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+OoOCore::execWriteback(Cycle now)
+{
+    while (!pendingExec_.empty() && pendingExec_.top().due <= now) {
+        const SeqNum seq = pendingExec_.top().seq;
+        pendingExec_.pop();
+        InflightInst *in = find(seq);
+        if (!in)
+            continue; // Squashed after the event was scheduled.
+        in->executed = true;
+        in->execCycle = now;
+        notExecuted_.erase(seq);
+        const Op op = in->di.op();
+        switch (op) {
+          case Op::Str:
+          case Op::Stp:
+          case Op::DcCvap:
+            // Address generation done; completion happens at the
+            // write buffer.
+            break;
+          case Op::Branch:
+          case Op::BranchCond: {
+            if (op == Op::BranchCond)
+                predictor_.update(in->di.pc, in->di.taken);
+            const bool mispredicted = in->mispredicted;
+            completeSeq(seq, in->di.si, in->traceIdx, now);
+            if (mispredicted) {
+                ++stats_.mispredicts;
+                squash(*in, now);
+            }
+            break;
+          }
+          default:
+            // ALU, moves, multiplies, IQ-mode JOINs, forwarded loads.
+            completeSeq(seq, in->di.si, in->traceIdx, now);
+            break;
+        }
+    }
+}
+
+void
+OoOCore::checkDmbCompletion(Cycle now)
+{
+    while (!incompleteDmbs_.empty()) {
+        const SeqNum d = *incompleteDmbs_.begin();
+        auto older_in = [d](const std::set<SeqNum> &s) {
+            return !s.empty() && *s.begin() < d;
+        };
+        if (older_in(incompleteStores_))
+            break;
+        if (params_.dmbStCoversCvap && older_in(incompleteCvaps_))
+            break;
+        incompleteDmbs_.erase(incompleteDmbs_.begin());
+        InflightInst *in = find(d);
+        ede_assert(in, "DMB completion for unknown seq ", d);
+        completeSeq(d, in->di.si, in->traceIdx, now);
+    }
+}
+
+void
+OoOCore::checkDsbCompletion(Cycle now)
+{
+    while (!incompleteDsbs_.empty()) {
+        const SeqNum d = *incompleteDsbs_.begin();
+        if (incomplete_.empty() || *incomplete_.begin() != d)
+            break; // Some older instruction is still incomplete.
+        incompleteDsbs_.erase(incompleteDsbs_.begin());
+        InflightInst *in = find(d);
+        ede_assert(in, "DSB completion for unknown seq ", d);
+        in->executed = true;
+        in->execCycle = now;
+        completeSeq(d, in->di.si, in->traceIdx, now);
+    }
+}
+
+void
+OoOCore::retire(Cycle now)
+{
+    for (int n = 0; n < params_.retireWidth && !rob_.empty(); ++n) {
+        InflightInst &h = rob_.front();
+        if (!h.executed)
+            return;
+        const Op op = h.di.op();
+        const bool needsWb =
+            opIsStore(op) || opIsCvap(op) ||
+            (op == Op::Join && params_.ede == EnforceMode::WB);
+
+        if ((op == Op::Ldr || op == Op::DsbSy || op == Op::DmbSt) &&
+            !h.completed) {
+            return;
+        }
+        if (op == Op::WaitKey && !counters_.keyClear(h.di.si.edkUse))
+            return;
+        if (op == Op::WaitAllKeys && !counters_.allClear())
+            return;
+        if (needsWb && wb_->full()) {
+            ++stats_.retireStallWbFull;
+            return;
+        }
+
+        if (needsWb) {
+            WbEntry e;
+            e.seq = h.seq;
+            e.traceIdx = h.traceIdx;
+            e.si = h.di.si;
+            e.addr = h.di.addr;
+            e.size = h.di.si.size;
+            e.val0 = h.di.val0;
+            e.val1 = h.di.val1;
+            e.dmbBarrier = h.dmbBarrier;
+            if (params_.ede == EnforceMode::WB) {
+                e.srcId = h.edeSrc;
+                e.srcId2 = h.edeSrc2;
+            }
+            if (h.di.si.usesEde()) {
+                counters_.enter(h.di.si);
+                e.edeCounted = true;
+            }
+            wb_->insert(std::move(e));
+        }
+
+        if (op == Op::WaitKey || op == Op::WaitAllKeys)
+            completeSeq(h.seq, h.di.si, h.traceIdx, now);
+
+        // Retirement commits this producer's mapping into the
+        // non-speculative EDM -- unless it already completed, in
+        // which case the link is dead.
+        if (h.di.si.isEdeProducer() && incomplete_.count(h.seq))
+            edm_.retireDefine(h.di.si.edkDef, h.seq);
+
+        h.retireCycle = now;
+        ++stats_.retired;
+        if (op == Op::Ldr && !lq_.empty() && lq_.front() == h.seq)
+            lq_.pop_front();
+        if ((opIsStore(op) || opIsCvap(op)) && !sq_.empty() &&
+            sq_.front() == h.seq) {
+            sq_.pop_front();
+        }
+        index_.erase(h.seq);
+        rob_.pop_front();
+    }
+}
+
+void
+OoOCore::issue(Cycle now)
+{
+    const SeqNum dsb_gate = incompleteDsbs_.empty()
+        ? std::numeric_limits<SeqNum>::max()
+        : *incompleteDsbs_.begin();
+    const SeqNum dmb_gate = incompleteDmbs_.empty()
+        ? std::numeric_limits<SeqNum>::max()
+        : *incompleteDmbs_.begin();
+
+    int alu = params_.aluUnits;
+    int mul = params_.mulUnits;
+    int branch = params_.branchUnits;
+    int load = params_.loadUnits;
+    int store = params_.storeUnits;
+    int issued = 0;
+    bool removed_any = false;
+
+    for (SeqNum s : iq_) {
+        if (issued >= params_.issueWidth)
+            break;
+        if (s > dsb_gate)
+            break; // Everything younger than an incomplete DSB waits.
+        InflightInst *inp = find(s);
+        ede_assert(inp && inp->inIq, "stale IQ entry ", s);
+        InflightInst &in = *inp;
+        if (!regsReady(in))
+            continue;
+        if (gatesAtIssue(in) && !edeIssueReady(in))
+            continue; // eDepReady clear (Section V-B1).
+        // Store barrier: younger memory operations wait in the LSQ.
+        if (in.di.isMemRef() && in.seq > dmb_gate)
+            continue;
+
+        const Op op = in.di.op();
+        bool launched = false;
+        switch (op) {
+          case Op::IntAlu:
+          case Op::Mov:
+          case Op::Join:
+            if (alu > 0) {
+                --alu;
+                pendingExec_.push({now + params_.aluLatency, s});
+                launched = true;
+            }
+            break;
+          case Op::IntMult:
+            if (mul > 0) {
+                --mul;
+                pendingExec_.push({now + params_.mulLatency, s});
+                launched = true;
+            }
+            break;
+          case Op::Branch:
+          case Op::BranchCond:
+            if (branch > 0) {
+                --branch;
+                pendingExec_.push({now + params_.branchLatency, s});
+                launched = true;
+            }
+            break;
+          case Op::Str:
+          case Op::Stp:
+          case Op::DcCvap:
+            if (store > 0) {
+                --store;
+                pendingExec_.push({now + params_.agenLatency, s});
+                launched = true;
+            }
+            break;
+          case Op::Ldr: {
+            if (load <= 0)
+                break;
+            if (in.memDep != kNoSeq) {
+                if (notExecuted_.count(in.memDep))
+                    break; // Store address/data not ready yet.
+                if (incomplete_.count(in.memDep)) {
+                    if (!in.memDepCovers)
+                        break; // Partial overlap: wait for the store.
+                    --load;
+                    ++stats_.loadsForwarded;
+                    pendingExec_.push({now + params_.forwardLatency, s});
+                    launched = true;
+                    break;
+                }
+                // Store already visible: normal cache access.
+            }
+            if (auto id = mem_.sendLoad(in.di.addr, in.di.si.size, now)) {
+                --load;
+                outstandingLoads_[*id] = s;
+                in.loadReq = *id;
+                launched = true;
+            }
+            break;
+          }
+          default:
+            ede_panic("op ", opName(op), " should not be in the IQ");
+        }
+        if (launched) {
+            in.issued = true;
+            in.inIq = false;
+            in.issueCycle = now;
+            ++issued;
+            ++stats_.issuedOps;
+            removed_any = true;
+        }
+    }
+
+    if (removed_any) {
+        std::erase_if(iq_, [this](SeqNum s) {
+            InflightInst *in = find(s);
+            return !in || !in->inIq;
+        });
+    }
+    stats_.issueHist.sample(static_cast<std::uint64_t>(issued));
+}
+
+void
+OoOCore::dispatch(Cycle now)
+{
+    if (now < fetchResumeAt_)
+        return;
+    for (int n = 0; n < params_.fetchWidth; ++n) {
+        if (fetchIdx_ >= trace_->size())
+            return;
+        const DynInst &di = (*trace_)[fetchIdx_];
+        const Op op = di.op();
+
+        const bool to_iq =
+            op == Op::IntAlu || op == Op::IntMult || op == Op::Mov ||
+            op == Op::Ldr || op == Op::Str || op == Op::Stp ||
+            op == Op::DcCvap || op == Op::Branch ||
+            op == Op::BranchCond ||
+            (op == Op::Join && params_.ede != EnforceMode::WB);
+
+        if (rob_.size() >= static_cast<std::size_t>(params_.robSize)) {
+            ++stats_.dispatchStallRob;
+            return;
+        }
+        if (to_iq && iq_.size() >= static_cast<std::size_t>(
+                params_.iqSize)) {
+            ++stats_.dispatchStallIq;
+            return;
+        }
+        if (op == Op::Ldr && lq_.size() >= static_cast<std::size_t>(
+                params_.lqSize)) {
+            ++stats_.dispatchStallLsq;
+            return;
+        }
+        if ((opIsStore(op) || opIsCvap(op)) &&
+            sq_.size() >= static_cast<std::size_t>(params_.sqSize)) {
+            ++stats_.dispatchStallLsq;
+            return;
+        }
+
+        rob_.emplace_back();
+        InflightInst &in = rob_.back();
+        in.di = di;
+        in.seq = nextSeq_++;
+        in.traceIdx = fetchIdx_;
+        in.dispatchCycle = now;
+        index_.emplace(in.seq, &in);
+        ++fetchIdx_;
+        ++stats_.dispatched;
+
+        const StaticInst &si = di.si;
+
+        // EDE rename: first resolve consumer links, then record the
+        // producer definition (Section IV-A1).
+        if (op != Op::WaitKey && edkIsReal(si.edkUse))
+            in.edeSrc = edm_.specLookup(si.edkUse);
+        if (op == Op::Join && edkIsReal(si.edkUse2))
+            in.edeSrc2 = edm_.specLookup(si.edkUse2);
+        if (si.isEdeProducer())
+            edm_.specDefine(si.edkDef, in.seq);
+
+        // Register dependences.
+        auto reg_dep = [this](RegIndex r) {
+            return (r == kNoReg || r == kZeroReg) ? kNoSeq : regMap_[r];
+        };
+        in.regDep1 = reg_dep(si.src1);
+        in.regDep2 = reg_dep(si.src2);
+        in.regDepBase = reg_dep(si.base);
+        if (si.writesReg())
+            regMap_[si.dst] = in.seq;
+
+        // Memory dependence: youngest older overlapping store, first
+        // in the store queue, then in the write buffer.
+        if (op == Op::Ldr) {
+            const Addr lo = di.addr;
+            const Addr hi = di.addr + si.size;
+            for (auto it = sq_.rbegin(); it != sq_.rend(); ++it) {
+                const InflightInst *st = index_.at(*it);
+                if (!st->di.isStore())
+                    continue;
+                const Addr slo = st->di.addr;
+                const Addr shi = st->di.addr + st->di.si.size;
+                if (slo < hi && lo < shi) {
+                    in.memDep = st->seq;
+                    in.memDepCovers = slo <= lo && hi <= shi;
+                    break;
+                }
+            }
+            if (in.memDep == kNoSeq) {
+                auto [seq, covers] = wb_->youngestOverlap(di.addr,
+                                                          si.size);
+                in.memDep = seq;
+                in.memDepCovers = covers;
+            }
+        }
+
+        // Per-op dispatch state.
+        switch (op) {
+          case Op::Nop:
+            in.executed = true;
+            in.completed = true;
+            recordCompletion(in.traceIdx, now);
+            break;
+          case Op::DmbSt:
+            // Modelled as gem5's LSQ does: a barrier that completes
+            // once all older store-class operations have, and that
+            // holds younger memory operations at issue until then.
+            in.executed = true;
+            incomplete_.insert(in.seq);
+            incompleteDmbs_.insert(in.seq);
+            dmbSeqs_.push_back(in.seq);
+            break;
+          case Op::WaitKey:
+          case Op::WaitAllKeys:
+            in.executed = true;
+            incomplete_.insert(in.seq);
+            break;
+          case Op::DsbSy:
+            incomplete_.insert(in.seq);
+            incompleteDsbs_.insert(in.seq);
+            break;
+          case Op::Join:
+            incomplete_.insert(in.seq);
+            if (params_.ede == EnforceMode::WB) {
+                in.executed = true; // Gated in the write buffer.
+            } else {
+                notExecuted_.insert(in.seq);
+                iq_.push_back(in.seq);
+                in.inIq = true;
+            }
+            break;
+          default:
+            notExecuted_.insert(in.seq);
+            incomplete_.insert(in.seq);
+            iq_.push_back(in.seq);
+            in.inIq = true;
+            if (op == Op::Ldr)
+                lq_.push_back(in.seq);
+            if (opIsStore(op) || opIsCvap(op))
+                sq_.push_back(in.seq);
+            if (opIsStore(op)) {
+                incompleteStores_.insert(in.seq);
+                if (!dmbSeqs_.empty())
+                    in.dmbBarrier = dmbSeqs_.back();
+            }
+            if (opIsCvap(op)) {
+                incompleteCvaps_.insert(in.seq);
+                if (params_.dmbStCoversCvap && !dmbSeqs_.empty())
+                    in.dmbBarrier = dmbSeqs_.back();
+            }
+            if (op == Op::BranchCond) {
+                ++stats_.branches;
+                const bool predicted = predictor_.predict(di.pc);
+                in.mispredicted = predicted != di.taken;
+            } else if (op == Op::Branch) {
+                ++stats_.branches;
+            }
+            break;
+        }
+
+        // EDE instructions tracked by the WAIT counters outside the
+        // write-buffer window: load variants always; JOINs when they
+        // resolve in the issue queue.
+        if (si.usesEde() &&
+            (op == Op::Ldr ||
+             (op == Op::Join && params_.ede != EnforceMode::WB))) {
+            counters_.enter(si);
+            in.edeCounted = true;
+        }
+    }
+}
+
+void
+OoOCore::squash(InflightInst &branch, Cycle now)
+{
+    ++stats_.squashes;
+    const SeqNum bseq = branch.seq;
+    const std::size_t redirect = branch.traceIdx + 1;
+
+    while (!rob_.empty() && rob_.back().seq > bseq) {
+        InflightInst &x = rob_.back();
+        ++stats_.squashedInsts;
+        if (x.edeCounted)
+            counters_.exit(x.di.si);
+        if (x.loadReq != kNoReq &&
+            outstandingLoads_.erase(x.loadReq)) {
+            orphanReqs_.insert(x.loadReq);
+        }
+        index_.erase(x.seq);
+        rob_.pop_back();
+    }
+
+    auto prune_seqs = [bseq](auto &container) {
+        std::erase_if(container,
+                      [bseq](SeqNum s) { return s > bseq; });
+    };
+    prune_seqs(iq_);
+    prune_seqs(lq_);
+    prune_seqs(sq_);
+    notExecuted_.erase(notExecuted_.upper_bound(bseq),
+                       notExecuted_.end());
+    incomplete_.erase(incomplete_.upper_bound(bseq), incomplete_.end());
+    incompleteStores_.erase(incompleteStores_.upper_bound(bseq),
+                            incompleteStores_.end());
+    incompleteCvaps_.erase(incompleteCvaps_.upper_bound(bseq),
+                           incompleteCvaps_.end());
+    incompleteDsbs_.erase(incompleteDsbs_.upper_bound(bseq),
+                          incompleteDsbs_.end());
+    incompleteDmbs_.erase(incompleteDmbs_.upper_bound(bseq),
+                          incompleteDmbs_.end());
+    while (!dmbSeqs_.empty() && dmbSeqs_.back() > bseq)
+        dmbSeqs_.pop_back();
+
+    // EDM recovery: non-speculative state plus replay of surviving
+    // in-flight producer definitions (Section V-A1).
+    std::vector<std::pair<Edk, SeqNum>> survivors;
+    for (const InflightInst &in : rob_) {
+        if (in.di.si.isEdeProducer() && incomplete_.count(in.seq))
+            survivors.emplace_back(in.di.si.edkDef, in.seq);
+    }
+    edm_.squashRestore(survivors);
+
+    // Register map recovery.
+    regMap_.fill(kNoSeq);
+    for (const InflightInst &in : rob_) {
+        if (in.di.si.writesReg())
+            regMap_[in.di.si.dst] = in.seq;
+    }
+
+    branch.mispredicted = false;
+    fetchIdx_ = redirect;
+    fetchResumeAt_ = now + params_.mispredictPenalty;
+}
+
+bool
+OoOCore::finished() const
+{
+    // The program is done when every instruction has completed (the
+    // write buffer drains to the coherence/persistence point).  The
+    // NVM on-DIMM buffer may still be pushing lines to the media in
+    // the background; that drain is not part of execution time.
+    return fetchIdx_ >= trace_->size() && rob_.empty() &&
+           wb_->empty() && outstandingLoads_.empty() &&
+           orphanReqs_.empty();
+}
+
+void
+OoOCore::tickOnce(Cycle now)
+{
+    mem_.tick(now);
+    pollLoads(now);
+    execWriteback(now);
+    wb_->tick(now);
+    checkDmbCompletion(now);
+    checkDsbCompletion(now);
+    retire(now);
+    issue(now);
+    dispatch(now);
+}
+
+Cycle
+OoOCore::run(const Trace &trace)
+{
+    ede_assert(!ran_, "OoOCore::run is single-shot; build a new core");
+    ran_ = true;
+    trace_ = &trace;
+    if (recordCompletions_)
+        completionCycles_.assign(trace.size(), kNoCycle);
+
+    Cycle now = 0;
+    while (!finished()) {
+        tickOnce(now);
+        ++now;
+        if (now > params_.maxCycles) {
+            ede_panic("simulation exceeded ", params_.maxCycles,
+                      " cycles; likely deadlock at trace index ",
+                      fetchIdx_, " rob=", rob_.size(),
+                      " wb=", wb_->occupancy());
+        }
+    }
+    stats_.cycles = now;
+    return now;
+}
+
+} // namespace ede

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Cycle-level out-of-order core with EDE support.
+ *
+ * Models the A72-like configuration of Table I: 3-wide in-order
+ * fetch/dispatch and retire, an 8-wide unified issue queue with
+ * register/memory/execution-dependence wakeup, split 16-entry
+ * load/store queues with store-to-load forwarding, a 128-entry ROB,
+ * and a 16-entry post-retirement write buffer that drains out of
+ * order.
+ *
+ * Instruction completion follows Section IV-B1 of the paper: ALU ops
+ * and loads complete at writeback; stores complete when their write
+ * buffer push lands in the L1D (globally visible); DC CVAP completes
+ * when the line is accepted by the persistent on-DIMM buffer; DSB SY
+ * completes when every older instruction has completed and blocks
+ * issue of all younger instructions until then; DMB ST only orders
+ * store visibility; WAIT_KEY / WAIT_ALL_KEYS retire when the EDE
+ * counters report no tracked older instruction.
+ *
+ * EDE enforcement is selected by CoreParams::ede:
+ *  - IQ: consumers stall in the issue queue (eDepReady) until the
+ *    producer completes;
+ *  - WB: store/writeback/JOIN consumers retire freely and are gated
+ *    by srcID tags in the write buffer; load consumers (the future-
+ *    work variant) still gate at issue because loads observe memory
+ *    at execute.
+ *
+ * Mispredicted conditional branches squash all younger instructions
+ * when they execute: the speculative EDM and the register map are
+ * restored from non-speculative state plus a replay of the surviving
+ * in-flight definitions, and fetch resumes after a refill penalty.
+ */
+
+#ifndef EDE_PIPELINE_CORE_HH
+#define EDE_PIPELINE_CORE_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/edm.hh"
+#include "core/wait_counters.hh"
+#include "mem/memory_image.hh"
+#include "mem/mem_system.hh"
+#include "pipeline/inflight.hh"
+#include "pipeline/params.hh"
+#include "pipeline/predictor.hh"
+#include "pipeline/write_buffer.hh"
+#include "trace/trace.hh"
+
+namespace ede {
+
+/** Aggregate core statistics. */
+struct CoreStats
+{
+    Cycle cycles = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t issuedOps = 0;
+    Histogram issueHist{9};          ///< Fig. 11: issued per cycle, 0..8.
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t squashes = 0;
+    std::uint64_t squashedInsts = 0;
+    std::uint64_t loadsForwarded = 0;
+    std::uint64_t retireStallWbFull = 0;
+    std::uint64_t dispatchStallRob = 0;
+    std::uint64_t dispatchStallIq = 0;
+    std::uint64_t dispatchStallLsq = 0;
+
+    /** Retired instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(retired) / cycles : 0.0;
+    }
+};
+
+/** The out-of-order core. */
+class OoOCore
+{
+  public:
+    /** @param mem the memory hierarchy this core issues into. */
+    OoOCore(CoreParams params, MemSystem &mem);
+
+    /**
+     * Attach the coherent ("timing") memory image; store values are
+     * applied to it in visibility order as stores complete.
+     */
+    void setTimingImage(MemoryImage *image) { timingImage_ = image; }
+
+    /** Record the completion cycle of every trace element. */
+    void setRecordCompletions(bool on) { recordCompletions_ = on; }
+
+    /** Per-trace-index completion cycles (needs recording enabled). */
+    const std::vector<Cycle> &completionCycles() const
+    {
+        return completionCycles_;
+    }
+
+    /**
+     * Watch a single trace element's completion without paying for
+     * full recording (used to delimit the measured phase).
+     */
+    void
+    watchCompletion(std::size_t trace_idx)
+    {
+        watched_.emplace(trace_idx, kNoCycle);
+    }
+
+    /** Completion cycle of a watched element (kNoCycle if not yet). */
+    Cycle
+    watchedCompletion(std::size_t trace_idx) const
+    {
+        auto it = watched_.find(trace_idx);
+        return it == watched_.end() ? kNoCycle : it->second;
+    }
+
+    /** Run @p trace to completion; @return total cycles. */
+    Cycle run(const Trace &trace);
+
+    const CoreStats &stats() const { return stats_; }
+
+    /** Write buffer statistics. */
+    const WriteBufferStats &wbStats() const { return wb_->stats(); }
+
+    /** EDM access for tests. */
+    const Edm &edm() const { return edm_; }
+
+  private:
+    struct ExecEvent
+    {
+        Cycle due;
+        SeqNum seq;
+        bool operator>(const ExecEvent &o) const { return due > o.due; }
+    };
+
+    void tickOnce(Cycle now);
+    void pollLoads(Cycle now);
+    void execWriteback(Cycle now);
+    void checkDsbCompletion(Cycle now);
+    void checkDmbCompletion(Cycle now);
+    void retire(Cycle now);
+    void issue(Cycle now);
+    void dispatch(Cycle now);
+    void squash(InflightInst &branch, Cycle now);
+
+    InflightInst *find(SeqNum seq);
+    bool regsReady(const InflightInst &inst) const;
+    bool edeIssueReady(const InflightInst &inst) const;
+    bool gatesAtIssue(const InflightInst &inst) const;
+    void completeSeq(SeqNum seq, const StaticInst &si,
+                     std::size_t trace_idx, Cycle now);
+    void onWbComplete(const WbEntry &entry, Cycle now);
+    bool storesOlderIncomplete(SeqNum barrier) const;
+    void recordCompletion(std::size_t trace_idx, Cycle now);
+    bool finished() const;
+
+    CoreParams params_;
+    MemSystem &mem_;
+    MemoryImage *timingImage_ = nullptr;
+
+    const Trace *trace_ = nullptr;
+    std::size_t fetchIdx_ = 0;
+    Cycle fetchResumeAt_ = 0;
+    SeqNum nextSeq_ = 1;
+
+    std::deque<InflightInst> rob_;
+    std::unordered_map<SeqNum, InflightInst *> index_;
+    std::vector<SeqNum> iq_;        ///< Age-ordered issue queue.
+    std::deque<SeqNum> lq_;
+    std::deque<SeqNum> sq_;
+    std::unique_ptr<WriteBuffer> wb_;
+
+    std::array<SeqNum, kNumArchRegs> regMap_{};
+    std::set<SeqNum> notExecuted_;
+    std::set<SeqNum> incomplete_;
+    std::set<SeqNum> incompleteStores_;
+    std::set<SeqNum> incompleteCvaps_;
+    std::set<SeqNum> incompleteDsbs_;
+    std::set<SeqNum> incompleteDmbs_;
+    std::vector<SeqNum> dmbSeqs_;   ///< All DMB ST seqs, ascending.
+
+    Edm edm_;
+    WaitCounters counters_;
+    BranchPredictor predictor_;
+
+    std::priority_queue<ExecEvent, std::vector<ExecEvent>,
+                        std::greater<ExecEvent>> pendingExec_;
+    std::unordered_map<ReqId, SeqNum> outstandingLoads_;
+    std::unordered_set<ReqId> orphanReqs_;
+
+    bool recordCompletions_ = false;
+    std::vector<Cycle> completionCycles_;
+    std::unordered_map<std::size_t, Cycle> watched_;
+    bool ran_ = false;
+
+    CoreStats stats_;
+};
+
+} // namespace ede
+
+#endif // EDE_PIPELINE_CORE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Out-of-order core parameters (Table I defaults: Arm A72-like).
+ */
+
+#ifndef EDE_PIPELINE_PARAMS_HH
+#define EDE_PIPELINE_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "core/enforcement.hh"
+
+namespace ede {
+
+/** Static core configuration. */
+struct CoreParams
+{
+    int fetchWidth = 3;       ///< Decode width (Table I: 3-instr).
+    int issueWidth = 8;       ///< Issue queue width (Section VII-B).
+    int retireWidth = 3;
+    int robSize = 128;
+    int iqSize = 40;
+    int lqSize = 16;          ///< Table I: 16-entry load queue.
+    int sqSize = 16;          ///< Table I: 16-entry store queue.
+    int wbSize = 16;          ///< Table I: 16-entry write buffer.
+    int wbDrainPerCycle = 2;  ///< Write-buffer pushes started per cycle.
+
+    /** Frontend refill bubble after a mispredicted branch resolves. */
+    Cycle mispredictPenalty = 8;
+
+    /** @name Functional unit counts (A72-like integer side). */
+    /// @{
+    int aluUnits = 2;
+    int mulUnits = 1;
+    int branchUnits = 1;
+    int loadUnits = 1;
+    int storeUnits = 1;   ///< Store/writeback address generation.
+    /// @}
+
+    /** @name Operation latencies in cycles. */
+    /// @{
+    Cycle aluLatency = 1;
+    Cycle mulLatency = 3;
+    Cycle branchLatency = 1;
+    Cycle agenLatency = 1;       ///< Store/cvap address generation.
+    Cycle forwardLatency = 2;    ///< Store-to-load forwarding.
+    /// @}
+
+    /** Where EDE dependences are enforced. */
+    EnforceMode ede = EnforceMode::None;
+
+    /**
+     * Whether DMB ST timing conservatively covers DC CVAP as a
+     * store-class operation (as gem5's LSQ does).  Architecturally
+     * DMB ST does NOT order DC CVAP -- that gap is what makes the
+     * paper's SU configuration unsafe -- but conservative hardware
+     * stalls it anyway, which is why SU is only ~5% faster than the
+     * DSB baseline in Figure 9.  Setting this false models an
+     * aggressive LSQ that exploits the architectural permission.
+     */
+    bool dmbStCoversCvap = true;
+
+    /** Branch predictor table size (entries, power of two). */
+    std::uint32_t predictorEntries = 4096;
+
+    /** Abort the run if it exceeds this many cycles (deadlock guard). */
+    Cycle maxCycles = 2'000'000'000;
+};
+
+} // namespace ede
+
+#endif // EDE_PIPELINE_PARAMS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Bimodal branch predictor (2-bit saturating counters).
+ *
+ * Branch targets come from the trace, so only direction prediction is
+ * modelled; a misprediction squashes the pipeline when the branch
+ * executes, which is what exercises the EDM checkpoint-restore path.
+ */
+
+#ifndef EDE_PIPELINE_PREDICTOR_HH
+#define EDE_PIPELINE_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ede {
+
+/** 2-bit bimodal direction predictor. */
+class BranchPredictor
+{
+  public:
+    /** @param entries table size; must be a power of two. */
+    explicit BranchPredictor(std::uint32_t entries = 4096)
+        : table_(entries, kWeaklyTaken)
+    {
+        ede_assert((entries & (entries - 1)) == 0,
+                   "predictor size must be a power of two");
+    }
+
+    /** Predicted direction for the branch at @p pc. */
+    bool
+    predict(Addr pc) const
+    {
+        return table_[index(pc)] >= kWeaklyTaken;
+    }
+
+    /** Train with the resolved direction. */
+    void
+    update(Addr pc, bool taken)
+    {
+        std::uint8_t &ctr = table_[index(pc)];
+        if (taken) {
+            if (ctr < kStronglyTaken)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+    }
+
+  private:
+    static constexpr std::uint8_t kWeaklyTaken = 2;
+    static constexpr std::uint8_t kStronglyTaken = 3;
+
+    std::size_t
+    index(Addr pc) const
+    {
+        return (pc >> 2) & (table_.size() - 1);
+    }
+
+    std::vector<std::uint8_t> table_;
+};
+
+} // namespace ede
+
+#endif // EDE_PIPELINE_PREDICTOR_HH

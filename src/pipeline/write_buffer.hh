@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The post-retirement write buffer.
+ *
+ * Retired stores and cache-line writebacks wait here until their data
+ * can be pushed to the memory system.  Entries may drain out of
+ * order, subject to three gates:
+ *
+ *  1. same-line ordering: an entry must wait for older entries that
+ *     touch the same cache line (this is the memory dependence that
+ *     orders a store before the DC CVAP that persists it);
+ *  2. DMB ST ordering: a store younger than a store barrier must wait
+ *     until every store older than the barrier has completed --
+ *     writebacks are deliberately *not* covered, which is why the
+ *     paper's SU configuration is unsafe;
+ *  3. EDE srcID ordering (WB enforcement, Section V-D): an entry that
+ *     consumed an execution dependence carries the producer's
+ *     sequence number and may not start pushing until the producer
+ *     has completed.  JOIN entries carry two srcIDs and complete,
+ *     without pushing anything, once both are cleared.
+ */
+
+#ifndef EDE_PIPELINE_WRITE_BUFFER_HH
+#define EDE_PIPELINE_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+#include "mem/mem_system.hh"
+
+namespace ede {
+
+/** One write-buffer entry. */
+struct WbEntry
+{
+    SeqNum seq = kNoSeq;
+    std::size_t traceIdx = 0;
+    StaticInst si;
+    Addr addr = kNoAddr;
+    std::uint8_t size = 0;
+    std::uint64_t val0 = 0;
+    std::uint64_t val1 = 0;
+    SeqNum srcId = kNoSeq;      ///< EDE producer gate (WB mode).
+    SeqNum srcId2 = kNoSeq;     ///< Second producer gate (JOIN).
+    SeqNum dmbBarrier = kNoSeq; ///< Store barrier older than this entry.
+    bool edeCounted = false;    ///< Holds a WaitCounters slot.
+    bool pushing = false;
+    ReqId req = kNoReq;
+};
+
+/** Write-buffer statistics. */
+struct WriteBufferStats
+{
+    std::uint64_t inserted = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t srcIdGated = 0;   ///< Push attempts blocked by EDE.
+    std::uint64_t lineGated = 0;    ///< Blocked by same-line ordering.
+    std::uint64_t dmbGated = 0;     ///< Blocked by a store barrier.
+    std::uint64_t memRejected = 0;  ///< L1D refused the push.
+};
+
+/** The write buffer with EDE enforcement support. */
+class WriteBuffer
+{
+  public:
+    /** Invoked when an entry completes (is visible / persistent). */
+    using CompletionFn = std::function<void(const WbEntry &, Cycle)>;
+
+    /**
+     * True when some *store* older than the barrier sequence number
+     * has not yet completed (provided by the core, which tracks
+     * stores in the store queue as well as in this buffer).
+     */
+    using DmbCheckFn = std::function<bool(SeqNum)>;
+
+    WriteBuffer(int capacity, int drainPerCycle, std::uint32_t lineBytes,
+                MemSystem &mem, CompletionFn on_complete,
+                DmbCheckFn dmb_blocked);
+
+    /** True when no entry can be inserted. */
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /** True when the buffer holds no entries. */
+    bool empty() const { return entries_.empty(); }
+
+    /** Current occupancy. */
+    std::size_t occupancy() const { return entries_.size(); }
+
+    /** Insert at retirement. @pre !full() */
+    void insert(WbEntry entry);
+
+    /** Advance one cycle: complete finished pushes, start new ones. */
+    void tick(Cycle now);
+
+    /**
+     * A dependence producer completed somewhere in the machine: clear
+     * matching srcID tags (the paper's CAM-clear on push completion;
+     * generalized so producers that never enter the buffer, e.g.
+     * loads, also release their consumers).
+     */
+    void onProducerComplete(SeqNum producer);
+
+    /**
+     * Youngest entry overlapping [addr, addr+size), for load
+     * dependence checks.  @return its seq and whether it fully covers
+     * the range (kNoSeq when none).
+     */
+    std::pair<SeqNum, bool> youngestOverlap(Addr addr,
+                                            std::uint8_t size) const;
+
+    const WriteBufferStats &stats() const { return stats_; }
+
+  private:
+    Addr lineOf(Addr a) const { return a & ~static_cast<Addr>(lineBytes_ - 1); }
+    bool lineConflictBefore(std::size_t idx) const;
+    void completeEntry(std::size_t idx, Cycle now);
+
+    std::size_t capacity_;
+    int drainPerCycle_;
+    std::uint32_t lineBytes_;
+    MemSystem &mem_;
+    CompletionFn onComplete_;
+    DmbCheckFn dmbBlocked_;
+    std::deque<WbEntry> entries_;   ///< Oldest first.
+    WriteBufferStats stats_;
+};
+
+} // namespace ede
+
+#endif // EDE_PIPELINE_WRITE_BUFFER_HH

@@ -1,0 +1,61 @@
+#include "sim/system.hh"
+
+namespace ede {
+
+System::System(Config cfg) : System(cfg, makeParams(cfg)) {}
+
+System::System(Config cfg, const SimParams &params)
+    : cfg_(cfg), params_(params)
+{
+    wire();
+}
+
+void
+System::wire()
+{
+    mem_ = std::make_unique<MemSystem>(params_.mem);
+    core_ = std::make_unique<OoOCore>(params_.core, *mem_);
+    core_->setTimingImage(&timingImage_);
+
+    // Entering the persistent on-DIMM buffer makes a line durable:
+    // snapshot its coherent contents into the crash image.
+    mem_->controller().nvm().setPersistHook(
+        [this](Addr addr, std::uint32_t size, Cycle now) {
+            nvmImage_.copyRange(timingImage_, addr, size);
+            PersistEvent ev;
+            ev.addr = addr;
+            ev.size = size;
+            ev.cycle = now;
+            if (recordPersistData_) {
+                ev.bytes.resize(size);
+                timingImage_.read(addr, ev.bytes.data(), size);
+            }
+            persistEvents_.push_back(std::move(ev));
+        });
+}
+
+Cycle
+System::run(const Trace &trace)
+{
+    return core_->run(trace);
+}
+
+RunResult
+System::result() const
+{
+    RunResult r;
+    r.config = cfg_;
+    r.cycles = core_->stats().cycles;
+    r.core = core_->stats();
+    r.wb = core_->wbStats();
+    const MemSystem &m = *mem_;
+    r.nvm = m.controller().nvm().stats();
+    r.nvmOccupancy = m.controller().nvm().occupancyDist();
+    r.l1d = m.l1d().stats();
+    r.l2 = m.l2().stats();
+    r.l3 = m.l3().stats();
+    r.dram = m.controller().dram().stats();
+    return r;
+}
+
+} // namespace ede

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The assembled simulated system: core + hierarchy + the three
+ * memory images.
+ *
+ * Image roles:
+ *  - volatileImage: mutated by the *functional* execution while the
+ *    workload emits its trace (architectural end state);
+ *  - timingImage: updated in store-visibility order as the timing
+ *    simulation drains the write buffer (coherent memory state);
+ *  - nvmImage: updated only when lines enter the NVM persistence
+ *    domain -- this is the state that survives a crash.
+ */
+
+#ifndef EDE_SIM_SYSTEM_HH
+#define EDE_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/memory_image.hh"
+#include "pipeline/core.hh"
+#include "sim/config.hh"
+
+namespace ede {
+
+/** One write entering the persistence domain. */
+struct PersistEvent
+{
+    Addr addr = kNoAddr;
+    std::uint32_t size = 0;
+    Cycle cycle = kNoCycle;
+
+    /** Durable bytes; filled only when data recording is enabled. */
+    std::vector<std::uint8_t> bytes;
+};
+
+/** Copyable snapshot of every statistic a bench needs. */
+struct RunResult
+{
+    Config config = Config::B;
+    Cycle cycles = 0;
+    CoreStats core;
+    WriteBufferStats wb;
+    NvmStats nvm;
+    Distribution nvmOccupancy{128, 1};
+    CacheStats l1d;
+    CacheStats l2;
+    CacheStats l3;
+    DramStats dram;
+};
+
+/** A single-core simulated machine. */
+class System
+{
+  public:
+    /** Build for configuration @p cfg with Table I parameters. */
+    explicit System(Config cfg);
+
+    /** Build with explicit parameters (ablation sweeps). */
+    System(Config cfg, const SimParams &params);
+
+    /** @name Memory images. */
+    /// @{
+    MemoryImage &volatileImage() { return volatileImage_; }
+    MemoryImage &timingImage() { return timingImage_; }
+    MemoryImage &nvmImage() { return nvmImage_; }
+    const MemoryImage &nvmImage() const { return nvmImage_; }
+    /// @}
+
+    /** Record per-trace-index completion cycles (audit support). */
+    void recordCompletions(bool on) { core_->setRecordCompletions(on); }
+
+    /** Also capture the bytes of every persist event (crash images). */
+    void recordPersistData(bool on) { recordPersistData_ = on; }
+
+    /** Run a trace to completion; @return cycle count. */
+    Cycle run(const Trace &trace);
+
+    /** Persistence-domain entry events, in order. */
+    const std::vector<PersistEvent> &persistEvents() const
+    {
+        return persistEvents_;
+    }
+
+    /** Per-trace-index completion cycles (needs recording on). */
+    const std::vector<Cycle> &completionCycles() const
+    {
+        return core_->completionCycles();
+    }
+
+    /** Statistics snapshot. */
+    RunResult result() const;
+
+    /** @name Component access. */
+    /// @{
+    OoOCore &core() { return *core_; }
+    const OoOCore &core() const { return *core_; }
+    MemSystem &mem() { return *mem_; }
+    const MemSystem &mem() const { return *mem_; }
+    Config config() const { return cfg_; }
+    const SimParams &params() const { return params_; }
+    /// @}
+
+  private:
+    void wire();
+
+    Config cfg_;
+    SimParams params_;
+    MemoryImage volatileImage_;
+    MemoryImage timingImage_;
+    MemoryImage nvmImage_;
+    std::unique_ptr<MemSystem> mem_;
+    std::unique_ptr<OoOCore> core_;
+    std::vector<PersistEvent> persistEvents_;
+    bool recordPersistData_ = false;
+};
+
+} // namespace ede
+
+#endif // EDE_SIM_SYSTEM_HH

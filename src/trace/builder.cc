@@ -1,0 +1,225 @@
+#include "trace/builder.hh"
+
+#include "common/logging.hh"
+
+namespace ede {
+
+TraceBuilder::TraceBuilder(Trace &trace, Addr text_base)
+    : trace_(trace), nextPc_(text_base)
+{
+}
+
+Addr
+TraceBuilder::sitePc(const std::string &site)
+{
+    auto it = sites_.find(site);
+    if (it != sites_.end())
+        return it->second;
+    Addr pc = nextPc_;
+    nextPc_ += 4;
+    sites_.emplace(site, pc);
+    return pc;
+}
+
+std::size_t
+TraceBuilder::emit(DynInst di, const std::string &site)
+{
+    if (!site.empty()) {
+        di.pc = sitePc(site);
+    } else {
+        di.pc = nextPc_;
+        nextPc_ += 4;
+    }
+    return trace_.append(di);
+}
+
+std::size_t
+TraceBuilder::nop()
+{
+    DynInst di;
+    di.si.op = Op::Nop;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::movImm(RegIndex dst, std::int64_t imm)
+{
+    DynInst di;
+    di.si.op = Op::Mov;
+    di.si.dst = dst;
+    di.si.imm = imm;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::movReg(RegIndex dst, RegIndex src)
+{
+    DynInst di;
+    di.si.op = Op::Mov;
+    di.si.dst = dst;
+    di.si.src1 = src;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::alu(RegIndex dst, RegIndex src1, RegIndex src2,
+                  std::int64_t imm)
+{
+    DynInst di;
+    di.si.op = Op::IntAlu;
+    di.si.dst = dst;
+    di.si.src1 = src1;
+    di.si.src2 = src2;
+    di.si.imm = imm;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::mul(RegIndex dst, RegIndex src1, RegIndex src2)
+{
+    DynInst di;
+    di.si.op = Op::IntMult;
+    di.si.dst = dst;
+    di.si.src1 = src1;
+    di.si.src2 = src2;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::ldr(RegIndex dst, RegIndex base, Addr addr,
+                  std::int64_t disp, EdkOps edks)
+{
+    ede_assert(addr != kNoAddr, "ldr requires a resolved address");
+    DynInst di;
+    di.si.op = Op::Ldr;
+    di.si.dst = dst;
+    di.si.base = base;
+    di.si.imm = disp;
+    di.si.size = 8;
+    di.si.edkDef = edks.def;
+    di.si.edkUse = edks.use;
+    di.addr = addr;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::str(RegIndex src, RegIndex base, Addr addr,
+                  std::uint64_t value, std::int64_t disp, EdkOps edks)
+{
+    ede_assert(addr != kNoAddr, "str requires a resolved address");
+    DynInst di;
+    di.si.op = Op::Str;
+    di.si.src1 = src;
+    di.si.base = base;
+    di.si.imm = disp;
+    di.si.size = 8;
+    di.si.edkDef = edks.def;
+    di.si.edkUse = edks.use;
+    di.addr = addr;
+    di.val0 = value;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::stp(RegIndex src1, RegIndex src2, RegIndex base,
+                  Addr addr, std::uint64_t v0, std::uint64_t v1,
+                  std::int64_t disp, EdkOps edks)
+{
+    ede_assert(addr != kNoAddr, "stp requires a resolved address");
+    ede_assert((addr & 0xf) == 0, "stp requires 16-byte alignment");
+    DynInst di;
+    di.si.op = Op::Stp;
+    di.si.src1 = src1;
+    di.si.src2 = src2;
+    di.si.base = base;
+    di.si.imm = disp;
+    di.si.size = 16;
+    di.si.edkDef = edks.def;
+    di.si.edkUse = edks.use;
+    di.addr = addr;
+    di.val0 = v0;
+    di.val1 = v1;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::cvap(RegIndex base, Addr addr, EdkOps edks)
+{
+    ede_assert(addr != kNoAddr, "dc cvap requires a resolved address");
+    DynInst di;
+    di.si.op = Op::DcCvap;
+    di.si.base = base;
+    di.si.size = 0;
+    di.si.edkDef = edks.def;
+    di.si.edkUse = edks.use;
+    di.addr = addr;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::dsbSy()
+{
+    DynInst di;
+    di.si.op = Op::DsbSy;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::dmbSt()
+{
+    DynInst di;
+    di.si.op = Op::DmbSt;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::join(Edk def, Edk use1, Edk use2)
+{
+    DynInst di;
+    di.si.op = Op::Join;
+    di.si.edkDef = def;
+    di.si.edkUse = use1;
+    di.si.edkUse2 = use2;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::waitKey(Edk key)
+{
+    ede_assert(edkIsReal(key), "WAIT_KEY requires a non-zero key");
+    DynInst di;
+    di.si.op = Op::WaitKey;
+    di.si.edkUse = key;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::waitAllKeys()
+{
+    DynInst di;
+    di.si.op = Op::WaitAllKeys;
+    return emit(di);
+}
+
+std::size_t
+TraceBuilder::branch(const std::string &site)
+{
+    DynInst di;
+    di.si.op = Op::Branch;
+    di.taken = true;
+    return emit(di, site);
+}
+
+std::size_t
+TraceBuilder::branchCond(const std::string &site, RegIndex src1,
+                         RegIndex src2, bool taken)
+{
+    DynInst di;
+    di.si.op = Op::BranchCond;
+    di.si.src1 = src1;
+    di.si.src2 = src2;
+    di.taken = taken;
+    return emit(di, site);
+}
+
+} // namespace ede

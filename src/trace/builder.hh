@@ -1,0 +1,122 @@
+/**
+ * @file
+ * TraceBuilder: the codegen DSL used to emit dynamic instruction
+ * streams.
+ *
+ * Workloads and the NVM framework call these helpers while executing
+ * functionally; each helper appends one micro-op mirroring the
+ * assembly the paper's Clang/LLVM port emits (Figures 4 and 7).
+ * Static PCs are assigned per *site* so the same source location
+ * always maps to the same PC, which makes the branch predictor and
+ * I-cache behave as they would on compiled code.
+ */
+
+#ifndef EDE_TRACE_BUILDER_HH
+#define EDE_TRACE_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace ede {
+
+/** Optional pair of EDE key operands for memory-op variants. */
+struct EdkOps
+{
+    Edk def = kZeroEdk;
+    Edk use = kZeroEdk;
+};
+
+/**
+ * Emits micro-ops into a Trace with stable site PCs.
+ *
+ * All memory-op helpers take the *resolved* effective address; the
+ * base register operand still participates in register-dependence
+ * scheduling, mirroring an address that was computed into a register.
+ */
+class TraceBuilder
+{
+  public:
+    /** Build into @p trace. @p text_base is the first auto PC. */
+    explicit TraceBuilder(Trace &trace, Addr text_base = 0x400000);
+
+    /** Stable PC for a named static code site. */
+    Addr sitePc(const std::string &site);
+
+    /** @name Emit helpers; each returns the trace index. */
+    /// @{
+    std::size_t nop();
+    std::size_t movImm(RegIndex dst, std::int64_t imm);
+    std::size_t movReg(RegIndex dst, RegIndex src);
+    std::size_t alu(RegIndex dst, RegIndex src1, RegIndex src2 = kNoReg,
+                    std::int64_t imm = 0);
+    std::size_t mul(RegIndex dst, RegIndex src1, RegIndex src2);
+
+    std::size_t ldr(RegIndex dst, RegIndex base, Addr addr,
+                    std::int64_t disp = 0, EdkOps edks = {});
+    std::size_t str(RegIndex src, RegIndex base, Addr addr,
+                    std::uint64_t value, std::int64_t disp = 0,
+                    EdkOps edks = {});
+    std::size_t stp(RegIndex src1, RegIndex src2, RegIndex base,
+                    Addr addr, std::uint64_t v0, std::uint64_t v1,
+                    std::int64_t disp = 0, EdkOps edks = {});
+    std::size_t cvap(RegIndex base, Addr addr, EdkOps edks = {});
+
+    std::size_t dsbSy();
+    std::size_t dmbSt();
+
+    std::size_t join(Edk def, Edk use1, Edk use2);
+    std::size_t waitKey(Edk key);
+    std::size_t waitAllKeys();
+
+    std::size_t branch(const std::string &site);
+    std::size_t branchCond(const std::string &site, RegIndex src1,
+                           RegIndex src2, bool taken);
+    /// @}
+
+    /** The trace being built. */
+    Trace &trace() { return trace_; }
+
+  private:
+    /** Append with an auto-assigned or site PC. */
+    std::size_t emit(DynInst di, const std::string &site = {});
+
+    Trace &trace_;
+    Addr nextPc_;
+    std::unordered_map<std::string, Addr> sites_;
+};
+
+/**
+ * Rotating pool of scratch registers, approximating how a register
+ * allocator cycles temporaries through the integer file.  Keeps
+ * synthetic traces from serializing on a single architectural
+ * register.
+ */
+class TempRegPool
+{
+  public:
+    /** Rotate through [lo, hi] inclusive. */
+    TempRegPool(RegIndex lo = 8, RegIndex hi = 25) : lo_(lo), hi_(hi),
+        next_(lo) {}
+
+    /** Next scratch register. */
+    RegIndex
+    get()
+    {
+        RegIndex r = next_;
+        next_ = (next_ == hi_) ? lo_ : static_cast<RegIndex>(next_ + 1);
+        return r;
+    }
+
+  private:
+    RegIndex lo_;
+    RegIndex hi_;
+    RegIndex next_;
+};
+
+} // namespace ede
+
+#endif // EDE_TRACE_BUILDER_HH

@@ -1,0 +1,22 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+namespace ede {
+
+std::size_t
+Trace::edeCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(insts_.begin(), insts_.end(),
+                      [](const DynInst &di) { return di.si.usesEde(); }));
+}
+
+void
+Trace::clear()
+{
+    insts_.clear();
+    opCounts_.fill(0);
+}
+
+} // namespace ede

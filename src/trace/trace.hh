@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Dynamic instruction stream container.
+ *
+ * A Trace is the unit of work handed to the pipeline: the dynamic
+ * micro-op sequence a compiled program would execute, with control
+ * flow already resolved (branch outcomes recorded) and effective
+ * addresses computed by the functional execution.
+ */
+
+#ifndef EDE_TRACE_TRACE_HH
+#define EDE_TRACE_TRACE_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace ede {
+
+/** A finite dynamic instruction stream. */
+class Trace
+{
+  public:
+    /** Append an instruction and return its index. */
+    std::size_t
+    append(const DynInst &di)
+    {
+        insts_.push_back(di);
+        ++opCounts_[static_cast<std::size_t>(di.op())];
+        return insts_.size() - 1;
+    }
+
+    /** Number of instructions. */
+    std::size_t size() const { return insts_.size(); }
+
+    /** True when the trace holds no instructions. */
+    bool empty() const { return insts_.empty(); }
+
+    /** Access instruction @p i. */
+    const DynInst &operator[](std::size_t i) const { return insts_[i]; }
+
+    /** Mutable access (used by configuration lowering rewrites). */
+    DynInst &at(std::size_t i) { return insts_[i]; }
+
+    /** Count of instructions with opcode class @p op. */
+    std::size_t
+    opCount(Op op) const
+    {
+        return opCounts_[static_cast<std::size_t>(op)];
+    }
+
+    /** Count of fence instructions (DSB SY + DMB ST). */
+    std::size_t
+    fenceCount() const
+    {
+        return opCount(Op::DsbSy) + opCount(Op::DmbSt);
+    }
+
+    /** Count of instructions using any EDE key field. */
+    std::size_t edeCount() const;
+
+    /** Iteration support. */
+    auto begin() const { return insts_.begin(); }
+    auto end() const { return insts_.end(); }
+
+    /** Remove all instructions. */
+    void clear();
+
+  private:
+    std::vector<DynInst> insts_;
+    std::array<std::size_t, kNumOps> opCounts_{};
+};
+
+} // namespace ede
+
+#endif // EDE_TRACE_TRACE_HH

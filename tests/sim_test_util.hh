@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for pipeline-level tests: a small core+hierarchy
+ * bundle with completion recording enabled.
+ */
+
+#ifndef EDE_TESTS_SIM_TEST_UTIL_HH
+#define EDE_TESTS_SIM_TEST_UTIL_HH
+
+#include "mem/mem_system.hh"
+#include "pipeline/core.hh"
+#include "trace/builder.hh"
+
+namespace ede {
+
+/** A core + memory hierarchy with Table I defaults. */
+struct MiniSim
+{
+    explicit MiniSim(EnforceMode mode = EnforceMode::None,
+                     CoreParams overrides = CoreParams{})
+        : params(overrides)
+    {
+        params.ede = mode;
+        mem = std::make_unique<MemSystem>(MemSystemParams{});
+        core = std::make_unique<OoOCore>(params, *mem);
+        core->setTimingImage(&image);
+        core->setRecordCompletions(true);
+    }
+
+    Cycle
+    run(const Trace &trace)
+    {
+        return core->run(trace);
+    }
+
+    /** Completion cycle of trace element @p idx. */
+    Cycle
+    done(std::size_t idx) const
+    {
+        return core->completionCycles().at(idx);
+    }
+
+    /** A DRAM address on its own cache line. */
+    static Addr
+    dramLine(int i)
+    {
+        return 0x100000 + static_cast<Addr>(i) * 64;
+    }
+
+    /** An NVM address on its own cache line. */
+    Addr
+    nvmLine(int i) const
+    {
+        return mem->params().map.nvmBase() + 0x10000 +
+               static_cast<Addr>(i) * 64;
+    }
+
+    CoreParams params;
+    std::unique_ptr<MemSystem> mem;
+    std::unique_ptr<OoOCore> core;
+    MemoryImage image;
+};
+
+} // namespace ede
+
+#endif // EDE_TESTS_SIM_TEST_UTIL_HH

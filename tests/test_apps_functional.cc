@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Functional tests for the Table II applications: each workload's
+ * data structure must be correct on the volatile image after
+ * generation, independent of any timing simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "apps/btree.hh"
+#include "apps/ctree.hh"
+#include "apps/harness.hh"
+#include "apps/rbtree.hh"
+
+namespace ede {
+namespace {
+
+class AppFunctionalTest : public ::testing::TestWithParam<AppId>
+{
+};
+
+TEST_P(AppFunctionalTest, FinalStateMatchesReference)
+{
+    RunSpec spec;
+    spec.txns = 6;
+    spec.opsPerTxn = 8;
+    WorkloadHarness h(GetParam(), Config::B, spec);
+    h.generate();
+    EXPECT_TRUE(h.app().checkFinal());
+    EXPECT_GT(h.trace().size(), 0u);
+}
+
+TEST_P(AppFunctionalTest, GenerationIsDeterministic)
+{
+    RunSpec spec;
+    spec.txns = 3;
+    spec.opsPerTxn = 5;
+    WorkloadHarness h1(GetParam(), Config::WB, spec);
+    WorkloadHarness h2(GetParam(), Config::WB, spec);
+    h1.generate();
+    h2.generate();
+    ASSERT_EQ(h1.trace().size(), h2.trace().size());
+    for (std::size_t i = 0; i < h1.trace().size(); ++i) {
+        EXPECT_EQ(h1.trace()[i].addr, h2.trace()[i].addr);
+        EXPECT_EQ(h1.trace()[i].op(), h2.trace()[i].op());
+    }
+}
+
+TEST_P(AppFunctionalTest, ConfigsSeeSameOperationStream)
+{
+    // The same seed produces the same *semantic* work under every
+    // configuration; only the ordering instructions differ.
+    RunSpec spec;
+    spec.txns = 3;
+    spec.opsPerTxn = 5;
+    WorkloadHarness hb(GetParam(), Config::B, spec);
+    WorkloadHarness hu(GetParam(), Config::U, spec);
+    hb.generate();
+    hu.generate();
+    EXPECT_EQ(hb.trace().opCount(Op::Stp), hu.trace().opCount(Op::Stp));
+    EXPECT_EQ(hb.trace().opCount(Op::Str), hu.trace().opCount(Op::Str));
+    EXPECT_GT(hb.trace().fenceCount(), 1u);
+    // U carries no ordering beyond the shared setup-closing fence.
+    EXPECT_LE(hu.trace().fenceCount(), 1u);
+    EXPECT_TRUE(hb.app().checkFinal());
+    EXPECT_TRUE(hu.app().checkFinal());
+}
+
+TEST_P(AppFunctionalTest, RecoveredCheckAcceptsEveryTxnBoundary)
+{
+    // Sanity for the checker itself: the *final* functional image
+    // must be accepted as the last boundary state.
+    RunSpec spec;
+    spec.txns = 4;
+    spec.opsPerTxn = 6;
+    WorkloadHarness h(GetParam(), Config::B, spec);
+    h.generate();
+    EXPECT_TRUE(h.app().checkRecovered(h.system().volatileImage()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppFunctionalTest, ::testing::ValuesIn(kAllApps),
+    [](const auto &info) {
+        return std::string(appName(info.param));
+    });
+
+TEST(BtreeUnit, InsertAndLookupThousandKeys)
+{
+    RunSpec spec;
+    WorkloadHarness h(AppId::Btree, Config::U, spec);
+    auto &fw = h.framework();
+    auto *btree = dynamic_cast<BtreeApp *>(&h.app());
+    ASSERT_NE(btree, nullptr);
+    btree->setup();
+    std::map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(99);
+    for (int chunk = 0; chunk < 20; ++chunk) {
+        fw.txBegin();
+        for (int i = 0; i < 50; ++i) {
+            const std::uint64_t k = rng.below(100000);
+            const std::uint64_t v = rng.next() | 1;
+            btree->insert(k, v);
+            ref[k] = v;
+        }
+        fw.txCommit();
+    }
+    // Every inserted key is found with its latest value.
+    const Addr root_ptr = fw.heap().base(); // First allocation.
+    for (const auto &[k, v] : ref) {
+        std::uint64_t got = 0;
+        EXPECT_TRUE(BtreeApp::lookup(fw.image(), root_ptr, k, &got));
+        EXPECT_EQ(got, v);
+    }
+    // Absent keys are not found.
+    EXPECT_FALSE(BtreeApp::lookup(fw.image(), root_ptr, 100001, nullptr));
+}
+
+TEST(CtreeUnit, DuplicateKeysUpdateInPlace)
+{
+    RunSpec spec;
+    WorkloadHarness h(AppId::Ctree, Config::U, spec);
+    auto &fw = h.framework();
+    auto *ctree = dynamic_cast<CtreeApp *>(&h.app());
+    ASSERT_NE(ctree, nullptr);
+    ctree->setup();
+    fw.txBegin();
+    ctree->insert(5, 100);
+    ctree->insert(9, 200);
+    ctree->insert(5, 300); // Update.
+    fw.txCommit();
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    ASSERT_TRUE(ctree->contents(fw.image(), got));
+    std::map<std::uint64_t, std::uint64_t> m(got.begin(), got.end());
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m[5], 300u);
+    EXPECT_EQ(m[9], 200u);
+}
+
+TEST(CtreeUnit, AdversarialBitPatterns)
+{
+    RunSpec spec;
+    WorkloadHarness h(AppId::Ctree, Config::U, spec);
+    auto &fw = h.framework();
+    auto *ctree = dynamic_cast<CtreeApp *>(&h.app());
+    ASSERT_NE(ctree, nullptr);
+    ctree->setup();
+    fw.txBegin();
+    std::map<std::uint64_t, std::uint64_t> ref;
+    // Keys differing in MSB, LSB and shared prefixes.
+    const std::uint64_t keys[] = {
+        0, 1, 2, 3, 1ull << 63, (1ull << 63) | 1, 0xffffffffffffffffull,
+        0x8000000000000001ull, 42, 43, 0xff00ff00ff00ff00ull,
+    };
+    std::uint64_t v = 1;
+    for (std::uint64_t k : keys) {
+        ctree->insert(k, v);
+        ref[k] = v++;
+    }
+    fw.txCommit();
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    ASSERT_TRUE(ctree->contents(fw.image(), got));
+    std::map<std::uint64_t, std::uint64_t> m(got.begin(), got.end());
+    EXPECT_EQ(m, ref);
+}
+
+TEST(RbtreeUnit, SortedInsertionKeepsInvariants)
+{
+    RunSpec spec;
+    WorkloadHarness h(AppId::Rbtree, Config::U, spec);
+    auto &fw = h.framework();
+    auto *rb = dynamic_cast<RbtreeApp *>(&h.app());
+    ASSERT_NE(rb, nullptr);
+    rb->setup();
+    // Monotone insertion is the classic rotation stress.
+    for (std::uint64_t k = 1; k <= 300; ++k) {
+        if (k % 50 == 1)
+            fw.txBegin();
+        rb->insert(k, k * 2);
+        if (k % 50 == 0)
+            fw.txCommit();
+    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    ASSERT_TRUE(rb->contents(fw.image(), got));
+    ASSERT_EQ(got.size(), 300u);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].first, i + 1);
+        EXPECT_EQ(got[i].second, 2 * (i + 1));
+    }
+}
+
+TEST(RbtreeUnit, ReverseAndRandomInsertionKeepInvariants)
+{
+    RunSpec spec;
+    WorkloadHarness h(AppId::Rbtree, Config::U, spec);
+    auto &fw = h.framework();
+    auto *rb = dynamic_cast<RbtreeApp *>(&h.app());
+    ASSERT_NE(rb, nullptr);
+    rb->setup();
+    for (std::uint64_t k = 600; k > 300; --k) {
+        if (k % 50 == 0)
+            fw.txBegin();
+        rb->insert(k, k);
+        if (k % 50 == 1)
+            fw.txCommit();
+    }
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        if (i % 50 == 0)
+            fw.txBegin();
+        rb->insert(1000 + rng.below(100000), i + 1);
+        if (i % 50 == 49)
+            fw.txCommit();
+    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+    EXPECT_TRUE(rb->contents(fw.image(), got));
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
+} // namespace
+} // namespace ede

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Assembler tests: the paper's syntax round-trips through
+ * assembleLine -> disassemble, and malformed input is rejected with
+ * a useful message.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/encoding.hh"
+
+namespace ede {
+namespace {
+
+StaticInst
+mustAssemble(std::string_view line)
+{
+    const AsmResult r = assembleLine(line);
+    EXPECT_TRUE(r.ok) << line << ": " << r.error;
+    return r.inst;
+}
+
+TEST(Assembler, PlainLoadStore)
+{
+    const StaticInst ld = mustAssemble("ldr x1, [x0]");
+    EXPECT_EQ(ld.op, Op::Ldr);
+    EXPECT_EQ(ld.dst, 1);
+    EXPECT_EQ(ld.base, 0);
+    EXPECT_EQ(ld.size, 8);
+
+    const StaticInst st = mustAssemble("str x3, [x0, #8]");
+    EXPECT_EQ(st.op, Op::Str);
+    EXPECT_EQ(st.src1, 3);
+    EXPECT_EQ(st.base, 0);
+    EXPECT_EQ(st.imm, 8);
+}
+
+TEST(Assembler, Figure7EdeVariants)
+{
+    // The exact lines from Figure 7.
+    const StaticInst cvap = mustAssemble("dc cvap (1,0), x2");
+    EXPECT_EQ(cvap.op, Op::DcCvap);
+    EXPECT_EQ(cvap.edkDef, 1);
+    EXPECT_EQ(cvap.edkUse, 0);
+    EXPECT_EQ(cvap.base, 2);
+
+    const StaticInst st = mustAssemble("str (0,1), x3, [x0]");
+    EXPECT_EQ(st.op, Op::Str);
+    EXPECT_EQ(st.edkDef, 0);
+    EXPECT_EQ(st.edkUse, 1);
+    EXPECT_EQ(st.src1, 3);
+}
+
+TEST(Assembler, EdeLoadVariant)
+{
+    const StaticInst ld = mustAssemble("ldr (0,1), x4, [x1]");
+    EXPECT_EQ(ld.op, Op::Ldr);
+    EXPECT_EQ(ld.edkUse, 1);
+    EXPECT_EQ(ld.dst, 4);
+}
+
+TEST(Assembler, StorePair)
+{
+    const StaticInst stp = mustAssemble("stp x0, x1, [x2]");
+    EXPECT_EQ(stp.op, Op::Stp);
+    EXPECT_EQ(stp.src1, 0);
+    EXPECT_EQ(stp.src2, 1);
+    EXPECT_EQ(stp.base, 2);
+    EXPECT_EQ(stp.size, 16);
+}
+
+TEST(Assembler, Barriers)
+{
+    EXPECT_EQ(mustAssemble("dsb sy").op, Op::DsbSy);
+    EXPECT_EQ(mustAssemble("dmb st").op, Op::DmbSt);
+}
+
+TEST(Assembler, ControlInstructions)
+{
+    const StaticInst join = mustAssemble("join (3,1,2)");
+    EXPECT_EQ(join.op, Op::Join);
+    EXPECT_EQ(join.edkDef, 3);
+    EXPECT_EQ(join.edkUse, 1);
+    EXPECT_EQ(join.edkUse2, 2);
+
+    const StaticInst wk = mustAssemble("wait_key (4)");
+    EXPECT_EQ(wk.op, Op::WaitKey);
+    EXPECT_EQ(wk.edkDef, 4);
+    EXPECT_EQ(wk.edkUse, 4);
+
+    EXPECT_EQ(mustAssemble("wait_all_keys").op, Op::WaitAllKeys);
+}
+
+TEST(Assembler, AluForms)
+{
+    const StaticInst add = mustAssemble("add x1, x2, x3");
+    EXPECT_EQ(add.op, Op::IntAlu);
+    EXPECT_EQ(add.dst, 1);
+    EXPECT_EQ(add.src2, 3);
+
+    const StaticInst addi = mustAssemble("add x1, x2, #4");
+    EXPECT_EQ(addi.imm, 4);
+    EXPECT_EQ(addi.src2, kNoReg);
+
+    const StaticInst cmp = mustAssemble("cmp x1, x2");
+    EXPECT_EQ(cmp.op, Op::IntAlu);
+    EXPECT_EQ(cmp.dst, kNoReg);
+
+    const StaticInst mul = mustAssemble("mul x1, x2, x3");
+    EXPECT_EQ(mul.op, Op::IntMult);
+}
+
+TEST(Assembler, MovAndBranches)
+{
+    const StaticInst mov = mustAssemble("mov x3, #42");
+    EXPECT_EQ(mov.op, Op::Mov);
+    EXPECT_EQ(mov.imm, 42);
+
+    const StaticInst movr = mustAssemble("mov x3, x4");
+    EXPECT_EQ(movr.src1, 4);
+
+    EXPECT_EQ(mustAssemble("b #16").op, Op::Branch);
+    const StaticInst bne = mustAssemble("b.ne x4, x3, #-8");
+    EXPECT_EQ(bne.op, Op::BranchCond);
+    EXPECT_EQ(bne.imm, -8);
+}
+
+TEST(Assembler, ZeroRegisterAndComments)
+{
+    const StaticInst mov = mustAssemble("mov x1, xzr ; copy zero");
+    EXPECT_EQ(mov.src1, kZeroReg);
+}
+
+TEST(Assembler, RejectsMalformedInput)
+{
+    EXPECT_FALSE(assembleLine("frobnicate x1").ok);
+    EXPECT_FALSE(assembleLine("ldr x1").ok);
+    EXPECT_FALSE(assembleLine("ldr x99, [x0]").ok);
+    EXPECT_FALSE(assembleLine("str (0,99), x1, [x0]").ok);
+    EXPECT_FALSE(assembleLine("dc cvap x1 x2").ok);
+    EXPECT_FALSE(assembleLine("wait_key (0)").ok);
+    EXPECT_FALSE(assembleLine("join (1,2)").ok);
+    EXPECT_FALSE(assembleLine("").ok);
+}
+
+TEST(Assembler, RoundTripsThroughDisassembler)
+{
+    const char *lines[] = {
+        "ldr x1, [x0]",
+        "str (0,1), x3, [x0]",
+        "stp x0, x1, [x2]",
+        "dc cvap (1,0), x2",
+        "dsb sy",
+        "dmb st",
+        "join (3,1,2)",
+        "wait_key (4)",
+        "wait_all_keys",
+        "nop",
+    };
+    for (const char *line : lines) {
+        const StaticInst first = mustAssemble(line);
+        const std::string printed = disassemble(first);
+        const StaticInst second = mustAssemble(printed);
+        EXPECT_EQ(first, second) << line << " -> " << printed;
+    }
+}
+
+TEST(Assembler, RoundTripsThroughEncoder)
+{
+    const StaticInst si = mustAssemble("str (0,1), x3, [x0]");
+    const auto word = encode(si);
+    ASSERT_TRUE(word.has_value());
+    const auto back = decode(*word);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->edkUse, 1);
+    EXPECT_EQ(back->src1, 3);
+}
+
+TEST(Assembler, MultiLineListing)
+{
+    const char *listing = R"(
+        ; Figure 7: log persist then ordered element update
+        dc cvap (1,0), x2
+        dsb sy          ; only in the baseline
+        str (0,1), x3, [x0]
+    )";
+    std::string err;
+    const auto program = assemble(listing, &err);
+    ASSERT_TRUE(program.has_value()) << err;
+    ASSERT_EQ(program->size(), 3u);
+    EXPECT_EQ((*program)[0].op, Op::DcCvap);
+    EXPECT_EQ((*program)[1].op, Op::DsbSy);
+    EXPECT_EQ((*program)[2].op, Op::Str);
+}
+
+TEST(Assembler, ListingErrorsCarryLineNumbers)
+{
+    std::string err;
+    const auto program = assemble("nop\nbogus x1\n", &err);
+    EXPECT_FALSE(program.has_value());
+    EXPECT_NE(err.find("line 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace ede

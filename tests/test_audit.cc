@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the crash-consistency auditor: ordering checks over
+ * completion cycles and byte-accurate crash image reconstruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "audit/auditor.hh"
+
+namespace ede {
+namespace {
+
+PersistObligation
+ob(std::size_t log_idx, std::size_t str_idx)
+{
+    PersistObligation o;
+    o.logCvapIdx = log_idx;
+    o.dataStrIdx = str_idx;
+    o.dataCvapIdx = str_idx + 1;
+    return o;
+}
+
+TEST(Auditor, EmptyObligationsAreClean)
+{
+    const AuditReport r = auditPersistOrdering({}, {});
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(r.checked, 0u);
+}
+
+TEST(Auditor, OrderedObligationPasses)
+{
+    // log persisted @10, store visible @20.
+    const std::vector<Cycle> completions = {10, 20, 25};
+    const AuditReport r = auditPersistOrdering({ob(0, 1)},
+                                               completions);
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(r.checked, 1u);
+}
+
+TEST(Auditor, SameCycleIsNotAViolation)
+{
+    const std::vector<Cycle> completions = {10, 10, 15};
+    EXPECT_TRUE(auditPersistOrdering({ob(0, 1)}, completions).clean());
+}
+
+TEST(Auditor, InvertedObligationIsFlagged)
+{
+    // Store visible @5, log persisted @10: data could be durable
+    // without its undo entry.
+    const std::vector<Cycle> completions = {10, 5, 15};
+    const AuditReport r = auditPersistOrdering({ob(0, 1)},
+                                               completions);
+    EXPECT_FALSE(r.clean());
+    EXPECT_EQ(r.violations, 1u);
+    EXPECT_EQ(r.firstViolationOp, 0u);
+}
+
+TEST(Auditor, CountsEveryViolation)
+{
+    const std::vector<Cycle> completions = {10, 5, 15, 30, 20, 35};
+    const AuditReport r = auditPersistOrdering(
+        {ob(0, 1), ob(3, 4)}, completions);
+    EXPECT_EQ(r.checked, 2u);
+    EXPECT_EQ(r.violations, 2u);
+    EXPECT_EQ(r.firstViolationOp, 0u);
+}
+
+PersistEvent
+event(Addr addr, Cycle cycle, std::uint64_t payload)
+{
+    PersistEvent ev;
+    ev.addr = addr;
+    ev.size = 8;
+    ev.cycle = cycle;
+    ev.bytes.resize(8);
+    std::memcpy(ev.bytes.data(), &payload, 8);
+    return ev;
+}
+
+TEST(CrashImage, EmptyBeforeFirstEvent)
+{
+    const std::vector<PersistEvent> events = {event(0x100, 50, 7)};
+    const MemoryImage img = buildCrashImage(events, 49);
+    EXPECT_EQ(img.read<std::uint64_t>(0x100), 0u);
+}
+
+TEST(CrashImage, IncludesEventsUpToCrashCycle)
+{
+    const std::vector<PersistEvent> events = {
+        event(0x100, 10, 1),
+        event(0x200, 20, 2),
+        event(0x300, 30, 3),
+    };
+    const MemoryImage img = buildCrashImage(events, 20);
+    EXPECT_EQ(img.read<std::uint64_t>(0x100), 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(0x200), 2u);
+    EXPECT_EQ(img.read<std::uint64_t>(0x300), 0u);
+}
+
+TEST(CrashImage, LaterEventsOverwrite)
+{
+    const std::vector<PersistEvent> events = {
+        event(0x100, 10, 1),
+        event(0x100, 20, 2),
+    };
+    EXPECT_EQ(buildCrashImage(events, 15).read<std::uint64_t>(0x100),
+              1u);
+    EXPECT_EQ(buildCrashImage(events, 25).read<std::uint64_t>(0x100),
+              2u);
+}
+
+TEST(CrashImage, AppliesOnTopOfBaseline)
+{
+    MemoryImage base;
+    base.write<std::uint64_t>(0x100, 42);
+    base.write<std::uint64_t>(0x108, 43);
+    applyPersistEvents(base, {event(0x100, 10, 7)}, 10);
+    EXPECT_EQ(base.read<std::uint64_t>(0x100), 7u);
+    EXPECT_EQ(base.read<std::uint64_t>(0x108), 43u); // Untouched.
+}
+
+TEST(CrashImageDeath, EventsWithoutDataAreRejected)
+{
+    PersistEvent ev;
+    ev.addr = 0x100;
+    ev.size = 8;
+    ev.cycle = 1;
+    EXPECT_DEATH(buildCrashImage({ev}, 10), "without data");
+}
+
+} // namespace
+} // namespace ede

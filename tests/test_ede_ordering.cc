@@ -1,0 +1,382 @@
+/**
+ * @file
+ * EDE semantics: execution dependences must be honoured by both
+ * hardware realizations (IQ and WB), across every instruction form
+ * the extension defines.
+ *
+ * The standard scenario makes the producer slow (a DC CVAP to a cold
+ * NVM line) and the consumer fast (a store to a pre-warmed DRAM
+ * line), so that WITHOUT the dependence the consumer completes first.
+ * The EnforceMode::None run of the unkeyed trace asserts that
+ * baseline inversion; the keyed runs assert the enforced order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sim_test_util.hh"
+
+namespace ede {
+namespace {
+
+/** Warm a DRAM line and quiesce, so later stores to it are fast. */
+void
+warm(TraceBuilder &b, Addr line)
+{
+    b.str(1, 2, line, 0xeeee);
+    b.dsbSy();
+}
+
+struct PairIdx
+{
+    std::size_t producer;
+    std::size_t consumer;
+};
+
+/** Producer cvap (def key) -> consumer str (use key). */
+PairIdx
+emitPair(TraceBuilder &b, Addr slow_nvm, Addr fast_dram, Edk key)
+{
+    PairIdx p;
+    p.producer = b.cvap(2, slow_nvm, {key, 0});
+    p.consumer = b.str(3, 4, fast_dram, 1, 0, {0, key});
+    return p;
+}
+
+class EdeOrderingTest : public ::testing::TestWithParam<EnforceMode>
+{
+};
+
+TEST_P(EdeOrderingTest, ConsumerWaitsForProducer)
+{
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    const PairIdx p = emitPair(b, sim.nvmLine(0), MiniSim::dramLine(0),
+                               1);
+    sim.run(t);
+    EXPECT_GE(sim.done(p.consumer), sim.done(p.producer));
+}
+
+TEST_P(EdeOrderingTest, ZeroKeyConveysNothing)
+{
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    const std::size_t pr = b.cvap(2, sim.nvmLine(0), {0, 0});
+    const std::size_t co = b.str(3, 4, MiniSim::dramLine(0), 1, 0,
+                                 {0, 0});
+    sim.run(t);
+    // Without keys the fast store completes before the slow persist.
+    EXPECT_LT(sim.done(co), sim.done(pr));
+}
+
+TEST_P(EdeOrderingTest, ConsumerWithUnproducedKeyDoesNotWait)
+{
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    const std::size_t pr = b.cvap(2, sim.nvmLine(0), {1, 0});
+    // Consumes key 9, which nobody produced: no dependence.
+    const std::size_t co = b.str(3, 4, MiniSim::dramLine(0), 1, 0,
+                                 {0, 9});
+    sim.run(t);
+    EXPECT_LT(sim.done(co), sim.done(pr));
+}
+
+TEST_P(EdeOrderingTest, KeysCanBeReused)
+{
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    warm(b, MiniSim::dramLine(1));
+    const PairIdx p1 = emitPair(b, sim.nvmLine(0),
+                                MiniSim::dramLine(0), 1);
+    const PairIdx p2 = emitPair(b, sim.nvmLine(1),
+                                MiniSim::dramLine(1), 1);
+    sim.run(t);
+    EXPECT_GE(sim.done(p1.consumer), sim.done(p1.producer));
+    EXPECT_GE(sim.done(p2.consumer), sim.done(p2.producer));
+}
+
+TEST_P(EdeOrderingTest, OneProducerManyConsumers)
+{
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    warm(b, MiniSim::dramLine(1));
+    warm(b, MiniSim::dramLine(2));
+    const std::size_t pr = b.cvap(2, sim.nvmLine(0), {4, 0});
+    const std::size_t c1 = b.str(3, 4, MiniSim::dramLine(0), 1, 0,
+                                 {0, 4});
+    const std::size_t c2 = b.str(5, 6, MiniSim::dramLine(1), 2, 0,
+                                 {0, 4});
+    const std::size_t c3 = b.str(7, 8, MiniSim::dramLine(2), 3, 0,
+                                 {0, 4});
+    sim.run(t);
+    EXPECT_GE(sim.done(c1), sim.done(pr));
+    EXPECT_GE(sim.done(c2), sim.done(pr));
+    EXPECT_GE(sim.done(c3), sim.done(pr));
+}
+
+TEST_P(EdeOrderingTest, DistinctKeysAreIndependent)
+{
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    const std::size_t pr = b.cvap(2, sim.nvmLine(0), {1, 0});
+    // Uses a different key: must not wait for the key-1 producer.
+    const std::size_t co = b.str(3, 4, MiniSim::dramLine(0), 1, 0,
+                                 {0, 2});
+    sim.run(t);
+    EXPECT_LT(sim.done(co), sim.done(pr));
+}
+
+TEST_P(EdeOrderingTest, JoinWaitsForBothProducers)
+{
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    const std::size_t p1 = b.cvap(2, sim.nvmLine(0), {1, 0});
+    const std::size_t p2 = b.cvap(3, sim.nvmLine(1), {2, 0});
+    b.join(3, 1, 2);
+    const std::size_t co = b.str(4, 5, MiniSim::dramLine(0), 1, 0,
+                                 {0, 3});
+    sim.run(t);
+    EXPECT_GE(sim.done(co), sim.done(p1));
+    EXPECT_GE(sim.done(co), sim.done(p2));
+}
+
+TEST_P(EdeOrderingTest, WaitKeyHoldsYoungerWork)
+{
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    const std::size_t pr = b.cvap(2, sim.nvmLine(0), {5, 0});
+    b.waitKey(5);
+    // Plain (unkeyed) store after WAIT_KEY: its visibility is after
+    // retirement, which WAIT_KEY delays past the producer.
+    const std::size_t co = b.str(3, 4, MiniSim::dramLine(0), 1);
+    sim.run(t);
+    EXPECT_GE(sim.done(co), sim.done(pr));
+}
+
+TEST_P(EdeOrderingTest, WaitKeyIgnoresOtherKeys)
+{
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    const std::size_t pr = b.cvap(2, sim.nvmLine(0), {5, 0});
+    b.waitKey(6); // Different key: nothing to wait for.
+    const std::size_t co = b.str(3, 4, MiniSim::dramLine(0), 1);
+    sim.run(t);
+    EXPECT_LT(sim.done(co), sim.done(pr));
+}
+
+TEST_P(EdeOrderingTest, WaitAllKeysHoldsForEveryProducer)
+{
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    const std::size_t p1 = b.cvap(2, sim.nvmLine(0), {1, 0});
+    const std::size_t p2 = b.cvap(3, sim.nvmLine(1), {7, 0});
+    b.waitAllKeys();
+    const std::size_t co = b.str(4, 5, MiniSim::dramLine(0), 1);
+    sim.run(t);
+    EXPECT_GE(sim.done(co), sim.done(p1));
+    EXPECT_GE(sim.done(co), sim.done(p2));
+}
+
+TEST_P(EdeOrderingTest, EdeLoadVariantGatesAtIssue)
+{
+    // Section VIII-C: the load variant must be enforced at issue in
+    // both designs, because loads observe memory when they execute.
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    const std::size_t pr = b.cvap(2, sim.nvmLine(0), {1, 0});
+    const std::size_t ld = b.ldr(3, 4, MiniSim::dramLine(0), 0,
+                                 {0, 1});
+    sim.run(t);
+    EXPECT_GE(sim.done(ld), sim.done(pr));
+}
+
+TEST_P(EdeOrderingTest, OrderingSurvivesBranchSquash)
+{
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    const std::size_t pr = b.cvap(2, sim.nvmLine(0), {1, 0});
+    // Mispredicted branch between producer and consumer: the EDM
+    // speculative state must be repaired and the link re-created.
+    b.branchCond("ede.sq", 1, 2, false);
+    const std::size_t co = b.str(3, 4, MiniSim::dramLine(0), 1, 0,
+                                 {0, 1});
+    sim.run(t);
+    EXPECT_GE(sim.core->stats().squashes, 1u);
+    EXPECT_GE(sim.done(co), sim.done(pr));
+}
+
+TEST_P(EdeOrderingTest, ProducerConsumerChains)
+{
+    // a -> b -> c through different keys.
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    const std::size_t p1 = b.cvap(2, sim.nvmLine(0), {1, 0});
+    // Middle: consumer of 1, producer of 2.
+    const std::size_t mid = b.cvap(3, sim.nvmLine(1), {2, 1});
+    const std::size_t last = b.str(4, 5, MiniSim::dramLine(0), 1, 0,
+                                   {0, 2});
+    sim.run(t);
+    EXPECT_GE(sim.done(mid), sim.done(p1));
+    EXPECT_GE(sim.done(last), sim.done(mid));
+}
+
+TEST_P(EdeOrderingTest, RandomPairsAlwaysOrdered)
+{
+    // Property sweep: random interleavings of producer/consumer
+    // pairs, filler compute and unrelated memory traffic.
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        MiniSim sim(GetParam());
+        Rng rng(seed);
+        Trace t;
+        TraceBuilder b(t);
+        std::vector<PairIdx> pairs;
+        for (int i = 0; i < 12; ++i)
+            warm(b, MiniSim::dramLine(i));
+        for (int i = 0; i < 12; ++i) {
+            const Edk key = static_cast<Edk>(1 + rng.below(15));
+            pairs.push_back(emitPair(b, sim.nvmLine(i),
+                                     MiniSim::dramLine(i), key));
+            const int filler = static_cast<int>(rng.below(6));
+            for (int f = 0; f < filler; ++f)
+                b.alu(static_cast<RegIndex>(8 + (f % 4)), kZeroReg);
+            if (rng.chance(0.3))
+                b.ldr(7, 6, MiniSim::dramLine(
+                    static_cast<int>(rng.below(12))));
+        }
+        sim.run(t);
+        for (const PairIdx &p : pairs) {
+            EXPECT_GE(sim.done(p.consumer), sim.done(p.producer))
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST_P(EdeOrderingTest, Figure13CallingConvention)
+{
+    // Figure 13: X is caller-saved, Y is callee-saved.  The callee
+    // overwrites X; the caller's WAIT_KEY(X) after the call makes
+    // the caller's consumer wait for BOTH producers of X.  The
+    // callee's producer of Y also consumes Y, chaining it behind the
+    // caller's producer, so the caller's consumer of Y is ordered
+    // behind both.
+    constexpr Edk X = 1;
+    constexpr Edk Y = 2;
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    warm(b, MiniSim::dramLine(0));
+    warm(b, MiniSim::dramLine(1));
+    // Caller, before the call (lines #2, #3).
+    const std::size_t caller_x = b.cvap(2, sim.nvmLine(0), {X, 0});
+    const std::size_t caller_y = b.cvap(3, sim.nvmLine(1), {Y, 0});
+    // Callee (lines #9, #10): clobbers X; preserves Y's ordering by
+    // being a consumer of Y as well as a producer.
+    const std::size_t callee_x = b.cvap(4, sim.nvmLine(2), {X, 0});
+    const std::size_t callee_y = b.cvap(5, sim.nvmLine(3), {Y, Y});
+    // Caller, after the return (lines #5-#7).
+    b.waitKey(X);
+    const std::size_t use_x = b.str(6, 7, MiniSim::dramLine(0), 1, 0,
+                                    {0, X});
+    const std::size_t use_y = b.str(8, 9, MiniSim::dramLine(1), 2, 0,
+                                    {0, Y});
+    sim.run(t);
+    // The consumer of X waits on both its producers (via WAIT_KEY).
+    EXPECT_GE(sim.done(use_x), sim.done(caller_x));
+    EXPECT_GE(sim.done(use_x), sim.done(callee_x));
+    // The consumer of Y waits on both producers of Y (via chaining).
+    EXPECT_GE(sim.done(use_y), sim.done(callee_y));
+    EXPECT_GE(sim.done(use_y), sim.done(caller_y));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothRealizations, EdeOrderingTest,
+                         ::testing::Values(EnforceMode::IQ,
+                                           EnforceMode::WB),
+                         [](const auto &info) {
+                             return std::string(enforceModeName(
+                                 info.param));
+                         });
+
+TEST(EdeTiming, WbOutperformsIqOnFig8Pattern)
+{
+    // The four-instruction, two-dependence pattern of Figure 8.
+    auto build = [](MiniSim &sim) {
+        Trace t;
+        TraceBuilder b(t);
+        warm(b, MiniSim::dramLine(0));
+        warm(b, MiniSim::dramLine(1));
+        for (int rep = 0; rep < 16; ++rep) {
+            emitPair(b, sim.nvmLine(2 * rep), MiniSim::dramLine(0), 1);
+            emitPair(b, sim.nvmLine(2 * rep + 1),
+                     MiniSim::dramLine(1), 2);
+        }
+        return t;
+    };
+    MiniSim iq(EnforceMode::IQ);
+    MiniSim wb(EnforceMode::WB);
+    const Trace ti = build(iq);
+    const Trace tw = build(wb);
+    const Cycle iq_cycles = iq.run(ti);
+    const Cycle wb_cycles = wb.run(tw);
+    EXPECT_LT(wb_cycles, iq_cycles);
+}
+
+TEST(EdeTiming, EdeBeatsDsbOnIndependentPersists)
+{
+    // Figure 3 vs Figure 7: independent log/update pairs serialized
+    // by DSB vs linked by EDKs.
+    auto build = [](MiniSim &sim, bool use_ede) {
+        Trace t;
+        TraceBuilder b(t);
+        for (int i = 0; i < 16; ++i) {
+            const Addr log = sim.nvmLine(2 * i);
+            const Addr data = sim.nvmLine(2 * i + 1);
+            b.stp(1, 2, 3, log, 7, 8);
+            if (use_ede) {
+                b.cvap(3, log, {1, 0});
+                b.str(4, 5, data, 9, 0, {0, 1});
+            } else {
+                b.cvap(3, log);
+                b.dsbSy();
+                b.str(4, 5, data, 9);
+            }
+            b.cvap(5, data);
+        }
+        return t;
+    };
+    MiniSim fenced(EnforceMode::None);
+    MiniSim ede_wb(EnforceMode::WB);
+    const Trace tf = build(fenced, false);
+    const Trace te = build(ede_wb, true);
+    const Cycle fenced_cycles = fenced.run(tf);
+    const Cycle ede_cycles = ede_wb.run(te);
+    EXPECT_LT(ede_cycles, fenced_cycles);
+}
+
+} // namespace
+} // namespace ede

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the Execution Dependence Map and the WAIT counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/edm.hh"
+#include "core/wait_counters.hh"
+
+namespace ede {
+namespace {
+
+TEST(EdmMap, EmptyByDefault)
+{
+    EdmMap m;
+    EXPECT_TRUE(m.empty());
+    for (Edk k = 0; k < kNumEdks; ++k)
+        EXPECT_EQ(m.lookup(k), kNoSeq);
+}
+
+TEST(EdmMap, DefineAndLookup)
+{
+    EdmMap m;
+    m.define(3, 100);
+    EXPECT_EQ(m.lookup(3), 100u);
+    EXPECT_EQ(m.lookup(4), kNoSeq);
+    EXPECT_FALSE(m.empty());
+}
+
+TEST(EdmMap, ZeroKeyIsInert)
+{
+    EdmMap m;
+    m.define(kZeroEdk, 55);
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.lookup(kZeroEdk), kNoSeq);
+}
+
+TEST(EdmMap, RedefinitionOverwrites)
+{
+    EdmMap m;
+    m.define(1, 10);
+    m.define(1, 20);
+    EXPECT_EQ(m.lookup(1), 20u);
+}
+
+TEST(EdmMap, ClearOnlyOnIdMatch)
+{
+    EdmMap m;
+    m.define(1, 10);
+    // A stale completion (entry was overwritten) must not clear.
+    EXPECT_FALSE(m.clearIfMatch(1, 9));
+    EXPECT_EQ(m.lookup(1), 10u);
+    EXPECT_TRUE(m.clearIfMatch(1, 10));
+    EXPECT_EQ(m.lookup(1), kNoSeq);
+}
+
+TEST(Edm, SpecAndNonspecAreIndependent)
+{
+    Edm edm;
+    edm.specDefine(2, 7);
+    EXPECT_EQ(edm.specLookup(2), 7u);
+    EXPECT_EQ(edm.nonspec().lookup(2), kNoSeq);
+    edm.retireDefine(2, 7);
+    EXPECT_EQ(edm.nonspec().lookup(2), 7u);
+}
+
+TEST(Edm, CompletionClearsBothCopies)
+{
+    Edm edm;
+    edm.specDefine(5, 42);
+    edm.retireDefine(5, 42);
+    edm.complete(5, 42);
+    EXPECT_EQ(edm.specLookup(5), kNoSeq);
+    EXPECT_EQ(edm.nonspec().lookup(5), kNoSeq);
+}
+
+TEST(Edm, SquashRestoreCopiesNonspec)
+{
+    Edm edm;
+    edm.specDefine(1, 10);  // Retired producer.
+    edm.retireDefine(1, 10);
+    edm.specDefine(1, 99);  // Squashed speculative redefinition.
+    edm.specDefine(2, 98);  // Squashed definition of another key.
+    edm.squashRestore({});
+    EXPECT_EQ(edm.specLookup(1), 10u);
+    EXPECT_EQ(edm.specLookup(2), kNoSeq);
+}
+
+TEST(Edm, SquashRestoreReplaysSurvivors)
+{
+    Edm edm;
+    edm.retireDefine(1, 10);
+    // Surviving unretired producers, in program order: the younger
+    // definition of key 1 must win.
+    edm.squashRestore({{1, 12}, {3, 13}, {1, 14}});
+    EXPECT_EQ(edm.specLookup(1), 14u);
+    EXPECT_EQ(edm.specLookup(3), 13u);
+}
+
+TEST(Edm, ResetClearsEverything)
+{
+    Edm edm;
+    edm.specDefine(1, 1);
+    edm.retireDefine(2, 2);
+    edm.reset();
+    EXPECT_TRUE(edm.spec().empty());
+    EXPECT_TRUE(edm.nonspec().empty());
+}
+
+StaticInst
+edeStore(Edk def, Edk use)
+{
+    StaticInst si;
+    si.op = Op::Str;
+    si.edkDef = def;
+    si.edkUse = use;
+    return si;
+}
+
+TEST(WaitCounters, StartsClear)
+{
+    WaitCounters c;
+    EXPECT_TRUE(c.allClear());
+    for (Edk k = 1; k < kNumEdks; ++k)
+        EXPECT_TRUE(c.keyClear(k));
+}
+
+TEST(WaitCounters, TracksPerKeyAndGlobal)
+{
+    WaitCounters c;
+    c.enter(edeStore(1, 0));
+    c.enter(edeStore(0, 2));
+    EXPECT_FALSE(c.keyClear(1));
+    EXPECT_FALSE(c.keyClear(2));
+    EXPECT_TRUE(c.keyClear(3));
+    EXPECT_FALSE(c.allClear());
+    c.exit(edeStore(1, 0));
+    EXPECT_TRUE(c.keyClear(1));
+    EXPECT_FALSE(c.allClear());
+    c.exit(edeStore(0, 2));
+    EXPECT_TRUE(c.allClear());
+}
+
+TEST(WaitCounters, InstructionWithBothKeysCountsBoth)
+{
+    WaitCounters c;
+    c.enter(edeStore(3, 4));
+    EXPECT_FALSE(c.keyClear(3));
+    EXPECT_FALSE(c.keyClear(4));
+    c.exit(edeStore(3, 4));
+    EXPECT_TRUE(c.keyClear(3));
+    EXPECT_TRUE(c.keyClear(4));
+    EXPECT_TRUE(c.allClear());
+}
+
+TEST(WaitCounters, NonEdeInstructionsIgnored)
+{
+    WaitCounters c;
+    c.enter(edeStore(0, 0));
+    EXPECT_TRUE(c.allClear());
+}
+
+TEST(WaitCounters, JoinCountsAllThreeKeys)
+{
+    StaticInst join;
+    join.op = Op::Join;
+    join.edkDef = 1;
+    join.edkUse = 2;
+    join.edkUse2 = 3;
+    WaitCounters c;
+    c.enter(join);
+    EXPECT_FALSE(c.keyClear(1));
+    EXPECT_FALSE(c.keyClear(2));
+    EXPECT_FALSE(c.keyClear(3));
+    c.exit(join);
+    EXPECT_TRUE(c.allClear());
+}
+
+TEST(WaitCounters, ZeroKeyFieldAlwaysClear)
+{
+    WaitCounters c;
+    c.enter(edeStore(1, 0));
+    EXPECT_TRUE(c.keyClear(kZeroEdk));
+}
+
+TEST(WaitCounters, ResetClears)
+{
+    WaitCounters c;
+    c.enter(edeStore(1, 2));
+    c.reset();
+    EXPECT_TRUE(c.allClear());
+    EXPECT_TRUE(c.keyClear(1));
+}
+
+} // namespace
+} // namespace ede

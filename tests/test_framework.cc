@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests for the persistence framework: instruction patterns per
+ * configuration (Figures 2, 4, 7), functional correctness of the
+ * undo log, and the commit protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvm/framework.hh"
+#include "nvm/undo_log.hh"
+
+namespace ede {
+namespace {
+
+constexpr Addr kNvmBase = 2ull << 30;
+
+struct FwFixture
+{
+    explicit FwFixture(Config cfg)
+        : builder(trace),
+          heap(kNvmBase + (1 << 20), 64 << 20)
+    {
+        log.stateAddr = kNvmBase;
+        log.entriesBase = kNvmBase + 64;
+        log.capacity = 256;
+        fw = std::make_unique<NvmFramework>(cfg, builder, img, heap,
+                                            log);
+    }
+
+    Trace trace;
+    TraceBuilder builder;
+    MemoryImage img;
+    PersistentHeap heap;
+    UndoLogLayout log;
+    std::unique_ptr<NvmFramework> fw;
+};
+
+TEST(Framework, BaselineEmitsFigure4Pattern)
+{
+    FwFixture f(Config::B);
+    const Addr x = f.heap.alloc(16);
+    f.img.write<std::uint64_t>(x, 5);
+    f.fw->txBegin();
+    const std::size_t before = f.trace.size();
+    f.fw->pWriteU64(x, 6);
+    // Framework prologue (TX lookup + reserve), then the Figure 4
+    // skeleton: ldr; stp; dc cvap; dsb sy; mov; str; dc cvap.
+    std::vector<Op> got;
+    for (std::size_t i = before; i < f.trace.size(); ++i)
+        got.push_back(f.trace[i].op());
+    const std::vector<Op> want = {
+        // Prologue: operator= dispatch and reserve_uint64().
+        Op::Mov, Op::Ldr, Op::IntAlu, Op::IntAlu, Op::IntAlu,
+        Op::IntAlu, Op::IntAlu, Op::IntAlu,
+        // Figure 4 proper.
+        Op::Mov, Op::Ldr, Op::Mov, Op::IntAlu, Op::Stp, Op::DcCvap,
+        Op::DsbSy, Op::Mov, Op::Str, Op::DcCvap};
+    EXPECT_EQ(got, want);
+    // No EDE keys in the baseline.
+    EXPECT_EQ(f.trace.edeCount(), 0u);
+}
+
+TEST(Framework, EdeConfigEmitsFigure7Keys)
+{
+    FwFixture f(Config::WB);
+    const Addr x = f.heap.alloc(16);
+    f.fw->txBegin();
+    f.fw->pWriteU64(x, 6);
+    ASSERT_EQ(f.fw->obligations().size(), 1u);
+    const PersistObligation &ob = f.fw->obligations()[0];
+    const DynInst &log_cvap = f.trace[ob.logCvapIdx];
+    const DynInst &data_str = f.trace[ob.dataStrIdx];
+    const DynInst &data_cvap = f.trace[ob.dataCvapIdx];
+    EXPECT_TRUE(log_cvap.isCvap());
+    EXPECT_EQ(log_cvap.si.edkDef, fwkeys::kLogEntry);
+    EXPECT_TRUE(data_str.isStore());
+    EXPECT_EQ(data_str.si.edkUse, fwkeys::kLogEntry);
+    EXPECT_TRUE(data_cvap.isCvap());
+    EXPECT_EQ(data_cvap.si.edkDef, fwkeys::kData);
+    // And crucially: no DSB between them.
+    for (std::size_t i = ob.logCvapIdx; i <= ob.dataCvapIdx; ++i)
+        EXPECT_FALSE(f.trace[i].isFence());
+}
+
+TEST(Framework, SuConfigUsesStoreBarriers)
+{
+    FwFixture f(Config::SU);
+    const Addr x = f.heap.alloc(16);
+    f.fw->txBegin();
+    f.fw->pWriteU64(x, 6);
+    EXPECT_EQ(f.trace.opCount(Op::DmbSt), 1u);
+    EXPECT_EQ(f.trace.opCount(Op::DsbSy), 0u);
+    EXPECT_EQ(f.trace.edeCount(), 0u);
+}
+
+TEST(Framework, UnsafeConfigEmitsNoOrdering)
+{
+    FwFixture f(Config::U);
+    const Addr x = f.heap.alloc(16);
+    f.fw->txBegin();
+    f.fw->pWriteU64(x, 6);
+    f.fw->txCommit();
+    EXPECT_EQ(f.trace.fenceCount(), 0u);
+    EXPECT_EQ(f.trace.edeCount(), 0u);
+    EXPECT_EQ(f.trace.opCount(Op::WaitKey), 0u);
+}
+
+TEST(Framework, FunctionalWriteAndLogContents)
+{
+    FwFixture f(Config::B);
+    const Addr x = f.heap.alloc(16);
+    f.img.write<std::uint64_t>(x, 41);
+    f.fw->txBegin();
+    f.fw->pWriteU64(x, 42);
+    EXPECT_EQ(f.img.read<std::uint64_t>(x), 42u);
+    // Log slot 0 records {addr, old value}.
+    EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(0)), x);
+    EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(0) + 8), 41u);
+}
+
+TEST(Framework, CommitTruncatesLogAndRestoresActive)
+{
+    FwFixture f(Config::B);
+    const Addr x = f.heap.alloc(16);
+    f.fw->txBegin();
+    f.fw->pWriteU64(x, 1);
+    f.fw->pWriteU64(x, 2);
+    f.fw->txCommit();
+    EXPECT_EQ(f.img.read<std::uint64_t>(f.log.stateAddr), kTxActive);
+    EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(0)), 0u);
+    EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(1)), 0u);
+    EXPECT_EQ(f.fw->txCount(), 1u);
+    EXPECT_FALSE(f.fw->inTx());
+}
+
+TEST(Framework, BaselineCommitUsesFourBarriers)
+{
+    FwFixture f(Config::B);
+    const Addr x = f.heap.alloc(16);
+    f.fw->txBegin();
+    f.fw->pWriteU64(x, 1); // One DSB inside the op.
+    const std::size_t before = f.trace.opCount(Op::DsbSy);
+    f.fw->txCommit();
+    EXPECT_EQ(f.trace.opCount(Op::DsbSy) - before, 4u);
+}
+
+TEST(Framework, EdeCommitUsesWaitKeys)
+{
+    FwFixture f(Config::IQ);
+    const Addr x = f.heap.alloc(16);
+    f.fw->txBegin();
+    f.fw->pWriteU64(x, 1);
+    f.fw->txCommit();
+    // WAIT_KEY(state-clear) at txBegin, then WAIT_KEY(data) and
+    // WAIT_KEY(zeroes) in the commit; no fences anywhere.
+    EXPECT_EQ(f.trace.opCount(Op::WaitKey), 3u);
+    EXPECT_EQ(f.trace.fenceCount(), 0u);
+    // The state-clear persist carries the cross-transaction key.
+    bool saw_state_clear = false;
+    for (const DynInst &di : f.trace) {
+        if (di.isCvap() && di.si.edkDef == fwkeys::kStateClear)
+            saw_state_clear = true;
+    }
+    EXPECT_TRUE(saw_state_clear);
+}
+
+TEST(Framework, EdeTxBeginWaitsOnStateClear)
+{
+    FwFixture f(Config::WB);
+    f.fw->txBegin();
+    ASSERT_GE(f.trace.size(), 1u);
+    EXPECT_EQ(f.trace[0].op(), Op::WaitKey);
+    EXPECT_EQ(f.trace[0].si.edkUse, fwkeys::kStateClear);
+}
+
+TEST(Framework, ZeroingConsumesCommitRecordPersist)
+{
+    FwFixture f(Config::WB);
+    const Addr x = f.heap.alloc(16);
+    f.fw->txBegin();
+    f.fw->pWriteU64(x, 1);
+    f.fw->txCommit();
+    bool saw_zeroing_consumer = false;
+    for (const DynInst &di : f.trace) {
+        if (di.isStore() && di.si.edkUse == fwkeys::kCommit &&
+            di.addr == f.log.entryAddr(0)) {
+            saw_zeroing_consumer = true;
+        }
+    }
+    EXPECT_TRUE(saw_zeroing_consumer);
+}
+
+TEST(Framework, ObligationsAccumulatePerWrite)
+{
+    FwFixture f(Config::U);
+    const Addr x = f.heap.alloc(32);
+    f.fw->txBegin();
+    f.fw->pWriteU64(x, 1);
+    f.fw->pWriteU64(x + 8, 2);
+    f.fw->pWriteU64(x + 16, 3);
+    EXPECT_EQ(f.fw->obligations().size(), 3u);
+}
+
+TEST(Framework, LoadEmitsChainableRegister)
+{
+    FwFixture f(Config::B);
+    const Addr x = f.heap.alloc(16);
+    f.img.write<std::uint64_t>(x, 1234);
+    std::uint64_t v = 0;
+    const RegIndex r = f.fw->loadU64(x, kNoReg, &v);
+    EXPECT_EQ(v, 1234u);
+    // Chained load: the returned register is the new base.
+    const std::size_t before = f.trace.size();
+    f.fw->loadU64(x + 8, r, nullptr);
+    EXPECT_EQ(f.trace.size() - before, 1u); // No extra address mov.
+    EXPECT_EQ(f.trace[before].si.base, r);
+}
+
+TEST(Framework, RawStoreBypassesLogging)
+{
+    FwFixture f(Config::B);
+    const Addr x = f.heap.alloc(16);
+    f.fw->rawStoreU64(x, 50);
+    EXPECT_EQ(f.img.read<std::uint64_t>(x), 50u);
+    EXPECT_EQ(f.trace.opCount(Op::Stp), 0u); // No log append.
+}
+
+TEST(Framework, RangeWriteSnapshotsWholeObjectOnce)
+{
+    FwFixture f(Config::WB);
+    const Addr node = f.heap.alloc(64); // An 8-word "node".
+    for (int w = 0; w < 8; ++w)
+        f.img.write<std::uint64_t>(node + 8 * w, 100 + w);
+    f.fw->txBegin();
+    const std::size_t before_stp = f.trace.opCount(Op::Stp);
+    f.fw->pWriteU64InRange(node + 16, 1, node, 8);
+    // The whole 8-word range was logged.
+    EXPECT_EQ(f.trace.opCount(Op::Stp) - before_stp, 8u);
+    // Log entries carry {addr, old value} for each word.
+    for (int w = 0; w < 8; ++w) {
+        EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(w)),
+                  node + 8 * w);
+        EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(w) + 8),
+                  100u + w);
+    }
+    // A second write into the range adds no further log entries.
+    const std::size_t after_first = f.trace.opCount(Op::Stp);
+    f.fw->pWriteU64InRange(node + 24, 2, node, 8);
+    EXPECT_EQ(f.trace.opCount(Op::Stp), after_first);
+    EXPECT_EQ(f.img.read<std::uint64_t>(node + 16), 1u);
+    EXPECT_EQ(f.img.read<std::uint64_t>(node + 24), 2u);
+}
+
+TEST(Framework, RangeSnapshotUsesRotatingChainKeys)
+{
+    FwFixture f(Config::WB);
+    const Addr a = f.heap.alloc(64);
+    const Addr b_node = f.heap.alloc(64);
+    f.fw->txBegin();
+    f.fw->pWriteU64InRange(a, 1, a, 8);
+    f.fw->pWriteU64InRange(b_node, 2, b_node, 8);
+    // Snapshot persists carry range keys; the consumers use them.
+    std::set<Edk> producer_keys;
+    std::set<Edk> consumer_keys;
+    for (const DynInst &di : f.trace) {
+        if (di.isCvap() && di.si.edkDef >= fwkeys::kRangeFirst)
+            producer_keys.insert(di.si.edkDef);
+        if (di.isStore() && di.si.edkUse >= fwkeys::kRangeFirst)
+            consumer_keys.insert(di.si.edkUse);
+    }
+    EXPECT_EQ(producer_keys.size(), 2u); // Two distinct range keys.
+    EXPECT_EQ(consumer_keys, producer_keys);
+}
+
+TEST(Framework, RangeWriteRollsBackToOldestValue)
+{
+    FwFixture f(Config::B);
+    const Addr node = f.heap.alloc(64);
+    f.img.write<std::uint64_t>(node, 7);
+    f.fw->txBegin();
+    f.fw->pWriteU64InRange(node, 8, node, 8);
+    f.fw->pWriteU64InRange(node, 9, node, 8); // Deduped write.
+    // Crash before commit: recovery applies the snapshot.
+    MemoryImage crash;
+    // Copy the (uncommitted) log and the data as "durable".
+    crash.copyRange(f.img, f.log.stateAddr, 64);
+    crash.copyRange(f.img, f.log.entriesBase, 16 * 16);
+    crash.copyRange(f.img, node, 64);
+    recoverUndoLog(crash, f.log);
+    EXPECT_EQ(crash.read<std::uint64_t>(node), 7u);
+}
+
+TEST(Framework, WordDedupSkipsRepeatedLogging)
+{
+    FwFixture f(Config::B);
+    const Addr x = f.heap.alloc(16);
+    f.img.write<std::uint64_t>(x, 1);
+    f.fw->txBegin();
+    f.fw->pWriteU64(x, 2);
+    const std::size_t stps = f.trace.opCount(Op::Stp);
+    const std::size_t fences = f.trace.fenceCount();
+    f.fw->pWriteU64(x, 3); // Same word: update-only fast path.
+    EXPECT_EQ(f.trace.opCount(Op::Stp), stps);
+    EXPECT_EQ(f.trace.fenceCount(), fences);
+    // The log still holds the OLDEST value for rollback.
+    EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(0) + 8), 1u);
+    EXPECT_EQ(f.img.read<std::uint64_t>(x), 3u);
+}
+
+TEST(Framework, DedupResetsAcrossTransactions)
+{
+    FwFixture f(Config::B);
+    const Addr x = f.heap.alloc(16);
+    f.fw->txBegin();
+    f.fw->pWriteU64(x, 1);
+    f.fw->txCommit();
+    f.fw->txBegin();
+    const std::size_t stps = f.trace.opCount(Op::Stp);
+    f.fw->pWriteU64(x, 2); // New tx: must log again.
+    EXPECT_EQ(f.trace.opCount(Op::Stp), stps + 1);
+}
+
+TEST(Framework, LogRotationWrapsAroundCapacity)
+{
+    FwFixture f(Config::U);
+    const Addr arr = f.heap.alloc(8 * 300);
+    // 256-entry log; two transactions of 200 writes wrap the cursor.
+    for (int tx = 0; tx < 2; ++tx) {
+        f.fw->txBegin();
+        for (int i = 0; i < 200; ++i)
+            f.fw->pWriteU64(arr + 8 * (tx * 100 + i / 2), i);
+        f.fw->txCommit();
+    }
+    // After both commits every entry is zeroed again.
+    for (std::uint64_t e = 0; e < f.log.capacity; ++e)
+        EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(e)), 0u);
+}
+
+TEST(FrameworkDeath, RangeWriteOutsideRangePanics)
+{
+    FwFixture f(Config::B);
+    const Addr node = f.heap.alloc(64);
+    f.fw->txBegin();
+    EXPECT_DEATH(f.fw->pWriteU64InRange(node + 64, 1, node, 8),
+                 "outside its declared range");
+}
+
+TEST(FrameworkDeath, WriteOutsideTransactionPanics)
+{
+    FwFixture f(Config::B);
+    const Addr x = f.heap.alloc(16);
+    EXPECT_DEATH(f.fw->pWriteU64(x, 1), "outside a failure-atomic");
+}
+
+TEST(FrameworkDeath, NestedTransactionPanics)
+{
+    FwFixture f(Config::B);
+    f.fw->txBegin();
+    EXPECT_DEATH(f.fw->txBegin(), "nest");
+}
+
+} // namespace
+} // namespace ede

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the workload harness: phase accounting, backdoor pool
+ * initialization, log placement and audit plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/harness.hh"
+#include "apps/kernels.hh"
+
+namespace ede {
+namespace {
+
+RunSpec
+tiny()
+{
+    RunSpec spec;
+    spec.txns = 2;
+    spec.opsPerTxn = 4;
+    return spec;
+}
+
+TEST(Harness, OpPhaseExcludesSetup)
+{
+    WorkloadHarness h(AppId::Update, Config::B, tiny());
+    h.generate();
+    const Cycle total = h.simulate();
+    EXPECT_LT(h.opPhaseCycles(), total);
+    EXPECT_GT(h.opPhaseCycles(), 0u);
+}
+
+TEST(Harness, LogIsPlacedAtNvmBaseWithCapacityHeadroom)
+{
+    RunSpec spec = tiny();
+    spec.opsPerTxn = 100;
+    WorkloadHarness h(AppId::Btree, Config::WB, spec);
+    const UndoLogLayout &log = h.framework().logLayout();
+    EXPECT_EQ(log.stateAddr, makeParams(Config::WB).mem.map.nvmBase());
+    EXPECT_GE(log.capacity, spec.opsPerTxn * 128);
+    EXPECT_EQ(log.entriesBase & 63, 0u);
+}
+
+TEST(Harness, BackdoorInitializesAllThreeImages)
+{
+    WorkloadHarness h(AppId::Update, Config::B, tiny());
+    h.generate();
+    auto *kernel = dynamic_cast<ArrayKernelBase *>(&h.app());
+    ASSERT_NE(kernel, nullptr);
+    const Addr a = kernel->arrayAddr();
+    const auto v = h.system().volatileImage().read<std::uint64_t>(a);
+    EXPECT_NE(v, 0u);
+    // Timing and durable images hold the initial value even before
+    // simulation: the pool pre-exists.
+    EXPECT_EQ(h.system().timingImage().read<std::uint64_t>(a), v);
+    EXPECT_EQ(h.system().nvmImage().read<std::uint64_t>(a), v);
+    // And the line is cache-resident (functional warmup).
+    EXPECT_TRUE(h.system().mem().l3().probe(a));
+}
+
+TEST(Harness, ConfigsShareTheWorkloadSeed)
+{
+    WorkloadHarness hb(AppId::Swap, Config::B, tiny());
+    WorkloadHarness hu(AppId::Swap, Config::U, tiny());
+    hb.generate();
+    hu.generate();
+    // Same functional end state regardless of configuration.
+    auto *kb = dynamic_cast<ArrayKernelBase *>(&hb.app());
+    auto *ku = dynamic_cast<ArrayKernelBase *>(&hu.app());
+    ASSERT_TRUE(kb && ku);
+    for (int i = 0; i < 64; ++i) {
+        const Addr a = kb->arrayAddr() + 8 * i;
+        EXPECT_EQ(hb.system().volatileImage().read<std::uint64_t>(a),
+                  hu.system().volatileImage().read<std::uint64_t>(
+                      ku->arrayAddr() + 8 * i));
+    }
+}
+
+TEST(Harness, AuditRequiresOptIn)
+{
+    WorkloadHarness h(AppId::Update, Config::B, tiny());
+    h.generate();
+    h.simulate();
+    EXPECT_DEATH(h.audit(), "enableAudit");
+}
+
+TEST(Harness, MismatchedSimParamsAreRejected)
+{
+    SimParams wrong = makeParams(Config::B); // EnforceMode::None.
+    EXPECT_DEATH(WorkloadHarness(AppId::Update, Config::WB, tiny(),
+                                 AppParams{}, wrong),
+                 "must match");
+}
+
+TEST(Harness, SetupCompleteCyclePrecedesFirstObligation)
+{
+    WorkloadHarness h(AppId::Update, Config::WB, tiny());
+    h.enableAudit();
+    h.generate();
+    h.simulate();
+    const auto &completions = h.system().completionCycles();
+    const auto &obs = h.framework().obligations();
+    ASSERT_FALSE(obs.empty());
+    EXPECT_LE(h.setupCompleteCycle(),
+              completions[obs.front().dataStrIdx]);
+}
+
+TEST(Harness, PersistEventsCoverTheLogAndTheData)
+{
+    WorkloadHarness h(AppId::Update, Config::B, tiny());
+    h.enableAudit();
+    h.generate();
+    h.simulate();
+    const UndoLogLayout &log = h.framework().logLayout();
+    bool saw_log = false;
+    bool saw_state = false;
+    for (const PersistEvent &ev : h.system().persistEvents()) {
+        if (ev.addr >= log.entriesBase &&
+            ev.addr < log.entryAddr(log.capacity)) {
+            saw_log = true;
+        }
+        if (ev.addr <= log.stateAddr &&
+            log.stateAddr < ev.addr + ev.size) {
+            saw_state = true;
+        }
+        EXPECT_EQ(ev.bytes.size(), ev.size);
+    }
+    EXPECT_TRUE(saw_log);
+    EXPECT_TRUE(saw_state);
+}
+
+TEST(Harness, GenerateAndSimulateAreSingleShot)
+{
+    WorkloadHarness h(AppId::Update, Config::B, tiny());
+    h.generate();
+    EXPECT_DEATH(h.generate(), "single-shot");
+    h.simulate();
+    EXPECT_DEATH(h.simulate(), "single-shot");
+}
+
+} // namespace
+} // namespace ede

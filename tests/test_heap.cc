@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the persistent heap allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nvm/heap.hh"
+
+namespace ede {
+namespace {
+
+constexpr Addr kBase = 2ull << 30;
+
+TEST(Heap, AllocationsAreAlignedAndDisjoint)
+{
+    PersistentHeap heap(kBase, 1 << 20);
+    std::set<Addr> seen;
+    for (int i = 0; i < 100; ++i) {
+        const Addr a = heap.alloc(48);
+        EXPECT_EQ(a & 0xf, 0u);
+        EXPECT_GE(a, kBase);
+        EXPECT_LT(a + 64, heap.limit());
+        EXPECT_TRUE(seen.insert(a).second);
+        // 48 rounds to the 64-byte class: no overlap with the next.
+    }
+    EXPECT_EQ(heap.bytesLive(), 100u * 64);
+}
+
+TEST(Heap, RoundsToPowerOfTwoClasses)
+{
+    PersistentHeap heap(kBase, 1 << 20);
+    const Addr a = heap.alloc(1);
+    const Addr b = heap.alloc(1);
+    EXPECT_EQ(b - a, 16u); // Minimum class is 16 bytes.
+    const Addr c = heap.alloc(17);
+    const Addr d = heap.alloc(17);
+    EXPECT_EQ(d - c, 32u);
+}
+
+TEST(Heap, FreeListReusesBlocks)
+{
+    PersistentHeap heap(kBase, 1 << 20);
+    const Addr a = heap.alloc(256);
+    heap.free(a, 256);
+    EXPECT_EQ(heap.bytesLive(), 0u);
+    const Addr b = heap.alloc(200); // Same 256-byte class.
+    EXPECT_EQ(a, b);
+}
+
+TEST(Heap, DifferentClassesDoNotShareFreeLists)
+{
+    PersistentHeap heap(kBase, 1 << 20);
+    const Addr a = heap.alloc(16);
+    heap.free(a, 16);
+    const Addr b = heap.alloc(32);
+    EXPECT_NE(a, b);
+}
+
+TEST(Heap, ReservedBytesGrowMonotonically)
+{
+    PersistentHeap heap(kBase, 1 << 20);
+    heap.alloc(64);
+    const auto r1 = heap.bytesReserved();
+    heap.alloc(64);
+    EXPECT_GT(heap.bytesReserved(), r1);
+    // Reuse does not grow the bump cursor.
+    const Addr a = heap.alloc(64);
+    heap.free(a, 64);
+    const auto r2 = heap.bytesReserved();
+    heap.alloc(64);
+    EXPECT_EQ(heap.bytesReserved(), r2);
+}
+
+TEST(HeapDeath, ExhaustionIsFatal)
+{
+    PersistentHeap heap(kBase, 64);
+    heap.alloc(64);
+    EXPECT_EXIT(heap.alloc(64), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+} // namespace
+} // namespace ede

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode predicates, EDK rules, the
+ * binary encoding, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hh"
+#include "isa/inst.hh"
+
+namespace ede {
+namespace {
+
+TEST(Edk, ZeroKeyIsNotReal)
+{
+    EXPECT_FALSE(edkIsReal(kZeroEdk));
+    EXPECT_TRUE(edkIsValid(kZeroEdk));
+    for (Edk k = 1; k < kNumEdks; ++k) {
+        EXPECT_TRUE(edkIsReal(k));
+        EXPECT_TRUE(edkIsValid(k));
+    }
+    EXPECT_FALSE(edkIsValid(16));
+    EXPECT_FALSE(edkIsReal(16));
+}
+
+TEST(Opcodes, Predicates)
+{
+    EXPECT_TRUE(opIsLoad(Op::Ldr));
+    EXPECT_TRUE(opIsStore(Op::Str));
+    EXPECT_TRUE(opIsStore(Op::Stp));
+    EXPECT_FALSE(opIsStore(Op::DcCvap));
+    EXPECT_TRUE(opIsCvap(Op::DcCvap));
+    EXPECT_TRUE(opIsMemRef(Op::Ldr));
+    EXPECT_TRUE(opIsMemRef(Op::DcCvap));
+    EXPECT_FALSE(opIsMemRef(Op::DsbSy));
+    EXPECT_TRUE(opIsFence(Op::DsbSy));
+    EXPECT_TRUE(opIsFence(Op::DmbSt));
+    EXPECT_FALSE(opIsFence(Op::WaitKey));
+    EXPECT_TRUE(opIsBranch(Op::Branch));
+    EXPECT_TRUE(opIsBranch(Op::BranchCond));
+    EXPECT_TRUE(opIsEdeControl(Op::Join));
+    EXPECT_TRUE(opIsEdeControl(Op::WaitKey));
+    EXPECT_TRUE(opIsEdeControl(Op::WaitAllKeys));
+    EXPECT_FALSE(opIsEdeControl(Op::Str));
+}
+
+TEST(Opcodes, EdkOperandsAllowedOnlyWhereDefined)
+{
+    EXPECT_TRUE(opAllowsEdkOperands(Op::Str));
+    EXPECT_TRUE(opAllowsEdkOperands(Op::Stp));
+    EXPECT_TRUE(opAllowsEdkOperands(Op::DcCvap));
+    EXPECT_TRUE(opAllowsEdkOperands(Op::Ldr));
+    EXPECT_TRUE(opAllowsEdkOperands(Op::Join));
+    EXPECT_FALSE(opAllowsEdkOperands(Op::IntAlu));
+    EXPECT_FALSE(opAllowsEdkOperands(Op::DsbSy));
+    EXPECT_FALSE(opAllowsEdkOperands(Op::Branch));
+}
+
+TEST(StaticInst, ProducerConsumerFlags)
+{
+    StaticInst si;
+    si.op = Op::Str;
+    EXPECT_FALSE(si.usesEde());
+    si.edkDef = 3;
+    EXPECT_TRUE(si.isEdeProducer());
+    EXPECT_FALSE(si.isEdeConsumer());
+    si.edkDef = kZeroEdk;
+    si.edkUse = 1;
+    EXPECT_FALSE(si.isEdeProducer());
+    EXPECT_TRUE(si.isEdeConsumer());
+    EXPECT_TRUE(si.usesEde());
+}
+
+TEST(StaticInst, ZeroRegWritesAreDiscarded)
+{
+    StaticInst si;
+    si.op = Op::IntAlu;
+    si.dst = kZeroReg;
+    EXPECT_FALSE(si.writesReg());
+    si.dst = 5;
+    EXPECT_TRUE(si.writesReg());
+    si.dst = kNoReg;
+    EXPECT_FALSE(si.writesReg());
+}
+
+StaticInst
+sampleStr()
+{
+    StaticInst si;
+    si.op = Op::Str;
+    si.src1 = 3;
+    si.base = 0;
+    si.size = 8;
+    si.edkDef = 0;
+    si.edkUse = 1;
+    si.imm = -8;
+    return si;
+}
+
+TEST(Encoding, RoundTripsEdeStore)
+{
+    const StaticInst si = sampleStr();
+    const auto word = encode(si);
+    ASSERT_TRUE(word.has_value());
+    const auto back = decode(*word);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->op, Op::Str);
+    EXPECT_EQ(back->src1, 3);
+    EXPECT_EQ(back->base, 0);
+    EXPECT_EQ(back->size, 8);
+    EXPECT_EQ(back->edkUse, 1);
+    EXPECT_EQ(back->imm, -8);
+}
+
+TEST(Encoding, RoundTripsEveryOpcode)
+{
+    for (int o = 0; o < kNumOps; ++o) {
+        StaticInst si;
+        si.op = static_cast<Op>(o);
+        const auto word = encode(si);
+        ASSERT_TRUE(word.has_value()) << "op " << o;
+        const auto back = decode(*word);
+        ASSERT_TRUE(back.has_value()) << "op " << o;
+        EXPECT_EQ(back->op, si.op);
+    }
+}
+
+TEST(Encoding, RoundTripsJoinWithThreeKeys)
+{
+    StaticInst si;
+    si.op = Op::Join;
+    si.edkDef = 15;
+    si.edkUse = 7;
+    si.edkUse2 = 9;
+    const auto word = encode(si);
+    ASSERT_TRUE(word.has_value());
+    const auto back = decode(*word);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->edkDef, 15);
+    EXPECT_EQ(back->edkUse, 7);
+    EXPECT_EQ(back->edkUse2, 9);
+}
+
+TEST(Encoding, RejectsKeysOnPlainAlu)
+{
+    StaticInst si;
+    si.op = Op::IntAlu;
+    si.edkDef = 1;
+    EXPECT_FALSE(encode(si).has_value());
+}
+
+TEST(Encoding, RejectsSecondUseKeyOutsideJoin)
+{
+    StaticInst si;
+    si.op = Op::Str;
+    si.edkUse2 = 2;
+    EXPECT_FALSE(encode(si).has_value());
+}
+
+TEST(Encoding, RejectsImmediateOutOfRange)
+{
+    StaticInst si;
+    si.op = Op::IntAlu;
+    si.imm = 1ll << 30;
+    EXPECT_FALSE(encode(si).has_value());
+    si.imm = -(1ll << 30);
+    EXPECT_FALSE(encode(si).has_value());
+}
+
+TEST(Encoding, ImmediateBoundaryValues)
+{
+    StaticInst si;
+    si.op = Op::IntAlu;
+    si.imm = (1ll << 20) - 1;
+    auto word = encode(si);
+    ASSERT_TRUE(word.has_value());
+    EXPECT_EQ(decode(*word)->imm, (1ll << 20) - 1);
+    si.imm = -(1ll << 20);
+    word = encode(si);
+    ASSERT_TRUE(word.has_value());
+    EXPECT_EQ(decode(*word)->imm, -(1ll << 20));
+}
+
+TEST(Encoding, DecodeRejectsBadOpcode)
+{
+    EXPECT_FALSE(decode(0x3f).has_value());
+}
+
+TEST(Encoding, NoRegCanonicalizesToZeroReg)
+{
+    StaticInst si;
+    si.op = Op::Mov;
+    si.dst = 4;
+    si.src1 = kNoReg;
+    const auto back = decode(*encode(si));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->src1, kZeroReg);
+}
+
+TEST(Disasm, MatchesPaperSyntax)
+{
+    StaticInst si;
+    si.op = Op::DcCvap;
+    si.base = 2;
+    si.edkDef = 1;
+    EXPECT_EQ(disassemble(si), "dc cvap (1,0), x2");
+
+    StaticInst st;
+    st.op = Op::Str;
+    st.src1 = 3;
+    st.base = 0;
+    st.edkUse = 1;
+    EXPECT_EQ(disassemble(st), "str (0,1), x3, [x0]");
+
+    StaticInst plain = st;
+    plain.edkUse = 0;
+    EXPECT_EQ(disassemble(plain), "str x3, [x0]");
+
+    StaticInst join;
+    join.op = Op::Join;
+    join.edkDef = 3;
+    join.edkUse = 1;
+    join.edkUse2 = 2;
+    EXPECT_EQ(disassemble(join), "join (3,1,2)");
+
+    StaticInst wk;
+    wk.op = Op::WaitKey;
+    wk.edkUse = 4;
+    EXPECT_EQ(disassemble(wk), "wait_key (4)");
+
+    StaticInst dsb;
+    dsb.op = Op::DsbSy;
+    EXPECT_EQ(disassemble(dsb), "dsb sy");
+}
+
+TEST(Disasm, DynInstShowsAddressAndOutcome)
+{
+    DynInst di;
+    di.si.op = Op::Ldr;
+    di.si.dst = 1;
+    di.si.base = 0;
+    di.addr = 0x1000;
+    const std::string s = disassemble(di);
+    EXPECT_NE(s.find("addr=0x1000"), std::string::npos);
+
+    DynInst br;
+    br.si.op = Op::BranchCond;
+    br.taken = true;
+    EXPECT_NE(disassemble(br).find("taken"), std::string::npos);
+}
+
+TEST(DynInst, WriteBufferEntryPredicate)
+{
+    DynInst di;
+    di.si.op = Op::Str;
+    EXPECT_TRUE(di.entersWriteBuffer());
+    di.si.op = Op::DcCvap;
+    EXPECT_TRUE(di.entersWriteBuffer());
+    di.si.op = Op::Join;
+    EXPECT_TRUE(di.entersWriteBuffer());
+    di.si.op = Op::Ldr;
+    EXPECT_FALSE(di.entersWriteBuffer());
+}
+
+} // namespace
+} // namespace ede

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Tests for the NVM/DRAM devices and the assembled hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_system.hh"
+
+namespace ede {
+namespace {
+
+// ---------------------------------------------------------------
+// NvmDevice unit tests.
+// ---------------------------------------------------------------
+
+TEST(NvmDevice, CleanCompletesWhenBufferAccepts)
+{
+    NvmParams p;
+    NvmDevice nvm(p);
+    ASSERT_TRUE(nvm.tryAccept(MemReq{7, ReqKind::Clean, 0x100, 64}, 0));
+    std::vector<MemResp> out;
+    Cycle now = 0;
+    while (out.empty() && now < 1000)
+        nvm.tick(++now, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].id, 7u);
+    EXPECT_EQ(out[0].kind, ReqKind::Clean);
+    // Acceptance (persistence) is fast -- the media write happens
+    // later in the background.
+    EXPECT_LE(now, p.bufferAccept + 2);
+    EXPECT_EQ(nvm.stats().cleansAccepted, 1u);
+}
+
+TEST(NvmDevice, WritesCoalesceIntoPendingLine)
+{
+    NvmDevice nvm;
+    // Same 256-byte media line.
+    nvm.tryAccept(MemReq{kNoReq, ReqKind::Writeback, 0x100, 64}, 0);
+    nvm.tryAccept(MemReq{kNoReq, ReqKind::Writeback, 0x140, 64}, 0);
+    EXPECT_EQ(nvm.bufferOccupancy(), 1u);
+    EXPECT_EQ(nvm.stats().writesCoalesced, 1u);
+    // A different media line occupies a second slot.
+    nvm.tryAccept(MemReq{kNoReq, ReqKind::Writeback, 0x200, 64}, 0);
+    EXPECT_EQ(nvm.bufferOccupancy(), 2u);
+}
+
+TEST(NvmDevice, BufferFullExertsBackpressure)
+{
+    NvmParams p;
+    p.writeLatency = 1000000; // Keep the media busy forever.
+    p.mediaWriters = 1;
+    NvmDevice nvm(p);
+    for (std::uint32_t i = 0; i < p.bufferSlots; ++i) {
+        ASSERT_TRUE(nvm.tryAccept(
+            MemReq{kNoReq, ReqKind::Writeback,
+                   static_cast<Addr>(i) * 256, 64}, 0));
+    }
+    EXPECT_FALSE(nvm.tryAccept(
+        MemReq{kNoReq, ReqKind::Writeback, 999 * 256, 64}, 0));
+    EXPECT_EQ(nvm.stats().bufferFullRejects, 1u);
+    // Coalescing into an existing line still works when full.
+    EXPECT_TRUE(nvm.tryAccept(MemReq{kNoReq, ReqKind::Writeback, 0x40,
+                                     64}, 0));
+}
+
+TEST(NvmDevice, MediaWriteTakesWriteLatencyAndSamplesOccupancy)
+{
+    NvmParams p;
+    NvmDevice nvm(p);
+    nvm.tryAccept(MemReq{kNoReq, ReqKind::Writeback, 0x0, 64}, 0);
+    std::vector<MemResp> out;
+    Cycle now = 0;
+    while (!nvm.idle() && now < 10 * p.writeLatency)
+        nvm.tick(++now, out);
+    EXPECT_TRUE(nvm.idle());
+    EXPECT_GE(now, p.writeLatency);
+    EXPECT_EQ(nvm.stats().mediaWrites, 1u);
+    EXPECT_EQ(nvm.occupancyDist().totalSamples(), 1u);
+    EXPECT_EQ(nvm.occupancyDist().count(1), 1u); // One pending write.
+}
+
+TEST(NvmDevice, ReadLatencyIsAsymmetric)
+{
+    NvmParams p;
+    NvmDevice nvm(p);
+    nvm.tryAccept(MemReq{1, ReqKind::Read, 0x0, 64}, 0);
+    std::vector<MemResp> out;
+    Cycle now = 0;
+    while (out.empty() && now < 10 * p.readLatency)
+        nvm.tick(++now, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_GE(now, p.readLatency);
+    EXPECT_LT(now, p.writeLatency);
+}
+
+TEST(NvmDevice, ReadsHitThePendingWriteBuffer)
+{
+    NvmParams p;
+    NvmDevice nvm(p);
+    nvm.tryAccept(MemReq{kNoReq, ReqKind::Writeback, 0x100, 64}, 0);
+    nvm.tryAccept(MemReq{1, ReqKind::Read, 0x120, 64}, 0);
+    std::vector<MemResp> out;
+    Cycle now = 0;
+    while (out.empty() && now < p.readLatency)
+        nvm.tick(++now, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_LE(now, p.bufferReadHit + 2);
+    EXPECT_EQ(nvm.stats().bufferReadHits, 1u);
+}
+
+TEST(NvmDevice, PersistHookFiresOnAcceptance)
+{
+    NvmDevice nvm;
+    std::vector<Addr> persisted;
+    nvm.setPersistHook([&](Addr a, std::uint32_t, Cycle) {
+        persisted.push_back(a);
+    });
+    nvm.tryAccept(MemReq{1, ReqKind::Clean, 0x300, 64}, 5);
+    ASSERT_EQ(persisted.size(), 1u);
+    EXPECT_EQ(persisted[0], 0x300u);
+}
+
+TEST(NvmDevice, CoalesceDuringMediaWriteReArmsTheSlot)
+{
+    // A write landing on a line already being pushed to the media
+    // must re-arm the slot: otherwise the newer data would be lost.
+    NvmParams p;
+    p.mediaWriters = 1;
+    NvmDevice nvm(p);
+    std::vector<MemResp> out;
+    Cycle now = 0;
+    nvm.tryAccept(MemReq{kNoReq, ReqKind::Writeback, 0x0, 64}, now);
+    // Let the media write start.
+    for (int i = 0; i < 5; ++i)
+        nvm.tick(++now, out);
+    // Coalesce while writing.
+    nvm.tryAccept(MemReq{kNoReq, ReqKind::Writeback, 0x40, 64}, now);
+    EXPECT_EQ(nvm.bufferOccupancy(), 1u);
+    while (!nvm.idle() && now < 10 * p.writeLatency)
+        nvm.tick(++now, out);
+    EXPECT_TRUE(nvm.idle());
+    // The re-armed slot drained as one (merged) media write.
+    EXPECT_EQ(nvm.stats().mediaWrites, 1u);
+    EXPECT_EQ(nvm.stats().writesCoalesced, 1u);
+}
+
+TEST(NvmDevice, ReadQueueBackpressure)
+{
+    NvmParams p;
+    p.readQueueDepth = 2;
+    p.mediaReaders = 1;
+    NvmDevice nvm(p);
+    // Saturate the single reader and the queue.
+    EXPECT_TRUE(nvm.tryAccept(MemReq{1, ReqKind::Read, 0x0, 64}, 0));
+    std::vector<MemResp> out;
+    nvm.tick(1, out); // First read occupies the port.
+    EXPECT_TRUE(nvm.tryAccept(MemReq{2, ReqKind::Read, 0x400, 64}, 1));
+    EXPECT_TRUE(nvm.tryAccept(MemReq{3, ReqKind::Read, 0x800, 64}, 1));
+    EXPECT_FALSE(nvm.tryAccept(MemReq{4, ReqKind::Read, 0xc00, 64},
+                               1));
+}
+
+TEST(MemSystemWarm, WarmLineMakesLoadsFast)
+{
+    MemSystem mem{MemSystemParams{}};
+    mem.warmLine(0x123400, /*level=*/1);
+    EXPECT_TRUE(mem.l1d().probe(0x123400));
+    EXPECT_TRUE(mem.l2().probe(0x123400));
+    EXPECT_TRUE(mem.l3().probe(0x123400));
+    Cycle now = 0;
+    const auto id = mem.sendLoad(0x123400, 8, now);
+    ASSERT_TRUE(id.has_value());
+    Cycle spent = 0;
+    while (!mem.consumeDone(*id)) {
+        mem.tick(now++);
+        ASSERT_LT(++spent, 20u) << "warm load should hit L1";
+    }
+}
+
+TEST(MemSystemWarm, LevelThreeWarmStopsAtL3)
+{
+    MemSystem mem{MemSystemParams{}};
+    mem.warmLine(0x5000, /*level=*/3);
+    EXPECT_FALSE(mem.l1d().probe(0x5000));
+    EXPECT_FALSE(mem.l2().probe(0x5000));
+    EXPECT_TRUE(mem.l3().probe(0x5000));
+}
+
+// ---------------------------------------------------------------
+// DramDevice unit tests.
+// ---------------------------------------------------------------
+
+TEST(DramDevice, RowHitIsFasterThanRowMiss)
+{
+    DramParams p;
+    auto run_one = [&](Addr a1, Addr a2) {
+        DramDevice dram(p);
+        std::vector<MemResp> out;
+        Cycle now = 0;
+        dram.tryAccept(MemReq{1, ReqKind::Read, a1, 64}, now);
+        while (out.empty())
+            dram.tick(++now, out);
+        out.clear();
+        dram.tryAccept(MemReq{2, ReqKind::Read, a2, 64}, now);
+        const Cycle start = now;
+        while (out.empty())
+            dram.tick(++now, out);
+        return now - start;
+    };
+    // Same row -> hit; same bank different row -> miss.
+    const Cycle hit = run_one(0x0, 0x40);
+    const Cycle miss = run_one(0x0, 0x40 + 2048ull * 32);
+    EXPECT_LT(hit, miss);
+}
+
+TEST(DramDevice, QueueDepthLimitsAcceptance)
+{
+    DramParams p;
+    p.queueDepth = 2;
+    DramDevice dram(p);
+    EXPECT_TRUE(dram.tryAccept(MemReq{1, ReqKind::Read, 0x0, 64}, 0));
+    EXPECT_TRUE(dram.tryAccept(MemReq{2, ReqKind::Read, 0x40, 64}, 0));
+    EXPECT_FALSE(dram.tryAccept(MemReq{3, ReqKind::Read, 0x80, 64}, 0));
+}
+
+TEST(DramDevice, DrainsToIdle)
+{
+    DramDevice dram;
+    dram.tryAccept(MemReq{kNoReq, ReqKind::Writeback, 0x0, 64}, 0);
+    dram.tryAccept(MemReq{1, ReqKind::Read, 0x4000, 64}, 0);
+    std::vector<MemResp> out;
+    Cycle now = 0;
+    while (!dram.idle() && now < 100000)
+        dram.tick(++now, out);
+    EXPECT_TRUE(dram.idle());
+    EXPECT_EQ(dram.stats().reads, 1u);
+    EXPECT_EQ(dram.stats().writes, 1u);
+}
+
+// ---------------------------------------------------------------
+// Full hierarchy.
+// ---------------------------------------------------------------
+
+struct MemSystemFixture : ::testing::Test
+{
+    MemSystemFixture() : mem(MemSystemParams{}) {}
+
+    Cycle
+    runUntilDone(ReqId id, Cycle limit = 100000)
+    {
+        while (!mem.consumeDone(id)) {
+            mem.tick(now++);
+            EXPECT_LT(now, limit) << "request " << id << " hung";
+            if (now >= limit)
+                return now;
+        }
+        return now;
+    }
+
+    MemSystem mem;
+    Cycle now = 0;
+};
+
+TEST_F(MemSystemFixture, ColdDramLoadMissesAllLevels)
+{
+    const auto id = mem.sendLoad(0x10000, 8, now);
+    ASSERT_TRUE(id.has_value());
+    const Cycle done = runUntilDone(*id);
+    // Must at least pay L1+L2+L3 latencies plus DRAM access.
+    EXPECT_GT(done, 33u);
+    EXPECT_EQ(mem.l1d().stats().misses, 1u);
+}
+
+TEST_F(MemSystemFixture, WarmLoadHitsL1)
+{
+    const auto id1 = mem.sendLoad(0x10000, 8, now);
+    runUntilDone(*id1);
+    const Cycle warm_start = now;
+    const auto id2 = mem.sendLoad(0x10008, 8, now);
+    const Cycle done = runUntilDone(*id2);
+    EXPECT_LE(done - warm_start, 4u);
+    EXPECT_EQ(mem.l1d().stats().hits, 1u);
+}
+
+TEST_F(MemSystemFixture, NvmLoadSlowerThanDramLoad)
+{
+    const Addr nvm_addr = mem.params().map.nvmBase() + 0x1000;
+    const auto d = mem.sendLoad(0x20000, 8, now);
+    const Cycle t0 = now;
+    const Cycle dram_done = runUntilDone(*d) - t0;
+    const Cycle t1 = now;
+    const auto n = mem.sendLoad(nvm_addr, 8, now);
+    const Cycle nvm_done = runUntilDone(*n) - t1;
+    EXPECT_GT(nvm_done, dram_done);
+    EXPECT_GE(nvm_done, mem.params().nvm.readLatency);
+}
+
+TEST_F(MemSystemFixture, CleanToNvmPersistsViaBuffer)
+{
+    const Addr nvm_addr = mem.params().map.nvmBase() + 0x40;
+    const auto s = mem.sendStore(nvm_addr, 8, now);
+    runUntilDone(*s);
+    const auto c = mem.sendClean(nvm_addr, now);
+    runUntilDone(*c);
+    EXPECT_EQ(mem.controller().nvm().stats().cleansAccepted, 1u);
+    // Run to idle: the media write completes in the background.
+    while (!mem.idle() && now < 200000)
+        mem.tick(now++);
+    EXPECT_TRUE(mem.idle());
+    EXPECT_GE(mem.controller().nvm().stats().mediaWrites, 1u);
+}
+
+TEST_F(MemSystemFixture, CleanToDramCompletesAtController)
+{
+    const auto c = mem.sendClean(0x30000, now);
+    const Cycle t0 = now;
+    const Cycle done = runUntilDone(*c) - t0;
+    EXPECT_LT(done, mem.params().nvm.bufferAccept + 40);
+    EXPECT_EQ(mem.controller().nvm().stats().cleansAccepted, 0u);
+}
+
+TEST_F(MemSystemFixture, StoreCompletesAtL1NotAtMemory)
+{
+    const auto s = mem.sendStore(0x40000, 8, now);
+    const Cycle t0 = now;
+    runUntilDone(*s);
+    // Write-allocate: the fill costs DRAM latency, but nothing waits
+    // for a memory write.
+    EXPECT_TRUE(mem.l1d().probeDirty(0x40000));
+    EXPECT_GT(now - t0, 0u);
+}
+
+TEST_F(MemSystemFixture, IdleAfterAllTraffic)
+{
+    const auto a = mem.sendLoad(0x1000, 8, now);
+    const auto b = mem.sendStore(mem.params().map.nvmBase() + 0x80, 8,
+                                 now);
+    runUntilDone(*a);
+    runUntilDone(*b);
+    const auto c = mem.sendClean(mem.params().map.nvmBase() + 0x80,
+                                 now);
+    runUntilDone(*c);
+    while (!mem.idle() && now < 500000)
+        mem.tick(now++);
+    EXPECT_TRUE(mem.idle());
+}
+
+} // namespace
+} // namespace ede

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the functional memory image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_image.hh"
+
+namespace ede {
+namespace {
+
+TEST(MemoryImage, ReadsZeroWhenUntouched)
+{
+    MemoryImage img;
+    EXPECT_EQ(img.read<std::uint64_t>(0x1234), 0u);
+    EXPECT_EQ(img.pageCount(), 0u);
+}
+
+TEST(MemoryImage, RoundTripsTypedValues)
+{
+    MemoryImage img;
+    img.write<std::uint64_t>(0x1000, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(img.read<std::uint64_t>(0x1000), 0xdeadbeefcafef00dull);
+    img.write<std::uint32_t>(0x2004, 77u);
+    EXPECT_EQ(img.read<std::uint32_t>(0x2004), 77u);
+}
+
+TEST(MemoryImage, HandlesPageStraddlingAccesses)
+{
+    MemoryImage img;
+    // A page is 4 KiB; write across the boundary.
+    const Addr addr = 0x1ffc;
+    img.write<std::uint64_t>(addr, 0x1122334455667788ull);
+    EXPECT_EQ(img.read<std::uint64_t>(addr), 0x1122334455667788ull);
+    EXPECT_EQ(img.pageCount(), 2u);
+}
+
+TEST(MemoryImage, PartialOverwriteKeepsNeighbours)
+{
+    MemoryImage img;
+    img.write<std::uint64_t>(0x100, ~0ull);
+    img.write<std::uint8_t>(0x104, 0);
+    EXPECT_EQ(img.read<std::uint8_t>(0x103), 0xff);
+    EXPECT_EQ(img.read<std::uint8_t>(0x104), 0x00);
+    EXPECT_EQ(img.read<std::uint8_t>(0x105), 0xff);
+}
+
+TEST(MemoryImage, BulkReadWrite)
+{
+    MemoryImage img;
+    std::vector<std::uint8_t> out(10000);
+    std::vector<std::uint8_t> in(10000);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>(i * 7);
+    img.write(0x8000, in.data(), in.size());
+    img.read(0x8000, out.data(), out.size());
+    EXPECT_EQ(in, out);
+}
+
+TEST(MemoryImage, CopyRangeBetweenImages)
+{
+    MemoryImage src;
+    MemoryImage dst;
+    src.write<std::uint64_t>(0x40, 99);
+    src.write<std::uint64_t>(0x48, 100);
+    dst.write<std::uint64_t>(0x40, 1);
+    dst.copyRange(src, 0x40, 16);
+    EXPECT_EQ(dst.read<std::uint64_t>(0x40), 99u);
+    EXPECT_EQ(dst.read<std::uint64_t>(0x48), 100u);
+}
+
+TEST(MemoryImage, CopyRangeFromUntouchedSourceZeroes)
+{
+    MemoryImage src;
+    MemoryImage dst;
+    dst.write<std::uint64_t>(0x40, 7);
+    dst.copyRange(src, 0x40, 8);
+    EXPECT_EQ(dst.read<std::uint64_t>(0x40), 0u);
+}
+
+TEST(MemoryImage, ClearDropsContents)
+{
+    MemoryImage img;
+    img.write<std::uint64_t>(0x10, 5);
+    img.clear();
+    EXPECT_EQ(img.read<std::uint64_t>(0x10), 0u);
+    EXPECT_EQ(img.pageCount(), 0u);
+}
+
+TEST(MemoryImage, HighAddressesWork)
+{
+    MemoryImage img;
+    const Addr nvm = (2ull << 30) + 0x123450;
+    img.write<std::uint64_t>(nvm, 42);
+    EXPECT_EQ(img.read<std::uint64_t>(nvm), 42u);
+}
+
+} // namespace
+} // namespace ede

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Property sweeps over core parameters: for any sensible structure
+ * sizing the pipeline must terminate, retire every instruction
+ * exactly once, keep EDE orderings, and behave monotonically where
+ * the architecture says it should.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sim_test_util.hh"
+
+namespace ede {
+namespace {
+
+/** A mixed workload with EDE pairs, branches, loads and fences. */
+struct BuiltTrace
+{
+    Trace trace;
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+};
+
+BuiltTrace
+mixedTrace(MiniSim &sim, std::uint64_t seed, int ops)
+{
+    BuiltTrace out;
+    TraceBuilder b(out.trace);
+    Rng rng(seed);
+    for (int i = 0; i < 8; ++i)
+        b.str(1, 2, MiniSim::dramLine(i), 0);
+    b.dsbSy();
+    for (int i = 0; i < ops; ++i) {
+        const Edk key = static_cast<Edk>(1 + rng.below(15));
+        const std::size_t p = b.cvap(
+            2, sim.nvmLine(static_cast<int>(rng.below(32))), {key, 0});
+        for (int f = 0; f < static_cast<int>(rng.below(4)); ++f)
+            b.alu(static_cast<RegIndex>(5 + (f % 4)), kZeroReg);
+        if (rng.chance(0.25)) {
+            b.branchCond("p" + std::to_string(rng.below(3)), 1, 2,
+                         rng.chance(0.5));
+        }
+        if (rng.chance(0.3))
+            b.ldr(6, 7, MiniSim::dramLine(static_cast<int>(
+                            rng.below(8))));
+        const std::size_t c = b.str(
+            3, 4, MiniSim::dramLine(static_cast<int>(rng.below(8))),
+            i + 1, 0, {0, key});
+        out.pairs.emplace_back(p, c);
+        if (rng.chance(0.1))
+            b.dsbSy();
+        if (rng.chance(0.1))
+            b.waitKey(static_cast<Edk>(1 + rng.below(15)));
+    }
+    return out;
+}
+
+struct ParamPoint
+{
+    const char *name;
+    CoreParams params;
+};
+
+std::vector<ParamPoint>
+paramPoints()
+{
+    std::vector<ParamPoint> points;
+    {
+        CoreParams p;
+        points.push_back({"table1", p});
+    }
+    {
+        CoreParams p;
+        p.robSize = 16;
+        p.iqSize = 8;
+        points.push_back({"narrow_window", p});
+    }
+    {
+        CoreParams p;
+        p.lqSize = 2;
+        p.sqSize = 2;
+        points.push_back({"tiny_lsq", p});
+    }
+    {
+        CoreParams p;
+        p.wbSize = 1;
+        p.wbDrainPerCycle = 1;
+        points.push_back({"single_wb", p});
+    }
+    {
+        CoreParams p;
+        p.fetchWidth = 1;
+        p.retireWidth = 1;
+        p.issueWidth = 1;
+        points.push_back({"scalar", p});
+    }
+    {
+        CoreParams p;
+        p.robSize = 256;
+        p.iqSize = 96;
+        p.wbSize = 64;
+        points.push_back({"huge", p});
+    }
+    {
+        CoreParams p;
+        p.mispredictPenalty = 30;
+        points.push_back({"slow_redirect", p});
+    }
+    return points;
+}
+
+using SweepParam = std::tuple<int /*point*/, EnforceMode>;
+
+class ParamSweepTest : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(ParamSweepTest, TerminatesRetiresAndKeepsOrdering)
+{
+    const auto [point_idx, mode] = GetParam();
+    const ParamPoint point = paramPoints()[point_idx];
+    for (std::uint64_t seed : {11ull, 23ull}) {
+        MiniSim sim(mode, point.params);
+        const BuiltTrace bt = mixedTrace(sim, seed, 40);
+        sim.run(bt.trace);
+        EXPECT_EQ(sim.core->stats().retired, bt.trace.size())
+            << point.name << " seed " << seed;
+        for (const auto &[p, c] : bt.pairs) {
+            EXPECT_GE(sim.done(c), sim.done(p))
+                << point.name << " seed " << seed;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParamSweepTest,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(EnforceMode::None,
+                                         EnforceMode::IQ,
+                                         EnforceMode::WB)),
+    [](const auto &info) {
+        return std::string(paramPoints()[std::get<0>(info.param)]
+                               .name) +
+               "_" +
+               std::string(enforceModeName(std::get<1>(info.param)));
+    });
+
+TEST(ParamMonotonicity, BiggerWriteBufferNeverHurts)
+{
+    for (EnforceMode mode : {EnforceMode::None, EnforceMode::WB}) {
+        Cycle prev = ~Cycle{0};
+        for (int wb : {2, 8, 32}) {
+            CoreParams p;
+            p.wbSize = wb;
+            MiniSim sim(mode, p);
+            const BuiltTrace bt = mixedTrace(sim, 5, 60);
+            const Cycle cycles = sim.run(bt.trace);
+            EXPECT_LE(cycles, prev + prev / 10)
+                << "wb=" << wb; // Allow small scheduling noise.
+            prev = cycles;
+        }
+    }
+}
+
+TEST(ParamMonotonicity, WiderMachineNeverHurtsMuch)
+{
+    Cycle narrow_cycles = 0;
+    Cycle wide_cycles = 0;
+    {
+        CoreParams p;
+        p.fetchWidth = 1;
+        p.issueWidth = 1;
+        p.retireWidth = 1;
+        MiniSim sim(EnforceMode::WB, p);
+        const BuiltTrace bt = mixedTrace(sim, 9, 60);
+        narrow_cycles = sim.run(bt.trace);
+    }
+    {
+        MiniSim sim(EnforceMode::WB);
+        const BuiltTrace bt = mixedTrace(sim, 9, 60);
+        wide_cycles = sim.run(bt.trace);
+    }
+    EXPECT_LE(wide_cycles, narrow_cycles);
+}
+
+TEST(ParamMonotonicity, MispredictPenaltyCostsCycles)
+{
+    auto run_with_penalty = [](Cycle penalty) {
+        CoreParams p;
+        p.mispredictPenalty = penalty;
+        MiniSim sim(EnforceMode::None, p);
+        Trace t;
+        TraceBuilder b(t);
+        for (int i = 0; i < 30; ++i) {
+            // Alternating outcome defeats the bimodal predictor.
+            b.branchCond("alt", 1, 2, i % 2 == 0);
+            b.alu(3, 3, kNoReg, 1);
+        }
+        return sim.run(t);
+    };
+    EXPECT_LT(run_with_penalty(2), run_with_penalty(40));
+}
+
+} // namespace
+} // namespace ede

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the statistics toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace ede {
+namespace {
+
+TEST(Histogram, EmptyHistogramReportsZeros)
+{
+    Histogram h(4);
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, CountsAndFractions)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(0);
+    h.sample(1);
+    h.sample(3);
+    EXPECT_EQ(h.totalSamples(), 4u);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 0 + 1 + 3) / 4.0);
+}
+
+TEST(Histogram, OverflowClampsIntoTopBucket)
+{
+    Histogram h(3);
+    h.sample(10);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.saturated(), 1u);
+}
+
+TEST(Histogram, MergeAccumulates)
+{
+    Histogram a(3);
+    Histogram b(3);
+    a.sample(1);
+    b.sample(1);
+    b.sample(2);
+    a.merge(b);
+    EXPECT_EQ(a.count(1), 2u);
+    EXPECT_EQ(a.count(2), 1u);
+    EXPECT_EQ(a.totalSamples(), 3u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(3);
+    h.sample(2);
+    h.reset();
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.count(2), 0u);
+}
+
+TEST(Distribution, BucketsByWidth)
+{
+    Distribution d(128, 8);
+    d.sample(0);
+    d.sample(7);
+    d.sample(8);
+    d.sample(128);
+    EXPECT_EQ(d.count(0), 2u);
+    EXPECT_EQ(d.count(1), 1u);
+    EXPECT_EQ(d.count(16), 1u);
+    EXPECT_EQ(d.bucketLo(1), 8u);
+    EXPECT_EQ(d.bucketHi(1), 15u);
+    EXPECT_EQ(d.bucketHi(16), 128u);
+}
+
+TEST(Distribution, ClampsAboveMax)
+{
+    Distribution d(10, 1);
+    d.sample(500);
+    EXPECT_EQ(d.count(10), 1u);
+    EXPECT_DOUBLE_EQ(d.mean(), 10.0);
+}
+
+TEST(Distribution, MeanTracksSamples)
+{
+    Distribution d(100, 1);
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    EXPECT_EQ(d.totalSamples(), 3u);
+}
+
+TEST(Geomean, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Mean, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"a", "long-header"});
+    t.addRow({"xx", "y"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("a   long-header"), std::string::npos);
+    EXPECT_NE(s.find("xx  y"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Format, DoubleAndPercent)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtPercent(0.1234, 1), "12.3%");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RealStaysInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = r.real();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, BetweenIsInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.between(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+} // namespace
+} // namespace ede

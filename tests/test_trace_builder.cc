@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the trace container and codegen builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/builder.hh"
+
+namespace ede {
+namespace {
+
+TEST(Trace, CountsByOpcode)
+{
+    Trace t;
+    TraceBuilder b(t);
+    b.movImm(1, 5);
+    b.str(1, 2, 0x1000, 5);
+    b.str(1, 2, 0x1008, 6);
+    b.dsbSy();
+    b.dmbSt();
+    EXPECT_EQ(t.size(), 5u);
+    EXPECT_EQ(t.opCount(Op::Str), 2u);
+    EXPECT_EQ(t.opCount(Op::Mov), 1u);
+    EXPECT_EQ(t.fenceCount(), 2u);
+}
+
+TEST(Trace, EdeCountTracksKeyUsage)
+{
+    Trace t;
+    TraceBuilder b(t);
+    b.str(1, 2, 0x1000, 5);
+    b.str(1, 2, 0x1008, 5, 0, {0, 1});
+    b.cvap(2, 0x1000, {1, 0});
+    b.join(1, 2, 3);
+    EXPECT_EQ(t.edeCount(), 3u);
+}
+
+TEST(TraceBuilder, AutoPcsAdvanceByFour)
+{
+    Trace t;
+    TraceBuilder b(t, 0x1000);
+    b.nop();
+    b.nop();
+    EXPECT_EQ(t[0].pc, 0x1000u);
+    EXPECT_EQ(t[1].pc, 0x1004u);
+}
+
+TEST(TraceBuilder, SitePcsAreStable)
+{
+    Trace t;
+    TraceBuilder b(t);
+    const std::size_t i1 = b.branchCond("loop", 1, 2, true);
+    b.nop();
+    const std::size_t i2 = b.branchCond("loop", 1, 2, false);
+    const std::size_t i3 = b.branchCond("other", 1, 2, true);
+    EXPECT_EQ(t[i1].pc, t[i2].pc);
+    EXPECT_NE(t[i1].pc, t[i3].pc);
+}
+
+TEST(TraceBuilder, StoreCarriesValueAndAddress)
+{
+    Trace t;
+    TraceBuilder b(t);
+    const std::size_t i = b.str(3, 0, 0x2000, 42, 0, {0, 1});
+    EXPECT_EQ(t[i].addr, 0x2000u);
+    EXPECT_EQ(t[i].val0, 42u);
+    EXPECT_EQ(t[i].si.size, 8);
+    EXPECT_EQ(t[i].si.edkUse, 1);
+    EXPECT_TRUE(t[i].isStore());
+}
+
+TEST(TraceBuilder, StpCarriesBothValues)
+{
+    Trace t;
+    TraceBuilder b(t);
+    const std::size_t i = b.stp(0, 1, 2, 0x3000, 7, 8);
+    EXPECT_EQ(t[i].val0, 7u);
+    EXPECT_EQ(t[i].val1, 8u);
+    EXPECT_EQ(t[i].si.size, 16);
+}
+
+TEST(TraceBuilder, CvapKeysAndAddress)
+{
+    Trace t;
+    TraceBuilder b(t);
+    const std::size_t i = b.cvap(2, 0x4000, {5, 0});
+    EXPECT_TRUE(t[i].isCvap());
+    EXPECT_EQ(t[i].si.edkDef, 5);
+    EXPECT_EQ(t[i].addr, 0x4000u);
+}
+
+TEST(TraceBuilder, WaitKeyIsProducerAndConsumer)
+{
+    Trace t;
+    TraceBuilder b(t);
+    const std::size_t i = b.waitKey(6);
+    EXPECT_EQ(t[i].op(), Op::WaitKey);
+    EXPECT_EQ(t[i].si.edkUse, 6);
+}
+
+TEST(TraceBuilder, BranchOutcomeRecorded)
+{
+    Trace t;
+    TraceBuilder b(t);
+    const std::size_t i = b.branchCond("x", 1, 2, true);
+    EXPECT_TRUE(t[i].taken);
+    EXPECT_TRUE(t[i].isBranch());
+    const std::size_t j = b.branch("y");
+    EXPECT_TRUE(t[j].taken);
+}
+
+TEST(TraceBuilder, ClearResetsCounts)
+{
+    Trace t;
+    TraceBuilder b(t);
+    b.dsbSy();
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.fenceCount(), 0u);
+}
+
+TEST(TempRegPool, RotatesThroughRange)
+{
+    TempRegPool pool(4, 6);
+    EXPECT_EQ(pool.get(), 4);
+    EXPECT_EQ(pool.get(), 5);
+    EXPECT_EQ(pool.get(), 6);
+    EXPECT_EQ(pool.get(), 4);
+}
+
+} // namespace
+} // namespace ede

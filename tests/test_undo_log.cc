@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for undo-log recovery over crash images.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvm/undo_log.hh"
+
+namespace ede {
+namespace {
+
+UndoLogLayout
+layout()
+{
+    UndoLogLayout l;
+    l.stateAddr = 2ull << 30;
+    l.entriesBase = l.stateAddr + 64;
+    l.capacity = 16;
+    return l;
+}
+
+void
+putEntry(MemoryImage &img, const UndoLogLayout &l, std::uint64_t i,
+         Addr target, std::uint64_t old_val)
+{
+    img.write<std::uint64_t>(l.entryAddr(i), target);
+    img.write<std::uint64_t>(l.entryAddr(i) + 8, old_val);
+}
+
+TEST(UndoLog, EmptyActiveLogIsANoop)
+{
+    MemoryImage img;
+    const auto l = layout();
+    img.write<std::uint64_t>(l.stateAddr, kTxActive);
+    const auto r = recoverUndoLog(img, l);
+    EXPECT_FALSE(r.sawCommitted);
+    EXPECT_EQ(r.entriesApplied, 0u);
+    EXPECT_EQ(r.entriesZeroed, 0u);
+}
+
+TEST(UndoLog, ActiveLogRollsBack)
+{
+    MemoryImage img;
+    const auto l = layout();
+    const Addr x = l.stateAddr + 0x10000;
+    img.write<std::uint64_t>(x, 999);        // Uncommitted new value.
+    putEntry(img, l, 0, x, 5);               // Old value was 5.
+    const auto r = recoverUndoLog(img, l);
+    EXPECT_FALSE(r.sawCommitted);
+    EXPECT_EQ(r.entriesApplied, 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(x), 5u);
+    // The log is left empty and active.
+    EXPECT_EQ(img.read<std::uint64_t>(l.entryAddr(0)), 0u);
+    EXPECT_EQ(img.read<std::uint64_t>(l.stateAddr), kTxActive);
+}
+
+TEST(UndoLog, RollbackAppliesNewestFirst)
+{
+    MemoryImage img;
+    const auto l = layout();
+    const Addr x = l.stateAddr + 0x10000;
+    img.write<std::uint64_t>(x, 3);
+    putEntry(img, l, 0, x, 1); // First write logged old value 1.
+    putEntry(img, l, 1, x, 2); // Second write logged old value 2.
+    recoverUndoLog(img, l);
+    // Rolling back must restore the OLDEST value.
+    EXPECT_EQ(img.read<std::uint64_t>(x), 1u);
+}
+
+TEST(UndoLog, CommittedLogIsNotApplied)
+{
+    MemoryImage img;
+    const auto l = layout();
+    const Addr x = l.stateAddr + 0x10000;
+    img.write<std::uint64_t>(x, 999);
+    putEntry(img, l, 0, x, 5);
+    img.write<std::uint64_t>(l.stateAddr, kTxCommitted);
+    const auto r = recoverUndoLog(img, l);
+    EXPECT_TRUE(r.sawCommitted);
+    EXPECT_EQ(r.entriesApplied, 0u);
+    EXPECT_EQ(r.entriesZeroed, 1u);
+    // Data keeps the committed value; log is truncated.
+    EXPECT_EQ(img.read<std::uint64_t>(x), 999u);
+    EXPECT_EQ(img.read<std::uint64_t>(l.stateAddr), kTxActive);
+}
+
+TEST(UndoLog, SparseValidEntriesHandled)
+{
+    MemoryImage img;
+    const auto l = layout();
+    const Addr x = l.stateAddr + 0x10000;
+    const Addr y = x + 64;
+    img.write<std::uint64_t>(x, 10);
+    img.write<std::uint64_t>(y, 20);
+    putEntry(img, l, 2, x, 1);
+    putEntry(img, l, 7, y, 2);
+    const auto r = recoverUndoLog(img, l);
+    EXPECT_EQ(r.entriesApplied, 2u);
+    EXPECT_EQ(img.read<std::uint64_t>(x), 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(y), 2u);
+}
+
+TEST(UndoLog, RecoveryIsIdempotent)
+{
+    MemoryImage img;
+    const auto l = layout();
+    const Addr x = l.stateAddr + 0x10000;
+    img.write<std::uint64_t>(x, 9);
+    putEntry(img, l, 0, x, 4);
+    recoverUndoLog(img, l);
+    const auto r2 = recoverUndoLog(img, l);
+    EXPECT_EQ(r2.entriesApplied, 0u);
+    EXPECT_EQ(img.read<std::uint64_t>(x), 4u);
+}
+
+} // namespace
+} // namespace ede
