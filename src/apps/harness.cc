@@ -90,7 +90,14 @@ WorkloadHarness::simulate()
         baselineNvm_ = system_->nvmImage();
     }
     system_->core().watchCompletion(setupEndIdx_);
-    return system_->run(trace_);
+    const Cycle cycles = system_->run(trace_);
+    // Tests and benches expect a completed run; a watchdog or
+    // max-cycles abort is fatal here, but now dies with the full
+    // structured dump instead of a one-line panic.
+    if (const SimError &err = system_->core().simError()) {
+        ede_panic("simulation aborted\n", err.describe());
+    }
+    return cycles;
 }
 
 Cycle
@@ -110,6 +117,27 @@ WorkloadHarness::audit() const
                "audit needs enableAudit() and a completed run");
     return auditPersistOrdering(framework_->obligations(),
                                 system_->completionCycles());
+}
+
+const MemoryImage &
+WorkloadHarness::baselineNvm() const
+{
+    ede_assert(auditing_ && simulated_,
+               "baselineNvm needs enableAudit() and a completed run");
+    return baselineNvm_;
+}
+
+std::vector<Cycle>
+WorkloadHarness::commitCycles() const
+{
+    ede_assert(auditing_ && simulated_,
+               "commitCycles needs enableAudit() and a completed run");
+    const std::vector<Cycle> &done = system_->completionCycles();
+    std::vector<Cycle> cycles;
+    cycles.reserve(framework_->commitMarks().size());
+    for (std::size_t idx : framework_->commitMarks())
+        cycles.push_back(done.at(idx));
+    return cycles;
 }
 
 MemoryImage

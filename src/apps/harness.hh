@@ -69,6 +69,20 @@ class WorkloadHarness
      */
     Cycle setupCompleteCycle() const;
 
+    /**
+     * Durable pool contents before the run started -- the base every
+     * crash image is reconstructed on (requires enableAudit and a
+     * completed run).
+     */
+    const MemoryImage &baselineNvm() const;
+
+    /**
+     * Completion cycle of each transaction's state-clear persist, in
+     * transaction order: the commit boundaries the crash campaign
+     * stratifies over (requires enableAudit and a completed run).
+     */
+    std::vector<Cycle> commitCycles() const;
+
     /** @name Component access. */
     /// @{
     System &system() { return *system_; }
@@ -76,6 +90,7 @@ class WorkloadHarness
     App &app() { return *app_; }
     const App &app() const { return *app_; }
     NvmFramework &framework() { return *framework_; }
+    const NvmFramework &framework() const { return *framework_; }
     Trace &trace() { return trace_; }
     const Trace &trace() const { return trace_; }
     const RunSpec &spec() const { return spec_; }

@@ -1,0 +1,287 @@
+#include "fault/campaign.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "apps/harness.hh"
+#include "common/logging.hh"
+#include "fault/crash_image.hh"
+#include "nvm/undo_log.hh"
+
+namespace ede {
+
+namespace {
+
+/** Decorrelated 64-bit stream: one value per (seed, salt) pair. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    Rng rng(seed ^ (salt * 0x9e3779b97f4a7c15ull));
+    return rng.next();
+}
+
+std::uint64_t
+configSalt(Config cfg)
+{
+    return static_cast<std::uint64_t>(cfg) + 1;
+}
+
+/**
+ * Candidate crash cycles at persist boundaries (each accept cycle and
+ * the cycle after it), stratified over inter-commit windows when the
+ * budget is smaller than the candidate set.  @p budget 0 or larger
+ * than the candidate count means exhaustive.
+ */
+std::vector<Cycle>
+selectCrashPoints(const WorkloadHarness &h, std::size_t budget)
+{
+    const Cycle setup_done = h.setupCompleteCycle();
+    std::vector<Cycle> candidates;
+    for (const PersistEvent &ev : h.system().persistEvents()) {
+        if (ev.cycle < setup_done)
+            continue;
+        candidates.push_back(ev.cycle);
+        candidates.push_back(ev.cycle + 1);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(
+        std::unique(candidates.begin(), candidates.end()),
+        candidates.end());
+    if (budget == 0 || candidates.size() <= budget)
+        return candidates;
+
+    // Group candidates by the inter-commit window they fall in, so
+    // the thinned set still probes every transaction's commit
+    // protocol instead of only the persist-dense stretches.
+    std::vector<Cycle> commits = h.commitCycles();
+    std::sort(commits.begin(), commits.end());
+    std::vector<std::vector<Cycle>> strata(commits.size() + 1);
+    for (Cycle c : candidates) {
+        const std::size_t s = static_cast<std::size_t>(
+            std::lower_bound(commits.begin(), commits.end(), c) -
+            commits.begin());
+        strata[s].push_back(c);
+    }
+    std::erase_if(strata,
+                  [](const std::vector<Cycle> &s) { return s.empty(); });
+
+    // Even per-stratum quotas; spare budget spills into the strata
+    // that still have unpicked candidates.
+    const std::size_t n = strata.size();
+    std::vector<std::size_t> take(n, 0);
+    std::size_t remaining = budget;
+    for (std::size_t i = 0; i < n && remaining; ++i) {
+        take[i] = std::min(strata[i].size(),
+                           std::max<std::size_t>(1, budget / n));
+        remaining -= std::min(remaining, take[i]);
+    }
+    bool grew = true;
+    while (remaining && grew) {
+        grew = false;
+        for (std::size_t i = 0; i < n && remaining; ++i) {
+            if (take[i] < strata[i].size()) {
+                ++take[i];
+                --remaining;
+                grew = true;
+            }
+        }
+    }
+
+    std::vector<Cycle> points;
+    points.reserve(budget);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Evenly spaced picks inside the stratum.
+        for (std::size_t j = 0; j < take[i]; ++j)
+            points.push_back(strata[i][j * strata[i].size() / take[i]]);
+    }
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()),
+                 points.end());
+    return points;
+}
+
+/** Reconstruct, recover, classify one crash point under @p plan. */
+CrashPointResult
+classifyPoint(const WorkloadHarness &h, Cycle crashCycle,
+              const FaultPlan &plan)
+{
+    const System &sys = h.system();
+    MemoryImage img = h.baselineNvm();
+    applyFaultyPersistEvents(
+        img, sys.persistEvents(), sys.mediaWriteEvents(), crashCycle,
+        plan, sys.mem().controller().nvm().params().lineBytes);
+    const RecoveryResult rec =
+        recoverUndoLog(img, h.framework().logLayout());
+
+    CrashPointResult r;
+    r.crashCycle = crashCycle;
+    r.plan = plan;
+    r.entriesTorn = rec.entriesTorn;
+    if (h.app().checkRecovered(img)) {
+        r.outcome = rec.entriesTorn ? CrashOutcome::TornLogDetected
+                                    : CrashOutcome::Recovered;
+    } else {
+        r.outcome = CrashOutcome::Unrecoverable;
+    }
+    return r;
+}
+
+/**
+ * Shrink a failing plan to the weakest variant that still fails:
+ * no faults at all, tear only, drain only, then the original.  The
+ * reconstruction is pure, so re-classification is cheap.
+ */
+FaultPlan
+shrinkFailure(const WorkloadHarness &h, Cycle crashCycle,
+              const FaultPlan &plan)
+{
+    FaultPlan benign = plan;
+    benign.drainLines = FaultPlan::kDrainAll;
+    benign.tear = TearKind::None;
+
+    FaultPlan tear_only = benign;
+    tear_only.tear = plan.tear;
+
+    FaultPlan drain_only = benign;
+    drain_only.drainLines = plan.drainLines;
+
+    for (const FaultPlan &candidate :
+         {benign, tear_only, drain_only, plan}) {
+        if (classifyPoint(h, crashCycle, candidate).outcome ==
+            CrashOutcome::Unrecoverable) {
+            return candidate;
+        }
+    }
+    return plan;  // Unreachable: the caller saw `plan` fail.
+}
+
+CampaignConfigResult
+runConfig(const CampaignOptions &options, Config cfg)
+{
+    WorkloadHarness h(options.app, cfg, options.spec);
+    h.enableAudit();
+
+    // Transient accept faults pressure the whole simulated run; the
+    // controller's bounded-backoff retries must absorb them without
+    // wedging any configuration.
+    FaultPlan sim_plan;
+    sim_plan.seed = mixSeed(options.seed, configSalt(cfg));
+    sim_plan.acceptFaultRate = options.acceptFaultRate;
+    h.system().mem().controller().nvm().setAcceptFaultHook(
+        makeAcceptFaultInjector(sim_plan));
+
+    h.generate();
+    h.simulate();
+
+    CampaignConfigResult result;
+    result.config = cfg;
+    result.cycles = h.system().core().stats().cycles;
+    result.transientRejects =
+        h.system().mem().controller().nvm().stats().transientRejects;
+
+    const std::uint32_t wpq_slots =
+        h.system().mem().controller().nvm().params().bufferSlots;
+    const std::vector<Cycle> points =
+        selectCrashPoints(h, options.pointsPerConfig);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const FaultPlan plan = makeFaultPlan(
+            mixSeed(sim_plan.seed, 0x6001 + i), wpq_slots);
+        CrashPointResult r = classifyPoint(h, points[i], plan);
+        ++result.points;
+        switch (r.outcome) {
+          case CrashOutcome::Recovered:
+            ++result.recovered;
+            break;
+          case CrashOutcome::TornLogDetected:
+            ++result.tornDetected;
+            break;
+          case CrashOutcome::Unrecoverable:
+            ++result.unrecoverable;
+            if (!configIsUnsafe(cfg)) {
+                Reproducer rep;
+                rep.seed = options.seed;
+                rep.config = cfg;
+                rep.crashCycle = points[i];
+                rep.plan = shrinkFailure(h, points[i], plan);
+                result.failures.push_back(std::move(rep));
+            }
+            break;
+        }
+        result.results.push_back(std::move(r));
+    }
+    return result;
+}
+
+} // namespace
+
+const char *
+crashOutcomeName(CrashOutcome outcome)
+{
+    switch (outcome) {
+      case CrashOutcome::Recovered:
+        return "recovered";
+      case CrashOutcome::TornLogDetected:
+        return "torn-log-detected";
+      case CrashOutcome::Unrecoverable:
+        return "unrecoverable";
+    }
+    return "unknown";
+}
+
+std::string
+Reproducer::describe() const
+{
+    std::ostringstream os;
+    os << "{seed=" << seed << ", config=" << configName(config)
+       << ", crashCycle=" << crashCycle << ", faultPlan={"
+       << plan.describe() << "}}";
+    return os.str();
+}
+
+bool
+CampaignReport::safeConfigsClean() const
+{
+    for (const CampaignConfigResult &c : configs) {
+        if (!configIsUnsafe(c.config) && c.unrecoverable > 0)
+            return false;
+    }
+    return true;
+}
+
+std::string
+CampaignReport::describe() const
+{
+    std::ostringstream os;
+    os << "fault campaign: app=" << appName(options.app) << " seed="
+       << options.seed << " points/config="
+       << (options.pointsPerConfig
+               ? std::to_string(options.pointsPerConfig)
+               : std::string("exhaustive"))
+       << " acceptFaultRate=" << options.acceptFaultRate << "\n";
+    for (const CampaignConfigResult &c : configs) {
+        os << "  " << configName(c.config) << ": " << c.points
+           << " points -> " << c.recovered << " recovered, "
+           << c.tornDetected << " torn-log-detected, "
+           << c.unrecoverable << " unrecoverable  (run=" << c.cycles
+           << " cycles, transientRejects=" << c.transientRejects
+           << ")\n";
+        for (const Reproducer &rep : c.failures)
+            os << "    FAILURE " << rep.describe() << "\n";
+    }
+    os << (safeConfigsClean()
+               ? "  safe configurations clean (Table III holds)\n"
+               : "  SAFE CONFIGURATION FAILURES above\n");
+    return os.str();
+}
+
+CampaignReport
+runCampaign(const CampaignOptions &options)
+{
+    CampaignReport report;
+    report.options = options;
+    for (Config cfg : options.configs)
+        report.configs.push_back(runConfig(options, cfg));
+    return report;
+}
+
+} // namespace ede

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The crash-injection campaign.
+ *
+ * One campaign run takes a workload and a root seed and, for every
+ * Table III configuration:
+ *
+ *  1. simulates the workload once with the plan's transient
+ *     accept-fault injector installed on the NVM device;
+ *  2. enumerates candidate crash cycles at persist boundaries (each
+ *     persist-accept cycle and the cycle after it), stratified across
+ *     the inter-commit windows so every transaction's commit protocol
+ *     is probed, not just the cycles where persists cluster;
+ *  3. reconstructs the adversarial crash image for each point under a
+ *     per-point FaultPlan (ADR drain budget + torn final persist),
+ *     runs undo-log recovery, and classifies the outcome;
+ *  4. for safe-configuration failures, shrinks the fault plan to the
+ *     weakest one that still fails and records a minimal
+ *     {seed, config, crashCycle, faultPlan} reproducer.
+ *
+ * The paper's Table III safety claim becomes the campaign's
+ * acceptance check: B/IQ/WB must classify every point as Recovered or
+ * TornLogDetected; U must produce at least one Unrecoverable point.
+ */
+
+#ifndef EDE_FAULT_CAMPAIGN_HH
+#define EDE_FAULT_CAMPAIGN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "apps/driver.hh"
+#include "fault/fault_plan.hh"
+#include "sim/config.hh"
+
+namespace ede {
+
+/** Classification of one crash point. */
+enum class CrashOutcome
+{
+    Recovered,       ///< Image recovered to a transaction boundary.
+    TornLogDetected, ///< Recovered; torn log entries were discarded.
+    Unrecoverable,   ///< No transaction boundary matches the image.
+};
+
+const char *crashOutcomeName(CrashOutcome outcome);
+
+/** A minimal failing tuple, printable and replayable. */
+struct Reproducer
+{
+    std::uint64_t seed = 0;     ///< Campaign root seed.
+    Config config = Config::B;
+    Cycle crashCycle = 0;
+    FaultPlan plan;
+
+    /** One-line `{seed, config, crashCycle, faultPlan}` tuple. */
+    std::string describe() const;
+};
+
+/** One classified crash point. */
+struct CrashPointResult
+{
+    Cycle crashCycle = 0;
+    CrashOutcome outcome = CrashOutcome::Recovered;
+    FaultPlan plan;
+    std::uint64_t entriesTorn = 0;  ///< Discarded by recovery.
+};
+
+/** Per-configuration tallies. */
+struct CampaignConfigResult
+{
+    Config config = Config::B;
+    Cycle cycles = 0;                  ///< Simulated run length.
+    std::uint64_t transientRejects = 0;
+    std::size_t points = 0;
+    std::size_t recovered = 0;
+    std::size_t tornDetected = 0;
+    std::size_t unrecoverable = 0;
+    std::vector<CrashPointResult> results;
+    std::vector<Reproducer> failures;  ///< Safe-config only, shrunk.
+};
+
+/** Campaign parameters; everything flows from one root seed. */
+struct CampaignOptions
+{
+    AppId app = AppId::Update;
+    std::uint64_t seed = 1;
+    std::size_t pointsPerConfig = 200;  ///< 0 = exhaustive.
+    RunSpec spec{/*txns=*/6, /*opsPerTxn=*/8, /*seed=*/42};
+    double acceptFaultRate = 0.02;      ///< Transient-fault pressure.
+    std::vector<Config> configs{kAllConfigs.begin(), kAllConfigs.end()};
+};
+
+/** The whole campaign's outcome. */
+struct CampaignReport
+{
+    CampaignOptions options;
+    std::vector<CampaignConfigResult> configs;
+
+    /** Table III holds: no safe config produced an unrecoverable. */
+    bool safeConfigsClean() const;
+
+    /** Multi-line human-readable summary with reproducer tuples. */
+    std::string describe() const;
+};
+
+/** Run the campaign. */
+CampaignReport runCampaign(const CampaignOptions &options);
+
+} // namespace ede
+
+#endif // EDE_FAULT_CAMPAIGN_HH

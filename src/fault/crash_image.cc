@@ -1,0 +1,133 @@
+#include "fault/crash_image.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace ede {
+
+namespace {
+
+/** Write the surviving 8-byte chunks of a torn event. */
+void
+applyTorn(MemoryImage &image, const PersistEvent &ev,
+          std::uint64_t mask)
+{
+    const std::size_t chunks = (ev.size + 7) / 8;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        if (!(mask & (std::uint64_t{1} << c)))
+            continue;
+        const std::size_t off = 8 * c;
+        const std::size_t len =
+            std::min<std::size_t>(8, ev.size - off);
+        image.write(ev.addr + off, ev.bytes.data() + off, len);
+    }
+}
+
+} // namespace
+
+FaultyImageReport
+applyFaultyPersistEvents(MemoryImage &image,
+                         const std::vector<PersistEvent> &events,
+                         const std::vector<MediaWriteEvent> &mediaWrites,
+                         Cycle crashCycle, const FaultPlan &plan,
+                         std::uint32_t lineBytes)
+{
+    FaultyImageReport report;
+    const Addr line_mask = ~static_cast<Addr>(lineBytes - 1);
+
+    // Per-line sorted media-write cycles.  A completed media write at
+    // cycle M carries every update accepted before it launched, and a
+    // younger accept would have re-armed (cancelled) the write -- so
+    // an event is on the media iff some write of its line completed
+    // in (ev.cycle, crashCycle].
+    std::unordered_map<Addr, std::vector<Cycle>> mediaByLine;
+    for (const MediaWriteEvent &mw : mediaWrites) {
+        if (mw.cycle <= crashCycle)
+            mediaByLine[mw.lineAddr].push_back(mw.cycle);
+    }
+    for (auto &[line, cycles] : mediaByLine)
+        std::sort(cycles.begin(), cycles.end());
+
+    auto on_media = [&](const PersistEvent &ev) {
+        auto it = mediaByLine.find(ev.addr & line_mask);
+        if (it == mediaByLine.end())
+            return false;
+        auto up = std::upper_bound(it->second.begin(),
+                                   it->second.end(), ev.cycle);
+        return up != it->second.end();
+    };
+
+    // The durable set must be a strict prefix of the accept order.
+    // Media writes do NOT drain the WPQ oldest-in-accept-order
+    // (coalescing re-arms a hot line, so an old log line can still be
+    // pending while younger data lines are already on media); if the
+    // drain budget dropped pending events but kept younger on-media
+    // ones, the image would contain a reordering that even a fully
+    // fenced program cannot defend against -- a failed ADR breaks
+    // undo logging's durability contract outright, not just its
+    // ordering.  So the budget only decides WHERE the prefix is cut:
+    // walking the accept order, each event still pending at the crash
+    // consumes budget for its (distinct) line, and the first pending
+    // event past the budget ends the durable prefix.  Younger events
+    // are discarded even when their line later reached the media --
+    // conservative for them, and exactly equivalent to an earlier
+    // crash under a drain that got that far.
+    const std::size_t limit = events.size();
+    std::unordered_set<Addr> drainedLines;
+    std::size_t cut = 0;  // Number of durable (applied) events.
+    for (std::size_t i = 0; i < limit; ++i) {
+        const PersistEvent &ev = events[i];
+        if (ev.cycle > crashCycle)
+            break;
+        if (!on_media(ev)) {
+            const Addr line = ev.addr & line_mask;
+            if (!drainedLines.count(line)) {
+                if (plan.drainLines != FaultPlan::kDrainAll &&
+                    drainedLines.size() >= plan.drainLines) {
+                    break;
+                }
+                drainedLines.insert(line);
+            }
+        }
+        cut = i + 1;
+    }
+
+    // The tear hits the last durable event -- the media write (or
+    // WPQ drain push) that was in flight when power died.  Nothing
+    // younger survived, so a torn tail is still an ordering the
+    // memory system produced.
+    const bool tear_last = plan.tear != TearKind::None && cut > 0;
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const PersistEvent &ev = events[i];
+        if (ev.cycle > crashCycle)
+            break;
+        ede_assert(ev.bytes.size() == ev.size,
+                   "persist event without data; enable "
+                   "System::recordPersistData before running");
+        if (i >= cut) {
+            ++report.dropped;
+            continue;
+        }
+        if (on_media(ev))
+            ++report.onMedia;
+        else
+            ++report.drained;
+        if (tear_last && i == cut - 1) {
+            const std::size_t chunks = (ev.size + 7) / 8;
+            const std::uint64_t mask = tornChunkMask(plan, chunks);
+            applyTorn(image, ev, mask);
+            report.tore = true;
+            report.tornAddr = ev.addr;
+            report.tornMask = mask;
+        } else {
+            image.write(ev.addr, ev.bytes.data(), ev.size);
+        }
+    }
+    return report;
+}
+
+} // namespace ede

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Adversarial crash-image reconstruction.
+ *
+ * The audit layer's applyPersistEvents() models a *perfect* ADR: every
+ * event accepted into the WPQ before the crash is durable.  This
+ * module reconstructs the image a real power failure could leave
+ * behind under a FaultPlan:
+ *
+ *  - the durable set is a strict prefix of the persist-accept order;
+ *  - walking that order, every event still pending in the WPQ at the
+ *    crash consumes drain budget for its (distinct) 256 B line, and
+ *    the first pending event past the budget ends the prefix -- the
+ *    "K of 128 slots reached the media" power-fail model;
+ *  - the last durable event may tear at 8-byte granularity.
+ *
+ * Because the durable set is always an accept-order prefix, every
+ * image this module produces corresponds to an ordering the memory
+ * system actually generated -- a safe configuration must recover from
+ * all of them, while the unsafe configurations fail on the orderings
+ * their missing fences allowed.
+ */
+
+#ifndef EDE_FAULT_CRASH_IMAGE_HH
+#define EDE_FAULT_CRASH_IMAGE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "mem/memory_image.hh"
+#include "sim/system.hh"
+
+namespace ede {
+
+/** What the faulty reconstruction did (shrinking/debug support). */
+struct FaultyImageReport
+{
+    std::size_t onMedia = 0;      ///< Events durable on the media.
+    std::size_t drained = 0;      ///< Pending events the drain saved.
+    std::size_t dropped = 0;      ///< Pending events lost at the cut.
+    bool tore = false;            ///< A torn event was applied.
+    Addr tornAddr = kNoAddr;      ///< Address of the torn event.
+    std::uint64_t tornMask = 0;   ///< Chunk-survival mask applied.
+};
+
+/**
+ * Apply the persist events up to @p crashCycle onto @p image the way
+ * a power failure under @p plan would: media-resident events fully,
+ * then a drained prefix of the pending events with the final one
+ * possibly torn.  With a benign plan this reduces exactly to
+ * applyPersistEvents().
+ *
+ * @param events      System::persistEvents() (with recorded bytes)
+ * @param mediaWrites System::mediaWriteEvents()
+ * @param lineBytes   NVM media line size (NvmParams::lineBytes)
+ */
+FaultyImageReport applyFaultyPersistEvents(
+    MemoryImage &image, const std::vector<PersistEvent> &events,
+    const std::vector<MediaWriteEvent> &mediaWrites, Cycle crashCycle,
+    const FaultPlan &plan, std::uint32_t lineBytes = 256);
+
+} // namespace ede
+
+#endif // EDE_FAULT_CRASH_IMAGE_HH

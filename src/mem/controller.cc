@@ -1,8 +1,20 @@
 #include "mem/controller.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace ede {
+
+namespace {
+
+bool
+isWriteClass(const MemReq &req)
+{
+    return req.kind == ReqKind::Writeback || req.kind == ReqKind::Clean;
+}
+
+} // namespace
 
 MemController::MemController(AddrMap map, DramParams dram, NvmParams nvm)
     : map_(map), dram_(dram), nvm_(nvm)
@@ -16,8 +28,25 @@ MemController::tryAccept(const MemReq &req, Cycle now)
         ede_panic("request beyond physical memory: 0x", std::hex,
                   req.addr);
     }
-    if (map_.isNvm(req.addr))
-        return nvm_.tryAccept(req, now);
+    if (map_.isNvm(req.addr)) {
+        if (isWriteClass(req) && !retryQ_.empty()) {
+            // Preserve write order behind earlier transient rejects.
+            if (retryQ_.size() >= kRetryDepth)
+                return false;
+            retryQ_.push_back(req);
+            return true;
+        }
+        if (nvm_.tryAccept(req, now))
+            return true;
+        if (isWriteClass(req) && nvm_.lastRejectTransient() &&
+            retryQ_.size() < kRetryDepth) {
+            retryQ_.push_back(req);
+            backoff_ = kRetryBase;
+            nextRetry_ = now + backoff_;
+            return true;
+        }
+        return false;
+    }
 
     // DRAM side: a Clean has nothing durable to do; acknowledge it at
     // the controller boundary.
@@ -29,8 +58,24 @@ MemController::tryAccept(const MemReq &req, Cycle now)
 }
 
 void
+MemController::drainRetries(Cycle now)
+{
+    while (!retryQ_.empty() && nextRetry_ <= now) {
+        if (nvm_.tryAccept(retryQ_.front(), now)) {
+            retryQ_.pop_front();
+            backoff_ = kRetryBase;
+        } else {
+            backoff_ = std::min(kRetryMax, backoff_ * 2);
+            nextRetry_ = now + backoff_;
+            break;
+        }
+    }
+}
+
+void
 MemController::tick(Cycle now)
 {
+    drainRetries(now);
     scratch_.clear();
     dram_.tick(now, scratch_);
     nvm_.tick(now, scratch_);
@@ -48,7 +93,8 @@ MemController::tick(Cycle now)
 bool
 MemController::idle() const
 {
-    return dram_.idle() && nvm_.idle() && immediate_.empty();
+    return dram_.idle() && nvm_.idle() && immediate_.empty() &&
+           retryQ_.empty();
 }
 
 } // namespace ede

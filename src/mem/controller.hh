@@ -7,11 +7,21 @@
  * complete immediately at the controller: with ADR, the controller
  * queues are already inside the persistence domain and DRAM data is
  * not expected to survive anyway.
+ *
+ * Write-class NVM requests the device rejects *transiently* (the
+ * fault campaign's injected accept failures) are absorbed into a
+ * small controller-side FIFO and re-offered with exponential backoff,
+ * so a flaky DIMM interface degrades bandwidth instead of wedging the
+ * LLC.  Buffer-full rejections keep the original bounce-to-LLC path
+ * untouched; with no fault hook installed the queue never fills and
+ * timing is identical to the fault-free model.
  */
 
 #ifndef EDE_MEM_CONTROLLER_HH
 #define EDE_MEM_CONTROLLER_HH
 
+#include <cstddef>
+#include <deque>
 #include <vector>
 
 #include "mem/addr_map.hh"
@@ -45,13 +55,26 @@ class MemController : public MemSink
     const DramDevice &dram() const { return dram_; }
     const AddrMap &addrMap() const { return map_; }
 
+    /** Write-class requests waiting out a transient NVM fault. */
+    std::size_t retryPending() const { return retryQ_.size(); }
+
   private:
+    /** Bound on absorbed transient rejects before back-pressuring. */
+    static constexpr std::size_t kRetryDepth = 16;
+    static constexpr Cycle kRetryBase = 4;   ///< First re-offer delay.
+    static constexpr Cycle kRetryMax = 512;  ///< Backoff ceiling.
+
+    void drainRetries(Cycle now);
+
     AddrMap map_;
     DramDevice dram_;
     NvmDevice nvm_;
     RespFn respond_;
     std::vector<MemResp> immediate_;
     std::vector<MemResp> scratch_;
+    std::deque<MemReq> retryQ_;  ///< Transiently rejected NVM writes.
+    Cycle nextRetry_ = 0;
+    Cycle backoff_ = kRetryBase;
 };
 
 } // namespace ede

@@ -63,11 +63,18 @@ NvmDevice::acceptWrite(const MemReq &req, Cycle now, bool is_clean)
 bool
 NvmDevice::tryAccept(const MemReq &req, Cycle now)
 {
+    lastRejectTransient_ = false;
     switch (req.kind) {
       case ReqKind::Writeback:
-        return acceptWrite(req, now, /*is_clean=*/false);
-      case ReqKind::Clean:
-        return acceptWrite(req, now, /*is_clean=*/true);
+      case ReqKind::Clean: {
+        if (acceptFault_ && acceptFault_(req, now)) {
+            ++stats_.transientRejects;
+            lastRejectTransient_ = true;
+            return false;
+        }
+        return acceptWrite(req, now,
+                           /*is_clean=*/req.kind == ReqKind::Clean);
+      }
       case ReqKind::Read:
       case ReqKind::Write: {
         if (readQ_.size() >= params_.readQueueDepth)
@@ -120,6 +127,8 @@ NvmDevice::tick(Cycle now, std::vector<MemResp> &out)
             // Fig. 10 sample: pending writes when a store reaches the
             // media (the completing write still occupies its slot).
             occupancy_.sample(slots_.size());
+            if (mediaWriteHook_)
+                mediaWriteHook_(it->lineAddr, now);
             it = slots_.erase(it);
         } else {
             ++it;

@@ -62,6 +62,7 @@ struct NvmStats
     std::uint64_t mediaWrites = 0;
     std::uint64_t cleansAccepted = 0;
     std::uint64_t bufferFullRejects = 0;
+    std::uint64_t transientRejects = 0; ///< Fault-injected accept fails.
 };
 
 /**
@@ -69,6 +70,24 @@ struct NvmStats
  * (i.e. the persistent buffer): (cache-line address, size, cycle).
  */
 using PersistHook = std::function<void(Addr, std::uint32_t, Cycle)>;
+
+/**
+ * Hook invoked when a buffered line finishes its media write:
+ * (256 B media-line address, cycle).  Lines that reached the media
+ * are durable even under a failed power-down drain, so the fault
+ * campaign uses these events to split "on media" from "still in the
+ * WPQ" when it reconstructs adversarial crash images.
+ */
+using MediaWriteHook = std::function<void(Addr, Cycle)>;
+
+/**
+ * Fault-injection hook consulted before a write/clean is accepted:
+ * return true to reject this attempt (a transient accept failure;
+ * the controller retries with backoff).  Installed by the fault
+ * campaign; must eventually return false for every line so the
+ * simulation keeps making progress.
+ */
+using AcceptFaultHook = std::function<bool(const MemReq &, Cycle)>;
 
 /** NVM DIMM with persistent write buffering. */
 class NvmDevice
@@ -93,6 +112,23 @@ class NvmDevice
 
     /** Install the persistence-domain entry hook. */
     void setPersistHook(PersistHook hook) { persistHook_ = std::move(hook); }
+
+    /** Install the media-write completion hook. */
+    void
+    setMediaWriteHook(MediaWriteHook hook)
+    {
+        mediaWriteHook_ = std::move(hook);
+    }
+
+    /** Install (or clear) the transient accept-failure injector. */
+    void
+    setAcceptFaultHook(AcceptFaultHook hook)
+    {
+        acceptFault_ = std::move(hook);
+    }
+
+    /** True when the latest tryAccept rejection was fault-injected. */
+    bool lastRejectTransient() const { return lastRejectTransient_; }
 
     const NvmStats &stats() const { return stats_; }
 
@@ -130,6 +166,9 @@ class NvmDevice
     std::vector<Cycle> readPortFree_;    ///< Per-port busy-until.
     Distribution occupancy_;
     PersistHook persistHook_;
+    MediaWriteHook mediaWriteHook_;
+    AcceptFaultHook acceptFault_;
+    bool lastRejectTransient_ = false;
     NvmStats stats_;
 };
 

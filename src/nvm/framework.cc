@@ -123,12 +123,17 @@ NvmFramework::pWriteU64(Addr dst, std::uint64_t value)
     builder_.movImm(r_slot, static_cast<std::int64_t>(slot));
     // reserve_uint64(): the slot bump the framework performs.
     builder_.alu(r_slot, r_slot, kNoReg, 0);
-    builder_.stp(r_addr, r_old, r_slot, slot, dst, old_val);
+    // Fold the {addr, old value} checksum into the sealed addr word
+    // before the pair store (torn-entry detection at recovery).
+    const std::uint64_t sealed = sealUndoEntry(dst, old_val);
+    const RegIndex r_seal = temps_.get();
+    builder_.alu(r_seal, r_addr, r_old);
+    builder_.stp(r_seal, r_old, r_slot, slot, sealed, old_val);
     PersistObligation ob;
     ob.logCvapIdx = builder_.cvap(
         r_slot, slot, ede ? EdkOps{fwkeys::kLogEntry, 0} : EdkOps{});
     emitLogOrdering();
-    image_.write<std::uint64_t>(slot, dst);
+    image_.write<std::uint64_t>(slot, sealed);
     image_.write<std::uint64_t>(slot + 8, old_val);
 
     // update_value (Figures 2(b) / 7(b)).
@@ -182,8 +187,11 @@ NvmFramework::emitRangeSnapshot(Addr base, std::size_t words, Edk key)
         builder_.ldr(r_old, r_addr, target);
         const RegIndex r_slot = temps_.get();
         builder_.movImm(r_slot, static_cast<std::int64_t>(slot));
-        builder_.stp(r_addr, r_old, r_slot, slot, target, old_val);
-        image_.write<std::uint64_t>(slot, target);
+        const std::uint64_t sealed = sealUndoEntry(target, old_val);
+        const RegIndex r_seal = temps_.get();
+        builder_.alu(r_seal, r_addr, r_old);
+        builder_.stp(r_seal, r_old, r_slot, slot, sealed, old_val);
+        image_.write<std::uint64_t>(slot, sealed);
         image_.write<std::uint64_t>(slot + 8, old_val);
 
         const Addr line = slot & ~63ull;
@@ -284,12 +292,14 @@ NvmFramework::txCommit()
     else
         emitCommitBarrier();
 
-    // Step 4: back to ACTIVE.
+    // Step 4: back to ACTIVE.  The state-clear persist is recorded as
+    // this transaction's commit mark (crash-campaign stratification).
     const RegIndex r_active = temps_.get();
     builder_.movImm(r_active, static_cast<std::int64_t>(kTxActive));
     builder_.str(r_active, r_state, log_.stateAddr, kTxActive);
-    builder_.cvap(r_state, log_.stateAddr,
-                  ede ? EdkOps{fwkeys::kStateClear, 0} : EdkOps{});
+    commitMarks_.push_back(
+        builder_.cvap(r_state, log_.stateAddr,
+                      ede ? EdkOps{fwkeys::kStateClear, 0} : EdkOps{}));
     emitCommitBarrier();
     image_.write<std::uint64_t>(log_.stateAddr, kTxActive);
 

@@ -179,6 +179,17 @@ class NvmFramework
         return obligations_;
     }
     std::uint64_t txCount() const { return txCount_; }
+
+    /**
+     * Trace index of each transaction's state-clear persist (the last
+     * durable step of its commit).  Once element i completes, the
+     * first i+1 transactions are committed and truncated -- the crash
+     * campaign stratifies its crash points over these boundaries.
+     */
+    const std::vector<std::size_t> &commitMarks() const
+    {
+        return commitMarks_;
+    }
     /// @}
 
   private:
@@ -211,6 +222,7 @@ class NvmFramework
     std::uint64_t logCursor_ = 0;   ///< Rotating allocation cursor.
     std::uint64_t txCount_ = 0;
     std::vector<PersistObligation> obligations_;
+    std::vector<std::size_t> commitMarks_;
 };
 
 } // namespace ede

@@ -16,26 +16,39 @@ recoverUndoLog(MemoryImage &image, const UndoLogLayout &layout)
         image.read<std::uint64_t>(layout.stateAddr);
     result.sawCommitted = (state == kTxCommitted);
 
-    // Collect the valid entries in log order.
+    // Collect the valid entries in log order, discarding torn ones
+    // (non-empty addr word whose checksum disagrees with the pair).
     std::vector<std::uint64_t> valid;
+    std::vector<std::uint64_t> torn;
     for (std::uint64_t i = 0; i < layout.capacity; ++i) {
-        const Addr a = image.read<std::uint64_t>(layout.entryAddr(i));
-        if (a != 0)
+        const std::uint64_t word =
+            image.read<std::uint64_t>(layout.entryAddr(i));
+        if (word == 0)
+            continue;
+        const std::uint64_t old_val =
+            image.read<std::uint64_t>(layout.entryAddr(i) + 8);
+        if (undoEntryIntact(word, old_val))
             valid.push_back(i);
+        else
+            torn.push_back(i);
     }
+    result.entriesTorn = torn.size();
 
     if (!result.sawCommitted) {
         // Roll back the in-flight transaction, newest entry first so
         // repeated writes to one location restore the oldest value.
         for (auto it = valid.rbegin(); it != valid.rend(); ++it) {
             const Addr entry = layout.entryAddr(*it);
-            const Addr target = image.read<std::uint64_t>(entry);
+            const Addr target =
+                undoEntryTarget(image.read<std::uint64_t>(entry));
             const std::uint64_t old_val =
                 image.read<std::uint64_t>(entry + 8);
             image.write(target, old_val);
             ++result.entriesApplied;
         }
     }
+    // Torn entries are unusable either way: drop them with the rest.
+    valid.insert(valid.end(), torn.begin(), torn.end());
 
     // Either way, finish with an empty, active log.
     for (std::uint64_t i : valid) {

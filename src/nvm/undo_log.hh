@@ -7,6 +7,12 @@
  *   stateAddr      : u64  -- kTxActive (0) or kTxCommitted (1)
  *   entriesBase    : array of 16-byte entries { u64 addr; u64 val }
  *
+ * The addr field is *sealed*: physical addresses fit in 48 bits, so
+ * bits 48..63 carry a checksum over the {addr, val} pair.  A crash in
+ * the middle of an entry persist (a torn NVM line write) leaves an
+ * entry whose halves disagree; recovery detects the mismatch and
+ * discards the entry instead of replaying garbage into the heap.
+ *
  * An entry is *valid* when its addr field is non-zero (entries are
  * zeroed at commit).  The commit protocol is:
  *
@@ -19,7 +25,9 @@
  *   - state == COMMITTED: the crash hit step 3: finish the commit by
  *     zeroing entries; data is already durable.
  *   - state == ACTIVE: apply valid entries newest-first (roll back
- *     the in-flight transaction), then zero them.
+ *     the in-flight transaction), then zero them.  Entries whose
+ *     checksum does not match are torn: they are counted, zeroed and
+ *     skipped.
  *
  * How each "barrier" is realized is configuration-dependent and is
  * the subject of the paper: see NvmFramework.
@@ -38,6 +46,52 @@ namespace ede {
 /** Transaction state words stored at UndoLogLayout::stateAddr. */
 inline constexpr std::uint64_t kTxActive = 0;
 inline constexpr std::uint64_t kTxCommitted = 1;
+
+/** Low 48 bits of an entry's addr word hold the target address. */
+inline constexpr std::uint64_t kUndoEntryAddrMask =
+    (std::uint64_t{1} << 48) - 1;
+
+/** 16-bit checksum over an entry's {addr, val} pair. */
+constexpr std::uint16_t
+undoEntryChecksum(Addr target, std::uint64_t old_val)
+{
+    // splitmix64 finalizer over the pair, folded to 16 bits.  One
+    // multiply-xor round per word is plenty to catch a torn persist
+    // that splits the two 8-byte halves or tears within one.
+    std::uint64_t z = (target & kUndoEntryAddrMask) * 0x9e3779b97f4a7c15ull;
+    z ^= old_val + 0xbf58476d1ce4e5b9ull + (z << 6) + (z >> 2);
+    z = (z ^ (z >> 30)) * 0x94d049bb133111ebull;
+    z ^= z >> 27;
+    return static_cast<std::uint16_t>(z ^ (z >> 16) ^ (z >> 32));
+}
+
+/**
+ * Seal an entry's addr word: target address in the low 48 bits, the
+ * {addr, val} checksum in the top 16.  Sealing never produces zero
+ * for a non-zero target, so the empty-entry marker is preserved.
+ */
+constexpr std::uint64_t
+sealUndoEntry(Addr target, std::uint64_t old_val)
+{
+    return (target & kUndoEntryAddrMask) |
+           (static_cast<std::uint64_t>(undoEntryChecksum(target, old_val))
+            << 48);
+}
+
+/** Target address carried by a sealed addr word. */
+constexpr Addr
+undoEntryTarget(std::uint64_t sealed_word)
+{
+    return sealed_word & kUndoEntryAddrMask;
+}
+
+/** True when a non-empty entry's halves agree with its checksum. */
+constexpr bool
+undoEntryIntact(std::uint64_t sealed_word, std::uint64_t old_val)
+{
+    return sealed_word ==
+           sealUndoEntry(undoEntryTarget(sealed_word), old_val);
+}
 
 /** Where the log lives in NVM. */
 struct UndoLogLayout
@@ -63,6 +117,7 @@ struct RecoveryResult
     bool sawCommitted = false;       ///< Crash hit the commit window.
     std::uint64_t entriesApplied = 0;///< Undo entries rolled back.
     std::uint64_t entriesZeroed = 0;
+    std::uint64_t entriesTorn = 0;   ///< Checksum mismatches discarded.
 };
 
 /**

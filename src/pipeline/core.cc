@@ -88,6 +88,7 @@ void
 OoOCore::completeSeq(SeqNum seq, const StaticInst &si,
                      std::size_t trace_idx, Cycle now)
 {
+    lastProgressCycle_ = now;
     incomplete_.erase(seq);
     if (opIsStore(si.op))
         incompleteStores_.erase(seq);
@@ -278,6 +279,7 @@ OoOCore::retire(Cycle now)
 
         h.retireCycle = now;
         ++stats_.retired;
+        lastProgressCycle_ = now;
         if (op == Op::Ldr && !lq_.empty() && lq_.front() == h.seq)
             lq_.pop_front();
         if ((opIsStore(op) || opIsCvap(op)) && !sq_.empty() &&
@@ -638,6 +640,78 @@ OoOCore::squash(InflightInst &branch, Cycle now)
     fetchResumeAt_ = now + params_.mispredictPenalty;
 }
 
+SimError
+OoOCore::buildSimError(SimErrorKind kind, Cycle now) const
+{
+    SimError e;
+    e.kind = kind;
+    e.cycle = now;
+    e.lastProgressCycle = lastProgressCycle_;
+    e.fetchIdx = fetchIdx_;
+    e.traceSize = trace_ ? trace_->size() : 0;
+    e.robOccupancy = rob_.size();
+    e.iqOccupancy = iq_.size();
+    e.wbOccupancy = wb_->occupancy();
+
+    const std::size_t head_n = std::min<std::size_t>(rob_.size(), 8);
+    for (std::size_t i = 0; i < head_n; ++i) {
+        const InflightInst &in = rob_[i];
+        RobHeadInfo r;
+        r.seq = in.seq;
+        r.traceIdx = in.traceIdx;
+        r.op = in.di.op();
+        r.addr = in.di.addr;
+        r.inIq = in.inIq;
+        r.issued = in.issued;
+        r.executed = in.executed;
+        r.completed = in.completed;
+        e.robHead.push_back(r);
+    }
+
+    const SeqNum dsb_gate = incompleteDsbs_.empty()
+        ? std::numeric_limits<SeqNum>::max()
+        : *incompleteDsbs_.begin();
+    for (SeqNum s : iq_) {
+        if (e.iqWaits.size() >= 8)
+            break;
+        auto it = index_.find(s);
+        if (it == index_.end())
+            continue;
+        const InflightInst &in = *it->second;
+        IqWaitInfo w;
+        w.seq = in.seq;
+        w.op = in.di.op();
+        w.regsReady = regsReady(in);
+        w.edeGated = gatesAtIssue(in) && !edeIssueReady(in);
+        w.edeSrc = in.edeSrc;
+        w.edeSrc2 = in.edeSrc2;
+        w.dsbGated = s > dsb_gate;
+        e.iqWaits.push_back(w);
+    }
+
+    for (const WbEntry &we : wb_->entries()) {
+        WbChainInfo c;
+        c.seq = we.seq;
+        c.op = we.si.op;
+        c.addr = we.addr;
+        c.srcId = we.srcId;
+        c.srcId2 = we.srcId2;
+        c.dmbBarrier = we.dmbBarrier;
+        c.pushing = we.pushing;
+        e.wbChain.push_back(c);
+    }
+
+    for (int k = 1; k < kNumEdks; ++k) {
+        const Edk key = static_cast<Edk>(k);
+        const SeqNum spec = edm_.spec().lookup(key);
+        const SeqNum nonspec = edm_.nonspec().lookup(key);
+        if (spec == kNoSeq && nonspec == kNoSeq)
+            continue;
+        e.edmLinks.push_back(EdmLinkInfo{key, spec, nonspec});
+    }
+    return e;
+}
+
 bool
 OoOCore::finished() const
 {
@@ -674,14 +748,22 @@ OoOCore::run(const Trace &trace)
         completionCycles_.assign(trace.size(), kNoCycle);
 
     Cycle now = 0;
+    lastProgressCycle_ = 0;
     while (!finished()) {
         tickOnce(now);
         ++now;
+        // No panic on a wedged pipeline: the watchdog (and, as a hard
+        // backstop, maxCycles) stops the run and leaves a structured
+        // diagnostic in simError_ for the caller to report.
+        if (now - lastProgressCycle_ > params_.watchdogCycles) {
+            simError_ =
+                buildSimError(SimErrorKind::WatchdogNoProgress, now);
+            break;
+        }
         if (now > params_.maxCycles) {
-            ede_panic("simulation exceeded ", params_.maxCycles,
-                      " cycles; likely deadlock at trace index ",
-                      fetchIdx_, " rob=", rob_.size(),
-                      " wb=", wb_->occupancy());
+            simError_ =
+                buildSimError(SimErrorKind::MaxCyclesExceeded, now);
+            break;
         }
     }
     stats_.cycles = now;

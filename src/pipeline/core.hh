@@ -53,6 +53,7 @@
 #include "pipeline/inflight.hh"
 #include "pipeline/params.hh"
 #include "pipeline/predictor.hh"
+#include "pipeline/sim_error.hh"
 #include "pipeline/write_buffer.hh"
 #include "trace/trace.hh"
 
@@ -124,8 +125,16 @@ class OoOCore
         return it == watched_.end() ? kNoCycle : it->second;
     }
 
-    /** Run @p trace to completion; @return total cycles. */
+    /**
+     * Run @p trace to completion; @return total cycles.  When the
+     * progress watchdog or the maxCycles backstop fires, the run
+     * stops early and simError() carries the diagnostic report --
+     * callers must check it before trusting the cycle count.
+     */
     Cycle run(const Trace &trace);
+
+    /** Structured abort report; kind == None after a clean run. */
+    const SimError &simError() const { return simError_; }
 
     const CoreStats &stats() const { return stats_; }
 
@@ -163,6 +172,7 @@ class OoOCore
     bool storesOlderIncomplete(SeqNum barrier) const;
     void recordCompletion(std::size_t trace_idx, Cycle now);
     bool finished() const;
+    SimError buildSimError(SimErrorKind kind, Cycle now) const;
 
     CoreParams params_;
     MemSystem &mem_;
@@ -202,6 +212,8 @@ class OoOCore
     std::vector<Cycle> completionCycles_;
     std::unordered_map<std::size_t, Cycle> watched_;
     bool ran_ = false;
+    Cycle lastProgressCycle_ = 0;
+    SimError simError_;
 
     CoreStats stats_;
 };

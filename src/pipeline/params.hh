@@ -64,7 +64,16 @@ struct CoreParams
     /** Branch predictor table size (entries, power of two). */
     std::uint32_t predictorEntries = 4096;
 
-    /** Abort the run if it exceeds this many cycles (deadlock guard). */
+    /**
+     * Progress watchdog: abort with a structured SimError when no
+     * instruction completes or retires for this many consecutive
+     * cycles.  Catches wedged pipelines (e.g. a dependence cycle the
+     * fault campaign provokes) long before maxCycles would, and emits
+     * a diagnostic dump instead of a panic.
+     */
+    Cycle watchdogCycles = 1'000'000;
+
+    /** Hard backstop on total cycles (also a structured SimError). */
     Cycle maxCycles = 2'000'000'000;
 };
 

@@ -1,0 +1,98 @@
+#include "pipeline/sim_error.hh"
+
+#include <sstream>
+
+namespace ede {
+
+const char *
+simErrorKindName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::None:
+        return "none";
+      case SimErrorKind::WatchdogNoProgress:
+        return "watchdog-no-progress";
+      case SimErrorKind::MaxCyclesExceeded:
+        return "max-cycles-exceeded";
+    }
+    return "unknown";
+}
+
+namespace {
+
+void
+putSeq(std::ostream &os, SeqNum s)
+{
+    if (s == kNoSeq)
+        os << "-";
+    else
+        os << s;
+}
+
+} // namespace
+
+std::string
+SimError::describe() const
+{
+    std::ostringstream os;
+    os << "sim error: " << simErrorKindName(kind) << " at cycle "
+       << cycle << " (last progress at " << lastProgressCycle
+       << ")\n";
+    os << "  fetch " << fetchIdx << "/" << traceSize << "  rob="
+       << robOccupancy << "  iq=" << iqOccupancy << "  wb="
+       << wbOccupancy << "\n";
+
+    os << "  rob head:\n";
+    for (const RobHeadInfo &r : robHead) {
+        os << "    seq " << r.seq << " idx " << r.traceIdx << " "
+           << opName(r.op);
+        if (r.addr != kNoAddr)
+            os << " @0x" << std::hex << r.addr << std::dec;
+        os << (r.completed ? " completed"
+               : r.executed ? " executed"
+               : r.issued ? " issued"
+               : r.inIq ? " in-iq" : " dispatched")
+           << "\n";
+    }
+
+    os << "  iq waits:\n";
+    for (const IqWaitInfo &w : iqWaits) {
+        os << "    seq " << w.seq << " " << opName(w.op)
+           << (w.regsReady ? "" : " !regs")
+           << (w.dsbGated ? " !dsb" : "");
+        if (w.edeGated) {
+            os << " !ede(src=";
+            putSeq(os, w.edeSrc);
+            if (w.edeSrc2 != kNoSeq) {
+                os << ",";
+                putSeq(os, w.edeSrc2);
+            }
+            os << ")";
+        }
+        os << "\n";
+    }
+
+    os << "  wb chain:\n";
+    for (const WbChainInfo &w : wbChain) {
+        os << "    seq " << w.seq << " " << opName(w.op) << " @0x"
+           << std::hex << w.addr << std::dec << " src=";
+        putSeq(os, w.srcId);
+        os << ",";
+        putSeq(os, w.srcId2);
+        os << " dmb=";
+        putSeq(os, w.dmbBarrier);
+        os << (w.pushing ? " pushing" : " waiting") << "\n";
+    }
+
+    os << "  edm links:\n";
+    for (const EdmLinkInfo &l : edmLinks) {
+        os << "    edk#" << static_cast<int>(l.key) << " spec=";
+        putSeq(os, l.spec);
+        os << " nonspec=";
+        putSeq(os, l.nonspec);
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ede

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Structured simulator failure reports.
+ *
+ * When the core stops making forward progress (no instruction
+ * completes or retires for watchdogCycles) or exceeds the hard
+ * maxCycles backstop, it no longer panics with a one-line message:
+ * it builds a SimError carrying a machine-readable diagnostic dump --
+ * the ROB head window, what each stalled issue-queue entry is waiting
+ * on, the write-buffer srcID chains, and the live EDM links -- so a
+ * deadlock found by the fault campaign can be diagnosed from the
+ * report alone, without re-running under a debugger.
+ */
+
+#ifndef EDE_PIPELINE_SIM_ERROR_HH
+#define EDE_PIPELINE_SIM_ERROR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/edk.hh"
+#include "isa/inst.hh"
+
+namespace ede {
+
+/** Why the simulation was aborted. */
+enum class SimErrorKind
+{
+    None,               ///< Run finished normally.
+    WatchdogNoProgress, ///< Nothing completed/retired for the window.
+    MaxCyclesExceeded,  ///< Hard cycle-count backstop tripped.
+};
+
+const char *simErrorKindName(SimErrorKind kind);
+
+/** One instruction at/near the ROB head. */
+struct RobHeadInfo
+{
+    SeqNum seq = kNoSeq;
+    std::size_t traceIdx = 0;
+    Op op = Op::Nop;
+    Addr addr = kNoAddr;
+    bool inIq = false;
+    bool issued = false;
+    bool executed = false;
+    bool completed = false;
+};
+
+/** One issue-queue entry and what holds it back. */
+struct IqWaitInfo
+{
+    SeqNum seq = kNoSeq;
+    Op op = Op::Nop;
+    bool regsReady = false;      ///< Register operands available.
+    bool edeGated = false;       ///< Blocked on an execution dependence.
+    SeqNum edeSrc = kNoSeq;      ///< Producer it waits on (if any).
+    SeqNum edeSrc2 = kNoSeq;     ///< Second producer (JOIN).
+    bool dsbGated = false;       ///< Younger than an incomplete DSB.
+};
+
+/** One write-buffer entry and its ordering gates. */
+struct WbChainInfo
+{
+    SeqNum seq = kNoSeq;
+    Op op = Op::Nop;
+    Addr addr = kNoAddr;
+    SeqNum srcId = kNoSeq;       ///< EDE producer gate (WB mode).
+    SeqNum srcId2 = kNoSeq;
+    SeqNum dmbBarrier = kNoSeq;
+    bool pushing = false;
+};
+
+/** One live EDM link (key with an in-flight producer). */
+struct EdmLinkInfo
+{
+    Edk key = kZeroEdk;
+    SeqNum spec = kNoSeq;        ///< Speculative-map producer.
+    SeqNum nonspec = kNoSeq;     ///< Non-speculative-map producer.
+};
+
+/** The full structured report. */
+struct SimError
+{
+    SimErrorKind kind = SimErrorKind::None;
+    Cycle cycle = 0;             ///< Cycle the abort fired.
+    Cycle lastProgressCycle = 0; ///< Last completion/retirement.
+    std::size_t fetchIdx = 0;    ///< Next trace element to dispatch.
+    std::size_t traceSize = 0;
+    std::size_t robOccupancy = 0;
+    std::size_t iqOccupancy = 0;
+    std::size_t wbOccupancy = 0;
+
+    std::vector<RobHeadInfo> robHead;  ///< Oldest few ROB entries.
+    std::vector<IqWaitInfo> iqWaits;   ///< Stalled IQ entries.
+    std::vector<WbChainInfo> wbChain;  ///< Write-buffer contents.
+    std::vector<EdmLinkInfo> edmLinks; ///< Keys with live producers.
+
+    /** True when the run aborted. */
+    explicit operator bool() const { return kind != SimErrorKind::None; }
+
+    /** Render the dump as a human-readable multi-line string. */
+    std::string describe() const;
+};
+
+} // namespace ede
+
+#endif // EDE_PIPELINE_SIM_ERROR_HH

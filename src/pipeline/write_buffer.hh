@@ -113,6 +113,9 @@ class WriteBuffer
 
     const WriteBufferStats &stats() const { return stats_; }
 
+    /** Oldest-first contents (watchdog diagnostics). */
+    const std::deque<WbEntry> &entries() const { return entries_; }
+
   private:
     Addr lineOf(Addr a) const { return a & ~static_cast<Addr>(lineBytes_ - 1); }
     bool lineConflictBefore(std::size_t idx) const;

@@ -32,6 +32,11 @@ System::wire()
             }
             persistEvents_.push_back(std::move(ev));
         });
+
+    mem_->controller().nvm().setMediaWriteHook(
+        [this](Addr line, Cycle now) {
+            mediaWriteEvents_.push_back(MediaWriteEvent{line, now});
+        });
 }
 
 Cycle

@@ -35,6 +35,18 @@ struct PersistEvent
     std::vector<std::uint8_t> bytes;
 };
 
+/**
+ * One 256 B line completing its media write.  Under a failed
+ * power-down drain only lines already on media are guaranteed
+ * durable; the fault campaign joins these against persist events to
+ * decide which WPQ slots an adversarial crash may drop.
+ */
+struct MediaWriteEvent
+{
+    Addr lineAddr = kNoAddr;  ///< 256 B aligned media line.
+    Cycle cycle = kNoCycle;
+};
+
 /** Copyable snapshot of every statistic a bench needs. */
 struct RunResult
 {
@@ -83,6 +95,12 @@ class System
         return persistEvents_;
     }
 
+    /** Media-write completions, in order. */
+    const std::vector<MediaWriteEvent> &mediaWriteEvents() const
+    {
+        return mediaWriteEvents_;
+    }
+
     /** Per-trace-index completion cycles (needs recording on). */
     const std::vector<Cycle> &completionCycles() const
     {
@@ -113,6 +131,7 @@ class System
     std::unique_ptr<MemSystem> mem_;
     std::unique_ptr<OoOCore> core_;
     std::vector<PersistEvent> persistEvents_;
+    std::vector<MediaWriteEvent> mediaWriteEvents_;
     bool recordPersistData_ = false;
 };
 

@@ -11,33 +11,58 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apps/harness.hh"
 
 namespace ede {
 namespace {
 
 std::vector<Cycle>
-crashPoints(const WorkloadHarness &h, std::size_t count,
-            std::uint64_t seed)
+crashPoints(const WorkloadHarness &h, std::size_t budget)
 {
+    // Candidates: the cycle of each persist event and the cycle right
+    // after it -- the only windows where the durable image changes.
     // Crashes before the initial structure is durable see a
     // half-built pool (real deployments create pools atomically), so
-    // sample only the transaction phase.
+    // only the transaction phase is probed.
     const Cycle setup_done = h.setupCompleteCycle();
-    const Cycle total = h.system().core().stats().cycles;
-    std::vector<Cycle> points;
-    Rng rng(seed);
-    for (std::size_t i = 0; i < count; ++i)
-        points.push_back(setup_done + rng.below(total - setup_done));
-    // Also probe right after each of a few persist events, where the
-    // interesting windows live.
-    const auto &events = h.system().persistEvents();
-    for (std::size_t i = 0; i < events.size();
-         i += std::max<std::size_t>(1, events.size() / count)) {
-        if (events[i].cycle < setup_done)
+    std::vector<Cycle> candidates;
+    for (const PersistEvent &ev : h.system().persistEvents()) {
+        if (ev.cycle < setup_done)
             continue;
-        points.push_back(events[i].cycle);
-        points.push_back(events[i].cycle + 1);
+        candidates.push_back(ev.cycle);
+        candidates.push_back(ev.cycle + 1);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(
+        std::unique(candidates.begin(), candidates.end()),
+        candidates.end());
+    if (candidates.size() <= budget)
+        return candidates;
+
+    // Stratify over transaction-commit boundaries so every
+    // inter-commit window is probed, instead of wherever random
+    // samples happen to land.  Fully deterministic: same workload,
+    // same points.
+    std::vector<Cycle> commits = h.commitCycles();
+    std::sort(commits.begin(), commits.end());
+    std::vector<std::vector<Cycle>> strata(commits.size() + 1);
+    for (Cycle c : candidates) {
+        const std::size_t s = static_cast<std::size_t>(
+            std::lower_bound(commits.begin(), commits.end(), c) -
+            commits.begin());
+        strata[s].push_back(c);
+    }
+    std::erase_if(strata,
+                  [](const auto &s) { return s.empty(); });
+    std::vector<Cycle> points;
+    const std::size_t quota =
+        std::max<std::size_t>(1, budget / strata.size());
+    for (const auto &s : strata) {
+        const std::size_t take = std::min(quota, s.size());
+        for (std::size_t j = 0; j < take; ++j)
+            points.push_back(s[j * s.size() / take]);
     }
     return points;
 }
@@ -59,7 +84,7 @@ TEST_P(SafeRecoveryTest, EveryCrashPointRecoversToABoundary)
     h.generate();
     h.simulate();
     ASSERT_TRUE(h.audit().clean());
-    for (Cycle c : crashPoints(h, 12, 7)) {
+    for (Cycle c : crashPoints(h, 16)) {
         const MemoryImage recovered = h.recoveredImageAt(c);
         EXPECT_TRUE(h.app().checkRecovered(recovered))
             << "crash at cycle " << c << " not recoverable under "

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Unit tests for the fault-injection subsystem: deterministic fault
+ * plans, adversarial crash-image reconstruction under the K-slot ADR
+ * drain model, torn-persist masks, the transient accept-fault
+ * injector with the controller's bounded-backoff retry, and the
+ * core's no-progress watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstring>
+
+#include "apps/harness.hh"
+#include "fault/crash_image.hh"
+#include "fault/fault_plan.hh"
+#include "sim_test_util.hh"
+
+namespace ede {
+namespace {
+
+constexpr Addr kLine = 2ull << 30;  // NVM-side, 256 B aligned.
+
+PersistEvent
+event(Addr addr, std::uint64_t value, Cycle cycle,
+      std::uint32_t size = 8)
+{
+    PersistEvent e;
+    e.addr = addr;
+    e.size = size;
+    e.cycle = cycle;
+    e.bytes.resize(size);
+    for (std::size_t off = 0; off < size; off += 8)
+        std::memcpy(e.bytes.data() + off, &value, 8);
+    return e;
+}
+
+TEST(FaultPlan, DerivationIsDeterministic)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 12345ull}) {
+        const FaultPlan a = makeFaultPlan(seed, 128);
+        const FaultPlan b = makeFaultPlan(seed, 128);
+        EXPECT_EQ(a.drainLines, b.drainLines);
+        EXPECT_EQ(a.tear, b.tear);
+        EXPECT_TRUE(a.drainLines == FaultPlan::kDrainAll ||
+                    a.drainLines <= 128u);
+    }
+}
+
+TEST(FaultPlan, TornMaskIsAContiguousPrefix)
+{
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.tear = TearKind::Prefix;
+    // Two chunks: exactly the leading one survives.
+    EXPECT_EQ(tornChunkMask(plan, 2), 0b01u);
+    const std::uint64_t m = tornChunkMask(plan, 4);
+    EXPECT_NE(m, 0u);
+    EXPECT_NE(m, 0xfu);
+    const int kept = std::popcount(m);
+    EXPECT_EQ(m, (std::uint64_t{1} << kept) - 1);
+    // Single-chunk events lose everything.
+    EXPECT_EQ(tornChunkMask(plan, 1), 0u);
+}
+
+TEST(FaultPlan, TornMaskIsAContiguousSuffix)
+{
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.tear = TearKind::Suffix;
+    EXPECT_EQ(tornChunkMask(plan, 2), 0b10u);
+    const std::uint64_t m = tornChunkMask(plan, 4);
+    EXPECT_NE(m, 0u);
+    EXPECT_NE(m, 0xfu);
+    const int kept = std::popcount(m);
+    EXPECT_EQ(m >> (4 - kept), (std::uint64_t{1} << kept) - 1);
+    EXPECT_EQ(m & ((std::uint64_t{1} << (4 - kept)) - 1), 0u);
+}
+
+TEST(FaultPlan, InterleavedMaskIsAStrictSubset)
+{
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.tear = TearKind::Interleaved;
+        const std::uint64_t m = tornChunkMask(plan, 4);
+        EXPECT_NE(m, 0xfu) << "seed " << seed;
+        EXPECT_EQ(m, tornChunkMask(plan, 4)) << "seed " << seed;
+    }
+}
+
+TEST(CrashImage, BenignPlanAppliesEverything)
+{
+    MemoryImage img;
+    const std::vector<PersistEvent> events = {
+        event(kLine, 1, 10), event(kLine + 256, 2, 20),
+        event(kLine + 512, 3, 30)};
+    FaultPlan plan;  // Benign by default.
+    const FaultyImageReport r =
+        applyFaultyPersistEvents(img, events, {}, 100, plan);
+    EXPECT_EQ(r.drained, 3u);
+    EXPECT_EQ(r.dropped, 0u);
+    EXPECT_FALSE(r.tore);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine), 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine + 256), 2u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine + 512), 3u);
+}
+
+TEST(CrashImage, EventsAfterTheCrashAreIgnored)
+{
+    MemoryImage img;
+    const std::vector<PersistEvent> events = {
+        event(kLine, 1, 10), event(kLine + 256, 2, 50)};
+    FaultPlan plan;
+    const FaultyImageReport r =
+        applyFaultyPersistEvents(img, events, {}, 20, plan);
+    EXPECT_EQ(r.drained, 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine), 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine + 256), 0u);
+}
+
+TEST(CrashImage, DrainBudgetCutsAnAcceptOrderPrefix)
+{
+    // Three pending events on three distinct lines; a two-line drain
+    // budget keeps exactly the first two.
+    MemoryImage img;
+    const std::vector<PersistEvent> events = {
+        event(kLine, 1, 10), event(kLine + 256, 2, 20),
+        event(kLine + 512, 3, 30)};
+    FaultPlan plan;
+    plan.drainLines = 2;
+    const FaultyImageReport r =
+        applyFaultyPersistEvents(img, events, {}, 100, plan);
+    EXPECT_EQ(r.drained, 2u);
+    EXPECT_EQ(r.dropped, 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine), 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine + 256), 2u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine + 512), 0u);
+}
+
+TEST(CrashImage, SameLineEventsShareOneDrainSlot)
+{
+    MemoryImage img;
+    const std::vector<PersistEvent> events = {
+        event(kLine, 1, 10), event(kLine + 8, 2, 20),
+        event(kLine + 256, 3, 30)};
+    FaultPlan plan;
+    plan.drainLines = 1;
+    const FaultyImageReport r =
+        applyFaultyPersistEvents(img, events, {}, 100, plan);
+    // Both updates of the first line fit in one drain slot; the
+    // second line is past the budget.
+    EXPECT_EQ(r.drained, 2u);
+    EXPECT_EQ(r.dropped, 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine), 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine + 8), 2u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine + 256), 0u);
+}
+
+TEST(CrashImage, YoungOnMediaEventsNeverJumpTheCut)
+{
+    // The soundness property: an older PENDING event past the drain
+    // budget must also discard every younger event -- even one whose
+    // line did reach the media -- because a durable set that is not
+    // an accept-order prefix fabricates an ordering the memory system
+    // never produced.
+    MemoryImage img;
+    const std::vector<PersistEvent> events = {
+        event(kLine, 1, 10),        // Pending at the crash.
+        event(kLine + 256, 2, 20)}; // On media by cycle 40.
+    const std::vector<MediaWriteEvent> media = {
+        MediaWriteEvent{kLine + 256, 40}};
+    FaultPlan plan;
+    plan.drainLines = 0;
+    const FaultyImageReport r =
+        applyFaultyPersistEvents(img, events, media, 50, plan);
+    EXPECT_EQ(r.drained, 0u);
+    EXPECT_EQ(r.onMedia, 0u);
+    EXPECT_EQ(r.dropped, 2u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine), 0u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine + 256), 0u);
+}
+
+TEST(CrashImage, OnMediaEventsConsumeNoDrainBudget)
+{
+    MemoryImage img;
+    const std::vector<PersistEvent> events = {
+        event(kLine, 1, 10),        // On media by cycle 30.
+        event(kLine + 256, 2, 20)}; // Pending at the crash.
+    const std::vector<MediaWriteEvent> media = {
+        MediaWriteEvent{kLine, 30}};
+    FaultPlan plan;
+    plan.drainLines = 1;
+    const FaultyImageReport r =
+        applyFaultyPersistEvents(img, events, media, 50, plan);
+    EXPECT_EQ(r.onMedia, 1u);
+    EXPECT_EQ(r.drained, 1u);
+    EXPECT_EQ(r.dropped, 0u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine), 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine + 256), 2u);
+}
+
+TEST(CrashImage, TearHitsOnlyTheLastDurableEvent)
+{
+    MemoryImage img;
+    const std::vector<PersistEvent> events = {
+        event(kLine, 7, 10), event(kLine + 256, 9, 20, /*size=*/16)};
+    FaultPlan plan;
+    plan.tear = TearKind::Prefix;
+    const FaultyImageReport r =
+        applyFaultyPersistEvents(img, events, {}, 100, plan);
+    EXPECT_TRUE(r.tore);
+    EXPECT_EQ(r.tornAddr, kLine + 256);
+    EXPECT_EQ(r.tornMask, 0b01u);
+    // The older event landed whole; the final one lost its second
+    // 8-byte chunk.
+    EXPECT_EQ(img.read<std::uint64_t>(kLine), 7u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine + 256), 9u);
+    EXPECT_EQ(img.read<std::uint64_t>(kLine + 256 + 8), 0u);
+}
+
+TEST(Injector, BoundsConsecutiveRejectsPerLine)
+{
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.acceptFaultRate = 1.0;  // Reject whenever allowed.
+    plan.maxConsecutiveRejects = 3;
+    const AcceptFaultHook hook = makeAcceptFaultInjector(plan);
+    ASSERT_TRUE(hook);
+    MemReq req;
+    req.kind = ReqKind::Writeback;
+    req.addr = kLine;
+    req.size = 64;
+    int streak = 0;
+    for (Cycle c = 0; c < 40; ++c) {
+        if (hook(req, c)) {
+            ++streak;
+            EXPECT_LE(streak, 3);
+        } else {
+            streak = 0;
+        }
+    }
+}
+
+TEST(Injector, BenignPlanYieldsNoHook)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(makeAcceptFaultInjector(plan));
+}
+
+TEST(Injector, ControllerRetriesAbsorbTransientRejects)
+{
+    RunSpec spec;
+    spec.txns = 4;
+    spec.opsPerTxn = 5;
+    WorkloadHarness h(AppId::Update, Config::B, spec);
+    h.enableAudit();
+    FaultPlan plan;
+    plan.seed = 21;
+    plan.acceptFaultRate = 0.2;
+    h.system().mem().controller().nvm().setAcceptFaultHook(
+        makeAcceptFaultInjector(plan));
+    h.generate();
+    h.simulate();
+    // Rejections happened, the run still completed, ordering stayed
+    // clean and the final image recovers.
+    EXPECT_GT(
+        h.system().mem().controller().nvm().stats().transientRejects,
+        0u);
+    EXPECT_TRUE(h.audit().clean());
+    const Cycle end = h.system().core().stats().cycles;
+    const MemoryImage recovered = h.recoveredImageAt(end);
+    EXPECT_TRUE(h.app().checkRecovered(recovered));
+}
+
+TEST(Watchdog, NoProgressYieldsStructuredError)
+{
+    // Wedge the NVM outright: every write-class accept is refused, so
+    // the cvap below can never complete and the write buffer never
+    // drains.  The watchdog must convert the stall into a structured
+    // error instead of spinning to the maxCycles backstop.
+    CoreParams overrides;
+    overrides.watchdogCycles = 3000;
+    MiniSim sim(EnforceMode::None, overrides);
+    sim.mem->controller().nvm().setAcceptFaultHook(
+        [](const MemReq &, Cycle) { return true; });
+    Trace t;
+    TraceBuilder b(t);
+    b.movImm(1, 42);
+    b.str(1, kNoReg, sim.nvmLine(0), 42);
+    b.cvap(kNoReg, sim.nvmLine(0));
+    b.dsbSy();
+    sim.run(t);
+    const SimError &err = sim.core->simError();
+    ASSERT_TRUE(err);
+    EXPECT_EQ(err.kind, SimErrorKind::WatchdogNoProgress);
+    EXPECT_GT(err.cycle, err.lastProgressCycle);
+    const std::string dump = err.describe();
+    EXPECT_NE(dump.find("watchdog-no-progress"), std::string::npos);
+    EXPECT_NE(dump.find("wb chain"), std::string::npos);
+}
+
+TEST(Watchdog, MaxCyclesBackstopStillFires)
+{
+    CoreParams overrides;
+    overrides.maxCycles = 100;
+    MiniSim sim(EnforceMode::None, overrides);
+    Trace t;
+    TraceBuilder b(t);
+    b.movImm(1, 0);
+    for (int i = 0; i < 400; ++i)
+        b.alu(1, 1);  // Serial chain: one ALU per cycle at best.
+    sim.run(t);
+    const SimError &err = sim.core->simError();
+    ASSERT_TRUE(err);
+    EXPECT_EQ(err.kind, SimErrorKind::MaxCyclesExceeded);
+}
+
+TEST(Watchdog, CleanRunsReportNoError)
+{
+    MiniSim sim;
+    Trace t;
+    TraceBuilder b(t);
+    b.movImm(1, 1);
+    b.alu(2, 1);
+    sim.run(t);
+    EXPECT_FALSE(sim.core->simError());
+}
+
+} // namespace
+} // namespace ede

@@ -45,7 +45,7 @@ TEST(Framework, BaselineEmitsFigure4Pattern)
     const std::size_t before = f.trace.size();
     f.fw->pWriteU64(x, 6);
     // Framework prologue (TX lookup + reserve), then the Figure 4
-    // skeleton: ldr; stp; dc cvap; dsb sy; mov; str; dc cvap.
+    // skeleton: ldr; seal; stp; dc cvap; dsb sy; mov; str; dc cvap.
     std::vector<Op> got;
     for (std::size_t i = before; i < f.trace.size(); ++i)
         got.push_back(f.trace[i].op());
@@ -53,9 +53,9 @@ TEST(Framework, BaselineEmitsFigure4Pattern)
         // Prologue: operator= dispatch and reserve_uint64().
         Op::Mov, Op::Ldr, Op::IntAlu, Op::IntAlu, Op::IntAlu,
         Op::IntAlu, Op::IntAlu, Op::IntAlu,
-        // Figure 4 proper.
-        Op::Mov, Op::Ldr, Op::Mov, Op::IntAlu, Op::Stp, Op::DcCvap,
-        Op::DsbSy, Op::Mov, Op::Str, Op::DcCvap};
+        // Figure 4 proper (plus the entry-checksum seal ALU op).
+        Op::Mov, Op::Ldr, Op::Mov, Op::IntAlu, Op::IntAlu, Op::Stp,
+        Op::DcCvap, Op::DsbSy, Op::Mov, Op::Str, Op::DcCvap};
     EXPECT_EQ(got, want);
     // No EDE keys in the baseline.
     EXPECT_EQ(f.trace.edeCount(), 0u);
@@ -114,8 +114,9 @@ TEST(Framework, FunctionalWriteAndLogContents)
     f.fw->txBegin();
     f.fw->pWriteU64(x, 42);
     EXPECT_EQ(f.img.read<std::uint64_t>(x), 42u);
-    // Log slot 0 records {addr, old value}.
-    EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(0)), x);
+    // Log slot 0 records {sealed addr, old value}.
+    EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(0)),
+              sealUndoEntry(x, 41));
     EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(0) + 8), 41u);
 }
 
@@ -237,10 +238,10 @@ TEST(Framework, RangeWriteSnapshotsWholeObjectOnce)
     f.fw->pWriteU64InRange(node + 16, 1, node, 8);
     // The whole 8-word range was logged.
     EXPECT_EQ(f.trace.opCount(Op::Stp) - before_stp, 8u);
-    // Log entries carry {addr, old value} for each word.
+    // Log entries carry {sealed addr, old value} for each word.
     for (int w = 0; w < 8; ++w) {
         EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(w)),
-                  node + 8 * w);
+                  sealUndoEntry(node + 8 * w, 100u + w));
         EXPECT_EQ(f.img.read<std::uint64_t>(f.log.entryAddr(w) + 8),
                   100u + w);
     }

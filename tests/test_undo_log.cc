@@ -24,7 +24,8 @@ void
 putEntry(MemoryImage &img, const UndoLogLayout &l, std::uint64_t i,
          Addr target, std::uint64_t old_val)
 {
-    img.write<std::uint64_t>(l.entryAddr(i), target);
+    img.write<std::uint64_t>(l.entryAddr(i),
+                             sealUndoEntry(target, old_val));
     img.write<std::uint64_t>(l.entryAddr(i) + 8, old_val);
 }
 
@@ -99,6 +100,58 @@ TEST(UndoLog, SparseValidEntriesHandled)
     EXPECT_EQ(r.entriesApplied, 2u);
     EXPECT_EQ(img.read<std::uint64_t>(x), 1u);
     EXPECT_EQ(img.read<std::uint64_t>(y), 2u);
+}
+
+TEST(UndoLog, TornValueWordIsDetectedAndSkipped)
+{
+    MemoryImage img;
+    const auto l = layout();
+    const Addr x = l.stateAddr + 0x10000;
+    const Addr y = x + 64;
+    img.write<std::uint64_t>(x, 10);
+    img.write<std::uint64_t>(y, 20);
+    putEntry(img, l, 0, x, 1);
+    // Entry 1 tore between its halves: the addr word was sealed for
+    // old value 2, but the value word never persisted.
+    img.write<std::uint64_t>(l.entryAddr(1), sealUndoEntry(y, 2));
+    img.write<std::uint64_t>(l.entryAddr(1) + 8, 777);
+    const auto r = recoverUndoLog(img, l);
+    EXPECT_EQ(r.entriesTorn, 1u);
+    EXPECT_EQ(r.entriesApplied, 1u);
+    // The intact entry rolled back; the torn one was not replayed.
+    EXPECT_EQ(img.read<std::uint64_t>(x), 1u);
+    EXPECT_EQ(img.read<std::uint64_t>(y), 20u);
+    // Torn entries are truncated with the rest.
+    EXPECT_EQ(img.read<std::uint64_t>(l.entryAddr(1)), 0u);
+    EXPECT_EQ(img.read<std::uint64_t>(l.stateAddr), kTxActive);
+}
+
+TEST(UndoLog, TornAddrWordIsDetectedAndSkipped)
+{
+    MemoryImage img;
+    const auto l = layout();
+    const Addr y = l.stateAddr + 0x10000;
+    img.write<std::uint64_t>(y, 20);
+    // The value word persisted but the addr word's checksum did not:
+    // the image holds the bare target address with zero seal bits.
+    ASSERT_NE(undoEntryChecksum(y, 2), 0u);
+    img.write<std::uint64_t>(l.entryAddr(0), y);
+    img.write<std::uint64_t>(l.entryAddr(0) + 8, 2);
+    const auto r = recoverUndoLog(img, l);
+    EXPECT_EQ(r.entriesTorn, 1u);
+    EXPECT_EQ(r.entriesApplied, 0u);
+    EXPECT_EQ(img.read<std::uint64_t>(y), 20u);
+    EXPECT_EQ(img.read<std::uint64_t>(l.entryAddr(0)), 0u);
+}
+
+TEST(UndoLog, SealRoundTrips)
+{
+    const Addr target = (3ull << 30) + 0x1238;
+    const std::uint64_t sealed = sealUndoEntry(target, 41);
+    EXPECT_EQ(undoEntryTarget(sealed), target);
+    EXPECT_TRUE(undoEntryIntact(sealed, 41));
+    EXPECT_FALSE(undoEntryIntact(sealed, 42));
+    EXPECT_FALSE(undoEntryIntact(sealed ^ (1ull << 50), 41));
 }
 
 TEST(UndoLog, RecoveryIsIdempotent)
