@@ -8,6 +8,10 @@
  * Each sweep reports op-phase cycles for B / IQ / WB / U on the
  * update kernel, so the sensitivity of the Figure 9 result to each
  * knob is visible.
+ *
+ * Every tweak point is declared as an axis of one ExperimentPlan and
+ * the whole design space runs through the experiment layer in a
+ * single parallel, cache-backed pass.
  */
 
 #include <cstdio>
@@ -23,26 +27,30 @@ namespace {
 const std::vector<Config> kSweepConfigs = {Config::B, Config::IQ,
                                            Config::WB, Config::U};
 
-void
-sweep(const char *title, const BenchOptions &opt,
-      const std::vector<std::pair<std::string,
-                                  std::function<void(SimParams &)>>>
-          &points)
+using Tweak = std::function<void(SimParams &)>;
+
+struct SweepAxis
 {
-    std::printf("-- %s --\n", title);
+    std::string title;
+    std::vector<std::pair<std::string, Tweak>> points;
+};
+
+/** Print one axis' table from the shared results. */
+void
+printSweep(const SweepAxis &axis, const exp::ExperimentResults &results)
+{
+    std::printf("-- %s --\n", axis.title.c_str());
     TextTable t({"point", "B", "IQ", "WB", "U", "U/B"});
-    for (const auto &[label, tweak] : points) {
+    for (const auto &[label, tweak] : axis.points) {
         std::vector<std::string> row{label};
         Cycle base = 0;
         Cycle last_u = 0;
         for (Config cfg : kSweepConfigs) {
-            SimParams p = makeParams(cfg);
-            tweak(p);
-            WorkloadHarness h(AppId::Update, cfg, opt.spec,
-                              AppParams{}, p);
-            h.generate();
-            h.simulate();
-            const Cycle cycles = h.opPhaseCycles();
+            const Cycle cycles =
+                results
+                    .cellByLabel(label + "/" +
+                                 std::string(configName(cfg)))
+                    .opCycles;
             if (cfg == Config::B)
                 base = cycles;
             if (cfg == Config::U)
@@ -61,54 +69,69 @@ sweep(const char *title, const BenchOptions &opt,
 int
 main(int argc, char **argv)
 {
-    BenchOptions opt = parseOptions(argc, argv);
+    BenchOptions opt = parseOptions(argc, argv, "ablation_sweeps");
     printBanner("Ablations (update kernel)", opt);
 
-    sweep("write buffer depth (Table I: 16)", opt,
-          {{"wb=4", [](SimParams &p) { p.core.wbSize = 4; }},
-           {"wb=8", [](SimParams &p) { p.core.wbSize = 8; }},
-           {"wb=16", [](SimParams &) {}},
-           {"wb=32", [](SimParams &p) { p.core.wbSize = 32; }}});
+    const std::vector<SweepAxis> axes = {
+        {"write buffer depth (Table I: 16)",
+         {{"wb=4", [](SimParams &p) { p.core.wbSize = 4; }},
+          {"wb=8", [](SimParams &p) { p.core.wbSize = 8; }},
+          {"wb=16", [](SimParams &) {}},
+          {"wb=32", [](SimParams &p) { p.core.wbSize = 32; }}}},
+        {"write buffer drain width",
+         {{"drain=1",
+           [](SimParams &p) { p.core.wbDrainPerCycle = 1; }},
+          {"drain=2", [](SimParams &) {}},
+          {"drain=4",
+           [](SimParams &p) { p.core.wbDrainPerCycle = 4; }}}},
+        {"persist-accept latency (WPQ RTT)",
+         {{"accept=24",
+           [](SimParams &p) { p.mem.nvm.bufferAccept = 24; }},
+          {"accept=60", [](SimParams &) {}},
+          {"accept=150",
+           [](SimParams &p) { p.mem.nvm.bufferAccept = 150; }}}},
+        {"on-DIMM buffer depth (Table I: 128)",
+         {{"slots=32",
+           [](SimParams &p) { p.mem.nvm.bufferSlots = 32; }},
+          {"slots=128", [](SimParams &) {}},
+          {"slots=512",
+           [](SimParams &p) { p.mem.nvm.bufferSlots = 512; }}}},
+        {"NVM media write streams (bandwidth)",
+         {{"writers=2",
+           [](SimParams &p) { p.mem.nvm.mediaWriters = 2; }},
+          {"writers=5", [](SimParams &) {}},
+          {"writers=10",
+           [](SimParams &p) { p.mem.nvm.mediaWriters = 10; }},
+          {"writers=40",
+           [](SimParams &p) { p.mem.nvm.mediaWriters = 40; }}}},
+        {"NVM write latency (Table I: 500ns = 1500 cyc)",
+         {{"write=900c",
+           [](SimParams &p) { p.mem.nvm.writeLatency = 900; }},
+          {"write=1500c", [](SimParams &) {}},
+          {"write=3000c",
+           [](SimParams &p) { p.mem.nvm.writeLatency = 3000; }}}},
+    };
 
-    sweep("write buffer drain width", opt,
-          {{"drain=1",
-            [](SimParams &p) { p.core.wbDrainPerCycle = 1; }},
-           {"drain=2", [](SimParams &) {}},
-           {"drain=4",
-            [](SimParams &p) { p.core.wbDrainPerCycle = 4; }}});
+    // One plan for the whole design space: every axis point becomes
+    // a labeled cell, so identical points (the Table I defaults each
+    // axis re-declares) even dedupe through the result cache.
+    exp::ExperimentPlan plan;
+    for (const SweepAxis &axis : axes) {
+        for (const auto &[label, tweak] : axis.points) {
+            plan.addTweakAxis(label, AppId::Update, kSweepConfigs,
+                              opt.spec, tweak);
+        }
+    }
+    const exp::ExperimentResults results =
+        exp::runPlan(plan, runnerOptions(opt));
 
-    sweep("persist-accept latency (WPQ RTT)", opt,
-          {{"accept=24",
-            [](SimParams &p) { p.mem.nvm.bufferAccept = 24; }},
-           {"accept=60", [](SimParams &) {}},
-           {"accept=150",
-            [](SimParams &p) { p.mem.nvm.bufferAccept = 150; }}});
-
-    sweep("on-DIMM buffer depth (Table I: 128)", opt,
-          {{"slots=32",
-            [](SimParams &p) { p.mem.nvm.bufferSlots = 32; }},
-           {"slots=128", [](SimParams &) {}},
-           {"slots=512",
-            [](SimParams &p) { p.mem.nvm.bufferSlots = 512; }}});
-
-    sweep("NVM media write streams (bandwidth)", opt,
-          {{"writers=2",
-            [](SimParams &p) { p.mem.nvm.mediaWriters = 2; }},
-           {"writers=5", [](SimParams &) {}},
-           {"writers=10",
-            [](SimParams &p) { p.mem.nvm.mediaWriters = 10; }},
-           {"writers=40",
-            [](SimParams &p) { p.mem.nvm.mediaWriters = 40; }}});
-
-    sweep("NVM write latency (Table I: 500ns = 1500 cyc)", opt,
-          {{"write=900c",
-            [](SimParams &p) { p.mem.nvm.writeLatency = 900; }},
-           {"write=1500c", [](SimParams &) {}},
-           {"write=3000c",
-            [](SimParams &p) { p.mem.nvm.writeLatency = 3000; }}});
+    for (const SweepAxis &axis : axes)
+        printSweep(axis, results);
 
     // DMB ST timing only affects the SU configuration; also report
     // the persist-ordering audit, which the aggressive LSQ fails.
+    // The audit needs harness access, so this axis stays on a direct
+    // WorkloadHarness instead of the cached runner.
     std::printf("-- DMB ST timing (SU configuration) --\n");
     {
         TextTable t({"point", "SU cycles", "vs B", "audit"});
@@ -142,5 +165,6 @@ main(int argc, char **argv)
     std::printf("note: IQ/WB columns show EDE holding its advantage "
                 "across the design space;\nthe U/B column tracks how "
                 "much room fences leave in each regime.\n");
+    maybeWriteJson(opt, "ablation_sweeps", results);
     return 0;
 }

@@ -4,21 +4,30 @@
  * and the standard (application x configuration) sweep used by the
  * Figure 9/10/11 reporters.
  *
- * Every bench accepts:
- *   --txns N   transactions per application        (default 40)
- *   --ops M    operations per transaction          (default 25)
- *   --paper    paper-scale run: 1000 txns x 100 ops (Section VI-B)
- *   --seed S   workload RNG seed                   (default 42)
- *   --app LIST comma-separated subset of apps
+ * The sweep itself is a thin wrapper over the experiment layer
+ * (src/exp): cells run in parallel across cores and are served from
+ * the content-addressed result cache when an identical cell was
+ * already simulated -- so running fig9, fig10 and fig11 back to back
+ * performs exactly one simulation per (app, config) pair.
  *
- * The default scale keeps every bench under a few minutes while
- * preserving the steady-state behaviour the figures report; --paper
- * reproduces the full 100,000-operation runs.
+ * Standard options (also printed by --help):
+ *   --txns N      transactions per application        (default 40)
+ *   --ops M       operations per transaction          (default 25)
+ *   --paper       paper-scale run: 1000 txns x 100 ops (Section VI-B)
+ *   --seed S      workload RNG seed                   (default 42)
+ *   --app LIST    comma-separated subset of apps
+ *   --jobs N      parallel simulation jobs (default: hardware
+ *                 concurrency; 1 reproduces the old serial order)
+ *   --json PATH   write the sweep as a BENCH_*.json artifact
+ *   --cache-dir D result-cache directory (default .ede-cache)
+ *   --no-cache    simulate every cell even when cached
  */
 
 #ifndef EDE_BENCH_BENCH_UTIL_HH
 #define EDE_BENCH_BENCH_UTIL_HH
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -27,6 +36,8 @@
 #include "apps/harness.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "exp/runner.hh"
+#include "exp/sink.hh"
 
 namespace ede {
 namespace bench {
@@ -37,11 +48,47 @@ struct BenchOptions
     RunSpec spec{40, 25, 42};
     std::vector<AppId> apps{kAllApps.begin(), kAllApps.end()};
     bool paperScale = false;
+    unsigned jobs = 0;       ///< 0 = hardware concurrency.
+    std::string jsonPath;    ///< Empty = no JSON artifact.
+    std::string cacheDir = ".ede-cache";
+    bool useCache = true;
 };
+
+/** The --help text (kept in one place so every bench agrees). */
+inline void
+printUsage(const char *bench)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --txns N      transactions per application (default 40)\n"
+        "  --ops M       operations per transaction (default 25)\n"
+        "  --paper       paper-scale run: 1000 txns x 100 ops\n"
+        "  --seed S      workload RNG seed (default 42)\n"
+        "  --app LIST    comma-separated subset of: ",
+        bench);
+    for (AppId id : kAllApps)
+        std::printf("%s%s", id == kAllApps.front() ? "" : ",",
+                    std::string(appName(id)).c_str());
+    std::printf(
+        "\n"
+        "  --jobs N      parallel simulation jobs (default: hardware\n"
+        "                concurrency; 1 reproduces the old serial "
+        "order --\n"
+        "                results are bit-identical either way)\n"
+        "  --json PATH   write the sweep as a JSON artifact "
+        "(BENCH_*.json)\n"
+        "  --cache-dir D result-cache directory (default .ede-cache);\n"
+        "                snapshots are keyed by {app, config, "
+        "workload,\n"
+        "                simulator parameters, schema}; delete the\n"
+        "                directory after changing simulator code\n"
+        "  --no-cache    simulate every cell even when cached\n"
+        "  --help        this text\n");
+}
 
 /** Parse the standard options; unknown flags are fatal. */
 inline BenchOptions
-parseOptions(int argc, char **argv)
+parseOptions(int argc, char **argv, const char *bench = "bench")
 {
     BenchOptions opt;
     for (int i = 1; i < argc; ++i) {
@@ -61,6 +108,17 @@ parseOptions(int argc, char **argv)
             opt.paperScale = true;
             opt.spec.txns = 1000;
             opt.spec.opsPerTxn = 100;
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--json") {
+            opt.jsonPath = next();
+        } else if (arg == "--cache-dir") {
+            opt.cacheDir = next();
+        } else if (arg == "--no-cache") {
+            opt.useCache = false;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(bench);
+            std::exit(0);
         } else if (arg == "--app") {
             opt.apps.clear();
             std::string list = next();
@@ -82,55 +140,43 @@ parseOptions(int argc, char **argv)
                 pos = (comma == std::string::npos) ? comma : comma + 1;
             }
         } else {
-            ede_fatal("unknown flag '", arg,
-                      "' (see bench_util.hh for usage)");
+            ede_fatal("unknown flag '", arg, "' (--help for usage)");
         }
     }
     return opt;
 }
 
-/** One completed run. */
-struct SweepCell
+/** Runner options implied by a bench command line. */
+inline exp::RunnerOptions
+runnerOptions(const BenchOptions &opt)
 {
-    AppId app;
-    Config config;
-    Cycle opCycles = 0;  ///< Transaction-phase cycles (the paper's
-                         ///< measurement excludes pool setup).
-    RunResult result;
-};
+    exp::RunnerOptions ro;
+    ro.jobs = opt.jobs;
+    ro.cacheDir = opt.useCache ? opt.cacheDir : std::string();
+    return ro;
+}
 
-/** Run every (app, config) pair and collect the results. */
-inline std::vector<SweepCell>
+/**
+ * Run every (app, config) pair through the experiment layer --
+ * parallel across cells, cache-backed -- and return keyed results.
+ */
+inline exp::ExperimentResults
 runSweep(const BenchOptions &opt,
          const std::vector<Config> &configs =
              {kAllConfigs.begin(), kAllConfigs.end()})
 {
-    std::vector<SweepCell> cells;
-    for (AppId app : opt.apps) {
-        for (Config cfg : configs) {
-            WorkloadHarness h(app, cfg, opt.spec);
-            h.generate();
-            h.simulate();
-            SweepCell cell;
-            cell.app = app;
-            cell.config = cfg;
-            cell.opCycles = h.opPhaseCycles();
-            cell.result = h.system().result();
-            cells.push_back(std::move(cell));
-        }
-    }
-    return cells;
+    exp::ExperimentPlan plan;
+    plan.addGrid(opt.apps, configs, opt.spec);
+    return exp::runPlan(plan, runnerOptions(opt));
 }
 
-/** Find one cell in a sweep. */
-inline const SweepCell &
-cellOf(const std::vector<SweepCell> &cells, AppId app, Config cfg)
+/** Emit the --json artifact when one was requested. */
+inline void
+maybeWriteJson(const BenchOptions &opt, const char *bench,
+               const exp::ExperimentResults &results)
 {
-    for (const SweepCell &c : cells) {
-        if (c.app == app && c.config == cfg)
-            return c;
-    }
-    ede_fatal("missing sweep cell");
+    if (!opt.jsonPath.empty())
+        exp::writeJsonArtifact(opt.jsonPath, bench, results);
 }
 
 /** Standard bench banner. */

@@ -20,11 +20,12 @@ using namespace ede::bench;
 int
 main(int argc, char **argv)
 {
-    const BenchOptions opt = parseOptions(argc, argv);
+    const BenchOptions opt =
+        parseOptions(argc, argv, "fig10_pending_writes");
     printBanner("Figure 10: pending NVM writes in the on-DIMM buffer",
                 opt);
 
-    const auto cells = runSweep(opt);
+    const exp::ExperimentResults cells = runSweep(opt);
 
     for (AppId app : opt.apps) {
         std::printf("-- %s --\n",
@@ -39,7 +40,7 @@ main(int argc, char **argv)
                 std::to_string(lo) + "-" + std::to_string(hi)};
             for (Config cfg : kAllConfigs) {
                 const Distribution &d =
-                    cellOf(cells, app, cfg).result.nvmOccupancy;
+                    cells.cell(app, cfg).result.nvmOccupancy;
                 double frac = 0.0;
                 for (std::uint64_t v = lo; v <= hi; ++v) {
                     if (v < d.numBuckets())
@@ -52,7 +53,7 @@ main(int argc, char **argv)
         std::vector<std::string> mean_row{"mean"};
         for (Config cfg : kAllConfigs) {
             mean_row.push_back(fmtDouble(
-                cellOf(cells, app, cfg).result.nvmOccupancy.mean(),
+                cells.cell(app, cfg).result.nvmOccupancy.mean(),
                 1));
         }
         t.addRow(mean_row);
@@ -64,13 +65,14 @@ main(int argc, char **argv)
     bool ok = true;
     for (AppId app : opt.apps) {
         const double u =
-            cellOf(cells, app, Config::U).result.nvmOccupancy.mean();
+            cells.cell(app, Config::U).result.nvmOccupancy.mean();
         for (Config cfg : {Config::B, Config::SU, Config::IQ,
                            Config::WB}) {
-            ok &= u >= cellOf(cells, app, cfg)
+            ok &= u >= cells.cell(app, cfg)
                       .result.nvmOccupancy.mean();
         }
     }
     std::printf("%s\n", ok ? "yes" : "NO");
+    maybeWriteJson(opt, "fig10_pending_writes", cells);
     return 0;
 }

@@ -21,17 +21,18 @@ using namespace ede::bench;
 int
 main(int argc, char **argv)
 {
-    const BenchOptions opt = parseOptions(argc, argv);
+    const BenchOptions opt =
+        parseOptions(argc, argv, "fig11_issue_dist");
     printBanner("Figure 11: instructions issued per cycle", opt);
 
-    const auto cells = runSweep(opt);
+    const exp::ExperimentResults cells = runSweep(opt);
 
     // Aggregate the issue histograms across applications per config.
     std::map<Config, Histogram> agg;
     for (Config cfg : kAllConfigs)
         agg.emplace(cfg, Histogram(9));
-    for (const SweepCell &c : cells)
-        agg.at(c.config).merge(c.result.core.issueHist);
+    for (const exp::ExperimentCell &c : cells.cells())
+        agg.at(c.point.config).merge(c.result.core.issueHist);
 
     TextTable t({"issued/cycle", "B", "SU", "IQ", "WB", "U"});
     for (std::size_t w = 0; w < 9; ++w) {
@@ -49,7 +50,7 @@ main(int argc, char **argv)
     for (Config cfg : kAllConfigs) {
         std::vector<double> ipcs;
         for (AppId app : opt.apps)
-            ipcs.push_back(cellOf(cells, app, cfg).result.core.ipc());
+            ipcs.push_back(cells.cell(app, cfg).result.core.ipc());
         ipc_row.push_back(fmtDouble(mean(ipcs), 3));
         const Histogram &h = agg.at(cfg);
         const double active_frac = 1.0 - h.fraction(0);
@@ -61,5 +62,6 @@ main(int argc, char **argv)
     s.addRow(active);
     s.addRow(per_active);
     std::printf("%s\n", s.str().c_str());
+    maybeWriteJson(opt, "fig11_issue_dist", cells);
     return 0;
 }

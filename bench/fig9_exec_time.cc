@@ -18,25 +18,25 @@ using namespace ede::bench;
 int
 main(int argc, char **argv)
 {
-    const BenchOptions opt = parseOptions(argc, argv);
+    const BenchOptions opt = parseOptions(argc, argv, "fig9_exec_time");
     printBanner("Figure 9: normalized execution time", opt);
 
-    const auto cells = runSweep(opt);
+    const exp::ExperimentResults cells = runSweep(opt);
 
     TextTable t({"app", "B", "SU", "IQ", "WB", "U", "cycles(B)"});
     std::map<Config, std::vector<double>> normalized;
     for (AppId app : opt.apps) {
         const double base = static_cast<double>(
-            cellOf(cells, app, Config::B).opCycles);
+            cells.cell(app, Config::B).opCycles);
         std::vector<std::string> row{std::string(appName(app))};
         for (Config cfg : kAllConfigs) {
             const double norm = static_cast<double>(
-                cellOf(cells, app, cfg).opCycles) / base;
+                cells.cell(app, cfg).opCycles) / base;
             normalized[cfg].push_back(norm);
             row.push_back(fmtDouble(norm, 3));
         }
         row.push_back(std::to_string(
-            cellOf(cells, app, Config::B).opCycles));
+            cells.cell(app, Config::B).opCycles));
         t.addRow(row);
     }
     std::vector<std::string> gm{"geomean"};
@@ -65,5 +65,6 @@ main(int argc, char **argv)
         std::printf("WB recovers %s of U's reduction (paper: ~54%%)\n",
                     fmtPercent(red_wb / red_u).c_str());
     }
+    maybeWriteJson(opt, "fig9_exec_time", cells);
     return 0;
 }

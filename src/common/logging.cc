@@ -2,36 +2,80 @@
 
 #include <exception>
 #include <iostream>
+#include <mutex>
 
 namespace ede {
+
+namespace {
+
+/** Serializes every log line across threads. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+thread_local std::string t_jobTag;
+
+/** "[tag] " when the thread is tagged, "" otherwise. */
+std::string
+tagPrefix()
+{
+    return t_jobTag.empty() ? std::string()
+                            : "[" + t_jobTag + "] ";
+}
+
+} // namespace
+
+std::string
+logJobTag()
+{
+    return t_jobTag;
+}
+
+void
+setLogJobTag(std::string tag)
+{
+    t_jobTag = std::move(tag);
+}
+
 namespace detail {
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " [" << file << ":" << line << "]"
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "panic: " << tagPrefix() << msg << " [" << file
+                  << ":" << line << "]" << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << " [" << file << ":" << line << "]"
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "fatal: " << tagPrefix() << msg << " [" << file
+                  << ":" << line << "]" << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << "warn: " << tagPrefix() << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::cout << "info: " << msg << std::endl;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::cout << "info: " << tagPrefix() << msg << std::endl;
 }
 
 } // namespace detail

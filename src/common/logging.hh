@@ -8,6 +8,12 @@
  *            out-of-range parameter).  Exits with status 1.
  * warn()   - something is modelled approximately; simulation continues.
  * inform() - plain status output.
+ *
+ * All four sinks are thread-safe: one process-wide mutex serializes
+ * each line, so output from parallel experiment jobs never
+ * interleaves mid-line.  A per-thread *job tag* (LogJobTag) is
+ * prepended to every line emitted by that thread, keeping parallel
+ * output attributable to the run that produced it.
  */
 
 #ifndef EDE_COMMON_LOGGING_HH
@@ -41,6 +47,35 @@ void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
 } // namespace detail
+
+/** The calling thread's current log tag ("" when untagged). */
+std::string logJobTag();
+
+/** Set the calling thread's log tag ("" clears it). */
+void setLogJobTag(std::string tag);
+
+/**
+ * Scoped per-thread log tag: every log line the thread emits while
+ * the guard is alive is prefixed with "[tag]".  Scheduler jobs use
+ * this so interleaved parallel output stays attributable; tags nest
+ * (the previous tag is restored on destruction).
+ */
+class LogJobTag
+{
+  public:
+    explicit LogJobTag(std::string tag) : prev_(logJobTag())
+    {
+        setLogJobTag(std::move(tag));
+    }
+
+    ~LogJobTag() { setLogJobTag(std::move(prev_)); }
+
+    LogJobTag(const LogJobTag &) = delete;
+    LogJobTag &operator=(const LogJobTag &) = delete;
+
+  private:
+    std::string prev_;
+};
 
 } // namespace ede
 

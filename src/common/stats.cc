@@ -38,6 +38,20 @@ Histogram::merge(const Histogram &other)
     saturated_ += other.saturated_;
 }
 
+void
+Histogram::restore(std::vector<std::uint64_t> counts,
+                   std::uint64_t saturated)
+{
+    ede_assert(counts.size() == buckets_.size(),
+               "histogram restore shape mismatch: ", counts.size(),
+               " != ", buckets_.size());
+    buckets_ = std::move(counts);
+    total_ = 0;
+    for (std::uint64_t c : buckets_)
+        total_ += c;
+    saturated_ = saturated;
+}
+
 Distribution::Distribution(std::uint64_t max_value,
                            std::uint64_t bucket_width)
     : max_(max_value), width_(bucket_width ? bucket_width : 1),
@@ -78,6 +92,20 @@ Distribution::reset()
     std::fill(buckets_.begin(), buckets_.end(), 0);
     sum_ = 0;
     total_ = 0;
+}
+
+void
+Distribution::restore(std::vector<std::uint64_t> counts,
+                      std::uint64_t sum)
+{
+    ede_assert(counts.size() == buckets_.size(),
+               "distribution restore shape mismatch: ", counts.size(),
+               " != ", buckets_.size());
+    buckets_ = std::move(counts);
+    sum_ = sum;
+    total_ = 0;
+    for (std::uint64_t c : buckets_)
+        total_ += c;
 }
 
 double

@@ -73,6 +73,16 @@ class Histogram
     /** Accumulate another histogram of the same shape into this one. */
     void merge(const Histogram &other);
 
+    /** Raw bucket counts (snapshot serialization). */
+    const std::vector<std::uint64_t> &counts() const { return buckets_; }
+
+    /**
+     * Rebuild from serialized state.  total is recomputed as the sum
+     * of @p counts (the invariant sample() maintains).
+     */
+    void restore(std::vector<std::uint64_t> counts,
+                 std::uint64_t saturated);
+
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t total_ = 0;
@@ -120,6 +130,21 @@ class Distribution
 
     /** Reset all counts. */
     void reset();
+
+    /** @name Snapshot serialization access. */
+    /// @{
+    std::uint64_t maxValue() const { return max_; }
+    std::uint64_t bucketWidth() const { return width_; }
+    const std::vector<std::uint64_t> &counts() const { return buckets_; }
+    std::uint64_t sampleSum() const { return sum_; }
+
+    /**
+     * Rebuild from serialized state; the geometry must match this
+     * instance's construction parameters.  total is recomputed as
+     * the sum of @p counts.
+     */
+    void restore(std::vector<std::uint64_t> counts, std::uint64_t sum);
+    /// @}
 
   private:
     std::uint64_t max_ = 0;

@@ -1,0 +1,166 @@
+#include "exp/fingerprint.hh"
+
+#include <cstring>
+
+namespace ede {
+namespace exp {
+
+void
+FingerprintHasher::bytes(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash_ ^= p[i];
+        hash_ *= 0x100000001b3ull;  // FNV prime.
+    }
+}
+
+void
+FingerprintHasher::field(std::string_view name, std::uint64_t value)
+{
+    bytes(name.data(), name.size());
+    bytes(&value, sizeof(value));
+}
+
+void
+FingerprintHasher::field(std::string_view name, bool value)
+{
+    field(name, static_cast<std::uint64_t>(value ? 1 : 0));
+}
+
+void
+FingerprintHasher::field(std::string_view name, double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    field(name, bits);
+}
+
+void
+FingerprintHasher::field(std::string_view name, std::string_view value)
+{
+    bytes(name.data(), name.size());
+    field("len", static_cast<std::uint64_t>(value.size()));
+    bytes(value.data(), value.size());
+}
+
+namespace {
+
+void
+hashCoreParams(FingerprintHasher &h, const CoreParams &c)
+{
+    h.field("core.fetchWidth", static_cast<std::uint64_t>(c.fetchWidth));
+    h.field("core.issueWidth", static_cast<std::uint64_t>(c.issueWidth));
+    h.field("core.retireWidth",
+            static_cast<std::uint64_t>(c.retireWidth));
+    h.field("core.robSize", static_cast<std::uint64_t>(c.robSize));
+    h.field("core.iqSize", static_cast<std::uint64_t>(c.iqSize));
+    h.field("core.lqSize", static_cast<std::uint64_t>(c.lqSize));
+    h.field("core.sqSize", static_cast<std::uint64_t>(c.sqSize));
+    h.field("core.wbSize", static_cast<std::uint64_t>(c.wbSize));
+    h.field("core.wbDrainPerCycle",
+            static_cast<std::uint64_t>(c.wbDrainPerCycle));
+    h.field("core.mispredictPenalty", c.mispredictPenalty);
+    h.field("core.aluUnits", static_cast<std::uint64_t>(c.aluUnits));
+    h.field("core.mulUnits", static_cast<std::uint64_t>(c.mulUnits));
+    h.field("core.branchUnits",
+            static_cast<std::uint64_t>(c.branchUnits));
+    h.field("core.loadUnits", static_cast<std::uint64_t>(c.loadUnits));
+    h.field("core.storeUnits",
+            static_cast<std::uint64_t>(c.storeUnits));
+    h.field("core.aluLatency", c.aluLatency);
+    h.field("core.mulLatency", c.mulLatency);
+    h.field("core.branchLatency", c.branchLatency);
+    h.field("core.agenLatency", c.agenLatency);
+    h.field("core.forwardLatency", c.forwardLatency);
+    h.field("core.ede", static_cast<std::uint64_t>(c.ede));
+    h.field("core.dmbStCoversCvap", c.dmbStCoversCvap);
+    h.field("core.predictorEntries",
+            static_cast<std::uint64_t>(c.predictorEntries));
+    h.field("core.watchdogCycles", c.watchdogCycles);
+    h.field("core.maxCycles", c.maxCycles);
+}
+
+void
+hashCacheParams(FingerprintHasher &h, std::string_view prefix,
+                const CacheParams &c)
+{
+    const std::string p(prefix);
+    h.field(p + ".sizeBytes", static_cast<std::uint64_t>(c.sizeBytes));
+    h.field(p + ".assoc", static_cast<std::uint64_t>(c.assoc));
+    h.field(p + ".lineBytes", static_cast<std::uint64_t>(c.lineBytes));
+    h.field(p + ".latency", c.latency);
+    h.field(p + ".ports", static_cast<std::uint64_t>(c.ports));
+    h.field(p + ".mshrs", static_cast<std::uint64_t>(c.mshrs));
+    h.field(p + ".inputQueue",
+            static_cast<std::uint64_t>(c.inputQueue));
+}
+
+void
+hashMemParams(FingerprintHasher &h, const MemSystemParams &m)
+{
+    hashCacheParams(h, "l1d", m.l1d);
+    hashCacheParams(h, "l2", m.l2);
+    hashCacheParams(h, "l3", m.l3);
+    h.field("dram.banks", static_cast<std::uint64_t>(m.dram.banks));
+    h.field("dram.rowBytes",
+            static_cast<std::uint64_t>(m.dram.rowBytes));
+    h.field("dram.rowHit", m.dram.rowHit);
+    h.field("dram.rowMiss", m.dram.rowMiss);
+    h.field("dram.busBurst", m.dram.busBurst);
+    h.field("dram.queueDepth",
+            static_cast<std::uint64_t>(m.dram.queueDepth));
+    h.field("nvm.readLatency", m.nvm.readLatency);
+    h.field("nvm.writeLatency", m.nvm.writeLatency);
+    h.field("nvm.bufferAccept", m.nvm.bufferAccept);
+    h.field("nvm.bufferReadHit", m.nvm.bufferReadHit);
+    h.field("nvm.lineBytes",
+            static_cast<std::uint64_t>(m.nvm.lineBytes));
+    h.field("nvm.bufferSlots",
+            static_cast<std::uint64_t>(m.nvm.bufferSlots));
+    h.field("nvm.mediaWriters",
+            static_cast<std::uint64_t>(m.nvm.mediaWriters));
+    h.field("nvm.mediaReaders",
+            static_cast<std::uint64_t>(m.nvm.mediaReaders));
+    h.field("nvm.readQueueDepth",
+            static_cast<std::uint64_t>(m.nvm.readQueueDepth));
+    h.field("map.dramBytes", m.map.dramBytes);
+    h.field("map.nvmBytes", m.map.nvmBytes);
+}
+
+} // namespace
+
+std::uint64_t
+fingerprintPoint(const ExperimentPoint &point)
+{
+    FingerprintHasher h;
+    h.field("schema", static_cast<std::uint64_t>(kResultSchemaVersion));
+    h.field("app", appName(point.app));
+    h.field("config", configName(point.config));
+    h.field("spec.txns", static_cast<std::uint64_t>(point.spec.txns));
+    h.field("spec.opsPerTxn",
+            static_cast<std::uint64_t>(point.spec.opsPerTxn));
+    h.field("spec.seed", point.spec.seed);
+    h.field("appParams.seed", point.appParams.seed);
+    h.field("appParams.arrayLen",
+            static_cast<std::uint64_t>(point.appParams.arrayLen));
+    hashCoreParams(h, point.simParams.core);
+    hashMemParams(h, point.simParams.mem);
+    return h.value();
+}
+
+std::string
+fingerprintHex(std::uint64_t fingerprint)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[fingerprint & 0xf];
+        fingerprint >>= 4;
+    }
+    return out;
+}
+
+} // namespace exp
+} // namespace ede

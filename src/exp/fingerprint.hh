@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Content-addressed fingerprints for experiment points.
+ *
+ * The result cache keys a RunResult snapshot by a hash over *every
+ * simulation input*: application, configuration, RunSpec, AppParams,
+ * the full SimParams tree, and a schema version.  Any parameter an
+ * ablation can tweak is hashed by (name, value) pair, so adding,
+ * reordering or changing a field changes the fingerprint and old
+ * snapshots simply stop matching -- there is no explicit
+ * invalidation step.
+ *
+ * kResultSchemaVersion must be bumped whenever the *simulator's
+ * behaviour* or the snapshot layout changes, since the fingerprint
+ * cannot see code.
+ */
+
+#ifndef EDE_EXP_FINGERPRINT_HH
+#define EDE_EXP_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "exp/plan.hh"
+
+namespace ede {
+namespace exp {
+
+/**
+ * Cached-result schema/behaviour version.  Bump on any change to the
+ * simulator's timing behaviour, the statistics it reports, or the
+ * snapshot serialization in result_cache.cc.
+ */
+inline constexpr std::uint32_t kResultSchemaVersion = 1;
+
+/** FNV-1a over a stream of tagged fields. */
+class FingerprintHasher
+{
+  public:
+    /** Hash one named integer field. */
+    void field(std::string_view name, std::uint64_t value);
+
+    /** Hash one named boolean field. */
+    void field(std::string_view name, bool value);
+
+    /** Hash one named floating-point field (by bit pattern). */
+    void field(std::string_view name, double value);
+
+    /** Hash one named string field. */
+    void field(std::string_view name, std::string_view value);
+
+    /** The 64-bit digest so far. */
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    void bytes(const void *data, std::size_t len);
+
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;  // FNV offset basis.
+};
+
+/** Fingerprint of everything that determines a point's RunResult. */
+std::uint64_t fingerprintPoint(const ExperimentPoint &point);
+
+/** Fixed-width lowercase hex rendering (cache file names). */
+std::string fingerprintHex(std::uint64_t fingerprint);
+
+} // namespace exp
+} // namespace ede
+
+#endif // EDE_EXP_FINGERPRINT_HH

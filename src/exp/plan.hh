@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Declarative experiment plans.
+ *
+ * An ExperimentPlan is the full input of one evaluation sweep: a list
+ * of labeled (application, configuration, workload, simulator
+ * parameters) points.  The plan says *what* to simulate; the runner
+ * (runner.hh) decides how -- in parallel, through the result cache --
+ * so every bench, ablation sweep and the fault campaign can share one
+ * orchestration path instead of hand-rolled nested loops.
+ */
+
+#ifndef EDE_EXP_PLAN_HH
+#define EDE_EXP_PLAN_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/driver.hh"
+#include "sim/config.hh"
+
+namespace ede {
+namespace exp {
+
+/** One cell of an experiment grid. */
+struct ExperimentPoint
+{
+    /** Display/lookup key; defaults to "<app>/<config>". */
+    std::string label;
+    AppId app = AppId::Update;
+    Config config = Config::B;
+    RunSpec spec{};
+    AppParams appParams{};
+    SimParams simParams{};  ///< Must match `config` (harness asserts).
+};
+
+/** The default point label for @p app under @p cfg. */
+std::string pointLabel(AppId app, Config cfg);
+
+/** A list of labeled points, built by grid/axis helpers. */
+class ExperimentPlan
+{
+  public:
+    /** Append a fully specified point. */
+    ExperimentPlan &add(ExperimentPoint point);
+
+    /** Append one (app, config) cell with Table I parameters. */
+    ExperimentPlan &addCell(AppId app, Config cfg, const RunSpec &spec,
+                            const AppParams &app_params = {});
+
+    /** Append the full apps x configs grid (the figure sweeps). */
+    ExperimentPlan &addGrid(const std::vector<AppId> &apps,
+                            const std::vector<Config> &configs,
+                            const RunSpec &spec,
+                            const AppParams &app_params = {});
+
+    /**
+     * Append one ablation axis point: for each configuration, start
+     * from Table I parameters and apply @p tweak.  Labels are
+     * "<axis>/<config>".
+     */
+    ExperimentPlan &
+    addTweakAxis(const std::string &axis, AppId app,
+                 const std::vector<Config> &configs, const RunSpec &spec,
+                 const std::function<void(SimParams &)> &tweak);
+
+    const std::vector<ExperimentPoint> &points() const { return points_; }
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+  private:
+    std::vector<ExperimentPoint> points_;
+};
+
+} // namespace exp
+} // namespace ede
+
+#endif // EDE_EXP_PLAN_HH

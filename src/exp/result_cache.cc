@@ -1,0 +1,323 @@
+#include "exp/result_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "exp/fingerprint.hh"
+
+namespace ede {
+namespace exp {
+
+namespace {
+
+constexpr const char *kMagic = "ede-exp-snapshot";
+
+void
+putScalar(std::ostream &os, const char *key, std::uint64_t v)
+{
+    os << key << ' ' << v << '\n';
+}
+
+void
+putCacheStats(std::ostream &os, const char *prefix, const CacheStats &c)
+{
+    os << prefix << ' ' << c.hits << ' ' << c.misses << ' '
+       << c.mshrMerges << ' ' << c.evictions << ' ' << c.writebacks
+       << ' ' << c.cleansForwarded << ' ' << c.rejects << '\n';
+}
+
+/** Reader over the snapshot token stream; any slip poisons it. */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(const std::string &text) : is_(text) {}
+
+    bool ok() const { return ok_; }
+
+    /** Consume one token and require it to equal @p key. */
+    void
+    expect(const char *key)
+    {
+        std::string tok;
+        if (!(is_ >> tok) || tok != key)
+            ok_ = false;
+    }
+
+    std::uint64_t
+    scalar(const char *key)
+    {
+        expect(key);
+        std::uint64_t v = 0;
+        if (!(is_ >> v))
+            ok_ = false;
+        return v;
+    }
+
+    std::string
+    word(const char *key)
+    {
+        expect(key);
+        std::string v;
+        if (!(is_ >> v))
+            ok_ = false;
+        return v;
+    }
+
+    std::vector<std::uint64_t>
+    vec(std::size_t n)
+    {
+        std::vector<std::uint64_t> out(n, 0);
+        for (std::uint64_t &v : out) {
+            if (!(is_ >> v))
+                ok_ = false;
+        }
+        return out;
+    }
+
+    void
+    cacheStats(const char *prefix, CacheStats &c)
+    {
+        expect(prefix);
+        if (!(is_ >> c.hits >> c.misses >> c.mshrMerges >> c.evictions
+                  >> c.writebacks >> c.cleansForwarded >> c.rejects))
+            ok_ = false;
+    }
+
+  private:
+    std::istringstream is_;
+    bool ok_ = true;
+};
+
+} // namespace
+
+std::string
+serializeCell(const ExperimentCell &cell)
+{
+    const RunResult &r = cell.result;
+    std::ostringstream os;
+    os << kMagic << ' ' << kResultSchemaVersion << '\n';
+    os << "fingerprint " << fingerprintHex(cell.fingerprint) << '\n';
+    os << "app " << appName(cell.point.app) << '\n';
+    os << "config " << configName(cell.point.config) << '\n';
+    putScalar(os, "opCycles", cell.opCycles);
+    putScalar(os, "cycles", r.cycles);
+
+    putScalar(os, "core.cycles", r.core.cycles);
+    putScalar(os, "core.retired", r.core.retired);
+    putScalar(os, "core.dispatched", r.core.dispatched);
+    putScalar(os, "core.issuedOps", r.core.issuedOps);
+    putScalar(os, "core.branches", r.core.branches);
+    putScalar(os, "core.mispredicts", r.core.mispredicts);
+    putScalar(os, "core.squashes", r.core.squashes);
+    putScalar(os, "core.squashedInsts", r.core.squashedInsts);
+    putScalar(os, "core.loadsForwarded", r.core.loadsForwarded);
+    putScalar(os, "core.retireStallWbFull", r.core.retireStallWbFull);
+    putScalar(os, "core.dispatchStallRob", r.core.dispatchStallRob);
+    putScalar(os, "core.dispatchStallIq", r.core.dispatchStallIq);
+    putScalar(os, "core.dispatchStallLsq", r.core.dispatchStallLsq);
+    os << "issueHist " << r.core.issueHist.size();
+    for (std::uint64_t c : r.core.issueHist.counts())
+        os << ' ' << c;
+    os << " saturated " << r.core.issueHist.saturated() << '\n';
+
+    os << "wb " << r.wb.inserted << ' ' << r.wb.pushes << ' '
+       << r.wb.srcIdGated << ' ' << r.wb.lineGated << ' '
+       << r.wb.dmbGated << ' ' << r.wb.memRejected << '\n';
+
+    os << "nvm " << r.nvm.reads << ' ' << r.nvm.bufferReadHits << ' '
+       << r.nvm.writesAccepted << ' ' << r.nvm.writesCoalesced << ' '
+       << r.nvm.mediaWrites << ' ' << r.nvm.cleansAccepted << ' '
+       << r.nvm.bufferFullRejects << ' ' << r.nvm.transientRejects
+       << '\n';
+
+    os << "nvmOccupancy " << r.nvmOccupancy.maxValue() << ' '
+       << r.nvmOccupancy.bucketWidth() << ' '
+       << r.nvmOccupancy.numBuckets();
+    for (std::uint64_t c : r.nvmOccupancy.counts())
+        os << ' ' << c;
+    os << " sum " << r.nvmOccupancy.sampleSum() << '\n';
+
+    putCacheStats(os, "l1d", r.l1d);
+    putCacheStats(os, "l2", r.l2);
+    putCacheStats(os, "l3", r.l3);
+
+    os << "dram " << r.dram.reads << ' ' << r.dram.writes << ' '
+       << r.dram.rowHits << ' ' << r.dram.rowMisses << ' '
+       << r.dram.rejects << '\n';
+    os << "end\n";
+    return os.str();
+}
+
+std::optional<ExperimentCell>
+deserializeCell(const std::string &text, const ExperimentPoint &point,
+                std::uint64_t fingerprint)
+{
+    SnapshotReader in(text);
+    if (in.scalar(kMagic) != kResultSchemaVersion || !in.ok())
+        return std::nullopt;
+    if (in.word("fingerprint") != fingerprintHex(fingerprint))
+        return std::nullopt;
+    if (in.word("app") != appName(point.app))
+        return std::nullopt;
+    if (in.word("config") != configName(point.config))
+        return std::nullopt;
+
+    ExperimentCell cell;
+    cell.point = point;
+    cell.fingerprint = fingerprint;
+    cell.fromCache = true;
+    RunResult &r = cell.result;
+    r.config = point.config;
+
+    cell.opCycles = in.scalar("opCycles");
+    r.cycles = in.scalar("cycles");
+
+    r.core.cycles = in.scalar("core.cycles");
+    r.core.retired = in.scalar("core.retired");
+    r.core.dispatched = in.scalar("core.dispatched");
+    r.core.issuedOps = in.scalar("core.issuedOps");
+    r.core.branches = in.scalar("core.branches");
+    r.core.mispredicts = in.scalar("core.mispredicts");
+    r.core.squashes = in.scalar("core.squashes");
+    r.core.squashedInsts = in.scalar("core.squashedInsts");
+    r.core.loadsForwarded = in.scalar("core.loadsForwarded");
+    r.core.retireStallWbFull = in.scalar("core.retireStallWbFull");
+    r.core.dispatchStallRob = in.scalar("core.dispatchStallRob");
+    r.core.dispatchStallIq = in.scalar("core.dispatchStallIq");
+    r.core.dispatchStallLsq = in.scalar("core.dispatchStallLsq");
+
+    const std::uint64_t hist_n = in.scalar("issueHist");
+    if (!in.ok() || hist_n != r.core.issueHist.size())
+        return std::nullopt;
+    std::vector<std::uint64_t> hist = in.vec(hist_n);
+    const std::uint64_t hist_sat = in.scalar("saturated");
+    if (!in.ok())
+        return std::nullopt;
+    r.core.issueHist.restore(std::move(hist), hist_sat);
+
+    in.expect("wb");
+    {
+        const auto v = in.vec(6);
+        if (!in.ok())
+            return std::nullopt;
+        r.wb.inserted = v[0];
+        r.wb.pushes = v[1];
+        r.wb.srcIdGated = v[2];
+        r.wb.lineGated = v[3];
+        r.wb.dmbGated = v[4];
+        r.wb.memRejected = v[5];
+    }
+
+    in.expect("nvm");
+    {
+        const auto v = in.vec(8);
+        if (!in.ok())
+            return std::nullopt;
+        r.nvm.reads = v[0];
+        r.nvm.bufferReadHits = v[1];
+        r.nvm.writesAccepted = v[2];
+        r.nvm.writesCoalesced = v[3];
+        r.nvm.mediaWrites = v[4];
+        r.nvm.cleansAccepted = v[5];
+        r.nvm.bufferFullRejects = v[6];
+        r.nvm.transientRejects = v[7];
+    }
+
+    in.expect("nvmOccupancy");
+    {
+        const auto geom = in.vec(3);
+        if (!in.ok() || geom[0] != r.nvmOccupancy.maxValue() ||
+            geom[1] != r.nvmOccupancy.bucketWidth() ||
+            geom[2] != r.nvmOccupancy.numBuckets())
+            return std::nullopt;
+        std::vector<std::uint64_t> counts = in.vec(geom[2]);
+        const std::uint64_t sum = in.scalar("sum");
+        if (!in.ok())
+            return std::nullopt;
+        r.nvmOccupancy.restore(std::move(counts), sum);
+    }
+
+    in.cacheStats("l1d", r.l1d);
+    in.cacheStats("l2", r.l2);
+    in.cacheStats("l3", r.l3);
+
+    in.expect("dram");
+    {
+        const auto v = in.vec(5);
+        if (!in.ok())
+            return std::nullopt;
+        r.dram.reads = v[0];
+        r.dram.writes = v[1];
+        r.dram.rowHits = v[2];
+        r.dram.rowMisses = v[3];
+        r.dram.rejects = v[4];
+    }
+    in.expect("end");
+    if (!in.ok())
+        return std::nullopt;
+    return cell;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        ede_fatal("cannot create result-cache directory '", dir_,
+                  "': ", ec.message());
+    }
+}
+
+std::string
+ResultCache::pathFor(std::uint64_t fingerprint) const
+{
+    return dir_ + "/" + fingerprintHex(fingerprint) + ".snapshot";
+}
+
+std::optional<ExperimentCell>
+ResultCache::load(const ExperimentPoint &point,
+                  std::uint64_t fingerprint) const
+{
+    std::ifstream in(pathFor(fingerprint), std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return deserializeCell(text.str(), point, fingerprint);
+}
+
+void
+ResultCache::store(const ExperimentCell &cell) const
+{
+    const std::string path = pathFor(cell.fingerprint);
+    // Unique temp name per thread so parallel jobs never collide;
+    // the final rename is atomic, and racing writers of the same
+    // fingerprint produce identical bytes.
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp."
+             << std::hash<std::thread::id>{}(std::this_thread::get_id());
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            ede_warn("result cache: cannot write '", tmp,
+                     "'; skipping store");
+            return;
+        }
+        out << serializeCell(cell);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        ede_warn("result cache: rename to '", path,
+                 "' failed: ", ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+} // namespace exp
+} // namespace ede

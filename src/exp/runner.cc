@@ -1,0 +1,61 @@
+#include "exp/runner.hh"
+
+#include <cstdio>
+#include <optional>
+
+#include "apps/harness.hh"
+#include "common/logging.hh"
+#include "exp/fingerprint.hh"
+#include "exp/result_cache.hh"
+#include "exp/scheduler.hh"
+
+namespace ede {
+namespace exp {
+
+ExperimentResults
+runPlan(const ExperimentPlan &plan, const RunnerOptions &options)
+{
+    const Scheduler sched(options.jobs);
+    std::optional<ResultCache> cache;
+    if (!options.cacheDir.empty())
+        cache.emplace(options.cacheDir);
+
+    std::vector<ExperimentCell> cells =
+        sched.map<ExperimentCell>(plan.size(), [&](std::size_t i) {
+            const ExperimentPoint &point = plan.points()[i];
+            const std::uint64_t fp = fingerprintPoint(point);
+            if (cache) {
+                if (std::optional<ExperimentCell> hit =
+                        cache->load(point, fp))
+                    return std::move(*hit);
+            }
+            const LogJobTag tag(point.label);
+            WorkloadHarness h(point.app, point.config, point.spec,
+                              point.appParams, point.simParams);
+            h.generate();
+            h.simulate();
+            ExperimentCell cell;
+            cell.point = point;
+            cell.fingerprint = fp;
+            cell.opCycles = h.opPhaseCycles();
+            cell.result = h.system().result();
+            if (cache)
+                cache->store(cell);
+            return cell;
+        });
+
+    ExperimentResults results(std::move(cells));
+    if (options.printSummary) {
+        std::printf("[exp] %zu cells: %zu cached, %zu simulated "
+                    "(jobs=%u%s)\n",
+                    results.size(), results.cacheHits(),
+                    results.simulated(), sched.jobs(),
+                    cache ? (", cache=" + cache->dir()).c_str()
+                          : ", cache off");
+        std::fflush(stdout);
+    }
+    return results;
+}
+
+} // namespace exp
+} // namespace ede

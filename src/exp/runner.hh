@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The experiment runner: plan in, keyed results out.
+ *
+ * Ties the layer together: each plan point is fingerprinted, looked
+ * up in the result cache (when one is configured), and simulated by
+ * a fresh WorkloadHarness on a scheduler worker only on a miss.
+ * Results come back in plan order, so `jobs=N` is bit-identical to
+ * `jobs=1` and a warm cache is bit-identical to a cold one.
+ */
+
+#ifndef EDE_EXP_RUNNER_HH
+#define EDE_EXP_RUNNER_HH
+
+#include <string>
+
+#include "exp/plan.hh"
+#include "exp/result.hh"
+
+namespace ede {
+namespace exp {
+
+/** How to execute a plan. */
+struct RunnerOptions
+{
+    /** Parallel jobs; 0 = hardware concurrency, 1 = serial. */
+    unsigned jobs = 0;
+
+    /** Result-cache directory; empty disables the disk cache. */
+    std::string cacheDir;
+
+    /** Print the one-line `[exp] ...` run summary on completion. */
+    bool printSummary = true;
+};
+
+/** Execute every point of @p plan. */
+ExperimentResults runPlan(const ExperimentPlan &plan,
+                          const RunnerOptions &options = {});
+
+} // namespace exp
+} // namespace ede
+
+#endif // EDE_EXP_RUNNER_HH

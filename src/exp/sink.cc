@@ -1,0 +1,131 @@
+#include "exp/sink.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "exp/fingerprint.hh"
+
+namespace ede {
+namespace exp {
+
+namespace {
+
+/** Minimal JSON string escaping (labels are plain ASCII). */
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+emitCell(std::ostream &os, const ExperimentCell &c)
+{
+    const RunResult &r = c.result;
+    os << "    {\n";
+    os << "      \"label\": \"" << jsonEscape(c.point.label) << "\",\n";
+    os << "      \"app\": \"" << appName(c.point.app) << "\",\n";
+    os << "      \"config\": \"" << configName(c.point.config)
+       << "\",\n";
+    os << "      \"fingerprint\": \"" << fingerprintHex(c.fingerprint)
+       << "\",\n";
+    os << "      \"from_cache\": " << (c.fromCache ? "true" : "false")
+       << ",\n";
+    os << "      \"txns\": " << c.point.spec.txns << ",\n";
+    os << "      \"ops_per_txn\": " << c.point.spec.opsPerTxn << ",\n";
+    os << "      \"seed\": " << c.point.spec.seed << ",\n";
+    os << "      \"op_cycles\": " << c.opCycles << ",\n";
+    os << "      \"cycles\": " << r.cycles << ",\n";
+    os << "      \"retired\": " << r.core.retired << ",\n";
+    os << "      \"ipc\": " << jsonDouble(r.core.ipc()) << ",\n";
+    os << "      \"issue_hist\": [";
+    for (std::size_t i = 0; i < r.core.issueHist.size(); ++i) {
+        os << (i ? ", " : "") << r.core.issueHist.count(i);
+    }
+    os << "],\n";
+    os << "      \"nvm_occupancy_mean\": "
+       << jsonDouble(r.nvmOccupancy.mean()) << ",\n";
+    os << "      \"nvm\": {\"writes_accepted\": "
+       << r.nvm.writesAccepted << ", \"writes_coalesced\": "
+       << r.nvm.writesCoalesced << ", \"media_writes\": "
+       << r.nvm.mediaWrites << ", \"buffer_full_rejects\": "
+       << r.nvm.bufferFullRejects << ", \"reads\": " << r.nvm.reads
+       << "},\n";
+    os << "      \"write_buffer\": {\"inserted\": " << r.wb.inserted
+       << ", \"src_id_gated\": " << r.wb.srcIdGated
+       << ", \"dmb_gated\": " << r.wb.dmbGated << "},\n";
+    os << "      \"caches\": {\"l1d_misses\": " << r.l1d.misses
+       << ", \"l2_misses\": " << r.l2.misses << ", \"l3_misses\": "
+       << r.l3.misses << "},\n";
+    os << "      \"dram\": {\"reads\": " << r.dram.reads
+       << ", \"writes\": " << r.dram.writes << "}\n";
+    os << "    }";
+}
+
+} // namespace
+
+std::string
+resultsToJson(const std::string &benchName,
+              const ExperimentResults &results)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"bench\": \"" << jsonEscape(benchName) << "\",\n";
+    os << "  \"schema\": " << kResultSchemaVersion << ",\n";
+    os << "  \"cache\": {\"hits\": " << results.cacheHits()
+       << ", \"simulated\": " << results.simulated() << "},\n";
+    os << "  \"cells\": [\n";
+    const std::vector<ExperimentCell> &cells = results.cells();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        emitCell(os, cells[i]);
+        os << (i + 1 < cells.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+void
+writeJsonArtifact(const std::string &path, const std::string &benchName,
+                  const ExperimentResults &results)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        ede_fatal("cannot write JSON artifact '", path, "'");
+    out << resultsToJson(benchName, results);
+    out.close();
+    if (!out)
+        ede_fatal("short write on JSON artifact '", path, "'");
+    std::printf("[exp] wrote %s (%zu cells)\n", path.c_str(),
+                results.size());
+}
+
+} // namespace exp
+} // namespace ede

@@ -1,10 +1,12 @@
 #include "fault/campaign.hh"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "apps/harness.hh"
 #include "common/logging.hh"
+#include "exp/scheduler.hh"
 #include "fault/crash_image.hh"
 #include "nvm/undo_log.hh"
 
@@ -155,11 +157,18 @@ shrinkFailure(const WorkloadHarness &h, Cycle crashCycle,
     return plan;  // Unreachable: the caller saw `plan` fail.
 }
 
-CampaignConfigResult
-runConfig(const CampaignOptions &options, Config cfg)
+/**
+ * Simulate one configuration's workload with the transient-fault
+ * injector installed.  Self-contained (own System), so configurations
+ * simulate in parallel.
+ */
+std::unique_ptr<WorkloadHarness>
+simulateConfig(const CampaignOptions &options, Config cfg)
 {
-    WorkloadHarness h(options.app, cfg, options.spec);
-    h.enableAudit();
+    const LogJobTag tag("campaign/" + std::string(configName(cfg)));
+    auto h = std::make_unique<WorkloadHarness>(options.app, cfg,
+                                               options.spec);
+    h->enableAudit();
 
     // Transient accept faults pressure the whole simulated run; the
     // controller's bounded-backoff retries must absorb them without
@@ -167,26 +176,47 @@ runConfig(const CampaignOptions &options, Config cfg)
     FaultPlan sim_plan;
     sim_plan.seed = mixSeed(options.seed, configSalt(cfg));
     sim_plan.acceptFaultRate = options.acceptFaultRate;
-    h.system().mem().controller().nvm().setAcceptFaultHook(
+    h->system().mem().controller().nvm().setAcceptFaultHook(
         makeAcceptFaultInjector(sim_plan));
 
-    h.generate();
-    h.simulate();
+    h->generate();
+    h->simulate();
+    return h;
+}
 
+/**
+ * Classify every crash point of one simulated configuration.  The
+ * reconstruction of each point is pure given the recorded persist
+ * events, so the cells dispatch through the scheduler; tallying and
+ * failure shrinking walk the classified points serially in point
+ * order, keeping the report byte-identical for any job count.
+ */
+CampaignConfigResult
+classifyConfig(const CampaignOptions &options, Config cfg,
+               const WorkloadHarness &h, const exp::Scheduler &sched)
+{
     CampaignConfigResult result;
     result.config = cfg;
     result.cycles = h.system().core().stats().cycles;
     result.transientRejects =
         h.system().mem().controller().nvm().stats().transientRejects;
 
+    const std::uint64_t plan_seed =
+        mixSeed(options.seed, configSalt(cfg));
     const std::uint32_t wpq_slots =
         h.system().mem().controller().nvm().params().bufferSlots;
     const std::vector<Cycle> points =
         selectCrashPoints(h, options.pointsPerConfig);
+
+    result.results = sched.map<CrashPointResult>(
+        points.size(), [&](std::size_t i) {
+            const FaultPlan plan = makeFaultPlan(
+                mixSeed(plan_seed, 0x6001 + i), wpq_slots);
+            return classifyPoint(h, points[i], plan);
+        });
+
     for (std::size_t i = 0; i < points.size(); ++i) {
-        const FaultPlan plan = makeFaultPlan(
-            mixSeed(sim_plan.seed, 0x6001 + i), wpq_slots);
-        CrashPointResult r = classifyPoint(h, points[i], plan);
+        const CrashPointResult &r = result.results[i];
         ++result.points;
         switch (r.outcome) {
           case CrashOutcome::Recovered:
@@ -202,12 +232,11 @@ runConfig(const CampaignOptions &options, Config cfg)
                 rep.seed = options.seed;
                 rep.config = cfg;
                 rep.crashCycle = points[i];
-                rep.plan = shrinkFailure(h, points[i], plan);
+                rep.plan = shrinkFailure(h, points[i], r.plan);
                 result.failures.push_back(std::move(rep));
             }
             break;
         }
-        result.results.push_back(std::move(r));
     }
     return result;
 }
@@ -277,10 +306,23 @@ CampaignReport::describe() const
 CampaignReport
 runCampaign(const CampaignOptions &options)
 {
+    const exp::Scheduler sched(options.jobs);
+
+    // Phase 1: every configuration's simulation is independent.
+    std::vector<std::unique_ptr<WorkloadHarness>> harnesses =
+        sched.map<std::unique_ptr<WorkloadHarness>>(
+            options.configs.size(), [&](std::size_t i) {
+                return simulateConfig(options, options.configs[i]);
+            });
+
+    // Phase 2: per-point classification, parallel within each
+    // configuration, tallied in deterministic point order.
     CampaignReport report;
     report.options = options;
-    for (Config cfg : options.configs)
-        report.configs.push_back(runConfig(options, cfg));
+    for (std::size_t i = 0; i < options.configs.size(); ++i) {
+        report.configs.push_back(classifyConfig(
+            options, options.configs[i], *harnesses[i], sched));
+    }
     return report;
 }
 

@@ -90,6 +90,15 @@ struct CampaignOptions
     RunSpec spec{/*txns=*/6, /*opsPerTxn=*/8, /*seed=*/42};
     double acceptFaultRate = 0.02;      ///< Transient-fault pressure.
     std::vector<Config> configs{kAllConfigs.begin(), kAllConfigs.end()};
+
+    /**
+     * Parallel jobs for the per-config simulations and the
+     * crash-point classifications (both dispatched through the
+     * experiment scheduler; every scenario derives only from the
+     * recorded persist events, so results are bit-identical for any
+     * job count).  0 = hardware concurrency; default 1 = serial.
+     */
+    unsigned jobs = 1;
 };
 
 /** The whole campaign's outcome. */
