@@ -14,6 +14,12 @@ EdmMap::empty() const
 void
 Edm::squashRestore(const std::vector<std::pair<Edk, SeqNum>> &survivors)
 {
+    // Safe under back-to-back squashes: nonspec_ only ever advances
+    // at retirement and completion, never during recovery, so each
+    // restore starts from a consistent architectural snapshot no
+    // matter how recently the previous squash ran.  Survivors are
+    // replayed in program order, so the youngest surviving definition
+    // of a key wins -- matching what rename would have rebuilt.
     spec_ = nonspec_;
     for (const auto &[key, seq] : survivors)
         spec_.define(key, seq);

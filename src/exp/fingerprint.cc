@@ -80,6 +80,9 @@ hashCoreParams(FingerprintHasher &h, const CoreParams &c)
             static_cast<std::uint64_t>(c.predictorEntries));
     h.field("core.watchdogCycles", c.watchdogCycles);
     h.field("core.maxCycles", c.maxCycles);
+    h.field("core.edkStallCycles", c.edkStallCycles);
+    h.field("core.edkRecoveryMode",
+            static_cast<std::uint64_t>(c.edkRecoveryMode));
 }
 
 void

@@ -32,7 +32,7 @@ namespace exp {
  * simulator's timing behaviour, the statistics it reports, or the
  * snapshot serialization in result_cache.cc.
  */
-inline constexpr std::uint32_t kResultSchemaVersion = 1;
+inline constexpr std::uint32_t kResultSchemaVersion = 2;
 
 /** FNV-1a over a stream of tagged fields. */
 class FingerprintHasher

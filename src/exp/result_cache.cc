@@ -119,6 +119,11 @@ serializeCell(const ExperimentCell &cell)
     putScalar(os, "core.dispatchStallRob", r.core.dispatchStallRob);
     putScalar(os, "core.dispatchStallIq", r.core.dispatchStallIq);
     putScalar(os, "core.dispatchStallLsq", r.core.dispatchStallLsq);
+    putScalar(os, "core.edkStallChecks", r.core.edkStallChecks);
+    putScalar(os, "core.edkExternalStalls", r.core.edkExternalStalls);
+    putScalar(os, "core.edkStuckDetected", r.core.edkStuckDetected);
+    putScalar(os, "core.edkFencesSynthesized",
+              r.core.edkFencesSynthesized);
     os << "issueHist " << r.core.issueHist.size();
     for (std::uint64_t c : r.core.issueHist.counts())
         os << ' ' << c;
@@ -189,6 +194,11 @@ deserializeCell(const std::string &text, const ExperimentPoint &point,
     r.core.dispatchStallRob = in.scalar("core.dispatchStallRob");
     r.core.dispatchStallIq = in.scalar("core.dispatchStallIq");
     r.core.dispatchStallLsq = in.scalar("core.dispatchStallLsq");
+    r.core.edkStallChecks = in.scalar("core.edkStallChecks");
+    r.core.edkExternalStalls = in.scalar("core.edkExternalStalls");
+    r.core.edkStuckDetected = in.scalar("core.edkStuckDetected");
+    r.core.edkFencesSynthesized =
+        in.scalar("core.edkFencesSynthesized");
 
     const std::uint64_t hist_n = in.scalar("issueHist");
     if (!in.ok() || hist_n != r.core.issueHist.size())

@@ -81,6 +81,11 @@ emitCell(std::ostream &os, const ExperimentCell &c)
     os << "      \"write_buffer\": {\"inserted\": " << r.wb.inserted
        << ", \"src_id_gated\": " << r.wb.srcIdGated
        << ", \"dmb_gated\": " << r.wb.dmbGated << "},\n";
+    os << "      \"edk\": {\"stall_checks\": " << r.core.edkStallChecks
+       << ", \"external_stalls\": " << r.core.edkExternalStalls
+       << ", \"stuck_detected\": " << r.core.edkStuckDetected
+       << ", \"fences_synthesized\": " << r.core.edkFencesSynthesized
+       << "},\n";
     os << "      \"caches\": {\"l1d_misses\": " << r.l1d.misses
        << ", \"l2_misses\": " << r.l2.misses << ", \"l3_misses\": "
        << r.l3.misses << "},\n";

@@ -466,6 +466,11 @@ OoOCore::dispatch(Cycle now)
             in.edeSrc2 = edm_.specLookup(si.edkUse2);
         if (si.isEdeProducer())
             edm_.specDefine(si.edkDef, in.seq);
+        if (!edeSrcOverrides_.empty()) {
+            auto ov = edeSrcOverrides_.find(in.traceIdx);
+            if (ov != edeSrcOverrides_.end())
+                in.edeSrc = in.seq + ov->second;
+        }
 
         // Register dependences.
         auto reg_dep = [this](RegIndex r) {
@@ -566,15 +571,17 @@ OoOCore::dispatch(Cycle now)
             break;
         }
 
-        // EDE instructions tracked by the WAIT counters outside the
-        // write-buffer window: load variants always; JOINs when they
-        // resolve in the issue queue.
-        if (si.usesEde() &&
-            (op == Op::Ldr ||
-             (op == Op::Join && params_.ede != EnforceMode::WB))) {
-            counters_.enter(si);
-            in.edeCounted = true;
-        }
+        // WAIT counters track only the post-retirement window
+        // (Section IV-B2): instructions that retired before
+        // completing, i.e. write-buffer residents.  They enter at
+        // write-buffer insertion in retire().  Loads and issue-
+        // queue-resolved JOINs complete before they can retire, so
+        // they never need tracking -- and counting them at dispatch
+        // would deadlock: a younger EDE-gated load tagged with key k
+        // holds the counter for k, a WAIT at the ROB head waits for
+        // that counter, and the load's producer cannot complete
+        // because it cannot retire past the blocked WAIT.  The fuzz
+        // campaign (bench/verify_fuzz) finds that wedge immediately.
     }
 }
 
@@ -638,6 +645,311 @@ OoOCore::squash(InflightInst &branch, Cycle now)
     branch.mispredicted = false;
     fetchIdx_ = redirect;
     fetchResumeAt_ = now + params_.mispredictPenalty;
+}
+
+// --- Runtime EDK stall analyzer -----------------------------------
+//
+// Invoked when no instruction has completed or retired for
+// edkStallCycles.  Starting from every EDE-gated waiter (issue-queue
+// entries held by eDepReady, write-buffer entries held by srcID
+// tags), it walks the full blocking graph -- EDE links, register and
+// memory dependences, fence gates, retirement order, write-buffer
+// line/DMB ordering -- classifying each node as *progressing* (an
+// event already in flight will advance it: an outstanding memory
+// request, a scheduled execution event, an active push) or *stuck*
+// (every path ends in a link that can never resolve).  A node
+// encountered grey on the DFS stack is a dependence cycle.  This
+// separates a consumer that merely waits out a ~1500-cycle NVM media
+// write (External) from one wedged on corrupted EDM/srcID state
+// (Stuck).
+
+bool
+OoOCore::edkNodeProgressing(SeqNum s,
+                            std::vector<SeqNum> &blockers) const
+{
+    if (!incomplete_.count(s))
+        return true;
+
+    // Write-buffer resident?
+    for (const WbEntry &e : wb_->entries()) {
+        if (e.seq != s)
+            continue;
+        if (e.pushing)
+            return true;
+        if (e.srcId != kNoSeq)
+            blockers.push_back(e.srcId);
+        if (e.srcId2 != kNoSeq)
+            blockers.push_back(e.srcId2);
+        wb_->appendLineBlockers(s, blockers);
+        if (e.dmbBarrier != kNoSeq) {
+            auto st = incompleteStores_.begin();
+            if (st != incompleteStores_.end() && *st < e.dmbBarrier &&
+                *st != s) {
+                blockers.push_back(*st);
+            }
+            if (params_.dmbStCoversCvap) {
+                auto cv = incompleteCvaps_.begin();
+                if (cv != incompleteCvaps_.end() &&
+                    *cv < e.dmbBarrier && *cv != s) {
+                    blockers.push_back(*cv);
+                }
+            }
+        }
+        // No gate left: the push starts as soon as the L1D accepts
+        // it, which is backpressure, not a dependence.
+        return blockers.empty();
+    }
+
+    auto it = index_.find(s);
+    if (it == index_.end())
+        return false; // Incomplete but untracked: a dangling link.
+    const InflightInst &in = *it->second;
+    if (in.completed)
+        return true;
+    if (in.di.isLoad() && in.loadReq != kNoReq)
+        return true; // The memory system owes a response.
+    if (in.issued && !in.executed)
+        return true; // A pendingExec event will fire.
+
+    const Op op = in.di.op();
+    switch (op) {
+      case Op::DmbSt: {
+        auto st = incompleteStores_.begin();
+        if (st != incompleteStores_.end() && *st < s)
+            blockers.push_back(*st);
+        if (params_.dmbStCoversCvap) {
+            auto cv = incompleteCvaps_.begin();
+            if (cv != incompleteCvaps_.end() && *cv < s)
+                blockers.push_back(*cv);
+        }
+        return blockers.empty();
+      }
+      case Op::DsbSy: {
+        auto ol = incomplete_.begin();
+        if (ol != incomplete_.end() && *ol < s)
+            blockers.push_back(*ol);
+        return blockers.empty();
+      }
+      case Op::WaitKey:
+      case Op::WaitAllKeys: {
+        // Blocked on the WAIT counter holders, plus in-order
+        // retirement behind the ROB head.
+        const Edk key = in.di.si.edkUse;
+        auto holds = [op, key](const StaticInst &si) {
+            if (op == Op::WaitAllKeys)
+                return true;
+            return si.edkDef == key || si.edkUse == key ||
+                   si.edkUse2 == key;
+        };
+        for (const InflightInst &o : rob_) {
+            if (o.seq >= s)
+                break;
+            if (o.edeCounted && holds(o.di.si))
+                blockers.push_back(o.seq);
+        }
+        for (const WbEntry &e : wb_->entries()) {
+            if (e.seq < s && e.edeCounted && holds(e.si))
+                blockers.push_back(e.seq);
+        }
+        if (!rob_.empty() && rob_.front().seq != s)
+            blockers.push_back(rob_.front().seq);
+        return blockers.empty();
+      }
+      default:
+        break;
+    }
+
+    if (in.inIq) {
+        if (gatesAtIssue(in)) {
+            if (in.edeSrc != kNoSeq && incomplete_.count(in.edeSrc))
+                blockers.push_back(in.edeSrc);
+            if (in.edeSrc2 != kNoSeq && incomplete_.count(in.edeSrc2))
+                blockers.push_back(in.edeSrc2);
+        }
+        for (SeqNum dep : {in.regDep1, in.regDep2, in.regDepBase}) {
+            if (dep != kNoSeq && notExecuted_.count(dep))
+                blockers.push_back(dep);
+        }
+        if (op == Op::Ldr && in.memDep != kNoSeq) {
+            if (notExecuted_.count(in.memDep)) {
+                blockers.push_back(in.memDep);
+            } else if (incomplete_.count(in.memDep) &&
+                       !in.memDepCovers) {
+                blockers.push_back(in.memDep);
+            }
+        }
+        if (!incompleteDsbs_.empty() &&
+            *incompleteDsbs_.begin() < s) {
+            blockers.push_back(*incompleteDsbs_.begin());
+        }
+        if (in.di.isMemRef() && !incompleteDmbs_.empty() &&
+            *incompleteDmbs_.begin() < s) {
+            blockers.push_back(*incompleteDmbs_.begin());
+        }
+        // No gate: only functional-unit bandwidth holds it back.
+        return blockers.empty();
+    }
+
+    // Executed, waiting to retire: behind the ROB head, or (at the
+    // head) on a free write-buffer slot.
+    if (!rob_.empty() && rob_.front().seq != s) {
+        blockers.push_back(rob_.front().seq);
+        return false;
+    }
+    if (wb_->full() && !wb_->entries().empty()) {
+        blockers.push_back(wb_->entries().front().seq);
+        return false;
+    }
+    return true;
+}
+
+bool
+OoOCore::edkClassify(SeqNum s, EdkWalk &walk) const
+{
+    auto c = walk.color.find(s);
+    if (c != walk.color.end()) {
+        if (c->second == 1) {
+            // Grey on the DFS stack: a genuine dependence cycle.
+            if (walk.cycle.empty()) {
+                auto pos = std::find(walk.stack.begin(),
+                                     walk.stack.end(), s);
+                walk.cycle.assign(pos, walk.stack.end());
+            }
+            return false;
+        }
+        return walk.progressing.at(s);
+    }
+    walk.color[s] = 1;
+    walk.stack.push_back(s);
+
+    std::vector<SeqNum> blockers;
+    bool prog = edkNodeProgressing(s, blockers);
+    if (!prog) {
+        if (!blockers.empty())
+            walk.waitsOn[s] = blockers.front();
+        prog = !blockers.empty();
+        for (SeqNum b : blockers) {
+            if (!edkClassify(b, walk))
+                prog = false;
+        }
+    }
+
+    walk.stack.pop_back();
+    walk.color[s] = 2;
+    walk.progressing[s] = prog;
+    return prog;
+}
+
+EdkChainNode
+OoOCore::edkChainNode(SeqNum s, const EdkWalk &walk) const
+{
+    EdkChainNode n;
+    n.seq = s;
+    auto w = walk.waitsOn.find(s);
+    if (w != walk.waitsOn.end())
+        n.waitsOn = w->second;
+    auto it = index_.find(s);
+    if (it != index_.end()) {
+        n.traceIdx = it->second->traceIdx;
+        n.op = it->second->di.op();
+        return n;
+    }
+    for (const WbEntry &e : wb_->entries()) {
+        if (e.seq == s) {
+            n.traceIdx = e.traceIdx;
+            n.op = e.si.op;
+            break;
+        }
+    }
+    return n;
+}
+
+OoOCore::EdkStallAnalysis
+OoOCore::analyzeEdkStall()
+{
+    EdkStallAnalysis a;
+
+    std::vector<SeqNum> roots;
+    for (const InflightInst &in : rob_) {
+        if (in.inIq && gatesAtIssue(in) && !edeIssueReady(in))
+            roots.push_back(in.seq);
+    }
+    for (const WbEntry &e : wb_->entries()) {
+        if (e.srcId != kNoSeq || e.srcId2 != kNoSeq)
+            roots.push_back(e.seq);
+    }
+    if (roots.empty())
+        return a; // NotEde: nothing is waiting on an EDE link.
+
+    EdkWalk walk;
+    SeqNum oldest_stuck = kNoSeq;
+    for (SeqNum r : roots) {
+        if (!edkClassify(r, walk) &&
+            (oldest_stuck == kNoSeq || r < oldest_stuck)) {
+            oldest_stuck = r;
+        }
+    }
+    if (oldest_stuck == kNoSeq) {
+        a.cls = EdkStallClass::External;
+        return a;
+    }
+
+    a.cls = EdkStallClass::Stuck;
+    a.cycleFound = !walk.cycle.empty();
+    a.release = oldest_stuck;
+
+    if (a.cycleFound) {
+        for (SeqNum s : walk.cycle)
+            a.chain.push_back(edkChainNode(s, walk));
+    } else {
+        SeqNum s = oldest_stuck;
+        for (int depth = 0; s != kNoSeq && depth < 32; ++depth) {
+            a.chain.push_back(edkChainNode(s, walk));
+            auto w = walk.waitsOn.find(s);
+            s = w == walk.waitsOn.end() ? kNoSeq : w->second;
+        }
+    }
+
+    // Fence semantics for degrade mode: release only once every
+    // older completable instruction has drained, exactly what a DSB
+    // SY before the wedged consumer would have waited for.
+    a.releasableNow = true;
+    for (SeqNum s : incomplete_) {
+        if (s >= a.release)
+            break;
+        if (edkClassify(s, walk)) {
+            a.releasableNow = false;
+            break;
+        }
+    }
+    return a;
+}
+
+void
+OoOCore::applyEdkDegrade(const EdkStallAnalysis &a, Cycle now)
+{
+    if (!a.releasableNow)
+        return; // Re-checked after the next stall window.
+    bool cleared = false;
+    if (InflightInst *in = find(a.release)) {
+        if (in->inIq &&
+            (in->edeSrc != kNoSeq || in->edeSrc2 != kNoSeq)) {
+            in->edeSrc = kNoSeq;
+            in->edeSrc2 = kNoSeq;
+            cleared = true;
+        }
+    }
+    if (!cleared)
+        cleared = wb_->clearEdeGates(a.release);
+    if (cleared) {
+        ++stats_.edkFencesSynthesized;
+        // Releasing the gate is forward progress; the watchdog and
+        // the analyzer both re-arm.
+        lastProgressCycle_ = now;
+        ede_warn("EDK degrade: unresolvable dependence on seq ",
+                 a.release, " converted to fence semantics at cycle ",
+                 now);
+    }
 }
 
 SimError
@@ -752,6 +1064,31 @@ OoOCore::run(const Trace &trace)
     while (!finished()) {
         tickOnce(now);
         ++now;
+        // Runtime EDK stall analyzer: much tighter than the watchdog,
+        // so an unresolvable dependence is reported (or degraded to
+        // fence semantics) within one edkStallCycles window instead
+        // of after the full watchdog wait.
+        if (params_.ede != EnforceMode::None &&
+            now - lastProgressCycle_ > params_.edkStallCycles &&
+            now >= lastEdkCheckCycle_ + params_.edkStallCycles) {
+            lastEdkCheckCycle_ = now;
+            ++stats_.edkStallChecks;
+            const EdkStallAnalysis a = analyzeEdkStall();
+            if (a.cls == EdkStallClass::Stuck) {
+                ++stats_.edkStuckDetected;
+                if (params_.edkRecoveryMode ==
+                        EdkRecoveryMode::Degrade) {
+                    applyEdkDegrade(a, now);
+                } else {
+                    simError_ = buildSimError(
+                        SimErrorKind::EdkDependenceCycle, now);
+                    simError_.edkChain = a.chain;
+                    break;
+                }
+            } else if (a.cls == EdkStallClass::External) {
+                ++stats_.edkExternalStalls;
+            }
+        }
         // No panic on a wedged pipeline: the watchdog (and, as a hard
         // backstop, maxCycles) stops the run and leaves a structured
         // diagnostic in simError_ for the caller to report.

@@ -77,6 +77,14 @@ struct CoreStats
     std::uint64_t dispatchStallIq = 0;
     std::uint64_t dispatchStallLsq = 0;
 
+    /** @name Runtime EDK stall analyzer (see CoreParams::edkStallCycles). */
+    /// @{
+    std::uint64_t edkStallChecks = 0;      ///< Analyzer invocations.
+    std::uint64_t edkExternalStalls = 0;   ///< Long-latency memory, not a cycle.
+    std::uint64_t edkStuckDetected = 0;    ///< Unresolvable chains found.
+    std::uint64_t edkFencesSynthesized = 0;///< Degrade-mode gate releases.
+    /// @}
+
     /** Retired instructions per cycle. */
     double
     ipc() const
@@ -144,6 +152,23 @@ class OoOCore
     /** EDM access for tests. */
     const Edm &edm() const { return edm_; }
 
+    /**
+     * Fault-injection seam: when the element at @p trace_idx
+     * dispatches, overwrite its resolved EDE consumer link with its
+     * own sequence number plus @p seq_offset.  A positive offset
+     * forges a *forward* link -- the corruption a soft error in the
+     * EDM srcID field would produce -- which is the only way this
+     * pipeline can form a genuine dependence cycle: architecturally,
+     * rename always resolves consumer links to older instructions.
+     * Used by the detector tests and the fuzz campaign's
+     * hardware-fault programs.
+     */
+    void
+    corruptEdeLink(std::size_t trace_idx, SeqNum seq_offset)
+    {
+        edeSrcOverrides_[trace_idx] = seq_offset;
+    }
+
   private:
     struct ExecEvent
     {
@@ -161,6 +186,42 @@ class OoOCore
     void issue(Cycle now);
     void dispatch(Cycle now);
     void squash(InflightInst &branch, Cycle now);
+
+    /** How the stall analyzer classified a no-progress window. */
+    enum class EdkStallClass
+    {
+        NotEde,   ///< No EDE-gated waiter exists; not our stall.
+        External, ///< Every chain ends at an operation still in flight
+                  ///< in the memory system (e.g. an NVM media write).
+        Stuck,    ///< Some chain can never resolve (cycle/dangling).
+    };
+
+    /** Result of one analyzer invocation. */
+    struct EdkStallAnalysis
+    {
+        EdkStallClass cls = EdkStallClass::NotEde;
+        bool cycleFound = false;
+        SeqNum release = kNoSeq; ///< Oldest stuck EDE-gated waiter.
+        bool releasableNow = false; ///< Older completable work drained.
+        std::vector<EdkChainNode> chain; ///< For the SimError report.
+    };
+
+    /** Tri-color DFS bookkeeping for the analyzer walk. */
+    struct EdkWalk
+    {
+        std::unordered_map<SeqNum, int> color; ///< 1 grey, 2 done.
+        std::unordered_map<SeqNum, bool> progressing;
+        std::unordered_map<SeqNum, SeqNum> waitsOn;
+        std::vector<SeqNum> stack;
+        std::vector<SeqNum> cycle;
+    };
+
+    EdkStallAnalysis analyzeEdkStall();
+    bool edkClassify(SeqNum s, EdkWalk &walk) const;
+    bool edkNodeProgressing(SeqNum s,
+                            std::vector<SeqNum> &blockers) const;
+    EdkChainNode edkChainNode(SeqNum s, const EdkWalk &walk) const;
+    void applyEdkDegrade(const EdkStallAnalysis &a, Cycle now);
 
     InflightInst *find(SeqNum seq);
     bool regsReady(const InflightInst &inst) const;
@@ -213,7 +274,10 @@ class OoOCore
     std::unordered_map<std::size_t, Cycle> watched_;
     bool ran_ = false;
     Cycle lastProgressCycle_ = 0;
+    Cycle lastEdkCheckCycle_ = 0;
     SimError simError_;
+    /** traceIdx -> forged edeSrc offset (fault-injection seam). */
+    std::unordered_map<std::size_t, SeqNum> edeSrcOverrides_;
 
     CoreStats stats_;
 };

@@ -13,6 +13,26 @@
 
 namespace ede {
 
+/**
+ * What the core does when the runtime EDK stall analyzer concludes
+ * that a dependence chain cannot resolve (a cycle through corrupted
+ * EDM/srcID links, or a link to an instruction that no longer
+ * exists).
+ */
+enum class EdkRecoveryMode
+{
+    /** Stop the run with a structured EdkDependenceCycle SimError. */
+    Report,
+    /**
+     * Degrade to full-fence semantics: once every older completable
+     * instruction has drained, the oldest wedged consumer's EDE gates
+     * are cleared so it proceeds -- exactly what a DSB SY at that
+     * point would have guaranteed.  Logged and counted; the run
+     * continues.
+     */
+    Degrade,
+};
+
 /** Static core configuration. */
 struct CoreParams
 {
@@ -75,6 +95,20 @@ struct CoreParams
 
     /** Hard backstop on total cycles (also a structured SimError). */
     Cycle maxCycles = 2'000'000'000;
+
+    /**
+     * Runtime EDK stall analyzer trigger: when no instruction
+     * completes or retires for this many cycles, walk the live
+     * EDM/srcID chains and classify the stall.  Must comfortably
+     * exceed the slowest single memory operation (an NVM media write
+     * is ~1500 cycles) so long-latency producers are never mistaken
+     * for dependence cycles, and sit far below watchdogCycles so
+     * genuine cycles are reported without the full watchdog wait.
+     */
+    Cycle edkStallCycles = 25'000;
+
+    /** Response to an unresolvable EDK dependence (see enum). */
+    EdkRecoveryMode edkRecoveryMode = EdkRecoveryMode::Report;
 };
 
 } // namespace ede

@@ -14,6 +14,8 @@ simErrorKindName(SimErrorKind kind)
         return "watchdog-no-progress";
       case SimErrorKind::MaxCyclesExceeded:
         return "max-cycles-exceeded";
+      case SimErrorKind::EdkDependenceCycle:
+        return "edk-dependence-cycle";
     }
     return "unknown";
 }
@@ -82,6 +84,16 @@ SimError::describe() const
         os << " dmb=";
         putSeq(os, w.dmbBarrier);
         os << (w.pushing ? " pushing" : " waiting") << "\n";
+    }
+
+    if (!edkChain.empty()) {
+        os << "  edk chain (unresolvable):\n";
+        for (const EdkChainNode &n : edkChain) {
+            os << "    seq " << n.seq << " idx " << n.traceIdx << " "
+               << opName(n.op) << " waits on ";
+            putSeq(os, n.waitsOn);
+            os << "\n";
+        }
     }
 
     os << "  edm links:\n";

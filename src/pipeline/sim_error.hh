@@ -31,6 +31,15 @@ enum class SimErrorKind
     None,               ///< Run finished normally.
     WatchdogNoProgress, ///< Nothing completed/retired for the window.
     MaxCyclesExceeded,  ///< Hard cycle-count backstop tripped.
+    /**
+     * The runtime EDK stall analyzer proved the machine is wedged on
+     * execution-dependence links that can never resolve (a cycle
+     * through corrupted EDM/srcID state, or a link to a vanished
+     * producer).  Reported the moment the analyzer runs -- one
+     * edkStallCycles window after progress stops -- instead of after
+     * the much longer watchdog window; edkChain names the members.
+     */
+    EdkDependenceCycle,
 };
 
 const char *simErrorKindName(SimErrorKind kind);
@@ -72,6 +81,15 @@ struct WbChainInfo
     bool pushing = false;
 };
 
+/** One member of an unresolvable EDK dependence chain. */
+struct EdkChainNode
+{
+    SeqNum seq = kNoSeq;
+    std::size_t traceIdx = 0;
+    Op op = Op::Nop;
+    SeqNum waitsOn = kNoSeq;     ///< The link that blocks it.
+};
+
 /** One live EDM link (key with an in-flight producer). */
 struct EdmLinkInfo
 {
@@ -96,6 +114,7 @@ struct SimError
     std::vector<IqWaitInfo> iqWaits;   ///< Stalled IQ entries.
     std::vector<WbChainInfo> wbChain;  ///< Write-buffer contents.
     std::vector<EdmLinkInfo> edmLinks; ///< Keys with live producers.
+    std::vector<EdkChainNode> edkChain; ///< Unresolvable chain members.
 
     /** True when the run aborted. */
     explicit operator bool() const { return kind != SimErrorKind::None; }

@@ -159,6 +159,54 @@ WriteBuffer::tick(Cycle now)
     }
 }
 
+bool
+WriteBuffer::appendLineBlockers(SeqNum seq,
+                                std::vector<SeqNum> &out) const
+{
+    std::size_t idx = entries_.size();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].seq == seq) {
+            idx = i;
+            break;
+        }
+    }
+    if (idx == entries_.size())
+        return false;
+    // Mirrors lineConflictBefore, but reports *which* older entries
+    // impose the ordering instead of a single yes/no.
+    const WbEntry &e = entries_[idx];
+    const bool e_is_store = opIsStore(e.si.op);
+    const Addr line = lineOf(e.addr);
+    for (std::size_t i = 0; i < idx; ++i) {
+        const WbEntry &older = entries_[i];
+        if (!opIsStore(older.si.op))
+            continue;
+        if (e_is_store) {
+            const Addr lo = e.addr;
+            const Addr hi = e.addr + e.size;
+            if (older.addr < hi && lo < older.addr + older.size)
+                out.push_back(older.seq);
+        } else if (lineOf(older.addr) == line) {
+            out.push_back(older.seq);
+        }
+    }
+    return true;
+}
+
+bool
+WriteBuffer::clearEdeGates(SeqNum seq)
+{
+    for (WbEntry &e : entries_) {
+        if (e.seq != seq)
+            continue;
+        const bool had = e.srcId != kNoSeq || e.srcId2 != kNoSeq;
+        e.srcId = kNoSeq;
+        e.srcId2 = kNoSeq;
+        return had;
+    }
+    return false;
+}
+
 std::pair<SeqNum, bool>
 WriteBuffer::youngestOverlap(Addr addr, std::uint8_t size) const
 {

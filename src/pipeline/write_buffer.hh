@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "common/types.hh"
 #include "isa/inst.hh"
@@ -115,6 +116,22 @@ class WriteBuffer
 
     /** Oldest-first contents (watchdog diagnostics). */
     const std::deque<WbEntry> &entries() const { return entries_; }
+
+    /**
+     * Append the sequence numbers of the older entries that currently
+     * block @p seq's push -- its same-line predecessors (the stall
+     * analyzer walks them like any other ordering edge).  @return
+     * false when @p seq is not in the buffer.
+     */
+    bool appendLineBlockers(SeqNum seq,
+                            std::vector<SeqNum> &out) const;
+
+    /**
+     * Degrade-to-fence recovery: drop the srcID tags of @p seq so the
+     * entry pushes as soon as its memory-ordering gates allow.
+     * @return true when a tag was actually cleared.
+     */
+    bool clearEdeGates(SeqNum seq);
 
   private:
     Addr lineOf(Addr a) const { return a & ~static_cast<Addr>(lineBytes_ - 1); }

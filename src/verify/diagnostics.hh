@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Structured diagnostics emitted by the static EDK verifier.
+ *
+ * The paper's EDE contract is unsafe-if-misused: the hardware trusts
+ * that key operands describe a satisfiable dependence specification.
+ * The verifier turns each way of breaking that trust into a typed
+ * diagnostic anchored at a trace/program index, so tooling (the fuzz
+ * campaign, CI gates, future compilers) can assert on *which* rule
+ * was broken and *where*, not just that verification failed.
+ */
+
+#ifndef EDE_VERIFY_DIAGNOSTICS_HH
+#define EDE_VERIFY_DIAGNOSTICS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/edk.hh"
+
+namespace ede {
+
+/** Which well-formedness rule a diagnostic reports. */
+enum class VerifyKind
+{
+    /** A key field holds a value outside EDK #0..#15, or a key field
+     *  that the instruction form has no encoding for is nonzero. */
+    InvalidKeyEncoding,
+    /** A nonzero key field on an opcode with no EDE variant. */
+    KeysOnNonEdeOpcode,
+    /** A consumer names a key with no prior producer definition. */
+    UseOfUndefinedKey,
+    /** WAIT_KEY on a key that no producer ever defined. */
+    WaitOnDeadKey,
+    /** A producer overwrites a key whose previous definition was
+     *  never consumed, waited on, or fenced: the old dependence is
+     *  silently dropped by the EDM overwrite. */
+    RedefineWhilePending,
+    /** The key dependence graph (def -> use edges, JOIN merges
+     *  included) contains a cycle: the specification is circular and
+     *  unsatisfiable as an ordering contract. */
+    DependenceCycle,
+    /** More keys have live (unresolved) producers than the modelled
+     *  EDM has slots for. */
+    EdmCapacityExceeded,
+    /** A definition is still pending at end of program: nothing ever
+     *  ordered against it (warning). */
+    UnconsumedDef,
+
+    NumKinds,
+};
+
+constexpr std::size_t kNumVerifyKinds =
+    static_cast<std::size_t>(VerifyKind::NumKinds);
+
+/** Short stable name, e.g. for JSON counters. */
+const char *verifyKindName(VerifyKind kind);
+
+/** Diagnostic severity; only errors reject a program. */
+enum class VerifySeverity { Warning, Error };
+
+/** Index value meaning "no related instruction". */
+inline constexpr std::size_t kNoInstIdx =
+    static_cast<std::size_t>(-1);
+
+/** One verifier finding, anchored at an instruction index. */
+struct VerifyDiagnostic
+{
+    VerifyKind kind = VerifyKind::NumKinds;
+    VerifySeverity severity = VerifySeverity::Error;
+    std::size_t instIdx = kNoInstIdx;    ///< Offending instruction.
+    std::size_t relatedIdx = kNoInstIdx; ///< E.g. the pending def.
+    Edk key = kZeroEdk;                  ///< Key involved (if any).
+    std::string message;                 ///< Human-readable detail.
+};
+
+/** Outcome of verifying one program. */
+struct VerifyReport
+{
+    std::size_t instructions = 0;
+    std::vector<VerifyDiagnostic> diagnostics;
+
+    /** True when no error-severity diagnostic was emitted. */
+    bool
+    accepted() const
+    {
+        for (const VerifyDiagnostic &d : diagnostics) {
+            if (d.severity == VerifySeverity::Error)
+                return false;
+        }
+        return true;
+    }
+
+    /** The lowest-index error diagnostic (nullptr when accepted). */
+    const VerifyDiagnostic *
+    firstError() const
+    {
+        const VerifyDiagnostic *first = nullptr;
+        for (const VerifyDiagnostic &d : diagnostics) {
+            if (d.severity != VerifySeverity::Error)
+                continue;
+            if (!first || d.instIdx < first->instIdx)
+                first = &d;
+        }
+        return first;
+    }
+
+    /** Number of diagnostics of @p kind (any severity). */
+    std::size_t
+    countOf(VerifyKind kind) const
+    {
+        std::size_t n = 0;
+        for (const VerifyDiagnostic &d : diagnostics)
+            n += d.kind == kind ? 1 : 0;
+        return n;
+    }
+
+    /** Render every diagnostic as "idx: severity kind: message". */
+    std::string describe() const;
+};
+
+} // namespace ede
+
+#endif // EDE_VERIFY_DIAGNOSTICS_HH

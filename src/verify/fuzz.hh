@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Seeded malformed-program fuzz campaign for the EDK verifier and
+ * the runtime dependence-cycle detector.
+ *
+ * The campaign generates thousands of adversarial EDE programs and
+ * enforces the verifier/pipeline contract in both directions:
+ *
+ *  - programs the generator built to be *well-formed* must be
+ *    accepted by the static verifier, and must then run to
+ *    completion on both enforcement designs (IQ and WB) with no
+ *    watchdog firing, no runtime stuck-chain report, and a clean
+ *    persist-ordering audit over every produced->consumed key pair;
+ *
+ *  - programs with *recorded malformations* must be rejected with
+ *    the first error diagnostic at or after the first injection
+ *    site, and -- because all static malformations are still
+ *    deadlock-free to execute -- must complete under
+ *    EdkRecoveryMode::Degrade with the ordering audit clean over
+ *    the uncorrupted program prefix;
+ *
+ *  - programs carrying a *hardware-fault gadget* (a forged forward
+ *    srcID link via OoOCore::corruptEdeLink, the only way this
+ *    pipeline can form a genuine cycle) must pass the static
+ *    verifier, be caught by the runtime detector in IQ mode well
+ *    before the watchdog, complete under Degrade with at least one
+ *    synthesized fence, and complete untouched in WB mode (whose
+ *    insertion-time CAM check clears dangling forward tags).
+ *
+ * Programs are generated per-index from a splitmix-decorrelated seed
+ * and run on the exp::Scheduler, so `--jobs N` is bit-identical to
+ * serial execution.
+ */
+
+#ifndef EDE_VERIFY_FUZZ_HH
+#define EDE_VERIFY_FUZZ_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/diagnostics.hh"
+
+namespace ede {
+
+/** Campaign configuration. */
+struct FuzzOptions
+{
+    std::uint64_t seed = 1;      ///< Campaign root seed.
+    std::size_t programs = 2000; ///< Programs to generate.
+    std::size_t maxOps = 80;     ///< Generator length cap per program.
+    unsigned jobs = 0;           ///< Worker threads; 0 = hardware.
+    double malformRate = 0.45;   ///< Fraction with static malformations.
+    double faultRate = 0.10;     ///< Fraction with hardware-fault gadgets.
+    std::size_t maxFailures = 8; ///< Failure descriptions to keep.
+    /** Dump the disassembly and diagnostics of every contract
+     *  violation to stderr (debugging aid). */
+    bool dumpFailures = false;
+};
+
+/** Aggregate campaign outcome. */
+struct FuzzReport
+{
+    std::size_t programs = 0;
+    std::size_t wellFormed = 0;
+    std::size_t malformed = 0;
+    std::size_t hardwareFault = 0;
+
+    std::size_t accepted = 0;       ///< Verifier verdicts.
+    std::size_t rejected = 0;
+
+    /** Static diagnostics tallied across every program. */
+    std::array<std::uint64_t, kNumVerifyKinds> diagnosticsByKind{};
+
+    std::uint64_t runs = 0;             ///< Pipeline runs executed.
+    std::uint64_t detectorReports = 0;  ///< Runtime stuck-chain aborts.
+    std::uint64_t fencesSynthesized = 0;///< Degrade-mode gate releases.
+    std::uint64_t externalStalls = 0;   ///< Long-latency classifications.
+    std::uint64_t watchdogFirings = 0;  ///< Must stay zero.
+    std::uint64_t auditChecked = 0;     ///< Ordering pairs audited.
+    std::uint64_t auditViolations = 0;  ///< Must stay zero.
+
+    std::size_t violations = 0; ///< Programs that broke the contract.
+    std::vector<std::string> failures; ///< First few violations.
+
+    /** True when every generated program honoured the contract. */
+    bool contractHolds() const { return violations == 0; }
+
+    /** Multi-line human-readable summary. */
+    std::string describe() const;
+};
+
+/** Run the campaign. */
+FuzzReport runVerifyFuzz(const FuzzOptions &options);
+
+} // namespace ede
+
+#endif // EDE_VERIFY_FUZZ_HH

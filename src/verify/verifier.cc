@@ -1,0 +1,344 @@
+#include "verify/verifier.hh"
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+
+namespace ede {
+
+const char *
+verifyKindName(VerifyKind kind)
+{
+    switch (kind) {
+      case VerifyKind::InvalidKeyEncoding:
+        return "invalid-key-encoding";
+      case VerifyKind::KeysOnNonEdeOpcode:
+        return "keys-on-non-ede-opcode";
+      case VerifyKind::UseOfUndefinedKey:
+        return "use-of-undefined-key";
+      case VerifyKind::WaitOnDeadKey:
+        return "wait-on-dead-key";
+      case VerifyKind::RedefineWhilePending:
+        return "redefine-while-pending";
+      case VerifyKind::DependenceCycle:
+        return "dependence-cycle";
+      case VerifyKind::EdmCapacityExceeded:
+        return "edm-capacity-exceeded";
+      case VerifyKind::UnconsumedDef:
+        return "unconsumed-def";
+      case VerifyKind::NumKinds:
+        break;
+    }
+    return "unknown";
+}
+
+std::string
+VerifyReport::describe() const
+{
+    std::ostringstream os;
+    os << instructions << " instructions, " << diagnostics.size()
+       << " diagnostics"
+       << (accepted() ? " (accepted)" : " (rejected)") << "\n";
+    for (const VerifyDiagnostic &d : diagnostics) {
+        os << "  #" << d.instIdx << ": "
+           << (d.severity == VerifySeverity::Error ? "error"
+                                                   : "warning")
+           << " " << verifyKindName(d.kind) << ": " << d.message;
+        if (d.relatedIdx != kNoInstIdx)
+            os << " (see #" << d.relatedIdx << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+using KeyMask = std::uint16_t;
+
+constexpr KeyMask
+bit(Edk k)
+{
+    return static_cast<KeyMask>(1u << k);
+}
+
+/** Per-key dataflow state. */
+struct KeyState
+{
+    enum S
+    {
+        Undefined, ///< No producer ever named this key.
+        Pending,   ///< Defined; nothing ordered against it yet.
+        Live,      ///< Consumed at least once; not yet resolved.
+        Resolved,  ///< Waited on or fenced; producer complete.
+    };
+
+    S s = Undefined;
+    std::size_t defIdx = kNoInstIdx; ///< Most recent definition.
+    KeyMask chain = 0; ///< Keys this definition transitively orders after.
+};
+
+class Verifier
+{
+  public:
+    explicit Verifier(const VerifyOptions &options)
+        : options_(options) {}
+
+    void
+    step(const StaticInst &si, std::size_t idx)
+    {
+        if (!validateFields(si, idx))
+            return;
+
+        switch (si.op) {
+          case Op::DsbSy:
+          case Op::WaitAllKeys:
+            resolveAll();
+            break;
+          case Op::WaitKey:
+            waitKey(si.edkUse, idx);
+            break;
+          case Op::Join: {
+            KeyMask mask = 0;
+            if (edkIsReal(si.edkUse))
+                mask |= use(si.edkUse, idx);
+            if (edkIsReal(si.edkUse2))
+                mask |= use(si.edkUse2, idx);
+            if (edkIsReal(si.edkDef))
+                define(si.edkDef, mask, idx);
+            break;
+          }
+          default:
+            if (opAllowsEdkOperands(si.op)) {
+                KeyMask mask = 0;
+                if (edkIsReal(si.edkUse))
+                    mask = use(si.edkUse, idx);
+                if (edkIsReal(si.edkDef))
+                    define(si.edkDef, mask, idx);
+            }
+            break;
+        }
+    }
+
+    VerifyReport
+    finish(std::size_t instructions)
+    {
+        if (options_.warnUnconsumed) {
+            for (int k = 1; k < kNumEdks; ++k) {
+                const KeyState &ks = keys_[k];
+                if (ks.s != KeyState::Pending)
+                    continue;
+                emit(VerifyKind::UnconsumedDef,
+                     VerifySeverity::Warning, ks.defIdx, kNoInstIdx,
+                     static_cast<Edk>(k),
+                     keyMsg(k, "defined but never consumed, waited "
+                               "on, or fenced"));
+            }
+        }
+        report_.instructions = instructions;
+        return std::move(report_);
+    }
+
+  private:
+    static std::string
+    keyMsg(int key, std::string_view what)
+    {
+        std::ostringstream os;
+        os << "EDK #" << key << " " << what;
+        return os.str();
+    }
+
+    void
+    emit(VerifyKind kind, VerifySeverity severity, std::size_t idx,
+         std::size_t related, Edk key, std::string message)
+    {
+        VerifyDiagnostic d;
+        d.kind = kind;
+        d.severity = severity;
+        d.instIdx = idx;
+        d.relatedIdx = related;
+        d.key = key;
+        d.message = std::move(message);
+        report_.diagnostics.push_back(std::move(d));
+    }
+
+    /**
+     * Field-shape validation.  @return true when the semantic pass
+     * should run over this instruction.
+     */
+    bool
+    validateFields(const StaticInst &si, std::size_t idx)
+    {
+        const bool any_raw = si.edkDef || si.edkUse || si.edkUse2;
+        if (!opAllowsEdkOperands(si.op)) {
+            if (any_raw) {
+                emit(VerifyKind::KeysOnNonEdeOpcode,
+                     VerifySeverity::Error, idx, kNoInstIdx, kZeroEdk,
+                     std::string(opName(si.op)) +
+                         " has no EDE key operands");
+                return false;
+            }
+            // Keyless ops still run the semantic pass: DSB SY
+            // resolves every live key.
+            return true;
+        }
+
+        bool ok = true;
+        auto check_range = [&](Edk field, const char *name) {
+            if (!edkIsValid(field)) {
+                std::ostringstream os;
+                os << name << " key " << static_cast<int>(field)
+                   << " is outside EDK #0..#" << (kNumEdks - 1);
+                emit(VerifyKind::InvalidKeyEncoding,
+                     VerifySeverity::Error, idx, kNoInstIdx,
+                     kZeroEdk, os.str());
+                ok = false;
+            }
+        };
+        check_range(si.edkDef, "def");
+        check_range(si.edkUse, "use");
+        check_range(si.edkUse2, "use2");
+
+        if (si.op != Op::Join && si.edkUse2 != kZeroEdk) {
+            emit(VerifyKind::InvalidKeyEncoding, VerifySeverity::Error,
+                 idx, kNoInstIdx, kZeroEdk,
+                 std::string(opName(si.op)) +
+                     " has no second use-key encoding");
+            ok = false;
+        }
+        // The assembler encodes wait_key with def == use (Section
+        // IV-B2); the trace layer leaves def zero.  Both are valid.
+        if (si.op == Op::WaitKey &&
+            (!edkIsReal(si.edkUse) ||
+             (si.edkDef != si.edkUse && si.edkDef != kZeroEdk))) {
+            emit(VerifyKind::InvalidKeyEncoding, VerifySeverity::Error,
+                 idx, kNoInstIdx, si.edkUse,
+                 "wait_key must name one real key");
+            ok = false;
+        }
+        if (si.op == Op::WaitAllKeys && any_raw) {
+            emit(VerifyKind::InvalidKeyEncoding, VerifySeverity::Error,
+                 idx, kNoInstIdx, kZeroEdk,
+                 "wait_all_keys takes no key operands");
+            ok = false;
+        }
+        return ok;
+    }
+
+    /**
+     * A consumer names @p k.  @return the dependence mask the use
+     * contributes to a definition on the same instruction.
+     */
+    KeyMask
+    use(Edk k, std::size_t idx)
+    {
+        KeyState &ks = keys_[k];
+        switch (ks.s) {
+          case KeyState::Undefined:
+            emit(VerifyKind::UseOfUndefinedKey, VerifySeverity::Error,
+                 idx, kNoInstIdx, k,
+                 keyMsg(k, "consumed but never defined"));
+            return 0;
+          case KeyState::Pending:
+            ks.s = KeyState::Live;
+            [[fallthrough]];
+          case KeyState::Live:
+            return static_cast<KeyMask>(bit(k) | ks.chain);
+          case KeyState::Resolved:
+            // The producer provably completed at the resolve point;
+            // the dependence is satisfied trivially and carries no
+            // transitive ordering.
+            return 0;
+        }
+        return 0;
+    }
+
+    void
+    define(Edk k, KeyMask depends_on, std::size_t idx)
+    {
+        KeyState &ks = keys_[k];
+        if (ks.s == KeyState::Pending) {
+            emit(VerifyKind::RedefineWhilePending,
+                 VerifySeverity::Error, idx, ks.defIdx, k,
+                 keyMsg(k, "redefined while its previous definition "
+                           "is unconsumed; the EDM overwrite drops "
+                           "that dependence"));
+        }
+        if (depends_on & bit(k)) {
+            emit(VerifyKind::DependenceCycle, VerifySeverity::Error,
+                 idx, ks.defIdx, k,
+                 keyMsg(k, "definition transitively orders after "
+                           "itself in the key dependence graph"));
+        }
+        ks.s = KeyState::Pending;
+        ks.defIdx = idx;
+        ks.chain = static_cast<KeyMask>(depends_on & ~bit(k));
+
+        std::size_t live = 0;
+        for (int i = 1; i < kNumEdks; ++i) {
+            const KeyState::S s = keys_[i].s;
+            live += (s == KeyState::Pending || s == KeyState::Live)
+                ? 1 : 0;
+        }
+        if (live > options_.edmCapacity) {
+            std::ostringstream os;
+            os << live << " live keys exceed the " <<
+                options_.edmCapacity << "-slot EDM";
+            emit(VerifyKind::EdmCapacityExceeded, VerifySeverity::Error,
+                 idx, kNoInstIdx, k, os.str());
+        }
+    }
+
+    void
+    waitKey(Edk k, std::size_t idx)
+    {
+        KeyState &ks = keys_[k];
+        if (ks.s == KeyState::Undefined) {
+            emit(VerifyKind::WaitOnDeadKey, VerifySeverity::Error, idx,
+                 kNoInstIdx, k,
+                 keyMsg(k, "waited on but never defined"));
+            return;
+        }
+        ks.s = KeyState::Resolved;
+        ks.chain = 0;
+    }
+
+    void
+    resolveAll()
+    {
+        for (int k = 1; k < kNumEdks; ++k) {
+            KeyState &ks = keys_[k];
+            if (ks.s != KeyState::Undefined) {
+                ks.s = KeyState::Resolved;
+                ks.chain = 0;
+            }
+        }
+    }
+
+    VerifyOptions options_;
+    std::array<KeyState, kNumEdks> keys_{};
+    VerifyReport report_;
+};
+
+} // namespace
+
+VerifyReport
+verifyProgram(const std::vector<StaticInst> &program,
+              const VerifyOptions &options)
+{
+    Verifier v(options);
+    for (std::size_t i = 0; i < program.size(); ++i)
+        v.step(program[i], i);
+    return v.finish(program.size());
+}
+
+VerifyReport
+verifyTrace(const Trace &trace, const VerifyOptions &options)
+{
+    Verifier v(options);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        v.step(trace[i].si, i);
+    return v.finish(trace.size());
+}
+
+} // namespace ede

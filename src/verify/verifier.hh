@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Static EDK dataflow verifier.
+ *
+ * A linear def-use analysis over the 16 execution-dependence keys of
+ * an assembled program or trace.  It tracks, per key, whether the key
+ * is undefined, pending (defined but not yet ordered against), or
+ * resolved, plus the transitive set of keys each pending definition
+ * depends on, and rejects programs that break the EDE contract:
+ *
+ *  - key fields outside the 4-bit encoding, or on opcodes without an
+ *    EDE variant;
+ *  - consumers (STR/STP/LDR/DC CVAP use operands, JOIN merges) naming
+ *    a key no producer ever defined;
+ *  - WAIT_KEY on a dead key;
+ *  - redefining a key whose previous definition nothing consumed --
+ *    the EDM overwrite silently drops the old dependence;
+ *  - cycles in the key dependence graph (including self-loops and
+ *    chains built through JOIN merges);
+ *  - more live definitions than the modelled EDM holds slots for.
+ *
+ * DSB SY and WAIT_ALL_KEYS resolve every live key (all older
+ * instructions complete before anything younger runs); WAIT_KEY
+ * resolves the key it names.  The analysis is over the *static*
+ * program order, which for our straight-line traces equals dynamic
+ * order; mispredicted-path wrong-way instructions are squashed and
+ * never change architectural EDM state, so the verdict carries over.
+ */
+
+#ifndef EDE_VERIFY_VERIFIER_HH
+#define EDE_VERIFY_VERIFIER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "trace/trace.hh"
+#include "verify/diagnostics.hh"
+
+namespace ede {
+
+/** Verifier knobs. */
+struct VerifyOptions
+{
+    /**
+     * Modelled EDM capacity in live keys.  The paper's map has one
+     * slot per real key, so the architectural limit of 15 can never
+     * be hit; smaller values model a reduced physical map and make
+     * EdmCapacityExceeded reachable.
+     */
+    std::size_t edmCapacity = kNumEdks - 1;
+
+    /** Emit UnconsumedDef warnings for defs still pending at end. */
+    bool warnUnconsumed = true;
+};
+
+/** Verify a static instruction sequence. */
+VerifyReport verifyProgram(const std::vector<StaticInst> &program,
+                           const VerifyOptions &options = {});
+
+/** Verify the static parts of a dynamic trace. */
+VerifyReport verifyTrace(const Trace &trace,
+                         const VerifyOptions &options = {});
+
+} // namespace ede
+
+#endif // EDE_VERIFY_VERIFIER_HH

@@ -17,11 +17,12 @@ namespace ede {
 struct MiniSim
 {
     explicit MiniSim(EnforceMode mode = EnforceMode::None,
-                     CoreParams overrides = CoreParams{})
+                     CoreParams overrides = CoreParams{},
+                     MemSystemParams mem_overrides = MemSystemParams{})
         : params(overrides)
     {
         params.ede = mode;
-        mem = std::make_unique<MemSystem>(MemSystemParams{});
+        mem = std::make_unique<MemSystem>(mem_overrides);
         core = std::make_unique<OoOCore>(params, *mem);
         core->setTimingImage(&image);
         core->setRecordCompletions(true);

@@ -166,6 +166,67 @@ TEST(Assembler, RoundTripsThroughDisassembler)
     }
 }
 
+/** Assemble -> disassemble -> assemble must be a fixed point. */
+void
+expectRoundTrip(const std::string &line)
+{
+    const StaticInst first = mustAssemble(line);
+    const std::string printed = disassemble(first);
+    const StaticInst second = mustAssemble(printed);
+    EXPECT_EQ(first, second) << line << " -> " << printed;
+}
+
+TEST(Assembler, EdkVariantRoundTripMatrix)
+{
+    // Every EDK-carrying instruction form, across the full (def,use)
+    // encoding space, survives assemble -> disassemble -> assemble.
+    for (int def = 0; def < kNumEdks; ++def) {
+        for (int use = 0; use < kNumEdks; ++use) {
+            const std::string keys =
+                "(" + std::to_string(def) + "," +
+                std::to_string(use) + ")";
+            expectRoundTrip("str " + keys + ", x3, [x0]");
+            expectRoundTrip("str " + keys + ", x3, [x0, #24]");
+            expectRoundTrip("stp " + keys + ", x4, x5, [x2]");
+            expectRoundTrip("ldr " + keys + ", x6, [x1]");
+            expectRoundTrip("dc cvap " + keys + ", x2");
+        }
+    }
+    // JOIN carries a third key; sample the diagonal planes.
+    for (int k = 0; k < kNumEdks; ++k) {
+        expectRoundTrip("join (" + std::to_string(k) + ",1,2)");
+        expectRoundTrip("join (3," + std::to_string(k) + ",2)");
+        expectRoundTrip("join (3,1," + std::to_string(k) + ")");
+    }
+    for (int k = 1; k < kNumEdks; ++k)
+        expectRoundTrip("wait_key (" + std::to_string(k) + ")");
+    expectRoundTrip("wait_all_keys");
+}
+
+TEST(Assembler, RejectsOutOfRangeKeys)
+{
+    // 16 is the first value outside the 4-bit key encoding.
+    for (const char *bad : {"16", "17", "31", "99", "255"}) {
+        const std::string k(bad);
+        EXPECT_FALSE(assembleLine("str (0," + k + "), x3, [x0]").ok)
+            << k;
+        EXPECT_FALSE(assembleLine("str (" + k + ",0), x3, [x0]").ok)
+            << k;
+        EXPECT_FALSE(assembleLine("stp (" + k + ",0), x4, x5, [x2]").ok)
+            << k;
+        EXPECT_FALSE(assembleLine("ldr (0," + k + "), x6, [x1]").ok)
+            << k;
+        EXPECT_FALSE(assembleLine("dc cvap (" + k + ",0), x2").ok)
+            << k;
+        EXPECT_FALSE(assembleLine("join (" + k + ",1,2)").ok) << k;
+        EXPECT_FALSE(assembleLine("join (1," + k + ",2)").ok) << k;
+        EXPECT_FALSE(assembleLine("join (1,2," + k + ")").ok) << k;
+        EXPECT_FALSE(assembleLine("wait_key (" + k + ")").ok) << k;
+    }
+    // The zero key means "unused" and cannot be waited on.
+    EXPECT_FALSE(assembleLine("wait_key (0)").ok);
+}
+
 TEST(Assembler, RoundTripsThroughEncoder)
 {
     const StaticInst si = mustAssemble("str (0,1), x3, [x0]");

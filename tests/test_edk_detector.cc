@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Runtime EDK stall-analyzer tests: a forged forward srcID link (the
+ * corruption a soft error in the EDM would produce) must be reported
+ * as an EdkDependenceCycle in IQ mode, survived with a synthesized
+ * fence under EdkRecoveryMode::Degrade, and neutralized outright by
+ * the WB design's insertion-time CAM check.  A long-latency NVM media
+ * write that merely *looks* wedged must be classified as an external
+ * stall, never as a cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hh"
+
+namespace ede {
+namespace {
+
+/** Analyzer windows sized for unit-test traces. */
+CoreParams
+detectorParams(EdkRecoveryMode rec, Cycle stall_cycles = 2'000)
+{
+    CoreParams p;
+    p.edkRecoveryMode = rec;
+    p.edkStallCycles = stall_cycles;
+    p.watchdogCycles = 100'000;
+    return p;
+}
+
+/**
+ * The fault gadget from the fuzz campaign: producer X (str def k)
+ * gets its consumer link forged to point *forward* at adjacent
+ * consumer Y (str use k), closing a genuine dependence cycle.  The
+ * dependent multiplies delay X's issue until Y has dispatched, so
+ * the forged link resolves against a live instruction.
+ * @return {X trace index, Y trace index}.
+ */
+std::pair<std::size_t, std::size_t>
+buildForgedCycle(MiniSim &sim, Trace &t)
+{
+    TraceBuilder b(t);
+    for (int i = 0; i < 3; ++i)
+        b.str(8, 2, MiniSim::dramLine(i), i);
+    b.movImm(10, 3);
+    b.mul(11, 10, 10);
+    b.mul(12, 11, 11);
+    const std::size_t x = b.str(12, 2, sim.nvmLine(0), 1, 0, {4, 0});
+    const std::size_t y = b.str(13, 2, MiniSim::dramLine(3), 2, 0,
+                                {0, 4});
+    for (int i = 0; i < 3; ++i)
+        b.str(14, 2, MiniSim::dramLine(4 + i), i);
+    sim.core->corruptEdeLink(x, 1);
+    return {x, y};
+}
+
+TEST(EdkDetector, IqReportsForgedCycleWithChain)
+{
+    MiniSim sim(EnforceMode::IQ,
+                detectorParams(EdkRecoveryMode::Report));
+    Trace t;
+    const auto [x, y] = buildForgedCycle(sim, t);
+    sim.run(t);
+
+    const SimError &err = sim.core->simError();
+    ASSERT_EQ(err.kind, SimErrorKind::EdkDependenceCycle)
+        << err.describe();
+    EXPECT_GE(sim.core->stats().edkStuckDetected, 1u);
+    EXPECT_EQ(sim.core->stats().edkFencesSynthesized, 0u);
+
+    // The chain names both gadget members.
+    bool saw_x = false, saw_y = false;
+    for (const EdkChainNode &n : err.edkChain) {
+        saw_x |= n.traceIdx == x;
+        saw_y |= n.traceIdx == y;
+    }
+    EXPECT_TRUE(saw_x && saw_y) << err.describe();
+
+    // Reported one analyzer window after progress stopped, far
+    // before the watchdog would have fired.
+    EXPECT_LT(err.cycle, err.lastProgressCycle + 100'000);
+}
+
+TEST(EdkDetector, DegradeSynthesizesFenceAndCompletes)
+{
+    MiniSim sim(EnforceMode::IQ,
+                detectorParams(EdkRecoveryMode::Degrade));
+    Trace t;
+    const auto [x, y] = buildForgedCycle(sim, t);
+    sim.run(t);
+
+    EXPECT_EQ(sim.core->simError().kind, SimErrorKind::None)
+        << sim.core->simError().describe();
+    EXPECT_EQ(sim.core->stats().retired, t.size());
+    EXPECT_GE(sim.core->stats().edkStuckDetected, 1u);
+    EXPECT_GE(sim.core->stats().edkFencesSynthesized, 1u);
+    // Only the forged link is released; the genuine key-4 dependence
+    // still orders Y after X.
+    EXPECT_GE(sim.done(y), sim.done(x));
+}
+
+TEST(EdkDetector, WbCamCheckNeutralizesForgedLink)
+{
+    // In the WB design srcID tags are re-checked against the write
+    // buffer at insertion; a forged tag whose producer is not
+    // resident is cleared, so the cycle never forms.
+    MiniSim sim(EnforceMode::WB,
+                detectorParams(EdkRecoveryMode::Report));
+    Trace t;
+    const auto [x, y] = buildForgedCycle(sim, t);
+    sim.run(t);
+
+    EXPECT_EQ(sim.core->simError().kind, SimErrorKind::None)
+        << sim.core->simError().describe();
+    EXPECT_EQ(sim.core->stats().retired, t.size());
+    EXPECT_EQ(sim.core->stats().edkStuckDetected, 0u);
+    EXPECT_GE(sim.done(y), sim.done(x));
+}
+
+class EdkDetectorModes : public ::testing::TestWithParam<EnforceMode>
+{
+};
+
+TEST_P(EdkDetectorModes, NvmMediaWriteStallIsNotACycle)
+{
+    // A two-slot on-DIMM buffer forces the key producer to wait a
+    // full ~1500-cycle (500 ns) media write for a free slot.  The
+    // analyzer window is far smaller, so it runs several times during
+    // the stall -- and must classify it as external every time, not
+    // abort the run as a dependence cycle.
+    MemSystemParams mp;
+    mp.nvm.bufferSlots = 2;
+    MiniSim sim(GetParam(),
+                detectorParams(EdkRecoveryMode::Report, 200), mp);
+    Trace t;
+    TraceBuilder b(t);
+    b.str(8, 2, MiniSim::dramLine(0), 0);
+    b.dsbSy();
+    // Distinct 256 B media lines (nvmLine steps by 64), so the
+    // cleans cannot coalesce and must each take a buffer slot.
+    for (int i = 0; i < 4; ++i)
+        b.cvap(2, sim.nvmLine(4 * i));   // Fill both buffer slots.
+    const std::size_t pr = b.cvap(2, sim.nvmLine(20), {3, 0});
+    const std::size_t co = b.str(9, 2, MiniSim::dramLine(1), 7, 0,
+                                 {0, 3});
+    b.waitKey(3);
+    sim.run(t);
+
+    EXPECT_EQ(sim.core->simError().kind, SimErrorKind::None)
+        << sim.core->simError().describe();
+    EXPECT_EQ(sim.core->stats().retired, t.size());
+    EXPECT_GE(sim.core->stats().edkStallChecks, 1u);
+    EXPECT_GE(sim.core->stats().edkExternalStalls, 1u);
+    EXPECT_EQ(sim.core->stats().edkStuckDetected, 0u);
+    EXPECT_EQ(sim.core->stats().edkFencesSynthesized, 0u);
+    EXPECT_GE(sim.done(co), sim.done(pr));
+}
+
+TEST_P(EdkDetectorModes, WaitWithYoungerGatedLoadDoesNotDeadlock)
+{
+    // Regression for a dispatch-time WAIT-counter bug the fuzz
+    // campaign exposed: EDE-gated loads were counted at dispatch, so
+    // a WAIT_ALL_KEYS at the ROB head waited on the counter a
+    // younger load held, while that load's producer store could not
+    // complete because it could not retire past the blocked WAIT.
+    // Counters must track only the post-retirement window.
+    MiniSim sim(GetParam(), detectorParams(EdkRecoveryMode::Report));
+    Trace t;
+    TraceBuilder b(t);
+    b.str(8, 2, MiniSim::dramLine(0), 0);
+    b.dsbSy();
+    b.cvap(2, sim.nvmLine(0), {1, 0});
+    b.waitAllKeys();
+    const std::size_t pr = b.str(9, 2, MiniSim::dramLine(1), 7, 0,
+                                 {2, 0});
+    const std::size_t co = b.ldr(10, 2, MiniSim::dramLine(1), 0,
+                                 {0, 2});
+    b.str(11, 2, MiniSim::dramLine(2), 9);
+    sim.run(t);
+
+    EXPECT_EQ(sim.core->simError().kind, SimErrorKind::None)
+        << sim.core->simError().describe();
+    EXPECT_EQ(sim.core->stats().retired, t.size());
+    EXPECT_EQ(sim.core->stats().edkStuckDetected, 0u);
+    EXPECT_GE(sim.done(co), sim.done(pr));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothRealizations, EdkDetectorModes,
+                         ::testing::Values(EnforceMode::IQ,
+                                           EnforceMode::WB),
+                         [](const auto &info) {
+                             return std::string(enforceModeName(
+                                 info.param));
+                         });
+
+} // namespace
+} // namespace ede

@@ -98,6 +98,47 @@ TEST(Edm, SquashRestoreReplaysSurvivors)
     EXPECT_EQ(edm.specLookup(3), 13u);
 }
 
+TEST(Edm, BackToBackSquashRestores)
+{
+    // Two squashes in close succession: the first replays an
+    // in-flight survivor definition; by the second that definition
+    // has itself been squashed, so the restore must fall back to the
+    // retired producer alone.  The non-speculative copy is never
+    // touched by recovery.
+    Edm edm;
+    edm.specDefine(1, 10);
+    edm.retireDefine(1, 10);    // Retired producer of key 1.
+    edm.specDefine(2, 20);      // In-flight producer of key 2.
+
+    edm.squashRestore({{2, 20}});  // Key 2's def survives squash #1.
+    EXPECT_EQ(edm.specLookup(1), 10u);
+    EXPECT_EQ(edm.specLookup(2), 20u);
+
+    edm.squashRestore({});         // Squash #2 kills it too.
+    EXPECT_EQ(edm.specLookup(1), 10u);
+    EXPECT_EQ(edm.specLookup(2), kNoSeq);
+    EXPECT_EQ(edm.nonspec().lookup(1), 10u);
+    EXPECT_EQ(edm.nonspec().lookup(2), kNoSeq);
+}
+
+TEST(Edm, SurvivorCompletingBetweenSquashesClearsBothCopies)
+{
+    // A survivor replayed by squash #1 then completes; the clear must
+    // land in both copies so squash #2 does not resurrect the link.
+    Edm edm;
+    edm.retireDefine(3, 30);
+    edm.squashRestore({{3, 32}});  // Younger survivor wins the slot.
+    EXPECT_EQ(edm.specLookup(3), 32u);
+
+    edm.retireDefine(3, 32);       // Survivor retires...
+    edm.complete(3, 32);           // ...and completes.
+    EXPECT_EQ(edm.specLookup(3), kNoSeq);
+    EXPECT_EQ(edm.nonspec().lookup(3), kNoSeq);
+
+    edm.squashRestore({});
+    EXPECT_EQ(edm.specLookup(3), kNoSeq);
+}
+
 TEST(Edm, ResetClearsEverything)
 {
     Edm edm;

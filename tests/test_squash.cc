@@ -115,10 +115,44 @@ TEST_P(SquashEdeTest, JoinAcrossSquash)
     EXPECT_GE(sim.done(co), sim.done(p2));
 }
 
+TEST_P(SquashEdeTest, BackToBackSquashesWithLiveKey)
+{
+    // Two mispredicts in a row while key 1 has a live in-flight
+    // producer, with a second producer defined on the wrong path of
+    // each branch.  Both squashes must restore the speculative EDM
+    // from non-speculative state plus surviving definitions; the
+    // consumer after the second branch must still order after the
+    // original producer, and no squashed definition may leak.
+    MiniSim sim(GetParam());
+    Trace t;
+    TraceBuilder b(t);
+    b.str(1, 2, MiniSim::dramLine(0), 0);
+    b.dsbSy();
+    const std::size_t p1 = b.cvap(2, sim.nvmLine(0), {1, 0});
+    mispredicting(b, "nest1");
+    const std::size_t p2 = b.cvap(3, sim.nvmLine(4), {2, 0});
+    mispredicting(b, "nest2");
+    const std::size_t c1 = b.str(4, 5, MiniSim::dramLine(1), 1, 0,
+                                 {0, 1});
+    const std::size_t c2 = b.str(6, 7, MiniSim::dramLine(2), 2, 0,
+                                 {0, 2});
+    b.waitAllKeys();
+    sim.run(t);
+    EXPECT_GE(sim.core->stats().squashes, 2u);
+    EXPECT_EQ(sim.core->stats().retired, t.size());
+    EXPECT_GE(sim.done(c1), sim.done(p1));
+    EXPECT_GE(sim.done(c2), sim.done(p2));
+    // Every link was cleared by completion; nothing squashed leaked
+    // into either EDM copy.
+    EXPECT_TRUE(sim.core->edm().spec().empty());
+    EXPECT_TRUE(sim.core->edm().nonspec().empty());
+}
+
 TEST_P(SquashEdeTest, WaitCountersBalanceAfterSquash)
 {
-    // EDE loads are counted at dispatch; squashing them must
-    // decrement the counters or a later WAIT_ALL_KEYS deadlocks.
+    // Wait counters track retired-but-incomplete instructions; a
+    // squashed EDE load must leave them balanced or a later
+    // WAIT_ALL_KEYS deadlocks.
     MiniSim sim(GetParam());
     Trace t;
     TraceBuilder b(t);
