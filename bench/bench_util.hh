@@ -10,17 +10,8 @@
  * already simulated -- so running fig9, fig10 and fig11 back to back
  * performs exactly one simulation per (app, config) pair.
  *
- * Standard options (also printed by --help):
- *   --txns N      transactions per application        (default 40)
- *   --ops M       operations per transaction          (default 25)
- *   --paper       paper-scale run: 1000 txns x 100 ops (Section VI-B)
- *   --seed S      workload RNG seed                   (default 42)
- *   --app LIST    comma-separated subset of apps
- *   --jobs N      parallel simulation jobs (default: hardware
- *                 concurrency; 1 reproduces the old serial order)
- *   --json PATH   write the sweep as a BENCH_*.json artifact
- *   --cache-dir D result-cache directory (default .ede-cache)
- *   --no-cache    simulate every cell even when cached
+ * Flag parsing rides on bench/cli.hh; run any bench with --help for
+ * the full option list.
  */
 
 #ifndef EDE_BENCH_BENCH_UTIL_HH
@@ -34,6 +25,7 @@
 #include <vector>
 
 #include "apps/harness.hh"
+#include "cli.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "exp/runner.hh"
@@ -48,101 +40,69 @@ struct BenchOptions
     RunSpec spec{40, 25, 42};
     std::vector<AppId> apps{kAllApps.begin(), kAllApps.end()};
     bool paperScale = false;
-    unsigned jobs = 0;       ///< 0 = hardware concurrency.
-    std::string jsonPath;    ///< Empty = no JSON artifact.
-    std::string cacheDir = ".ede-cache";
-    bool useCache = true;
+    CommonOptions common; ///< --jobs / --json / --cache-dir / ...
 };
 
-/** The --help text (kept in one place so every bench agrees). */
-inline void
-printUsage(const char *bench)
+/** The standard sweep flags, registered on a shared Cli. */
+inline Cli
+makeCli(const char *bench, BenchOptions &opt)
 {
-    std::printf(
-        "usage: %s [options]\n"
-        "  --txns N      transactions per application (default 40)\n"
-        "  --ops M       operations per transaction (default 25)\n"
-        "  --paper       paper-scale run: 1000 txns x 100 ops\n"
-        "  --seed S      workload RNG seed (default 42)\n"
-        "  --app LIST    comma-separated subset of: ",
-        bench);
-    for (AppId id : kAllApps)
-        std::printf("%s%s", id == kAllApps.front() ? "" : ",",
-                    std::string(appName(id)).c_str());
-    std::printf(
-        "\n"
-        "  --jobs N      parallel simulation jobs (default: hardware\n"
-        "                concurrency; 1 reproduces the old serial "
-        "order --\n"
-        "                results are bit-identical either way)\n"
-        "  --json PATH   write the sweep as a JSON artifact "
-        "(BENCH_*.json)\n"
-        "  --cache-dir D result-cache directory (default .ede-cache);\n"
-        "                snapshots are keyed by {app, config, "
-        "workload,\n"
-        "                simulator parameters, schema}; delete the\n"
-        "                directory after changing simulator code\n"
-        "  --no-cache    simulate every cell even when cached\n"
-        "  --help        this text\n");
+    Cli cli(bench);
+    cli.value("--txns", "N",
+              "transactions per application (default 40)",
+              [&opt](const std::string &v) {
+                  opt.spec.txns = toU64(v);
+              })
+        .value("--ops", "M",
+               "operations per transaction (default 25)",
+               [&opt](const std::string &v) {
+                   opt.spec.opsPerTxn = toU64(v);
+               })
+        .toggle("--paper",
+                "paper-scale run: 1000 txns x 100 ops",
+                [&opt] {
+                    opt.paperScale = true;
+                    opt.spec.txns = 1000;
+                    opt.spec.opsPerTxn = 100;
+                })
+        .value("--seed", "S", "workload RNG seed (default 42)",
+               [&opt](const std::string &v) {
+                   opt.spec.seed = toU64(v);
+               })
+        .value("--app", "LIST",
+               "comma-separated subset of the applications",
+               [&opt](const std::string &list) {
+                   opt.apps.clear();
+                   std::size_t pos = 0;
+                   while (pos != std::string::npos) {
+                       const std::size_t comma = list.find(',', pos);
+                       const std::string name = list.substr(
+                           pos, comma == std::string::npos
+                                    ? comma
+                                    : comma - pos);
+                       bool found = false;
+                       for (AppId id : kAllApps) {
+                           if (appName(id) == name) {
+                               opt.apps.push_back(id);
+                               found = true;
+                           }
+                       }
+                       if (!found)
+                           ede_fatal("unknown app '", name, "'");
+                       pos = (comma == std::string::npos) ? comma
+                                                          : comma + 1;
+                   }
+               });
+    addCommonFlags(cli, opt.common);
+    return cli;
 }
 
-/** Parse the standard options; unknown flags are fatal. */
+/** Parse the standard options; unknown flags exit with status 2. */
 inline BenchOptions
 parseOptions(int argc, char **argv, const char *bench = "bench")
 {
     BenchOptions opt;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                ede_fatal("flag ", arg, " needs a value");
-            return argv[++i];
-        };
-        if (arg == "--txns") {
-            opt.spec.txns = std::stoull(next());
-        } else if (arg == "--ops") {
-            opt.spec.opsPerTxn = std::stoull(next());
-        } else if (arg == "--seed") {
-            opt.spec.seed = std::stoull(next());
-        } else if (arg == "--paper") {
-            opt.paperScale = true;
-            opt.spec.txns = 1000;
-            opt.spec.opsPerTxn = 100;
-        } else if (arg == "--jobs") {
-            opt.jobs = static_cast<unsigned>(std::stoul(next()));
-        } else if (arg == "--json") {
-            opt.jsonPath = next();
-        } else if (arg == "--cache-dir") {
-            opt.cacheDir = next();
-        } else if (arg == "--no-cache") {
-            opt.useCache = false;
-        } else if (arg == "--help" || arg == "-h") {
-            printUsage(bench);
-            std::exit(0);
-        } else if (arg == "--app") {
-            opt.apps.clear();
-            std::string list = next();
-            std::size_t pos = 0;
-            while (pos != std::string::npos) {
-                const std::size_t comma = list.find(',', pos);
-                const std::string name =
-                    list.substr(pos, comma == std::string::npos
-                                         ? comma : comma - pos);
-                bool found = false;
-                for (AppId id : kAllApps) {
-                    if (appName(id) == name) {
-                        opt.apps.push_back(id);
-                        found = true;
-                    }
-                }
-                if (!found)
-                    ede_fatal("unknown app '", name, "'");
-                pos = (comma == std::string::npos) ? comma : comma + 1;
-            }
-        } else {
-            ede_fatal("unknown flag '", arg, "' (--help for usage)");
-        }
-    }
+    makeCli(bench, opt).parse(argc, argv);
     return opt;
 }
 
@@ -151,8 +111,9 @@ inline exp::RunnerOptions
 runnerOptions(const BenchOptions &opt)
 {
     exp::RunnerOptions ro;
-    ro.jobs = opt.jobs;
-    ro.cacheDir = opt.useCache ? opt.cacheDir : std::string();
+    ro.jobs = opt.common.jobs;
+    ro.cacheDir =
+        opt.common.useCache ? opt.common.cacheDir : std::string();
     return ro;
 }
 
@@ -175,8 +136,8 @@ inline void
 maybeWriteJson(const BenchOptions &opt, const char *bench,
                const exp::ExperimentResults &results)
 {
-    if (!opt.jsonPath.empty())
-        exp::writeJsonArtifact(opt.jsonPath, bench, results);
+    if (!opt.common.jsonPath.empty())
+        exp::writeJsonArtifact(opt.common.jsonPath, bench, results);
 }
 
 /** Standard bench banner. */

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tiny shared command-line parser for the bench drivers.
+ *
+ * Every driver used to hand-roll the same loop (string compare, bump
+ * the index for a value, bespoke usage text) with slightly different
+ * unknown-flag behaviour.  Cli centralizes the contract:
+ *
+ *  - flags are registered with a help line and a callback;
+ *  - a flag that takes a value receives it already split off;
+ *  - --help / -h prints the generated usage to stdout and exits 0;
+ *  - an unknown flag or a missing value prints usage to stderr and
+ *    exits 2 (so CI distinguishes "bad invocation" from "campaign
+ *    found a violation", which exits 1).
+ *
+ * CommonOptions + addCommonFlags cover the experiment-layer options
+ * (--jobs / --json / --cache-dir / --no-cache) shared by the sweep
+ * benches.
+ */
+
+#ifndef EDE_BENCH_CLI_HH
+#define EDE_BENCH_CLI_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ede {
+namespace bench {
+
+/** Declarative command-line parser; see file comment. */
+class Cli
+{
+  public:
+    explicit Cli(std::string prog) : prog_(std::move(prog)) {}
+
+    /** Register a flag taking a value, e.g. --seed N. */
+    Cli &
+    value(std::string name, std::string metavar, std::string help,
+          std::function<void(const std::string &)> apply)
+    {
+        opts_.push_back({std::move(name), std::move(metavar),
+                         std::move(help), std::move(apply), {}});
+        return *this;
+    }
+
+    /** Register a boolean flag, e.g. --paper. */
+    Cli &
+    toggle(std::string name, std::string help,
+           std::function<void()> apply)
+    {
+        opts_.push_back({std::move(name), {}, std::move(help), {},
+                         std::move(apply)});
+        return *this;
+    }
+
+    void
+    usage(std::FILE *out) const
+    {
+        std::fprintf(out, "usage: %s [options]\n", prog_.c_str());
+        for (const Opt &o : opts_) {
+            std::string head = o.name;
+            if (!o.metavar.empty())
+                head += " " + o.metavar;
+            std::fprintf(out, "  %-18s %s\n", head.c_str(),
+                         o.help.c_str());
+        }
+        std::fprintf(out, "  %-18s %s\n", "--help", "this text");
+    }
+
+    /** Parse the whole command line; exits on --help or errors. */
+    void
+    parse(int argc, char **argv) const
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                usage(stdout);
+                std::exit(0);
+            }
+            const Opt *match = nullptr;
+            for (const Opt &o : opts_) {
+                if (o.name == arg) {
+                    match = &o;
+                    break;
+                }
+            }
+            if (!match) {
+                std::fprintf(stderr, "%s: unknown flag '%s'\n",
+                             prog_.c_str(), arg.c_str());
+                usage(stderr);
+                std::exit(2);
+            }
+            if (match->toggleFn) {
+                match->toggleFn();
+                continue;
+            }
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: flag %s needs a value\n",
+                             prog_.c_str(), arg.c_str());
+                usage(stderr);
+                std::exit(2);
+            }
+            match->valueFn(argv[++i]);
+        }
+    }
+
+  private:
+    struct Opt
+    {
+        std::string name;
+        std::string metavar;
+        std::string help;
+        std::function<void(const std::string &)> valueFn;
+        std::function<void()> toggleFn;
+    };
+
+    std::string prog_;
+    std::vector<Opt> opts_;
+};
+
+/** @name Value conversions for flag callbacks. */
+/// @{
+inline std::uint64_t
+toU64(const std::string &s)
+{
+    return std::strtoull(s.c_str(), nullptr, 0);
+}
+
+inline unsigned
+toUnsigned(const std::string &s)
+{
+    return static_cast<unsigned>(std::strtoul(s.c_str(), nullptr, 0));
+}
+
+inline double
+toF64(const std::string &s)
+{
+    return std::strtod(s.c_str(), nullptr);
+}
+/// @}
+
+/** Experiment-layer options shared by every sweep bench. */
+struct CommonOptions
+{
+    unsigned jobs = 0;    ///< 0 = hardware concurrency.
+    std::string jsonPath; ///< Empty = no JSON artifact.
+    std::string cacheDir = ".ede-cache";
+    bool useCache = true;
+};
+
+/** Register --jobs / --json / --cache-dir / --no-cache on @p cli. */
+inline void
+addCommonFlags(Cli &cli, CommonOptions &opt)
+{
+    cli.value("--jobs", "N",
+              "parallel simulation jobs (default: hardware "
+              "concurrency; 1 reproduces the old serial order -- "
+              "results are bit-identical either way)",
+              [&opt](const std::string &v) {
+                  opt.jobs = toUnsigned(v);
+              })
+        .value("--json", "PATH",
+               "write the sweep as a JSON artifact (BENCH_*.json)",
+               [&opt](const std::string &v) { opt.jsonPath = v; })
+        .value("--cache-dir", "D",
+               "result-cache directory (default .ede-cache); "
+               "snapshots are keyed by {app, config, workload, "
+               "simulator parameters, schema}",
+               [&opt](const std::string &v) { opt.cacheDir = v; })
+        .toggle("--no-cache",
+                "simulate every cell even when cached",
+                [&opt] { opt.useCache = false; });
+}
+
+} // namespace bench
+} // namespace ede
+
+#endif // EDE_BENCH_CLI_HH

@@ -30,9 +30,11 @@
 #include <cstring>
 #include <string>
 
+#include "cli.hh"
 #include "fault/campaign.hh"
 
 using namespace ede;
+using namespace ede::bench;
 
 namespace {
 
@@ -53,43 +55,39 @@ int
 main(int argc, char **argv)
 {
     CampaignOptions options;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n",
-                             arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--seed") {
-            options.seed = std::strtoull(value().c_str(), nullptr, 0);
-        } else if (arg == "--points") {
-            options.pointsPerConfig =
-                std::strtoull(value().c_str(), nullptr, 0);
-        } else if (arg == "--app") {
-            options.app = parseApp(value());
-        } else if (arg == "--txns") {
-            options.spec.txns =
-                std::strtoull(value().c_str(), nullptr, 0);
-        } else if (arg == "--ops") {
-            options.spec.opsPerTxn =
-                std::strtoull(value().c_str(), nullptr, 0);
-        } else if (arg == "--fault-rate") {
-            options.acceptFaultRate =
-                std::strtod(value().c_str(), nullptr);
-        } else if (arg == "--jobs") {
-            options.jobs = static_cast<unsigned>(
-                std::strtoul(value().c_str(), nullptr, 0));
-        } else {
-            std::fprintf(stderr,
-                         "usage: fault_campaign [--seed N] "
-                         "[--points N] [--app NAME] [--txns N] "
-                         "[--ops N] [--fault-rate F] [--jobs N]\n");
-            return arg == "--help" || arg == "-h" ? 0 : 2;
-        }
-    }
+    Cli cli("fault_campaign");
+    cli.value("--seed", "N", "campaign RNG seed",
+              [&](const std::string &v) { options.seed = toU64(v); })
+        .value("--points", "N",
+               "crash points per configuration (0 = every "
+               "persist boundary)",
+               [&](const std::string &v) {
+                   options.pointsPerConfig = toU64(v);
+               })
+        .value("--app", "NAME", "workload application",
+               [&](const std::string &v) {
+                   options.app = parseApp(v);
+               })
+        .value("--txns", "N", "transactions per run",
+               [&](const std::string &v) {
+                   options.spec.txns = toU64(v);
+               })
+        .value("--ops", "N", "operations per transaction",
+               [&](const std::string &v) {
+                   options.spec.opsPerTxn = toU64(v);
+               })
+        .value("--fault-rate", "F",
+               "transient accept-fault probability",
+               [&](const std::string &v) {
+                   options.acceptFaultRate = toF64(v);
+               })
+        .value("--jobs", "N",
+               "parallel classifications (0 = hardware "
+               "concurrency); results are bit-identical to --jobs 1",
+               [&](const std::string &v) {
+                   options.jobs = toUnsigned(v);
+               });
+    cli.parse(argc, argv);
 
     const CampaignReport report = runCampaign(options);
     std::fputs(report.describe().c_str(), stdout);

@@ -25,53 +25,48 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
+#include "cli.hh"
 #include "verify/fuzz.hh"
 
 using namespace ede;
+using namespace ede::bench;
 
 int
 main(int argc, char **argv)
 {
     FuzzOptions options;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n",
-                             arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--seed") {
-            options.seed = std::strtoull(value().c_str(), nullptr, 0);
-        } else if (arg == "--programs") {
-            options.programs =
-                std::strtoull(value().c_str(), nullptr, 0);
-        } else if (arg == "--max-ops") {
-            options.maxOps =
-                std::strtoull(value().c_str(), nullptr, 0);
-        } else if (arg == "--malform-rate") {
-            options.malformRate = std::strtod(value().c_str(), nullptr);
-        } else if (arg == "--fault-rate") {
-            options.faultRate = std::strtod(value().c_str(), nullptr);
-        } else if (arg == "--jobs") {
-            options.jobs = static_cast<unsigned>(
-                std::strtoul(value().c_str(), nullptr, 0));
-        } else if (arg == "--dump") {
-            options.dumpFailures = true;
-        } else {
-            std::fprintf(stderr,
-                         "usage: verify_fuzz [--seed N] "
-                         "[--programs N] [--max-ops N] "
-                         "[--malform-rate F] [--fault-rate F] "
-                         "[--jobs N]\n");
-            return arg == "--help" || arg == "-h" ? 0 : 2;
-        }
-    }
+    Cli cli("verify_fuzz");
+    cli.value("--seed", "N", "campaign RNG seed",
+              [&](const std::string &v) { options.seed = toU64(v); })
+        .value("--programs", "N", "generated programs",
+               [&](const std::string &v) {
+                   options.programs = toU64(v);
+               })
+        .value("--max-ops", "N", "max operations per program",
+               [&](const std::string &v) {
+                   options.maxOps = toU64(v);
+               })
+        .value("--malform-rate", "F",
+               "fraction of programs given a malformation",
+               [&](const std::string &v) {
+                   options.malformRate = toF64(v);
+               })
+        .value("--fault-rate", "F",
+               "fraction of programs given a hardware-fault gadget",
+               [&](const std::string &v) {
+                   options.faultRate = toF64(v);
+               })
+        .value("--jobs", "N",
+               "parallel checks (0 = hardware concurrency); results "
+               "are bit-identical to --jobs 1",
+               [&](const std::string &v) {
+                   options.jobs = toUnsigned(v);
+               })
+        .toggle("--dump", "dump every contract-breaking program",
+                [&] { options.dumpFailures = true; });
+    cli.parse(argc, argv);
 
     const FuzzReport report = runVerifyFuzz(options);
     std::fputs(report.describe().c_str(), stdout);

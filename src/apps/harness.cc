@@ -18,10 +18,12 @@ WorkloadHarness::WorkloadHarness(AppId app, Config cfg, RunSpec spec,
                                  const SimParams &sim_params)
     : appId_(app), cfg_(cfg), spec_(spec)
 {
-    ede_assert(sim_params.core.ede == configEnforceMode(cfg),
-               "SimParams enforcement mode must match the "
-               "configuration");
-    system_ = std::make_unique<System>(cfg, sim_params);
+    // The unified SimConfig front end validates the full parameter
+    // set -- including that the enforcement mode matches the Table
+    // III configuration -- before anything is built.
+    system_ = std::make_unique<System>(
+        SimConfig::paper(cfg).withCore(sim_params.core)
+            .withMem(sim_params.mem));
 
     // The log rotates through a region sized for one transaction's
     // worst case, mirroring PMDK's per-lane ulogs, which are reused

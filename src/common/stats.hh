@@ -45,6 +45,25 @@ class Histogram
         ++total_;
     }
 
+    /**
+     * Record @p weight observations of @p value at once.  Identical
+     * to calling sample(value) @p weight times; the skip-ahead cycle
+     * loop uses this to replay the issue-width-0 samples of cycles it
+     * jumped over.
+     */
+    void
+    sample(std::uint64_t value, std::uint64_t weight)
+    {
+        if (buckets_.empty() || weight == 0)
+            return;
+        if (value >= buckets_.size()) {
+            saturated_ += weight;
+            value = buckets_.size() - 1;
+        }
+        buckets_[value] += weight;
+        total_ += weight;
+    }
+
     /** Raw count in bucket @p i. */
     std::uint64_t count(std::size_t i) const { return buckets_.at(i); }
 

@@ -31,8 +31,16 @@ namespace exp {
  * Cached-result schema/behaviour version.  Bump on any change to the
  * simulator's timing behaviour, the statistics it reports, or the
  * snapshot serialization in result_cache.cc.
+ *
+ * v3: skip-ahead scheduler landed (cycle counts are bit-identical to
+ * the reference loop by construction, but stale v2 snapshots predate
+ * the differential harness) and BENCH_*.json artifacts gained the
+ * per-cell "host_perf" object.  The ticking mode and the host-side
+ * profile are deliberately NOT part of the fingerprint: they must not
+ * affect simulated results, and caching host wall-clock times would
+ * break the racing-writers-produce-identical-bytes invariant.
  */
-inline constexpr std::uint32_t kResultSchemaVersion = 2;
+inline constexpr std::uint32_t kResultSchemaVersion = 3;
 
 /** FNV-1a over a stream of tagged fields. */
 class FingerprintHasher

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "exp/plan.hh"
+#include "exp/profile.hh"
 #include "sim/system.hh"
 
 namespace ede {
@@ -32,6 +33,13 @@ struct ExperimentCell
                          ///< measurement excludes pool setup).
     RunResult result;
     bool fromCache = false;  ///< Restored from the result cache.
+
+    /**
+     * Host-side performance of the simulation that produced this
+     * cell.  Never cached (host wall time is not content-addressable);
+     * all-zero when fromCache is set.
+     */
+    HostProfile profile;
 };
 
 /** A plan's cells, in plan order, with keyed lookup. */

@@ -306,7 +306,9 @@ ResultCache::store(const ExperimentCell &cell) const
     const std::string path = pathFor(cell.fingerprint);
     // Unique temp name per thread so parallel jobs never collide;
     // the final rename is atomic, and racing writers of the same
-    // fingerprint produce identical bytes.
+    // fingerprint produce identical bytes.  The cell's HostProfile is
+    // deliberately not serialized: host wall time varies run to run
+    // (and between ticking modes), which would break that invariant.
     std::ostringstream tmp_name;
     tmp_name << path << ".tmp."
              << std::hash<std::thread::id>{}(std::this_thread::get_id());

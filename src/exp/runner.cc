@@ -39,6 +39,7 @@ runPlan(const ExperimentPlan &plan, const RunnerOptions &options)
             cell.fingerprint = fp;
             cell.opCycles = h.opPhaseCycles();
             cell.result = h.system().result();
+            cell.profile = h.system().profile();
             if (cache)
                 cache->store(cell);
             return cell;

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "exp/fingerprint.hh"
+#include "exp/profile.hh"
 
 namespace ede {
 namespace exp {
@@ -90,7 +91,11 @@ emitCell(std::ostream &os, const ExperimentCell &c)
        << ", \"l2_misses\": " << r.l2.misses << ", \"l3_misses\": "
        << r.l3.misses << "},\n";
     os << "      \"dram\": {\"reads\": " << r.dram.reads
-       << ", \"writes\": " << r.dram.writes << "}\n";
+       << ", \"writes\": " << r.dram.writes << "},\n";
+    // Host-side measurement of the simulation itself; all-zero for
+    // cache-restored cells (host wall time is never cached).
+    os << "      \"host_perf\": " << profileToJson(c.profile, "      ")
+       << "\n";
     os << "    }";
 }
 

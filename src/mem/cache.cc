@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace ede {
@@ -286,6 +288,20 @@ Cache::idle() const
         if (m.valid)
             return false;
     return true;
+}
+
+Cycle
+Cache::nextEventCycle(Cycle now) const
+{
+    // Queued input and refused-retry work is reattempted every cycle,
+    // and each attempt may mutate state below (including any
+    // fault-injection hook's), so a tick with either queue non-empty
+    // must actually execute.
+    if (!inputQ_.empty() || !retryQ_.empty())
+        return now;
+    if (!respQ_.empty())
+        return std::max(now, respQ_.top().due);
+    return kNoCycle;
 }
 
 } // namespace ede

@@ -93,6 +93,15 @@ class Cache : public MemSink
     /** True when no request is in flight anywhere in this cache. */
     bool idle() const;
 
+    /**
+     * Skip-ahead hint: the earliest cycle >= @p now at which tick()
+     * might change any state (deliver a response, retry a refused
+     * request, process queued input).  kNoCycle when this cache is
+     * guaranteed inert until new work arrives from outside.  Hints
+     * may be conservatively early, never late (DESIGN.md section 10).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Statistics. */
     const CacheStats &stats() const { return stats_; }
 

@@ -97,4 +97,18 @@ MemController::idle() const
            retryQ_.empty();
 }
 
+Cycle
+MemController::nextEventCycle(Cycle now) const
+{
+    Cycle next = std::min(dram_.nextEventCycle(now),
+                          nvm_.nextEventCycle(now));
+    if (!immediate_.empty())
+        next = std::min(next, now);
+    // Retry attempts mutate the backoff schedule (and may consult a
+    // fault-injection hook), so every attempt cycle must execute.
+    if (!retryQ_.empty())
+        next = std::min(next, std::max(now, nextRetry_));
+    return next;
+}
+
 } // namespace ede

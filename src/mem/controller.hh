@@ -48,6 +48,12 @@ class MemController : public MemSink
     /** True when both devices are drained. */
     bool idle() const;
 
+    /**
+     * Skip-ahead hint: the minimum of the device hints, the pending
+     * immediate responses, and the retry-queue backoff deadline.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Device access for stats and hooks. */
     NvmDevice &nvm() { return nvm_; }
     const NvmDevice &nvm() const { return nvm_; }

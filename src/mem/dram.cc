@@ -89,4 +89,21 @@ DramDevice::idle() const
     return queue_.empty() && completions_.empty();
 }
 
+Cycle
+DramDevice::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNoCycle;
+    if (!completions_.empty())
+        next = std::min(next, std::max(now, completions_.top().due));
+    // A queued request issues once its bank and the data bus are both
+    // free; tick() picks the first such request in FCFS order, so the
+    // earliest ready time over the queue bounds the next issue.
+    for (const MemReq &req : queue_) {
+        const Bank &bank = banks_[bankIndex(req.addr)];
+        const Cycle ready = std::max(bank.busyUntil, busBusyUntil_);
+        next = std::min(next, std::max(now, ready));
+    }
+    return next;
+}
+
 } // namespace ede

@@ -58,6 +58,13 @@ class DramDevice
     /** True when nothing is queued or in flight. */
     bool idle() const;
 
+    /**
+     * Skip-ahead hint: earliest cycle >= @p now at which tick() might
+     * complete a pending access or issue a queued request (a bank and
+     * the bus become free).  kNoCycle when fully drained.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     const DramStats &stats() const { return stats_; }
 
   private:

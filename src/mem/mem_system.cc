@@ -1,5 +1,7 @@
 #include "mem/mem_system.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace ede {
@@ -88,6 +90,18 @@ bool
 MemSystem::idle() const
 {
     return ctrl_->idle() && l3_->idle() && l2_->idle() && l1d_->idle();
+}
+
+Cycle
+MemSystem::nextEventCycle(Cycle now) const
+{
+    // An unconsumed completion means the core acts on it next poll.
+    if (!done_.empty())
+        return now;
+    return std::min(std::min(l1d_->nextEventCycle(now),
+                             l2_->nextEventCycle(now)),
+                    std::min(l3_->nextEventCycle(now),
+                             ctrl_->nextEventCycle(now)));
 }
 
 } // namespace ede

@@ -65,6 +65,16 @@ class MemSystem
     /** True when every component is drained. */
     bool idle() const;
 
+    /**
+     * Skip-ahead hint: earliest cycle >= @p now at which any level of
+     * the hierarchy might change state.  kNoCycle when the whole
+     * hierarchy is inert until the core sends a new request.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Unconsumed completions (skip-ahead safety check). */
+    bool hasPendingDone() const { return !done_.empty(); }
+
     /** @name Component access (stats, hooks, tests). */
     /// @{
     Cache &l1d() { return *l1d_; }

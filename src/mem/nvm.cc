@@ -157,4 +157,35 @@ NvmDevice::idle() const
     return slots_.empty() && readQ_.empty() && completions_.empty();
 }
 
+Cycle
+NvmDevice::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNoCycle;
+    if (!completions_.empty())
+        next = std::min(next, std::max(now, completions_.top().due));
+    if (!readQ_.empty()) {
+        // The queue head waits for a media read port; a buffer hit
+        // can only appear through a new write accept, which is core
+        // activity that ends any skip window on its own.
+        const Cycle port = *std::min_element(readPortFree_.begin(),
+                                             readPortFree_.end());
+        next = std::min(next, std::max(now, port));
+    }
+    bool launchable = false;
+    std::uint32_t busy = 0;
+    for (const Slot &s : slots_) {
+        if (s.writing) {
+            ++busy;
+            next = std::min(next, std::max(now, s.writeDone));
+        } else {
+            launchable = true;
+        }
+    }
+    // Writer slots free only at a writeDone (covered above), but be
+    // defensive: a launchable slot with a free writer acts this cycle.
+    if (launchable && busy < params_.mediaWriters)
+        next = std::min(next, now);
+    return next;
+}
+
 } // namespace ede

@@ -104,6 +104,13 @@ class NvmDevice
     /** True when nothing is pending (buffer drained). */
     bool idle() const;
 
+    /**
+     * Skip-ahead hint: earliest cycle >= @p now at which tick() might
+     * deliver a completion, serve a queued read, or finish/launch a
+     * media write.  kNoCycle when fully drained.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Current number of pending writes in the on-DIMM buffer. */
     std::size_t bufferOccupancy() const { return slots_.size(); }
 

@@ -1,15 +1,44 @@
 #include "pipeline/core.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <limits>
+#include <string_view>
 
 #include "common/logging.hh"
 
 namespace ede {
 
+const char *
+tickingModeName(TickingMode mode)
+{
+    switch (mode) {
+      case TickingMode::Auto:      return "auto";
+      case TickingMode::SkipAhead: return "skip-ahead";
+      case TickingMode::Reference: return "reference";
+    }
+    return "?";
+}
+
+TickingMode
+resolveTickingMode(TickingMode mode)
+{
+    if (mode != TickingMode::Auto)
+        return mode;
+    // Read once: flipping the env var mid-process must not leave two
+    // cores of one comparison run in different modes by accident.
+    static const bool reference = [] {
+        const char *v = std::getenv("EDE_REFERENCE_TICKING");
+        return v && *v && std::string_view(v) != "0";
+    }();
+    return reference ? TickingMode::Reference : TickingMode::SkipAhead;
+}
+
 OoOCore::OoOCore(CoreParams params, MemSystem &mem)
     : params_(params), mem_(mem), predictor_(params.predictorEntries)
 {
+    ticking_ = resolveTickingMode(params_.ticking);
     regMap_.fill(kNoSeq);
     wb_ = std::make_unique<WriteBuffer>(
         params_.wbSize, params_.wbDrainPerCycle,
@@ -89,6 +118,7 @@ OoOCore::completeSeq(SeqNum seq, const StaticInst &si,
                      std::size_t trace_idx, Cycle now)
 {
     lastProgressCycle_ = now;
+    progress_ = true;
     incomplete_.erase(seq);
     if (opIsStore(si.op))
         incompleteStores_.erase(seq);
@@ -140,10 +170,12 @@ OoOCore::pollLoads(Cycle now)
         }
     }
     for (auto it = orphanReqs_.begin(); it != orphanReqs_.end();) {
-        if (mem_.consumeDone(*it))
+        if (mem_.consumeDone(*it)) {
             it = orphanReqs_.erase(it);
-        else
+            progress_ = true; // May unblock finished().
+        } else {
             ++it;
+        }
     }
 }
 
@@ -153,6 +185,10 @@ OoOCore::execWriteback(Cycle now)
     while (!pendingExec_.empty() && pendingExec_.top().due <= now) {
         const SeqNum seq = pendingExec_.top().seq;
         pendingExec_.pop();
+        // Any pop is state-changing -- including a stale (squashed)
+        // event and the store/cvap agen path, which mutate pipeline
+        // state without going through completeSeq.
+        progress_ = true;
         InflightInst *in = find(seq);
         if (!in)
             continue; // Squashed after the event was scheduled.
@@ -280,6 +316,7 @@ OoOCore::retire(Cycle now)
         h.retireCycle = now;
         ++stats_.retired;
         lastProgressCycle_ = now;
+        progress_ = true;
         if (op == Op::Ldr && !lq_.empty() && lq_.front() == h.seq)
             lq_.pop_front();
         if ((opIsStore(op) || opIsCvap(op)) && !sq_.empty() &&
@@ -396,6 +433,7 @@ OoOCore::issue(Cycle now)
             ++issued;
             ++stats_.issuedOps;
             removed_any = true;
+            progress_ = true;
         }
     }
 
@@ -455,6 +493,7 @@ OoOCore::dispatch(Cycle now)
         index_.emplace(in.seq, &in);
         ++fetchIdx_;
         ++stats_.dispatched;
+        progress_ = true;
 
         const StaticInst &si = di.si;
 
@@ -589,6 +628,7 @@ void
 OoOCore::squash(InflightInst &branch, Cycle now)
 {
     ++stats_.squashes;
+    progress_ = true;
     const SeqNum bseq = branch.seq;
     const std::size_t redirect = branch.traceIdx + 1;
 
@@ -944,8 +984,10 @@ OoOCore::applyEdkDegrade(const EdkStallAnalysis &a, Cycle now)
     if (cleared) {
         ++stats_.edkFencesSynthesized;
         // Releasing the gate is forward progress; the watchdog and
-        // the analyzer both re-arm.
+        // the analyzer both re-arm.  Flagging progress also keeps the
+        // skip-ahead loop from jumping past the newly eligible work.
         lastProgressCycle_ = now;
+        progress_ = true;
         ede_warn("EDK degrade: unresolvable dependence on seq ",
                  a.release, " converted to fence semantics at cycle ",
                  now);
@@ -1039,15 +1081,110 @@ OoOCore::finished() const
 void
 OoOCore::tickOnce(Cycle now)
 {
-    mem_.tick(now);
-    pollLoads(now);
-    execWriteback(now);
-    wb_->tick(now);
-    checkDmbCompletion(now);
-    checkDsbCompletion(now);
-    retire(now);
-    issue(now);
-    dispatch(now);
+    {
+        PhaseTimer t(profile_, &HostProfile::memNanos);
+        mem_.tick(now);
+        pollLoads(now);
+    }
+    {
+        PhaseTimer t(profile_, &HostProfile::wbNanos);
+        execWriteback(now);
+        wb_->tick(now);
+        checkDmbCompletion(now);
+        checkDsbCompletion(now);
+        retire(now);
+    }
+    {
+        PhaseTimer t(profile_, &HostProfile::issueNanos);
+        issue(now);
+    }
+    {
+        PhaseTimer t(profile_, &HostProfile::fetchNanos);
+        dispatch(now);
+    }
+}
+
+bool
+OoOCore::runChecks(Cycle now)
+{
+    // Runtime EDK stall analyzer: much tighter than the watchdog,
+    // so an unresolvable dependence is reported (or degraded to
+    // fence semantics) within one edkStallCycles window instead
+    // of after the full watchdog wait.
+    if (params_.ede != EnforceMode::None &&
+        now - lastProgressCycle_ > params_.edkStallCycles &&
+        now >= lastEdkCheckCycle_ + params_.edkStallCycles) {
+        lastEdkCheckCycle_ = now;
+        ++stats_.edkStallChecks;
+        const EdkStallAnalysis a = analyzeEdkStall();
+        if (a.cls == EdkStallClass::Stuck) {
+            ++stats_.edkStuckDetected;
+            if (params_.edkRecoveryMode == EdkRecoveryMode::Degrade) {
+                applyEdkDegrade(a, now);
+            } else {
+                simError_ = buildSimError(
+                    SimErrorKind::EdkDependenceCycle, now);
+                simError_.edkChain = a.chain;
+                return true;
+            }
+        } else if (a.cls == EdkStallClass::External) {
+            ++stats_.edkExternalStalls;
+        }
+    }
+    // No panic on a wedged pipeline: the watchdog (and, as a hard
+    // backstop, maxCycles) stops the run and leaves a structured
+    // diagnostic in simError_ for the caller to report.
+    if (now - lastProgressCycle_ > params_.watchdogCycles) {
+        simError_ =
+            buildSimError(SimErrorKind::WatchdogNoProgress, now);
+        return true;
+    }
+    if (now > params_.maxCycles) {
+        simError_ =
+            buildSimError(SimErrorKind::MaxCyclesExceeded, now);
+        return true;
+    }
+    return false;
+}
+
+Cycle
+OoOCore::skipTarget(Cycle now) const
+{
+    // Component hints.  Every hint is conservative-early: a component
+    // may advertise a cycle at which nothing happens after all, but
+    // must never become actionable *before* its hint (DESIGN.md
+    // section 10).  kNoCycle means "no intrinsic event".
+    Cycle target = std::min(mem_.nextEventCycle(now),
+                            wb_->nextEventCycle(now));
+
+    // Core-scheduled execution writebacks.
+    if (!pendingExec_.empty())
+        target = std::min(target, std::max(now, pendingExec_.top().due));
+
+    // The fetch redirect after a squash.  The tick just executed ran
+    // at cycle now-1, so dispatch was redirect-gated iff
+    // fetchResumeAt_ >= now -- and the gate lifts at fetchResumeAt_
+    // itself (== now means the very next tick dispatches: no skip).
+    // When fetchResumeAt_ < now the frontend was not gated and
+    // dispatch stalled structurally, which only core progress can
+    // clear, so the window is uniform and needs no hint.
+    if (fetchIdx_ < trace_->size() && fetchResumeAt_ >= now)
+        target = std::min(target, fetchResumeAt_);
+
+    // The run-loop checks are cycle-count triggered, not event
+    // triggered: jump exactly onto each one's first firing cycle so
+    // analyzer invocations, degrade releases and watchdog aborts land
+    // on the same cycle as under reference ticking.
+    if (params_.ede != EnforceMode::None) {
+        const Cycle edk_fire =
+            std::max(lastProgressCycle_ + params_.edkStallCycles + 1,
+                     lastEdkCheckCycle_ + params_.edkStallCycles);
+        target = std::min(target, std::max(now, edk_fire));
+    }
+    target = std::min(target,
+                      lastProgressCycle_ + params_.watchdogCycles + 1);
+    target = std::min(target, params_.maxCycles + 1);
+    return target;
 }
 
 Cycle
@@ -1058,52 +1195,99 @@ OoOCore::run(const Trace &trace)
     trace_ = &trace;
     if (recordCompletions_)
         completionCycles_.assign(trace.size(), kNoCycle);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const bool skip = ticking_ == TickingMode::SkipAhead;
 
     Cycle now = 0;
     lastProgressCycle_ = 0;
+    // Failed-attempt backoff: when a dead tick's skipTarget comes
+    // back <= now (some queue is mid-drain and hints "ready"), the
+    // full component walk was wasted.  Retrying it every dead cycle
+    // can cost more than the ticks it saves, so back off
+    // exponentially (capped) until a skip lands or progress resumes.
+    // Purely a host-time heuristic: the extra dead cycles are ticked
+    // normally, so simulated results are unaffected.
+    Cycle nextAttempt = 0;
+    Cycle backoff = 1;
     while (!finished()) {
+        progress_ = false;
+        // Snapshot the dead-tick counter set: when the tick below
+        // makes no progress, these are the only statistics it may
+        // have bumped, and every skipped cycle would bump them by
+        // exactly the same amounts.
+        const std::uint64_t pre_rob = stats_.dispatchStallRob;
+        const std::uint64_t pre_iq = stats_.dispatchStallIq;
+        const std::uint64_t pre_lsq = stats_.dispatchStallLsq;
+        const std::uint64_t pre_wbfull = stats_.retireStallWbFull;
+        const WriteBufferStats pre_wb = wb_->stats();
+
         tickOnce(now);
         ++now;
-        // Runtime EDK stall analyzer: much tighter than the watchdog,
-        // so an unresolvable dependence is reported (or degraded to
-        // fence semantics) within one edkStallCycles window instead
-        // of after the full watchdog wait.
-        if (params_.ede != EnforceMode::None &&
-            now - lastProgressCycle_ > params_.edkStallCycles &&
-            now >= lastEdkCheckCycle_ + params_.edkStallCycles) {
-            lastEdkCheckCycle_ = now;
-            ++stats_.edkStallChecks;
-            const EdkStallAnalysis a = analyzeEdkStall();
-            if (a.cls == EdkStallClass::Stuck) {
-                ++stats_.edkStuckDetected;
-                if (params_.edkRecoveryMode ==
-                        EdkRecoveryMode::Degrade) {
-                    applyEdkDegrade(a, now);
-                } else {
-                    simError_ = buildSimError(
-                        SimErrorKind::EdkDependenceCycle, now);
-                    simError_.edkChain = a.chain;
-                    break;
-                }
-            } else if (a.cls == EdkStallClass::External) {
-                ++stats_.edkExternalStalls;
-            }
-        }
-        // No panic on a wedged pipeline: the watchdog (and, as a hard
-        // backstop, maxCycles) stops the run and leaves a structured
-        // diagnostic in simError_ for the caller to report.
-        if (now - lastProgressCycle_ > params_.watchdogCycles) {
-            simError_ =
-                buildSimError(SimErrorKind::WatchdogNoProgress, now);
+        if (profile_)
+            ++profile_->hostTicks;
+        if (runChecks(now))
             break;
+        if (!skip || progress_ ||
+            wb_->stats().pushes != pre_wb.pushes ||
+            wb_->stats().memRejected != pre_wb.memRejected) {
+            nextAttempt = 0;
+            backoff = 1;
+            continue;
         }
-        if (now > params_.maxCycles) {
-            simError_ =
-                buildSimError(SimErrorKind::MaxCyclesExceeded, now);
+        if (now < nextAttempt)
+            continue;
+
+        // Dead tick: nothing dispatched, issued, executed, completed
+        // or retired, and the write buffer started nothing.  Every
+        // cycle until the earliest advertised event is an identical
+        // no-op -- jump there, replaying the stall counters the
+        // skipped ticks would have accumulated.
+        Cycle target;
+        {
+            PhaseTimer timer(profile_, &HostProfile::skipNanos);
+            if (profile_)
+                ++profile_->skipAttempts;
+            target = skipTarget(now);
+        }
+        if (target <= now) {
+            nextAttempt = now + backoff;
+            backoff = std::min<Cycle>(backoff * 2, 16);
+            continue;
+        }
+        nextAttempt = 0;
+        backoff = 1;
+        const Cycle skipped = target - now;
+        stats_.dispatchStallRob +=
+            (stats_.dispatchStallRob - pre_rob) * skipped;
+        stats_.dispatchStallIq +=
+            (stats_.dispatchStallIq - pre_iq) * skipped;
+        stats_.dispatchStallLsq +=
+            (stats_.dispatchStallLsq - pre_lsq) * skipped;
+        stats_.retireStallWbFull +=
+            (stats_.retireStallWbFull - pre_wbfull) * skipped;
+        wb_->replayGateStalls(
+            (wb_->stats().srcIdGated - pre_wb.srcIdGated) * skipped,
+            (wb_->stats().lineGated - pre_wb.lineGated) * skipped,
+            (wb_->stats().dmbGated - pre_wb.dmbGated) * skipped);
+        stats_.issueHist.sample(0, skipped); // issue() saw 0 each tick.
+        now = target;
+        if (profile_) {
+            ++profile_->skipJumps;
+            profile_->cyclesSkipped += skipped;
+        }
+        // The landing cycle may be a check firing cycle.
+        if (runChecks(now))
             break;
-        }
     }
     stats_.cycles = now;
+    if (profile_) {
+        profile_->cyclesSimulated = now;
+        profile_->referenceTicking = !skip;
+        profile_->wallNanos += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count());
+    }
     return now;
 }
 

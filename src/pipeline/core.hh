@@ -47,6 +47,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/edm.hh"
+#include "exp/profile.hh"
 #include "core/wait_counters.hh"
 #include "mem/memory_image.hh"
 #include "mem/mem_system.hh"
@@ -146,6 +147,16 @@ class OoOCore
 
     const CoreStats &stats() const { return stats_; }
 
+    /**
+     * Attach a host-perf profile; run() fills wall-clock phase
+     * timers and skip counters into it.  Host-side only: attaching a
+     * profile never changes simulated behaviour.
+     */
+    void setProfile(HostProfile *profile) { profile_ = profile; }
+
+    /** The concrete (Auto-resolved) ticking mode this core runs. */
+    TickingMode ticking() const { return ticking_; }
+
     /** Write buffer statistics. */
     const WriteBufferStats &wbStats() const { return wb_->stats(); }
 
@@ -178,6 +189,23 @@ class OoOCore
     };
 
     void tickOnce(Cycle now);
+
+    /**
+     * The per-cycle run-loop checks (EDK stall analyzer, progress
+     * watchdog, maxCycles backstop), shared verbatim by both ticking
+     * modes.  @return true when the run must stop (simError_ set).
+     */
+    bool runChecks(Cycle now);
+
+    /**
+     * Skip-ahead: the earliest cycle > @p now at which anything can
+     * happen -- the minimum over every component's nextEventCycle
+     * hint, the core's own timed events (execution writebacks, the
+     * fetch-redirect resume), and the exact next firing cycles of the
+     * run-loop checks.  Only meaningful right after a dead tick.
+     */
+    Cycle skipTarget(Cycle now) const;
+
     void pollLoads(Cycle now);
     void execWriteback(Cycle now);
     void checkDsbCompletion(Cycle now);
@@ -275,6 +303,11 @@ class OoOCore
     bool ran_ = false;
     Cycle lastProgressCycle_ = 0;
     Cycle lastEdkCheckCycle_ = 0;
+    /** Concrete loop strategy (CoreParams::ticking, Auto resolved). */
+    TickingMode ticking_ = TickingMode::SkipAhead;
+    /** Set by any state-changing pipeline action during tickOnce. */
+    bool progress_ = false;
+    HostProfile *profile_ = nullptr;
     SimError simError_;
     /** traceIdx -> forged edeSrc offset (fault-injection seam). */
     std::unordered_map<std::size_t, SeqNum> edeSrcOverrides_;

@@ -19,6 +19,33 @@ namespace ede {
  * EDM/srcID links, or a link to an instruction that no longer
  * exists).
  */
+/**
+ * How OoOCore::run advances simulated time.
+ *
+ * Both modes produce bit-identical cycle counts and CoreStats; the
+ * skip-ahead scheduler only jumps over cycles that are provably
+ * no-ops (see DESIGN.md section 10).  Because the results are
+ * identical, the mode is deliberately excluded from the result-cache
+ * fingerprint.
+ */
+enum class TickingMode
+{
+    /** Resolve at core construction: Reference when the
+     *  EDE_REFERENCE_TICKING environment variable is set and
+     *  non-empty (and not "0"), SkipAhead otherwise. */
+    Auto,
+    /** Event-driven: jump dead windows to the next component hint. */
+    SkipAhead,
+    /** The original tickOnce-per-cycle loop (differential oracle). */
+    Reference,
+};
+
+/** Short stable name ("skip-ahead" / "reference"). */
+const char *tickingModeName(TickingMode mode);
+
+/** Map Auto to the environment-selected concrete mode. */
+TickingMode resolveTickingMode(TickingMode mode);
+
 enum class EdkRecoveryMode
 {
     /** Stop the run with a structured EdkDependenceCycle SimError. */
@@ -109,6 +136,13 @@ struct CoreParams
 
     /** Response to an unresolvable EDK dependence (see enum). */
     EdkRecoveryMode edkRecoveryMode = EdkRecoveryMode::Report;
+
+    /**
+     * Cycle-loop strategy.  Results are identical in both concrete
+     * modes; this knob exists for differential testing and host-perf
+     * measurement, and is NOT part of the result-cache fingerprint.
+     */
+    TickingMode ticking = TickingMode::Auto;
 };
 
 } // namespace ede

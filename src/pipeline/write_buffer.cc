@@ -159,6 +159,29 @@ WriteBuffer::tick(Cycle now)
     }
 }
 
+Cycle
+WriteBuffer::nextEventCycle(Cycle now) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const WbEntry &e = entries_[i];
+        if (e.si.op == Op::Join) {
+            if (e.srcId == kNoSeq && e.srcId2 == kNoSeq)
+                return now; // Completes next tick.
+            continue;
+        }
+        if (e.pushing)
+            continue; // Completion arrives through the memory hint.
+        if (e.srcId != kNoSeq || e.srcId2 != kNoSeq)
+            continue; // Cleared only by a producer completing.
+        if (lineConflictBefore(i))
+            continue; // Cleared only by an older entry completing.
+        if (e.dmbBarrier != kNoSeq && dmbBlocked_(e.dmbBarrier))
+            continue; // Cleared only by older stores completing.
+        return now;   // Push-eligible: the next tick acts on it.
+    }
+    return kNoCycle;
+}
+
 bool
 WriteBuffer::appendLineBlockers(SeqNum seq,
                                 std::vector<SeqNum> &out) const

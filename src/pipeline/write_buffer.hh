@@ -112,7 +112,34 @@ class WriteBuffer
     std::pair<SeqNum, bool> youngestOverlap(Addr addr,
                                             std::uint8_t size) const;
 
+    /**
+     * Skip-ahead hint: @p now when some entry is ready to act next
+     * tick (a push-eligible entry, or a JOIN with both tags cleared);
+     * kNoCycle otherwise.  Every gate in this buffer clears through
+     * an instruction completing -- core progress that ends any skip
+     * window by itself -- so a gated buffer advertises no intrinsic
+     * event; the gating stall counters of the cycles skipped over are
+     * replayed by the core (see OoOCore::run).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     const WriteBufferStats &stats() const { return stats_; }
+
+    /**
+     * Skip-ahead stat replay: account the gating stalls the buffer
+     * would have counted on each of the skipped dead cycles.  The
+     * core measures one dead tick's deltas and multiplies (the buffer
+     * is untouched across the window, so every skipped tick would
+     * have counted exactly the same stalls).
+     */
+    void
+    replayGateStalls(std::uint64_t src_id, std::uint64_t line,
+                     std::uint64_t dmb)
+    {
+        stats_.srcIdGated += src_id;
+        stats_.lineGated += line;
+        stats_.dmbGated += dmb;
+    }
 
     /** Oldest-first contents (watchdog diagnostics). */
     const std::deque<WbEntry> &entries() const { return entries_; }

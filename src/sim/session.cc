@@ -1,0 +1,26 @@
+#include "sim/session.hh"
+
+#include "common/logging.hh"
+
+namespace ede {
+
+Session::Session(const SimConfig &config)
+    : config_(config), system_(config)
+{
+}
+
+SimResult
+Session::run(const Trace &trace)
+{
+    ede_assert(!ran_, "Session::run is single-shot; build a new "
+               "Session");
+    ran_ = true;
+    system_.run(trace);
+    SimResult r;
+    r.stats = system_.result();
+    r.error = system_.core().simError();
+    r.profile = system_.profile();
+    return r;
+}
+
+} // namespace ede

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Session: one validated simulation from configuration to result.
+ *
+ * OoOCore::run is deliberately single-shot (warm predictor/EDM state
+ * must never leak between runs), which used to leave every caller
+ * hand-assembling MemSystem + OoOCore + images and separately
+ * remembering to check simError() before trusting the cycle count.
+ * Session packages that contract:
+ *
+ *   Session s(SimConfig::paper(Config::WB));
+ *   SimResult r = s.run(trace);
+ *   if (!r.ok()) ...            // structured SimError
+ *   use(r.cycles(), r.stats, r.profile);
+ *
+ * The configuration is validated up front -- error diagnostics stop
+ * construction with the full report, instead of a component assert
+ * firing somewhere inside the build.
+ */
+
+#ifndef EDE_SIM_SESSION_HH
+#define EDE_SIM_SESSION_HH
+
+#include "exp/profile.hh"
+#include "sim/sim_config.hh"
+#include "sim/system.hh"
+
+namespace ede {
+
+/** Everything one simulation produced. */
+struct SimResult
+{
+    RunResult stats;      ///< Statistics snapshot (cycles, counters).
+    SimError error;       ///< kind == None after a clean run.
+    HostProfile profile;  ///< Host-side wall-clock / skip counters.
+
+    /** True when the run finished without a structured error. */
+    bool ok() const { return error.kind == SimErrorKind::None; }
+
+    Cycle cycles() const { return stats.cycles; }
+};
+
+/** A single-shot simulation session over a validated SimConfig. */
+class Session
+{
+  public:
+    /** Validates @p config; error diagnostics are fatal here. */
+    explicit Session(const SimConfig &config);
+
+    /**
+     * Run @p trace to completion.  Single-shot, like the core it
+     * wraps: build a fresh Session per run.
+     */
+    SimResult run(const Trace &trace);
+
+    /** True once run() has been called. */
+    bool ran() const { return ran_; }
+
+    /** @name Pre-run knobs and component access. */
+    /// @{
+    System &system() { return system_; }
+    const System &system() const { return system_; }
+    const SimConfig &config() const { return config_; }
+    /// @}
+
+  private:
+    SimConfig config_;
+    System system_;
+    bool ran_ = false;
+};
+
+} // namespace ede
+
+#endif // EDE_SIM_SESSION_HH

@@ -1,0 +1,210 @@
+#include "sim/sim_config.hh"
+
+#include <sstream>
+
+namespace ede {
+
+const char *
+simConfigCheckName(SimConfigCheck check)
+{
+    switch (check) {
+      case SimConfigCheck::NonPositiveWidth:
+        return "non-positive-width";
+      case SimConfigCheck::NonPositiveCapacity:
+        return "non-positive-capacity";
+      case SimConfigCheck::EnforceMismatch:
+        return "enforce-mismatch";
+      case SimConfigCheck::MemGeometryInvalid:
+        return "mem-geometry-invalid";
+      case SimConfigCheck::EmptyMemRegion:
+        return "empty-mem-region";
+      case SimConfigCheck::IssueWidthBeyondHistogram:
+        return "issue-width-beyond-histogram";
+      case SimConfigCheck::ZeroLatency:
+        return "zero-latency";
+      case SimConfigCheck::StallWindowAboveWatchdog:
+        return "stall-window-above-watchdog";
+      case SimConfigCheck::NumKinds:
+        break;
+    }
+    return "<bad-check>";
+}
+
+std::string
+SimConfigReport::describe() const
+{
+    std::ostringstream os;
+    for (const SimConfigDiagnostic &d : diagnostics) {
+        os << (d.severity == SimConfigSeverity::Error ? "error"
+                                                      : "warning")
+           << ' ' << simConfigCheckName(d.kind) << ' ' << d.field
+           << ": " << d.message << '\n';
+    }
+    return os.str();
+}
+
+namespace {
+
+void
+add(SimConfigReport &report, SimConfigCheck kind,
+    SimConfigSeverity severity, std::string field, std::string message)
+{
+    SimConfigDiagnostic d;
+    d.kind = kind;
+    d.severity = severity;
+    d.field = std::move(field);
+    d.message = std::move(message);
+    report.diagnostics.push_back(std::move(d));
+}
+
+void
+requirePositive(SimConfigReport &report, SimConfigCheck kind,
+                const char *field, long long value)
+{
+    if (value < 1) {
+        add(report, kind, SimConfigSeverity::Error, field,
+            "must be at least 1, got " + std::to_string(value));
+    }
+}
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+void
+checkCache(SimConfigReport &report, const char *prefix,
+           const CacheParams &c)
+{
+    const std::string p = prefix;
+    if (!isPow2(c.lineBytes)) {
+        add(report, SimConfigCheck::MemGeometryInvalid,
+            SimConfigSeverity::Error, p + ".lineBytes",
+            "line size must be a nonzero power of two, got " +
+                std::to_string(c.lineBytes));
+        return; // The set computation below would divide by zero.
+    }
+    if (c.assoc < 1 || c.sizeBytes < c.lineBytes * c.assoc ||
+        c.sizeBytes / (c.lineBytes * std::max<std::uint32_t>(c.assoc, 1))
+            == 0) {
+        add(report, SimConfigCheck::MemGeometryInvalid,
+            SimConfigSeverity::Error, p + ".sizeBytes",
+            "size/assoc/line geometry yields zero sets");
+    }
+    if (c.mshrs < 1) {
+        add(report, SimConfigCheck::MemGeometryInvalid,
+            SimConfigSeverity::Error, p + ".mshrs",
+            "need at least one MSHR");
+    }
+    if (c.ports < 1) {
+        add(report, SimConfigCheck::MemGeometryInvalid,
+            SimConfigSeverity::Error, p + ".ports",
+            "need at least one port");
+    }
+    if (c.inputQueue < 1) {
+        add(report, SimConfigCheck::MemGeometryInvalid,
+            SimConfigSeverity::Error, p + ".inputQueue",
+            "need at least one input-queue slot");
+    }
+}
+
+} // namespace
+
+SimConfigReport
+SimConfig::validate() const
+{
+    SimConfigReport report;
+    const auto width = SimConfigCheck::NonPositiveWidth;
+    const auto cap = SimConfigCheck::NonPositiveCapacity;
+
+    requirePositive(report, width, "core.fetchWidth", core_.fetchWidth);
+    requirePositive(report, width, "core.issueWidth", core_.issueWidth);
+    requirePositive(report, width, "core.retireWidth",
+                    core_.retireWidth);
+    requirePositive(report, width, "core.aluUnits", core_.aluUnits);
+    requirePositive(report, width, "core.mulUnits", core_.mulUnits);
+    requirePositive(report, width, "core.branchUnits",
+                    core_.branchUnits);
+    requirePositive(report, width, "core.loadUnits", core_.loadUnits);
+    requirePositive(report, width, "core.storeUnits", core_.storeUnits);
+    requirePositive(report, width, "core.wbDrainPerCycle",
+                    core_.wbDrainPerCycle);
+
+    requirePositive(report, cap, "core.robSize", core_.robSize);
+    requirePositive(report, cap, "core.iqSize", core_.iqSize);
+    requirePositive(report, cap, "core.lqSize", core_.lqSize);
+    requirePositive(report, cap, "core.sqSize", core_.sqSize);
+    requirePositive(report, cap, "core.wbSize", core_.wbSize);
+    requirePositive(report, cap, "core.predictorEntries",
+                    static_cast<long long>(core_.predictorEntries));
+
+    if (core_.ede != configEnforceMode(cfg_)) {
+        add(report, SimConfigCheck::EnforceMismatch,
+            SimConfigSeverity::Error, "core.ede",
+            "configuration " + std::string(configName(cfg_)) +
+                " requires a matching enforcement mode (see "
+                "configEnforceMode)");
+    }
+
+    checkCache(report, "mem.l1d", mem_.l1d);
+    checkCache(report, "mem.l2", mem_.l2);
+    checkCache(report, "mem.l3", mem_.l3);
+    if (mem_.dram.banks < 1 || mem_.dram.queueDepth < 1) {
+        add(report, SimConfigCheck::MemGeometryInvalid,
+            SimConfigSeverity::Error, "mem.dram",
+            "need at least one bank and one queue slot");
+    }
+    if (!isPow2(mem_.nvm.lineBytes)) {
+        add(report, SimConfigCheck::MemGeometryInvalid,
+            SimConfigSeverity::Error, "mem.nvm.lineBytes",
+            "media line size must be a nonzero power of two, got " +
+                std::to_string(mem_.nvm.lineBytes));
+    }
+    if (mem_.nvm.bufferSlots < 1 || mem_.nvm.mediaWriters < 1 ||
+        mem_.nvm.mediaReaders < 1 || mem_.nvm.readQueueDepth < 1) {
+        add(report, SimConfigCheck::MemGeometryInvalid,
+            SimConfigSeverity::Error, "mem.nvm",
+            "need at least one WPQ slot, writer, reader and "
+            "read-queue slot");
+    }
+    if (mem_.map.dramBytes == 0 || mem_.map.nvmBytes == 0) {
+        add(report, SimConfigCheck::EmptyMemRegion,
+            SimConfigSeverity::Error, "mem.map",
+            "both the DRAM and NVM regions must be non-empty");
+    }
+
+    if (core_.issueWidth > 8) {
+        add(report, SimConfigCheck::IssueWidthBeyondHistogram,
+            SimConfigSeverity::Warning, "core.issueWidth",
+            "the Fig. 11 issue histogram covers 0..8 issues per "
+            "cycle; width " + std::to_string(core_.issueWidth) +
+                " saturates its top bucket");
+    }
+    for (const auto &[field, lat] :
+         {std::pair<const char *, Cycle>{"core.aluLatency",
+                                         core_.aluLatency},
+          {"core.mulLatency", core_.mulLatency},
+          {"core.branchLatency", core_.branchLatency},
+          {"core.agenLatency", core_.agenLatency},
+          {"core.forwardLatency", core_.forwardLatency}}) {
+        if (lat == 0) {
+            add(report, SimConfigCheck::ZeroLatency,
+                SimConfigSeverity::Warning, field,
+                "zero-cycle latency; legal but likely a typo");
+        }
+    }
+    if (core_.ede != EnforceMode::None &&
+        core_.edkStallCycles >= core_.watchdogCycles) {
+        add(report, SimConfigCheck::StallWindowAboveWatchdog,
+            SimConfigSeverity::Warning, "core.edkStallCycles",
+            "stall-analyzer window (" +
+                std::to_string(core_.edkStallCycles) +
+                ") is not below watchdogCycles (" +
+                std::to_string(core_.watchdogCycles) +
+                "); the watchdog aborts before any analysis");
+    }
+    return report;
+}
+
+} // namespace ede

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The unified, validated simulation configuration.
+ *
+ * SimConfig is the single front door for building a simulated
+ * machine: it bundles the Table III configuration with the core and
+ * memory parameter structs, offers fluent overrides for ablations,
+ * and -- unlike handing raw parameter structs to constructors --
+ * can explain *what* is wrong with a configuration before any
+ * component asserts deep inside the build.
+ *
+ * validate() returns typed diagnostics in the style of the static
+ * EDK verifier (verify/diagnostics.hh): each broken invariant is a
+ * (kind, severity, field) triple tooling can assert on, not just a
+ * prose string.  System and Session refuse error-level diagnostics;
+ * warnings (an issue width the Fig. 11 histogram will saturate on, a
+ * stall-analyzer window at or above the watchdog) are advisory.
+ */
+
+#ifndef EDE_SIM_SIM_CONFIG_HH
+#define EDE_SIM_SIM_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace ede {
+
+/** Which configuration invariant a diagnostic reports. */
+enum class SimConfigCheck
+{
+    /** A pipeline width or functional-unit count below one. */
+    NonPositiveWidth,
+    /** A queue/buffer capacity below one entry. */
+    NonPositiveCapacity,
+    /** CoreParams::ede disagrees with the Table III configuration
+     *  (e.g. a WB machine asked to run the IQ enforcement). */
+    EnforceMismatch,
+    /** A cache/DRAM/NVM geometry the model cannot index: non-power-
+     *  of-two line size, a size/assoc pair yielding zero sets, a
+     *  zero-entry structure. */
+    MemGeometryInvalid,
+    /** The address map has a zero-byte DRAM or NVM region. */
+    EmptyMemRegion,
+    /** issueWidth exceeds the Fig. 11 histogram range (0..8); the
+     *  distribution will saturate its top bucket (warning). */
+    IssueWidthBeyondHistogram,
+    /** A zero operation latency; legal but almost always a typo
+     *  (warning). */
+    ZeroLatency,
+    /** edkStallCycles does not sit below watchdogCycles, so the
+     *  analyzer can never classify a stall before the watchdog
+     *  aborts the run (warning). */
+    StallWindowAboveWatchdog,
+
+    NumKinds,
+};
+
+constexpr std::size_t kNumSimConfigChecks =
+    static_cast<std::size_t>(SimConfigCheck::NumKinds);
+
+/** Short stable name, e.g. for JSON counters. */
+const char *simConfigCheckName(SimConfigCheck check);
+
+/** Diagnostic severity; only errors reject a configuration. */
+enum class SimConfigSeverity { Warning, Error };
+
+/** One validation finding, anchored at a parameter field. */
+struct SimConfigDiagnostic
+{
+    SimConfigCheck kind = SimConfigCheck::NumKinds;
+    SimConfigSeverity severity = SimConfigSeverity::Error;
+    std::string field;    ///< Dotted parameter path, e.g. "core.robSize".
+    std::string message;  ///< Human-readable detail.
+};
+
+/** Outcome of validating one SimConfig. */
+struct SimConfigReport
+{
+    std::vector<SimConfigDiagnostic> diagnostics;
+
+    /** True when no error-severity diagnostic was emitted. */
+    bool
+    accepted() const
+    {
+        for (const SimConfigDiagnostic &d : diagnostics) {
+            if (d.severity == SimConfigSeverity::Error)
+                return false;
+        }
+        return true;
+    }
+
+    /** The first error diagnostic (nullptr when accepted). */
+    const SimConfigDiagnostic *
+    firstError() const
+    {
+        for (const SimConfigDiagnostic &d : diagnostics) {
+            if (d.severity == SimConfigSeverity::Error)
+                return &d;
+        }
+        return nullptr;
+    }
+
+    /** Number of diagnostics of @p kind (any severity). */
+    std::size_t
+    countOf(SimConfigCheck kind) const
+    {
+        std::size_t n = 0;
+        for (const SimConfigDiagnostic &d : diagnostics)
+            n += d.kind == kind ? 1 : 0;
+        return n;
+    }
+
+    /** Render every diagnostic as "severity kind field: message". */
+    std::string describe() const;
+};
+
+/**
+ * The unified configuration, with fluent overrides.
+ *
+ *   System sys(SimConfig::paper(Config::WB));
+ *   Session s(SimConfig::paper(Config::B)
+ *                 .withWbSize(32)
+ *                 .withTicking(TickingMode::Reference));
+ */
+class SimConfig
+{
+  public:
+    /** Table I defaults for the baseline configuration. */
+    SimConfig() { syncEnforce(); }
+
+    /** The paper's preset for Table III configuration @p c. */
+    static SimConfig
+    paper(Config c)
+    {
+        SimConfig sc;
+        sc.cfg_ = c;
+        sc.syncEnforce();
+        return sc;
+    }
+
+    /** @name Fluent overrides (each returns *this). */
+    /// @{
+    SimConfig &
+    withConfig(Config c)
+    {
+        cfg_ = c;
+        syncEnforce();
+        return *this;
+    }
+
+    /** Replace the whole core parameter struct (ablation sweeps).
+     *  The enforcement mode is taken from @p p verbatim -- validate()
+     *  reports EnforceMismatch when it disagrees with the Table III
+     *  configuration. */
+    SimConfig &
+    withCore(const CoreParams &p)
+    {
+        core_ = p;
+        return *this;
+    }
+
+    SimConfig &
+    withMem(const MemSystemParams &p)
+    {
+        mem_ = p;
+        return *this;
+    }
+
+    SimConfig &
+    withTicking(TickingMode m)
+    {
+        core_.ticking = m;
+        return *this;
+    }
+
+    SimConfig &
+    withWbSize(int entries)
+    {
+        core_.wbSize = entries;
+        return *this;
+    }
+
+    SimConfig &
+    withEdkRecovery(EdkRecoveryMode m)
+    {
+        core_.edkRecoveryMode = m;
+        return *this;
+    }
+
+    SimConfig &
+    withEdkStallCycles(Cycle c)
+    {
+        core_.edkStallCycles = c;
+        return *this;
+    }
+
+    SimConfig &
+    withWatchdog(Cycle c)
+    {
+        core_.watchdogCycles = c;
+        return *this;
+    }
+    /// @}
+
+    /** @name Access. */
+    /// @{
+    Config config() const { return cfg_; }
+    const CoreParams &core() const { return core_; }
+    CoreParams &core() { return core_; }
+    const MemSystemParams &mem() const { return mem_; }
+    MemSystemParams &mem() { return mem_; }
+
+    /** The component-level parameter bundle System consumes. */
+    SimParams params() const { return SimParams{core_, mem_}; }
+    /// @}
+
+    /** Check every modelled invariant; never asserts. */
+    SimConfigReport validate() const;
+
+  private:
+    void syncEnforce() { core_.ede = configEnforceMode(cfg_); }
+
+    Config cfg_ = Config::B;
+    CoreParams core_;
+    MemSystemParams mem_;
+};
+
+} // namespace ede
+
+#endif // EDE_SIM_SIM_CONFIG_HH

@@ -1,12 +1,23 @@
 #include "sim/system.hh"
 
+#include "common/logging.hh"
+
 namespace ede {
 
-System::System(Config cfg) : System(cfg, makeParams(cfg)) {}
+System::System(Config cfg) : System(SimConfig::paper(cfg)) {}
 
 System::System(Config cfg, const SimParams &params)
-    : cfg_(cfg), params_(params)
+    : System(SimConfig::paper(cfg).withCore(params.core)
+                 .withMem(params.mem))
 {
+}
+
+System::System(const SimConfig &config)
+    : cfg_(config.config()), params_(config.params())
+{
+    const SimConfigReport report = config.validate();
+    ede_assert(report.accepted(), "invalid SimConfig:\n",
+               report.describe());
     wire();
 }
 
@@ -16,6 +27,7 @@ System::wire()
     mem_ = std::make_unique<MemSystem>(params_.mem);
     core_ = std::make_unique<OoOCore>(params_.core, *mem_);
     core_->setTimingImage(&timingImage_);
+    core_->setProfile(&profile_);
 
     // Entering the persistent on-DIMM buffer makes a line durable:
     // snapshot its coherent contents into the crash image.

@@ -21,6 +21,7 @@
 #include "mem/memory_image.hh"
 #include "pipeline/core.hh"
 #include "sim/config.hh"
+#include "sim/sim_config.hh"
 
 namespace ede {
 
@@ -72,6 +73,13 @@ class System
     /** Build with explicit parameters (ablation sweeps). */
     System(Config cfg, const SimParams &params);
 
+    /**
+     * Build from a unified SimConfig.  The configuration is
+     * validated first; error-level diagnostics are fatal with the
+     * full report.
+     */
+    explicit System(const SimConfig &config);
+
     /** @name Memory images. */
     /// @{
     MemoryImage &volatileImage() { return volatileImage_; }
@@ -110,6 +118,9 @@ class System
     /** Statistics snapshot. */
     RunResult result() const;
 
+    /** Host-perf profile of the (completed) run. */
+    const HostProfile &profile() const { return profile_; }
+
     /** @name Component access. */
     /// @{
     OoOCore &core() { return *core_; }
@@ -132,6 +143,7 @@ class System
     std::unique_ptr<OoOCore> core_;
     std::vector<PersistEvent> persistEvents_;
     std::vector<MediaWriteEvent> mediaWriteEvents_;
+    HostProfile profile_;
     bool recordPersistData_ = false;
 };
 

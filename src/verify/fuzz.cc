@@ -11,6 +11,7 @@
 #include "exp/scheduler.hh"
 #include "mem/mem_system.hh"
 #include "pipeline/core.hh"
+#include "sim/session.hh"
 #include "trace/builder.hh"
 #include "verify/verifier.hh"
 
@@ -472,29 +473,29 @@ struct RunOut
 RunOut
 runOnce(const GenProgram &p, EnforceMode mode, EdkRecoveryMode rec)
 {
-    CoreParams cp;
-    cp.ede = mode;
-    cp.edkRecoveryMode = rec;
-    // Small enough to exercise the analyzer on ordinary NVM waits
-    // (External classification), huge headroom below the watchdog.
-    cp.edkStallCycles =
-        p.cls == ProgClass::HardwareFault ? 2'000 : 1'000;
-    cp.watchdogCycles = 100'000;
+    const Config cfg = mode == EnforceMode::IQ   ? Config::IQ
+                       : mode == EnforceMode::WB ? Config::WB
+                                                 : Config::B;
+    // Stall window small enough to exercise the analyzer on ordinary
+    // NVM waits (External classification), huge headroom below the
+    // watchdog.
+    Session session(
+        SimConfig::paper(cfg)
+            .withEdkRecovery(rec)
+            .withEdkStallCycles(
+                p.cls == ProgClass::HardwareFault ? 2'000 : 1'000)
+            .withWatchdog(100'000));
 
-    MemSystem mem{MemSystemParams{}};
-    OoOCore core(cp, mem);
-    MemoryImage image;
-    core.setTimingImage(&image);
-    core.setRecordCompletions(true);
+    session.system().recordCompletions(true);
     if (p.cls == ProgClass::HardwareFault)
-        core.corruptEdeLink(p.faultProducerIdx, 1);
+        session.system().core().corruptEdeLink(p.faultProducerIdx, 1);
 
-    core.run(p.trace);
+    const SimResult run = session.run(p.trace);
 
     RunOut out;
-    out.error = core.simError();
-    out.stats = core.stats();
-    out.completions = core.completionCycles();
+    out.error = run.error;
+    out.stats = run.stats.core;
+    out.completions = session.system().completionCycles();
     return out;
 }
 

@@ -1,14 +1,18 @@
 /**
  * @file
- * Shared helpers for pipeline-level tests: a small core+hierarchy
- * bundle with completion recording enabled.
+ * Shared helpers for pipeline-level tests: a Session-backed
+ * core+hierarchy bundle with completion recording enabled.
+ *
+ * MiniSim keeps its historical member names (`core`, `mem`, `image`)
+ * as views into the Session's System so the pipeline tests read the
+ * same as always while construction flows through the validated
+ * SimConfig front end.
  */
 
 #ifndef EDE_TESTS_SIM_TEST_UTIL_HH
 #define EDE_TESTS_SIM_TEST_UTIL_HH
 
-#include "mem/mem_system.hh"
-#include "pipeline/core.hh"
+#include "sim/session.hh"
 #include "trace/builder.hh"
 
 namespace ede {
@@ -19,19 +23,33 @@ struct MiniSim
     explicit MiniSim(EnforceMode mode = EnforceMode::None,
                      CoreParams overrides = CoreParams{},
                      MemSystemParams mem_overrides = MemSystemParams{})
-        : params(overrides)
+        : session(makeConfig(mode, overrides, mem_overrides)),
+          params(session.config().core()),
+          mem(&session.system().mem()),
+          core(&session.system().core()),
+          image(session.system().timingImage())
     {
-        params.ede = mode;
-        mem = std::make_unique<MemSystem>(mem_overrides);
-        core = std::make_unique<OoOCore>(params, *mem);
-        core->setTimingImage(&image);
-        core->setRecordCompletions(true);
+        session.system().recordCompletions(true);
+    }
+
+    /** Map an enforcement mode onto its Table III configuration. */
+    static SimConfig
+    makeConfig(EnforceMode mode, CoreParams overrides,
+               const MemSystemParams &mem_overrides)
+    {
+        overrides.ede = mode;
+        const Config cfg = mode == EnforceMode::IQ   ? Config::IQ
+                           : mode == EnforceMode::WB ? Config::WB
+                                                     : Config::B;
+        return SimConfig::paper(cfg).withCore(overrides).withMem(
+            mem_overrides);
     }
 
     Cycle
     run(const Trace &trace)
     {
-        return core->run(trace);
+        result = session.run(trace);
+        return result.cycles();
     }
 
     /** Completion cycle of trace element @p idx. */
@@ -56,10 +74,12 @@ struct MiniSim
                static_cast<Addr>(i) * 64;
     }
 
+    Session session;
     CoreParams params;
-    std::unique_ptr<MemSystem> mem;
-    std::unique_ptr<OoOCore> core;
-    MemoryImage image;
+    MemSystem *mem;     ///< The session system's hierarchy.
+    OoOCore *core;      ///< The session system's core.
+    MemoryImage &image; ///< The session system's timing image.
+    SimResult result;   ///< Filled by run().
 };
 
 } // namespace ede

@@ -89,7 +89,7 @@ TEST(Harness, MismatchedSimParamsAreRejected)
     SimParams wrong = makeParams(Config::B); // EnforceMode::None.
     EXPECT_DEATH(WorkloadHarness(AppId::Update, Config::WB, tiny(),
                                  AppParams{}, wrong),
-                 "must match");
+                 "enforce-mismatch");
 }
 
 TEST(Harness, SetupCompleteCyclePrecedesFirstObligation)

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Differential validation of the skip-ahead scheduler.
+ *
+ * The skip-ahead loop in OoOCore::run jumps dead windows using
+ * component next-event hints; the reference loop ticks every cycle.
+ * The contract is bit-identical *simulated* results: the same cycle
+ * counts, the same CoreStats (including replayed dead-tick stall
+ * counters), the same write-buffer/NVM statistics, and the same
+ * persist order -- for every Table III configuration.  Only the host
+ * profile (wall time, tick counts, skip counters) may differ.
+ *
+ * These tests pin the ticking mode through SimConfig/CoreParams
+ * rather than the EDE_REFERENCE_TICKING environment variable, which
+ * is resolved once per process and so cannot drive a differential
+ * test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/harness.hh"
+#include "sim_test_util.hh"
+
+namespace ede {
+namespace {
+
+/** Everything a differential comparison looks at. */
+struct RunSnapshot
+{
+    RunResult result;
+    Cycle opCycles = 0;
+    std::vector<PersistEvent> persists;
+    std::vector<MediaWriteEvent> mediaWrites;
+    HostProfile profile;
+};
+
+RunSnapshot
+runWorkload(AppId app, Config cfg, TickingMode mode)
+{
+    const RunSpec spec{6, 6, 42};
+    SimParams params = makeParams(cfg);
+    params.core.ticking = mode;
+    WorkloadHarness h(app, cfg, spec, AppParams{}, params);
+    h.generate();
+    h.simulate();
+    RunSnapshot snap;
+    snap.result = h.system().result();
+    snap.opCycles = h.opPhaseCycles();
+    snap.persists = h.system().persistEvents();
+    snap.mediaWrites = h.system().mediaWriteEvents();
+    snap.profile = h.system().profile();
+    return snap;
+}
+
+void
+expectSameCoreStats(const CoreStats &a, const CoreStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.dispatched, b.dispatched);
+    EXPECT_EQ(a.issuedOps, b.issuedOps);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.squashes, b.squashes);
+    EXPECT_EQ(a.squashedInsts, b.squashedInsts);
+    EXPECT_EQ(a.loadsForwarded, b.loadsForwarded);
+    EXPECT_EQ(a.retireStallWbFull, b.retireStallWbFull);
+    EXPECT_EQ(a.dispatchStallRob, b.dispatchStallRob);
+    EXPECT_EQ(a.dispatchStallIq, b.dispatchStallIq);
+    EXPECT_EQ(a.dispatchStallLsq, b.dispatchStallLsq);
+    EXPECT_EQ(a.edkStallChecks, b.edkStallChecks);
+    EXPECT_EQ(a.edkExternalStalls, b.edkExternalStalls);
+    EXPECT_EQ(a.edkStuckDetected, b.edkStuckDetected);
+    EXPECT_EQ(a.edkFencesSynthesized, b.edkFencesSynthesized);
+    ASSERT_EQ(a.issueHist.size(), b.issueHist.size());
+    for (std::size_t i = 0; i < a.issueHist.size(); ++i)
+        EXPECT_EQ(a.issueHist.count(i), b.issueHist.count(i)) << i;
+    EXPECT_EQ(a.issueHist.saturated(), b.issueHist.saturated());
+}
+
+void
+expectSameSnapshot(const RunSnapshot &ref, const RunSnapshot &skip)
+{
+    EXPECT_EQ(ref.result.cycles, skip.result.cycles);
+    EXPECT_EQ(ref.opCycles, skip.opCycles);
+    expectSameCoreStats(ref.result.core, skip.result.core);
+
+    EXPECT_EQ(ref.result.wb.inserted, skip.result.wb.inserted);
+    EXPECT_EQ(ref.result.wb.pushes, skip.result.wb.pushes);
+    EXPECT_EQ(ref.result.wb.srcIdGated, skip.result.wb.srcIdGated);
+    EXPECT_EQ(ref.result.wb.lineGated, skip.result.wb.lineGated);
+    EXPECT_EQ(ref.result.wb.dmbGated, skip.result.wb.dmbGated);
+    EXPECT_EQ(ref.result.wb.memRejected, skip.result.wb.memRejected);
+
+    EXPECT_EQ(ref.result.nvm.writesAccepted,
+              skip.result.nvm.writesAccepted);
+    EXPECT_EQ(ref.result.nvm.mediaWrites, skip.result.nvm.mediaWrites);
+    EXPECT_EQ(ref.result.nvm.reads, skip.result.nvm.reads);
+    EXPECT_EQ(ref.result.l1d.misses, skip.result.l1d.misses);
+    EXPECT_EQ(ref.result.dram.reads, skip.result.dram.reads);
+
+    // Persist order is the crash-consistency ground truth; the fault
+    // campaign's crash-point classification follows from it and the
+    // media-write schedule, so identity here covers the campaign.
+    ASSERT_EQ(ref.persists.size(), skip.persists.size());
+    for (std::size_t i = 0; i < ref.persists.size(); ++i) {
+        EXPECT_EQ(ref.persists[i].addr, skip.persists[i].addr) << i;
+        EXPECT_EQ(ref.persists[i].size, skip.persists[i].size) << i;
+        EXPECT_EQ(ref.persists[i].cycle, skip.persists[i].cycle) << i;
+    }
+    ASSERT_EQ(ref.mediaWrites.size(), skip.mediaWrites.size());
+    for (std::size_t i = 0; i < ref.mediaWrites.size(); ++i) {
+        EXPECT_EQ(ref.mediaWrites[i].lineAddr,
+                  skip.mediaWrites[i].lineAddr) << i;
+        EXPECT_EQ(ref.mediaWrites[i].cycle,
+                  skip.mediaWrites[i].cycle) << i;
+    }
+}
+
+class SkipAheadDifferential
+    : public ::testing::TestWithParam<Config>
+{
+};
+
+TEST_P(SkipAheadDifferential, UpdateWorkloadIsBitIdentical)
+{
+    const RunSnapshot ref = runWorkload(AppId::Update, GetParam(),
+                                        TickingMode::Reference);
+    const RunSnapshot skip = runWorkload(AppId::Update, GetParam(),
+                                         TickingMode::SkipAhead);
+    expectSameSnapshot(ref, skip);
+}
+
+TEST_P(SkipAheadDifferential, SwapWorkloadIsBitIdentical)
+{
+    const RunSnapshot ref = runWorkload(AppId::Swap, GetParam(),
+                                        TickingMode::Reference);
+    const RunSnapshot skip = runWorkload(AppId::Swap, GetParam(),
+                                         TickingMode::SkipAhead);
+    expectSameSnapshot(ref, skip);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SkipAheadDifferential,
+    ::testing::ValuesIn(kAllConfigs.begin(), kAllConfigs.end()),
+    [](const ::testing::TestParamInfo<Config> &info) {
+        return std::string(configName(info.param));
+    });
+
+TEST(SkipAhead, ProfileSeparatesTheModes)
+{
+    const RunSnapshot ref = runWorkload(AppId::Update, Config::B,
+                                        TickingMode::Reference);
+    const RunSnapshot skip = runWorkload(AppId::Update, Config::B,
+                                         TickingMode::SkipAhead);
+
+    EXPECT_TRUE(ref.profile.referenceTicking);
+    EXPECT_EQ(ref.profile.skipJumps, 0u);
+    EXPECT_EQ(ref.profile.cyclesSkipped, 0u);
+    EXPECT_EQ(ref.profile.hostTicks, ref.result.cycles);
+
+    EXPECT_FALSE(skip.profile.referenceTicking);
+    EXPECT_GT(skip.profile.skipJumps, 0u);
+    EXPECT_GT(skip.profile.cyclesSkipped, 0u);
+    // Every simulated cycle is either ticked or skipped.
+    EXPECT_EQ(skip.profile.hostTicks + skip.profile.cyclesSkipped,
+              skip.profile.cyclesSimulated);
+    EXPECT_EQ(skip.profile.cyclesSimulated, skip.result.cycles);
+}
+
+/** CoreParams with the ticking mode pinned. */
+CoreParams
+pinned(TickingMode mode)
+{
+    CoreParams p;
+    p.ticking = mode;
+    return p;
+}
+
+TEST(SkipAhead, WaitAllKeysWakesAtTheSameCycle)
+{
+    // Regression: WAIT_ALL_KEYS parks the frontend until every EDE
+    // key resolves; a skip target that overshoots the last producer's
+    // completion would wake the consumer late (or trip the watchdog).
+    // Both producers persist to NVM, so the dead window between the
+    // waits is exactly the kind skip-ahead jumps.
+    std::array<std::vector<Cycle>, 2> done;
+    std::array<Cycle, 2> cycles{};
+    const std::array<TickingMode, 2> modes{TickingMode::Reference,
+                                           TickingMode::SkipAhead};
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        MiniSim sim(EnforceMode::IQ, pinned(modes[m]));
+        Trace t;
+        TraceBuilder b(t);
+        b.str(2, 3, MiniSim::dramLine(0), 7);
+        b.cvap(2, sim.nvmLine(0), {1, 0});
+        b.cvap(3, sim.nvmLine(1), {7, 0});
+        b.waitAllKeys();
+        b.str(4, 5, MiniSim::dramLine(0), 1);
+        cycles[m] = sim.run(t);
+        done[m] = sim.core->completionCycles();
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+    ASSERT_EQ(done[0].size(), done[1].size());
+    for (std::size_t i = 0; i < done[0].size(); ++i)
+        EXPECT_EQ(done[0][i], done[1][i]) << "trace index " << i;
+}
+
+} // namespace
+} // namespace ede
