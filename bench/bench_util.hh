@@ -40,7 +40,8 @@ struct BenchOptions
     RunSpec spec{40, 25, 42};
     std::vector<AppId> apps{kAllApps.begin(), kAllApps.end()};
     bool paperScale = false;
-    CommonOptions common; ///< --jobs / --json / --cache-dir / ...
+    CommonOptions common;  ///< --jobs / --json / --cache-dir / ...
+    IsolationOptions iso;  ///< --isolate / --journal / --resume / ...
 };
 
 /** The standard sweep flags, registered on a shared Cli. */
@@ -94,6 +95,7 @@ makeCli(const char *bench, BenchOptions &opt)
                    }
                });
     addCommonFlags(cli, opt.common);
+    addIsolationFlags(cli, opt.iso);
     return cli;
 }
 
@@ -114,6 +116,7 @@ runnerOptions(const BenchOptions &opt)
     ro.jobs = opt.common.jobs;
     ro.cacheDir =
         opt.common.useCache ? opt.common.cacheDir : std::string();
+    applyIsolation(ro, opt.iso);
     return ro;
 }
 

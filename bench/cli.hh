@@ -9,26 +9,39 @@
  *  - flags are registered with a help line and a callback;
  *  - a flag that takes a value receives it already split off;
  *  - --help / -h prints the generated usage to stdout and exits 0;
- *  - an unknown flag or a missing value prints usage to stderr and
- *    exits 2 (so CI distinguishes "bad invocation" from "campaign
- *    found a violation", which exits 1).
+ *  - an unknown flag, a missing value, or a malformed value (the
+ *    toU64/toUnsigned/toF64 helpers throw CliError instead of
+ *    silently parsing "abc" as 0) prints a one-line error plus usage
+ *    to stderr and exits 2 (so CI distinguishes "bad invocation"
+ *    from "campaign found a violation", which exits 1).
  *
  * CommonOptions + addCommonFlags cover the experiment-layer options
  * (--jobs / --json / --cache-dir / --no-cache) shared by the sweep
- * benches.
+ * benches; IsolationOptions + addIsolationFlags cover the
+ * process-isolation backend (--isolate / --timeout-ms / ... /
+ * --journal / --resume).
  */
 
 #ifndef EDE_BENCH_CLI_HH
 #define EDE_BENCH_CLI_HH
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "exp/runner.hh"
+
 namespace ede {
 namespace bench {
+
+/** Thrown by value conversions on malformed input; caught by parse. */
+struct CliError
+{
+    std::string message;
+};
 
 /** Declarative command-line parser; see file comment. */
 class Cli
@@ -103,7 +116,15 @@ class Cli
                 usage(stderr);
                 std::exit(2);
             }
-            match->valueFn(argv[++i]);
+            try {
+                match->valueFn(argv[++i]);
+            } catch (const CliError &e) {
+                std::fprintf(stderr, "%s: flag %s: %s\n",
+                             prog_.c_str(), arg.c_str(),
+                             e.message.c_str());
+                usage(stderr);
+                std::exit(2);
+            }
         }
     }
 
@@ -121,24 +142,52 @@ class Cli
     std::vector<Opt> opts_;
 };
 
-/** @name Value conversions for flag callbacks. */
+/**
+ * @name Value conversions for flag callbacks.
+ *
+ * Each parses the *whole* string and throws CliError on anything
+ * else: empty input, trailing junk ("12x"), a leading '-' on the
+ * unsigned forms (strtoull would happily wrap it), or out-of-range
+ * values.  Cli::parse turns the throw into the exit-2 usage path.
+ */
 /// @{
 inline std::uint64_t
 toU64(const std::string &s)
 {
-    return std::strtoull(s.c_str(), nullptr, 0);
+    if (s.empty())
+        throw CliError{"expected an unsigned integer, got ''"};
+    if (s[0] == '-')
+        throw CliError{"expected an unsigned integer, got '" + s + "'"};
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE) {
+        throw CliError{"expected an unsigned integer, got '" + s +
+                       "'"};
+    }
+    return v;
 }
 
 inline unsigned
 toUnsigned(const std::string &s)
 {
-    return static_cast<unsigned>(std::strtoul(s.c_str(), nullptr, 0));
+    const std::uint64_t v = toU64(s);
+    if (v > 0xffffffffull)
+        throw CliError{"value '" + s + "' does not fit in 32 bits"};
+    return static_cast<unsigned>(v);
 }
 
 inline double
 toF64(const std::string &s)
 {
-    return std::strtod(s.c_str(), nullptr);
+    if (s.empty())
+        throw CliError{"expected a number, got ''"};
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+        throw CliError{"expected a number, got '" + s + "'"};
+    return v;
 }
 /// @}
 
@@ -173,6 +222,68 @@ addCommonFlags(Cli &cli, CommonOptions &opt)
         .toggle("--no-cache",
                 "simulate every cell even when cached",
                 [&opt] { opt.useCache = false; });
+}
+
+/** Process-isolation options shared by the sweeping drivers. */
+struct IsolationOptions
+{
+    bool isolate = false;      ///< Fork one worker per cell.
+    exp::WorkerLimits limits;  ///< Per-job timeout / memory cap.
+    exp::RetryPolicy retry;    ///< Transient-failure retry policy.
+    std::string journalPath;   ///< Empty = no sweep journal.
+    bool resume = false;       ///< Replay a compatible journal.
+};
+
+/** Register --isolate / --timeout-ms / ... / --resume on @p cli. */
+inline void
+addIsolationFlags(Cli &cli, IsolationOptions &opt)
+{
+    cli.toggle("--isolate",
+               "run each cell in a forked worker process; crashes, "
+               "hangs and OOMs are quarantined instead of fatal",
+               [&opt] { opt.isolate = true; })
+        .value("--timeout-ms", "T",
+               "per-job wall-clock limit in ms (0 = none; needs "
+               "--isolate)",
+               [&opt](const std::string &v) {
+                   opt.limits.timeoutMs = toU64(v);
+               })
+        .value("--mem-limit-mb", "M",
+               "per-job address-space cap in MiB (0 = none; needs "
+               "--isolate; ignored under sanitizers)",
+               [&opt](const std::string &v) {
+                   opt.limits.memLimitBytes =
+                       toU64(v) * 1024ull * 1024ull;
+               })
+        .value("--attempts", "N",
+               "attempts per job before quarantine; transient "
+               "failures back off exponentially between tries "
+               "(default 3)",
+               [&opt](const std::string &v) {
+                   opt.retry.maxAttempts = toUnsigned(v);
+                   if (opt.retry.maxAttempts == 0)
+                       throw CliError{"--attempts must be >= 1"};
+               })
+        .value("--journal", "PATH",
+               "append-only sweep journal; every durable cell is "
+               "recorded as it lands (needs --isolate)",
+               [&opt](const std::string &v) { opt.journalPath = v; })
+        .toggle("--resume",
+                "replay compatible cells from the --journal instead "
+                "of re-running them",
+                [&opt] { opt.resume = true; });
+}
+
+/** Fold @p iso into runner options (mode, limits, journal). */
+inline void
+applyIsolation(exp::RunnerOptions &ro, const IsolationOptions &iso)
+{
+    ro.isolation = iso.isolate ? exp::IsolationMode::Process
+                               : exp::IsolationMode::None;
+    ro.limits = iso.limits;
+    ro.retry = iso.retry;
+    ro.journalPath = iso.journalPath;
+    ro.resume = iso.resume;
 }
 
 } // namespace bench

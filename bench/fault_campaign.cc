@@ -12,6 +12,9 @@
  * Usage:
  *   fault_campaign [--seed N] [--points N] [--app NAME]
  *                  [--txns N] [--ops N] [--fault-rate F] [--jobs N]
+ *                  [--json PATH] [--isolate] [--timeout-ms T]
+ *                  [--mem-limit-mb M] [--attempts N]
+ *                  [--journal PATH] [--resume]
  *
  *   --points 0 enumerates every persist-boundary crash point.
  *   --jobs runs the per-config simulations and the crash-point
@@ -19,18 +22,25 @@
  *   (0 = hardware concurrency); results are bit-identical to
  *   --jobs 1 because every scenario derives only from the recorded
  *   persist events.
+ *   --isolate forks one worker per configuration so a crash, hang or
+ *   OOM quarantines that configuration instead of killing the
+ *   campaign; --journal + --resume make an interrupted campaign
+ *   resumable with byte-identical final output.
  *
  * Exit status is non-zero when a safe configuration (B, IQ, WB)
- * produced an unrecoverable crash point -- Table III broken -- so the
- * campaign can gate CI.
+ * produced an unrecoverable crash point -- Table III broken -- or
+ * when any configuration was quarantined, so the campaign can gate
+ * CI.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "cli.hh"
+#include "common/logging.hh"
 #include "fault/campaign.hh"
 
 using namespace ede;
@@ -55,6 +65,9 @@ int
 main(int argc, char **argv)
 {
     CampaignOptions options;
+    std::string jsonPath;
+    std::string chaosCrashConfig;
+    IsolationOptions iso;
     Cli cli("fault_campaign");
     cli.value("--seed", "N", "campaign RNG seed",
               [&](const std::string &v) { options.seed = toU64(v); })
@@ -86,20 +99,47 @@ main(int argc, char **argv)
                "concurrency); results are bit-identical to --jobs 1",
                [&](const std::string &v) {
                    options.jobs = toUnsigned(v);
-               });
+               })
+        .value("--json", "PATH",
+               "write the deterministic campaign JSON artifact",
+               [&](const std::string &v) { jsonPath = v; })
+        .value("--chaos-crash-config", "NAME",
+               "chaos hook: this configuration's isolated worker "
+               "calls abort() (CI/testing only)",
+               [&](const std::string &v) { chaosCrashConfig = v; });
+    addIsolationFlags(cli, iso);
     cli.parse(argc, argv);
+
+    options.isolate = iso.isolate;
+    options.limits = iso.limits;
+    options.retry = iso.retry;
+    options.journalPath = iso.journalPath;
+    options.resume = iso.resume;
+    options.chaosCrashConfig = chaosCrashConfig;
 
     const CampaignReport report = runCampaign(options);
     std::fputs(report.describe().c_str(), stdout);
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            ede_fatal("cannot write JSON artifact '", jsonPath, "'");
+        out << campaignToJson(report);
+        out.close();
+        if (!out)
+            ede_fatal("short write on JSON artifact '", jsonPath, "'");
+        std::printf("[campaign] wrote %s\n", jsonPath.c_str());
+    }
 
     bool unsafe_exposed = false;
     for (const CampaignConfigResult &c : report.configs) {
         if (c.config == Config::U && c.unrecoverable > 0)
             unsafe_exposed = true;
     }
-    if (!unsafe_exposed) {
+    if (!unsafe_exposed && report.quarantined.empty()) {
         std::printf("note: U produced no unrecoverable point at this "
                     "seed/scale; widen --points or --txns\n");
     }
-    return report.safeConfigsClean() ? 0 : 1;
+    return report.ok() ? 0 : 1;
 }

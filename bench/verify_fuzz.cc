@@ -14,14 +14,19 @@
  * Usage:
  *   verify_fuzz [--seed N] [--programs N] [--max-ops N]
  *               [--malform-rate F] [--fault-rate F] [--jobs N]
+ *               [--isolate] [--timeout-ms T] [--mem-limit-mb M]
+ *               [--attempts N]
  *
  *   --jobs runs the per-program checks in parallel through the
  *   experiment scheduler (0 = hardware concurrency); results are
  *   bit-identical to --jobs 1 because each program derives only
  *   from (seed, index).
+ *   --isolate forks one worker per program so a crash, hang or OOM
+ *   while checking one adversarial program quarantines that program
+ *   instead of killing the campaign.
  *
  * Exit status is non-zero when any generated program broke the
- * contract, so the campaign can gate CI.
+ * contract or was quarantined, so the campaign can gate CI.
  */
 
 #include <cstdio>
@@ -65,8 +70,25 @@ main(int argc, char **argv)
                    options.jobs = toUnsigned(v);
                })
         .toggle("--dump", "dump every contract-breaking program",
-                [&] { options.dumpFailures = true; });
+                [&] { options.dumpFailures = true; })
+        .value("--chaos-crash-index", "I",
+               "chaos hook: this program's isolated worker calls "
+               "abort() (CI/testing only)",
+               [&](const std::string &v) {
+                   options.chaosCrashIndex = toU64(v);
+               });
+    IsolationOptions iso;
+    addIsolationFlags(cli, iso);
     cli.parse(argc, argv);
+
+    if (!iso.journalPath.empty() || iso.resume) {
+        std::fprintf(stderr, "verify_fuzz: --journal/--resume are not "
+                             "supported here (use fault_campaign)\n");
+        return 2;
+    }
+    options.isolate = iso.isolate;
+    options.limits = iso.limits;
+    options.retry = iso.retry;
 
     const FuzzReport report = runVerifyFuzz(options);
     std::fputs(report.describe().c_str(), stdout);

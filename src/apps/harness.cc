@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "nvm/undo_log.hh"
+#include "sim/session.hh"
 
 namespace ede {
 
@@ -99,6 +100,21 @@ WorkloadHarness::simulate()
     if (const SimError &err = system_->core().simError()) {
         ede_panic("simulation aborted\n", err.describe());
     }
+    return cycles;
+}
+
+Cycle
+WorkloadHarness::simulateChecked()
+{
+    ede_assert(generated_, "generate() before simulate()");
+    ede_assert(!simulated_, "simulate() is single-shot");
+    simulated_ = true;
+    if (auditing_)
+        baselineNvm_ = system_->nvmImage();
+    system_->core().watchCompletion(setupEndIdx_);
+    const Cycle cycles = system_->run(trace_);
+    if (const SimError &err = system_->core().simError())
+        throw SimFaultError(err);
     return cycles;
 }
 

@@ -47,6 +47,14 @@ class WorkloadHarness
     Cycle simulate();
 
     /**
+     * As simulate(), but a structured simulator abort (watchdog,
+     * max-cycles, EDK dependence cycle) raises SimFaultError instead
+     * of panicking, so isolated experiment workers can classify it
+     * as a typed SimFault failure record.
+     */
+    Cycle simulateChecked();
+
+    /**
      * Cycles spent in the transaction phase (total minus setup).
      * This matches the paper's measurement, which times the
      * operations, not pool initialization (Section VI-B).

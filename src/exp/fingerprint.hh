@@ -39,8 +39,16 @@ namespace exp {
  * profile are deliberately NOT part of the fingerprint: they must not
  * affect simulated results, and caching host wall-clock times would
  * break the racing-writers-produce-identical-bytes invariant.
+ *
+ * v4: process-isolated workers landed.  BENCH_*.json gained the
+ * top-level "failures" array (quarantined cells) and the "replayed"
+ * cache tally; sweep journals embed this version through the sweep
+ * id.  The isolation mode, limits and retry policy are NOT part of
+ * the fingerprint: an isolated cell is bit-identical to an inline
+ * one by construction (the snapshot serialization *is* the wire
+ * format between worker and parent).
  */
-inline constexpr std::uint32_t kResultSchemaVersion = 3;
+inline constexpr std::uint32_t kResultSchemaVersion = 4;
 
 /** FNV-1a over a stream of tagged fields. */
 class FingerprintHasher

@@ -24,8 +24,12 @@ ExperimentResults::ExperimentResults(std::vector<ExperimentCell> cells)
         // canonical cell even when an axis re-runs the same pair.
         byKey_.emplace(keyOf(c.point.app, c.point.config), i);
         byLabel_.emplace(c.point.label, i);
-        if (c.fromCache)
+        if (c.failed)
+            failures_.push_back(&c);
+        else if (c.fromCache)
             ++cacheHits_;
+        else if (c.fromJournal)
+            ++journalReplays_;
     }
 }
 
@@ -45,6 +49,11 @@ ExperimentResults::cell(AppId app, Config cfg) const
                   configName(cfg), "' in this ", cells_.size(),
                   "-cell experiment (was it in the plan / --app list?)");
     }
+    if (c->failed) {
+        ede_fatal("cell for app '", appName(app), "' config '",
+                  configName(cfg), "' was quarantined: ",
+                  c->failure.describe());
+    }
     return *c;
 }
 
@@ -62,6 +71,10 @@ ExperimentResults::cellByLabel(const std::string &label) const
     if (!c) {
         ede_fatal("no cell labeled '", label, "' in this ",
                   cells_.size(), "-cell experiment");
+    }
+    if (c->failed) {
+        ede_fatal("cell labeled '", label, "' was quarantined: ",
+                  c->failure.describe());
     }
     return *c;
 }

@@ -19,12 +19,13 @@
 
 #include "exp/plan.hh"
 #include "exp/profile.hh"
+#include "exp/worker.hh"
 #include "sim/system.hh"
 
 namespace ede {
 namespace exp {
 
-/** One completed (or cache-restored) experiment cell. */
+/** One completed (or cache-restored, or quarantined) cell. */
 struct ExperimentCell
 {
     ExperimentPoint point;
@@ -32,7 +33,17 @@ struct ExperimentCell
     Cycle opCycles = 0;  ///< Transaction-phase cycles (the paper's
                          ///< measurement excludes pool setup).
     RunResult result;
-    bool fromCache = false;  ///< Restored from the result cache.
+    bool fromCache = false;    ///< Restored from the result cache.
+    bool fromJournal = false;  ///< Replayed from a sweep journal.
+
+    /**
+     * Quarantined: the isolated worker for this cell failed
+     * terminally (crash, timeout, OOM, SimFault after the retry
+     * budget).  `result` is empty; `failure` carries the typed
+     * record.  Only a keep-going isolated run produces these.
+     */
+    bool failed = false;
+    JobFailure failure;
 
     /**
      * Host-side performance of the simulation that produced this
@@ -73,14 +84,33 @@ class ExperimentResults
     /** Cells restored from the result cache. */
     std::size_t cacheHits() const { return cacheHits_; }
 
+    /** Cells replayed from a sweep journal (--resume). */
+    std::size_t journalReplays() const { return journalReplays_; }
+
+    /** Quarantined cells, in plan order. */
+    const std::vector<const ExperimentCell *> &failures() const
+    {
+        return failures_;
+    }
+
+    /** True when no cell was quarantined. */
+    bool allOk() const { return failures_.empty(); }
+
     /** Cells that were freshly simulated. */
-    std::size_t simulated() const { return cells_.size() - cacheHits_; }
+    std::size_t
+    simulated() const
+    {
+        return cells_.size() - cacheHits_ - journalReplays_ -
+               failures_.size();
+    }
 
   private:
     std::vector<ExperimentCell> cells_;
+    std::vector<const ExperimentCell *> failures_;
     std::map<std::pair<int, int>, std::size_t> byKey_;
     std::map<std::string, std::size_t> byLabel_;
     std::size_t cacheHits_ = 0;
+    std::size_t journalReplays_ = 0;
 };
 
 } // namespace exp

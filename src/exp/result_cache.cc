@@ -280,6 +280,17 @@ ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
         ede_fatal("cannot create result-cache directory '", dir_,
                   "': ", ec.message());
     }
+    // Sweep temp files stranded by a writer that died mid-store (a
+    // crashed or SIGKILLed sweep): they are never renamed into place
+    // and would otherwise accumulate forever.  A *live* concurrent
+    // writer losing its tmp here merely skips that one store.
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        if (entry.path().filename().string().find(".tmp.") !=
+            std::string::npos) {
+            std::filesystem::remove(entry.path(), ec);
+        }
+    }
 }
 
 std::string
@@ -321,6 +332,16 @@ ResultCache::store(const ExperimentCell &cell) const
             return;
         }
         out << serializeCell(cell);
+        out.close();
+        if (!out) {
+            // Short write (disk full, I/O error): never rename a
+            // truncated snapshot into place, and never leak the tmp.
+            ede_warn("result cache: short write on '", tmp,
+                     "'; skipping store");
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
     }
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);

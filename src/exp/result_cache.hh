@@ -12,7 +12,8 @@
  *
  * A snapshot that fails any validation -- wrong magic, truncated,
  * mismatched fingerprint or histogram shape -- is treated as a miss,
- * never an error.
+ * never an error.  Temp files stranded by a writer that died before
+ * its rename are swept when the cache is opened.
  */
 
 #ifndef EDE_EXP_RESULT_CACHE_HH

@@ -1,58 +1,198 @@
 #include "exp/runner.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 
 #include "apps/harness.hh"
 #include "common/logging.hh"
 #include "exp/fingerprint.hh"
+#include "exp/journal.hh"
 #include "exp/result_cache.hh"
 #include "exp/scheduler.hh"
 
 namespace ede {
 namespace exp {
 
+namespace {
+
+/**
+ * Simulate one plan point.  Shared verbatim by the in-process path
+ * and the forked worker, so isolated results are bit-identical to
+ * inline ones.  @p checked selects SimFaultError over panic on a
+ * structured simulator abort.
+ */
+ExperimentCell
+simulateCell(const ExperimentPoint &point, std::uint64_t fp,
+             bool checked)
+{
+    const LogJobTag tag(point.label);
+    WorkloadHarness h(point.app, point.config, point.spec,
+                      point.appParams, point.simParams);
+    h.generate();
+    if (checked)
+        h.simulateChecked();
+    else
+        h.simulate();
+    ExperimentCell cell;
+    cell.point = point;
+    cell.fingerprint = fp;
+    cell.opCycles = h.opPhaseCycles();
+    cell.result = h.system().result();
+    cell.profile = h.system().profile();
+    return cell;
+}
+
+ExperimentCell
+quarantinedCell(const ExperimentPoint &point, std::uint64_t fp,
+                JobFailure failure)
+{
+    ExperimentCell cell;
+    cell.point = point;
+    cell.fingerprint = fp;
+    cell.failed = true;
+    cell.failure = std::move(failure);
+    return cell;
+}
+
+} // namespace
+
+std::uint64_t
+planSweepId(const ExperimentPlan &plan)
+{
+    FingerprintHasher h;
+    h.field("sweep.points", static_cast<std::uint64_t>(plan.size()));
+    for (const ExperimentPoint &p : plan.points())
+        h.field("sweep.cell", fingerprintPoint(p));
+    return h.value();
+}
+
 ExperimentResults
 runPlan(const ExperimentPlan &plan, const RunnerOptions &options)
 {
+    const bool isolated = options.isolation == IsolationMode::Process;
+    if (isolated && !processIsolationSupported())
+        ede_fatal("process isolation is not supported on this platform");
+    if (!options.journalPath.empty() && !isolated) {
+        ede_fatal("the sweep journal requires process isolation "
+                  "(--isolate)");
+    }
+
     const Scheduler sched(options.jobs);
     std::optional<ResultCache> cache;
     if (!options.cacheDir.empty())
         cache.emplace(options.cacheDir);
+    std::optional<SweepJournal> journal;
+    if (!options.journalPath.empty()) {
+        journal.emplace(options.journalPath, planSweepId(plan),
+                        plan.size(), options.resume);
+    }
 
-    std::vector<ExperimentCell> cells =
-        sched.map<ExperimentCell>(plan.size(), [&](std::size_t i) {
-            const ExperimentPoint &point = plan.points()[i];
-            const std::uint64_t fp = fingerprintPoint(point);
-            if (cache) {
-                if (std::optional<ExperimentCell> hit =
-                        cache->load(point, fp))
-                    return std::move(*hit);
+    std::vector<ExperimentCell> cells(plan.size());
+    auto runIndex = [&](std::size_t i) {
+        const ExperimentPoint &point = plan.points()[i];
+        const std::uint64_t fp = fingerprintPoint(point);
+
+        if (journal && options.resume) {
+            const auto it = journal->replayed().find(i);
+            if (it != journal->replayed().end() &&
+                it->second.fingerprint == fp) {
+                const JournalEntry &e = it->second;
+                if (e.ok) {
+                    if (std::optional<ExperimentCell> cell =
+                            deserializeCell(e.payload, point, fp)) {
+                        cell->fromCache = false;
+                        cell->fromJournal = true;
+                        cells[i] = std::move(*cell);
+                        return;
+                    }
+                    // Corrupt payload: fall through and re-run.
+                } else {
+                    cells[i] = quarantinedCell(point, fp, e.failure);
+                    return;
+                }
             }
-            const LogJobTag tag(point.label);
-            WorkloadHarness h(point.app, point.config, point.spec,
-                              point.appParams, point.simParams);
-            h.generate();
-            h.simulate();
-            ExperimentCell cell;
-            cell.point = point;
-            cell.fingerprint = fp;
-            cell.opCycles = h.opPhaseCycles();
-            cell.result = h.system().result();
-            cell.profile = h.system().profile();
+        }
+
+        if (cache) {
+            if (std::optional<ExperimentCell> hit =
+                    cache->load(point, fp)) {
+                if (journal)
+                    journal->recordOk(i, fp, serializeCell(*hit));
+                cells[i] = std::move(*hit);
+                return;
+            }
+        }
+
+        if (!isolated) {
+            cells[i] = simulateCell(point, fp, /*checked=*/false);
             if (cache)
-                cache->store(cell);
-            return cell;
-        });
+                cache->store(cells[i]);
+            return;
+        }
+
+        const WorkerRun run = runWithRetry(
+            [&]() -> std::string {
+                if (!options.chaosCrashLabel.empty() &&
+                    point.label == options.chaosCrashLabel) {
+                    std::abort();
+                }
+                return serializeCell(
+                    simulateCell(point, fp, /*checked=*/true));
+            },
+            options.limits, options.retry, /*jitterSeed=*/fp);
+
+        if (run.ok()) {
+            if (std::optional<ExperimentCell> cell =
+                    deserializeCell(run.payload, point, fp)) {
+                cell->fromCache = false;
+                cells[i] = std::move(*cell);
+                if (cache)
+                    cache->store(cells[i]);
+                if (journal)
+                    journal->recordOk(i, fp, run.payload);
+                return;
+            }
+            JobFailure protocol;
+            protocol.outcome = JobOutcome::Crashed;
+            protocol.attempts = run.failure.attempts;
+            protocol.message =
+                "worker payload failed snapshot validation";
+            cells[i] = quarantinedCell(point, fp, protocol);
+        } else {
+            ede_warn("cell '", point.label, "' quarantined: ",
+                     run.failure.describe());
+            cells[i] = quarantinedCell(point, fp, run.failure);
+        }
+        if (journal)
+            journal->recordQuarantine(i, fp, cells[i].failure);
+    };
+
+    if (isolated) {
+        // Failures are classified into the cells themselves; a job
+        // never throws, so every cell always lands.
+        sched.run(plan.size(), runIndex, FailureMode::KeepGoing);
+    } else {
+        // The historical contract: first failure (lowest index)
+        // propagates after in-flight jobs drain.
+        sched.parallelFor(plan.size(), runIndex);
+    }
 
     ExperimentResults results(std::move(cells));
     if (options.printSummary) {
-        std::printf("[exp] %zu cells: %zu cached, %zu simulated "
-                    "(jobs=%u%s)\n",
+        std::printf("[exp] %zu cells: %zu cached, %zu replayed, "
+                    "%zu simulated, %zu quarantined (jobs=%u%s%s)\n",
                     results.size(), results.cacheHits(),
-                    results.simulated(), sched.jobs(),
+                    results.journalReplays(), results.simulated(),
+                    results.failures().size(), sched.jobs(),
                     cache ? (", cache=" + cache->dir()).c_str()
-                          : ", cache off");
+                          : ", cache off",
+                    isolated ? ", isolated" : "");
+        for (const ExperimentCell *f : results.failures()) {
+            std::printf("[exp] quarantined '%s': %s\n",
+                        f->point.label.c_str(),
+                        f->failure.describe().c_str());
+        }
         std::fflush(stdout);
     }
     return results;

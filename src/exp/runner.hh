@@ -7,6 +7,18 @@
  * a fresh WorkloadHarness on a scheduler worker only on a miss.
  * Results come back in plan order, so `jobs=N` is bit-identical to
  * `jobs=1` and a warm cache is bit-identical to a cold one.
+ *
+ * With IsolationMode::Process each miss is executed in a forked
+ * worker (exp/worker.hh) bounded by a wall-clock timeout and an
+ * address-space cap; a crash, hang, OOM or structured SimError in
+ * one cell is classified, retried per the transient-failure policy,
+ * and finally *quarantined* -- the sweep still completes, the
+ * surviving cells are bit-identical to a non-isolated run, and the
+ * quarantined cells are reported in ExperimentResults::failures().
+ * A sweep journal (exp/journal.hh) makes the run resumable: every
+ * durable cell (fresh, cached or quarantined) is appended as it
+ * lands, and `resume` replays compatible records so a SIGKILLed
+ * campaign picks up from the last durable cell.
  */
 
 #ifndef EDE_EXP_RUNNER_HH
@@ -16,9 +28,17 @@
 
 #include "exp/plan.hh"
 #include "exp/result.hh"
+#include "exp/worker.hh"
 
 namespace ede {
 namespace exp {
+
+/** Where a plan point's simulation executes. */
+enum class IsolationMode
+{
+    None,    ///< In-process, on a scheduler thread (the old path).
+    Process, ///< Forked worker per cell; failures are classified.
+};
 
 /** How to execute a plan. */
 struct RunnerOptions
@@ -31,11 +51,40 @@ struct RunnerOptions
 
     /** Print the one-line `[exp] ...` run summary on completion. */
     bool printSummary = true;
+
+    /** Execution backend for cache misses. */
+    IsolationMode isolation = IsolationMode::None;
+
+    /** Per-job resource bounds (Process isolation only). */
+    WorkerLimits limits;
+
+    /** Transient-failure retry/backoff policy (Process only). */
+    RetryPolicy retry;
+
+    /**
+     * Sweep-journal path; empty disables journaling.  Requires
+     * Process isolation (the journal records classified outcomes).
+     */
+    std::string journalPath;
+
+    /** Replay a compatible journal instead of re-running its cells. */
+    bool resume = false;
+
+    /**
+     * Test/chaos hook: a point whose label equals this calls abort()
+     * inside its isolated worker before simulating -- the way tests
+     * and the CI chaos job provoke a deterministic poison cell.
+     * Ignored (never aborts the sweep) without Process isolation.
+     */
+    std::string chaosCrashLabel;
 };
 
 /** Execute every point of @p plan. */
 ExperimentResults runPlan(const ExperimentPlan &plan,
                           const RunnerOptions &options = {});
+
+/** The journal identity of @p plan (hash of every cell fingerprint). */
+std::uint64_t planSweepId(const ExperimentPlan &plan);
 
 } // namespace exp
 } // namespace ede

@@ -1,7 +1,7 @@
 #include "exp/scheduler.hh"
 
+#include <algorithm>
 #include <atomic>
-#include <exception>
 #include <limits>
 #include <mutex>
 #include <thread>
@@ -21,50 +21,57 @@ Scheduler::Scheduler(unsigned jobs)
 {
 }
 
-void
-Scheduler::parallelFor(std::size_t n,
-                       const std::function<void(std::size_t)> &fn) const
+RunReport
+Scheduler::run(std::size_t n,
+               const std::function<void(std::size_t)> &fn,
+               FailureMode mode) const
 {
+    RunReport report;
     if (n == 0)
-        return;
+        return report;
+
     if (jobs_ <= 1 || n == 1) {
-        // Serial path: index order, natural exception propagation.
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
+        // Serial path: index order, no worker threads.
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+                report.completed.push_back(i);
+            } catch (...) {
+                report.errors.push_back({i, std::current_exception()});
+                if (mode == FailureMode::StopOnFirstError)
+                    break;
+            }
+        }
+        return report;
     }
 
     std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::size_t error_index = std::numeric_limits<std::size_t>::max();
-    std::exception_ptr error;
     std::atomic<bool> failed{false};
+    std::mutex report_mutex;
 
     auto worker = [&]() {
         for (;;) {
-            if (failed.load(std::memory_order_relaxed))
+            if (mode == FailureMode::StopOnFirstError &&
+                failed.load(std::memory_order_relaxed)) {
                 return;  // Drain: no new jobs after a failure.
+            }
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 return;
             try {
                 fn(i);
+                std::lock_guard<std::mutex> lock(report_mutex);
+                report.completed.push_back(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                // Keep the lowest-index exception so the rethrow is
-                // deterministic regardless of worker interleaving.
-                if (i < error_index) {
-                    error_index = i;
-                    error = std::current_exception();
-                }
+                std::lock_guard<std::mutex> lock(report_mutex);
+                report.errors.push_back({i, std::current_exception()});
                 failed.store(true, std::memory_order_relaxed);
             }
         }
     };
 
-    const std::size_t workers =
-        std::min<std::size_t>(jobs_, n);
+    const std::size_t workers = std::min<std::size_t>(jobs_, n);
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w)
@@ -72,8 +79,25 @@ Scheduler::parallelFor(std::size_t n,
     for (std::thread &t : pool)
         t.join();
 
-    if (error)
-        std::rethrow_exception(error);
+    // Deterministic report regardless of worker interleaving.
+    std::sort(report.completed.begin(), report.completed.end());
+    std::sort(report.errors.begin(), report.errors.end(),
+              [](const JobError &a, const JobError &b) {
+                  return a.index < b.index;
+              });
+    return report;
+}
+
+void
+Scheduler::parallelFor(std::size_t n,
+                       const std::function<void(std::size_t)> &fn) const
+{
+    const RunReport report =
+        run(n, fn, FailureMode::StopOnFirstError);
+    // Lowest-index exception, so the rethrow is deterministic
+    // regardless of worker interleaving.
+    if (!report.ok())
+        std::rethrow_exception(report.errors.front().error);
 }
 
 } // namespace exp

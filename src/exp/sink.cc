@@ -110,12 +110,45 @@ resultsToJson(const std::string &benchName,
     os << "  \"bench\": \"" << jsonEscape(benchName) << "\",\n";
     os << "  \"schema\": " << kResultSchemaVersion << ",\n";
     os << "  \"cache\": {\"hits\": " << results.cacheHits()
+       << ", \"replayed\": " << results.journalReplays()
        << ", \"simulated\": " << results.simulated() << "},\n";
     os << "  \"cells\": [\n";
-    const std::vector<ExperimentCell> &cells = results.cells();
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        emitCell(os, cells[i]);
-        os << (i + 1 < cells.size() ? ",\n" : "\n");
+    // Quarantined cells carry no measurements; they are reported in
+    // the "failures" array instead so downstream consumers never
+    // mistake an empty RunResult for data.
+    std::vector<const ExperimentCell *> ok_cells;
+    for (const ExperimentCell &c : results.cells()) {
+        if (!c.failed)
+            ok_cells.push_back(&c);
+    }
+    for (std::size_t i = 0; i < ok_cells.size(); ++i) {
+        emitCell(os, *ok_cells[i]);
+        os << (i + 1 < ok_cells.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"failures\": [\n";
+    const auto &failures = results.failures();
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        const ExperimentCell &c = *failures[i];
+        const JobFailure &f = c.failure;
+        os << "    {\n";
+        os << "      \"label\": \"" << jsonEscape(c.point.label)
+           << "\",\n";
+        os << "      \"app\": \"" << appName(c.point.app) << "\",\n";
+        os << "      \"config\": \"" << configName(c.point.config)
+           << "\",\n";
+        os << "      \"fingerprint\": \""
+           << fingerprintHex(c.fingerprint) << "\",\n";
+        os << "      \"outcome\": \"" << jobOutcomeName(f.outcome)
+           << "\",\n";
+        os << "      \"signal\": " << f.signal << ",\n";
+        os << "      \"exit_code\": " << f.exitCode << ",\n";
+        os << "      \"attempts\": " << f.attempts << ",\n";
+        os << "      \"message\": \"" << jsonEscape(f.message)
+           << "\",\n";
+        os << "      \"stderr_tail\": \"" << jsonEscape(f.stderrTail)
+           << "\"\n";
+        os << "    }" << (i + 1 < failures.size() ? ",\n" : "\n");
     }
     os << "  ]\n";
     os << "}\n";

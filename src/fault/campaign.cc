@@ -1,18 +1,34 @@
 #include "fault/campaign.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <sstream>
 
 #include "apps/harness.hh"
 #include "common/logging.hh"
+#include "exp/fingerprint.hh"
+#include "exp/journal.hh"
 #include "exp/scheduler.hh"
 #include "fault/crash_image.hh"
 #include "nvm/undo_log.hh"
+#include "sim/session.hh"
 
 namespace ede {
 
 namespace {
+
+/** Reverse of configName; nullopt for an unknown name. */
+std::optional<Config>
+configFromName(const std::string &name)
+{
+    for (Config c : kAllConfigs) {
+        if (configName(c) == name)
+            return c;
+    }
+    return std::nullopt;
+}
 
 /** Decorrelated 64-bit stream: one value per (seed, salt) pair. */
 std::uint64_t
@@ -163,7 +179,8 @@ shrinkFailure(const WorkloadHarness &h, Cycle crashCycle,
  * simulate in parallel.
  */
 std::unique_ptr<WorkloadHarness>
-simulateConfig(const CampaignOptions &options, Config cfg)
+simulateConfig(const CampaignOptions &options, Config cfg,
+               bool checked = false)
 {
     const LogJobTag tag("campaign/" + std::string(configName(cfg)));
     auto h = std::make_unique<WorkloadHarness>(options.app, cfg,
@@ -180,7 +197,10 @@ simulateConfig(const CampaignOptions &options, Config cfg)
         makeAcceptFaultInjector(sim_plan));
 
     h->generate();
-    h->simulate();
+    if (checked)
+        h->simulateChecked();  // SimFaultError, classifiable by a worker.
+    else
+        h->simulate();
     return h;
 }
 
@@ -241,6 +261,91 @@ classifyConfig(const CampaignOptions &options, Config cfg,
     return result;
 }
 
+constexpr const char *kConfigResultMagic = "ede-campaign-config-v1";
+
+/** FaultPlan as whitespace tokens (rate by bit pattern, exact). */
+void
+emitPlan(std::ostream &os, const FaultPlan &p)
+{
+    std::uint64_t rate_bits = 0;
+    std::memcpy(&rate_bits, &p.acceptFaultRate, sizeof(rate_bits));
+    os << p.seed << ' ' << p.drainLines << ' '
+       << static_cast<unsigned>(p.tear) << ' ' << rate_bits << ' '
+       << p.maxConsecutiveRejects;
+}
+
+bool
+readPlan(std::istream &is, FaultPlan &p)
+{
+    std::uint64_t seed = 0, rate_bits = 0;
+    std::uint32_t drain = 0, rejects = 0;
+    unsigned tear = 0;
+    if (!(is >> seed >> drain >> tear >> rate_bits >> rejects))
+        return false;
+    if (tear > static_cast<unsigned>(TearKind::Interleaved))
+        return false;
+    p.seed = seed;
+    p.drainLines = drain;
+    p.tear = static_cast<TearKind>(tear);
+    std::memcpy(&p.acceptFaultRate, &rate_bits, sizeof(double));
+    p.maxConsecutiveRejects = rejects;
+    return true;
+}
+
+/** Minimal JSON string escaping (failure messages, stderr tails). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+emitPlanJson(std::ostream &os, const FaultPlan &p)
+{
+    os << "{\"seed\": " << p.seed << ", \"drain_lines\": "
+       << p.drainLines << ", \"tear\": \"" << tearKindName(p.tear)
+       << "\", \"accept_fault_rate\": "
+       << jsonDouble(p.acceptFaultRate)
+       << ", \"max_consecutive_rejects\": " << p.maxConsecutiveRejects
+       << "}";
+}
+
+/** The worker identity of one (campaign, config) pair. */
+std::uint64_t
+configFingerprint(const CampaignOptions &options, Config cfg)
+{
+    exp::FingerprintHasher h;
+    h.field("campaign.sweep", campaignSweepId(options));
+    h.field("campaign.config", configName(cfg));
+    return h.value();
+}
+
 } // namespace
 
 const char *
@@ -297,15 +402,330 @@ CampaignReport::describe() const
         for (const Reproducer &rep : c.failures)
             os << "    FAILURE " << rep.describe() << "\n";
     }
+    for (const QuarantinedConfig &q : quarantined) {
+        os << "  " << configName(q.config) << ": QUARANTINED ("
+           << q.failure.describe() << ")\n";
+    }
     os << (safeConfigsClean()
                ? "  safe configurations clean (Table III holds)\n"
                : "  SAFE CONFIGURATION FAILURES above\n");
+    if (!quarantined.empty()) {
+        os << "  " << quarantined.size()
+           << " configuration(s) quarantined -- no verdict for them\n";
+    }
     return os.str();
 }
+
+std::string
+serializeConfigResult(const CampaignConfigResult &result)
+{
+    std::ostringstream os;
+    os << kConfigResultMagic << "\n";
+    os << "config " << configName(result.config) << "\n";
+    os << "cycles " << result.cycles << "\n";
+    os << "transientRejects " << result.transientRejects << "\n";
+    os << "tallies " << result.points << ' ' << result.recovered
+       << ' ' << result.tornDetected << ' ' << result.unrecoverable
+       << "\n";
+    os << "results " << result.results.size() << "\n";
+    for (const CrashPointResult &r : result.results) {
+        os << "p " << r.crashCycle << ' '
+           << static_cast<int>(r.outcome) << ' ' << r.entriesTorn
+           << ' ';
+        emitPlan(os, r.plan);
+        os << "\n";
+    }
+    os << "failures " << result.failures.size() << "\n";
+    for (const Reproducer &rep : result.failures) {
+        os << "f " << rep.seed << ' ' << configName(rep.config) << ' '
+           << rep.crashCycle << ' ';
+        emitPlan(os, rep.plan);
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::optional<CampaignConfigResult>
+deserializeConfigResult(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string magic, key, name;
+    if (!(is >> magic) || magic != kConfigResultMagic)
+        return std::nullopt;
+
+    CampaignConfigResult result;
+    if (!(is >> key >> name) || key != "config")
+        return std::nullopt;
+    const std::optional<Config> cfg = configFromName(name);
+    if (!cfg)
+        return std::nullopt;
+    result.config = *cfg;
+
+    if (!(is >> key >> result.cycles) || key != "cycles")
+        return std::nullopt;
+    if (!(is >> key >> result.transientRejects) ||
+        key != "transientRejects") {
+        return std::nullopt;
+    }
+    if (!(is >> key >> result.points >> result.recovered >>
+          result.tornDetected >> result.unrecoverable) ||
+        key != "tallies") {
+        return std::nullopt;
+    }
+
+    std::size_t n = 0;
+    if (!(is >> key >> n) || key != "results")
+        return std::nullopt;
+    result.results.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        CrashPointResult r;
+        int outcome = 0;
+        if (!(is >> key >> r.crashCycle >> outcome >>
+              r.entriesTorn) ||
+            key != "p" || outcome < 0 ||
+            outcome > static_cast<int>(CrashOutcome::Unrecoverable) ||
+            !readPlan(is, r.plan)) {
+            return std::nullopt;
+        }
+        r.outcome = static_cast<CrashOutcome>(outcome);
+        result.results.push_back(r);
+    }
+
+    if (!(is >> key >> n) || key != "failures")
+        return std::nullopt;
+    result.failures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Reproducer rep;
+        if (!(is >> key >> rep.seed >> name >> rep.crashCycle) ||
+            key != "f" || !readPlan(is, rep.plan)) {
+            return std::nullopt;
+        }
+        const std::optional<Config> repCfg = configFromName(name);
+        if (!repCfg)
+            return std::nullopt;
+        rep.config = *repCfg;
+        result.failures.push_back(std::move(rep));
+    }
+    return result;
+}
+
+std::uint64_t
+campaignSweepId(const CampaignOptions &options)
+{
+    exp::FingerprintHasher h;
+    h.field("campaign.schema",
+            static_cast<std::uint64_t>(exp::kResultSchemaVersion));
+    h.field("campaign.app", appName(options.app));
+    h.field("campaign.seed", options.seed);
+    h.field("campaign.pointsPerConfig",
+            static_cast<std::uint64_t>(options.pointsPerConfig));
+    h.field("campaign.txns",
+            static_cast<std::uint64_t>(options.spec.txns));
+    h.field("campaign.opsPerTxn",
+            static_cast<std::uint64_t>(options.spec.opsPerTxn));
+    h.field("campaign.workloadSeed", options.spec.seed);
+    h.field("campaign.acceptFaultRate", options.acceptFaultRate);
+    h.field("campaign.configs",
+            static_cast<std::uint64_t>(options.configs.size()));
+    for (Config c : options.configs)
+        h.field("campaign.config", configName(c));
+    return h.value();
+}
+
+std::string
+campaignToJson(const CampaignReport &report)
+{
+    const CampaignOptions &opt = report.options;
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"bench\": \"fault_campaign\",\n";
+    os << "  \"schema\": " << exp::kResultSchemaVersion << ",\n";
+    os << "  \"campaign\": {\"app\": \"" << appName(opt.app)
+       << "\", \"seed\": " << opt.seed << ", \"points_per_config\": "
+       << opt.pointsPerConfig << ", \"txns\": " << opt.spec.txns
+       << ", \"ops_per_txn\": " << opt.spec.opsPerTxn
+       << ", \"workload_seed\": " << opt.spec.seed
+       << ", \"accept_fault_rate\": "
+       << jsonDouble(opt.acceptFaultRate) << "},\n";
+    os << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < report.configs.size(); ++i) {
+        const CampaignConfigResult &c = report.configs[i];
+        os << "    {\n";
+        os << "      \"config\": \"" << configName(c.config)
+           << "\",\n";
+        os << "      \"cycles\": " << c.cycles << ",\n";
+        os << "      \"transient_rejects\": " << c.transientRejects
+           << ",\n";
+        os << "      \"points\": " << c.points << ",\n";
+        os << "      \"recovered\": " << c.recovered << ",\n";
+        os << "      \"torn_detected\": " << c.tornDetected << ",\n";
+        os << "      \"unrecoverable\": " << c.unrecoverable << ",\n";
+        os << "      \"crash_points\": [";
+        for (std::size_t j = 0; j < c.results.size(); ++j) {
+            const CrashPointResult &r = c.results[j];
+            os << (j ? ",\n        " : "\n        ");
+            os << "{\"cycle\": " << r.crashCycle << ", \"outcome\": \""
+               << crashOutcomeName(r.outcome) << "\", \"entries_torn\": "
+               << r.entriesTorn << ", \"plan\": ";
+            emitPlanJson(os, r.plan);
+            os << "}";
+        }
+        os << (c.results.empty() ? "],\n" : "\n      ],\n");
+        os << "      \"failures\": [";
+        for (std::size_t j = 0; j < c.failures.size(); ++j) {
+            const Reproducer &rep = c.failures[j];
+            os << (j ? ",\n        " : "\n        ");
+            os << "{\"seed\": " << rep.seed << ", \"config\": \""
+               << configName(rep.config) << "\", \"crash_cycle\": "
+               << rep.crashCycle << ", \"plan\": ";
+            emitPlanJson(os, rep.plan);
+            os << "}";
+        }
+        os << (c.failures.empty() ? "]\n" : "\n      ]\n");
+        os << "    }"
+           << (i + 1 < report.configs.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"quarantined\": [\n";
+    for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+        const QuarantinedConfig &q = report.quarantined[i];
+        const exp::JobFailure &f = q.failure;
+        os << "    {\"config\": \"" << configName(q.config)
+           << "\", \"outcome\": \"" << exp::jobOutcomeName(f.outcome)
+           << "\", \"signal\": " << f.signal << ", \"exit_code\": "
+           << f.exitCode << ", \"attempts\": " << f.attempts
+           << ", \"message\": \"" << jsonEscape(f.message)
+           << "\", \"stderr_tail\": \"" << jsonEscape(f.stderrTail)
+           << "\"}"
+           << (i + 1 < report.quarantined.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"safe_configs_clean\": "
+       << (report.safeConfigsClean() ? "true" : "false") << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+namespace {
+
+/**
+ * The isolated campaign: one forked worker per configuration.  The
+ * child simulates and classifies serially (its own inner scheduler is
+ * jobs=1) and ships the exact serialization back; the parent fans out
+ * across configurations, quarantining any config whose worker keeps
+ * failing.  The journal makes the fan-out resumable per config.
+ */
+CampaignReport
+runCampaignIsolated(const CampaignOptions &options)
+{
+    if (!exp::processIsolationSupported())
+        ede_fatal("process isolation is not supported on this platform");
+
+    const std::size_t n = options.configs.size();
+    std::optional<exp::SweepJournal> journal;
+    if (!options.journalPath.empty()) {
+        journal.emplace(options.journalPath, campaignSweepId(options),
+                        n, options.resume);
+    }
+
+    std::vector<std::optional<CampaignConfigResult>> slots(n);
+    std::vector<std::optional<QuarantinedConfig>> poisoned(n);
+    auto quarantine = [&](std::size_t i, Config cfg,
+                          exp::JobFailure failure) {
+        ede_warn("config '", configName(cfg), "' quarantined: ",
+                 failure.describe());
+        if (journal) {
+            journal->recordQuarantine(
+                i, configFingerprint(options, cfg), failure);
+        }
+        poisoned[i] = QuarantinedConfig{cfg, std::move(failure)};
+    };
+
+    auto runConfig = [&](std::size_t i) {
+        const Config cfg = options.configs[i];
+        const std::uint64_t fp = configFingerprint(options, cfg);
+
+        if (journal && options.resume) {
+            const auto it = journal->replayed().find(i);
+            if (it != journal->replayed().end() &&
+                it->second.fingerprint == fp) {
+                const exp::JournalEntry &e = it->second;
+                if (e.ok) {
+                    if (std::optional<CampaignConfigResult> r =
+                            deserializeConfigResult(e.payload);
+                        r && r->config == cfg) {
+                        slots[i] = std::move(*r);
+                        return;
+                    }
+                    // Corrupt payload: fall through and re-run.
+                } else {
+                    poisoned[i] = QuarantinedConfig{cfg, e.failure};
+                    return;
+                }
+            }
+        }
+
+        const exp::WorkerRun run = exp::runWithRetry(
+            [&]() -> std::string {
+                if (!options.chaosCrashConfig.empty() &&
+                    configName(cfg) == options.chaosCrashConfig) {
+                    std::abort();
+                }
+                CampaignOptions child = options;
+                child.jobs = 1;  // The worker *is* the parallel unit.
+                const std::unique_ptr<WorkloadHarness> h =
+                    simulateConfig(child, cfg, /*checked=*/true);
+                return serializeConfigResult(classifyConfig(
+                    child, cfg, *h, exp::Scheduler(1)));
+            },
+            options.limits, options.retry, /*jitterSeed=*/fp);
+
+        if (run.ok()) {
+            if (std::optional<CampaignConfigResult> r =
+                    deserializeConfigResult(run.payload);
+                r && r->config == cfg) {
+                if (journal)
+                    journal->recordOk(i, fp, run.payload);
+                slots[i] = std::move(*r);
+                return;
+            }
+            exp::JobFailure protocol;
+            protocol.outcome = exp::JobOutcome::Crashed;
+            protocol.attempts = run.failure.attempts;
+            protocol.message =
+                "worker payload failed campaign-result validation";
+            quarantine(i, cfg, std::move(protocol));
+            return;
+        }
+        quarantine(i, cfg, run.failure);
+    };
+
+    const exp::Scheduler sched(options.jobs);
+    sched.run(n, runConfig, exp::FailureMode::KeepGoing);
+
+    CampaignReport report;
+    report.options = options;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (slots[i])
+            report.configs.push_back(std::move(*slots[i]));
+        else if (poisoned[i])
+            report.quarantined.push_back(std::move(*poisoned[i]));
+    }
+    return report;
+}
+
+} // namespace
 
 CampaignReport
 runCampaign(const CampaignOptions &options)
 {
+    if (!options.journalPath.empty() && !options.isolate) {
+        ede_fatal("the campaign journal requires process isolation "
+                  "(--isolate)");
+    }
+    if (options.isolate)
+        return runCampaignIsolated(options);
+
     const exp::Scheduler sched(options.jobs);
 
     // Phase 1: every configuration's simulation is independent.

@@ -27,10 +27,12 @@
 #define EDE_FAULT_CAMPAIGN_HH
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "apps/driver.hh"
+#include "exp/worker.hh"
 #include "fault/fault_plan.hh"
 #include "sim/config.hh"
 
@@ -99,6 +101,41 @@ struct CampaignOptions
      * job count).  0 = hardware concurrency; default 1 = serial.
      */
     unsigned jobs = 1;
+
+    /**
+     * Fork one worker per configuration: the child simulates and
+     * classifies the whole config serially and ships the serialized
+     * CampaignConfigResult back; a crash/hang/OOM quarantines that
+     * configuration instead of killing the campaign.  Results are
+     * bit-identical to the in-process path (the serialization is
+     * exact).
+     */
+    bool isolate = false;
+
+    exp::WorkerLimits limits;  ///< Per-config bounds (isolate only).
+    exp::RetryPolicy retry;    ///< Transient-failure retries.
+
+    /**
+     * Append-only journal of per-config outcomes; empty disables it.
+     * With `resume`, configs already journaled by a compatible run
+     * are replayed instead of re-simulated.  Requires `isolate`.
+     */
+    std::string journalPath;
+    bool resume = false;
+
+    /**
+     * Test/chaos hook: the configuration with this name calls
+     * abort() inside its isolated worker -- how tests and the CI
+     * chaos job provoke a deterministic quarantine.
+     */
+    std::string chaosCrashConfig;
+};
+
+/** A configuration whose isolated worker never produced a result. */
+struct QuarantinedConfig
+{
+    Config config = Config::B;
+    exp::JobFailure failure;
 };
 
 /** The whole campaign's outcome. */
@@ -106,9 +143,13 @@ struct CampaignReport
 {
     CampaignOptions options;
     std::vector<CampaignConfigResult> configs;
+    std::vector<QuarantinedConfig> quarantined; ///< Isolated runs only.
 
     /** Table III holds: no safe config produced an unrecoverable. */
     bool safeConfigsClean() const;
+
+    /** Campaign acceptance: Table III holds and nothing quarantined. */
+    bool ok() const { return safeConfigsClean() && quarantined.empty(); }
 
     /** Multi-line human-readable summary with reproducer tuples. */
     std::string describe() const;
@@ -116,6 +157,29 @@ struct CampaignReport
 
 /** Run the campaign. */
 CampaignReport runCampaign(const CampaignOptions &options);
+
+/** @name Campaign worker wire format / journal payloads. */
+/// @{
+
+/** Exact text serialization of one config's classified results. */
+std::string serializeConfigResult(const CampaignConfigResult &result);
+
+/** Inverse of serializeConfigResult; nullopt on any malformation. */
+std::optional<CampaignConfigResult>
+deserializeConfigResult(const std::string &text);
+
+/** Journal identity: hash of every input that shapes the campaign. */
+std::uint64_t campaignSweepId(const CampaignOptions &options);
+/// @}
+
+/**
+ * Deterministic JSON artifact for the campaign: options, per-config
+ * tallies and crash points, shrunk reproducers, and quarantined
+ * configurations.  Contains no host-side measurements, so an
+ * interrupted-then-resumed campaign serializes byte-identically to an
+ * uninterrupted one (the CI chaos gate relies on this).
+ */
+std::string campaignToJson(const CampaignReport &report);
 
 } // namespace ede
 

@@ -1,8 +1,31 @@
 #include "sim/session.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace ede {
+
+namespace {
+
+/** what() text: kind + cycle header, then the full dump. */
+std::string
+simFaultMessage(const SimError &error)
+{
+    std::ostringstream os;
+    os << simErrorKindName(error.kind) << " at cycle " << error.cycle
+       << " (last progress at " << error.lastProgressCycle << ")\n"
+       << error.describe();
+    return os.str();
+}
+
+} // namespace
+
+SimFaultError::SimFaultError(SimError error)
+    : std::runtime_error(simFaultMessage(error)),
+      error_(std::move(error))
+{
+}
 
 Session::Session(const SimConfig &config)
     : config_(config), system_(config)
@@ -20,6 +43,15 @@ Session::run(const Trace &trace)
     r.stats = system_.result();
     r.error = system_.core().simError();
     r.profile = system_.profile();
+    return r;
+}
+
+SimResult
+Session::runChecked(const Trace &trace)
+{
+    SimResult r = run(trace);
+    if (!r.ok())
+        throw SimFaultError(r.error);
     return r;
 }
 

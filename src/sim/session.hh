@@ -21,11 +21,34 @@
 #ifndef EDE_SIM_SESSION_HH
 #define EDE_SIM_SESSION_HH
 
+#include <stdexcept>
+
 #include "exp/profile.hh"
 #include "sim/sim_config.hh"
 #include "sim/system.hh"
 
 namespace ede {
+
+/**
+ * A structured simulator abort (watchdog, max-cycles backstop, EDK
+ * dependence cycle) raised as an exception.  what() carries the kind
+ * name, the abort cycle and the full diagnostic dump, so an isolated
+ * experiment worker can ship the whole report to its parent as a
+ * typed SimFault failure record instead of dying on a panic.
+ */
+class SimFaultError : public std::runtime_error
+{
+  public:
+    explicit SimFaultError(SimError error);
+
+    /** The full structured report. */
+    const SimError &error() const { return error_; }
+
+    SimErrorKind kind() const { return error_.kind; }
+
+  private:
+    SimError error_;
+};
 
 /** Everything one simulation produced. */
 struct SimResult
@@ -52,6 +75,15 @@ class Session
      * wraps: build a fresh Session per run.
      */
     SimResult run(const Trace &trace);
+
+    /**
+     * As run(), but a structured simulator abort raises SimFaultError
+     * (carrying the full SimError) instead of returning it in the
+     * result -- the contract isolated experiment workers rely on to
+     * turn watchdog / max-cycles / EdkDependenceCycle aborts into
+     * typed failure records.
+     */
+    SimResult runChecked(const Trace &trace);
 
     /** True once run() has been called. */
     bool ran() const { return ran_; }

@@ -7,7 +7,9 @@
 #include <string>
 
 #include "audit/auditor.hh"
+#include "common/logging.hh"
 #include "common/random.hh"
+#include "exp/journal.hh"
 #include "exp/scheduler.hh"
 #include "mem/mem_system.hh"
 #include "pipeline/core.hh"
@@ -737,6 +739,52 @@ checkProgram(std::size_t index, const FuzzOptions &opt)
     return res;
 }
 
+constexpr const char *kProgResultMagic = "ede-fuzz-prog-v1";
+
+/** ProgResult as one whitespace-token line (worker wire format). */
+std::string
+serializeProgResult(const ProgResult &res)
+{
+    std::ostringstream os;
+    os << kProgResultMagic << ' ' << static_cast<int>(res.cls) << ' '
+       << (res.accepted ? 1 : 0) << ' ' << res.runs << ' '
+       << res.detectorReports << ' ' << res.fencesSynthesized << ' '
+       << res.externalStalls << ' ' << res.watchdogFirings << ' '
+       << res.auditChecked << ' ' << res.auditViolations;
+    for (std::uint64_t d : res.diag)
+        os << ' ' << d;
+    os << ' ' << exp::journalEscape(res.failure);
+    return os.str();
+}
+
+std::optional<ProgResult>
+deserializeProgResult(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string magic;
+    int cls = 0, accepted = 0;
+    ProgResult res;
+    if (!(is >> magic >> cls >> accepted >> res.runs >>
+          res.detectorReports >> res.fencesSynthesized >>
+          res.externalStalls >> res.watchdogFirings >>
+          res.auditChecked >> res.auditViolations) ||
+        magic != kProgResultMagic || cls < 0 ||
+        cls > static_cast<int>(ProgClass::HardwareFault)) {
+        return std::nullopt;
+    }
+    res.cls = static_cast<ProgClass>(cls);
+    res.accepted = accepted != 0;
+    for (std::uint64_t &d : res.diag) {
+        if (!(is >> d))
+            return std::nullopt;
+    }
+    std::string escaped;
+    if (!(is >> escaped))
+        return std::nullopt;
+    res.failure = exp::journalUnescape(escaped);
+    return res;
+}
+
 } // namespace
 
 std::string
@@ -768,24 +816,82 @@ FuzzReport::describe() const
        << auditViolations << " violations\n";
     os << "contract: "
        << (contractHolds() ? "HOLDS" : "VIOLATED") << " ("
-       << violations << " violating programs)\n";
+       << violations << " violating programs, " << quarantined
+       << " quarantined)\n";
     for (const std::string &f : failures)
         os << "  " << f << "\n";
+    for (const std::string &q : quarantineFailures)
+        os << "  " << q << "\n";
     return os.str();
 }
 
 FuzzReport
 runVerifyFuzz(const FuzzOptions &options)
 {
-    exp::Scheduler sched(options.jobs);
-    const std::vector<ProgResult> results =
-        sched.map<ProgResult>(options.programs, [&](std::size_t i) {
-            return checkProgram(i, options);
-        });
+    if (options.isolate && !exp::processIsolationSupported())
+        ede_fatal("process isolation is not supported on this platform");
 
+    exp::Scheduler sched(options.jobs);
     FuzzReport report;
-    report.programs = results.size();
-    for (const ProgResult &r : results) {
+
+    std::vector<std::optional<ProgResult>> slots(options.programs);
+    std::vector<std::optional<exp::JobFailure>> poisoned(
+        options.programs);
+    auto checkIndex = [&](std::size_t i) {
+        if (!options.isolate) {
+            slots[i] = checkProgram(i, options);
+            return;
+        }
+        const exp::WorkerRun run = exp::runWithRetry(
+            [&]() -> std::string {
+                if (i == options.chaosCrashIndex)
+                    std::abort();
+                return serializeProgResult(checkProgram(i, options));
+            },
+            options.limits, options.retry,
+            /*jitterSeed=*/options.seed ^
+                ((i + 1) * 0x9e3779b97f4a7c15ull));
+        if (run.ok()) {
+            if (std::optional<ProgResult> r =
+                    deserializeProgResult(run.payload)) {
+                slots[i] = std::move(*r);
+                return;
+            }
+            exp::JobFailure protocol;
+            protocol.outcome = exp::JobOutcome::Crashed;
+            protocol.attempts = run.failure.attempts;
+            protocol.message =
+                "worker payload failed fuzz-result validation";
+            poisoned[i] = std::move(protocol);
+        } else {
+            poisoned[i] = run.failure;
+        }
+        ede_warn("fuzz program ", i, " quarantined: ",
+                 poisoned[i]->describe());
+    };
+
+    if (options.isolate) {
+        sched.run(options.programs, checkIndex,
+                  exp::FailureMode::KeepGoing);
+    } else {
+        sched.parallelFor(options.programs, checkIndex);
+    }
+
+    report.programs = options.programs;
+    for (std::size_t i = 0; i < options.programs; ++i) {
+        if (!slots[i]) {
+            ++report.quarantined;
+            if (report.quarantineFailures.size() <
+                options.maxFailures) {
+                report.quarantineFailures.push_back(
+                    "program " + std::to_string(i) +
+                    " quarantined: " +
+                    (poisoned[i] ? poisoned[i]->describe()
+                                 : std::string("no worker verdict")));
+            }
+            continue;
+        }
+        const ProgResult &r = *slots[i];
         switch (r.cls) {
           case ProgClass::WellFormed:
             ++report.wellFormed;

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/worker.hh"
 #include "verify/diagnostics.hh"
 
 namespace ede {
@@ -47,6 +48,10 @@ namespace ede {
 /** Campaign configuration. */
 struct FuzzOptions
 {
+    /** chaosCrashIndex value meaning "no chaos hook". */
+    static constexpr std::size_t kNoChaos =
+        static_cast<std::size_t>(-1);
+
     std::uint64_t seed = 1;      ///< Campaign root seed.
     std::size_t programs = 2000; ///< Programs to generate.
     std::size_t maxOps = 80;     ///< Generator length cap per program.
@@ -57,6 +62,25 @@ struct FuzzOptions
     /** Dump the disassembly and diagnostics of every contract
      *  violation to stderr (debugging aid). */
     bool dumpFailures = false;
+
+    /**
+     * Fork one worker per program: a crash, hang or OOM while
+     * checking one adversarial program quarantines that program
+     * (tallied + reported, campaign completes) instead of killing
+     * the whole campaign.  Results are bit-identical to the
+     * in-process path.
+     */
+    bool isolate = false;
+
+    exp::WorkerLimits limits;  ///< Per-program bounds (isolate only).
+    exp::RetryPolicy retry;    ///< Transient-failure retries.
+
+    /**
+     * Test/chaos hook: the program at this index calls abort()
+     * inside its isolated worker -- how tests and the CI chaos job
+     * provoke a deterministic quarantine.  kNoChaos disables it.
+     */
+    std::size_t chaosCrashIndex = kNoChaos;
 };
 
 /** Aggregate campaign outcome. */
@@ -84,8 +108,20 @@ struct FuzzReport
     std::size_t violations = 0; ///< Programs that broke the contract.
     std::vector<std::string> failures; ///< First few violations.
 
-    /** True when every generated program honoured the contract. */
-    bool contractHolds() const { return violations == 0; }
+    /** Programs whose isolated worker never produced a verdict. */
+    std::size_t quarantined = 0;
+    std::vector<std::string> quarantineFailures; ///< First few.
+
+    /**
+     * True when every generated program honoured the contract.  A
+     * quarantined program has *no* verdict, so it counts against the
+     * contract: the campaign completed, but not every program was
+     * checked.
+     */
+    bool contractHolds() const
+    {
+        return violations == 0 && quarantined == 0;
+    }
 
     /** Multi-line human-readable summary. */
     std::string describe() const;

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the bench command-line front end: strict value parsing
+ * (whole-string integers/doubles, no silent zeroes from garbage),
+ * unknown-flag and malformed-value rejection with exit status 2, and
+ * the isolation-flag plumbing into exp::RunnerOptions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../bench/cli.hh"
+
+namespace ede {
+namespace {
+
+using bench::Cli;
+using bench::CliError;
+using bench::IsolationOptions;
+
+/** argv builder for Cli::parse. */
+struct Args
+{
+    explicit Args(std::initializer_list<const char *> words)
+        : storage(words.begin(), words.end())
+    {
+        storage.insert(storage.begin(), "prog");
+        for (std::string &w : storage)
+            ptrs.push_back(w.data());
+    }
+
+    int argc() { return static_cast<int>(ptrs.size()); }
+    char **argv() { return ptrs.data(); }
+
+    std::vector<std::string> storage;
+    std::vector<char *> ptrs;
+};
+
+// ---------------------------------------------------------------- //
+// Value conversions
+// ---------------------------------------------------------------- //
+
+TEST(CliValues, ParsesWellFormedIntegers)
+{
+    EXPECT_EQ(bench::toU64("0"), 0u);
+    EXPECT_EQ(bench::toU64("42"), 42u);
+    EXPECT_EQ(bench::toU64("0x10"), 16u);  // Base prefixes still work.
+    EXPECT_EQ(bench::toUnsigned("4294967295"), 4294967295u);
+    EXPECT_DOUBLE_EQ(bench::toF64("0.25"), 0.25);
+    EXPECT_DOUBLE_EQ(bench::toF64("-1.5"), -1.5);
+}
+
+TEST(CliValues, RejectsMalformedIntegers)
+{
+    EXPECT_THROW(bench::toU64(""), CliError);
+    EXPECT_THROW(bench::toU64("abc"), CliError);
+    EXPECT_THROW(bench::toU64("12abc"), CliError);
+    EXPECT_THROW(bench::toU64("-3"), CliError);
+    EXPECT_THROW(bench::toU64("99999999999999999999999"), CliError);
+    EXPECT_THROW(bench::toUnsigned("4294967296"), CliError);
+}
+
+TEST(CliValues, RejectsMalformedDoubles)
+{
+    EXPECT_THROW(bench::toF64(""), CliError);
+    EXPECT_THROW(bench::toF64("fast"), CliError);
+    EXPECT_THROW(bench::toF64("0.5x"), CliError);
+}
+
+// ---------------------------------------------------------------- //
+// Parse: rejection paths exit 2 with a one-line diagnostic
+// ---------------------------------------------------------------- //
+
+Cli
+seedCli(std::uint64_t &seed)
+{
+    Cli cli("testprog");
+    cli.value("--seed", "N", "rng seed", [&seed](const std::string &v) {
+        seed = bench::toU64(v);
+    });
+    return cli;
+}
+
+using CliDeathTest = ::testing::Test;
+
+TEST(CliDeathTest, UnknownFlagExitsTwo)
+{
+    std::uint64_t seed = 0;
+    Args args({"--sede", "7"});
+    EXPECT_EXIT(seedCli(seed).parse(args.argc(), args.argv()),
+                ::testing::ExitedWithCode(2), "unknown flag '--sede'");
+}
+
+TEST(CliDeathTest, MalformedValueExitsTwoAndNamesTheFlag)
+{
+    std::uint64_t seed = 0;
+    Args args({"--seed", "banana"});
+    EXPECT_EXIT(seedCli(seed).parse(args.argc(), args.argv()),
+                ::testing::ExitedWithCode(2),
+                "flag --seed: expected an unsigned integer, got "
+                "'banana'");
+}
+
+TEST(CliDeathTest, MissingValueExitsTwo)
+{
+    std::uint64_t seed = 0;
+    Args args({"--seed"});
+    EXPECT_EXIT(seedCli(seed).parse(args.argc(), args.argv()),
+                ::testing::ExitedWithCode(2),
+                "flag --seed needs a value");
+}
+
+TEST(CliDeathTest, ZeroAttemptsIsRejected)
+{
+    IsolationOptions iso;
+    Cli cli("testprog");
+    bench::addIsolationFlags(cli, iso);
+    Args args({"--attempts", "0"});
+    EXPECT_EXIT(cli.parse(args.argc(), args.argv()),
+                ::testing::ExitedWithCode(2),
+                "--attempts must be >= 1");
+}
+
+// ---------------------------------------------------------------- //
+// Accepting paths
+// ---------------------------------------------------------------- //
+
+TEST(Cli, GoodValuesReachTheCallback)
+{
+    std::uint64_t seed = 0;
+    Args args({"--seed", "0x2a"});
+    seedCli(seed).parse(args.argc(), args.argv());
+    EXPECT_EQ(seed, 42u);
+}
+
+TEST(Cli, IsolationFlagsPopulateRunnerOptions)
+{
+    IsolationOptions iso;
+    Cli cli("testprog");
+    bench::addIsolationFlags(cli, iso);
+    Args args({"--isolate", "--timeout-ms", "1500", "--mem-limit-mb",
+               "256", "--attempts", "5", "--journal", "j.log",
+               "--resume"});
+    cli.parse(args.argc(), args.argv());
+
+    EXPECT_TRUE(iso.isolate);
+    EXPECT_EQ(iso.limits.timeoutMs, 1500u);
+    EXPECT_EQ(iso.limits.memLimitBytes, 256ull * 1024 * 1024);
+    EXPECT_EQ(iso.retry.maxAttempts, 5u);
+    EXPECT_EQ(iso.journalPath, "j.log");
+    EXPECT_TRUE(iso.resume);
+
+    exp::RunnerOptions ro;
+    bench::applyIsolation(ro, iso);
+    EXPECT_EQ(ro.isolation, exp::IsolationMode::Process);
+    EXPECT_EQ(ro.limits.timeoutMs, 1500u);
+    EXPECT_EQ(ro.retry.maxAttempts, 5u);
+    EXPECT_EQ(ro.journalPath, "j.log");
+    EXPECT_TRUE(ro.resume);
+}
+
+} // namespace
+} // namespace ede

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -17,6 +18,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "common/logging.hh"
 #include "exp/fingerprint.hh"
@@ -411,6 +413,167 @@ TEST(Logging, TagIsPerThread)
 // ---------------------------------------------------------------- //
 // Fault campaign through the scheduler
 // ---------------------------------------------------------------- //
+
+TEST(Scheduler, KeepGoingRunsEveryJobAndCollectsAllErrors)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        const Scheduler sched(jobs);
+        std::vector<std::atomic<int>> ran(16);
+        const exp::RunReport report = sched.run(
+            16,
+            [&](std::size_t i) {
+                ran[i].fetch_add(1);
+                if (i % 5 == 0)
+                    throw std::runtime_error("job failed");
+            },
+            exp::FailureMode::KeepGoing);
+
+        for (const std::atomic<int> &r : ran)
+            EXPECT_EQ(r.load(), 1);
+        ASSERT_EQ(report.errors.size(), 4u);  // 0, 5, 10, 15.
+        for (std::size_t k = 0; k < report.errors.size(); ++k)
+            EXPECT_EQ(report.errors[k].index, k * 5);
+        EXPECT_EQ(report.completed.size(), 12u);
+        EXPECT_TRUE(std::is_sorted(report.completed.begin(),
+                                   report.completed.end()));
+        EXPECT_FALSE(report.ok());
+    }
+}
+
+TEST(Scheduler, StopOnFirstErrorSurfacesCompletedIndices)
+{
+    // The satellite fix: a first-throw run no longer discards the
+    // work that *did* finish -- the report names every completed
+    // index alongside the error.
+    const Scheduler sched(1);
+    const exp::RunReport report = sched.run(
+        8,
+        [](std::size_t i) {
+            if (i == 3)
+                throw std::runtime_error("boom");
+        },
+        exp::FailureMode::StopOnFirstError);
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].index, 3u);
+    EXPECT_EQ(report.completed,
+              (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ResultCacheTest, SweepsStaleTempFilesAtOpen)
+{
+    // The satellite fix: a writer that died between temp-file create
+    // and rename used to leak `*.tmp.*` files forever; opening the
+    // cache now sweeps them.
+    const std::string dir = scratchDir("tmpsweep");
+    std::filesystem::create_directories(dir);
+    const std::string stale =
+        dir + "/0123456789abcdef.snapshot.tmp.12345";
+    std::ofstream(stale) << "orphaned partial write";
+    ASSERT_TRUE(std::filesystem::exists(stale));
+
+    const ResultCache cache(dir);
+    EXPECT_FALSE(std::filesystem::exists(stale));
+}
+
+// ---------------------------------------------------------------- //
+// Campaign worker wire format
+// ---------------------------------------------------------------- //
+
+TEST(CampaignWire, ConfigResultRoundTrips)
+{
+    CampaignOptions options;
+    options.spec = RunSpec{3, 4, 42};
+    options.pointsPerConfig = 8;
+    options.configs = {Config::B, Config::U};
+    const CampaignReport report = runCampaign(options);
+    ASSERT_EQ(report.configs.size(), 2u);
+
+    for (const CampaignConfigResult &c : report.configs) {
+        const std::string wire = serializeConfigResult(c);
+        const auto back = deserializeConfigResult(wire);
+        ASSERT_TRUE(back.has_value());
+        // Serialization is exact, so a second trip is byte-stable.
+        EXPECT_EQ(serializeConfigResult(*back), wire);
+        EXPECT_EQ(back->config, c.config);
+        EXPECT_EQ(back->cycles, c.cycles);
+        EXPECT_EQ(back->unrecoverable, c.unrecoverable);
+        ASSERT_EQ(back->results.size(), c.results.size());
+        ASSERT_EQ(back->failures.size(), c.failures.size());
+    }
+    EXPECT_FALSE(deserializeConfigResult("garbage").has_value());
+    EXPECT_FALSE(deserializeConfigResult("").has_value());
+}
+
+TEST(CampaignWire, SweepIdTracksEveryInput)
+{
+    CampaignOptions a;
+    EXPECT_EQ(campaignSweepId(a), campaignSweepId(a));
+    CampaignOptions b = a;
+    b.seed ^= 1;
+    EXPECT_NE(campaignSweepId(a), campaignSweepId(b));
+    CampaignOptions c = a;
+    c.pointsPerConfig += 1;
+    EXPECT_NE(campaignSweepId(a), campaignSweepId(c));
+    CampaignOptions d = a;
+    d.configs = {Config::B};
+    EXPECT_NE(campaignSweepId(a), campaignSweepId(d));
+}
+
+TEST(CampaignIsolated, MatchesInProcessResultsAndResumes)
+{
+    CampaignOptions options;
+    options.spec = RunSpec{3, 4, 42};
+    options.pointsPerConfig = 8;
+    options.configs = {Config::B, Config::U};
+
+    const CampaignReport inProc = runCampaign(options);
+
+    options.isolate = true;
+    options.jobs = 2;
+    options.retry.backoffBaseMs = 1;
+    options.journalPath =
+        scratchDir("campaign_iso") + "/campaign.journal";
+    std::filesystem::create_directories(
+        std::filesystem::path(options.journalPath).parent_path());
+    const CampaignReport isolated = runCampaign(options);
+
+    EXPECT_TRUE(isolated.quarantined.empty());
+    EXPECT_EQ(campaignToJson(inProc), campaignToJson(isolated));
+
+    // Resume replays the journal; the artifact stays byte-identical.
+    options.resume = true;
+    const CampaignReport resumed = runCampaign(options);
+    EXPECT_EQ(campaignToJson(isolated), campaignToJson(resumed));
+}
+
+TEST(CampaignIsolated, QuarantinesACrashingConfigAndFinishesTheRest)
+{
+    CampaignOptions options;
+    options.spec = RunSpec{3, 4, 42};
+    options.pointsPerConfig = 8;
+    options.configs = {Config::B, Config::U};
+    options.isolate = true;
+    options.jobs = 2;
+    options.retry.maxAttempts = 2;
+    options.retry.backoffBaseMs = 1;
+    options.chaosCrashConfig = "B";
+
+    const CampaignReport report = runCampaign(options);
+    ASSERT_EQ(report.quarantined.size(), 1u);
+    EXPECT_EQ(report.quarantined[0].config, Config::B);
+    EXPECT_EQ(report.quarantined[0].failure.outcome,
+              exp::JobOutcome::Crashed);
+    EXPECT_EQ(report.quarantined[0].failure.attempts, 2u);
+    ASSERT_EQ(report.configs.size(), 1u);
+    EXPECT_EQ(report.configs[0].config, Config::U);
+    EXPECT_GT(report.configs[0].points, 0u);
+    EXPECT_FALSE(report.ok());
+    // The JSON artifact carries the quarantine record.
+    EXPECT_NE(campaignToJson(report).find("\"quarantined\""),
+              std::string::npos);
+    EXPECT_NE(campaignToJson(report).find("\"crashed\""),
+              std::string::npos);
+}
 
 TEST(CampaignParallel, BitIdenticalAcrossJobCounts)
 {
