@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Crash-consistency model-checker driver.
+ *
+ * Where fault_campaign samples crash cycles, this driver enumerates
+ * the *entire* durable-set lattice of a (deliberately small) run:
+ * every downward-closed subset of the persist-ordering partial order
+ * that a power failure could leave durable, plus torn-persist
+ * variants at each set's frontier.  Every unique image goes through
+ * undo-log recovery and the application's invariant oracle; a
+ * violation is shrunk to a minimal durable-set counterexample.
+ *
+ * Usage:
+ *   model_check [--app NAME] [--seed N] [--txns N] [--ops N]
+ *               [--array-len N] [--config NAME]... [--drain-lines N]
+ *               [--max-states N] [--budget-ms T] [--no-torn]
+ *               [--seed-bug] [--jobs N] [--json PATH]
+ *               [--isolate] [--timeout-ms T] [--mem-limit-mb M]
+ *               [--attempts N] [--journal PATH] [--resume]
+ *
+ *   --seed-bug deletes the EDK operand ordering the first
+ *   transactional update behind its undo-log entry; the run then
+ *   passes only if the checker DETECTS the resulting violation in
+ *   every EDE configuration (checker-sensitivity gate).
+ *   --max-states is the deterministic search bound; --budget-ms is a
+ *   wall-clock bound and NONDETERMINISTIC in which states it covers.
+ *
+ * Exit status is non-zero when an intact configuration has a
+ * violating durable state, a seeded bug goes undetected, or a
+ * configuration was quarantined.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "cli.hh"
+#include "common/logging.hh"
+#include "fault/model_check/checker.hh"
+
+using namespace ede;
+using namespace ede::bench;
+
+namespace {
+
+AppId
+parseApp(const std::string &name)
+{
+    for (AppId id : kAllApps) {
+        if (name == appName(id))
+            return id;
+    }
+    std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+Config
+parseConfig(const std::string &name)
+{
+    for (Config c : kAllConfigs) {
+        if (name == configName(c))
+            return c;
+    }
+    std::fprintf(stderr, "unknown config '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ModelCheckOptions options;
+    std::string jsonPath;
+    std::vector<Config> configs;
+    IsolationOptions iso;
+    Cli cli("model_check");
+    cli.value("--app", "NAME", "workload application",
+              [&](const std::string &v) { options.app = parseApp(v); })
+        .value("--seed", "N", "model-check RNG seed (torn masks)",
+               [&](const std::string &v) { options.seed = toU64(v); })
+        .value("--txns", "N", "transactions per run",
+               [&](const std::string &v) {
+                   options.spec.txns = toU64(v);
+               })
+        .value("--ops", "N", "operations per transaction",
+               [&](const std::string &v) {
+                   options.spec.opsPerTxn = toU64(v);
+               })
+        .value("--array-len", "N",
+               "kernel array length (update/swap workloads)",
+               [&](const std::string &v) {
+                   options.appParams.arrayLen = toU64(v);
+               })
+        .value("--config", "NAME",
+               "configuration to check (repeatable; default B IQ WB)",
+               [&](const std::string &v) {
+                   configs.push_back(parseConfig(v));
+               })
+        .value("--drain-lines", "N",
+               "ADR drain budget in 256 B media lines "
+               "(default: unlimited, a working ADR)",
+               [&](const std::string &v) {
+                   options.drainLines = toUnsigned(v);
+               })
+        .value("--max-states", "N",
+               "deterministic bound on enumerated durable sets "
+               "(0 = unlimited)",
+               [&](const std::string &v) {
+                   options.maxStates = toU64(v);
+               })
+        .value("--budget-ms", "T",
+               "wall-clock search budget per config "
+               "(0 = unlimited; nondeterministic coverage)",
+               [&](const std::string &v) {
+                   options.budgetMs = toU64(v);
+               })
+        .toggle("--no-torn", "skip torn-persist frontier variants",
+                [&]() { options.torn = false; })
+        .toggle("--seed-bug",
+                "delete a load-bearing EDK and require the checker "
+                "to find the violation",
+                [&]() { options.seedBug = true; })
+        .value("--jobs", "N",
+               "parallel configurations (0 = hardware concurrency)",
+               [&](const std::string &v) {
+                   options.jobs = toUnsigned(v);
+               })
+        .value("--json", "PATH",
+               "write the deterministic model-check JSON artifact",
+               [&](const std::string &v) { jsonPath = v; })
+        .value("--chaos-crash-config", "NAME",
+               "chaos hook: this configuration's isolated worker "
+               "calls abort() (CI/testing only)",
+               [&](const std::string &v) {
+                   options.chaosCrashConfig = v;
+               });
+    addIsolationFlags(cli, iso);
+    cli.parse(argc, argv);
+
+    if (!configs.empty())
+        options.configs = configs;
+    options.isolate = iso.isolate;
+    options.limits = iso.limits;
+    options.retry = iso.retry;
+    options.journalPath = iso.journalPath;
+    options.resume = iso.resume;
+
+    const ModelCheckReport report = runModelCheck(options);
+    std::fputs(report.describe().c_str(), stdout);
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            ede_fatal("cannot write JSON artifact '", jsonPath, "'");
+        out << modelCheckToJson(report);
+        out.close();
+        if (!out)
+            ede_fatal("short write on JSON artifact '", jsonPath, "'");
+        std::printf("[model-check] wrote %s\n", jsonPath.c_str());
+    }
+    return report.ok() ? 0 : 1;
+}

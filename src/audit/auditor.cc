@@ -54,4 +54,13 @@ buildCrashImage(const std::vector<PersistEvent> &events,
     return img;
 }
 
+const char *
+crashInvariantName(bool appOk, const RecoveryResult &rec)
+{
+    if (appOk)
+        return nullptr;
+    return rec.sawCommitted ? "committed-update-missing"
+                            : "active-rollback-failed";
+}
+
 } // namespace ede

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "nvm/framework.hh"
+#include "nvm/undo_log.hh"
 #include "sim/system.hh"
 
 namespace ede {
@@ -66,6 +67,21 @@ MemoryImage buildCrashImage(const std::vector<PersistEvent> &events,
 void applyPersistEvents(MemoryImage &image,
                         const std::vector<PersistEvent> &events,
                         Cycle crashCycle);
+
+/**
+ * Name the crash-consistency invariant a recovered image violates,
+ * keyed on where the crash hit the commit protocol:
+ *
+ *  - "committed-update-missing": the state word read COMMITTED, so
+ *    every transactional update was supposed to be durable, yet the
+ *    recovered image fails the application oracle;
+ *  - "active-rollback-failed": the state word read ACTIVE, the undo
+ *    entries were replayed, and the image still does not match any
+ *    transaction boundary -- an update escaped its log entry.
+ *
+ * @return nullptr when @p appOk (no violation to name).
+ */
+const char *crashInvariantName(bool appOk, const RecoveryResult &rec);
 
 } // namespace ede
 

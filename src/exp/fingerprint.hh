@@ -47,8 +47,15 @@ namespace exp {
  * the fingerprint: an isolated cell is bit-identical to an inline
  * one by construction (the snapshot serialization *is* the wire
  * format between worker and parent).
+ *
+ * v5: persist events carry the originating trace index, torn persists
+ * generalized from "last accepted event" to any frontier event of the
+ * durable set (seed-chosen), and the model-check artifacts landed
+ * (BENCH_model_check.json with the durable-set lattice coverage).
+ * Campaign classifications can differ from v4 at torn crash points,
+ * so v4 journals/snapshots must not replay.
  */
-inline constexpr std::uint32_t kResultSchemaVersion = 4;
+inline constexpr std::uint32_t kResultSchemaVersion = 5;
 
 /** FNV-1a over a stream of tagged fields. */
 class FingerprintHasher

@@ -12,6 +12,7 @@
 #include "exp/journal.hh"
 #include "exp/scheduler.hh"
 #include "fault/crash_image.hh"
+#include "fault/model_check/checker.hh"
 #include "nvm/undo_log.hh"
 #include "sim/session.hh"
 
@@ -121,13 +122,13 @@ selectCrashPoints(const WorkloadHarness &h, std::size_t budget)
 /** Reconstruct, recover, classify one crash point under @p plan. */
 CrashPointResult
 classifyPoint(const WorkloadHarness &h, Cycle crashCycle,
-              const FaultPlan &plan)
+              const FaultPlan &plan, const PersistOrderGraph *order)
 {
     const System &sys = h.system();
     MemoryImage img = h.baselineNvm();
     applyFaultyPersistEvents(
         img, sys.persistEvents(), sys.mediaWriteEvents(), crashCycle,
-        plan, sys.mem().controller().nvm().params().lineBytes);
+        plan, sys.mem().controller().nvm().params().lineBytes, order);
     const RecoveryResult rec =
         recoverUndoLog(img, h.framework().logLayout());
 
@@ -151,7 +152,7 @@ classifyPoint(const WorkloadHarness &h, Cycle crashCycle,
  */
 FaultPlan
 shrinkFailure(const WorkloadHarness &h, Cycle crashCycle,
-              const FaultPlan &plan)
+              const FaultPlan &plan, const PersistOrderGraph *order)
 {
     FaultPlan benign = plan;
     benign.drainLines = FaultPlan::kDrainAll;
@@ -165,7 +166,7 @@ shrinkFailure(const WorkloadHarness &h, Cycle crashCycle,
 
     for (const FaultPlan &candidate :
          {benign, tear_only, drain_only, plan}) {
-        if (classifyPoint(h, crashCycle, candidate).outcome ==
+        if (classifyPoint(h, crashCycle, candidate, order).outcome ==
             CrashOutcome::Unrecoverable) {
             return candidate;
         }
@@ -228,11 +229,16 @@ classifyConfig(const CampaignOptions &options, Config cfg,
     const std::vector<Cycle> points =
         selectCrashPoints(h, options.pointsPerConfig);
 
+    // The run's persist-order partial order generalizes each point's
+    // torn persist from "last accepted" to any frontier event of the
+    // durable prefix (see applyFaultyPersistEvents).
+    const PersistOrderGraph order = buildPersistOrder(h);
+
     result.results = sched.map<CrashPointResult>(
         points.size(), [&](std::size_t i) {
             const FaultPlan plan = makeFaultPlan(
                 mixSeed(plan_seed, 0x6001 + i), wpq_slots);
-            return classifyPoint(h, points[i], plan);
+            return classifyPoint(h, points[i], plan, &order);
         });
 
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -252,7 +258,7 @@ classifyConfig(const CampaignOptions &options, Config cfg,
                 rep.seed = options.seed;
                 rep.config = cfg;
                 rep.crashCycle = points[i];
-                rep.plan = shrinkFailure(h, points[i], r.plan);
+                rep.plan = shrinkFailure(h, points[i], r.plan, &order);
                 result.failures.push_back(std::move(rep));
             }
             break;

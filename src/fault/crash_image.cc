@@ -33,7 +33,8 @@ applyFaultyPersistEvents(MemoryImage &image,
                          const std::vector<PersistEvent> &events,
                          const std::vector<MediaWriteEvent> &mediaWrites,
                          Cycle crashCycle, const FaultPlan &plan,
-                         std::uint32_t lineBytes)
+                         std::uint32_t lineBytes,
+                         const PersistOrderGraph *order)
 {
     FaultyImageReport report;
     const Addr line_mask = ~static_cast<Addr>(lineBytes - 1);
@@ -95,11 +96,47 @@ applyFaultyPersistEvents(MemoryImage &image,
         cut = i + 1;
     }
 
-    // The tear hits the last durable event -- the media write (or
-    // WPQ drain push) that was in flight when power died.  Nothing
-    // younger survived, so a torn tail is still an ordering the
-    // memory system produced.
-    const bool tear_last = plan.tear != TearKind::None && cut > 0;
+    report.durableCount = cut;
+
+    // Which durable event tears.  Without ordering information it is
+    // the last one -- the media write (or WPQ drain push) that was in
+    // flight when power died; nothing younger survived, so a torn
+    // tail is still an ordering the memory system produced.  With the
+    // run's persist-order graph, ANY frontier event of the durable
+    // prefix may have been mid-write: still pending, maximal in the
+    // prefix (minSucc past the cut -- tearing an event some durable
+    // event was ordered behind would fabricate an un-produced
+    // ordering), and the last durable update of its cache line (an
+    // older event's torn bytes are overwritten anyway).  The choice
+    // among candidates is derived from the plan's seed.
+    std::size_t torn_at = kNoEvent;
+    if (plan.tear != TearKind::None && cut > 0) {
+        torn_at = cut - 1;
+        if (order) {
+            ede_assert(order->nodes.size() == events.size(),
+                       "persist-order graph does not match the "
+                       "event stream");
+            const Addr cache_mask = ~static_cast<Addr>(63);
+            std::unordered_map<Addr, std::size_t> last_of_line;
+            for (std::size_t i = 0; i < cut; ++i)
+                last_of_line[events[i].addr & cache_mask] = i;
+            std::vector<std::size_t> candidates;
+            for (std::size_t i = 0; i < cut; ++i) {
+                const PersistEvent &ev = events[i];
+                if (ev.size <= 8 || on_media(ev))
+                    continue;
+                if (order->minSucc[i] < cut)
+                    continue;
+                if (last_of_line[ev.addr & cache_mask] != i)
+                    continue;
+                candidates.push_back(i);
+            }
+            if (!candidates.empty()) {
+                Rng pick(plan.seed ^ 0x7ea2f5a11ull);
+                torn_at = candidates[pick.next() % candidates.size()];
+            }
+        }
+    }
 
     for (std::size_t i = 0; i < events.size(); ++i) {
         const PersistEvent &ev = events[i];
@@ -116,13 +153,14 @@ applyFaultyPersistEvents(MemoryImage &image,
             ++report.onMedia;
         else
             ++report.drained;
-        if (tear_last && i == cut - 1) {
+        if (i == torn_at) {
             const std::size_t chunks = (ev.size + 7) / 8;
             const std::uint64_t mask = tornChunkMask(plan, chunks);
             applyTorn(image, ev, mask);
             report.tore = true;
             report.tornAddr = ev.addr;
             report.tornMask = mask;
+            report.tornIdx = i;
         } else {
             image.write(ev.addr, ev.bytes.data(), ev.size);
         }

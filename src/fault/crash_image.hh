@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "fault/fault_plan.hh"
+#include "fault/model_check/persist_order.hh"
 #include "mem/memory_image.hh"
 #include "sim/system.hh"
 
@@ -42,23 +43,43 @@ struct FaultyImageReport
     bool tore = false;            ///< A torn event was applied.
     Addr tornAddr = kNoAddr;      ///< Address of the torn event.
     std::uint64_t tornMask = 0;   ///< Chunk-survival mask applied.
+
+    /**
+     * The durable set is events [0, durableCount) of the accept
+     * order, with event tornIdx (when not kNoEvent) torn to
+     * tornMask -- enough for the model checker to re-materialize this
+     * exact image and check it is inside the enumerated lattice.
+     */
+    std::size_t durableCount = 0;
+    std::size_t tornIdx = kNoEvent;
 };
 
 /**
  * Apply the persist events up to @p crashCycle onto @p image the way
  * a power failure under @p plan would: media-resident events fully,
- * then a drained prefix of the pending events with the final one
- * possibly torn.  With a benign plan this reduces exactly to
+ * then a drained prefix of the pending events with one event possibly
+ * torn.  With a benign plan this reduces exactly to
  * applyPersistEvents().
+ *
+ * Without @p order the torn event is the last durable one (the write
+ * in flight when power died).  With a persist-order graph for this
+ * run, the tear generalizes to a seed-chosen *frontier* event of the
+ * durable prefix: still pending at the crash, maximal in the durable
+ * set (no durable successor -- tearing an event that something
+ * durable was ordered behind would fabricate an ordering the device
+ * never produced), and the last durable update of its cache line
+ * (else the torn bytes would be overwritten anyway).
  *
  * @param events      System::persistEvents() (with recorded bytes)
  * @param mediaWrites System::mediaWriteEvents()
  * @param lineBytes   NVM media line size (NvmParams::lineBytes)
+ * @param order       persist-order graph of the same run (optional)
  */
 FaultyImageReport applyFaultyPersistEvents(
     MemoryImage &image, const std::vector<PersistEvent> &events,
     const std::vector<MediaWriteEvent> &mediaWrites, Cycle crashCycle,
-    const FaultPlan &plan, std::uint32_t lineBytes = 256);
+    const FaultPlan &plan, std::uint32_t lineBytes = 256,
+    const PersistOrderGraph *order = nullptr);
 
 } // namespace ede
 

@@ -1,0 +1,860 @@
+#include "fault/model_check/checker.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "audit/auditor.hh"
+#include "common/logging.hh"
+#include "exp/fingerprint.hh"
+#include "exp/journal.hh"
+#include "exp/scheduler.hh"
+#include "nvm/undo_log.hh"
+
+namespace ede {
+
+namespace {
+
+/** Reverse of configName; nullopt for an unknown name. */
+std::optional<Config>
+configFromName(const std::string &name)
+{
+    for (Config c : kAllConfigs) {
+        if (configName(c) == name)
+            return c;
+    }
+    return std::nullopt;
+}
+
+/** Decorrelated 64-bit stream: one value per (seed, salt) pair. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    Rng rng(seed ^ (salt * 0x9e3779b97f4a7c15ull));
+    return rng.next();
+}
+
+std::uint64_t
+configSalt(Config cfg)
+{
+    return static_cast<std::uint64_t>(cfg) + 1;
+}
+
+/** Write the surviving 8-byte chunks of a torn event. */
+void
+applyTornEvent(MemoryImage &image, const PersistEvent &ev,
+               std::uint64_t mask)
+{
+    const std::size_t chunks = (ev.size + 7) / 8;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        if (!(mask & (std::uint64_t{1} << c)))
+            continue;
+        const std::size_t off = 8 * c;
+        const std::size_t len =
+            std::min<std::size_t>(8, ev.size - off);
+        image.write(ev.addr + off, ev.bytes.data() + off, len);
+    }
+}
+
+/** Minimal JSON string escaping. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+PersistOrderGraph
+buildPersistOrder(const WorkloadHarness &h)
+{
+    const System &sys = h.system();
+    return buildPersistOrder(
+        h.trace(), sys.persistEvents(), sys.mediaWriteEvents(),
+        sys.completionCycles(), h.setupCompleteCycle(),
+        sys.mem().controller().nvm().params().lineBytes);
+}
+
+std::size_t
+seedMissingEdkBug(WorkloadHarness &h)
+{
+    const std::vector<PersistObligation> &obs =
+        h.framework().obligations();
+    ede_assert(!obs.empty(),
+               "seedMissingEdkBug needs a generated workload with at "
+               "least one transactional write");
+    const std::size_t idx = obs.front().dataStrIdx;
+    DynInst &di = h.trace().at(idx);
+    if (!edkIsReal(di.si.edkUse))
+        return kNoEvent;  // Fence-based config: nothing to delete.
+    di.si.edkUse = kZeroEdk;
+    return idx;
+}
+
+std::string
+ModelCheckCounterexample::describe() const
+{
+    std::ostringstream os;
+    os << "{invariant=" << invariant << ", durable=[";
+    for (std::size_t i = 0; i < durable.size(); ++i)
+        os << (i ? "," : "") << durable[i];
+    os << "]";
+    if (tornIdx != kNoEvent) {
+        os << ", torn=" << tornIdx << " mask=0x" << std::hex
+           << tornMask << std::dec;
+    }
+    os << ", imageHash=0x" << std::hex << imageHash << std::dec
+       << ", rollbacks=" << rollbackTargets.size() << "}";
+    return os.str();
+}
+
+DurableSetChecker::DurableSetChecker(const WorkloadHarness &h,
+                                     const PersistOrderGraph &graph)
+    : h_(h), graph_(graph), setupImage_(h.baselineNvm())
+{
+    const std::vector<PersistEvent> &events =
+        h_.system().persistEvents();
+    ede_assert(events.size() == graph_.nodes.size(),
+               "graph does not match this run's persist events");
+    for (std::size_t i = 0; i < graph_.preSetupCount; ++i) {
+        const PersistEvent &ev = events[i];
+        ede_assert(ev.bytes.size() == ev.size,
+                   "persist event without data; enable audit before "
+                   "running");
+        setupImage_.write(ev.addr, ev.bytes.data(), ev.size);
+    }
+}
+
+MemoryImage
+DurableSetChecker::materialize(const std::vector<std::size_t> &postSetup,
+                               std::size_t tornIdx,
+                               std::uint64_t tornMask) const
+{
+    const std::vector<PersistEvent> &events =
+        h_.system().persistEvents();
+    MemoryImage img = setupImage_;
+    for (std::size_t i : postSetup) {
+        const PersistEvent &ev = events[i];
+        ede_assert(ev.bytes.size() == ev.size,
+                   "persist event without data; enable audit before "
+                   "running");
+        if (i == tornIdx)
+            applyTornEvent(img, ev, tornMask);
+        else
+            img.write(ev.addr, ev.bytes.data(), ev.size);
+    }
+    return img;
+}
+
+DurableSetChecker::StateVerdict
+DurableSetChecker::judge(MemoryImage &img) const
+{
+    StateVerdict v;
+    const RecoveryResult rec =
+        recoverUndoLog(img, h_.framework().logLayout());
+    v.appOk = h_.app().checkRecovered(img);
+    v.entriesTorn = rec.entriesTorn;
+    v.invariant = crashInvariantName(v.appOk, rec);
+    v.rollbackTargets = rec.appliedTargets;
+    return v;
+}
+
+DurableSetChecker::StateVerdict
+DurableSetChecker::check(const std::vector<std::size_t> &postSetup,
+                         std::size_t tornIdx, std::uint64_t tornMask)
+{
+    MemoryImage img = materialize(postSetup, tornIdx, tornMask);
+    const std::uint64_t hash = img.canonicalContentHash();
+    if (!seenHashes_.insert(hash).second) {
+        StateVerdict v;
+        v.duplicate = true;
+        v.imageHash = hash;
+        return v;
+    }
+    ++uniqueImages_;
+    StateVerdict v = judge(img);
+    v.imageHash = hash;
+    return v;
+}
+
+std::vector<std::size_t>
+DurableSetChecker::tornCandidates(
+    const std::vector<std::size_t> &postSetup, std::size_t cap) const
+{
+    std::vector<std::size_t> out;
+    if (postSetup.empty() || cap == 0)
+        return out;
+
+    // Earliest legal crash cycle for this set: everything included
+    // must be accepted, so c = max accept.  An event can tear only
+    // while its line is still pending then.
+    Cycle maxAcc = 0;
+    for (std::size_t i : postSetup)
+        maxAcc = std::max(maxAcc, graph_.nodes[i].accept);
+
+    // An event with a successor inside the set is fully ordered
+    // before that successor's accept -- it was not the in-flight
+    // write when power died.  Same for an older event of a cache
+    // line the set updates again: the tear would be overwritten.
+    std::unordered_set<std::size_t> hasSucc;
+    std::unordered_map<Addr, std::size_t> lastOfLine;
+    const Addr cacheMask = ~static_cast<Addr>(63);
+    for (std::size_t i : postSetup) {
+        for (std::size_t p : graph_.nodes[i].postSetupPreds)
+            hasSucc.insert(p);
+        lastOfLine[graph_.nodes[i].addr & cacheMask] = i;
+    }
+
+    for (auto it = postSetup.rbegin();
+         it != postSetup.rend() && out.size() < cap; ++it) {
+        const std::size_t i = *it;
+        const PersistNode &node = graph_.nodes[i];
+        if (node.size <= 8)
+            continue;  // Single chunk: nothing to tear.
+        if (hasSucc.count(i))
+            continue;
+        if (lastOfLine[node.addr & cacheMask] != i)
+            continue;
+        if (node.mediaCycle != kNoCycle && node.mediaCycle <= maxAcc)
+            continue;  // Already on media at every legal crash cycle.
+        out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+DurableSetChecker::shrink(const std::vector<std::size_t> &postSetup,
+                          std::size_t &tornIdx,
+                          std::uint64_t &tornMask,
+                          std::uint32_t drainLines,
+                          const std::string &invariant)
+{
+    auto stillFails = [&](const std::vector<std::size_t> &set,
+                          std::size_t torn, std::uint64_t mask) {
+        MemoryImage img = materialize(set, torn, mask);
+        const StateVerdict v = judge(img);
+        return v.invariant && invariant == v.invariant;
+    };
+
+    std::vector<std::size_t> cur = postSetup;
+    if (tornIdx != kNoEvent && stillFails(cur, kNoEvent, 0)) {
+        tornIdx = kNoEvent;  // The tear was not load-bearing.
+        tornMask = 0;
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Youngest-first removal peels dependents before the events
+        // they require, so downward closure rarely rejects a probe.
+        for (std::size_t k = cur.size(); k-- > 0;) {
+            if (cur[k] == tornIdx)
+                continue;
+            std::vector<std::size_t> cand = cur;
+            cand.erase(cand.begin() +
+                       static_cast<std::ptrdiff_t>(k));
+            if (!isLegalDurableSet(graph_, drainLines, cand))
+                continue;
+            if (stillFails(cand, tornIdx, tornMask)) {
+                cur = std::move(cand);
+                changed = true;
+                break;
+            }
+        }
+    }
+    return cur;
+}
+
+namespace {
+
+/** Simulate one configuration's workload for the model check. */
+struct SimulatedConfig
+{
+    std::unique_ptr<WorkloadHarness> harness;
+    std::size_t seededBugTraceIdx = kNoEvent;
+};
+
+SimulatedConfig
+simulateConfig(const ModelCheckOptions &options, Config cfg,
+               bool checked)
+{
+    const LogJobTag tag("model-check/" +
+                        std::string(configName(cfg)));
+    SimulatedConfig sim;
+    sim.harness = std::make_unique<WorkloadHarness>(
+        options.app, cfg, options.spec, options.appParams);
+    sim.harness->enableAudit();
+    sim.harness->generate();
+    if (options.seedBug)
+        sim.seededBugTraceIdx = seedMissingEdkBug(*sim.harness);
+    if (checked)
+        sim.harness->simulateChecked();
+    else
+        sim.harness->simulate();
+    return sim;
+}
+
+/**
+ * Enumerate and check every durable state of one simulated
+ * configuration.  Inherently serial within a configuration (the
+ * dedup cache is shared across states); configurations themselves
+ * fan out through the scheduler or the isolated workers.
+ */
+ModelCheckConfigResult
+checkConfig(const ModelCheckOptions &options, Config cfg,
+            const SimulatedConfig &sim)
+{
+    const WorkloadHarness &h = *sim.harness;
+    ModelCheckConfigResult result;
+    result.config = cfg;
+    result.cycles = h.system().core().stats().cycles;
+    result.seededBugTraceIdx = sim.seededBugTraceIdx;
+
+    const PersistOrderGraph graph = buildPersistOrder(h);
+    result.events = graph.nodes.size();
+    result.freeEvents = graph.nodes.size() - graph.preSetupCount;
+    result.orderStats = graph.stats;
+
+    DurableSetChecker checker(h, graph);
+    const std::uint64_t torn_seed =
+        mixSeed(options.seed, 0x7042 ^ configSalt(cfg));
+
+    auto handleState = [&](const std::vector<std::size_t> &set,
+                           std::size_t tornIdx,
+                           std::uint64_t tornMask) {
+        const DurableSetChecker::StateVerdict v =
+            checker.check(set, tornIdx, tornMask);
+        if (v.duplicate)
+            return;
+        if (!v.invariant) {
+            ++result.recoveredClean;
+            if (v.entriesTorn)
+                ++result.tornLogDetected;
+            return;
+        }
+        ++result.violations;
+        if (result.counterexamples.size() >=
+            options.maxCounterexamples) {
+            return;
+        }
+        ModelCheckCounterexample cex;
+        cex.invariant = v.invariant;
+        std::size_t shrunkTorn = tornIdx;
+        std::uint64_t shrunkMask = tornMask;
+        cex.durable = checker.shrink(set, shrunkTorn, shrunkMask,
+                                     options.drainLines,
+                                     cex.invariant);
+        cex.tornIdx = shrunkTorn;
+        cex.tornMask = shrunkTorn == kNoEvent ? 0 : shrunkMask;
+        MemoryImage img = checker.materialize(
+            cex.durable, cex.tornIdx, cex.tornMask);
+        cex.imageHash = img.canonicalContentHash();
+        const RecoveryResult rec =
+            recoverUndoLog(img, h.framework().logLayout());
+        cex.rollbackTargets = rec.appliedTargets;
+        result.counterexamples.push_back(std::move(cex));
+    };
+
+    EnumerationLimits limits;
+    limits.drainLines = options.drainLines;
+    limits.maxStates = options.maxStates;
+    limits.budgetMs = options.budgetMs;
+
+    const EnumerationStats stats = forEachDurableSet(
+        graph, limits, [&](const DurableSetView &view) {
+            handleState(view.postSetup, kNoEvent, 0);
+            if (options.torn) {
+                for (std::size_t cand :
+                     checker.tornCandidates(view.postSetup,
+                                            /*cap=*/4)) {
+                    const std::size_t chunks =
+                        (graph.nodes[cand].size + 7) / 8;
+                    for (TearKind kind :
+                         {TearKind::Prefix, TearKind::Suffix,
+                          TearKind::Interleaved}) {
+                        FaultPlan tp;
+                        tp.seed = mixSeed(
+                            torn_seed,
+                            cand * 8 +
+                                static_cast<std::uint64_t>(kind));
+                        tp.tear = kind;
+                        const std::uint64_t mask =
+                            tornChunkMask(tp, chunks);
+                        ++result.tornVariants;
+                        handleState(view.postSetup, cand, mask);
+                    }
+                }
+            }
+            return true;
+        });
+
+    result.states = stats.states;
+    result.rejectedBudget = stats.rejectedBudget;
+    result.truncated = stats.truncated;
+    result.uniqueImages = checker.uniqueImages();
+    return result;
+}
+
+constexpr const char *kModelCheckResultMagic =
+    "ede-modelcheck-config-v1";
+
+/** The worker identity of one (model check, config) pair. */
+std::uint64_t
+configFingerprint(const ModelCheckOptions &options, Config cfg)
+{
+    exp::FingerprintHasher h;
+    h.field("modelcheck.sweep", modelCheckSweepId(options));
+    h.field("modelcheck.config", configName(cfg));
+    return h.value();
+}
+
+} // namespace
+
+bool
+ModelCheckReport::ok() const
+{
+    if (!quarantined.empty())
+        return false;
+    for (const ModelCheckConfigResult &c : configs) {
+        const bool planted =
+            options.seedBug && c.seededBugTraceIdx != kNoEvent;
+        if (planted) {
+            // A checker that cannot see its own seeded bug proves
+            // nothing; non-detection fails the run.
+            if (c.violations == 0)
+                return false;
+        } else if (c.violations != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+ModelCheckReport::describe() const
+{
+    std::ostringstream os;
+    os << "model check: app=" << appName(options.app) << " seed="
+       << options.seed << " txns=" << options.spec.txns << " ops/txn="
+       << options.spec.opsPerTxn << " drainLines=";
+    if (options.drainLines == FaultPlan::kDrainAll)
+        os << "all";
+    else
+        os << options.drainLines;
+    os << " maxStates=" << options.maxStates
+       << (options.seedBug ? " SEEDED-BUG" : "") << "\n";
+    for (const ModelCheckConfigResult &c : configs) {
+        os << "  " << configName(c.config) << ": " << c.states
+           << " durable sets";
+        if (c.truncated)
+            os << " (TRUNCATED)";
+        os << " + " << c.tornVariants << " torn -> "
+           << c.uniqueImages << " unique images, "
+           << c.recoveredClean << " clean ("
+           << c.tornLogDetected << " torn-log-detected), "
+           << c.violations << " violating  (" << c.freeEvents
+           << " free events, " << c.orderStats.total() << " edges)\n";
+        if (options.seedBug && c.seededBugTraceIdx != kNoEvent) {
+            os << "    seeded bug at trace[" << c.seededBugTraceIdx
+               << "]: "
+               << (c.violations ? "DETECTED" : "NOT DETECTED")
+               << "\n";
+        }
+        for (const ModelCheckCounterexample &cex : c.counterexamples)
+            os << "    COUNTEREXAMPLE " << cex.describe() << "\n";
+    }
+    for (const QuarantinedConfig &q : quarantined) {
+        os << "  " << configName(q.config) << ": QUARANTINED ("
+           << q.failure.describe() << ")\n";
+    }
+    os << (ok() ? "  model check ok\n" : "  MODEL CHECK FAILED\n");
+    return os.str();
+}
+
+std::string
+serializeModelCheckResult(const ModelCheckConfigResult &result)
+{
+    std::ostringstream os;
+    os << kModelCheckResultMagic << "\n";
+    os << "config " << configName(result.config) << "\n";
+    os << "cycles " << result.cycles << "\n";
+    os << "events " << result.events << ' ' << result.freeEvents
+       << "\n";
+    const PersistOrderStats &s = result.orderStats;
+    os << "edges " << s.sameLine << ' ' << s.edk << ' ' << s.keyChain
+       << ' ' << s.fence << ' ' << s.lineGate << ' ' << s.nonmonotone
+       << "\n";
+    os << "tallies " << result.states << ' ' << result.rejectedBudget
+       << ' ' << result.tornVariants << ' ' << result.uniqueImages
+       << ' ' << result.recoveredClean << ' '
+       << result.tornLogDetected << ' ' << result.violations << ' '
+       << (result.truncated ? 1 : 0) << ' '
+       << result.seededBugTraceIdx << "\n";
+    os << "counterexamples " << result.counterexamples.size() << "\n";
+    for (const ModelCheckCounterexample &cex :
+         result.counterexamples) {
+        os << "c " << cex.invariant << ' ' << cex.tornIdx << ' '
+           << cex.tornMask << ' ' << cex.imageHash << ' '
+           << cex.durable.size();
+        for (std::size_t i : cex.durable)
+            os << ' ' << i;
+        os << ' ' << cex.rollbackTargets.size();
+        for (Addr a : cex.rollbackTargets)
+            os << ' ' << a;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::optional<ModelCheckConfigResult>
+deserializeModelCheckResult(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string magic, key, name;
+    if (!(is >> magic) || magic != kModelCheckResultMagic)
+        return std::nullopt;
+
+    ModelCheckConfigResult result;
+    if (!(is >> key >> name) || key != "config")
+        return std::nullopt;
+    const std::optional<Config> cfg = configFromName(name);
+    if (!cfg)
+        return std::nullopt;
+    result.config = *cfg;
+
+    if (!(is >> key >> result.cycles) || key != "cycles")
+        return std::nullopt;
+    if (!(is >> key >> result.events >> result.freeEvents) ||
+        key != "events") {
+        return std::nullopt;
+    }
+    PersistOrderStats &s = result.orderStats;
+    if (!(is >> key >> s.sameLine >> s.edk >> s.keyChain >> s.fence >>
+          s.lineGate >> s.nonmonotone) ||
+        key != "edges") {
+        return std::nullopt;
+    }
+    int truncated = 0;
+    if (!(is >> key >> result.states >> result.rejectedBudget >>
+          result.tornVariants >> result.uniqueImages >>
+          result.recoveredClean >> result.tornLogDetected >>
+          result.violations >> truncated >>
+          result.seededBugTraceIdx) ||
+        key != "tallies" || truncated < 0 || truncated > 1) {
+        return std::nullopt;
+    }
+    result.truncated = truncated == 1;
+
+    std::size_t n = 0;
+    if (!(is >> key >> n) || key != "counterexamples")
+        return std::nullopt;
+    result.counterexamples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ModelCheckCounterexample cex;
+        std::size_t durables = 0;
+        if (!(is >> key >> cex.invariant >> cex.tornIdx >>
+              cex.tornMask >> cex.imageHash >> durables) ||
+            key != "c") {
+            return std::nullopt;
+        }
+        cex.durable.resize(durables);
+        for (std::size_t j = 0; j < durables; ++j) {
+            if (!(is >> cex.durable[j]))
+                return std::nullopt;
+        }
+        std::size_t targets = 0;
+        if (!(is >> targets))
+            return std::nullopt;
+        cex.rollbackTargets.resize(targets);
+        for (std::size_t j = 0; j < targets; ++j) {
+            if (!(is >> cex.rollbackTargets[j]))
+                return std::nullopt;
+        }
+        result.counterexamples.push_back(std::move(cex));
+    }
+    return result;
+}
+
+std::uint64_t
+modelCheckSweepId(const ModelCheckOptions &options)
+{
+    exp::FingerprintHasher h;
+    h.field("modelcheck.schema",
+            static_cast<std::uint64_t>(exp::kResultSchemaVersion));
+    h.field("modelcheck.app", appName(options.app));
+    h.field("modelcheck.seed", options.seed);
+    h.field("modelcheck.txns",
+            static_cast<std::uint64_t>(options.spec.txns));
+    h.field("modelcheck.opsPerTxn",
+            static_cast<std::uint64_t>(options.spec.opsPerTxn));
+    h.field("modelcheck.workloadSeed", options.spec.seed);
+    h.field("modelcheck.appSeed", options.appParams.seed);
+    h.field("modelcheck.arrayLen",
+            static_cast<std::uint64_t>(options.appParams.arrayLen));
+    h.field("modelcheck.drainLines",
+            static_cast<std::uint64_t>(options.drainLines));
+    h.field("modelcheck.maxStates", options.maxStates);
+    h.field("modelcheck.budgetMs", options.budgetMs);
+    h.field("modelcheck.torn", options.torn);
+    h.field("modelcheck.seedBug", options.seedBug);
+    h.field("modelcheck.maxCounterexamples",
+            static_cast<std::uint64_t>(options.maxCounterexamples));
+    h.field("modelcheck.configs",
+            static_cast<std::uint64_t>(options.configs.size()));
+    for (Config c : options.configs)
+        h.field("modelcheck.config", configName(c));
+    return h.value();
+}
+
+std::string
+modelCheckToJson(const ModelCheckReport &report)
+{
+    const ModelCheckOptions &opt = report.options;
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"bench\": \"model_check\",\n";
+    os << "  \"schema\": " << exp::kResultSchemaVersion << ",\n";
+    os << "  \"model_check\": {\"app\": \"" << appName(opt.app)
+       << "\", \"seed\": " << opt.seed << ", \"txns\": "
+       << opt.spec.txns << ", \"ops_per_txn\": " << opt.spec.opsPerTxn
+       << ", \"workload_seed\": " << opt.spec.seed
+       << ", \"array_len\": " << opt.appParams.arrayLen
+       << ", \"drain_lines\": " << opt.drainLines
+       << ", \"max_states\": " << opt.maxStates
+       << ", \"budget_ms\": " << opt.budgetMs << ", \"torn\": "
+       << (opt.torn ? "true" : "false") << ", \"seed_bug\": "
+       << (opt.seedBug ? "true" : "false") << "},\n";
+    os << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < report.configs.size(); ++i) {
+        const ModelCheckConfigResult &c = report.configs[i];
+        const PersistOrderStats &s = c.orderStats;
+        os << "    {\n";
+        os << "      \"config\": \"" << configName(c.config)
+           << "\",\n";
+        os << "      \"cycles\": " << c.cycles << ",\n";
+        os << "      \"events\": " << c.events << ",\n";
+        os << "      \"free_events\": " << c.freeEvents << ",\n";
+        os << "      \"edges\": {\"same_line\": " << s.sameLine
+           << ", \"edk\": " << s.edk << ", \"key_chain\": "
+           << s.keyChain << ", \"fence\": " << s.fence
+           << ", \"line_gate\": " << s.lineGate
+           << ", \"nonmonotone\": " << s.nonmonotone << "},\n";
+        os << "      \"states\": " << c.states << ",\n";
+        os << "      \"rejected_budget\": " << c.rejectedBudget
+           << ",\n";
+        os << "      \"torn_variants\": " << c.tornVariants << ",\n";
+        os << "      \"unique_images\": " << c.uniqueImages << ",\n";
+        os << "      \"recovered_clean\": " << c.recoveredClean
+           << ",\n";
+        os << "      \"torn_log_detected\": " << c.tornLogDetected
+           << ",\n";
+        os << "      \"violations\": " << c.violations << ",\n";
+        os << "      \"truncated\": "
+           << (c.truncated ? "true" : "false") << ",\n";
+        os << "      \"coverage\": \""
+           << (c.truncated ? "truncated" : "exact") << "\",\n";
+        if (c.seededBugTraceIdx != kNoEvent) {
+            os << "      \"seeded_bug_trace_idx\": "
+               << c.seededBugTraceIdx << ",\n";
+        }
+        os << "      \"counterexamples\": [";
+        for (std::size_t j = 0; j < c.counterexamples.size(); ++j) {
+            const ModelCheckCounterexample &cex =
+                c.counterexamples[j];
+            os << (j ? ",\n        " : "\n        ");
+            os << "{\"invariant\": \"" << jsonEscape(cex.invariant)
+               << "\", \"durable\": [";
+            for (std::size_t k = 0; k < cex.durable.size(); ++k)
+                os << (k ? ", " : "") << cex.durable[k];
+            os << "], \"torn_idx\": ";
+            if (cex.tornIdx == kNoEvent)
+                os << "null";
+            else
+                os << cex.tornIdx;
+            os << ", \"torn_mask\": " << cex.tornMask
+               << ", \"image_hash\": " << cex.imageHash
+               << ", \"rollback_targets\": [";
+            for (std::size_t k = 0; k < cex.rollbackTargets.size();
+                 ++k) {
+                os << (k ? ", " : "") << cex.rollbackTargets[k];
+            }
+            os << "]}";
+        }
+        os << (c.counterexamples.empty() ? "]\n" : "\n      ]\n");
+        os << "    }"
+           << (i + 1 < report.configs.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"quarantined\": [\n";
+    for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+        const QuarantinedConfig &q = report.quarantined[i];
+        const exp::JobFailure &f = q.failure;
+        os << "    {\"config\": \"" << configName(q.config)
+           << "\", \"outcome\": \"" << exp::jobOutcomeName(f.outcome)
+           << "\", \"signal\": " << f.signal << ", \"exit_code\": "
+           << f.exitCode << ", \"attempts\": " << f.attempts
+           << ", \"message\": \"" << jsonEscape(f.message)
+           << "\", \"stderr_tail\": \"" << jsonEscape(f.stderrTail)
+           << "\"}"
+           << (i + 1 < report.quarantined.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"ok\": " << (report.ok() ? "true" : "false") << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+namespace {
+
+/**
+ * The isolated model check: one forked worker per configuration,
+ * mirroring the campaign's contract -- exact wire serialization,
+ * per-config journal entries, quarantine on persistent worker
+ * failure.
+ */
+ModelCheckReport
+runModelCheckIsolated(const ModelCheckOptions &options)
+{
+    if (!exp::processIsolationSupported())
+        ede_fatal("process isolation is not supported on this platform");
+
+    const std::size_t n = options.configs.size();
+    std::optional<exp::SweepJournal> journal;
+    if (!options.journalPath.empty()) {
+        journal.emplace(options.journalPath,
+                        modelCheckSweepId(options), n, options.resume);
+    }
+
+    std::vector<std::optional<ModelCheckConfigResult>> slots(n);
+    std::vector<std::optional<QuarantinedConfig>> poisoned(n);
+    auto quarantine = [&](std::size_t i, Config cfg,
+                          exp::JobFailure failure) {
+        ede_warn("config '", configName(cfg), "' quarantined: ",
+                 failure.describe());
+        if (journal) {
+            journal->recordQuarantine(
+                i, configFingerprint(options, cfg), failure);
+        }
+        poisoned[i] = QuarantinedConfig{cfg, std::move(failure)};
+    };
+
+    auto runConfig = [&](std::size_t i) {
+        const Config cfg = options.configs[i];
+        const std::uint64_t fp = configFingerprint(options, cfg);
+
+        if (journal && options.resume) {
+            const auto it = journal->replayed().find(i);
+            if (it != journal->replayed().end() &&
+                it->second.fingerprint == fp) {
+                const exp::JournalEntry &e = it->second;
+                if (e.ok) {
+                    if (std::optional<ModelCheckConfigResult> r =
+                            deserializeModelCheckResult(e.payload);
+                        r && r->config == cfg) {
+                        slots[i] = std::move(*r);
+                        return;
+                    }
+                    // Corrupt payload: fall through and re-run.
+                } else {
+                    poisoned[i] = QuarantinedConfig{cfg, e.failure};
+                    return;
+                }
+            }
+        }
+
+        const exp::WorkerRun run = exp::runWithRetry(
+            [&]() -> std::string {
+                if (!options.chaosCrashConfig.empty() &&
+                    configName(cfg) == options.chaosCrashConfig) {
+                    std::abort();
+                }
+                const SimulatedConfig sim =
+                    simulateConfig(options, cfg, /*checked=*/true);
+                return serializeModelCheckResult(
+                    checkConfig(options, cfg, sim));
+            },
+            options.limits, options.retry, /*jitterSeed=*/fp);
+
+        if (run.ok()) {
+            if (std::optional<ModelCheckConfigResult> r =
+                    deserializeModelCheckResult(run.payload);
+                r && r->config == cfg) {
+                if (journal)
+                    journal->recordOk(i, fp, run.payload);
+                slots[i] = std::move(*r);
+                return;
+            }
+            exp::JobFailure protocol;
+            protocol.outcome = exp::JobOutcome::Crashed;
+            protocol.attempts = run.failure.attempts;
+            protocol.message =
+                "worker payload failed model-check validation";
+            quarantine(i, cfg, std::move(protocol));
+            return;
+        }
+        quarantine(i, cfg, run.failure);
+    };
+
+    const exp::Scheduler sched(options.jobs);
+    sched.run(n, runConfig, exp::FailureMode::KeepGoing);
+
+    ModelCheckReport report;
+    report.options = options;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (slots[i])
+            report.configs.push_back(std::move(*slots[i]));
+        else if (poisoned[i])
+            report.quarantined.push_back(std::move(*poisoned[i]));
+    }
+    return report;
+}
+
+} // namespace
+
+ModelCheckReport
+runModelCheck(const ModelCheckOptions &options)
+{
+    if (!options.journalPath.empty() && !options.isolate) {
+        ede_fatal("the model-check journal requires process "
+                  "isolation (--isolate)");
+    }
+    if (options.isolate)
+        return runModelCheckIsolated(options);
+
+    const exp::Scheduler sched(options.jobs);
+    std::vector<ModelCheckConfigResult> results =
+        sched.map<ModelCheckConfigResult>(
+            options.configs.size(), [&](std::size_t i) {
+                const SimulatedConfig sim = simulateConfig(
+                    options, options.configs[i], /*checked=*/false);
+                return checkConfig(options, options.configs[i], sim);
+            });
+
+    ModelCheckReport report;
+    report.options = options;
+    report.configs = std::move(results);
+    return report;
+}
+
+} // namespace ede

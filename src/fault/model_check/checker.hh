@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Crash-consistency model checker over the durable-set lattice.
+ *
+ * The fault campaign samples crash cycles and reconstructs one
+ * accept-order-prefix image per sample.  The model checker is the
+ * exhaustive counterpart: it derives the persist-ordering partial
+ * order of one simulated run (persist_order.hh), enumerates *every*
+ * legal durable set (enumerate.hh) with torn-persist variants at each
+ * set's frontier, materializes each state through the recorded persist
+ * events, deduplicates by canonical content hash, and pushes every
+ * unique image through undo-log recovery and the application's
+ * invariant oracle.  A violating state is shrunk to a minimal durable
+ * set before being reported as a counterexample.
+ *
+ * The checker's sensitivity is validated by a seeded bug: deleting
+ * one load-bearing EDK operand from the workload's first
+ * transactional write (seedMissingEdkBug) removes the log-before-data
+ * ordering edge, and the enumerator must then find a state with the
+ * data durable but its undo entry missing -- the
+ * "active-rollback-failed" invariant -- while the intact program
+ * verifies clean.
+ */
+
+#ifndef EDE_FAULT_MODEL_CHECK_CHECKER_HH
+#define EDE_FAULT_MODEL_CHECK_CHECKER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "apps/harness.hh"
+#include "exp/worker.hh"
+#include "fault/campaign.hh"
+#include "fault/model_check/enumerate.hh"
+#include "fault/model_check/persist_order.hh"
+
+namespace ede {
+
+/** Derive the persist-order graph of a completed, audited run. */
+PersistOrderGraph buildPersistOrder(const WorkloadHarness &h);
+
+/**
+ * Seeded-bug mutator: clear the EDK use operand of the first
+ * transactional data store (the operand that orders it behind its
+ * undo-log entry's persist).  Must run after generate() and before
+ * simulate().  @return the mutated trace index, or kNoEvent when the
+ * configuration carries no EDK there (fence-based configurations are
+ * not affected by this bug).
+ */
+std::size_t seedMissingEdkBug(WorkloadHarness &h);
+
+/** One shrunk violating durable state. */
+struct ModelCheckCounterexample
+{
+    std::string invariant;            ///< crashInvariantName() string.
+    std::vector<std::size_t> durable; ///< Post-setup event indices.
+    std::size_t tornIdx = kNoEvent;   ///< Torn event, if any.
+    std::uint64_t tornMask = 0;       ///< Surviving-chunk mask.
+    std::uint64_t imageHash = 0;      ///< Canonical content hash.
+    std::vector<Addr> rollbackTargets;///< Recovery's witness trail.
+
+    /** One-line human-readable rendering. */
+    std::string describe() const;
+};
+
+/**
+ * Verdict and tallies for one configuration.  `states` counts
+ * enumerated durable sets, `tornVariants` the extra torn states;
+ * `uniqueImages` is after content dedup and is what recovery actually
+ * ran on.
+ */
+struct ModelCheckConfigResult
+{
+    Config config = Config::B;
+    Cycle cycles = 0;                 ///< Simulated run length.
+    std::size_t events = 0;           ///< Persist events recorded.
+    std::size_t freeEvents = 0;       ///< Post-setup (enumerable).
+    PersistOrderStats orderStats;     ///< Edge tallies.
+    std::uint64_t states = 0;         ///< Durable sets enumerated.
+    std::uint64_t rejectedBudget = 0; ///< Drain-infeasible leaves.
+    std::uint64_t tornVariants = 0;   ///< Torn states materialized.
+    std::uint64_t uniqueImages = 0;   ///< Distinct image contents.
+    std::uint64_t recoveredClean = 0; ///< Unique images passing.
+    std::uint64_t tornLogDetected = 0;///< Passing via discarded entry.
+    std::uint64_t violations = 0;     ///< Unique violating images.
+    bool truncated = false;           ///< A search limit tripped.
+    std::size_t seededBugTraceIdx =
+        kNoEvent;                     ///< Mutated op (seed-bug runs).
+    std::vector<ModelCheckCounterexample> counterexamples;
+};
+
+/** Model-check parameters; everything derives from one root seed. */
+struct ModelCheckOptions
+{
+    AppId app = AppId::Update;
+    std::uint64_t seed = 1;
+
+    /**
+     * Deliberately tiny default workload: the lattice is exponential
+     * in the free (post-setup) events, and two transactions of two
+     * ops already cover the whole commit protocol twice.
+     */
+    RunSpec spec{/*txns=*/2, /*opsPerTxn=*/2, /*seed=*/42};
+    AppParams appParams{/*seed=*/42, /*arrayLen=*/64};
+
+    std::vector<Config> configs{Config::B, Config::IQ, Config::WB};
+
+    /** ADR drain budget for legality (default: perfect ADR). */
+    std::uint32_t drainLines = FaultPlan::kDrainAll;
+
+    /** Deterministic search bound (0 = unlimited). */
+    std::uint64_t maxStates = 20000;
+
+    /** Wall-clock bound, ms (0 = unlimited; NONDETERMINISTIC which
+     * states are covered when it trips -- prefer maxStates). */
+    std::uint64_t budgetMs = 0;
+
+    bool torn = true;      ///< Materialize torn frontier variants.
+    bool seedBug = false;  ///< Apply seedMissingEdkBug before running.
+
+    /** Counterexamples kept per configuration. */
+    std::size_t maxCounterexamples = 4;
+
+    /** Parallel jobs for the per-config phase (0 = hardware). */
+    unsigned jobs = 1;
+
+    /** @name Process isolation (same contract as CampaignOptions). */
+    /// @{
+    bool isolate = false;
+    exp::WorkerLimits limits;
+    exp::RetryPolicy retry;
+    std::string journalPath;  ///< Requires isolate; empty disables.
+    bool resume = false;
+    std::string chaosCrashConfig;  ///< Worker abort() hook (tests/CI).
+    /// @}
+};
+
+/** The whole model check's outcome. */
+struct ModelCheckReport
+{
+    ModelCheckOptions options;
+    std::vector<ModelCheckConfigResult> configs;
+    std::vector<QuarantinedConfig> quarantined;
+
+    /**
+     * Acceptance: nothing quarantined; every intact configuration
+     * verifies clean; and when the seeded bug was actually planted
+     * (EDE configurations), the checker detected it.
+     */
+    bool ok() const;
+
+    /** Multi-line human-readable summary with counterexamples. */
+    std::string describe() const;
+};
+
+/** Run the model check across configurations. */
+ModelCheckReport runModelCheck(const ModelCheckOptions &options);
+
+/**
+ * Materializes, deduplicates and checks durable states of one
+ * completed run.  Exposed so tests can drive single states (e.g. the
+ * campaign-containment cross-validation re-materializes a sampled
+ * crash image through the same path).
+ */
+class DurableSetChecker
+{
+  public:
+    /**
+     * @p h must be audited and simulated.  The graph reference must
+     * outlive the checker.
+     */
+    DurableSetChecker(const WorkloadHarness &h,
+                      const PersistOrderGraph &graph);
+
+    /**
+     * The image a crash leaving exactly {setup events} + @p postSetup
+     * durable produces; @p tornIdx (an element of the set) optionally
+     * tears to the surviving chunks in @p tornMask.
+     */
+    MemoryImage materialize(const std::vector<std::size_t> &postSetup,
+                            std::size_t tornIdx = kNoEvent,
+                            std::uint64_t tornMask = 0) const;
+
+    /** Recovery + oracle verdict on one state. */
+    struct StateVerdict
+    {
+        bool duplicate = false;     ///< Content hash seen before.
+        bool appOk = true;
+        std::uint64_t entriesTorn = 0;
+        const char *invariant = nullptr;  ///< Violated invariant name.
+        std::uint64_t imageHash = 0;
+        std::vector<Addr> rollbackTargets;
+    };
+
+    /**
+     * Materialize, dedup, recover and judge one durable state.
+     * Duplicate states short-circuit (verdict.duplicate).
+     */
+    StateVerdict check(const std::vector<std::size_t> &postSetup,
+                       std::size_t tornIdx = kNoEvent,
+                       std::uint64_t tornMask = 0);
+
+    /**
+     * Torn-variant candidates of @p postSetup: events maximal in the
+     * set, still pending at the earliest legal crash cycle, last of
+     * their cache line within the set, and wider than one 8-byte
+     * chunk.  At most @p cap, youngest first.
+     */
+    std::vector<std::size_t>
+    tornCandidates(const std::vector<std::size_t> &postSetup,
+                   std::size_t cap) const;
+
+    /**
+     * Greedily remove post-setup events (youngest first, keeping
+     * legality under @p drainLines) while the verdict still names
+     * @p invariant; returns the minimal set.  An untorn variant is
+     * tried first; @p tornIdx / @p tornMask are updated to what the
+     * minimal counterexample actually needs.  Shrink probes bypass
+     * the dedup cache.
+     */
+    std::vector<std::size_t>
+    shrink(const std::vector<std::size_t> &postSetup,
+           std::size_t &tornIdx, std::uint64_t &tornMask,
+           std::uint32_t drainLines, const std::string &invariant);
+
+    std::uint64_t uniqueImages() const { return uniqueImages_; }
+
+  private:
+    StateVerdict judge(MemoryImage &img) const;
+
+    const WorkloadHarness &h_;
+    const PersistOrderGraph &graph_;
+    MemoryImage setupImage_;  ///< Baseline + pre-setup events.
+    std::unordered_set<std::uint64_t> seenHashes_;
+    std::uint64_t uniqueImages_ = 0;
+};
+
+/** @name Worker wire format / journal payloads. */
+/// @{
+std::string
+serializeModelCheckResult(const ModelCheckConfigResult &result);
+
+std::optional<ModelCheckConfigResult>
+deserializeModelCheckResult(const std::string &text);
+
+std::uint64_t modelCheckSweepId(const ModelCheckOptions &options);
+/// @}
+
+/** Deterministic JSON artifact (BENCH_model_check.json). */
+std::string modelCheckToJson(const ModelCheckReport &report);
+
+} // namespace ede
+
+#endif // EDE_FAULT_MODEL_CHECK_CHECKER_HH

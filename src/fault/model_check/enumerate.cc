@@ -1,0 +1,248 @@
+#include "fault/model_check/enumerate.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace ede {
+
+namespace {
+
+/** Shared state of one enumeration DFS. */
+struct Search
+{
+    const PersistOrderGraph &g;
+    const EnumerationLimits &limits;
+    const std::function<bool(const DurableSetView &)> &visit;
+    EnumerationStats stats;
+
+    std::vector<char> included;         ///< Per-node inclusion flag.
+    std::vector<std::size_t> cur;       ///< Included post-setup indices.
+    std::unordered_set<Addr> pending;   ///< Leaf scratch (media lines).
+
+    /** Pre-setup media lines that never reached the media: pending at
+     * every crash cycle. */
+    std::vector<Addr> setupUnknownLines;
+    /** Latest pre-setup media completion (kNoCycle when none known). */
+    Cycle setupMaxMedia = 0;
+
+    std::chrono::steady_clock::time_point deadline;
+    bool hasDeadline = false;
+    std::uint64_t leafTick = 0;
+    bool stopped = false;
+
+    explicit Search(
+        const PersistOrderGraph &graph, const EnumerationLimits &lim,
+        const std::function<bool(const DurableSetView &)> &fn)
+        : g(graph), limits(lim), visit(fn)
+    {
+        included.assign(g.nodes.size(), 0);
+        std::unordered_set<Addr> unknown;
+        for (std::size_t i = 0; i < g.preSetupCount; ++i) {
+            included[i] = 1;
+            const PersistNode &node = g.nodes[i];
+            if (node.mediaCycle == kNoCycle)
+                unknown.insert(g.mediaLine(node.addr));
+            else
+                setupMaxMedia = std::max(setupMaxMedia, node.mediaCycle);
+        }
+        setupUnknownLines.assign(unknown.begin(), unknown.end());
+        if (lim.budgetMs) {
+            deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(lim.budgetMs);
+            hasDeadline = true;
+        }
+    }
+
+    bool
+    overDeadline()
+    {
+        // Amortize the clock read; maxStates stays exact either way.
+        if (!hasDeadline || (++leafTick & 0x3f))
+            return false;
+        return std::chrono::steady_clock::now() >= deadline;
+    }
+
+    /** Drain feasibility of the current leaf with window bound mx. */
+    bool
+    drainFeasible(Cycle mx)
+    {
+        if (limits.drainLines == FaultPlan::kDrainAll)
+            return true;
+        // Best crash cycle: one short of the earliest media write of
+        // an excluded event (infinite when nothing excluded ever hit
+        // the media).  Every included event pending then must fit the
+        // ADR budget.
+        const Cycle cBest = mx == kNoCycle ? kNoCycle : mx - 1;
+        pending.clear();
+        for (Addr line : setupUnknownLines)
+            pending.insert(line);
+        if (cBest != kNoCycle && cBest < setupMaxMedia) {
+            // A crash inside the setup drain window; real runs place
+            // every post-setup accept after it, but hand-built graphs
+            // may not.
+            for (std::size_t i = 0; i < g.preSetupCount; ++i) {
+                const PersistNode &node = g.nodes[i];
+                if (node.mediaCycle != kNoCycle && node.mediaCycle > cBest)
+                    pending.insert(g.mediaLine(node.addr));
+            }
+        }
+        for (std::size_t i : cur) {
+            const PersistNode &node = g.nodes[i];
+            if (node.mediaCycle == kNoCycle ||
+                (cBest != kNoCycle && node.mediaCycle > cBest)) {
+                pending.insert(g.mediaLine(node.addr));
+            }
+        }
+        return pending.size() <= limits.drainLines;
+    }
+
+    /** Visit the leaf for the current inclusion; false stops the DFS. */
+    bool
+    leaf(Cycle mx)
+    {
+        if (overDeadline()) {
+            stats.truncated = true;
+            return false;
+        }
+        if (!drainFeasible(mx)) {
+            ++stats.rejectedBudget;
+            return true;
+        }
+        ++stats.states;
+        if (!visit(DurableSetView{cur})) {
+            stats.truncated = true;
+            return false;
+        }
+        if (limits.maxStates && stats.states >= limits.maxStates) {
+            stats.truncated = true;
+            return false;
+        }
+        return true;
+    }
+
+    /**
+     * Extend the current partial set with a decision for node i.
+     * mx is the running window bound: the earliest media-write cycle
+     * of any excluded event so far (kNoCycle when none).  Window
+     * legality needs checking only when including -- excluding keeps
+     * every included accept below the tightened bound because a line
+     * reaches the media only after its accept and accepts are
+     * non-decreasing.
+     */
+    void
+    dfs(std::size_t i, Cycle mx)
+    {
+        if (stopped)
+            return;
+        if (i == g.nodes.size()) {
+            if (!leaf(mx))
+                stopped = true;
+            return;
+        }
+        const PersistNode &node = g.nodes[i];
+        bool depsIn = true;
+        for (std::size_t p : node.postSetupPreds) {
+            if (!included[p]) {
+                depsIn = false;
+                break;
+            }
+        }
+        if (depsIn && node.accept < mx) {
+            included[i] = 1;
+            cur.push_back(i);
+            dfs(i + 1, mx);
+            cur.pop_back();
+            included[i] = 0;
+        }
+        if (!stopped)
+            dfs(i + 1, std::min(mx, node.mediaCycle));
+    }
+};
+
+} // namespace
+
+EnumerationStats
+forEachDurableSet(const PersistOrderGraph &graph,
+                  const EnumerationLimits &limits,
+                  const std::function<bool(const DurableSetView &)> &visit)
+{
+    ede_assert(graph.minSucc.size() == graph.nodes.size(),
+               "PersistOrderGraph::finalize() must run before "
+               "enumeration");
+    Search search(graph, limits, visit);
+    search.dfs(graph.preSetupCount, kNoCycle);
+    return search.stats;
+}
+
+bool
+isLegalDurableSet(const PersistOrderGraph &graph,
+                  std::uint32_t drainLines,
+                  const std::vector<std::size_t> &postSetup)
+{
+    const std::size_t n = graph.nodes.size();
+    std::vector<char> included(n, 0);
+    for (std::size_t i = 0; i < graph.preSetupCount; ++i)
+        included[i] = 1;
+    for (std::size_t i : postSetup) {
+        if (i < graph.preSetupCount || i >= n)
+            return false;
+        included[i] = 1;
+    }
+
+    // Downward closure and the crash window.
+    Cycle maxAccept = 0;
+    Cycle minExcludedMedia = kNoCycle;
+    for (std::size_t i = 0; i < n; ++i) {
+        const PersistNode &node = graph.nodes[i];
+        if (included[i]) {
+            for (std::size_t p : node.postSetupPreds) {
+                if (!included[p])
+                    return false;
+            }
+            maxAccept = std::max(maxAccept, node.accept);
+        } else {
+            minExcludedMedia =
+                std::min(minExcludedMedia, node.mediaCycle);
+        }
+    }
+    if (minExcludedMedia != kNoCycle && maxAccept >= minExcludedMedia)
+        return false;
+
+    if (drainLines == FaultPlan::kDrainAll)
+        return true;
+    const Cycle cBest =
+        minExcludedMedia == kNoCycle ? kNoCycle : minExcludedMedia - 1;
+    std::unordered_set<Addr> pendingLines;
+    for (std::size_t i = 0; i < n; ++i) {
+        const PersistNode &node = graph.nodes[i];
+        if (!included[i])
+            continue;
+        if (node.mediaCycle == kNoCycle ||
+            (cBest != kNoCycle && node.mediaCycle > cBest)) {
+            pendingLines.insert(graph.mediaLine(node.addr));
+        }
+    }
+    return pendingLines.size() <= drainLines;
+}
+
+std::uint64_t
+countOrderIdeals(const PersistOrderGraph &graph)
+{
+    std::uint64_t count = 0;
+    PersistOrderGraph unconstrained = graph;
+    for (PersistNode &node : unconstrained.nodes)
+        node.mediaCycle = kNoCycle;
+    unconstrained.finalize();
+    EnumerationLimits limits;  // kDrainAll, unbounded.
+    forEachDurableSet(unconstrained, limits,
+                      [&](const DurableSetView &) {
+                          ++count;
+                          return true;
+                      });
+    return count;
+}
+
+} // namespace ede

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Enumeration of every legal durable set of a persist-order graph.
+ *
+ * A crash at cycle c with a working-but-finite ADR drain leaves
+ * durable exactly: every event already on the media, plus some subset
+ * of the pending lines the drain saved.  Quantifying over all crash
+ * cycles and all drain choices, the reachable durable states are the
+ * *order ideals* (downward-closed subsets) of the persist partial
+ * order that additionally fit a crash window:
+ *
+ *  - downward-closed: an event can be durable only if every
+ *    predecessor is (the constraints in persist_order.hh);
+ *  - window-legal: there must exist a crash cycle c with every
+ *    included event accepted (accept <= c) and every excluded event
+ *    not yet on the media (c < mediaCycle);
+ *  - drain-feasible: at the best such c, the included events still
+ *    pending (mediaCycle absent or > c) span at most drainLines
+ *    distinct media lines.
+ *
+ * The DFS walks events in accept order, include-first.  Excluding
+ * event j can never break window legality for what is already
+ * included: accept(j) < mediaCycle(j) always (a line reaches the
+ * media only after acceptance) and accepts are non-decreasing, so
+ * the tightened window bound stays above every included accept.
+ * Legality therefore only needs checking on include branches and the
+ * drain budget only at leaves, which is what makes the walk a
+ * partial-order reduction rather than a crash-cycle sweep: each
+ * distinct durable set is visited exactly once.
+ */
+
+#ifndef EDE_FAULT_MODEL_CHECK_ENUMERATE_HH
+#define EDE_FAULT_MODEL_CHECK_ENUMERATE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "fault/model_check/persist_order.hh"
+
+namespace ede {
+
+/** Search bounds for the durable-set enumeration. */
+struct EnumerationLimits
+{
+    /** ADR drain budget in 256 B media lines (kDrainAll: unlimited). */
+    std::uint32_t drainLines = FaultPlan::kDrainAll;
+
+    /** Stop after emitting this many durable sets (0: unlimited). */
+    std::uint64_t maxStates = 0;
+
+    /**
+     * Wall-clock budget in milliseconds (0: unlimited).  NOTE: unlike
+     * maxStates this bound is nondeterministic -- which states get
+     * emitted before it trips depends on host speed.  Deterministic
+     * reproduction should bound maxStates instead.
+     */
+    std::uint64_t budgetMs = 0;
+};
+
+/** Tallies from one enumeration. */
+struct EnumerationStats
+{
+    std::uint64_t states = 0;         ///< Durable sets emitted.
+    std::uint64_t rejectedBudget = 0; ///< Leaves over the drain budget.
+    bool truncated = false;           ///< A limit stopped the search.
+
+    /** Leaves visited: emitted plus drain-rejected. */
+    std::uint64_t exploredLeaves() const
+    {
+        return states + rejectedBudget;
+    }
+};
+
+/**
+ * One enumerated durable set, passed to the visitor.  The vectors are
+ * owned by the enumerator and reused between calls -- copy them to
+ * keep them.
+ */
+struct DurableSetView
+{
+    /** Post-setup event indices in the set, ascending.  Pre-setup
+     * events (graph.preSetupCount of them) are always durable and are
+     * not repeated here. */
+    const std::vector<std::size_t> &postSetup;
+};
+
+/**
+ * Enumerate every legal durable set of @p graph under @p limits,
+ * calling @p visit for each.  Return false from @p visit to stop
+ * early (counted as truncation).  finalize() must have run on the
+ * graph.  Returns the tallies.
+ */
+EnumerationStats
+forEachDurableSet(const PersistOrderGraph &graph,
+                  const EnumerationLimits &limits,
+                  const std::function<bool(const DurableSetView &)> &visit);
+
+/**
+ * Decide whether the given set of post-setup event indices (sorted
+ * ascending, pre-setup events implicitly included) is a legal durable
+ * set of @p graph under drain budget @p drainLines: downward-closed,
+ * window-legal and drain-feasible per the file comment.  Used by the
+ * campaign-containment cross-validation and the shrinker.
+ */
+bool isLegalDurableSet(const PersistOrderGraph &graph,
+                       std::uint32_t drainLines,
+                       const std::vector<std::size_t> &postSetup);
+
+/**
+ * Count the order ideals of @p graph ignoring crash-window and drain
+ * constraints (every node treated as never reaching the media).
+ * Exponential; only for the closed-form tests on tiny graphs.
+ */
+std::uint64_t countOrderIdeals(const PersistOrderGraph &graph);
+
+} // namespace ede
+
+#endif // EDE_FAULT_MODEL_CHECK_ENUMERATE_HH

@@ -1,0 +1,268 @@
+#include "fault/model_check/persist_order.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "isa/edk.hh"
+
+namespace ede {
+
+namespace {
+
+/** Sorted-unique insertion of @p add into @p set (small sets). */
+void
+mergeInto(std::vector<std::size_t> &set,
+          const std::vector<std::size_t> &add)
+{
+    if (add.empty())
+        return;
+    set.insert(set.end(), add.begin(), add.end());
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+}
+
+/** One gated store on a 64 B cache line. */
+struct GateEntry
+{
+    std::vector<std::size_t> producers; ///< Persist events to follow.
+    std::size_t storeIdx = 0;           ///< Trace index of the store.
+};
+
+} // namespace
+
+void
+PersistOrderGraph::finalize()
+{
+    const std::size_t n = nodes.size();
+
+    preSetupCount = 0;
+    while (preSetupCount < n && nodes[preSetupCount].preSetup)
+        ++preSetupCount;
+    for (std::size_t i = preSetupCount; i < n; ++i) {
+        ede_assert(!nodes[i].preSetup,
+                   "setup persist events must form an accept-order "
+                   "prefix");
+    }
+
+    minSucc.assign(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        PersistNode &node = nodes[i];
+        std::sort(node.preds.begin(), node.preds.end());
+        node.preds.erase(
+            std::unique(node.preds.begin(), node.preds.end()),
+            node.preds.end());
+        // An edge must point backward in accept order; anything else
+        // is a constraint the hardware never sequenced (see file
+        // comment) and is dropped defensively.
+        const auto fwd = std::lower_bound(node.preds.begin(),
+                                          node.preds.end(), i);
+        stats.nonmonotone += node.preds.end() - fwd;
+        node.preds.erase(fwd, node.preds.end());
+
+        node.postSetupPreds.clear();
+        for (std::size_t p : node.preds) {
+            if (p >= preSetupCount)
+                node.postSetupPreds.push_back(p);
+            minSucc[p] = std::min(minSucc[p], i);
+        }
+    }
+}
+
+PersistOrderGraph
+buildPersistOrder(const Trace &trace,
+                  const std::vector<PersistEvent> &events,
+                  const std::vector<MediaWriteEvent> &mediaWrites,
+                  const std::vector<Cycle> &completionCycles,
+                  Cycle setupCompleteCycle, std::uint32_t lineBytes)
+{
+    PersistOrderGraph g;
+    g.lineBytes = lineBytes;
+    g.nodes.resize(events.size());
+
+    // Per-media-line sorted completion cycles, for mediaCycle.
+    std::unordered_map<Addr, std::vector<Cycle>> mediaByLine;
+    for (const MediaWriteEvent &mw : mediaWrites)
+        mediaByLine[mw.lineAddr].push_back(mw.cycle);
+    for (auto &[line, cycles] : mediaByLine)
+        std::sort(cycles.begin(), cycles.end());
+
+    // Nodes, media cycles, and the same-line accept chains.
+    std::unordered_map<Addr, std::size_t> lastOfMediaLine;
+    std::unordered_map<TraceIndex, std::size_t> eventOfOrigin;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const PersistEvent &ev = events[i];
+        PersistNode &node = g.nodes[i];
+        node.addr = ev.addr;
+        node.size = ev.size;
+        node.accept = ev.cycle;
+        node.origin = ev.origin;
+        node.preSetup = ev.cycle < setupCompleteCycle;
+
+        const Addr line = g.mediaLine(ev.addr);
+        if (auto it = mediaByLine.find(line); it != mediaByLine.end()) {
+            const auto up = std::upper_bound(it->second.begin(),
+                                             it->second.end(), ev.cycle);
+            if (up != it->second.end())
+                node.mediaCycle = *up;
+        }
+
+        if (auto it = lastOfMediaLine.find(line);
+            it != lastOfMediaLine.end()) {
+            node.preds.push_back(it->second);
+            ++g.stats.sameLine;
+        }
+        lastOfMediaLine[line] = i;
+
+        if (ev.origin != kNoOrigin)
+            eventOfOrigin.emplace(ev.origin, i);
+    }
+
+    // Walk the trace in program order, maintaining per-key producer
+    // sets (persist events conveying each key), the accumulated
+    // barrier roots, and the per-cache-line store gates.
+    //
+    // Two distinct producer notions per key:
+    //  - keyProducers[k]: the NEWEST definition, the EDM mapping an
+    //    EDK use operand resolves against;
+    //  - waitProducers[k]: EVERY CVAP event naming k, the set the
+    //    WAIT counter file tracks.  WAIT_KEY(k) retires only when all
+    //    of them completed (WaitCounters::keyClear), so the wait
+    //    barrier must not lean on keyProducers plus chain
+    //    transitivity: the write buffer can accept successive
+    //    definitions of one key OUT of program order (a hot line
+    //    coalesces and accepts early), which severs the chain and
+    //    would leave older producers unordered against the
+    //    post-wait persists.
+    std::vector<std::size_t> keyProducers[kNumEdks];
+    std::vector<std::size_t> waitProducers[kNumEdks];
+    std::vector<std::size_t> barrierRoots;
+    std::vector<std::size_t> cvapEventsSoFar;
+    std::unordered_map<Addr, std::vector<GateEntry>> lineGate;
+    const Addr cacheMask = ~static_cast<Addr>(63);
+
+    auto addPreds = [&](std::size_t ev,
+                        const std::vector<std::size_t> &producers,
+                        std::uint64_t &tally) {
+        for (std::size_t p : producers) {
+            if (p != ev) {
+                g.nodes[ev].preds.push_back(p);
+                ++tally;
+            }
+        }
+    };
+    auto consumedSet = [&](const StaticInst &si) {
+        std::vector<std::size_t> out;
+        if (edkIsReal(si.edkUse))
+            mergeInto(out, keyProducers[si.edkUse]);
+        if (edkIsReal(si.edkUse2))
+            mergeInto(out, keyProducers[si.edkUse2]);
+        return out;
+    };
+
+    for (std::size_t t = 0; t < trace.size(); ++t) {
+        const StaticInst &si = trace[t].si;
+        switch (si.op) {
+          case Op::DcCvap: {
+            const auto it = eventOfOrigin.find(t);
+            const std::size_t ev =
+                it != eventOfOrigin.end() ? it->second : kNoEvent;
+            if (ev != kNoEvent) {
+                if (edkIsReal(si.edkUse)) {
+                    addPreds(ev, keyProducers[si.edkUse],
+                             g.stats.edk);
+                }
+                addPreds(ev, barrierRoots, g.stats.fence);
+                if (edkIsReal(si.edkDef)) {
+                    // Chain edge to the previous definition.  When
+                    // accepts inverted, finalize() drops it (counted
+                    // nonmonotone) -- correctly, since no stall
+                    // sequenced the two lines; waitProducers keeps
+                    // the WAIT barriers sound regardless.
+                    addPreds(ev, keyProducers[si.edkDef],
+                             g.stats.keyChain);
+                    keyProducers[si.edkDef] = {ev};
+                    waitProducers[si.edkDef].push_back(ev);
+                }
+                if (edkIsReal(si.edkUse))
+                    waitProducers[si.edkUse].push_back(ev);
+                cvapEventsSoFar.push_back(ev);
+            } else if (edkIsReal(si.edkDef)) {
+                // A CVAP that never reached the NVM (shouldn't happen
+                // in a completed run): the key degenerates to the
+                // persists it consumed.
+                keyProducers[si.edkDef] = consumedSet(si);
+            }
+            break;
+          }
+          case Op::Str:
+          case Op::Stp: {
+            std::vector<std::size_t> producers = consumedSet(si);
+            mergeInto(producers, barrierRoots);
+            if (!producers.empty()) {
+                lineGate[trace[t].addr & cacheMask].push_back(
+                    GateEntry{std::move(producers), t});
+            }
+            if (edkIsReal(si.edkDef))
+                keyProducers[si.edkDef] = consumedSet(si);
+            break;
+          }
+          case Op::Ldr:
+            if (edkIsReal(si.edkDef))
+                keyProducers[si.edkDef] = consumedSet(si);
+            break;
+          case Op::Join:
+            if (edkIsReal(si.edkDef))
+                keyProducers[si.edkDef] = consumedSet(si);
+            break;
+          case Op::WaitKey:
+            if (edkIsReal(si.edkUse))
+                mergeInto(barrierRoots, waitProducers[si.edkUse]);
+            break;
+          case Op::WaitAllKeys:
+            for (int k = 1; k < kNumEdks; ++k)
+                mergeInto(barrierRoots, waitProducers[k]);
+            break;
+          case Op::DsbSy:
+            // Every prior CVAP completed (persisted) before anything
+            // younger executes; prior plain stores carry their
+            // ordering through the line gates below.
+            mergeInto(barrierRoots, cvapEventsSoFar);
+            break;
+          case Op::DmbSt:
+            // DMB ST does not order DC CVAP: the SU hole.  No edges.
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Apply the store gates: every persist of a gated line accepted
+    // at or after the gating store's completion contains that store's
+    // data and inherits its producers.  Earlier persists of the line
+    // predate the store and are genuinely unordered against it.
+    if (!lineGate.empty()) {
+        for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+            PersistNode &node = g.nodes[i];
+            for (Addr line = node.addr & cacheMask;
+                 line < node.addr + node.size; line += 64) {
+                const auto it = lineGate.find(line);
+                if (it == lineGate.end())
+                    continue;
+                for (const GateEntry &gate : it->second) {
+                    if (gate.storeIdx >= completionCycles.size())
+                        continue;
+                    const Cycle done = completionCycles[gate.storeIdx];
+                    if (done == kNoCycle || node.accept < done)
+                        continue;
+                    addPreds(i, gate.producers, g.stats.lineGate);
+                }
+            }
+        }
+    }
+
+    g.finalize();
+    return g;
+}
+
+} // namespace ede

@@ -30,13 +30,15 @@ MemSystem::MemSystem(MemSystemParams params) : params_(std::move(params))
 }
 
 std::optional<ReqId>
-MemSystem::send(ReqKind kind, Addr addr, std::uint8_t size, Cycle now)
+MemSystem::send(ReqKind kind, Addr addr, std::uint8_t size, Cycle now,
+                TraceIndex origin)
 {
     MemReq req;
     req.id = nextId_;
     req.kind = kind;
     req.addr = addr;
     req.size = size;
+    req.origin = origin;
     if (!l1d_->tryAccept(req, now))
         return std::nullopt;
     ++nextId_;
@@ -50,15 +52,16 @@ MemSystem::sendLoad(Addr addr, std::uint8_t size, Cycle now)
 }
 
 std::optional<ReqId>
-MemSystem::sendStore(Addr addr, std::uint8_t size, Cycle now)
+MemSystem::sendStore(Addr addr, std::uint8_t size, Cycle now,
+                     TraceIndex origin)
 {
-    return send(ReqKind::Write, addr, size, now);
+    return send(ReqKind::Write, addr, size, now, origin);
 }
 
 std::optional<ReqId>
-MemSystem::sendClean(Addr addr, Cycle now)
+MemSystem::sendClean(Addr addr, Cycle now, TraceIndex origin)
 {
-    return send(ReqKind::Clean, addr, 64, now);
+    return send(ReqKind::Clean, addr, 64, now, origin);
 }
 
 bool

@@ -45,9 +45,10 @@ class MemSystem
      */
     /// @{
     std::optional<ReqId> sendLoad(Addr addr, std::uint8_t size, Cycle now);
-    std::optional<ReqId> sendStore(Addr addr, std::uint8_t size,
-                                   Cycle now);
-    std::optional<ReqId> sendClean(Addr addr, Cycle now);
+    std::optional<ReqId> sendStore(Addr addr, std::uint8_t size, Cycle now,
+                                   TraceIndex origin = kNoOrigin);
+    std::optional<ReqId> sendClean(Addr addr, Cycle now,
+                                   TraceIndex origin = kNoOrigin);
     /// @}
 
     /** Consume a completion: true exactly once per finished request. */
@@ -90,7 +91,7 @@ class MemSystem
 
   private:
     std::optional<ReqId> send(ReqKind kind, Addr addr, std::uint8_t size,
-                              Cycle now);
+                              Cycle now, TraceIndex origin = kNoOrigin);
 
     MemSystemParams params_;
     std::unique_ptr<MemController> ctrl_;

@@ -63,4 +63,66 @@ MemoryImage::copyRange(const MemoryImage &src, Addr addr, std::size_t len)
     write(addr, buf.data(), len);
 }
 
+namespace {
+
+bool
+pageIsZero(const std::vector<std::uint8_t> &page)
+{
+    for (std::uint8_t b : page)
+        if (b != 0)
+            return false;
+    return true;
+}
+
+// FNV-1a over a byte range, seeded with the running hash.
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+MemoryImage::canonicalContentHash() const
+{
+    // Hash pages in address order so the result is independent of the
+    // unordered_map's iteration order and of zero pages that were
+    // materialized but never written with nonzero data.
+    std::vector<Addr> addrs;
+    addrs.reserve(pages_.size());
+    for (const auto &[addr, page] : pages_)
+        if (!pageIsZero(page))
+            addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (Addr a : addrs) {
+        h = fnv1a(h, &a, sizeof(a));
+        h = fnv1a(h, pages_.at(a).data(), kPageSize);
+    }
+    return h;
+}
+
+bool
+MemoryImage::contentEquals(const MemoryImage &other) const
+{
+    static const Page zeros(kPageSize, 0);
+    auto covers = [](const MemoryImage &a, const MemoryImage &b) {
+        for (const auto &[addr, page] : a.pages_) {
+            const Page *peer = b.findPage(addr);
+            const Page &ref = peer ? *peer : zeros;
+            if (page != ref)
+                return false;
+        }
+        return true;
+    };
+    return covers(*this, other) && covers(other, *this);
+}
+
 } // namespace ede

@@ -59,6 +59,18 @@ class MemoryImage
     /** Number of pages materialized (for tests). */
     std::size_t pageCount() const { return pages_.size(); }
 
+    /**
+     * Canonical content hash: equal for images with identical byte
+     * contents regardless of which pages happen to be materialized
+     * (an absent page reads as zeros, so all-zero pages are excluded
+     * before hashing).  Used by the crash model checker to
+     * deduplicate materialized crash states.
+     */
+    std::uint64_t canonicalContentHash() const;
+
+    /** Byte-for-byte content equality under the same zero convention. */
+    bool contentEquals(const MemoryImage &other) const;
+
     /** Drop all contents. */
     void clear() { pages_.clear(); }
 

@@ -56,7 +56,7 @@ NvmDevice::acceptWrite(const MemReq &req, Cycle now, bool is_clean)
     // The buffer is inside the persistence domain (ADR): entering it
     // makes the data crash-durable.
     if (persistHook_)
-        persistHook_(req.addr, req.size ? req.size : 64, now);
+        persistHook_(req.addr, req.size ? req.size : 64, now, req.origin);
     return true;
 }
 

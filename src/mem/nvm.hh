@@ -67,9 +67,14 @@ struct NvmStats
 
 /**
  * Hook invoked when a write/clean enters the persistence domain
- * (i.e. the persistent buffer): (cache-line address, size, cycle).
+ * (i.e. the persistent buffer): (cache-line address, size, cycle,
+ * originating trace index or kNoOrigin for cache-generated traffic).
+ * The origin lets the fault model-checker tie persist events back to
+ * the DC CVAP / store instructions whose EDK and fence constraints
+ * order them.
  */
-using PersistHook = std::function<void(Addr, std::uint32_t, Cycle)>;
+using PersistHook =
+    std::function<void(Addr, std::uint32_t, Cycle, TraceIndex)>;
 
 /**
  * Hook invoked when a buffered line finishes its media write:

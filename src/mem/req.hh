@@ -18,6 +18,19 @@ using ReqId = std::uint64_t;
 /** Identifier meaning "no core request attached" (e.g. evictions). */
 inline constexpr ReqId kNoReq = 0;
 
+/**
+ * Trace index of the instruction that originated a request, for
+ * requests that have one (store drains and DC CVAP cleans pushed from
+ * the write buffer).  Cache-generated traffic -- fills, dirty
+ * writebacks -- carries kNoOrigin: an eviction aggregates stores from
+ * many instructions and belongs to none of them.
+ */
+using TraceIndex = std::uint64_t;
+
+/** Sentinel meaning "no originating instruction". */
+inline constexpr TraceIndex kNoOrigin =
+    static_cast<TraceIndex>(-1);
+
 /** Request kinds. */
 enum class ReqKind : std::uint8_t {
     Read,       ///< Demand load (completes at the level that hits).
@@ -33,6 +46,7 @@ struct MemReq
     ReqKind kind = ReqKind::Read;
     Addr addr = kNoAddr;      ///< Byte address (line-aligned for fills).
     std::uint8_t size = 0;    ///< Access size in bytes.
+    TraceIndex origin = kNoOrigin;  ///< Originating instruction, if any.
 };
 
 /** A response delivered back up the hierarchy. */

@@ -44,6 +44,7 @@ recoverUndoLog(MemoryImage &image, const UndoLogLayout &layout)
             const std::uint64_t old_val =
                 image.read<std::uint64_t>(entry + 8);
             image.write(target, old_val);
+            result.appliedTargets.push_back(target);
             ++result.entriesApplied;
         }
     }

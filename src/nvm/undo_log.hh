@@ -37,6 +37,7 @@
 #define EDE_NVM_UNDO_LOG_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hh"
 #include "mem/memory_image.hh"
@@ -118,6 +119,13 @@ struct RecoveryResult
     std::uint64_t entriesApplied = 0;///< Undo entries rolled back.
     std::uint64_t entriesZeroed = 0;
     std::uint64_t entriesTorn = 0;   ///< Checksum mismatches discarded.
+
+    /**
+     * Heap addresses the rollback restored, newest entry first --
+     * the witness trail a crash-consistency counterexample reports
+     * alongside the invariant it violated.
+     */
+    std::vector<Addr> appliedTargets;
 };
 
 /**

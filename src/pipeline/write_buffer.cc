@@ -143,9 +143,9 @@ WriteBuffer::tick(Cycle now)
         }
         std::optional<ReqId> id;
         if (opIsStore(e.si.op)) {
-            id = mem_.sendStore(e.addr, e.size, now);
+            id = mem_.sendStore(e.addr, e.size, now, e.traceIdx);
         } else {
-            id = mem_.sendClean(e.addr, now);
+            id = mem_.sendClean(e.addr, now, e.traceIdx);
         }
         if (!id) {
             // L1D backpressure affects every later push equally.

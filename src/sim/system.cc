@@ -32,12 +32,14 @@ System::wire()
     // Entering the persistent on-DIMM buffer makes a line durable:
     // snapshot its coherent contents into the crash image.
     mem_->controller().nvm().setPersistHook(
-        [this](Addr addr, std::uint32_t size, Cycle now) {
+        [this](Addr addr, std::uint32_t size, Cycle now,
+               TraceIndex origin) {
             nvmImage_.copyRange(timingImage_, addr, size);
             PersistEvent ev;
             ev.addr = addr;
             ev.size = size;
             ev.cycle = now;
+            ev.origin = origin;
             if (recordPersistData_) {
                 ev.bytes.resize(size);
                 timingImage_.read(addr, ev.bytes.data(), size);

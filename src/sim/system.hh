@@ -32,6 +32,14 @@ struct PersistEvent
     std::uint32_t size = 0;
     Cycle cycle = kNoCycle;
 
+    /**
+     * Trace index of the store/CVAP that pushed this write from the
+     * write buffer, or kNoOrigin for cache evictions.  The model
+     * checker uses this to bind each persist event to the EDK/fence
+     * constraints of its originating instruction.
+     */
+    TraceIndex origin = kNoOrigin;
+
     /** Durable bytes; filled only when data recording is enabled. */
     std::vector<std::uint8_t> bytes;
 };

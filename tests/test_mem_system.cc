@@ -113,12 +113,17 @@ TEST(NvmDevice, PersistHookFiresOnAcceptance)
 {
     NvmDevice nvm;
     std::vector<Addr> persisted;
-    nvm.setPersistHook([&](Addr a, std::uint32_t, Cycle) {
+    std::vector<TraceIndex> origins;
+    nvm.setPersistHook([&](Addr a, std::uint32_t, Cycle, TraceIndex o) {
         persisted.push_back(a);
+        origins.push_back(o);
     });
-    nvm.tryAccept(MemReq{1, ReqKind::Clean, 0x300, 64}, 5);
-    ASSERT_EQ(persisted.size(), 1u);
+    nvm.tryAccept(MemReq{1, ReqKind::Clean, 0x300, 64, 42}, 5);
+    nvm.tryAccept(MemReq{kNoReq, ReqKind::Writeback, 0x400, 64}, 6);
+    ASSERT_EQ(persisted.size(), 2u);
     EXPECT_EQ(persisted[0], 0x300u);
+    EXPECT_EQ(origins[0], 42u);
+    EXPECT_EQ(origins[1], kNoOrigin);
 }
 
 TEST(NvmDevice, CoalesceDuringMediaWriteReArmsTheSlot)
