@@ -17,8 +17,7 @@
 #include <cstdio>
 
 #include "common/stats.hh"
-#include "mem/mem_system.hh"
-#include "pipeline/core.hh"
+#include "sim/session.hh"
 #include "trace/builder.hh"
 
 using namespace ede;
@@ -72,13 +71,13 @@ buildKernel(bool use_ede, int count)
 }
 
 Cycle
-run(EnforceMode mode, bool use_ede, int count)
+run(Config cfg, bool use_ede, int count)
 {
-    MemSystem mem{MemSystemParams{}};
-    CoreParams params;
-    params.ede = mode;
-    OoOCore core(params, mem);
-    return core.run(buildKernel(use_ede, count));
+    // Through the unified Session path (single core of the N-core
+    // System); the paper preset for cfg carries the EnforceMode.
+    Session session(SimConfig::paper(cfg));
+    return session.runChecked(buildKernel(use_ede, count))
+        .stats.cycles;
 }
 
 } // namespace
@@ -88,9 +87,9 @@ main()
 {
     std::printf("== Section VIII: hazard-pointer announcement ==\n\n");
     constexpr int kCount = 2000;
-    const Cycle fence = run(EnforceMode::None, false, kCount);
-    const Cycle iq = run(EnforceMode::IQ, true, kCount);
-    const Cycle wb = run(EnforceMode::WB, true, kCount);
+    const Cycle fence = run(Config::B, false, kCount);
+    const Cycle iq = run(Config::IQ, true, kCount);
+    const Cycle wb = run(Config::WB, true, kCount);
 
     TextTable t({"variant", "cycles", "cycles/announce", "speedup"});
     auto row = [&](const char *name, Cycle c) {

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Multi-core scalability reporter: the concurrent persistent kernels
+ * (MS-queue, reader-writer lock, RCU list) on 1..8 cores for every
+ * Table III configuration.
+ *
+ * Each cell runs N cores lock-step over one shared hierarchy, with
+ * fixed work *per core* (weak scaling): the scaling factor reported
+ * is N * cycles(1) / cycles(N), i.e. ideal == N.  The --json
+ * artifact (BENCH_scaling.json) carries the full per-core breakdown
+ * plus the coherence-point counters.
+ *
+ * --check-single-core is the differential gate the CI runs: a
+ * 1-core machine built through the refactored System (CoreGroup run
+ * loop, per-core L1 vector, cross-core plumbing compiled in but
+ * detached) must reproduce the raw OoOCore::run legacy loop
+ * bit-identically, cycle counts and counters alike.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/concurrent.hh"
+#include "cli.hh"
+#include "common/stats.hh"
+#include "sim/session.hh"
+
+using namespace ede;
+using namespace ede::bench;
+
+namespace {
+
+struct Options
+{
+    int opsPerCore = 256;
+    std::uint64_t seed = 42;
+    std::string jsonPath;
+    bool smoke = false;
+    bool checkSingleCore = false;
+};
+
+struct Cell
+{
+    ConcApp app = ConcApp::MsQueue;
+    Config cfg = Config::B;
+    unsigned cores = 1;
+    SimResult result;
+};
+
+Cell
+runCell(ConcApp app, Config cfg, unsigned cores, const Options &opt)
+{
+    ConcParams cp;
+    cp.cfg = cfg;
+    cp.cores = cores;
+    cp.opsPerCore = opt.opsPerCore;
+    cp.seed = opt.seed;
+    const std::vector<Trace> traces = buildConcurrentTraces(app, cp);
+
+    Session session(SimConfig::paper(cfg).withCoreCount(
+        static_cast<int>(cores)));
+    Cell cell;
+    cell.app = app;
+    cell.cfg = cfg;
+    cell.cores = cores;
+    cell.result = session.run(traces);
+    if (!cell.result.ok()) {
+        std::fprintf(stderr,
+                     "fig_scaling: %s/%s on %u cores aborted: %s\n",
+                     std::string(concAppName(app)).c_str(),
+                     std::string(configName(cfg)).c_str(), cores,
+                     simErrorKindName(cell.result.error.kind));
+        std::fprintf(stderr, "%s\n",
+                     cell.result.error.describe().c_str());
+        std::exit(1);
+    }
+    return cell;
+}
+
+/** Emit one cell as a JSON object (own emitter: the unified sink's
+ *  schema is keyed by Table II app x config and has no core axis). */
+void
+cellJson(std::ostringstream &os, const Cell &cell)
+{
+    const RunResult &r = cell.result.stats;
+    os << "    {\"app\": \"" << concAppName(cell.app)
+       << "\", \"config\": \"" << configName(cell.cfg)
+       << "\", \"cores\": " << cell.cores
+       << ", \"cycles\": " << r.cycles << ",\n"
+       << "     \"coherence\": {\"snoops\": " << r.coherence.snoops
+       << ", \"invalidations\": " << r.coherence.invalidations
+       << ", \"downgrades\": " << r.coherence.downgrades
+       << ", \"dirtyHandoffs\": " << r.coherence.dirtyHandoffs
+       << "},\n     \"perCore\": [";
+    for (std::size_t i = 0; i < r.perCore.size(); ++i) {
+        const CoreRunStats &pc = r.perCore[i];
+        os << (i ? ",\n       " : "\n       ")
+           << "{\"core\": " << pc.core
+           << ", \"cycles\": " << pc.stats.cycles
+           << ", \"retired\": " << pc.stats.retired
+           << ", \"ipc\": " << fmtDouble(pc.stats.ipc(), 4)
+           << ", \"wbPushes\": " << pc.wb.pushes
+           << ", \"wbSrcIdGated\": " << pc.wb.srcIdGated
+           << ", \"l1dHits\": " << pc.l1d.hits
+           << ", \"l1dMisses\": " << pc.l1d.misses
+           << ", \"snoopInvalidations\": "
+           << pc.l1d.snoopInvalidations
+           << ", \"snoopDowngrades\": " << pc.l1d.snoopDowngrades
+           << "}";
+    }
+    os << "\n     ]}";
+}
+
+void
+writeJson(const std::string &path, const Options &opt,
+          const std::vector<Cell> &cells)
+{
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"fig_scaling\",\n  \"schema\": 1,\n"
+       << "  \"opsPerCore\": " << opt.opsPerCore << ",\n"
+       << "  \"seed\": " << opt.seed << ",\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        cellJson(os, cells[i]);
+        os << (i + 1 < cells.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out || !(out << os.str()) || !out.flush()) {
+        std::fprintf(stderr, "fig_scaling: cannot write %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::printf("json artifact: %s\n", path.c_str());
+}
+
+/**
+ * The differential gate: every kernel x configuration on one core,
+ * run through the refactored System AND through the raw legacy
+ * OoOCore::run loop on a hand-assembled machine.  Any difference in
+ * cycles or headline counters fails the gate.
+ */
+int
+checkSingleCore(const Options &opt)
+{
+    int failures = 0;
+    for (ConcApp app : kAllConcApps) {
+        for (Config cfg : kAllConfigs) {
+            ConcParams cp;
+            cp.cfg = cfg;
+            cp.cores = 1;
+            cp.opsPerCore = opt.opsPerCore;
+            cp.seed = opt.seed;
+            const std::vector<Trace> traces =
+                buildConcurrentTraces(app, cp);
+
+            const SimConfig sc = SimConfig::paper(cfg);
+            Session session(sc);
+            const SimResult viaSystem = session.run(traces);
+
+            // The legacy path: hand-assembled machine, historical
+            // single-core run loop.
+            const SimParams params = sc.params();
+            MemSystem mem(params.mem);
+            OoOCore core(params.core, mem);
+            core.run(traces[0]);
+
+            const CoreStats &a = viaSystem.stats.core;
+            const CoreStats &b = core.stats();
+            const WriteBufferStats &wa = viaSystem.stats.wb;
+            const WriteBufferStats &wb = core.wbStats();
+            const bool same =
+                viaSystem.ok() &&
+                core.simError().kind == SimErrorKind::None &&
+                a.cycles == b.cycles && a.retired == b.retired &&
+                a.issuedOps == b.issuedOps &&
+                a.dispatched == b.dispatched &&
+                a.squashes == b.squashes &&
+                a.retireStallWbFull == b.retireStallWbFull &&
+                a.dispatchStallRob == b.dispatchStallRob &&
+                wa.pushes == wb.pushes &&
+                wa.srcIdGated == wb.srcIdGated &&
+                viaSystem.stats.l1d.hits == mem.l1d().stats().hits &&
+                viaSystem.stats.l1d.misses ==
+                    mem.l1d().stats().misses;
+            if (!same) {
+                ++failures;
+                std::printf(
+                    "MISMATCH %s/%s: System %llu cycles / %llu "
+                    "retired vs legacy %llu / %llu\n",
+                    std::string(concAppName(app)).c_str(),
+                    std::string(configName(cfg)).c_str(),
+                    static_cast<unsigned long long>(a.cycles),
+                    static_cast<unsigned long long>(a.retired),
+                    static_cast<unsigned long long>(b.cycles),
+                    static_cast<unsigned long long>(b.retired));
+            }
+        }
+    }
+    if (failures) {
+        std::printf("single-core differential gate: %d mismatched "
+                    "cell(s)\n", failures);
+        return 1;
+    }
+    std::printf("single-core differential gate: all %zu cells "
+                "bit-identical\n",
+                kAllConcApps.size() * kAllConfigs.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    Cli cli("fig_scaling");
+    cli.value("--ops", "N", "operations per core (default 256)",
+              [&opt](const std::string &v) {
+                  opt.opsPerCore = static_cast<int>(toUnsigned(v));
+                  if (opt.opsPerCore < 1)
+                      throw CliError{"--ops must be >= 1"};
+              })
+        .value("--seed", "S", "global-interleaving seed (default 42)",
+               [&opt](const std::string &v) { opt.seed = toU64(v); })
+        .value("--json", "PATH",
+               "write the sweep as BENCH_scaling.json",
+               [&opt](const std::string &v) { opt.jsonPath = v; })
+        .toggle("--smoke",
+                "tiny sweep for CI (MS-queue, 1 and 4 cores, 32 ops)",
+                [&opt] { opt.smoke = true; })
+        .toggle("--check-single-core",
+                "differential gate: System(coreCount=1) must match "
+                "the legacy raw-core run loop bit-identically",
+                [&opt] { opt.checkSingleCore = true; });
+    cli.parse(argc, argv);
+
+    if (opt.checkSingleCore)
+        return checkSingleCore(opt);
+
+    std::vector<ConcApp> apps(kAllConcApps.begin(),
+                              kAllConcApps.end());
+    std::vector<unsigned> coreCounts{1, 2, 4, 8};
+    if (opt.smoke) {
+        apps = {ConcApp::MsQueue};
+        coreCounts = {1, 4};
+        opt.opsPerCore = std::min(opt.opsPerCore, 32);
+    }
+
+    std::printf("== Multi-core scaling: concurrent persistent "
+                "kernels ==\n(%d ops/core, seed %llu)\n\n",
+                opt.opsPerCore,
+                static_cast<unsigned long long>(opt.seed));
+
+    std::vector<Cell> cells;
+    for (ConcApp app : apps) {
+        TextTable t({"config", "1c", "2c", "4c", "8c",
+                     "scaling@8c", "snoops@8c"});
+        // Column layout follows the full sweep; smoke rows leave
+        // missing core counts blank.
+        for (Config cfg : kAllConfigs) {
+            std::vector<std::string> row{
+                std::string(configName(cfg))};
+            Cycle base = 0;
+            Cycle last = 0;
+            unsigned last_n = 1;
+            std::uint64_t last_snoops = 0;
+            for (unsigned n : {1u, 2u, 4u, 8u}) {
+                const bool present =
+                    std::find(coreCounts.begin(), coreCounts.end(),
+                              n) != coreCounts.end();
+                if (!present) {
+                    row.push_back("-");
+                    continue;
+                }
+                Cell cell = runCell(app, cfg, n, opt);
+                const Cycle c = cell.result.stats.cycles;
+                if (n == 1)
+                    base = c;
+                last = c;
+                last_n = n;
+                last_snoops = cell.result.stats.coherence.snoops;
+                row.push_back(std::to_string(c));
+                cells.push_back(std::move(cell));
+            }
+            const double scaling =
+                last ? static_cast<double>(last_n) *
+                           static_cast<double>(base) /
+                           static_cast<double>(last)
+                     : 0.0;
+            row.push_back(fmtDouble(scaling, 2) + "x");
+            row.push_back(std::to_string(last_snoops));
+            t.addRow(row);
+        }
+        std::printf("-- %s --\n%s\n",
+                    std::string(concAppName(app)).c_str(),
+                    t.str().c_str());
+    }
+
+    if (!opt.jsonPath.empty())
+        writeJson(opt.jsonPath, opt, cells);
+    return 0;
+}

@@ -1,0 +1,423 @@
+#include "apps/concurrent.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "trace/builder.hh"
+
+namespace ede {
+namespace {
+
+/**
+ * Shared control block and per-core arenas, all in the NVM region
+ * (AddrMap default split puts NVM at 2 GB).  Control cells sit one
+ * per cache line -- they are the contended coherence traffic.
+ */
+constexpr Addr kNvmBase = 2ull << 30;
+constexpr Addr kQueueHead = kNvmBase + 0x000;
+constexpr Addr kQueueTail = kNvmBase + 0x040;
+constexpr Addr kLockWord = kNvmBase + 0x080;
+constexpr Addr kListHead = kNvmBase + 0x0c0;
+constexpr Addr kRwData = kNvmBase + 0x100;   ///< 4 protected lines.
+constexpr int kRwLines = 4;
+constexpr Addr kArenaBase = kNvmBase + 0x100000;
+constexpr Addr kArenaStride = 0x100000;      ///< Per-core node arena.
+constexpr int kRcuListLen = 16;
+
+/** Node @p n of core @p core's arena (64 B nodes, line-aligned). */
+Addr
+arenaNode(unsigned core, int n)
+{
+    return kArenaBase + core * kArenaStride +
+           64ull * static_cast<unsigned>(n);
+}
+
+/** Per-core generation state. */
+struct CoreGen
+{
+    explicit CoreGen(Trace &t) : b(t) {}
+
+    TraceBuilder b;
+    TempRegPool temps;
+    int nodesUsed = 0;  ///< Arena bump cursor.
+};
+
+/**
+ * The persist->publish ordering token (see file comment of
+ * concurrent.hh): emitted between a DC CVAP and the store that
+ * publishes the persisted data.  EDE configs carry the dependence on
+ * the key operands instead; U omits ordering entirely.
+ */
+void
+emitOrderingToken(TraceBuilder &b, Config cfg)
+{
+    switch (cfg) {
+      case Config::B:
+        b.dsbSy();
+        break;
+      case Config::SU:
+        b.dmbSt();
+        break;
+      case Config::IQ:
+      case Config::WB:
+      case Config::U:
+        break;
+    }
+}
+
+/** The drain barrier (grace period / lock release / durable read). */
+void
+emitDrain(TraceBuilder &b, Config cfg, Edk key, bool all_keys)
+{
+    switch (cfg) {
+      case Config::B:
+        b.dsbSy();
+        break;
+      case Config::SU:
+        b.dmbSt();
+        break;
+      case Config::IQ:
+      case Config::WB:
+        if (all_keys)
+            b.waitAllKeys();
+        else
+            b.waitKey(key);
+        break;
+      case Config::U:
+        break;
+    }
+}
+
+/** Warm a core's arena line and close its setup phase. */
+void
+emitPreamble(CoreGen &g, unsigned core)
+{
+    const RegIndex r = g.temps.get();
+    g.b.str(r, g.temps.get(), arenaNode(core, 0), 0);
+    g.b.dsbSy();
+}
+
+// ---------------------------------------------------------------
+// MS-queue: enqueue persists the node, then publishes it through
+// the tail link; dequeue swings the head and persists the swing.
+// ---------------------------------------------------------------
+
+struct QueueModel
+{
+    std::deque<Addr> nodes;  ///< Linked nodes, head first.
+    Addr tail = kNoAddr;     ///< Node the tail pointer names.
+};
+
+void
+emitEnqueue(CoreGen &g, Config cfg, unsigned core, QueueModel &q,
+            std::uint64_t val)
+{
+    const bool ede = configUsesEde(cfg);
+    const Edk k = concCoreKey(core);
+    const Addr node = arenaNode(core, g.nodesUsed++);
+
+    const RegIndex r_node = g.temps.get();
+    const RegIndex r_val = g.temps.get();
+    g.b.movImm(r_val, static_cast<std::int64_t>(val));
+    g.b.str(r_val, r_node, node, val);          // node->val
+    g.b.str(r_val, r_node, node + 8, 0, 8);     // node->next = null
+    g.b.cvap(r_node, node, ede ? EdkOps{k, 0} : EdkOps{});
+    emitOrderingToken(g.b, cfg);
+
+    // Publish: tail->next = node, ordered behind the node persist,
+    // then persist the link (the recovery-critical edge).
+    const RegIndex r_tail = g.temps.get();
+    g.b.str(r_node, r_tail, q.tail + 8, node, 0,
+            ede ? EdkOps{0, k} : EdkOps{});
+    g.b.cvap(r_tail, q.tail + 8, ede ? EdkOps{k, 0} : EdkOps{});
+
+    // Swing the shared tail pointer, ordered behind the link persist.
+    emitOrderingToken(g.b, cfg);
+    const RegIndex r_tp = g.temps.get();
+    g.b.str(r_node, r_tp, kQueueTail, node, 0,
+            ede ? EdkOps{0, k} : EdkOps{});
+
+    q.nodes.push_back(node);
+    q.tail = node;
+}
+
+void
+emitDequeue(CoreGen &g, Config cfg, unsigned core, QueueModel &q)
+{
+    const bool ede = configUsesEde(cfg);
+    const Edk k = concCoreKey(core);
+
+    const RegIndex r_head = g.temps.get();
+    const RegIndex r_node = g.temps.get();
+    g.b.ldr(r_node, r_head, kQueueHead);
+    if (q.nodes.empty()) {
+        // Empty check fails: observe the (null) head and leave.
+        g.b.branchCond("msq.empty", r_node, r_node, true);
+        return;
+    }
+    const Addr front = q.nodes.front();
+    q.nodes.pop_front();
+    const Addr next = q.nodes.empty() ? 0 : q.nodes.front();
+    if (q.nodes.empty())
+        q.tail = kNoAddr;
+
+    const RegIndex r_next = g.temps.get();
+    g.b.ldr(r_next, r_node, front + 8);         // head->next
+    g.b.branchCond("msq.deq", r_node, r_next, false);
+    const RegIndex r_val = g.temps.get();
+    g.b.ldr(r_val, r_node, front);              // consume the value
+    // Swing head and persist the swing (dequeue durability).
+    g.b.str(r_next, r_head, kQueueHead, next);
+    g.b.cvap(r_head, kQueueHead, ede ? EdkOps{k, 0} : EdkOps{});
+
+    if (q.tail == kNoAddr)
+        q.tail = front; // Model keeps the last node as sentinel.
+}
+
+std::vector<Trace>
+buildMsQueue(const ConcParams &p)
+{
+    std::vector<Trace> traces(p.cores);
+    std::vector<CoreGen> gens;
+    gens.reserve(p.cores);
+    for (Trace &t : traces)
+        gens.emplace_back(t);
+
+    // Core 0 installs the sentinel and the head/tail cells.
+    QueueModel q;
+    {
+        CoreGen &g = gens[0];
+        const Addr sent = arenaNode(0, g.nodesUsed++);
+        const RegIndex r = g.temps.get();
+        const RegIndex r_s = g.temps.get();
+        g.b.str(r, r_s, sent + 8, 0, 8);        // sentinel->next
+        g.b.str(r, r_s, kQueueHead, 0);         // empty queue
+        g.b.str(r, r_s, kQueueTail, sent);
+        g.b.cvap(r_s, sent);
+        g.b.cvap(r_s, kQueueHead);
+        q.tail = sent;
+    }
+    for (unsigned i = 0; i < p.cores; ++i)
+        emitPreamble(gens[i], i);
+
+    Rng rng(p.seed);
+    std::vector<int> remaining(p.cores, p.opsPerCore);
+    std::uint64_t total =
+        static_cast<std::uint64_t>(p.cores) * p.opsPerCore;
+    std::uint64_t val = 1;
+    while (total > 0) {
+        const auto c = static_cast<unsigned>(rng.below(p.cores));
+        if (remaining[c] == 0)
+            continue;
+        --remaining[c];
+        --total;
+        if (q.nodes.empty() || rng.below(2) == 0)
+            emitEnqueue(gens[c], p.cfg, c, q, val++);
+        else
+            emitDequeue(gens[c], p.cfg, c, q);
+    }
+    return traces;
+}
+
+// ---------------------------------------------------------------
+// Reader-writer lock over a persistent record: writers persist the
+// record lines before releasing; readers may issue a durable read,
+// draining the last writer's in-flight persists across the
+// coherence point (cross-core WAIT_KEY).
+// ---------------------------------------------------------------
+
+std::vector<Trace>
+buildRwLock(const ConcParams &p)
+{
+    std::vector<Trace> traces(p.cores);
+    std::vector<CoreGen> gens;
+    gens.reserve(p.cores);
+    for (Trace &t : traces)
+        gens.emplace_back(t);
+    for (unsigned i = 0; i < p.cores; ++i)
+        emitPreamble(gens[i], i);
+
+    Rng rng(p.seed);
+    std::vector<int> remaining(p.cores, p.opsPerCore);
+    std::uint64_t total =
+        static_cast<std::uint64_t>(p.cores) * p.opsPerCore;
+    std::uint64_t version = 1;
+    unsigned last_writer = 0;
+    while (total > 0) {
+        const auto c = static_cast<unsigned>(rng.below(p.cores));
+        if (remaining[c] == 0)
+            continue;
+        --remaining[c];
+        --total;
+        CoreGen &g = gens[c];
+        const bool ede = configUsesEde(p.cfg);
+        const Edk k = concCoreKey(c);
+        const RegIndex r_lock = g.temps.get();
+        const RegIndex r_obs = g.temps.get();
+        g.b.ldr(r_obs, r_lock, kLockWord);
+        if (rng.below(4) == 0) {
+            // Writer: acquire, update + persist the record, drain,
+            // release.
+            g.b.branchCond("rw.acq", r_obs, r_obs, false);
+            const RegIndex r_w = g.temps.get();
+            g.b.str(r_w, r_lock, kLockWord, 1 + c);
+            for (int l = 0; l < kRwLines; ++l) {
+                const Addr line = kRwData + 64ull * l;
+                const RegIndex r_d = g.temps.get();
+                g.b.movImm(r_d,
+                           static_cast<std::int64_t>(version));
+                g.b.str(r_d, r_lock, line, version);
+                g.b.cvap(r_lock, line,
+                         ede ? EdkOps{k, 0} : EdkOps{});
+            }
+            // The record must be durable before the release store
+            // makes it reachable.
+            emitDrain(g.b, p.cfg, k, /*all_keys=*/false);
+            g.b.str(r_w, r_lock, kLockWord, 0);
+            g.b.cvap(r_lock, kLockWord);
+            last_writer = c;
+            ++version;
+        } else {
+            // Reader: observe the lock, read the record.
+            g.b.branchCond("rw.read", r_obs, r_obs, false);
+            RegIndex r_prev = r_obs;
+            for (int l = 0; l < kRwLines; ++l) {
+                const RegIndex r_d = g.temps.get();
+                g.b.ldr(r_d, r_prev, kRwData + 64ull * l);
+                r_prev = r_d;
+            }
+            // Durable read (1 in 4): drain the last writer's
+            // persists.  Under EDE the waited key belongs to a
+            // *different* core -- the counters span the coherence
+            // point.
+            if (rng.below(4) == 0) {
+                emitDrain(g.b, p.cfg, concCoreKey(last_writer),
+                          /*all_keys=*/false);
+            }
+        }
+    }
+    return traces;
+}
+
+// ---------------------------------------------------------------
+// RCU list: readers traverse; updaters persist a replacement node,
+// publish it, then wait out a grace period before poisoning the
+// old node.  Under EDE the grace period is WAIT_ALL_KEYS, which
+// with cross-core counters drains every core's in-flight keyed
+// persists.
+// ---------------------------------------------------------------
+
+std::vector<Trace>
+buildRcuList(const ConcParams &p)
+{
+    std::vector<Trace> traces(p.cores);
+    std::vector<CoreGen> gens;
+    gens.reserve(p.cores);
+    for (Trace &t : traces)
+        gens.emplace_back(t);
+
+    // Core 0 builds the initial list.
+    std::vector<Addr> list;
+    {
+        CoreGen &g = gens[0];
+        const RegIndex r_n = g.temps.get();
+        const RegIndex r_v = g.temps.get();
+        for (int n = 0; n < kRcuListLen; ++n)
+            list.push_back(arenaNode(0, g.nodesUsed++));
+        for (int n = 0; n < kRcuListLen; ++n) {
+            const Addr next =
+                n + 1 < kRcuListLen ? list[n + 1] : 0;
+            g.b.str(r_v, r_n, list[n], 100 + n);
+            g.b.str(r_v, r_n, list[n] + 8, next, 8);
+            g.b.cvap(r_n, list[n]);
+        }
+        g.b.str(r_v, r_n, kListHead, list[0]);
+        g.b.cvap(r_n, kListHead);
+    }
+    for (unsigned i = 0; i < p.cores; ++i)
+        emitPreamble(gens[i], i);
+
+    Rng rng(p.seed);
+    std::vector<int> remaining(p.cores, p.opsPerCore);
+    std::uint64_t total =
+        static_cast<std::uint64_t>(p.cores) * p.opsPerCore;
+    std::uint64_t version = 1000;
+    while (total > 0) {
+        const auto c = static_cast<unsigned>(rng.below(p.cores));
+        if (remaining[c] == 0)
+            continue;
+        --remaining[c];
+        --total;
+        CoreGen &g = gens[c];
+        const bool ede = configUsesEde(p.cfg);
+        const Edk k = concCoreKey(c);
+        if (rng.below(4) == 0) {
+            // Updater: replace list[idx] with a fresh node.
+            const auto idx = static_cast<std::size_t>(
+                rng.below(list.size()));
+            const Addr old = list[idx];
+            const Addr next_val = idx + 1 < list.size()
+                                      ? list[idx + 1]
+                                      : 0;
+            const Addr pred =
+                idx == 0 ? kListHead : list[idx - 1] + 8;
+            const Addr node = arenaNode(c, g.nodesUsed++);
+            const RegIndex r_n = g.temps.get();
+            const RegIndex r_v = g.temps.get();
+            g.b.movImm(r_v, static_cast<std::int64_t>(version));
+            g.b.str(r_v, r_n, node, version);
+            g.b.str(r_v, r_n, node + 8, next_val, 8);
+            g.b.cvap(r_n, node, ede ? EdkOps{k, 0} : EdkOps{});
+            emitOrderingToken(g.b, p.cfg);
+            const RegIndex r_p = g.temps.get();
+            g.b.str(r_n, r_p, pred, node, 0,
+                    ede ? EdkOps{0, k} : EdkOps{});
+            g.b.cvap(r_p, pred, ede ? EdkOps{k, 0} : EdkOps{});
+            // Grace period: every core's keyed persists must drain
+            // before the old node can be poisoned.
+            emitDrain(g.b, p.cfg, k, /*all_keys=*/true);
+            const RegIndex r_x = g.temps.get();
+            g.b.str(r_x, r_n, old, 0xdead);
+            list[idx] = node;
+            ++version;
+        } else {
+            // Reader: pointer-chase the first nodes of the list.
+            const RegIndex r_h = g.temps.get();
+            RegIndex r_prev = g.temps.get();
+            g.b.ldr(r_prev, r_h, kListHead);
+            const std::size_t hops =
+                std::min<std::size_t>(8, list.size());
+            for (std::size_t h = 0; h < hops; ++h) {
+                const RegIndex r_n = g.temps.get();
+                // Dependent load: base is the previous hop's dest.
+                g.b.ldr(r_n, r_prev, list[h] + (h + 1 < hops ? 8 : 0));
+                r_prev = r_n;
+            }
+        }
+    }
+    return traces;
+}
+
+} // namespace
+
+std::vector<Trace>
+buildConcurrentTraces(ConcApp app, const ConcParams &p)
+{
+    ede_assert(p.cores >= 1, "concurrent workloads need >= 1 core");
+    ede_assert(p.opsPerCore >= 1,
+               "concurrent workloads need >= 1 op per core");
+    switch (app) {
+      case ConcApp::MsQueue:
+        return buildMsQueue(p);
+      case ConcApp::RwLock:
+        return buildRwLock(p);
+      case ConcApp::RcuList:
+        return buildRcuList(p);
+    }
+    ede_assert(false, "unknown concurrent app");
+    return {};
+}
+
+} // namespace ede

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Concurrent persistent workloads for the N-core System.
+ *
+ * Three kernels modelled on the classic lock-free / synchronization
+ * case studies (Michael-Scott queue, reader-writer lock, RCU list),
+ * each rewritten as a *persistent* structure in the paper's style:
+ * every structural update persists its lines with DC CVAP and orders
+ * the publishing store behind the persist.  The ordering token is
+ * lowered per Table III configuration, exactly as the NvmFramework
+ * lowers its undo-log patterns:
+ *
+ *  - B  : DC CVAP ; DSB SY ; publish
+ *  - SU : DC CVAP ; DMB ST ; publish       (unsafe: DMB ST does not
+ *                                           order the CVAP)
+ *  - IQ / WB : DC CVAP defines the core's key; the publish store
+ *              consumes it -- no fence
+ *  - U  : DC CVAP ; publish                (no ordering)
+ *
+ * Each core runs its own instruction stream against a private EDK
+ * key (the 15 real keys partitioned round-robin across cores), and
+ * cross-core persist ordering is expressed with WAIT_KEY /
+ * WAIT_ALL_KEYS on *another* core's key -- the counters span the
+ * coherence point, so a waiter drains the remote core's in-flight
+ * keyed persists (see core/cross_core.hh).  Per-core EDM files mean
+ * a use-key only links to a producer on the same core; the workloads
+ * respect that split.
+ *
+ * Generation is functional-first, like every trace generator in this
+ * repo: a seeded *global interleaving* serializes the cores'
+ * operations, a host-side model of the structure resolves every
+ * address and value under that order, and each operation's micro-ops
+ * are appended to its core's trace.  The timing simulation then
+ * replays the N streams lock-step; values are already resolved, so
+ * timing never changes the functional outcome (the hazard-pointer
+ * bench uses the same idiom on one core).
+ */
+
+#ifndef EDE_APPS_CONCURRENT_HH
+#define EDE_APPS_CONCURRENT_HH
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "sim/config.hh"
+#include "trace/trace.hh"
+
+namespace ede {
+
+/** The concurrent kernels. */
+enum class ConcApp { MsQueue, RwLock, RcuList };
+
+/** All concurrent kernels, presentation order. */
+inline constexpr std::array<ConcApp, 3> kAllConcApps = {
+    ConcApp::MsQueue, ConcApp::RwLock, ConcApp::RcuList,
+};
+
+/** Printable kernel name. */
+constexpr std::string_view
+concAppName(ConcApp app)
+{
+    switch (app) {
+      case ConcApp::MsQueue: return "msqueue";
+      case ConcApp::RwLock: return "rwlock";
+      case ConcApp::RcuList: return "rcu";
+    }
+    return "<bad-conc-app>";
+}
+
+/** Generator tunables. */
+struct ConcParams
+{
+    Config cfg = Config::B;      ///< Table III lowering to apply.
+    unsigned cores = 1;          ///< One trace per core.
+    int opsPerCore = 256;        ///< Operations each core performs.
+    std::uint64_t seed = 42;     ///< Global-interleaving seed.
+};
+
+/**
+ * The EDK key core @p core produces on an N-core machine: the 15
+ * real keys are partitioned round-robin, so two cores share a key
+ * only beyond 15 cores.  Cross-core waiters name a peer's key
+ * explicitly via this mapping.
+ */
+constexpr Edk
+concCoreKey(unsigned core)
+{
+    return static_cast<Edk>(1 + core % 15);
+}
+
+/**
+ * Build kernel @p app's per-core traces (index i binds to core i;
+ * size == p.cores).  Deterministic in (app, p).
+ */
+std::vector<Trace> buildConcurrentTraces(ConcApp app,
+                                         const ConcParams &p);
+
+} // namespace ede
+
+#endif // EDE_APPS_CONCURRENT_HH

@@ -150,6 +150,8 @@ fingerprintPoint(const ExperimentPoint &point)
             static_cast<std::uint64_t>(point.appParams.arrayLen));
     hashCoreParams(h, point.simParams.core);
     hashMemParams(h, point.simParams.mem);
+    h.field("coreCount",
+            static_cast<std::uint64_t>(point.simParams.coreCount));
     return h.value();
 }
 

@@ -54,8 +54,17 @@ namespace exp {
  * (BENCH_model_check.json with the durable-set lattice coverage).
  * Campaign classifications can differ from v4 at torn crash points,
  * so v4 journals/snapshots must not replay.
+ *
+ * v6: the machine became an N-core System (shared coherence point at
+ * the L2, per-core private L1s / write buffers / EDMs, cross-core
+ * WAIT counters).  SimParams gained coreCount, which is now hashed;
+ * RunResult snapshots gained the per-core breakdown and the
+ * coherence counters, and CacheStats gained the snoop tallies.  A
+ * coreCount=1 machine is bit-identical to v5 timing by construction
+ * (the differential gate in bench/fig_scaling enforces it), but the
+ * snapshot layout changed, so v5 snapshots must not replay.
  */
-inline constexpr std::uint32_t kResultSchemaVersion = 5;
+inline constexpr std::uint32_t kResultSchemaVersion = 6;
 
 /** FNV-1a over a stream of tagged fields. */
 class FingerprintHasher

@@ -27,7 +27,8 @@ putCacheStats(std::ostream &os, const char *prefix, const CacheStats &c)
 {
     os << prefix << ' ' << c.hits << ' ' << c.misses << ' '
        << c.mshrMerges << ' ' << c.evictions << ' ' << c.writebacks
-       << ' ' << c.cleansForwarded << ' ' << c.rejects << '\n';
+       << ' ' << c.cleansForwarded << ' ' << c.rejects << ' '
+       << c.snoopInvalidations << ' ' << c.snoopDowngrades << '\n';
 }
 
 /** Reader over the snapshot token stream; any slip poisons it. */
@@ -83,7 +84,8 @@ class SnapshotReader
     {
         expect(prefix);
         if (!(is_ >> c.hits >> c.misses >> c.mshrMerges >> c.evictions
-                  >> c.writebacks >> c.cleansForwarded >> c.rejects))
+                  >> c.writebacks >> c.cleansForwarded >> c.rejects
+                  >> c.snoopInvalidations >> c.snoopDowngrades))
             ok_ = false;
     }
 
@@ -105,6 +107,16 @@ serializeCell(const ExperimentCell &cell)
     os << "config " << configName(cell.point.config) << '\n';
     putScalar(os, "opCycles", cell.opCycles);
     putScalar(os, "cycles", r.cycles);
+    // The exp layer runs the Table II apps on one core; a multi-core
+    // RunResult has no snapshot form (the scaling bench has its own
+    // JSON emitter), so refuse to serialize one rather than silently
+    // dropping the per-core breakdown.
+    ede_assert(r.coreCount == 1,
+               "result-cache snapshots are single-core only");
+    putScalar(os, "coreCount", static_cast<std::uint64_t>(r.coreCount));
+    os << "coherence " << r.coherence.snoops << ' '
+       << r.coherence.invalidations << ' ' << r.coherence.downgrades
+       << ' ' << r.coherence.dirtyHandoffs << '\n';
 
     putScalar(os, "core.cycles", r.core.cycles);
     putScalar(os, "core.retired", r.core.retired);
@@ -180,6 +192,22 @@ deserializeCell(const std::string &text, const ExperimentPoint &point,
 
     cell.opCycles = in.scalar("opCycles");
     r.cycles = in.scalar("cycles");
+
+    r.coreCount = static_cast<int>(in.scalar("coreCount"));
+    if (!in.ok() || r.coreCount != 1)
+        return std::nullopt;
+    in.expect("coherence");
+    if (!(in.ok()))
+        return std::nullopt;
+    {
+        const auto v = in.vec(4);
+        if (!in.ok())
+            return std::nullopt;
+        r.coherence.snoops = v[0];
+        r.coherence.invalidations = v[1];
+        r.coherence.downgrades = v[2];
+        r.coherence.dirtyHandoffs = v[3];
+    }
 
     r.core.cycles = in.scalar("core.cycles");
     r.core.retired = in.scalar("core.retired");
@@ -269,6 +297,9 @@ deserializeCell(const std::string &text, const ExperimentPoint &point,
     in.expect("end");
     if (!in.ok())
         return std::nullopt;
+    // Rebuild the per-core view (single-core per the check above) so
+    // a restored RunResult is indistinguishable from a fresh one.
+    r.perCore = {CoreRunStats{0, r.core, r.wb, r.l1d}};
     return cell;
 }
 

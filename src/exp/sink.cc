@@ -64,8 +64,20 @@ emitCell(std::ostream &os, const ExperimentCell &c)
     os << "      \"seed\": " << c.point.spec.seed << ",\n";
     os << "      \"op_cycles\": " << c.opCycles << ",\n";
     os << "      \"cycles\": " << r.cycles << ",\n";
+    os << "      \"core_count\": " << r.coreCount << ",\n";
     os << "      \"retired\": " << r.core.retired << ",\n";
     os << "      \"ipc\": " << jsonDouble(r.core.ipc()) << ",\n";
+    os << "      \"cores\": [";
+    for (std::size_t i = 0; i < r.perCore.size(); ++i) {
+        const CoreRunStats &pc = r.perCore[i];
+        os << (i ? ", " : "") << "{\"core\": " << pc.core
+           << ", \"cycles\": " << pc.stats.cycles << ", \"retired\": "
+           << pc.stats.retired << ", \"ipc\": "
+           << jsonDouble(pc.stats.ipc()) << ", \"l1d_misses\": "
+           << pc.l1d.misses << ", \"snoop_invalidations\": "
+           << pc.l1d.snoopInvalidations << "}";
+    }
+    os << "],\n";
     os << "      \"issue_hist\": [";
     for (std::size_t i = 0; i < r.core.issueHist.size(); ++i) {
         os << (i ? ", " : "") << r.core.issueHist.count(i);

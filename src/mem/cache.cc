@@ -45,10 +45,38 @@ Cache::lookup(Addr addr) const
 }
 
 void
-Cache::preload(Addr addr, Cycle now)
+Cache::preload(Addr addr, Cycle now, bool dirty)
 {
-    if (!lookup(addr))
-        installLine(lineAddr(addr), /*dirty=*/false, now);
+    if (Line *line = lookup(addr))
+        line->dirty = line->dirty || dirty;
+    else
+        installLine(lineAddr(addr), dirty, now);
+}
+
+SnoopResult
+Cache::snoopInvalidate(Addr addr)
+{
+    Line *line = lookup(addr);
+    if (!line)
+        return SnoopResult::Miss;
+    const bool was_dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    ++stats_.snoopInvalidations;
+    return was_dirty ? SnoopResult::Dirty : SnoopResult::Clean;
+}
+
+SnoopResult
+Cache::snoopDowngrade(Addr addr)
+{
+    Line *line = lookup(addr);
+    if (!line)
+        return SnoopResult::Miss;
+    if (!line->dirty)
+        return SnoopResult::Clean;
+    line->dirty = false;
+    ++stats_.snoopDowngrades;
+    return SnoopResult::Dirty;
 }
 
 bool
@@ -193,7 +221,7 @@ Cache::processRequest(const MemReq &req, Cycle now)
             line->lastUse = now;
             if (req.kind == ReqKind::Write)
                 line->dirty = true;
-            scheduleResp(MemResp{req.id, req.kind, req.addr},
+            scheduleResp(MemResp{req.id, req.kind, req.addr, req.core},
                          now + params_.latency);
             return;
         }
@@ -213,6 +241,7 @@ Cache::processRequest(const MemReq &req, Cycle now)
         fill.addr = la;
         fill.size = static_cast<std::uint8_t>(
             std::min<std::uint32_t>(params_.lineBytes, 255));
+        fill.core = req.core;
         sendBelowOrRetry(fill, now + params_.latency);
         return;
       }
@@ -240,8 +269,10 @@ Cache::handleResp(const MemResp &resp, Cycle now)
     for (const MemReq &w : m->waiters)
         any_write |= (w.kind == ReqKind::Write);
     installLine(m->lineAddr, any_write, now);
-    for (const MemReq &w : m->waiters)
-        scheduleResp(MemResp{w.id, w.kind, w.addr}, now + params_.latency);
+    for (const MemReq &w : m->waiters) {
+        scheduleResp(MemResp{w.id, w.kind, w.addr, w.core},
+                     now + params_.latency);
+    }
     m->valid = false;
 }
 

@@ -67,6 +67,16 @@ struct CacheStats
     std::uint64_t writebacks = 0;
     std::uint64_t cleansForwarded = 0;
     std::uint64_t rejects = 0;
+    std::uint64_t snoopInvalidations = 0;  ///< Lines killed by peers.
+    std::uint64_t snoopDowngrades = 0;     ///< Dirty lines cleaned by peers.
+};
+
+/** What a coherence snoop found in a peer cache. */
+enum class SnoopResult
+{
+    Miss,   ///< The line was not present.
+    Clean,  ///< Present and clean; invalidated/unchanged as requested.
+    Dirty,  ///< Present and dirty; the owner must absorb the data.
 };
 
 /** One level of the hierarchy. */
@@ -106,10 +116,33 @@ class Cache : public MemSink
     const CacheStats &stats() const { return stats_; }
 
     /**
-     * Functional warmup: install the line clean without generating
-     * any traffic.  Intended for pre-run pool initialization only.
+     * Functional warmup: install the line without generating any
+     * traffic (clean by default).  A present line only gains, never
+     * loses, its dirty bit.  Used for pre-run pool initialization and
+     * by the coherence point to absorb a snooped-out dirty copy.
      */
-    void preload(Addr addr, Cycle now = 0);
+    void preload(Addr addr, Cycle now = 0, bool dirty = false);
+
+    /**
+     * @name Coherence snoops (MESI-ish, at the shared-cache boundary).
+     *
+     * Instantaneous tag-side operations MemSystem applies to *peer*
+     * L1s when a request from another core enters the coherence
+     * point.  They never generate traffic themselves; when a dirty
+     * copy is found (SnoopResult::Dirty) the caller is responsible
+     * for making the data's home level dirty (the modelled
+     * cache-to-cache transfer).  Lines still being filled (MSHR in
+     * flight) are untouched: the snoop is observed at input-queue
+     * entry, before the fill completes -- a documented simplification
+     * of a real transient-state protocol.
+     */
+    /// @{
+    /** A peer write: drop the line entirely (M/E/S -> I). */
+    SnoopResult snoopInvalidate(Addr addr);
+
+    /** A peer read/clean: keep the line but clear dirty (M/E -> S). */
+    SnoopResult snoopDowngrade(Addr addr);
+    /// @}
 
     /** Tag lookup (tests): true when the line is cached. */
     bool probe(Addr addr) const;

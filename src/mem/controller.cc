@@ -51,7 +51,8 @@ MemController::tryAccept(const MemReq &req, Cycle now)
     // DRAM side: a Clean has nothing durable to do; acknowledge it at
     // the controller boundary.
     if (req.kind == ReqKind::Clean) {
-        immediate_.push_back(MemResp{req.id, ReqKind::Clean, req.addr});
+        immediate_.push_back(MemResp{req.id, ReqKind::Clean, req.addr,
+                                     req.core});
         return true;
     }
     return dram_.tryAccept(req, now);

@@ -69,7 +69,7 @@ DramDevice::tick(Cycle now, std::vector<MemResp> &out)
         if (it->kind == ReqKind::Read) {
             ++stats_.reads;
             completions_.push(Pending{done, MemResp{it->id, it->kind,
-                                                    it->addr}});
+                                                    it->addr, it->core}});
         } else {
             // Writebacks complete silently when the burst lands.
             ++stats_.writes;

@@ -51,12 +51,14 @@ NvmDevice::acceptWrite(const MemReq &req, Cycle now, bool is_clean)
         ++stats_.cleansAccepted;
         completions_.push(Pending{now + params_.bufferAccept,
                                   MemResp{req.id, ReqKind::Clean,
-                                          req.addr}});
+                                          req.addr, req.core}});
     }
     // The buffer is inside the persistence domain (ADR): entering it
     // makes the data crash-durable.
-    if (persistHook_)
-        persistHook_(req.addr, req.size ? req.size : 64, now, req.origin);
+    if (persistHook_) {
+        persistHook_(req.addr, req.size ? req.size : 64, now, req.origin,
+                     req.core);
+    }
     return true;
 }
 
@@ -104,7 +106,7 @@ NvmDevice::tick(Cycle now, std::vector<MemResp> &out)
             ++stats_.bufferReadHits;
             completions_.push(Pending{now + params_.bufferReadHit,
                                       MemResp{req.id, req.kind,
-                                              req.addr}});
+                                              req.addr, req.core}});
             readQ_.pop_front();
             continue;
         }
@@ -115,7 +117,8 @@ NvmDevice::tick(Cycle now, std::vector<MemResp> &out)
         ++stats_.reads;
         *port = now + params_.readLatency;
         completions_.push(Pending{now + params_.readLatency,
-                                  MemResp{req.id, req.kind, req.addr}});
+                                  MemResp{req.id, req.kind, req.addr,
+                                          req.core}});
         readQ_.pop_front();
     }
 

@@ -68,13 +68,15 @@ struct NvmStats
 /**
  * Hook invoked when a write/clean enters the persistence domain
  * (i.e. the persistent buffer): (cache-line address, size, cycle,
- * originating trace index or kNoOrigin for cache-generated traffic).
- * The origin lets the fault model-checker tie persist events back to
- * the DC CVAP / store instructions whose EDK and fence constraints
- * order them.
+ * originating trace index or kNoOrigin for cache-generated traffic,
+ * originating core).  The origin lets the fault model-checker tie
+ * persist events back to the DC CVAP / store instructions whose EDK
+ * and fence constraints order them; the core index is only meaningful
+ * when the origin is real (evictions aggregate stores from many
+ * instructions and report core 0).
  */
 using PersistHook =
-    std::function<void(Addr, std::uint32_t, Cycle, TraceIndex)>;
+    std::function<void(Addr, std::uint32_t, Cycle, TraceIndex, unsigned)>;
 
 /**
  * Hook invoked when a buffered line finishes its media write:

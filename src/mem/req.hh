@@ -47,6 +47,16 @@ struct MemReq
     Addr addr = kNoAddr;      ///< Byte address (line-aligned for fills).
     std::uint8_t size = 0;    ///< Access size in bytes.
     TraceIndex origin = kNoOrigin;  ///< Originating instruction, if any.
+
+    /**
+     * Index of the core that issued this request.  Fills inherit the
+     * core of the miss that allocated their MSHR; dirty evictions stay
+     * at 0 (an eviction aggregates stores from many instructions and,
+     * on a shared cache, potentially from many cores).  The shared-
+     * cache levels route responses back to the right private L1 by
+     * this field, and persist events record it as provenance.
+     */
+    unsigned core = 0;
 };
 
 /** A response delivered back up the hierarchy. */
@@ -55,6 +65,7 @@ struct MemResp
     ReqId id = kNoReq;
     ReqKind kind = ReqKind::Read;
     Addr addr = kNoAddr;
+    unsigned core = 0;  ///< Requesting core (routes the response up).
 };
 
 } // namespace ede

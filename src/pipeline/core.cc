@@ -35,8 +35,9 @@ resolveTickingMode(TickingMode mode)
     return reference ? TickingMode::Reference : TickingMode::SkipAhead;
 }
 
-OoOCore::OoOCore(CoreParams params, MemSystem &mem)
-    : params_(params), mem_(mem), predictor_(params.predictorEntries)
+OoOCore::OoOCore(CoreParams params, MemSystem &mem, unsigned coreId)
+    : params_(params), mem_(mem), coreId_(coreId),
+      predictor_(params.predictorEntries)
 {
     ticking_ = resolveTickingMode(params_.ticking);
     regMap_.fill(kNoSeq);
@@ -44,7 +45,8 @@ OoOCore::OoOCore(CoreParams params, MemSystem &mem)
         params_.wbSize, params_.wbDrainPerCycle,
         mem_.params().l1d.lineBytes, mem_,
         [this](const WbEntry &e, Cycle now) { onWbComplete(e, now); },
-        [this](SeqNum barrier) { return storesOlderIncomplete(barrier); });
+        [this](SeqNum barrier) { return storesOlderIncomplete(barrier); },
+        coreId);
 }
 
 InflightInst *
@@ -131,7 +133,7 @@ OoOCore::completeSeq(SeqNum seq, const StaticInst &si,
         in->completed = true;
         in->completeCycle = now;
         if (in->edeCounted) {
-            counters_.exit(si);
+            countersExit(si);
             in->edeCounted = false;
         }
     }
@@ -147,7 +149,7 @@ OoOCore::onWbComplete(const WbEntry &entry, Cycle now)
             timingImage_->write(entry.addr + 8, entry.val1);
     }
     if (entry.edeCounted)
-        counters_.exit(entry.si);
+        countersExit(entry.si);
     completeSeq(entry.seq, entry.si, entry.traceIdx, now);
 }
 
@@ -274,9 +276,12 @@ OoOCore::retire(Cycle now)
             !h.completed) {
             return;
         }
-        if (op == Op::WaitKey && !counters_.keyClear(h.di.si.edkUse))
+        // On a multi-core machine the WAIT conditions span the
+        // coherence point: remote cores' tracked instructions for the
+        // key must have drained too (see CrossCoreOrdering).
+        if (op == Op::WaitKey && !waitKeyClear(h.di.si.edkUse))
             return;
-        if (op == Op::WaitAllKeys && !counters_.allClear())
+        if (op == Op::WaitAllKeys && !waitAllClear())
             return;
         if (needsWb && wb_->full()) {
             ++stats_.retireStallWbFull;
@@ -298,7 +303,7 @@ OoOCore::retire(Cycle now)
                 e.srcId2 = h.edeSrc2;
             }
             if (h.di.si.usesEde()) {
-                counters_.enter(h.di.si);
+                countersEnter(h.di.si);
                 e.edeCounted = true;
             }
             wb_->insert(std::move(e));
@@ -415,7 +420,8 @@ OoOCore::issue(Cycle now)
                 }
                 // Store already visible: normal cache access.
             }
-            if (auto id = mem_.sendLoad(in.di.addr, in.di.si.size, now)) {
+            if (auto id = mem_.sendLoad(in.di.addr, in.di.si.size, now,
+                                        coreId_)) {
                 --load;
                 outstandingLoads_[*id] = s;
                 in.loadReq = *id;
@@ -636,7 +642,7 @@ OoOCore::squash(InflightInst &branch, Cycle now)
         InflightInst &x = rob_.back();
         ++stats_.squashedInsts;
         if (x.edeCounted)
-            counters_.exit(x.di.si);
+            countersExit(x.di.si);
         if (x.loadReq != kNoReq &&
             outstandingLoads_.erase(x.loadReq)) {
             orphanReqs_.insert(x.loadReq);
@@ -1084,6 +1090,15 @@ OoOCore::tickOnce(Cycle now)
     {
         PhaseTimer t(profile_, &HostProfile::memNanos);
         mem_.tick(now);
+    }
+    tickPipeline(now);
+}
+
+void
+OoOCore::tickPipeline(Cycle now)
+{
+    {
+        PhaseTimer t(profile_, &HostProfile::memNanos);
         pollLoads(now);
     }
     {
@@ -1187,14 +1202,20 @@ OoOCore::skipTarget(Cycle now) const
     return target;
 }
 
-Cycle
-OoOCore::run(const Trace &trace)
+void
+OoOCore::beginRun(const Trace &trace)
 {
     ede_assert(!ran_, "OoOCore::run is single-shot; build a new core");
     ran_ = true;
     trace_ = &trace;
     if (recordCompletions_)
         completionCycles_.assign(trace.size(), kNoCycle);
+}
+
+Cycle
+OoOCore::run(const Trace &trace)
+{
+    beginRun(trace);
     const auto wall_start = std::chrono::steady_clock::now();
     const bool skip = ticking_ == TickingMode::SkipAhead;
 

@@ -46,6 +46,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "core/cross_core.hh"
 #include "core/edm.hh"
 #include "exp/profile.hh"
 #include "core/wait_counters.hh"
@@ -98,8 +99,24 @@ struct CoreStats
 class OoOCore
 {
   public:
-    /** @param mem the memory hierarchy this core issues into. */
-    OoOCore(CoreParams params, MemSystem &mem);
+    /**
+     * @param mem    the memory hierarchy this core issues into
+     * @param coreId this core's index into @p mem's private L1s
+     */
+    OoOCore(CoreParams params, MemSystem &mem, unsigned coreId = 0);
+
+    /** This core's index in its System (0 on a single-core machine). */
+    unsigned coreId() const { return coreId_; }
+
+    /**
+     * Attach the shared cross-core WAIT-counter aggregation.  When
+     * attached, every WaitCounters enter/exit is mirrored into the
+     * shared file and WAIT_KEY / WAIT_ALL_KEYS retirement additionally
+     * requires the *remote* counters for the key to be clear -- the
+     * paper's counters, widened across the coherence point.  Detached
+     * (single-core) behaviour is bit-identical to the historical core.
+     */
+    void setCrossCore(CrossCoreOrdering *xcore) { xcore_ = xcore; }
 
     /**
      * Attach the coherent ("timing") memory image; store values are
@@ -191,6 +208,51 @@ class OoOCore
     void tickOnce(Cycle now);
 
     /**
+     * The core-private portion of tickOnce: everything except the
+     * shared memory hierarchy's tick.  CoreGroup ticks the hierarchy
+     * exactly once per cycle and then runs each core's pipeline, so
+     * the split keeps a shared MemSystem from being advanced N times.
+     */
+    void tickPipeline(Cycle now);
+
+    /** Per-run initialization shared by run() and CoreGroup. */
+    void beginRun(const Trace &trace);
+
+    /** @name Cross-core-aware WAIT retirement conditions. */
+    /// @{
+    bool
+    waitKeyClear(Edk key) const
+    {
+        return counters_.keyClear(key) &&
+               (!xcore_ || xcore_->remoteKeyClear(coreId_, key));
+    }
+
+    bool
+    waitAllClear() const
+    {
+        return counters_.allClear() &&
+               (!xcore_ || xcore_->remoteAllClear(coreId_));
+    }
+    /// @}
+
+    /** WaitCounters enter/exit, mirrored into the shared file. */
+    void
+    countersEnter(const StaticInst &si)
+    {
+        counters_.enter(si);
+        if (xcore_)
+            xcore_->enter(coreId_, si);
+    }
+
+    void
+    countersExit(const StaticInst &si)
+    {
+        counters_.exit(si);
+        if (xcore_)
+            xcore_->exit(coreId_, si);
+    }
+
+    /**
      * The per-cycle run-loop checks (EDK stall analyzer, progress
      * watchdog, maxCycles backstop), shared verbatim by both ticking
      * modes.  @return true when the run must stop (simError_ set).
@@ -263,8 +325,12 @@ class OoOCore
     bool finished() const;
     SimError buildSimError(SimErrorKind kind, Cycle now) const;
 
+    friend class CoreGroup;
+
     CoreParams params_;
     MemSystem &mem_;
+    unsigned coreId_ = 0;
+    CrossCoreOrdering *xcore_ = nullptr;
     MemoryImage *timingImage_ = nullptr;
 
     const Trace *trace_ = nullptr;

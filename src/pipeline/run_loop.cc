@@ -1,0 +1,221 @@
+#include "pipeline/run_loop.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+
+namespace ede {
+
+CoreGroup::CoreGroup(std::vector<OoOCore *> cores)
+    : cores_(std::move(cores))
+{
+    ede_assert(!cores_.empty(), "core group needs at least one core");
+    for (const OoOCore *c : cores_) {
+        ede_assert(c, "core group holds null core");
+        ede_assert(&c->mem_ == &cores_[0]->mem_,
+                   "all cores of a group must share one MemSystem");
+        ede_assert(c->ticking_ == cores_[0]->ticking_,
+                   "all cores of a group must share one ticking mode");
+        ede_assert(!c->ran_, "core group cores must not have run");
+    }
+}
+
+Cycle
+CoreGroup::run(const std::vector<const Trace *> &traces)
+{
+    ede_assert(traces.size() == cores_.size(),
+               "core group needs one trace per core");
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        cores_[i]->beginRun(*traces[i]);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    HostProfile *prof = cores_[0]->profile_;
+    MemSystem &mem = cores_[0]->mem_;
+    const bool skip = cores_[0]->ticking_ == TickingMode::SkipAhead;
+
+    const std::size_t n = cores_.size();
+
+    // Dead-tick counter snapshots, one per core (see OoOCore::run for
+    // the single-core original of this machinery).
+    struct Snap
+    {
+        std::uint64_t rob = 0;
+        std::uint64_t iq = 0;
+        std::uint64_t lsq = 0;
+        std::uint64_t wbfull = 0;
+        WriteBufferStats wb;
+    };
+    std::vector<Snap> pre(n);
+
+    std::vector<bool> running(n, true);
+    std::size_t live = n;
+
+    Cycle now = 0;
+    for (OoOCore *c : cores_)
+        c->lastProgressCycle_ = 0;
+
+    // A core handed an empty trace is finished before the first tick;
+    // it executes for zero cycles, exactly as its solo run would.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (cores_[i]->finished()) {
+            cores_[i]->stats_.cycles = 0;
+            running[i] = false;
+            --live;
+        }
+    }
+
+    // Group-level failed-attempt backoff, same heuristic and cap as
+    // the single-core loop (host-time only; never changes results).
+    Cycle nextAttempt = 0;
+    Cycle backoff = 1;
+    bool stopped = false;
+
+    while (live > 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!running[i])
+                continue;
+            OoOCore &c = *cores_[i];
+            c.progress_ = false;
+            pre[i] = Snap{c.stats_.dispatchStallRob,
+                          c.stats_.dispatchStallIq,
+                          c.stats_.dispatchStallLsq,
+                          c.stats_.retireStallWbFull,
+                          c.wb_->stats()};
+        }
+
+        // The shared hierarchy ticks exactly once per cycle; each
+        // unfinished core then runs its private pipeline in index
+        // order against the post-tick memory state, just as a solo
+        // core's tickOnce does.
+        {
+            PhaseTimer t(prof, &HostProfile::memNanos);
+            mem.tick(now);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (running[i])
+                cores_[i]->tickPipeline(now);
+        }
+        ++now;
+        if (prof)
+            ++prof->hostTicks;
+
+        // Every unfinished core runs its per-cycle checks each tick
+        // (the analyzer has per-core side effects); any core's abort
+        // stops the whole group -- partial-machine results are not
+        // meaningful.  Callers check every core's simError().
+        for (std::size_t i = 0; i < n; ++i) {
+            if (running[i] && cores_[i]->runChecks(now))
+                stopped = true;
+        }
+        if (stopped)
+            break;
+
+        // A cycle is dead only when *no* core progressed.  Cross-core
+        // WAIT release is covered: remote counters change only when
+        // the remote core completes something, which is progress.
+        bool progressed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!running[i])
+                continue;
+            const OoOCore &c = *cores_[i];
+            if (c.progress_ ||
+                c.wb_->stats().pushes != pre[i].wb.pushes ||
+                c.wb_->stats().memRejected != pre[i].wb.memRejected)
+                progressed = true;
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            if (running[i] && cores_[i]->finished()) {
+                cores_[i]->stats_.cycles = now;
+                running[i] = false;
+                --live;
+            }
+        }
+        if (live == 0)
+            break;
+
+        if (!skip || progressed) {
+            nextAttempt = 0;
+            backoff = 1;
+            continue;
+        }
+        if (now < nextAttempt)
+            continue;
+
+        // Group skip target: the earliest advertised event of any
+        // unfinished core (each core's walk already includes the
+        // shared hierarchy's hint and its own check firing cycles).
+        Cycle target;
+        {
+            PhaseTimer timer(prof, &HostProfile::skipNanos);
+            if (prof)
+                ++prof->skipAttempts;
+            target = kNoCycle;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (running[i])
+                    target = std::min(target,
+                                      cores_[i]->skipTarget(now));
+            }
+        }
+        if (target <= now) {
+            nextAttempt = now + backoff;
+            backoff = std::min<Cycle>(backoff * 2, 16);
+            continue;
+        }
+        nextAttempt = 0;
+        backoff = 1;
+        const Cycle skipped = target - now;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!running[i])
+                continue;
+            OoOCore &c = *cores_[i];
+            c.stats_.dispatchStallRob +=
+                (c.stats_.dispatchStallRob - pre[i].rob) * skipped;
+            c.stats_.dispatchStallIq +=
+                (c.stats_.dispatchStallIq - pre[i].iq) * skipped;
+            c.stats_.dispatchStallLsq +=
+                (c.stats_.dispatchStallLsq - pre[i].lsq) * skipped;
+            c.stats_.retireStallWbFull +=
+                (c.stats_.retireStallWbFull - pre[i].wbfull) * skipped;
+            c.wb_->replayGateStalls(
+                (c.wb_->stats().srcIdGated - pre[i].wb.srcIdGated) *
+                    skipped,
+                (c.wb_->stats().lineGated - pre[i].wb.lineGated) *
+                    skipped,
+                (c.wb_->stats().dmbGated - pre[i].wb.dmbGated) *
+                    skipped);
+            c.stats_.issueHist.sample(0, skipped);
+        }
+        now = target;
+        if (prof) {
+            ++prof->skipJumps;
+            prof->cyclesSkipped += skipped;
+        }
+        // The landing cycle may be a check firing cycle.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (running[i] && cores_[i]->runChecks(now))
+                stopped = true;
+        }
+        if (stopped)
+            break;
+    }
+
+    // Cores still unfinished (the group stopped on an error) record
+    // the stop cycle, matching the solo loop's early-exit behaviour.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (running[i])
+            cores_[i]->stats_.cycles = now;
+    }
+    if (prof) {
+        prof->cyclesSimulated = now;
+        prof->referenceTicking = !skip;
+        prof->wallNanos += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count());
+    }
+    return now;
+}
+
+} // namespace ede

@@ -6,11 +6,12 @@ namespace ede {
 
 WriteBuffer::WriteBuffer(int capacity, int drainPerCycle,
                          std::uint32_t lineBytes, MemSystem &mem,
-                         CompletionFn on_complete, DmbCheckFn dmb_blocked)
+                         CompletionFn on_complete, DmbCheckFn dmb_blocked,
+                         unsigned coreId)
     : capacity_(static_cast<std::size_t>(capacity)),
       drainPerCycle_(drainPerCycle), lineBytes_(lineBytes), mem_(mem),
       onComplete_(std::move(on_complete)),
-      dmbBlocked_(std::move(dmb_blocked))
+      dmbBlocked_(std::move(dmb_blocked)), coreId_(coreId)
 {
     ede_assert(capacity > 0, "write buffer needs at least one entry");
 }
@@ -143,9 +144,10 @@ WriteBuffer::tick(Cycle now)
         }
         std::optional<ReqId> id;
         if (opIsStore(e.si.op)) {
-            id = mem_.sendStore(e.addr, e.size, now, e.traceIdx);
+            id = mem_.sendStore(e.addr, e.size, now, e.traceIdx,
+                                coreId_);
         } else {
-            id = mem_.sendClean(e.addr, now, e.traceIdx);
+            id = mem_.sendClean(e.addr, now, e.traceIdx, coreId_);
         }
         if (!id) {
             // L1D backpressure affects every later push equally.

@@ -77,9 +77,10 @@ class WriteBuffer
      */
     using DmbCheckFn = std::function<bool(SeqNum)>;
 
+    /** @param coreId which private L1 this buffer's pushes target. */
     WriteBuffer(int capacity, int drainPerCycle, std::uint32_t lineBytes,
                 MemSystem &mem, CompletionFn on_complete,
-                DmbCheckFn dmb_blocked);
+                DmbCheckFn dmb_blocked, unsigned coreId = 0);
 
     /** True when no entry can be inserted. */
     bool full() const { return entries_.size() >= capacity_; }
@@ -171,6 +172,7 @@ class WriteBuffer
     MemSystem &mem_;
     CompletionFn onComplete_;
     DmbCheckFn dmbBlocked_;
+    unsigned coreId_ = 0;
     std::deque<WbEntry> entries_;   ///< Oldest first.
     WriteBufferStats stats_;
 };

@@ -75,8 +75,9 @@ configEnforceMode(Config c)
 /** Everything needed to build a System. */
 struct SimParams
 {
-    CoreParams core;
+    CoreParams core;     ///< Shared by every core (homogeneous SMP).
     MemSystemParams mem;
+    int coreCount = 1;   ///< Cores sharing the hierarchy at the L2.
 };
 
 /** Table I defaults specialized for configuration @p c. */

@@ -39,9 +39,30 @@ Session::run(const Trace &trace)
                "Session");
     ran_ = true;
     system_.run(trace);
+    return collect();
+}
+
+SimResult
+Session::run(const std::vector<Trace> &traces)
+{
+    ede_assert(!ran_, "Session::run is single-shot; build a new "
+               "Session");
+    ede_assert(traces.size() == system_.coreCount(),
+               "Session::run needs one trace per core (",
+               system_.coreCount(), " cores, ", traces.size(),
+               " traces)");
+    ran_ = true;
+    system_.run(traces);
+    return collect();
+}
+
+SimResult
+Session::collect() const
+{
     SimResult r;
     r.stats = system_.result();
-    r.error = system_.core().simError();
+    if (const SimError *e = system_.firstError())
+        r.error = *e;
     r.profile = system_.profile();
     return r;
 }
@@ -50,6 +71,15 @@ SimResult
 Session::runChecked(const Trace &trace)
 {
     SimResult r = run(trace);
+    if (!r.ok())
+        throw SimFaultError(r.error);
+    return r;
+}
+
+SimResult
+Session::runChecked(const std::vector<Trace> &traces)
+{
+    SimResult r = run(traces);
     if (!r.ok())
         throw SimFaultError(r.error);
     return r;

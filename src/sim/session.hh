@@ -71,10 +71,20 @@ class Session
     explicit Session(const SimConfig &config);
 
     /**
-     * Run @p trace to completion.  Single-shot, like the core it
-     * wraps: build a fresh Session per run.
+     * Run @p trace to completion.  Single-shot, like the cores it
+     * wraps: build a fresh Session per run.  @pre the configuration
+     * has coreCount 1 -- multi-core machines take one trace per core
+     * through the vector overload.
      */
     SimResult run(const Trace &trace);
+
+    /**
+     * Run one trace per core, lock-step, to completion.  @p traces
+     * must hold exactly coreCount entries (trace i binds to core i).
+     * The result's error is the first core's structured abort in
+     * index order; stats.perCore carries each core's breakdown.
+     */
+    SimResult run(const std::vector<Trace> &traces);
 
     /**
      * As run(), but a structured simulator abort raises SimFaultError
@@ -84,6 +94,9 @@ class Session
      * typed failure records.
      */
     SimResult runChecked(const Trace &trace);
+
+    /** Multi-core runChecked; same contract as the vector run(). */
+    SimResult runChecked(const std::vector<Trace> &traces);
 
     /** True once run() has been called. */
     bool ran() const { return ran_; }
@@ -96,6 +109,8 @@ class Session
     /// @}
 
   private:
+    SimResult collect() const;
+
     SimConfig config_;
     System system_;
     bool ran_ = false;

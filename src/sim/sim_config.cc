@@ -24,6 +24,8 @@ simConfigCheckName(SimConfigCheck check)
         return "zero-latency";
       case SimConfigCheck::StallWindowAboveWatchdog:
         return "stall-window-above-watchdog";
+      case SimConfigCheck::CoreCountInvalid:
+        return "core-count-invalid";
       case SimConfigCheck::NumKinds:
         break;
     }
@@ -138,6 +140,13 @@ SimConfig::validate() const
     requirePositive(report, cap, "core.wbSize", core_.wbSize);
     requirePositive(report, cap, "core.predictorEntries",
                     static_cast<long long>(core_.predictorEntries));
+
+    if (coreCount_ < 1 || coreCount_ > 64) {
+        add(report, SimConfigCheck::CoreCountInvalid,
+            SimConfigSeverity::Error, "coreCount",
+            "core count must be in [1, 64], got " +
+                std::to_string(coreCount_));
+    }
 
     if (core_.ede != configEnforceMode(cfg_)) {
         add(report, SimConfigCheck::EnforceMismatch,

@@ -54,6 +54,9 @@ enum class SimConfigCheck
      *  analyzer can never classify a stall before the watchdog
      *  aborts the run (warning). */
     StallWindowAboveWatchdog,
+    /** coreCount outside [1, 64]: a machine needs at least one core,
+     *  and the snoop model walks every peer L1 on every store. */
+    CoreCountInvalid,
 
     NumKinds,
 };
@@ -203,6 +206,19 @@ class SimConfig
         core_.watchdogCycles = c;
         return *this;
     }
+
+    /**
+     * Number of cores sharing the hierarchy at the L2 coherence
+     * point.  Every core gets the same CoreParams, its own private
+     * L1D / write buffer / EDM, and a trace of its own at run time
+     * (Session::run takes one trace per core).
+     */
+    SimConfig &
+    withCoreCount(int n)
+    {
+        coreCount_ = n;
+        return *this;
+    }
     /// @}
 
     /** @name Access. */
@@ -212,9 +228,14 @@ class SimConfig
     CoreParams &core() { return core_; }
     const MemSystemParams &mem() const { return mem_; }
     MemSystemParams &mem() { return mem_; }
+    int coreCount() const { return coreCount_; }
 
     /** The component-level parameter bundle System consumes. */
-    SimParams params() const { return SimParams{core_, mem_}; }
+    SimParams
+    params() const
+    {
+        return SimParams{core_, mem_, coreCount_};
+    }
     /// @}
 
     /** Check every modelled invariant; never asserts. */
@@ -226,6 +247,7 @@ class SimConfig
     Config cfg_ = Config::B;
     CoreParams core_;
     MemSystemParams mem_;
+    int coreCount_ = 1;
 };
 
 } // namespace ede

@@ -1,7 +1,10 @@
 /**
  * @file
- * The assembled simulated system: core + hierarchy + the three
- * memory images.
+ * The assembled simulated system: N cores + shared hierarchy + the
+ * three memory images.  Cores are homogeneous, each with a private
+ * L1D / write buffer / EDM, meeting at the L2 coherence point; a
+ * CrossCoreOrdering file (multi-core only) widens the EDE WAIT
+ * counters across that point.
  *
  * Image roles:
  *  - volatileImage: mutated by the *functional* execution while the
@@ -40,6 +43,9 @@ struct PersistEvent
      */
     TraceIndex origin = kNoOrigin;
 
+    /** Core whose push persisted; meaningful when origin is real. */
+    unsigned core = 0;
+
     /** Durable bytes; filled only when data recording is enabled. */
     std::vector<std::uint8_t> bytes;
 };
@@ -56,22 +62,41 @@ struct MediaWriteEvent
     Cycle cycle = kNoCycle;
 };
 
+/** One core's slice of a multi-core run. */
+struct CoreRunStats
+{
+    unsigned core = 0;        ///< Core index.
+    CoreStats stats;          ///< Pipeline counters (incl. cycles).
+    WriteBufferStats wb;      ///< This core's write buffer.
+    CacheStats l1d;           ///< This core's private L1D.
+};
+
 /** Copyable snapshot of every statistic a bench needs. */
 struct RunResult
 {
     Config config = Config::B;
-    Cycle cycles = 0;
+    Cycle cycles = 0;          ///< Machine run length (slowest core).
+    unsigned coreCount = 1;
+
+    /** @name Core 0's counters (the historical single-core fields). */
+    /// @{
     CoreStats core;
     WriteBufferStats wb;
+    CacheStats l1d;
+    /// @}
+
+    /** Per-core breakdown, index order; size == coreCount. */
+    std::vector<CoreRunStats> perCore;
+
     NvmStats nvm;
     Distribution nvmOccupancy{128, 1};
-    CacheStats l1d;
     CacheStats l2;
     CacheStats l3;
     DramStats dram;
+    CoherenceStats coherence; ///< Zero on a single-core machine.
 };
 
-/** A single-core simulated machine. */
+/** An N-core simulated machine sharing one hierarchy at the L2. */
 class System
 {
   public:
@@ -97,12 +122,24 @@ class System
     /// @}
 
     /** Record per-trace-index completion cycles (audit support). */
-    void recordCompletions(bool on) { core_->setRecordCompletions(on); }
+    void
+    recordCompletions(bool on)
+    {
+        for (auto &c : cores_)
+            c->setRecordCompletions(on);
+    }
 
     /** Also capture the bytes of every persist event (crash images). */
     void recordPersistData(bool on) { recordPersistData_ = on; }
 
-    /** Run a trace to completion; @return cycle count. */
+    /**
+     * Run one trace per core, lock-step, to completion; @return the
+     * machine run length (the slowest core's finish cycle).  Check
+     * firstError() before trusting the count.
+     */
+    Cycle run(const std::vector<Trace> &traces);
+
+    /** Single-core convenience; @pre coreCount() == 1. */
     Cycle run(const Trace &trace);
 
     /** Persistence-domain entry events, in order. */
@@ -117,10 +154,16 @@ class System
         return mediaWriteEvents_;
     }
 
-    /** Per-trace-index completion cycles (needs recording on). */
+    /** Core 0's completion cycles (needs recording on). */
     const std::vector<Cycle> &completionCycles() const
     {
-        return core_->completionCycles();
+        return cores_.front()->completionCycles();
+    }
+
+    /** Per-trace-index completion cycles of core @p i. */
+    const std::vector<Cycle> &completionCycles(unsigned i) const
+    {
+        return cores_.at(i)->completionCycles();
     }
 
     /** Statistics snapshot. */
@@ -129,10 +172,24 @@ class System
     /** Host-perf profile of the (completed) run. */
     const HostProfile &profile() const { return profile_; }
 
+    /**
+     * The first core (index order) that stopped on a structured
+     * error, or nullptr after a clean run.  On a multi-core machine
+     * any core's abort stops the whole group, so this is the root
+     * diagnostic.
+     */
+    const SimError *firstError() const;
+
     /** @name Component access. */
     /// @{
-    OoOCore &core() { return *core_; }
-    const OoOCore &core() const { return *core_; }
+    OoOCore &core() { return *cores_.front(); }
+    const OoOCore &core() const { return *cores_.front(); }
+    OoOCore &core(unsigned i) { return *cores_.at(i); }
+    const OoOCore &core(unsigned i) const { return *cores_.at(i); }
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
     MemSystem &mem() { return *mem_; }
     const MemSystem &mem() const { return *mem_; }
     Config config() const { return cfg_; }
@@ -148,7 +205,8 @@ class System
     MemoryImage timingImage_;
     MemoryImage nvmImage_;
     std::unique_ptr<MemSystem> mem_;
-    std::unique_ptr<OoOCore> core_;
+    std::vector<std::unique_ptr<OoOCore>> cores_;
+    std::unique_ptr<CrossCoreOrdering> xcore_; ///< Null on one core.
     std::vector<PersistEvent> persistEvents_;
     std::vector<MediaWriteEvent> mediaWriteEvents_;
     HostProfile profile_;

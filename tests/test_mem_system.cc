@@ -114,10 +114,11 @@ TEST(NvmDevice, PersistHookFiresOnAcceptance)
     NvmDevice nvm;
     std::vector<Addr> persisted;
     std::vector<TraceIndex> origins;
-    nvm.setPersistHook([&](Addr a, std::uint32_t, Cycle, TraceIndex o) {
-        persisted.push_back(a);
-        origins.push_back(o);
-    });
+    nvm.setPersistHook(
+        [&](Addr a, std::uint32_t, Cycle, TraceIndex o, unsigned) {
+            persisted.push_back(a);
+            origins.push_back(o);
+        });
     nvm.tryAccept(MemReq{1, ReqKind::Clean, 0x300, 64, 42}, 5);
     nvm.tryAccept(MemReq{kNoReq, ReqKind::Writeback, 0x400, 64}, 6);
     ASSERT_EQ(persisted.size(), 2u);
