@@ -15,8 +15,16 @@
  *                  [--json PATH] [--isolate] [--timeout-ms T]
  *                  [--mem-limit-mb M] [--attempts N]
  *                  [--journal PATH] [--resume]
+ *                  [--conc NAME] [--cores N] [--ops-per-core N]
+ *                  [--workload-seed N] [--media-factor N]
  *
  *   --points 0 enumerates every persist-boundary crash point.
+ *   --conc switches to the multi-core campaign: the named concurrent
+ *   kernel (msqueue / rwlock / rcu) runs on --cores harts and crash
+ *   points stratify toward cycles where a *remote* core still has
+ *   accepted-but-undrained media writes.  The single-app flags
+ *   (--app/--txns/--ops) do not apply; the shared flags keep their
+ *   meaning.
  *   --jobs runs the per-config simulations and the crash-point
  *   classifications in parallel through the experiment scheduler
  *   (0 = hardware concurrency); results are bit-identical to
@@ -42,6 +50,8 @@
 #include "cli.hh"
 #include "common/logging.hh"
 #include "fault/campaign.hh"
+#include "fault/conc_campaign.hh"
+#include "sim/session.hh"
 
 using namespace ede;
 using namespace ede::bench;
@@ -59,12 +69,26 @@ parseApp(const std::string &name)
     std::exit(2);
 }
 
+ConcApp
+parseConcApp(const std::string &name)
+{
+    for (ConcApp app : kAllConcApps) {
+        if (name == concAppName(app))
+            return app;
+    }
+    std::fprintf(stderr, "unknown concurrent kernel '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     CampaignOptions options;
+    ConcCampaignOptions conc;
+    bool useConc = false;
     std::string jsonPath;
     std::string chaosCrashConfig;
     IsolationOptions iso;
@@ -106,7 +130,34 @@ main(int argc, char **argv)
         .value("--chaos-crash-config", "NAME",
                "chaos hook: this configuration's isolated worker "
                "calls abort() (CI/testing only)",
-               [&](const std::string &v) { chaosCrashConfig = v; });
+               [&](const std::string &v) { chaosCrashConfig = v; })
+        .value("--conc", "NAME",
+               "concurrent kernel (msqueue / rwlock / rcu): run the "
+               "multi-core campaign instead of the single-app one",
+               [&](const std::string &v) {
+                   useConc = true;
+                   conc.app = parseConcApp(v);
+               })
+        .value("--cores", "N", "cores for --conc (default 2)",
+               [&](const std::string &v) {
+                   conc.cores = toUnsigned(v);
+               })
+        .value("--ops-per-core", "N",
+               "operations per core for --conc (default 8)",
+               [&](const std::string &v) {
+                   conc.opsPerCore = static_cast<int>(toU64(v));
+               })
+        .value("--workload-seed", "N",
+               "global-interleaving seed for --conc (default 42)",
+               [&](const std::string &v) {
+                   conc.workloadSeed = toU64(v);
+               })
+        .value("--media-factor", "N",
+               "NVM media write latency multiplier for --conc "
+               "(default 8: the slow-media crash window)",
+               [&](const std::string &v) {
+                   conc.mediaFactor = toUnsigned(v);
+               });
     addIsolationFlags(cli, iso);
     cli.parse(argc, argv);
 
@@ -116,6 +167,51 @@ main(int argc, char **argv)
     options.journalPath = iso.journalPath;
     options.resume = iso.resume;
     options.chaosCrashConfig = chaosCrashConfig;
+
+    if (useConc) {
+        // Shared flags were parsed into the single-app options;
+        // forward them so both campaigns speak one CLI dialect.
+        conc.seed = options.seed;
+        conc.pointsPerConfig = options.pointsPerConfig;
+        conc.acceptFaultRate = options.acceptFaultRate;
+        conc.jobs = options.jobs;
+        conc.isolate = options.isolate;
+        conc.limits = options.limits;
+        conc.retry = options.retry;
+        conc.journalPath = options.journalPath;
+        conc.resume = options.resume;
+        conc.chaosCrashConfig = options.chaosCrashConfig;
+
+        ConcCampaignReport report;
+        try {
+            report = runConcCampaign(conc);
+        } catch (const SimFaultError &e) {
+            // A structured workload fault (e.g. the per-core EDK key
+            // partition exhausting at --cores >= 16) is a usage
+            // error here, not a campaign verdict: one-line
+            // diagnostic, exit 2, same contract as malformed flags.
+            const std::string what = e.what();
+            std::fprintf(stderr, "fault_campaign: %s\n",
+                         what.substr(0, what.find('\n')).c_str());
+            return 2;
+        }
+        std::fputs(report.describe().c_str(), stdout);
+
+        if (!jsonPath.empty()) {
+            std::ofstream out(jsonPath,
+                              std::ios::binary | std::ios::trunc);
+            if (!out)
+                ede_fatal("cannot write JSON artifact '", jsonPath,
+                          "'");
+            out << concCampaignToJson(report);
+            out.close();
+            if (!out)
+                ede_fatal("short write on JSON artifact '", jsonPath,
+                          "'");
+            std::printf("[campaign] wrote %s\n", jsonPath.c_str());
+        }
+        return report.ok() ? 0 : 1;
+    }
 
     const CampaignReport report = runCampaign(options);
     std::fputs(report.describe().c_str(), stdout);

@@ -6,9 +6,12 @@
  *
  * Each cell runs N cores lock-step over one shared hierarchy, with
  * fixed work *per core* (weak scaling): the scaling factor reported
- * is N * cycles(1) / cycles(N), i.e. ideal == N.  The --json
- * artifact (BENCH_scaling.json) carries the full per-core breakdown
- * plus the coherence-point counters.
+ * is N * cycles(1) / cycles(N), i.e. ideal == N.  Cells run through
+ * the experiment layer -- parallel across cells, served from the
+ * content-addressed result cache on a repeat run -- and the --json
+ * artifact (BENCH_scaling.json) is the unified ResultSink schema,
+ * whose per-cell "cores" array and "coherence" object carry the
+ * per-core breakdown and the coherence-point counters.
  *
  * --check-single-core is the differential gate the CI runs: a
  * 1-core machine built through the refactored System (CoreGroup run
@@ -17,15 +20,16 @@
  * bit-identically, cycle counts and counters alike.
  */
 
+#include <algorithm>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "apps/concurrent.hh"
 #include "cli.hh"
 #include "common/stats.hh"
+#include "exp/runner.hh"
+#include "exp/sink.hh"
 #include "sim/session.hh"
 
 using namespace ede;
@@ -37,103 +41,18 @@ struct Options
 {
     int opsPerCore = 256;
     std::uint64_t seed = 42;
-    std::string jsonPath;
     bool smoke = false;
     bool checkSingleCore = false;
+    CommonOptions common;  ///< --jobs / --json / --cache-dir / ...
 };
 
-struct Cell
+/** The plan-point label of one (kernel, config, cores) cell. */
+std::string
+cellLabel(ConcApp app, Config cfg, unsigned cores)
 {
-    ConcApp app = ConcApp::MsQueue;
-    Config cfg = Config::B;
-    unsigned cores = 1;
-    SimResult result;
-};
-
-Cell
-runCell(ConcApp app, Config cfg, unsigned cores, const Options &opt)
-{
-    ConcParams cp;
-    cp.cfg = cfg;
-    cp.cores = cores;
-    cp.opsPerCore = opt.opsPerCore;
-    cp.seed = opt.seed;
-    const std::vector<Trace> traces = buildConcurrentTraces(app, cp);
-
-    Session session(SimConfig::paper(cfg).withCoreCount(
-        static_cast<int>(cores)));
-    Cell cell;
-    cell.app = app;
-    cell.cfg = cfg;
-    cell.cores = cores;
-    cell.result = session.run(traces);
-    if (!cell.result.ok()) {
-        std::fprintf(stderr,
-                     "fig_scaling: %s/%s on %u cores aborted: %s\n",
-                     std::string(concAppName(app)).c_str(),
-                     std::string(configName(cfg)).c_str(), cores,
-                     simErrorKindName(cell.result.error.kind));
-        std::fprintf(stderr, "%s\n",
-                     cell.result.error.describe().c_str());
-        std::exit(1);
-    }
-    return cell;
-}
-
-/** Emit one cell as a JSON object (own emitter: the unified sink's
- *  schema is keyed by Table II app x config and has no core axis). */
-void
-cellJson(std::ostringstream &os, const Cell &cell)
-{
-    const RunResult &r = cell.result.stats;
-    os << "    {\"app\": \"" << concAppName(cell.app)
-       << "\", \"config\": \"" << configName(cell.cfg)
-       << "\", \"cores\": " << cell.cores
-       << ", \"cycles\": " << r.cycles << ",\n"
-       << "     \"coherence\": {\"snoops\": " << r.coherence.snoops
-       << ", \"invalidations\": " << r.coherence.invalidations
-       << ", \"downgrades\": " << r.coherence.downgrades
-       << ", \"dirtyHandoffs\": " << r.coherence.dirtyHandoffs
-       << "},\n     \"perCore\": [";
-    for (std::size_t i = 0; i < r.perCore.size(); ++i) {
-        const CoreRunStats &pc = r.perCore[i];
-        os << (i ? ",\n       " : "\n       ")
-           << "{\"core\": " << pc.core
-           << ", \"cycles\": " << pc.stats.cycles
-           << ", \"retired\": " << pc.stats.retired
-           << ", \"ipc\": " << fmtDouble(pc.stats.ipc(), 4)
-           << ", \"wbPushes\": " << pc.wb.pushes
-           << ", \"wbSrcIdGated\": " << pc.wb.srcIdGated
-           << ", \"l1dHits\": " << pc.l1d.hits
-           << ", \"l1dMisses\": " << pc.l1d.misses
-           << ", \"snoopInvalidations\": "
-           << pc.l1d.snoopInvalidations
-           << ", \"snoopDowngrades\": " << pc.l1d.snoopDowngrades
-           << "}";
-    }
-    os << "\n     ]}";
-}
-
-void
-writeJson(const std::string &path, const Options &opt,
-          const std::vector<Cell> &cells)
-{
-    std::ostringstream os;
-    os << "{\n  \"bench\": \"fig_scaling\",\n  \"schema\": 1,\n"
-       << "  \"opsPerCore\": " << opt.opsPerCore << ",\n"
-       << "  \"seed\": " << opt.seed << ",\n  \"cells\": [\n";
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        cellJson(os, cells[i]);
-        os << (i + 1 < cells.size() ? ",\n" : "\n");
-    }
-    os << "  ]\n}\n";
-    std::ofstream out(path, std::ios::trunc);
-    if (!out || !(out << os.str()) || !out.flush()) {
-        std::fprintf(stderr, "fig_scaling: cannot write %s\n",
-                     path.c_str());
-        std::exit(1);
-    }
-    std::printf("json artifact: %s\n", path.c_str());
+    return std::string(concAppName(app)) + "/" +
+           std::string(configName(cfg)) + "/" +
+           std::to_string(cores) + "c";
 }
 
 /**
@@ -225,9 +144,6 @@ main(int argc, char **argv)
               })
         .value("--seed", "S", "global-interleaving seed (default 42)",
                [&opt](const std::string &v) { opt.seed = toU64(v); })
-        .value("--json", "PATH",
-               "write the sweep as BENCH_scaling.json",
-               [&opt](const std::string &v) { opt.jsonPath = v; })
         .toggle("--smoke",
                 "tiny sweep for CI (MS-queue, 1 and 4 cores, 32 ops)",
                 [&opt] { opt.smoke = true; })
@@ -235,6 +151,7 @@ main(int argc, char **argv)
                 "differential gate: System(coreCount=1) must match "
                 "the legacy raw-core run loop bit-identically",
                 [&opt] { opt.checkSingleCore = true; });
+    addCommonFlags(cli, opt.common);
     cli.parse(argc, argv);
 
     if (opt.checkSingleCore)
@@ -254,7 +171,31 @@ main(int argc, char **argv)
                 opt.opsPerCore,
                 static_cast<unsigned long long>(opt.seed));
 
-    std::vector<Cell> cells;
+    exp::ExperimentPlan plan;
+    for (ConcApp app : apps) {
+        for (Config cfg : kAllConfigs) {
+            for (unsigned n : coreCounts) {
+                exp::ExperimentPoint pt;
+                pt.label = cellLabel(app, cfg, n);
+                pt.config = cfg;
+                pt.simParams = SimConfig::paper(cfg)
+                                   .withCoreCount(static_cast<int>(n))
+                                   .params();
+                pt.conc = true;
+                pt.concApp = app;
+                pt.concOpsPerCore = opt.opsPerCore;
+                pt.concSeed = opt.seed;
+                plan.add(std::move(pt));
+            }
+        }
+    }
+
+    exp::RunnerOptions ro;
+    ro.jobs = opt.common.jobs;
+    ro.cacheDir =
+        opt.common.useCache ? opt.common.cacheDir : std::string();
+    const exp::ExperimentResults results = exp::runPlan(plan, ro);
+
     for (ConcApp app : apps) {
         TextTable t({"config", "1c", "2c", "4c", "8c",
                      "scaling@8c", "snoops@8c"});
@@ -275,15 +216,15 @@ main(int argc, char **argv)
                     row.push_back("-");
                     continue;
                 }
-                Cell cell = runCell(app, cfg, n, opt);
-                const Cycle c = cell.result.stats.cycles;
+                const exp::ExperimentCell &cell =
+                    results.cellByLabel(cellLabel(app, cfg, n));
+                const Cycle c = cell.result.cycles;
                 if (n == 1)
                     base = c;
                 last = c;
                 last_n = n;
-                last_snoops = cell.result.stats.coherence.snoops;
+                last_snoops = cell.result.coherence.snoops;
                 row.push_back(std::to_string(c));
-                cells.push_back(std::move(cell));
             }
             const double scaling =
                 last ? static_cast<double>(last_n) *
@@ -299,7 +240,9 @@ main(int argc, char **argv)
                     t.str().c_str());
     }
 
-    if (!opt.jsonPath.empty())
-        writeJson(opt.jsonPath, opt, cells);
+    if (!opt.common.jsonPath.empty()) {
+        exp::writeJsonArtifact(opt.common.jsonPath, "fig_scaling",
+                               results);
+    }
     return 0;
 }

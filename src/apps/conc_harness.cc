@@ -1,0 +1,115 @@
+#include "apps/conc_harness.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/session.hh"
+
+namespace ede {
+
+ConcurrentHarness::ConcurrentHarness(ConcApp app,
+                                     const ConcParams &params,
+                                     std::uint32_t mediaLatencyFactor)
+    : app_(app), params_(params)
+{
+    ede_assert(mediaLatencyFactor >= 1,
+               "media latency factor must be >= 1");
+    SimConfig sc = SimConfig::paper(params_.cfg);
+    sc.withCoreCount(static_cast<int>(params_.cores));
+    sc.mem().nvm.writeLatency *= mediaLatencyFactor;
+    system_ = std::make_unique<System>(sc);
+    system_->recordCompletions(true);
+    system_->recordPersistData(true);
+}
+
+void
+ConcurrentHarness::generate()
+{
+    ede_assert(!generated_, "generate() is single-shot");
+    generated_ = true;
+    workload_ = buildConcurrentWorkload(app_, params_);
+}
+
+Cycle
+ConcurrentHarness::simulateChecked()
+{
+    ede_assert(generated_, "generate() before simulate()");
+    ede_assert(!simulated_, "simulate() is single-shot");
+    simulated_ = true;
+    baselineNvm_ = system_->nvmImage();
+    const Cycle cycles = system_->run(workload_.traces);
+    if (const SimError *err = system_->firstError())
+        throw SimFaultError(*err);
+    if (params_.paced)
+        verifyPacing();
+    return cycles;
+}
+
+void
+ConcurrentHarness::verifyPacing() const
+{
+    const std::vector<ConcOpSpan> &spans = workload_.opSpans;
+    // Accept window of each span's persist events.  Spans without
+    // persists (plain readers, empty dequeues) push nothing durable
+    // -- their values are host-resolved and timing-only -- so they
+    // place no constraint and are skipped below.
+    std::vector<Cycle> lo(spans.size(), kNoCycle);
+    std::vector<Cycle> hi(spans.size(), 0);
+    for (const PersistEvent &ev : system_->persistEvents()) {
+        if (ev.origin == kNoOrigin)
+            continue;
+        const auto idx = static_cast<std::size_t>(ev.origin);
+        for (std::size_t s = 0; s < spans.size(); ++s) {
+            if (spans[s].core != ev.core || idx < spans[s].first ||
+                idx >= spans[s].last) {
+                continue;
+            }
+            lo[s] = lo[s] == kNoCycle ? ev.cycle
+                                      : std::min(lo[s], ev.cycle);
+            hi[s] = std::max(hi[s], ev.cycle);
+            break;
+        }
+    }
+    bool have_prev = false;
+    Cycle prev_hi = 0;
+    for (std::size_t s = 0; s < spans.size(); ++s) {
+        if (lo[s] == kNoCycle)
+            continue;
+        if (have_prev && lo[s] <= prev_hi) {
+            SimError err;
+            err.kind = SimErrorKind::PacingDrift;
+            err.cycle = lo[s];
+            err.lastProgressCycle = prev_hi;
+            throw SimFaultError(err);
+        }
+        have_prev = true;
+        prev_hi = std::max(prev_hi, hi[s]);
+    }
+}
+
+const MemoryImage &
+ConcurrentHarness::baselineNvm() const
+{
+    ede_assert(simulated_, "baselineNvm needs a completed run");
+    return baselineNvm_;
+}
+
+std::vector<std::vector<Cycle>>
+ConcurrentHarness::completionMatrix() const
+{
+    ede_assert(simulated_,
+               "completion cycles need a completed run");
+    std::vector<std::vector<Cycle>> done;
+    done.reserve(system_->coreCount());
+    for (unsigned c = 0; c < system_->coreCount(); ++c)
+        done.push_back(system_->completionCycles(c));
+    return done;
+}
+
+std::uint32_t
+ConcurrentHarness::mediaLineBytes() const
+{
+    return system_->mem().controller().nvm().params().lineBytes;
+}
+
+} // namespace ede

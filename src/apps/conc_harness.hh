@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Concurrent-workload harness: one audited N-core run.
+ *
+ * The single-core WorkloadHarness owns a framework, an undo log and
+ * one trace; the concurrent kernels need none of that -- they persist
+ * their structures directly -- but the crash-consistency tooling
+ * needs the same run artifacts: the baseline NVM image, the global
+ * persist/media event streams, and *per-core* completion cycles for
+ * the joint persist-order walk.  This harness packages exactly that.
+ *
+ * The machine is built with SimConfig::paper(cfg) widened to
+ * params.cores, optionally with the NVM media write latency scaled up
+ * (mediaLatencyFactor): the crash checkers probe the regime where
+ * media writes are an order slower than buffer accepts, so a remote
+ * core's accepted-but-undrained persists stay outstanding across
+ * several scheduling rounds -- the window the ISSUE's
+ * crash-during-remote-persist injection targets.  Factor 1 keeps the
+ * Table I device.
+ */
+
+#ifndef EDE_APPS_CONC_HARNESS_HH
+#define EDE_APPS_CONC_HARNESS_HH
+
+#include <memory>
+
+#include "apps/concurrent.hh"
+#include "sim/system.hh"
+
+namespace ede {
+
+/** One audited concurrent run. */
+class ConcurrentHarness
+{
+  public:
+    ConcurrentHarness(ConcApp app, const ConcParams &params,
+                      std::uint32_t mediaLatencyFactor = 1);
+
+    /**
+     * Build the per-core traces and the oracle model.  Throws
+     * SimFaultError (CoreCountKeyExhausted) when an EDE configuration
+     * asks for more cores than there are real keys.
+     */
+    void generate();
+
+    /**
+     * Run the timing simulation with completion and persist-data
+     * recording on; @return the machine run length.  A structured
+     * simulator abort raises SimFaultError, so isolated workers can
+     * classify it as a typed failure.
+     *
+     * Paced runs additionally verify the pacing contract: every op
+     * span's persist-accept window must fall strictly after every
+     * earlier (model-order) span's.  The generators resolve
+     * cross-core values host-side under the global serialization, so
+     * a machine run that drifted out of it would be silently unsound
+     * -- verification turns that into SimFaultError(PacingDrift).
+     */
+    Cycle simulateChecked();
+
+    /** @name Run artifacts. */
+    /// @{
+    const std::vector<Trace> &traces() const
+    {
+        return workload_.traces;
+    }
+
+    /** Mutable before simulate: the seeded-bug mutators edit here. */
+    std::vector<Trace> &traces() { return workload_.traces; }
+
+    const ConcModel &model() const { return workload_.model; }
+
+    /** Paced-mode op spans in global serialization order. */
+    const std::vector<ConcOpSpan> &opSpans() const
+    {
+        return workload_.opSpans;
+    }
+
+    System &system() { return *system_; }
+    const System &system() const { return *system_; }
+
+    /** Durable state before the run (requires a completed run). */
+    const MemoryImage &baselineNvm() const;
+
+    /** Per-core completion cycles, index == core (completed run). */
+    std::vector<std::vector<Cycle>> completionMatrix() const;
+
+    /** NVM media line size of the simulated device. */
+    std::uint32_t mediaLineBytes() const;
+
+    ConcApp app() const { return app_; }
+    const ConcParams &params() const { return params_; }
+    /// @}
+
+  private:
+    void verifyPacing() const;
+
+    ConcApp app_;
+    ConcParams params_;
+    std::unique_ptr<System> system_;
+    ConcWorkload workload_;
+    MemoryImage baselineNvm_;
+    bool generated_ = false;
+    bool simulated_ = false;
+};
+
+} // namespace ede
+
+#endif // EDE_APPS_CONC_HARNESS_HH

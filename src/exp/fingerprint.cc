@@ -152,6 +152,15 @@ fingerprintPoint(const ExperimentPoint &point)
     hashMemParams(h, point.simParams.mem);
     h.field("coreCount",
             static_cast<std::uint64_t>(point.simParams.coreCount));
+    // Concurrent-kernel cells only: hashing the fields exclusively
+    // when set keeps every single-app fingerprint unchanged.
+    if (point.conc) {
+        h.field("conc", true);
+        h.field("conc.app", concAppName(point.concApp));
+        h.field("conc.opsPerCore",
+                static_cast<std::uint64_t>(point.concOpsPerCore));
+        h.field("conc.seed", point.concSeed);
+    }
     return h.value();
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "apps/app.hh"
+#include "apps/concurrent.hh"
 #include "apps/driver.hh"
 #include "sim/config.hh"
 
@@ -34,6 +35,22 @@ struct ExperimentPoint
     RunSpec spec{};
     AppParams appParams{};
     SimParams simParams{};  ///< Must match `config` (harness asserts).
+
+    /**
+     * @name Concurrent-kernel cells (bench/fig_scaling).
+     *
+     * When `conc` is set the point simulates a concurrent kernel
+     * (apps/concurrent.hh) on simParams.coreCount lock-step cores
+     * instead of a Table II application; `app`, `spec` and
+     * `appParams` are ignored.  The conc fields are fingerprinted
+     * only when set, so single-app fingerprints are unchanged.
+     */
+    /// @{
+    bool conc = false;
+    ConcApp concApp = ConcApp::MsQueue;
+    int concOpsPerCore = 256;
+    std::uint64_t concSeed = 42;
+    /// @}
 };
 
 /** The default point label for @p app under @p cfg. */

@@ -103,16 +103,13 @@ serializeCell(const ExperimentCell &cell)
     std::ostringstream os;
     os << kMagic << ' ' << kResultSchemaVersion << '\n';
     os << "fingerprint " << fingerprintHex(cell.fingerprint) << '\n';
-    os << "app " << appName(cell.point.app) << '\n';
+    os << "app "
+       << (cell.point.conc ? concAppName(cell.point.concApp)
+                           : appName(cell.point.app))
+       << '\n';
     os << "config " << configName(cell.point.config) << '\n';
     putScalar(os, "opCycles", cell.opCycles);
     putScalar(os, "cycles", r.cycles);
-    // The exp layer runs the Table II apps on one core; a multi-core
-    // RunResult has no snapshot form (the scaling bench has its own
-    // JSON emitter), so refuse to serialize one rather than silently
-    // dropping the per-core breakdown.
-    ede_assert(r.coreCount == 1,
-               "result-cache snapshots are single-core only");
     putScalar(os, "coreCount", static_cast<std::uint64_t>(r.coreCount));
     os << "coherence " << r.coherence.snoops << ' '
        << r.coherence.invalidations << ' ' << r.coherence.downgrades
@@ -165,6 +162,43 @@ serializeCell(const ExperimentCell &cell)
     os << "dram " << r.dram.reads << ' ' << r.dram.writes << ' '
        << r.dram.rowHits << ' ' << r.dram.rowMisses << ' '
        << r.dram.rejects << '\n';
+
+    // Multi-core cells (the scaling bench) append the per-core
+    // breakdown.  Single-core snapshot bytes are untouched -- the
+    // aggregate sections above already carry everything -- so the
+    // schema version stays put and existing snapshots remain valid.
+    if (r.coreCount != 1) {
+        ede_assert(r.perCore.size() ==
+                       static_cast<std::size_t>(r.coreCount),
+                   "per-core breakdown must cover every core");
+        os << "perCore " << r.perCore.size() << '\n';
+        for (const CoreRunStats &pc : r.perCore) {
+            os << "pc " << pc.core << ' ' << pc.stats.cycles << ' '
+               << pc.stats.retired << ' ' << pc.stats.dispatched << ' '
+               << pc.stats.issuedOps << ' ' << pc.stats.branches << ' '
+               << pc.stats.mispredicts << ' ' << pc.stats.squashes
+               << ' ' << pc.stats.squashedInsts << ' '
+               << pc.stats.loadsForwarded << ' '
+               << pc.stats.retireStallWbFull << ' '
+               << pc.stats.dispatchStallRob << ' '
+               << pc.stats.dispatchStallIq << ' '
+               << pc.stats.dispatchStallLsq << ' '
+               << pc.stats.edkStallChecks << ' '
+               << pc.stats.edkExternalStalls << ' '
+               << pc.stats.edkStuckDetected << ' '
+               << pc.stats.edkFencesSynthesized << '\n';
+            os << "pcHist " << pc.stats.issueHist.size();
+            for (std::uint64_t c : pc.stats.issueHist.counts())
+                os << ' ' << c;
+            os << " saturated " << pc.stats.issueHist.saturated()
+               << '\n';
+            os << "pcWb " << pc.wb.inserted << ' ' << pc.wb.pushes
+               << ' ' << pc.wb.srcIdGated << ' ' << pc.wb.lineGated
+               << ' ' << pc.wb.dmbGated << ' ' << pc.wb.memRejected
+               << '\n';
+            putCacheStats(os, "pcL1d", pc.l1d);
+        }
+    }
     os << "end\n";
     return os.str();
 }
@@ -178,7 +212,9 @@ deserializeCell(const std::string &text, const ExperimentPoint &point,
         return std::nullopt;
     if (in.word("fingerprint") != fingerprintHex(fingerprint))
         return std::nullopt;
-    if (in.word("app") != appName(point.app))
+    if (in.word("app") !=
+        (point.conc ? concAppName(point.concApp)
+                    : appName(point.app)))
         return std::nullopt;
     if (in.word("config") != configName(point.config))
         return std::nullopt;
@@ -194,7 +230,7 @@ deserializeCell(const std::string &text, const ExperimentPoint &point,
     r.cycles = in.scalar("cycles");
 
     r.coreCount = static_cast<int>(in.scalar("coreCount"));
-    if (!in.ok() || r.coreCount != 1)
+    if (!in.ok() || r.coreCount < 1)
         return std::nullopt;
     in.expect("coherence");
     if (!(in.ok()))
@@ -294,12 +330,66 @@ deserializeCell(const std::string &text, const ExperimentPoint &point,
         r.dram.rowMisses = v[3];
         r.dram.rejects = v[4];
     }
+    if (r.coreCount == 1) {
+        // Rebuild the per-core view from the aggregate sections so a
+        // restored RunResult is indistinguishable from a fresh one.
+        r.perCore = {CoreRunStats{0, r.core, r.wb, r.l1d}};
+    } else {
+        const std::uint64_t n = in.scalar("perCore");
+        if (!in.ok() ||
+            n != static_cast<std::uint64_t>(r.coreCount))
+            return std::nullopt;
+        r.perCore.resize(n);
+        for (CoreRunStats &pc : r.perCore) {
+            in.expect("pc");
+            const auto v = in.vec(18);
+            if (!in.ok())
+                return std::nullopt;
+            pc.core = static_cast<unsigned>(v[0]);
+            pc.stats.cycles = v[1];
+            pc.stats.retired = v[2];
+            pc.stats.dispatched = v[3];
+            pc.stats.issuedOps = v[4];
+            pc.stats.branches = v[5];
+            pc.stats.mispredicts = v[6];
+            pc.stats.squashes = v[7];
+            pc.stats.squashedInsts = v[8];
+            pc.stats.loadsForwarded = v[9];
+            pc.stats.retireStallWbFull = v[10];
+            pc.stats.dispatchStallRob = v[11];
+            pc.stats.dispatchStallIq = v[12];
+            pc.stats.dispatchStallLsq = v[13];
+            pc.stats.edkStallChecks = v[14];
+            pc.stats.edkExternalStalls = v[15];
+            pc.stats.edkStuckDetected = v[16];
+            pc.stats.edkFencesSynthesized = v[17];
+
+            const std::uint64_t hn = in.scalar("pcHist");
+            if (!in.ok() || hn != pc.stats.issueHist.size())
+                return std::nullopt;
+            std::vector<std::uint64_t> hist = in.vec(hn);
+            const std::uint64_t sat = in.scalar("saturated");
+            if (!in.ok())
+                return std::nullopt;
+            pc.stats.issueHist.restore(std::move(hist), sat);
+
+            in.expect("pcWb");
+            const auto w = in.vec(6);
+            if (!in.ok())
+                return std::nullopt;
+            pc.wb.inserted = w[0];
+            pc.wb.pushes = w[1];
+            pc.wb.srcIdGated = w[2];
+            pc.wb.lineGated = w[3];
+            pc.wb.dmbGated = w[4];
+            pc.wb.memRejected = w[5];
+
+            in.cacheStats("pcL1d", pc.l1d);
+        }
+    }
     in.expect("end");
     if (!in.ok())
         return std::nullopt;
-    // Rebuild the per-core view (single-core per the check above) so
-    // a restored RunResult is indistinguishable from a fresh one.
-    r.perCore = {CoreRunStats{0, r.core, r.wb, r.l1d}};
     return cell;
 }
 

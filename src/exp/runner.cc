@@ -4,8 +4,10 @@
 #include <cstdlib>
 #include <optional>
 
+#include "apps/concurrent.hh"
 #include "apps/harness.hh"
 #include "common/logging.hh"
+#include "sim/session.hh"
 #include "exp/fingerprint.hh"
 #include "exp/journal.hh"
 #include "exp/result_cache.hh"
@@ -22,10 +24,50 @@ namespace {
  * inline ones.  @p checked selects SimFaultError over panic on a
  * structured simulator abort.
  */
+/**
+ * Simulate one concurrent-kernel point (bench/fig_scaling): N
+ * lock-step cores running buildConcurrentTraces through a Session.
+ * There is no setup/transaction split, so opCycles is the machine
+ * run length.
+ */
+ExperimentCell
+simulateConcCell(const ExperimentPoint &point, std::uint64_t fp,
+                 bool checked)
+{
+    const LogJobTag tag(point.label);
+    ConcParams cp;
+    cp.cfg = point.config;
+    cp.cores = static_cast<unsigned>(point.simParams.coreCount);
+    cp.opsPerCore = point.concOpsPerCore;
+    cp.seed = point.concSeed;
+    const std::vector<Trace> traces =
+        buildConcurrentTraces(point.concApp, cp);
+
+    Session session(SimConfig::paper(point.config)
+                        .withCore(point.simParams.core)
+                        .withMem(point.simParams.mem)
+                        .withCoreCount(point.simParams.coreCount));
+    const SimResult r =
+        checked ? session.runChecked(traces) : session.run(traces);
+    if (!r.ok()) {
+        ede_fatal("conc cell '", point.label, "' aborted: ",
+                  r.error.describe());
+    }
+    ExperimentCell cell;
+    cell.point = point;
+    cell.fingerprint = fp;
+    cell.opCycles = r.stats.cycles;
+    cell.result = r.stats;
+    cell.profile = r.profile;
+    return cell;
+}
+
 ExperimentCell
 simulateCell(const ExperimentPoint &point, std::uint64_t fp,
              bool checked)
 {
+    if (point.conc)
+        return simulateConcCell(point, fp, checked);
     const LogJobTag tag(point.label);
     WorkloadHarness h(point.app, point.config, point.spec,
                       point.appParams, point.simParams);

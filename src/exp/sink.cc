@@ -52,16 +52,29 @@ emitCell(std::ostream &os, const ExperimentCell &c)
     const RunResult &r = c.result;
     os << "    {\n";
     os << "      \"label\": \"" << jsonEscape(c.point.label) << "\",\n";
-    os << "      \"app\": \"" << appName(c.point.app) << "\",\n";
+    os << "      \"app\": \""
+       << (c.point.conc ? concAppName(c.point.concApp)
+                        : appName(c.point.app))
+       << "\",\n";
     os << "      \"config\": \"" << configName(c.point.config)
        << "\",\n";
     os << "      \"fingerprint\": \"" << fingerprintHex(c.fingerprint)
        << "\",\n";
     os << "      \"from_cache\": " << (c.fromCache ? "true" : "false")
        << ",\n";
-    os << "      \"txns\": " << c.point.spec.txns << ",\n";
-    os << "      \"ops_per_txn\": " << c.point.spec.opsPerTxn << ",\n";
-    os << "      \"seed\": " << c.point.spec.seed << ",\n";
+    if (c.point.conc) {
+        // Concurrent-kernel cells have no transaction structure;
+        // the workload knobs are per-core ops and the interleaving
+        // seed.
+        os << "      \"ops_per_core\": " << c.point.concOpsPerCore
+           << ",\n";
+        os << "      \"seed\": " << c.point.concSeed << ",\n";
+    } else {
+        os << "      \"txns\": " << c.point.spec.txns << ",\n";
+        os << "      \"ops_per_txn\": " << c.point.spec.opsPerTxn
+           << ",\n";
+        os << "      \"seed\": " << c.point.spec.seed << ",\n";
+    }
     os << "      \"op_cycles\": " << c.opCycles << ",\n";
     os << "      \"cycles\": " << r.cycles << ",\n";
     os << "      \"core_count\": " << r.coreCount << ",\n";
@@ -78,6 +91,11 @@ emitCell(std::ostream &os, const ExperimentCell &c)
            << pc.l1d.snoopInvalidations << "}";
     }
     os << "],\n";
+    os << "      \"coherence\": {\"snoops\": " << r.coherence.snoops
+       << ", \"invalidations\": " << r.coherence.invalidations
+       << ", \"downgrades\": " << r.coherence.downgrades
+       << ", \"dirty_handoffs\": " << r.coherence.dirtyHandoffs
+       << "},\n";
     os << "      \"issue_hist\": [";
     for (std::size_t i = 0; i < r.core.issueHist.size(); ++i) {
         os << (i ? ", " : "") << r.core.issueHist.count(i);
@@ -146,7 +164,10 @@ resultsToJson(const std::string &benchName,
         os << "    {\n";
         os << "      \"label\": \"" << jsonEscape(c.point.label)
            << "\",\n";
-        os << "      \"app\": \"" << appName(c.point.app) << "\",\n";
+        os << "      \"app\": \""
+           << (c.point.conc ? concAppName(c.point.concApp)
+                            : appName(c.point.app))
+           << "\",\n";
         os << "      \"config\": \"" << configName(c.point.config)
            << "\",\n";
         os << "      \"fingerprint\": \""

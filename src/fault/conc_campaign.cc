@@ -1,0 +1,828 @@
+#include "fault/conc_campaign.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "exp/fingerprint.hh"
+#include "exp/journal.hh"
+#include "exp/scheduler.hh"
+#include "fault/conc_check.hh"
+#include "fault/crash_image.hh"
+#include "fault/fault_plan.hh"
+
+namespace ede {
+
+namespace {
+
+/** Reverse of configName; nullopt for an unknown name. */
+std::optional<Config>
+configFromName(const std::string &name)
+{
+    for (Config c : kAllConfigs) {
+        if (configName(c) == name)
+            return c;
+    }
+    return std::nullopt;
+}
+
+/** Decorrelated 64-bit stream: one value per (seed, salt) pair. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    Rng rng(seed ^ (salt * 0x9e3779b97f4a7c15ull));
+    return rng.next();
+}
+
+std::uint64_t
+configSalt(Config cfg)
+{
+    return static_cast<std::uint64_t>(cfg) + 1;
+}
+
+/**
+ * Does some core other than 0 have an accepted persist whose media
+ * write is still outstanding at cycle @p c?  That is the campaign's
+ * target window: core 0's crash image then depends on *remote*
+ * buffered state.
+ */
+bool
+remoteOutstandingAt(const PersistOrderGraph &g,
+                    const std::vector<PersistEvent> &events, Cycle c)
+{
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+        if (events[i].core == 0)
+            continue;
+        const PersistNode &n = g.nodes[i];
+        if (n.accept <= c &&
+            (n.mediaCycle == kNoCycle || n.mediaCycle > c)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Selected crash cycles plus their remote-outstanding flags. */
+struct ConcCrashPoints
+{
+    std::vector<Cycle> cycles;
+    std::vector<bool> remote;
+};
+
+/**
+ * Candidate crash cycles at persist boundaries, stratified toward
+ * the remote-outstanding window: when the budget is smaller than the
+ * candidate set, ~3/4 of it goes to cycles where a remote core's
+ * media writes are pending and the rest to the others, each picked
+ * evenly spaced.  @p budget 0 means exhaustive.
+ */
+ConcCrashPoints
+selectConcCrashPoints(const PersistOrderGraph &g,
+                      const std::vector<PersistEvent> &events,
+                      std::size_t budget)
+{
+    std::vector<Cycle> candidates;
+    for (const PersistEvent &ev : events) {
+        candidates.push_back(ev.cycle);
+        candidates.push_back(ev.cycle + 1);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(
+        std::unique(candidates.begin(), candidates.end()),
+        candidates.end());
+
+    std::vector<Cycle> remote, local;
+    for (Cycle c : candidates) {
+        (remoteOutstandingAt(g, events, c) ? remote : local)
+            .push_back(c);
+    }
+
+    std::vector<Cycle> pickedRemote = remote, pickedLocal = local;
+    if (budget != 0 && candidates.size() > budget) {
+        std::size_t takeRemote = std::min(
+            remote.size(),
+            std::max<std::size_t>(remote.empty() ? 0 : 1,
+                                  budget * 3 / 4));
+        std::size_t takeLocal =
+            std::min(local.size(), budget - takeRemote);
+        // Spare budget spills back into the richer stratum.
+        takeRemote = std::min(remote.size(), budget - takeLocal);
+
+        auto spaced = [](const std::vector<Cycle> &from,
+                         std::size_t take) {
+            std::vector<Cycle> out;
+            out.reserve(take);
+            for (std::size_t j = 0; j < take; ++j)
+                out.push_back(from[j * from.size() / take]);
+            return out;
+        };
+        pickedRemote =
+            takeRemote ? spaced(remote, takeRemote)
+                       : std::vector<Cycle>{};
+        pickedLocal = takeLocal ? spaced(local, takeLocal)
+                                : std::vector<Cycle>{};
+    }
+
+    std::vector<std::pair<Cycle, bool>> merged;
+    merged.reserve(pickedRemote.size() + pickedLocal.size());
+    for (Cycle c : pickedRemote)
+        merged.emplace_back(c, true);
+    for (Cycle c : pickedLocal)
+        merged.emplace_back(c, false);
+    std::sort(merged.begin(), merged.end());
+
+    ConcCrashPoints points;
+    points.cycles.reserve(merged.size());
+    points.remote.reserve(merged.size());
+    for (const auto &[c, r] : merged) {
+        points.cycles.push_back(c);
+        points.remote.push_back(r);
+    }
+    return points;
+}
+
+/** Reconstruct and judge one multi-core crash point under @p plan. */
+ConcCrashPointResult
+classifyConcPoint(const ConcurrentHarness &h,
+                  const PersistOrderGraph &order, Cycle crashCycle,
+                  const FaultPlan &plan)
+{
+    MemoryImage img = h.baselineNvm();
+    applyFaultyPersistEvents(img, h.system().persistEvents(),
+                             h.system().mediaWriteEvents(),
+                             crashCycle, plan, h.mediaLineBytes(),
+                             &order);
+
+    ConcCrashPointResult r;
+    r.crashCycle = crashCycle;
+    r.plan = plan;
+    if (const char *inv = checkConcInvariants(h.model(), img)) {
+        r.outcome = CrashOutcome::Unrecoverable;
+        r.invariant = inv;
+    } else {
+        r.outcome = CrashOutcome::Recovered;
+    }
+    return r;
+}
+
+/**
+ * Shrink a failing plan to the weakest variant that still violates:
+ * no faults at all, tear only, drain only, then the original.
+ */
+ConcReproducer
+shrinkConcFailure(const ConcCampaignOptions &options, Config cfg,
+                  const ConcurrentHarness &h,
+                  const PersistOrderGraph &order, Cycle crashCycle,
+                  const FaultPlan &plan)
+{
+    FaultPlan benign = plan;
+    benign.drainLines = FaultPlan::kDrainAll;
+    benign.tear = TearKind::None;
+
+    FaultPlan tear_only = benign;
+    tear_only.tear = plan.tear;
+
+    FaultPlan drain_only = benign;
+    drain_only.drainLines = plan.drainLines;
+
+    ConcReproducer rep;
+    rep.seed = options.seed;
+    rep.config = cfg;
+    rep.crashCycle = crashCycle;
+    rep.plan = plan;
+    for (const FaultPlan &candidate :
+         {benign, tear_only, drain_only, plan}) {
+        const ConcCrashPointResult r =
+            classifyConcPoint(h, order, crashCycle, candidate);
+        if (r.outcome == CrashOutcome::Unrecoverable) {
+            rep.plan = candidate;
+            rep.invariant = r.invariant;
+            return rep;
+        }
+    }
+    return rep;  // Unreachable: the caller saw `plan` fail.
+}
+
+/** One simulated configuration for the campaign. */
+struct SimulatedConcCampaign
+{
+    std::unique_ptr<ConcurrentHarness> harness;
+    Cycle cycles = 0;
+};
+
+SimulatedConcCampaign
+simulateConcCampaignConfig(const ConcCampaignOptions &options,
+                           Config cfg)
+{
+    const LogJobTag tag("conc-campaign/" +
+                        std::string(configName(cfg)));
+    SimulatedConcCampaign sim;
+    ConcParams p;
+    p.cfg = cfg;
+    p.cores = options.cores;
+    p.opsPerCore = options.opsPerCore;
+    p.seed = options.workloadSeed;
+    p.paced = true;
+    sim.harness = std::make_unique<ConcurrentHarness>(
+        options.app, p, options.mediaFactor);
+
+    // Transient accept faults pressure the whole simulated run, same
+    // as the single-core campaign: the controller's retries must
+    // absorb them on every core.
+    FaultPlan sim_plan;
+    sim_plan.seed = mixSeed(options.seed, configSalt(cfg));
+    sim_plan.acceptFaultRate = options.acceptFaultRate;
+    sim.harness->system().mem().controller().nvm().setAcceptFaultHook(
+        makeAcceptFaultInjector(sim_plan));
+
+    sim.harness->generate();
+    sim.cycles = sim.harness->simulateChecked();
+    return sim;
+}
+
+/**
+ * Classify every crash point of one simulated configuration.  Point
+ * reconstruction is pure given the recorded events, so the cells
+ * dispatch through the scheduler; tallying and failure shrinking
+ * walk point order serially, keeping the report byte-identical for
+ * any job count.
+ */
+ConcCampaignConfigResult
+classifyConcConfig(const ConcCampaignOptions &options, Config cfg,
+                   const SimulatedConcCampaign &sim,
+                   const exp::Scheduler &sched)
+{
+    const ConcurrentHarness &h = *sim.harness;
+    ConcCampaignConfigResult result;
+    result.config = cfg;
+    result.cycles = sim.cycles;
+    result.transientRejects =
+        h.system().mem().controller().nvm().stats().transientRejects;
+
+    const std::uint64_t plan_seed =
+        mixSeed(options.seed, configSalt(cfg));
+    const std::uint32_t wpq_slots =
+        h.system().mem().controller().nvm().params().bufferSlots;
+
+    const PersistOrderGraph order = buildConcPersistOrder(h);
+    const ConcCrashPoints points = selectConcCrashPoints(
+        order, h.system().persistEvents(), options.pointsPerConfig);
+
+    result.results = sched.map<ConcCrashPointResult>(
+        points.cycles.size(), [&](std::size_t i) {
+            const FaultPlan plan = makeFaultPlan(
+                mixSeed(plan_seed, 0x6101 + i), wpq_slots);
+            ConcCrashPointResult r = classifyConcPoint(
+                h, order, points.cycles[i], plan);
+            r.remoteOutstanding = points.remote[i];
+            return r;
+        });
+
+    for (std::size_t i = 0; i < points.cycles.size(); ++i) {
+        const ConcCrashPointResult &r = result.results[i];
+        ++result.points;
+        if (r.remoteOutstanding)
+            ++result.remotePoints;
+        switch (r.outcome) {
+          case CrashOutcome::Recovered:
+          case CrashOutcome::TornLogDetected:
+            ++result.recovered;
+            break;
+          case CrashOutcome::Unrecoverable:
+            ++result.unrecoverable;
+            if (!configIsUnsafe(cfg)) {
+                result.failures.push_back(shrinkConcFailure(
+                    options, cfg, h, order, points.cycles[i],
+                    r.plan));
+            }
+            break;
+        }
+    }
+    return result;
+}
+
+constexpr const char *kConcCampaignResultMagic =
+    "ede-conc-campaign-v1";
+
+/** FaultPlan as whitespace tokens (rate by bit pattern, exact). */
+void
+emitPlan(std::ostream &os, const FaultPlan &p)
+{
+    std::uint64_t rate_bits = 0;
+    std::memcpy(&rate_bits, &p.acceptFaultRate, sizeof(rate_bits));
+    os << p.seed << ' ' << p.drainLines << ' '
+       << static_cast<unsigned>(p.tear) << ' ' << rate_bits << ' '
+       << p.maxConsecutiveRejects;
+}
+
+bool
+readPlan(std::istream &is, FaultPlan &p)
+{
+    std::uint64_t seed = 0, rate_bits = 0;
+    std::uint32_t drain = 0, rejects = 0;
+    unsigned tear = 0;
+    if (!(is >> seed >> drain >> tear >> rate_bits >> rejects))
+        return false;
+    if (tear > static_cast<unsigned>(TearKind::Interleaved))
+        return false;
+    p.seed = seed;
+    p.drainLines = drain;
+    p.tear = static_cast<TearKind>(tear);
+    std::memcpy(&p.acceptFaultRate, &rate_bits, sizeof(double));
+    p.maxConsecutiveRejects = rejects;
+    return true;
+}
+
+/** Invariant names never contain spaces; "-" encodes "none". */
+std::string
+invariantToken(const std::string &invariant)
+{
+    return invariant.empty() ? "-" : invariant;
+}
+
+std::string
+invariantFromToken(const std::string &token)
+{
+    return token == "-" ? "" : token;
+}
+
+/** Minimal JSON string escaping (failure messages, stderr tails). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+emitPlanJson(std::ostream &os, const FaultPlan &p)
+{
+    os << "{\"seed\": " << p.seed << ", \"drain_lines\": "
+       << p.drainLines << ", \"tear\": \"" << tearKindName(p.tear)
+       << "\", \"accept_fault_rate\": "
+       << jsonDouble(p.acceptFaultRate)
+       << ", \"max_consecutive_rejects\": " << p.maxConsecutiveRejects
+       << "}";
+}
+
+/** The worker identity of one (conc campaign, config) pair. */
+std::uint64_t
+concCampaignConfigFingerprint(const ConcCampaignOptions &options,
+                              Config cfg)
+{
+    exp::FingerprintHasher h;
+    h.field("conccampaign.sweep", concCampaignSweepId(options));
+    h.field("conccampaign.config", configName(cfg));
+    return h.value();
+}
+
+} // namespace
+
+std::string
+ConcReproducer::describe() const
+{
+    std::ostringstream os;
+    os << "{seed=" << seed << ", config=" << configName(config)
+       << ", crashCycle=" << crashCycle << ", invariant="
+       << (invariant.empty() ? "<none>" : invariant)
+       << ", faultPlan={" << plan.describe() << "}}";
+    return os.str();
+}
+
+bool
+ConcCampaignReport::safeConfigsClean() const
+{
+    for (const ConcCampaignConfigResult &c : configs) {
+        if (!configIsUnsafe(c.config) && c.unrecoverable > 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+ConcCampaignReport::ok() const
+{
+    return quarantined.empty() && safeConfigsClean();
+}
+
+std::string
+ConcCampaignReport::describe() const
+{
+    std::ostringstream os;
+    os << "conc campaign: app=" << concAppName(options.app)
+       << " seed=" << options.seed << " cores=" << options.cores
+       << " ops/core=" << options.opsPerCore << " points/config="
+       << (options.pointsPerConfig
+               ? std::to_string(options.pointsPerConfig)
+               : std::string("exhaustive"))
+       << " mediaFactor=" << options.mediaFactor
+       << " acceptFaultRate=" << options.acceptFaultRate << "\n";
+    for (const ConcCampaignConfigResult &c : configs) {
+        os << "  " << configName(c.config) << ": " << c.points
+           << " points (" << c.remotePoints
+           << " remote-outstanding) -> " << c.recovered
+           << " recovered, " << c.unrecoverable
+           << " unrecoverable  (run=" << c.cycles
+           << " cycles, transientRejects=" << c.transientRejects
+           << ")\n";
+        for (const ConcReproducer &rep : c.failures)
+            os << "    FAILURE " << rep.describe() << "\n";
+    }
+    for (const QuarantinedConfig &q : quarantined) {
+        os << "  " << configName(q.config) << ": QUARANTINED ("
+           << q.failure.describe() << ")\n";
+    }
+    os << (safeConfigsClean()
+               ? "  safe configurations clean across cores\n"
+               : "  SAFE CONFIGURATION FAILURES above\n");
+    if (!quarantined.empty()) {
+        os << "  " << quarantined.size()
+           << " configuration(s) quarantined -- no verdict for them\n";
+    }
+    return os.str();
+}
+
+std::string
+serializeConcCampaignResult(const ConcCampaignConfigResult &result)
+{
+    std::ostringstream os;
+    os << kConcCampaignResultMagic << "\n";
+    os << "config " << configName(result.config) << "\n";
+    os << "cycles " << result.cycles << "\n";
+    os << "transientRejects " << result.transientRejects << "\n";
+    os << "tallies " << result.points << ' ' << result.remotePoints
+       << ' ' << result.recovered << ' ' << result.unrecoverable
+       << "\n";
+    os << "results " << result.results.size() << "\n";
+    for (const ConcCrashPointResult &r : result.results) {
+        os << "p " << r.crashCycle << ' '
+           << static_cast<int>(r.outcome) << ' '
+           << (r.remoteOutstanding ? 1 : 0) << ' '
+           << invariantToken(r.invariant) << ' ';
+        emitPlan(os, r.plan);
+        os << "\n";
+    }
+    os << "failures " << result.failures.size() << "\n";
+    for (const ConcReproducer &rep : result.failures) {
+        os << "f " << rep.seed << ' ' << configName(rep.config) << ' '
+           << rep.crashCycle << ' ' << invariantToken(rep.invariant)
+           << ' ';
+        emitPlan(os, rep.plan);
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::optional<ConcCampaignConfigResult>
+deserializeConcCampaignResult(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string magic, key, name, token;
+    if (!(is >> magic) || magic != kConcCampaignResultMagic)
+        return std::nullopt;
+
+    ConcCampaignConfigResult result;
+    if (!(is >> key >> name) || key != "config")
+        return std::nullopt;
+    const std::optional<Config> cfg = configFromName(name);
+    if (!cfg)
+        return std::nullopt;
+    result.config = *cfg;
+
+    if (!(is >> key >> result.cycles) || key != "cycles")
+        return std::nullopt;
+    if (!(is >> key >> result.transientRejects) ||
+        key != "transientRejects") {
+        return std::nullopt;
+    }
+    if (!(is >> key >> result.points >> result.remotePoints >>
+          result.recovered >> result.unrecoverable) ||
+        key != "tallies") {
+        return std::nullopt;
+    }
+
+    std::size_t n = 0;
+    if (!(is >> key >> n) || key != "results")
+        return std::nullopt;
+    result.results.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ConcCrashPointResult r;
+        int outcome = 0, remote = 0;
+        if (!(is >> key >> r.crashCycle >> outcome >> remote >>
+              token) ||
+            key != "p" || outcome < 0 ||
+            outcome > static_cast<int>(CrashOutcome::Unrecoverable) ||
+            remote < 0 || remote > 1 || !readPlan(is, r.plan)) {
+            return std::nullopt;
+        }
+        r.outcome = static_cast<CrashOutcome>(outcome);
+        r.remoteOutstanding = remote == 1;
+        r.invariant = invariantFromToken(token);
+        result.results.push_back(std::move(r));
+    }
+
+    if (!(is >> key >> n) || key != "failures")
+        return std::nullopt;
+    result.failures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ConcReproducer rep;
+        if (!(is >> key >> rep.seed >> name >> rep.crashCycle >>
+              token) ||
+            key != "f" || !readPlan(is, rep.plan)) {
+            return std::nullopt;
+        }
+        const std::optional<Config> repCfg = configFromName(name);
+        if (!repCfg)
+            return std::nullopt;
+        rep.config = *repCfg;
+        rep.invariant = invariantFromToken(token);
+        result.failures.push_back(std::move(rep));
+    }
+    return result;
+}
+
+std::uint64_t
+concCampaignSweepId(const ConcCampaignOptions &options)
+{
+    exp::FingerprintHasher h;
+    h.field("conccampaign.schema",
+            static_cast<std::uint64_t>(exp::kResultSchemaVersion));
+    h.field("conccampaign.app", concAppName(options.app));
+    h.field("conccampaign.seed", options.seed);
+    h.field("conccampaign.pointsPerConfig",
+            static_cast<std::uint64_t>(options.pointsPerConfig));
+    h.field("conccampaign.cores",
+            static_cast<std::uint64_t>(options.cores));
+    h.field("conccampaign.opsPerCore",
+            static_cast<std::uint64_t>(options.opsPerCore));
+    h.field("conccampaign.workloadSeed", options.workloadSeed);
+    h.field("conccampaign.mediaFactor",
+            static_cast<std::uint64_t>(options.mediaFactor));
+    h.field("conccampaign.acceptFaultRate", options.acceptFaultRate);
+    h.field("conccampaign.configs",
+            static_cast<std::uint64_t>(options.configs.size()));
+    for (Config c : options.configs)
+        h.field("conccampaign.config", configName(c));
+    return h.value();
+}
+
+std::string
+concCampaignToJson(const ConcCampaignReport &report)
+{
+    const ConcCampaignOptions &opt = report.options;
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"bench\": \"conc_campaign\",\n";
+    os << "  \"schema\": " << exp::kResultSchemaVersion << ",\n";
+    os << "  \"conc_campaign\": {\"app\": \"" << concAppName(opt.app)
+       << "\", \"seed\": " << opt.seed << ", \"points_per_config\": "
+       << opt.pointsPerConfig << ", \"cores\": " << opt.cores
+       << ", \"ops_per_core\": " << opt.opsPerCore
+       << ", \"workload_seed\": " << opt.workloadSeed
+       << ", \"media_factor\": " << opt.mediaFactor
+       << ", \"accept_fault_rate\": "
+       << jsonDouble(opt.acceptFaultRate) << "},\n";
+    os << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < report.configs.size(); ++i) {
+        const ConcCampaignConfigResult &c = report.configs[i];
+        os << "    {\n";
+        os << "      \"config\": \"" << configName(c.config)
+           << "\",\n";
+        os << "      \"cycles\": " << c.cycles << ",\n";
+        os << "      \"transient_rejects\": " << c.transientRejects
+           << ",\n";
+        os << "      \"points\": " << c.points << ",\n";
+        os << "      \"remote_points\": " << c.remotePoints << ",\n";
+        os << "      \"recovered\": " << c.recovered << ",\n";
+        os << "      \"unrecoverable\": " << c.unrecoverable << ",\n";
+        os << "      \"crash_points\": [";
+        for (std::size_t j = 0; j < c.results.size(); ++j) {
+            const ConcCrashPointResult &r = c.results[j];
+            os << (j ? ",\n        " : "\n        ");
+            os << "{\"cycle\": " << r.crashCycle
+               << ", \"outcome\": \"" << crashOutcomeName(r.outcome)
+               << "\", \"remote_outstanding\": "
+               << (r.remoteOutstanding ? "true" : "false")
+               << ", \"invariant\": ";
+            if (r.invariant.empty())
+                os << "null";
+            else
+                os << '"' << jsonEscape(r.invariant) << '"';
+            os << ", \"plan\": ";
+            emitPlanJson(os, r.plan);
+            os << "}";
+        }
+        os << (c.results.empty() ? "],\n" : "\n      ],\n");
+        os << "      \"failures\": [";
+        for (std::size_t j = 0; j < c.failures.size(); ++j) {
+            const ConcReproducer &rep = c.failures[j];
+            os << (j ? ",\n        " : "\n        ");
+            os << "{\"seed\": " << rep.seed << ", \"config\": \""
+               << configName(rep.config) << "\", \"crash_cycle\": "
+               << rep.crashCycle << ", \"invariant\": ";
+            if (rep.invariant.empty())
+                os << "null";
+            else
+                os << '"' << jsonEscape(rep.invariant) << '"';
+            os << ", \"plan\": ";
+            emitPlanJson(os, rep.plan);
+            os << "}";
+        }
+        os << (c.failures.empty() ? "]\n" : "\n      ]\n");
+        os << "    }"
+           << (i + 1 < report.configs.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"quarantined\": [\n";
+    for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+        const QuarantinedConfig &q = report.quarantined[i];
+        const exp::JobFailure &f = q.failure;
+        os << "    {\"config\": \"" << configName(q.config)
+           << "\", \"outcome\": \"" << exp::jobOutcomeName(f.outcome)
+           << "\", \"signal\": " << f.signal << ", \"exit_code\": "
+           << f.exitCode << ", \"attempts\": " << f.attempts
+           << ", \"message\": \"" << jsonEscape(f.message)
+           << "\", \"stderr_tail\": \"" << jsonEscape(f.stderrTail)
+           << "\"}"
+           << (i + 1 < report.quarantined.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"safe_configs_clean\": "
+       << (report.safeConfigsClean() ? "true" : "false") << ",\n";
+    os << "  \"ok\": " << (report.ok() ? "true" : "false") << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+namespace {
+
+/**
+ * The isolated multi-core campaign: one forked worker per
+ * configuration, exact wire payloads journaled per config,
+ * quarantine on persistent worker failure -- the PR-5 contract.
+ */
+ConcCampaignReport
+runConcCampaignIsolated(const ConcCampaignOptions &options)
+{
+    if (!exp::processIsolationSupported())
+        ede_fatal("process isolation is not supported on this platform");
+
+    const std::size_t n = options.configs.size();
+    std::optional<exp::SweepJournal> journal;
+    if (!options.journalPath.empty()) {
+        journal.emplace(options.journalPath,
+                        concCampaignSweepId(options), n,
+                        options.resume);
+    }
+
+    std::vector<std::optional<ConcCampaignConfigResult>> slots(n);
+    std::vector<std::optional<QuarantinedConfig>> poisoned(n);
+    auto quarantine = [&](std::size_t i, Config cfg,
+                          exp::JobFailure failure) {
+        ede_warn("config '", configName(cfg), "' quarantined: ",
+                 failure.describe());
+        if (journal) {
+            journal->recordQuarantine(
+                i, concCampaignConfigFingerprint(options, cfg),
+                failure);
+        }
+        poisoned[i] = QuarantinedConfig{cfg, std::move(failure)};
+    };
+
+    auto runConfig = [&](std::size_t i) {
+        const Config cfg = options.configs[i];
+        const std::uint64_t fp =
+            concCampaignConfigFingerprint(options, cfg);
+
+        if (journal && options.resume) {
+            const auto it = journal->replayed().find(i);
+            if (it != journal->replayed().end() &&
+                it->second.fingerprint == fp) {
+                const exp::JournalEntry &e = it->second;
+                if (e.ok) {
+                    if (std::optional<ConcCampaignConfigResult> r =
+                            deserializeConcCampaignResult(e.payload);
+                        r && r->config == cfg) {
+                        slots[i] = std::move(*r);
+                        return;
+                    }
+                    // Corrupt payload: fall through and re-run.
+                } else {
+                    poisoned[i] = QuarantinedConfig{cfg, e.failure};
+                    return;
+                }
+            }
+        }
+
+        const exp::WorkerRun run = exp::runWithRetry(
+            [&]() -> std::string {
+                if (!options.chaosCrashConfig.empty() &&
+                    configName(cfg) == options.chaosCrashConfig) {
+                    std::abort();
+                }
+                ConcCampaignOptions child = options;
+                child.jobs = 1;  // The worker *is* the parallel unit.
+                const SimulatedConcCampaign sim =
+                    simulateConcCampaignConfig(child, cfg);
+                return serializeConcCampaignResult(classifyConcConfig(
+                    child, cfg, sim, exp::Scheduler(1)));
+            },
+            options.limits, options.retry, /*jitterSeed=*/fp);
+
+        if (run.ok()) {
+            if (std::optional<ConcCampaignConfigResult> r =
+                    deserializeConcCampaignResult(run.payload);
+                r && r->config == cfg) {
+                if (journal)
+                    journal->recordOk(i, fp, run.payload);
+                slots[i] = std::move(*r);
+                return;
+            }
+            exp::JobFailure protocol;
+            protocol.outcome = exp::JobOutcome::Crashed;
+            protocol.attempts = run.failure.attempts;
+            protocol.message =
+                "worker payload failed conc-campaign validation";
+            quarantine(i, cfg, std::move(protocol));
+            return;
+        }
+        quarantine(i, cfg, run.failure);
+    };
+
+    const exp::Scheduler sched(options.jobs);
+    sched.run(n, runConfig, exp::FailureMode::KeepGoing);
+
+    ConcCampaignReport report;
+    report.options = options;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (slots[i])
+            report.configs.push_back(std::move(*slots[i]));
+        else if (poisoned[i])
+            report.quarantined.push_back(std::move(*poisoned[i]));
+    }
+    return report;
+}
+
+} // namespace
+
+ConcCampaignReport
+runConcCampaign(const ConcCampaignOptions &options)
+{
+    if (!options.journalPath.empty() && !options.isolate) {
+        ede_fatal("the conc-campaign journal requires process "
+                  "isolation (--isolate)");
+    }
+    if (options.isolate)
+        return runConcCampaignIsolated(options);
+
+    const exp::Scheduler sched(options.jobs);
+
+    // Phase 1: every configuration's simulation is independent.
+    std::vector<SimulatedConcCampaign> sims =
+        sched.map<SimulatedConcCampaign>(
+            options.configs.size(), [&](std::size_t i) {
+                return simulateConcCampaignConfig(
+                    options, options.configs[i]);
+            });
+
+    // Phase 2: per-point classification, parallel within each
+    // configuration, tallied in deterministic point order.
+    ConcCampaignReport report;
+    report.options = options;
+    for (std::size_t i = 0; i < options.configs.size(); ++i) {
+        report.configs.push_back(classifyConcConfig(
+            options, options.configs[i], sims[i], sched));
+    }
+    return report;
+}
+
+} // namespace ede

@@ -1,0 +1,693 @@
+#include "fault/conc_check.hh"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "exp/fingerprint.hh"
+#include "exp/journal.hh"
+#include "exp/scheduler.hh"
+#include "fault/model_check/checker.hh"
+#include "fault/model_check/enumerate.hh"
+#include "fault/model_check/multicore_order.hh"
+
+namespace ede {
+
+namespace {
+
+/** Reverse of configName; nullopt for an unknown name. */
+std::optional<Config>
+configFromName(const std::string &name)
+{
+    for (Config c : kAllConfigs) {
+        if (configName(c) == name)
+            return c;
+    }
+    return std::nullopt;
+}
+
+/** Decorrelated 64-bit stream: one value per (seed, salt) pair. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    Rng rng(seed ^ (salt * 0x9e3779b97f4a7c15ull));
+    return rng.next();
+}
+
+std::uint64_t
+configSalt(Config cfg)
+{
+    return static_cast<std::uint64_t>(cfg) + 1;
+}
+
+/** Minimal JSON string escaping. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+PersistOrderGraph
+buildConcPersistOrder(const ConcurrentHarness &h)
+{
+    return buildJointPersistOrder(
+        h.traces(), h.system().persistEvents(),
+        h.system().mediaWriteEvents(), h.completionMatrix(),
+        h.mediaLineBytes());
+}
+
+SeededConcBug
+seedMissingCrossCoreWaitBug(std::vector<Trace> &traces)
+{
+    SeededConcBug bug;
+    const auto cores = static_cast<unsigned>(traces.size());
+    // Non-zero cores first: the campaign's crash framing holds core 0
+    // mid-transaction, so a consumer-side bug on another core is the
+    // more interesting plant when both exist.
+    for (unsigned step = 0; step < cores; ++step) {
+        const unsigned c = (1 + step) % cores;
+        Trace &trace = traces[c];
+        for (std::size_t t = 0; t < trace.size(); ++t) {
+            StaticInst &si = trace.at(t).si;
+            if (si.op != Op::WaitKey)
+                continue;
+            if (!edkIsReal(si.edkUse) ||
+                si.edkUse == concCoreKey(c)) {
+                continue;  // Local drain: no cross-core edge here.
+            }
+            si.edkUse = concCoreKey(c);
+            bug.opIdx = t;
+            bug.core = c;
+            return bug;
+        }
+    }
+    return bug;
+}
+
+std::string
+ConcCounterexample::describe() const
+{
+    std::ostringstream os;
+    os << "{invariant=" << invariant << ", durable=[";
+    for (std::size_t i = 0; i < durable.size(); ++i)
+        os << (i ? "," : "") << durable[i];
+    os << "]";
+    if (tornIdx != kNoEvent) {
+        os << ", torn=" << tornIdx << " mask=0x" << std::hex
+           << tornMask << std::dec;
+    }
+    os << ", imageHash=0x" << std::hex << imageHash << std::dec
+       << "}";
+    return os.str();
+}
+
+namespace {
+
+/** One simulated configuration's artifacts for the check phase. */
+struct SimulatedConc
+{
+    std::unique_ptr<ConcurrentHarness> harness;
+    Cycle cycles = 0;
+    SeededConcBug bug;
+};
+
+SimulatedConc
+simulateConcConfig(const ConcCheckOptions &options, Config cfg)
+{
+    const LogJobTag tag("conc-check/" +
+                        std::string(configName(cfg)));
+    SimulatedConc sim;
+    ConcParams p;
+    p.cfg = cfg;
+    p.cores = options.cores;
+    p.opsPerCore = options.opsPerCore;
+    p.seed = options.workloadSeed;
+    p.paced = true;  // The checkers require model-order execution.
+    sim.harness = std::make_unique<ConcurrentHarness>(
+        options.app, p, options.mediaFactor);
+    sim.harness->generate();
+    if (options.seedBug)
+        sim.bug = seedMissingCrossCoreWaitBug(sim.harness->traces());
+    sim.cycles = sim.harness->simulateChecked();
+    return sim;
+}
+
+/**
+ * Enumerate and judge every cross-core durable state of one
+ * simulated configuration (serial within a configuration: the dedup
+ * cache is shared across states).
+ */
+ConcCheckConfigResult
+checkConcConfig(const ConcCheckOptions &options, Config cfg,
+                const SimulatedConc &sim)
+{
+    const ConcurrentHarness &h = *sim.harness;
+    ConcCheckConfigResult result;
+    result.config = cfg;
+    result.cycles = sim.cycles;
+    result.seededBugOpIdx = sim.bug.opIdx;
+    result.seededBugCore = sim.bug.core;
+
+    const PersistOrderGraph graph = buildConcPersistOrder(h);
+    result.events = graph.nodes.size();
+    result.freeEvents = graph.nodes.size() - graph.preSetupCount;
+    result.orderStats = graph.stats;
+
+    const ConcModel &model = h.model();
+    DurableSetChecker checker(
+        h.system().persistEvents(), h.baselineNvm(), graph,
+        [&model](MemoryImage &img) {
+            DurableSetChecker::StateVerdict v;
+            v.invariant = checkConcInvariants(model, img);
+            v.appOk = v.invariant == nullptr;
+            return v;
+        });
+    const std::uint64_t torn_seed =
+        mixSeed(options.seed, 0x70c0 ^ configSalt(cfg));
+
+    auto handleState = [&](const std::vector<std::size_t> &set,
+                           std::size_t tornIdx,
+                           std::uint64_t tornMask) {
+        const DurableSetChecker::StateVerdict v =
+            checker.check(set, tornIdx, tornMask);
+        if (v.duplicate)
+            return;
+        if (!v.invariant) {
+            ++result.recoveredClean;
+            return;
+        }
+        ++result.violations;
+        if (result.counterexamples.size() >=
+            options.maxCounterexamples) {
+            return;
+        }
+        ConcCounterexample cex;
+        cex.invariant = v.invariant;
+        std::size_t shrunkTorn = tornIdx;
+        std::uint64_t shrunkMask = tornMask;
+        cex.durable = checker.shrink(set, shrunkTorn, shrunkMask,
+                                     options.drainLines,
+                                     cex.invariant);
+        cex.tornIdx = shrunkTorn;
+        cex.tornMask = shrunkTorn == kNoEvent ? 0 : shrunkMask;
+        cex.imageHash =
+            checker
+                .materialize(cex.durable, cex.tornIdx, cex.tornMask)
+                .canonicalContentHash();
+        result.counterexamples.push_back(std::move(cex));
+    };
+
+    EnumerationLimits limits;
+    limits.drainLines = options.drainLines;
+    limits.maxStates = options.maxStates;
+    limits.budgetMs = options.budgetMs;
+
+    const EnumerationStats stats = forEachDurableSet(
+        graph, limits, [&](const DurableSetView &view) {
+            handleState(view.postSetup, kNoEvent, 0);
+            if (options.torn) {
+                for (std::size_t cand :
+                     checker.tornCandidates(view.postSetup,
+                                            /*cap=*/4)) {
+                    const std::size_t chunks =
+                        (graph.nodes[cand].size + 7) / 8;
+                    for (TearKind kind :
+                         {TearKind::Prefix, TearKind::Suffix,
+                          TearKind::Interleaved}) {
+                        FaultPlan tp;
+                        tp.seed = mixSeed(
+                            torn_seed,
+                            cand * 8 +
+                                static_cast<std::uint64_t>(kind));
+                        tp.tear = kind;
+                        const std::uint64_t mask =
+                            tornChunkMask(tp, chunks);
+                        ++result.tornVariants;
+                        handleState(view.postSetup, cand, mask);
+                    }
+                }
+            }
+            return true;
+        });
+
+    result.states = stats.states;
+    result.rejectedBudget = stats.rejectedBudget;
+    result.truncated = stats.truncated;
+    result.uniqueImages = checker.uniqueImages();
+    return result;
+}
+
+constexpr const char *kConcCheckResultMagic = "ede-concheck-config-v1";
+
+/** The worker identity of one (conc check, config) pair. */
+std::uint64_t
+concConfigFingerprint(const ConcCheckOptions &options, Config cfg)
+{
+    exp::FingerprintHasher h;
+    h.field("concheck.sweep", concCheckSweepId(options));
+    h.field("concheck.config", configName(cfg));
+    return h.value();
+}
+
+} // namespace
+
+bool
+ConcCheckReport::ok() const
+{
+    if (!quarantined.empty())
+        return false;
+    for (const ConcCheckConfigResult &c : configs) {
+        const bool planted =
+            options.seedBug && c.seededBugOpIdx != kNoEvent;
+        if (planted) {
+            // A checker blind to its own seeded WAIT bug proves
+            // nothing; non-detection fails the run.
+            if (c.violations == 0)
+                return false;
+        } else if (c.violations != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+ConcCheckReport::describe() const
+{
+    std::ostringstream os;
+    os << "conc check: app=" << concAppName(options.app) << " seed="
+       << options.seed << " cores=" << options.cores << " ops/core="
+       << options.opsPerCore << " mediaFactor="
+       << options.mediaFactor << " drainLines=";
+    if (options.drainLines == FaultPlan::kDrainAll)
+        os << "all";
+    else
+        os << options.drainLines;
+    os << " maxStates=" << options.maxStates
+       << (options.seedBug ? " SEEDED-BUG" : "") << "\n";
+    for (const ConcCheckConfigResult &c : configs) {
+        os << "  " << configName(c.config) << ": " << c.states
+           << " durable sets";
+        if (c.truncated)
+            os << " (TRUNCATED)";
+        os << " + " << c.tornVariants << " torn -> "
+           << c.uniqueImages << " unique images, "
+           << c.recoveredClean << " clean, " << c.violations
+           << " violating  (" << c.freeEvents << " free events, "
+           << c.orderStats.total() << " edges, "
+           << c.orderStats.crossWait << " cross-wait, "
+           << c.orderStats.crossLine << " cross-line)\n";
+        if (options.seedBug) {
+            if (c.seededBugOpIdx != kNoEvent) {
+                os << "    seeded cross-core WAIT bug at core "
+                   << c.seededBugCore << " op[" << c.seededBugOpIdx
+                   << "]: "
+                   << (c.violations ? "DETECTED" : "NOT DETECTED")
+                   << "\n";
+            } else {
+                os << "    seeded bug not plantable (no cross-core "
+                      "WAIT in this configuration)\n";
+            }
+        }
+        for (const ConcCounterexample &cex : c.counterexamples)
+            os << "    COUNTEREXAMPLE " << cex.describe() << "\n";
+    }
+    for (const QuarantinedConfig &q : quarantined) {
+        os << "  " << configName(q.config) << ": QUARANTINED ("
+           << q.failure.describe() << ")\n";
+    }
+    os << (ok() ? "  conc check ok\n" : "  CONC CHECK FAILED\n");
+    return os.str();
+}
+
+std::string
+serializeConcCheckResult(const ConcCheckConfigResult &result)
+{
+    std::ostringstream os;
+    os << kConcCheckResultMagic << "\n";
+    os << "config " << configName(result.config) << "\n";
+    os << "cycles " << result.cycles << "\n";
+    os << "events " << result.events << ' ' << result.freeEvents
+       << "\n";
+    const PersistOrderStats &s = result.orderStats;
+    os << "edges " << s.sameLine << ' ' << s.edk << ' ' << s.keyChain
+       << ' ' << s.fence << ' ' << s.lineGate << ' ' << s.nonmonotone
+       << ' ' << s.crossWait << ' ' << s.crossLine << "\n";
+    os << "tallies " << result.states << ' ' << result.rejectedBudget
+       << ' ' << result.tornVariants << ' ' << result.uniqueImages
+       << ' ' << result.recoveredClean << ' ' << result.violations
+       << ' ' << (result.truncated ? 1 : 0) << ' '
+       << result.seededBugOpIdx << ' ' << result.seededBugCore
+       << "\n";
+    os << "counterexamples " << result.counterexamples.size() << "\n";
+    for (const ConcCounterexample &cex : result.counterexamples) {
+        os << "c " << cex.invariant << ' ' << cex.tornIdx << ' '
+           << cex.tornMask << ' ' << cex.imageHash << ' '
+           << cex.durable.size();
+        for (std::size_t i : cex.durable)
+            os << ' ' << i;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::optional<ConcCheckConfigResult>
+deserializeConcCheckResult(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string magic, key, name;
+    if (!(is >> magic) || magic != kConcCheckResultMagic)
+        return std::nullopt;
+
+    ConcCheckConfigResult result;
+    if (!(is >> key >> name) || key != "config")
+        return std::nullopt;
+    const std::optional<Config> cfg = configFromName(name);
+    if (!cfg)
+        return std::nullopt;
+    result.config = *cfg;
+
+    if (!(is >> key >> result.cycles) || key != "cycles")
+        return std::nullopt;
+    if (!(is >> key >> result.events >> result.freeEvents) ||
+        key != "events") {
+        return std::nullopt;
+    }
+    PersistOrderStats &s = result.orderStats;
+    if (!(is >> key >> s.sameLine >> s.edk >> s.keyChain >> s.fence >>
+          s.lineGate >> s.nonmonotone >> s.crossWait >>
+          s.crossLine) ||
+        key != "edges") {
+        return std::nullopt;
+    }
+    int truncated = 0;
+    if (!(is >> key >> result.states >> result.rejectedBudget >>
+          result.tornVariants >> result.uniqueImages >>
+          result.recoveredClean >> result.violations >> truncated >>
+          result.seededBugOpIdx >> result.seededBugCore) ||
+        key != "tallies" || truncated < 0 || truncated > 1) {
+        return std::nullopt;
+    }
+    result.truncated = truncated == 1;
+
+    std::size_t n = 0;
+    if (!(is >> key >> n) || key != "counterexamples")
+        return std::nullopt;
+    result.counterexamples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ConcCounterexample cex;
+        std::size_t durables = 0;
+        if (!(is >> key >> cex.invariant >> cex.tornIdx >>
+              cex.tornMask >> cex.imageHash >> durables) ||
+            key != "c") {
+            return std::nullopt;
+        }
+        cex.durable.resize(durables);
+        for (std::size_t j = 0; j < durables; ++j) {
+            if (!(is >> cex.durable[j]))
+                return std::nullopt;
+        }
+        result.counterexamples.push_back(std::move(cex));
+    }
+    return result;
+}
+
+std::uint64_t
+concCheckSweepId(const ConcCheckOptions &options)
+{
+    exp::FingerprintHasher h;
+    h.field("concheck.schema",
+            static_cast<std::uint64_t>(exp::kResultSchemaVersion));
+    h.field("concheck.app", concAppName(options.app));
+    h.field("concheck.seed", options.seed);
+    h.field("concheck.cores",
+            static_cast<std::uint64_t>(options.cores));
+    h.field("concheck.opsPerCore",
+            static_cast<std::uint64_t>(options.opsPerCore));
+    h.field("concheck.workloadSeed", options.workloadSeed);
+    h.field("concheck.mediaFactor",
+            static_cast<std::uint64_t>(options.mediaFactor));
+    h.field("concheck.drainLines",
+            static_cast<std::uint64_t>(options.drainLines));
+    h.field("concheck.maxStates", options.maxStates);
+    h.field("concheck.budgetMs", options.budgetMs);
+    h.field("concheck.torn", options.torn);
+    h.field("concheck.seedBug", options.seedBug);
+    h.field("concheck.maxCounterexamples",
+            static_cast<std::uint64_t>(options.maxCounterexamples));
+    h.field("concheck.configs",
+            static_cast<std::uint64_t>(options.configs.size()));
+    for (Config c : options.configs)
+        h.field("concheck.config", configName(c));
+    return h.value();
+}
+
+std::string
+concCheckToJson(const ConcCheckReport &report)
+{
+    const ConcCheckOptions &opt = report.options;
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"bench\": \"conc_check\",\n";
+    os << "  \"schema\": " << exp::kResultSchemaVersion << ",\n";
+    os << "  \"conc_check\": {\"app\": \"" << concAppName(opt.app)
+       << "\", \"seed\": " << opt.seed << ", \"cores\": "
+       << opt.cores << ", \"ops_per_core\": " << opt.opsPerCore
+       << ", \"workload_seed\": " << opt.workloadSeed
+       << ", \"media_factor\": " << opt.mediaFactor
+       << ", \"drain_lines\": " << opt.drainLines
+       << ", \"max_states\": " << opt.maxStates
+       << ", \"budget_ms\": " << opt.budgetMs << ", \"torn\": "
+       << (opt.torn ? "true" : "false") << ", \"seed_bug\": "
+       << (opt.seedBug ? "true" : "false") << "},\n";
+    os << "  \"configs\": [\n";
+    for (std::size_t i = 0; i < report.configs.size(); ++i) {
+        const ConcCheckConfigResult &c = report.configs[i];
+        const PersistOrderStats &s = c.orderStats;
+        os << "    {\n";
+        os << "      \"config\": \"" << configName(c.config)
+           << "\",\n";
+        os << "      \"cycles\": " << c.cycles << ",\n";
+        os << "      \"events\": " << c.events << ",\n";
+        os << "      \"free_events\": " << c.freeEvents << ",\n";
+        os << "      \"edges\": {\"same_line\": " << s.sameLine
+           << ", \"edk\": " << s.edk << ", \"key_chain\": "
+           << s.keyChain << ", \"fence\": " << s.fence
+           << ", \"line_gate\": " << s.lineGate
+           << ", \"nonmonotone\": " << s.nonmonotone
+           << ", \"cross_wait\": " << s.crossWait
+           << ", \"cross_line\": " << s.crossLine << "},\n";
+        os << "      \"states\": " << c.states << ",\n";
+        os << "      \"rejected_budget\": " << c.rejectedBudget
+           << ",\n";
+        os << "      \"torn_variants\": " << c.tornVariants << ",\n";
+        os << "      \"unique_images\": " << c.uniqueImages << ",\n";
+        os << "      \"recovered_clean\": " << c.recoveredClean
+           << ",\n";
+        os << "      \"violations\": " << c.violations << ",\n";
+        os << "      \"truncated\": "
+           << (c.truncated ? "true" : "false") << ",\n";
+        os << "      \"coverage\": \""
+           << (c.truncated ? "truncated" : "exact") << "\",\n";
+        if (c.seededBugOpIdx != kNoEvent) {
+            os << "      \"seeded_bug_core\": " << c.seededBugCore
+               << ",\n";
+            os << "      \"seeded_bug_op_idx\": " << c.seededBugOpIdx
+               << ",\n";
+        }
+        os << "      \"counterexamples\": [";
+        for (std::size_t j = 0; j < c.counterexamples.size(); ++j) {
+            const ConcCounterexample &cex = c.counterexamples[j];
+            os << (j ? ",\n        " : "\n        ");
+            os << "{\"invariant\": \"" << jsonEscape(cex.invariant)
+               << "\", \"durable\": [";
+            for (std::size_t k = 0; k < cex.durable.size(); ++k)
+                os << (k ? ", " : "") << cex.durable[k];
+            os << "], \"torn_idx\": ";
+            if (cex.tornIdx == kNoEvent)
+                os << "null";
+            else
+                os << cex.tornIdx;
+            os << ", \"torn_mask\": " << cex.tornMask
+               << ", \"image_hash\": " << cex.imageHash << "}";
+        }
+        os << (c.counterexamples.empty() ? "]\n" : "\n      ]\n");
+        os << "    }"
+           << (i + 1 < report.configs.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"quarantined\": [\n";
+    for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+        const QuarantinedConfig &q = report.quarantined[i];
+        const exp::JobFailure &f = q.failure;
+        os << "    {\"config\": \"" << configName(q.config)
+           << "\", \"outcome\": \"" << exp::jobOutcomeName(f.outcome)
+           << "\", \"signal\": " << f.signal << ", \"exit_code\": "
+           << f.exitCode << ", \"attempts\": " << f.attempts
+           << ", \"message\": \"" << jsonEscape(f.message)
+           << "\", \"stderr_tail\": \"" << jsonEscape(f.stderrTail)
+           << "\"}"
+           << (i + 1 < report.quarantined.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+    os << "  \"ok\": " << (report.ok() ? "true" : "false") << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+namespace {
+
+/**
+ * The isolated cross-core check: one forked worker per
+ * configuration, mirroring the single-core model check's contract --
+ * exact wire serialization, per-config journal entries, quarantine
+ * on persistent worker failure.
+ */
+ConcCheckReport
+runConcCheckIsolated(const ConcCheckOptions &options)
+{
+    if (!exp::processIsolationSupported())
+        ede_fatal("process isolation is not supported on this platform");
+
+    const std::size_t n = options.configs.size();
+    std::optional<exp::SweepJournal> journal;
+    if (!options.journalPath.empty()) {
+        journal.emplace(options.journalPath, concCheckSweepId(options),
+                        n, options.resume);
+    }
+
+    std::vector<std::optional<ConcCheckConfigResult>> slots(n);
+    std::vector<std::optional<QuarantinedConfig>> poisoned(n);
+    auto quarantine = [&](std::size_t i, Config cfg,
+                          exp::JobFailure failure) {
+        ede_warn("config '", configName(cfg), "' quarantined: ",
+                 failure.describe());
+        if (journal) {
+            journal->recordQuarantine(
+                i, concConfigFingerprint(options, cfg), failure);
+        }
+        poisoned[i] = QuarantinedConfig{cfg, std::move(failure)};
+    };
+
+    auto runConfig = [&](std::size_t i) {
+        const Config cfg = options.configs[i];
+        const std::uint64_t fp = concConfigFingerprint(options, cfg);
+
+        if (journal && options.resume) {
+            const auto it = journal->replayed().find(i);
+            if (it != journal->replayed().end() &&
+                it->second.fingerprint == fp) {
+                const exp::JournalEntry &e = it->second;
+                if (e.ok) {
+                    if (std::optional<ConcCheckConfigResult> r =
+                            deserializeConcCheckResult(e.payload);
+                        r && r->config == cfg) {
+                        slots[i] = std::move(*r);
+                        return;
+                    }
+                    // Corrupt payload: fall through and re-run.
+                } else {
+                    poisoned[i] = QuarantinedConfig{cfg, e.failure};
+                    return;
+                }
+            }
+        }
+
+        const exp::WorkerRun run = exp::runWithRetry(
+            [&]() -> std::string {
+                if (!options.chaosCrashConfig.empty() &&
+                    configName(cfg) == options.chaosCrashConfig) {
+                    std::abort();
+                }
+                const SimulatedConc sim =
+                    simulateConcConfig(options, cfg);
+                return serializeConcCheckResult(
+                    checkConcConfig(options, cfg, sim));
+            },
+            options.limits, options.retry, /*jitterSeed=*/fp);
+
+        if (run.ok()) {
+            if (std::optional<ConcCheckConfigResult> r =
+                    deserializeConcCheckResult(run.payload);
+                r && r->config == cfg) {
+                if (journal)
+                    journal->recordOk(i, fp, run.payload);
+                slots[i] = std::move(*r);
+                return;
+            }
+            exp::JobFailure protocol;
+            protocol.outcome = exp::JobOutcome::Crashed;
+            protocol.attempts = run.failure.attempts;
+            protocol.message =
+                "worker payload failed conc-check validation";
+            quarantine(i, cfg, std::move(protocol));
+            return;
+        }
+        quarantine(i, cfg, run.failure);
+    };
+
+    const exp::Scheduler sched(options.jobs);
+    sched.run(n, runConfig, exp::FailureMode::KeepGoing);
+
+    ConcCheckReport report;
+    report.options = options;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (slots[i])
+            report.configs.push_back(std::move(*slots[i]));
+        else if (poisoned[i])
+            report.quarantined.push_back(std::move(*poisoned[i]));
+    }
+    return report;
+}
+
+} // namespace
+
+ConcCheckReport
+runConcCheck(const ConcCheckOptions &options)
+{
+    if (!options.journalPath.empty() && !options.isolate) {
+        ede_fatal("the conc-check journal requires process "
+                  "isolation (--isolate)");
+    }
+    if (options.isolate)
+        return runConcCheckIsolated(options);
+
+    const exp::Scheduler sched(options.jobs);
+    std::vector<ConcCheckConfigResult> results =
+        sched.map<ConcCheckConfigResult>(
+            options.configs.size(), [&](std::size_t i) {
+                const SimulatedConc sim =
+                    simulateConcConfig(options, options.configs[i]);
+                return checkConcConfig(options, options.configs[i],
+                                       sim);
+            });
+
+    ConcCheckReport report;
+    report.options = options;
+    report.configs = std::move(results);
+    return report;
+}
+
+} // namespace ede

@@ -131,14 +131,32 @@ ModelCheckCounterexample::describe() const
 
 DurableSetChecker::DurableSetChecker(const WorkloadHarness &h,
                                      const PersistOrderGraph &graph)
-    : h_(h), graph_(graph), setupImage_(h.baselineNvm())
+    : DurableSetChecker(
+          h.system().persistEvents(), h.baselineNvm(), graph,
+          [&h](MemoryImage &img) {
+              StateVerdict v;
+              const RecoveryResult rec =
+                  recoverUndoLog(img, h.framework().logLayout());
+              v.appOk = h.app().checkRecovered(img);
+              v.entriesTorn = rec.entriesTorn;
+              v.invariant = crashInvariantName(v.appOk, rec);
+              v.rollbackTargets = rec.appliedTargets;
+              return v;
+          })
 {
-    const std::vector<PersistEvent> &events =
-        h_.system().persistEvents();
-    ede_assert(events.size() == graph_.nodes.size(),
+}
+
+DurableSetChecker::DurableSetChecker(
+    const std::vector<PersistEvent> &events,
+    const MemoryImage &baselineNvm, const PersistOrderGraph &graph,
+    StateJudge judge)
+    : events_(events), graph_(graph), judge_(std::move(judge)),
+      setupImage_(baselineNvm)
+{
+    ede_assert(events_.size() == graph_.nodes.size(),
                "graph does not match this run's persist events");
     for (std::size_t i = 0; i < graph_.preSetupCount; ++i) {
-        const PersistEvent &ev = events[i];
+        const PersistEvent &ev = events_[i];
         ede_assert(ev.bytes.size() == ev.size,
                    "persist event without data; enable audit before "
                    "running");
@@ -151,11 +169,9 @@ DurableSetChecker::materialize(const std::vector<std::size_t> &postSetup,
                                std::size_t tornIdx,
                                std::uint64_t tornMask) const
 {
-    const std::vector<PersistEvent> &events =
-        h_.system().persistEvents();
     MemoryImage img = setupImage_;
     for (std::size_t i : postSetup) {
-        const PersistEvent &ev = events[i];
+        const PersistEvent &ev = events_[i];
         ede_assert(ev.bytes.size() == ev.size,
                    "persist event without data; enable audit before "
                    "running");
@@ -170,14 +186,7 @@ DurableSetChecker::materialize(const std::vector<std::size_t> &postSetup,
 DurableSetChecker::StateVerdict
 DurableSetChecker::judge(MemoryImage &img) const
 {
-    StateVerdict v;
-    const RecoveryResult rec =
-        recoverUndoLog(img, h_.framework().logLayout());
-    v.appOk = h_.app().checkRecovered(img);
-    v.entriesTorn = rec.entriesTorn;
-    v.invariant = crashInvariantName(v.appOk, rec);
-    v.rollbackTargets = rec.appliedTargets;
-    return v;
+    return judge_(img);
 }
 
 DurableSetChecker::StateVerdict

@@ -26,6 +26,7 @@
 #define EDE_FAULT_MODEL_CHECK_CHECKER_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -168,22 +169,6 @@ ModelCheckReport runModelCheck(const ModelCheckOptions &options);
 class DurableSetChecker
 {
   public:
-    /**
-     * @p h must be audited and simulated.  The graph reference must
-     * outlive the checker.
-     */
-    DurableSetChecker(const WorkloadHarness &h,
-                      const PersistOrderGraph &graph);
-
-    /**
-     * The image a crash leaving exactly {setup events} + @p postSetup
-     * durable produces; @p tornIdx (an element of the set) optionally
-     * tears to the surviving chunks in @p tornMask.
-     */
-    MemoryImage materialize(const std::vector<std::size_t> &postSetup,
-                            std::size_t tornIdx = kNoEvent,
-                            std::uint64_t tornMask = 0) const;
-
     /** Recovery + oracle verdict on one state. */
     struct StateVerdict
     {
@@ -194,6 +179,44 @@ class DurableSetChecker
         std::uint64_t imageHash = 0;
         std::vector<Addr> rollbackTargets;
     };
+
+    /**
+     * Recovery-and-oracle hook: run recovery on the materialized
+     * image in place and report the verdict (invariant must point at
+     * a string with static storage duration).
+     */
+    using StateJudge = std::function<StateVerdict(MemoryImage &)>;
+
+    /**
+     * @p h must be audited and simulated.  The graph reference must
+     * outlive the checker.  Judges through the undo-log recovery and
+     * the application's checkRecovered oracle.
+     */
+    DurableSetChecker(const WorkloadHarness &h,
+                      const PersistOrderGraph &graph);
+
+    /**
+     * Generic form: materialize from @p events (accept order, data
+     * recorded) on top of @p baselineNvm, judge each unique image
+     * with @p judge.  The events and graph references must outlive
+     * the checker; graph.preSetupCount leading events are forced into
+     * the base image.  The N-core concurrent checker judges with the
+     * kernel oracles through this hook; the single-core constructor
+     * above delegates here.
+     */
+    DurableSetChecker(const std::vector<PersistEvent> &events,
+                      const MemoryImage &baselineNvm,
+                      const PersistOrderGraph &graph,
+                      StateJudge judge);
+
+    /**
+     * The image a crash leaving exactly {setup events} + @p postSetup
+     * durable produces; @p tornIdx (an element of the set) optionally
+     * tears to the surviving chunks in @p tornMask.
+     */
+    MemoryImage materialize(const std::vector<std::size_t> &postSetup,
+                            std::size_t tornIdx = kNoEvent,
+                            std::uint64_t tornMask = 0) const;
 
     /**
      * Materialize, dedup, recover and judge one durable state.
@@ -231,8 +254,9 @@ class DurableSetChecker
   private:
     StateVerdict judge(MemoryImage &img) const;
 
-    const WorkloadHarness &h_;
+    const std::vector<PersistEvent> &events_;
     const PersistOrderGraph &graph_;
+    StateJudge judge_;
     MemoryImage setupImage_;  ///< Baseline + pre-setup events.
     std::unordered_set<std::uint64_t> seenHashes_;
     std::uint64_t uniqueImages_ = 0;

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The joint persist-ordering partial order of an N-core run.
+ *
+ * One PersistOrderGraph spanning every core's persist events, built
+ * from three families of constraints:
+ *
+ *  - per-core chains: each core's trace is walked exactly as
+ *    persist_order.cc walks a single-core trace (EDK use edges, key
+ *    definition chains, DSB SY barrier roots, gated-store line
+ *    edges), against that core's private EDM/key state -- per-core
+ *    key files mean a use operand can only name a local producer;
+ *
+ *  - cross-core WAIT edges: the WAIT counter file spans the
+ *    coherence point (core/cross_core.hh), so WAIT_KEY(k) on core c
+ *    also drains every *remote* in-flight CVAP naming k.  The walk
+ *    joins the waiter's barrier roots with every remote CVAP event
+ *    whose instruction completed no later than the WAIT itself --
+ *    exactly the set the counters could have tracked;
+ *
+ *  - same-line coherence edges: the global accept-order chain over
+ *    each 256 B media line.  Two cores' persists of one line meet at
+ *    the shared L2 (dirty handoff) and the NVM buffer coalesces them
+ *    into one ordered media stream, so the chain is sound across
+ *    cores; cross-core links are tallied separately (crossLine).
+ *
+ * Every durable set of a multi-core crash is an ideal of this joint
+ * lattice, which is what lets the single-core enumerator, torn-event
+ * machinery and shrinker run on N-core runs unchanged.
+ *
+ * All events are post-setup (preSetup stays false): a concurrent
+ * kernel's setup phase is ordinary work performed by core 0, and a
+ * crash mid-setup is a legitimate -- and checked -- crash state.
+ */
+
+#ifndef EDE_FAULT_MODEL_CHECK_MULTICORE_ORDER_HH
+#define EDE_FAULT_MODEL_CHECK_MULTICORE_ORDER_HH
+
+#include <vector>
+
+#include "fault/model_check/persist_order.hh"
+
+namespace ede {
+
+/**
+ * Derive the joint partial order of one N-core run.
+ *
+ * @param traces            the executed traces, index == core
+ * @param events            System::persistEvents() (global accept
+ *                          order; .core binds each event to its core)
+ * @param mediaWrites       System::mediaWriteEvents()
+ * @param completionCycles  per-core completion cycles, index == core
+ *                          (System::completionCycles(i), recording on)
+ * @param lineBytes         NVM media line size
+ */
+PersistOrderGraph
+buildJointPersistOrder(
+    const std::vector<Trace> &traces,
+    const std::vector<PersistEvent> &events,
+    const std::vector<MediaWriteEvent> &mediaWrites,
+    const std::vector<std::vector<Cycle>> &completionCycles,
+    std::uint32_t lineBytes);
+
+} // namespace ede
+
+#endif // EDE_FAULT_MODEL_CHECK_MULTICORE_ORDER_HH

@@ -107,9 +107,26 @@ struct PersistOrderStats
     std::uint64_t lineGate = 0;   ///< Gated-store line edges.
     std::uint64_t nonmonotone = 0;///< Dropped forward edges (expect 0).
 
+    /**
+     * @name Cross-core edges (multicore_order.hh; zero on one core).
+     *
+     * crossWait: a WAIT/fence-rooted edge whose producer persisted on
+     * a different core than the consumer -- the cross-core WAIT
+     * counters of core/cross_core.hh made the waiter stall on the
+     * remote persist.  crossLine: a same-media-line or line-gate edge
+     * joining persists of two different cores -- the shared-L2 dirty
+     * handoff carried the line across the coherence point and the NVM
+     * buffer chained the accepts.
+     */
+    /// @{
+    std::uint64_t crossWait = 0;
+    std::uint64_t crossLine = 0;
+    /// @}
+
     std::uint64_t total() const
     {
-        return sameLine + edk + keyChain + fence + lineGate;
+        return sameLine + edk + keyChain + fence + lineGate +
+               crossWait + crossLine;
     }
 };
 

@@ -16,6 +16,10 @@ simErrorKindName(SimErrorKind kind)
         return "max-cycles-exceeded";
       case SimErrorKind::EdkDependenceCycle:
         return "edk-dependence-cycle";
+      case SimErrorKind::CoreCountKeyExhausted:
+        return "core-count-key-exhausted";
+      case SimErrorKind::PacingDrift:
+        return "pacing-drift";
     }
     return "unknown";
 }

@@ -40,6 +40,25 @@ enum class SimErrorKind
      * the much longer watchdog window; edkChain names the members.
      */
     EdkDependenceCycle,
+    /**
+     * A concurrent-workload generator was asked for more per-core EDK
+     * keys than the ISA has (15 real keys).  Keys are allocated
+     * round-robin with an explicit collision check; rather than
+     * silently aliasing two cores onto one key -- which would let a
+     * WAIT drain the wrong core's persists and mask ordering bugs --
+     * generation fails up front with this kind.
+     */
+    CoreCountKeyExhausted,
+    /**
+     * A paced concurrent run's machine execution drifted out of the
+     * generator's global serialization: some operation's persist
+     * events were accepted before an earlier (model-order) op's.
+     * The crash-consistency checkers resolve cross-core values
+     * host-side under that serialization, so a drifted run would be
+     * silently unsound -- the harness verifies the persist accept
+     * windows post-run and fails loudly with this kind instead.
+     */
+    PacingDrift,
 };
 
 const char *simErrorKindName(SimErrorKind kind);

@@ -202,6 +202,42 @@ TEST(Fingerprint, ChangesWithEveryInputAxis)
     EXPECT_EQ(exp::fingerprintPoint(p), base);
 }
 
+TEST(Fingerprint, ConcAxesAreDistinctAndGatedOnConc)
+{
+    // The conc fields are hashed only when the point is a
+    // concurrent-kernel cell, so every pre-existing single-app
+    // fingerprint (and its cached snapshot) stays valid.
+    const std::uint64_t base = exp::fingerprintPoint(basePoint());
+
+    ExperimentPoint p = basePoint();
+    p.concApp = ConcApp::RwLock;
+    p.concOpsPerCore = 999;
+    p.concSeed = 77;
+    EXPECT_EQ(exp::fingerprintPoint(p), base)
+        << "conc fields leaked into a non-conc fingerprint";
+
+    p = basePoint();
+    p.conc = true;
+    const std::uint64_t conc = exp::fingerprintPoint(p);
+    EXPECT_NE(conc, base);
+
+    ExperimentPoint q = p;
+    q.concApp = ConcApp::RwLock;
+    EXPECT_NE(exp::fingerprintPoint(q), conc);
+
+    q = p;
+    q.concOpsPerCore += 1;
+    EXPECT_NE(exp::fingerprintPoint(q), conc);
+
+    q = p;
+    q.concSeed += 1;
+    EXPECT_NE(exp::fingerprintPoint(q), conc);
+
+    q = p;
+    q.simParams.coreCount = 4;
+    EXPECT_NE(exp::fingerprintPoint(q), conc);
+}
+
 // ---------------------------------------------------------------- //
 // Result cache
 // ---------------------------------------------------------------- //
@@ -272,6 +308,55 @@ TEST(ResultCacheTest, TreatsCorruptSnapshotsAsMisses)
     ASSERT_TRUE(std::filesystem::exists(path));
     std::ofstream(path, std::ios::trunc) << "not a snapshot";
     EXPECT_FALSE(cache.load(cell.point, cell.fingerprint).has_value());
+}
+
+TEST(ResultCacheTest, RoundTripsAMultiCoreConcCell)
+{
+    // Multi-core snapshots append a perCore section; the restored
+    // cell must carry every core's counters, not just the core-0
+    // aggregates the single-core format persists.
+    ExperimentPoint p;
+    p.label = "conc-cell";
+    p.config = Config::IQ;
+    p.simParams = makeParams(Config::IQ);
+    p.simParams.coreCount = 2;
+    p.conc = true;
+    p.concApp = ConcApp::MsQueue;
+    p.concOpsPerCore = 8;
+    p.concSeed = 42;
+
+    ExperimentPlan plan;
+    plan.add(p);
+    RunnerOptions opt;
+    opt.jobs = 1;
+    opt.printSummary = false;
+    const ExperimentResults fresh = exp::runPlan(plan, opt);
+    const ExperimentCell &cell = fresh.cells().front();
+    ASSERT_EQ(cell.result.coreCount, 2);
+    ASSERT_EQ(cell.result.perCore.size(), 2u);
+
+    const ResultCache cache(scratchDir("conc_cell"));
+    cache.store(cell);
+    const auto hit = cache.load(cell.point, cell.fingerprint);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->fromCache);
+    ASSERT_EQ(hit->result.perCore.size(), 2u);
+    for (std::size_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(hit->result.perCore[c].core,
+                  cell.result.perCore[c].core);
+        EXPECT_EQ(hit->result.perCore[c].stats.cycles,
+                  cell.result.perCore[c].stats.cycles);
+        EXPECT_EQ(hit->result.perCore[c].stats.retired,
+                  cell.result.perCore[c].stats.retired);
+        EXPECT_EQ(hit->result.perCore[c].wb.pushes,
+                  cell.result.perCore[c].wb.pushes);
+        EXPECT_EQ(hit->result.perCore[c].l1d.misses,
+                  cell.result.perCore[c].l1d.misses);
+    }
+    EXPECT_EQ(hit->result.coherence.snoops,
+              cell.result.coherence.snoops);
+    // serializeCell covers the whole persisted snapshot.
+    EXPECT_EQ(exp::serializeCell(*hit), exp::serializeCell(cell));
 }
 
 TEST(ResultCacheTest, RejectsSnapshotForDifferentPoint)
