@@ -76,8 +76,11 @@ run(Config cfg, bool use_ede, int count)
     // Through the unified Session path (single core of the N-core
     // System); the paper preset for cfg carries the EnforceMode.
     Session session(SimConfig::paper(cfg));
-    return session.runChecked(buildKernel(use_ede, count))
-        .stats.cycles;
+    const SimResult r =
+        session.run(RunRequest::of(buildKernel(use_ede, count)));
+    if (!r.ok())
+        throw SimFaultError(r.error);
+    return r.stats.cycles;
 }
 
 } // namespace

@@ -224,6 +224,70 @@ addCommonFlags(Cli &cli, CommonOptions &opt)
                 [&opt] { opt.useCache = false; });
 }
 
+/**
+ * Register the shared --seed flag: every seeded bench takes its
+ * master seed the same way instead of re-rolling the registration.
+ */
+inline void
+addSeedFlag(Cli &cli, std::uint64_t &seed)
+{
+    cli.value("--seed", "S", "master workload seed (default 42)",
+              [&seed](const std::string &v) { seed = toU64(v); });
+}
+
+/** Traffic-harness knobs shared by the open-loop benches. */
+struct TrafficOptions
+{
+    unsigned streams = 4;     ///< Concurrent client streams.
+    double zipfTheta = 0.99;  ///< Key skew; [0, 1).
+    bool bursty = false;      ///< MMPP arrivals instead of Poisson.
+
+    /** Explicit offered-load points (mean gap, cycles); empty = the
+     * bench's default sweep. */
+    std::vector<double> arrivalGaps;
+
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Register --streams / --zipf-theta / --arrival / --bursty / --seed
+ * on @p cli.  --arrival is repeatable: each occurrence appends one
+ * offered-load point to the sweep.
+ */
+inline void
+addTrafficFlags(Cli &cli, TrafficOptions &opt)
+{
+    cli.value("--streams", "N",
+              "concurrent client streams (default 4)",
+              [&opt](const std::string &v) {
+                  opt.streams = toUnsigned(v);
+                  if (opt.streams < 1)
+                      throw CliError{"--streams must be >= 1"};
+              })
+        .value("--zipf-theta", "T",
+               "zipfian key skew in [0, 1) (default 0.99)",
+               [&opt](const std::string &v) {
+                   opt.zipfTheta = toF64(v);
+                   if (!(opt.zipfTheta >= 0.0 && opt.zipfTheta < 1.0))
+                       throw CliError{"--zipf-theta must be in "
+                                      "[0, 1)"};
+               })
+        .value("--arrival", "G",
+               "offered-load point: mean inter-arrival gap in cycles "
+               "(> 0; repeatable -- each use appends one sweep "
+               "point)",
+               [&opt](const std::string &v) {
+                   const double gap = toF64(v);
+                   if (!(gap > 0.0))
+                       throw CliError{"--arrival must be > 0"};
+                   opt.arrivalGaps.push_back(gap);
+               })
+        .toggle("--bursty",
+                "two-state MMPP arrivals instead of Poisson",
+                [&opt] { opt.bursty = true; });
+    addSeedFlag(cli, opt.seed);
+}
+
 /** Process-isolation options shared by the sweeping drivers. */
 struct IsolationOptions
 {

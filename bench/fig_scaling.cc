@@ -77,7 +77,8 @@ checkSingleCore(const Options &opt)
 
             const SimConfig sc = SimConfig::paper(cfg);
             Session session(sc);
-            const SimResult viaSystem = session.run(traces);
+            const SimResult viaSystem =
+                session.run(RunRequest::perCore(traces));
 
             // The legacy path: hand-assembled machine, historical
             // single-core run loop.
@@ -142,8 +143,6 @@ main(int argc, char **argv)
                   if (opt.opsPerCore < 1)
                       throw CliError{"--ops must be >= 1"};
               })
-        .value("--seed", "S", "global-interleaving seed (default 42)",
-               [&opt](const std::string &v) { opt.seed = toU64(v); })
         .toggle("--smoke",
                 "tiny sweep for CI (MS-queue, 1 and 4 cores, 32 ops)",
                 [&opt] { opt.smoke = true; })
@@ -151,6 +150,7 @@ main(int argc, char **argv)
                 "differential gate: System(coreCount=1) must match "
                 "the legacy raw-core run loop bit-identically",
                 [&opt] { opt.checkSingleCore = true; });
+    addSeedFlag(cli, opt.seed);
     addCommonFlags(cli, opt.common);
     cli.parse(argc, argv);
 

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Open-loop traffic harness: exact tail latency vs offered load for
+ * every Table III configuration.
+ *
+ * Each cell multiplexes N seeded client streams (YCSB-style
+ * read/update mix, zipfian key skew, Poisson or bursty arrivals)
+ * onto the multi-core persistent heap through the traffic library
+ * (src/traffic/), and reports *exact* -- not histogram-bucketed --
+ * p50 / p99 / p99.9 open-loop and service (closed-loop) latency per
+ * {configuration x arrival rate} cell, aggregate and per stream.
+ *
+ * The sweep is the paper-style overload story a closed-loop bench
+ * cannot tell: the per-core transaction schedule is arrival-
+ * independent, so the machine's closed-loop cycle count is
+ * bit-identical across offered loads, while the open-loop tail
+ * blows up once arrivals outrun the NVM-bound service rate -- the
+ * overload knee.  --check-knee gates exactly that separation (equal
+ * cycles, diverging open p99) and is run by CI, as is the --jobs
+ * parity of the BENCH_traffic.json artifact: every latency record
+ * is integer cycles, so the JSON must be byte-identical across
+ * --jobs 1 / --jobs 8 up to host_perf.
+ *
+ * Cells run through the experiment layer (parallel across cells,
+ * content-addressed result cache) like every other sweep bench.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli.hh"
+#include "common/stats.hh"
+#include "exp/runner.hh"
+#include "exp/sink.hh"
+#include "sim/session.hh"
+
+using namespace ede;
+using namespace ede::bench;
+
+namespace {
+
+struct Options
+{
+    TrafficOptions traffic;   ///< --streams / --zipf-theta / ...
+    int txnsPerStream = 96;
+    int opsPerTxn = 4;
+    int cores = 2;
+    bool smoke = false;
+    bool checkKnee = false;
+    CommonOptions common;     ///< --jobs / --json / --cache-dir / ...
+};
+
+/** The plan-point label of one (config, mean-gap) cell. */
+std::string
+cellLabel(Config cfg, double gap)
+{
+    return std::string(configName(cfg)) + "/g" +
+           std::to_string(static_cast<long long>(gap));
+}
+
+traffic::TrafficPlan
+makePlan(const Options &opt, double gap)
+{
+    traffic::TrafficPlan plan;
+    plan.streams = opt.traffic.streams;
+    plan.txnsPerStream = opt.txnsPerStream;
+    plan.opsPerTxn = opt.opsPerTxn;
+    plan.mix.zipfTheta = opt.traffic.zipfTheta;
+    plan.arrival.kind = opt.traffic.bursty
+                            ? traffic::ArrivalKind::Bursty
+                            : traffic::ArrivalKind::Poisson;
+    plan.arrival.meanGap = gap;
+    plan.seed = opt.traffic.seed;
+    return plan;
+}
+
+/**
+ * The overload-knee gate: per configuration, the machine's
+ * closed-loop cycle count must be IDENTICAL at every offered load
+ * (the trace is arrival-independent by construction), while the
+ * open-loop p99 at the heaviest load must strictly exceed the
+ * lightest load's -- queueing delay the closed-loop run structurally
+ * cannot show.
+ */
+int
+checkKnee(const exp::ExperimentResults &results,
+          const std::vector<Config> &configs,
+          const std::vector<double> &gaps)
+{
+    int failures = 0;
+    for (Config cfg : configs) {
+        // Gaps are swept lightest (largest gap) first.
+        const exp::ExperimentCell &light =
+            results.cellByLabel(cellLabel(cfg, gaps.front()));
+        const exp::ExperimentCell &heavy =
+            results.cellByLabel(cellLabel(cfg, gaps.back()));
+        bool cyclesEqual = true;
+        for (double gap : gaps) {
+            const exp::ExperimentCell &cell =
+                results.cellByLabel(cellLabel(cfg, gap));
+            if (cell.result.cycles != light.result.cycles)
+                cyclesEqual = false;
+        }
+        const Cycle p99Light = light.result.traffic.open.p99;
+        const Cycle p99Heavy = heavy.result.traffic.open.p99;
+        const bool diverges = p99Heavy > p99Light;
+        if (!cyclesEqual || !diverges) {
+            ++failures;
+            std::printf(
+                "KNEE MISSING %s: closed-loop %s, open p99 "
+                "%llu -> %llu\n",
+                std::string(configName(cfg)).c_str(),
+                cyclesEqual ? "equal" : "DIVERGED",
+                static_cast<unsigned long long>(p99Light),
+                static_cast<unsigned long long>(p99Heavy));
+        }
+    }
+    if (failures) {
+        std::printf("overload-knee gate: %d configuration(s) without "
+                    "the closed/open separation\n", failures);
+        return 1;
+    }
+    std::printf("overload-knee gate: closed-loop cycles equal and "
+                "open p99 diverges for all %zu configurations\n",
+                configs.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    Cli cli("fig_traffic");
+    cli.value("--txns", "N",
+              "transactions per stream (default 96)",
+              [&opt](const std::string &v) {
+                  opt.txnsPerStream = static_cast<int>(toUnsigned(v));
+                  if (opt.txnsPerStream < 1)
+                      throw CliError{"--txns must be >= 1"};
+              })
+        .value("--ops", "N", "key operations per transaction "
+                             "(default 4)",
+               [&opt](const std::string &v) {
+                   opt.opsPerTxn = static_cast<int>(toUnsigned(v));
+                   if (opt.opsPerTxn < 1)
+                       throw CliError{"--ops must be >= 1"};
+               })
+        .value("--cores", "N", "cores serving the streams (default 2)",
+               [&opt](const std::string &v) {
+                   opt.cores = static_cast<int>(toUnsigned(v));
+                   if (opt.cores < 1)
+                       throw CliError{"--cores must be >= 1"};
+               })
+        .toggle("--smoke",
+                "tiny sweep for CI (two offered loads, 32 txns)",
+                [&opt] { opt.smoke = true; })
+        .toggle("--check-knee",
+                "gate: closed-loop cycles identical across offered "
+                "loads while open-loop p99 diverges",
+                [&opt] { opt.checkKnee = true; });
+    addTrafficFlags(cli, opt.traffic);
+    addCommonFlags(cli, opt.common);
+    cli.parse(argc, argv);
+
+    std::vector<Config> configs(kAllConfigs.begin(),
+                                kAllConfigs.end());
+    // Lightest offered load first; the knee gate compares the ends.
+    std::vector<double> gaps{4000, 2000, 1000, 500, 250, 125};
+    if (opt.smoke) {
+        gaps = {6000, 60};
+        opt.txnsPerStream = std::min(opt.txnsPerStream, 32);
+    }
+    if (!opt.traffic.arrivalGaps.empty()) {
+        gaps = opt.traffic.arrivalGaps;
+        std::sort(gaps.begin(), gaps.end(),
+                  [](double a, double b) { return a > b; });
+    }
+
+    std::printf("== Open-loop traffic: %u streams on %d cores, "
+                "%d txns/stream, theta %s, %s arrivals, seed %llu "
+                "==\n\n",
+                opt.traffic.streams, opt.cores, opt.txnsPerStream,
+                fmtDouble(opt.traffic.zipfTheta, 2).c_str(),
+                opt.traffic.bursty ? "bursty" : "poisson",
+                static_cast<unsigned long long>(opt.traffic.seed));
+
+    exp::ExperimentPlan plan;
+    for (Config cfg : configs) {
+        for (double gap : gaps) {
+            exp::ExperimentPoint pt;
+            pt.label = cellLabel(cfg, gap);
+            pt.config = cfg;
+            pt.simParams = SimConfig::paper(cfg)
+                               .withCoreCount(opt.cores)
+                               .params();
+            pt.traffic = true;
+            pt.trafficPlan = makePlan(opt, gap);
+            plan.add(std::move(pt));
+        }
+    }
+
+    exp::RunnerOptions ro;
+    ro.jobs = opt.common.jobs;
+    ro.cacheDir =
+        opt.common.useCache ? opt.common.cacheDir : std::string();
+    const exp::ExperimentResults results = exp::runPlan(plan, ro);
+
+    for (Config cfg : configs) {
+        TextTable t({"mean gap", "cycles", "svc p50", "svc p99",
+                     "open p50", "open p99", "open p99.9",
+                     "open max"});
+        for (double gap : gaps) {
+            const exp::ExperimentCell &cell =
+                results.cellByLabel(cellLabel(cfg, gap));
+            const traffic::TrafficResult &tr = cell.result.traffic;
+            t.addRow({std::to_string(static_cast<long long>(gap)),
+                      std::to_string(cell.result.cycles),
+                      std::to_string(tr.service.p50),
+                      std::to_string(tr.service.p99),
+                      std::to_string(tr.open.p50),
+                      std::to_string(tr.open.p99),
+                      std::to_string(tr.open.p999),
+                      std::to_string(tr.open.max)});
+        }
+        std::printf("-- %s --\n%s\n",
+                    std::string(configName(cfg)).c_str(),
+                    t.str().c_str());
+    }
+
+    if (!opt.common.jsonPath.empty()) {
+        exp::writeJsonArtifact(opt.common.jsonPath, "fig_traffic",
+                               results);
+    }
+    if (opt.checkKnee)
+        return checkKnee(results, configs, gaps);
+    return 0;
+}

@@ -161,6 +161,26 @@ fingerprintPoint(const ExperimentPoint &point)
                 static_cast<std::uint64_t>(point.concOpsPerCore));
         h.field("conc.seed", point.concSeed);
     }
+    // Traffic cells only, same gating rationale as above.
+    if (point.traffic) {
+        const traffic::TrafficPlan &tp = point.trafficPlan;
+        h.field("traffic", true);
+        h.field("traffic.streams",
+                static_cast<std::uint64_t>(tp.streams));
+        h.field("traffic.txnsPerStream",
+                static_cast<std::uint64_t>(tp.txnsPerStream));
+        h.field("traffic.opsPerTxn",
+                static_cast<std::uint64_t>(tp.opsPerTxn));
+        h.field("traffic.readFraction", tp.mix.readFraction);
+        h.field("traffic.zipfTheta", tp.mix.zipfTheta);
+        h.field("traffic.keys", tp.mix.keys);
+        h.field("traffic.arrival",
+                traffic::arrivalKindName(tp.arrival.kind));
+        h.field("traffic.meanGap", tp.arrival.meanGap);
+        h.field("traffic.burstFactor", tp.arrival.burstFactor);
+        h.field("traffic.pSwitch", tp.arrival.pSwitch);
+        h.field("traffic.seed", tp.seed);
+    }
     return h.value();
 }
 

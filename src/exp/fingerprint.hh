@@ -63,8 +63,16 @@ namespace exp {
  * coreCount=1 machine is bit-identical to v5 timing by construction
  * (the differential gate in bench/fig_scaling enforces it), but the
  * snapshot layout changed, so v5 snapshots must not replay.
+ *
+ * v7: the open-loop traffic harness landed.  RunResult snapshots
+ * gained the traffic section (aggregate + per-stream exact
+ * p50/p99/p99.9 open and service latency records), BENCH_*.json
+ * cells gained the "traffic" object, and ExperimentPoint gained the
+ * gated traffic-plan fields.  Timing of non-traffic cells is
+ * unchanged, but the snapshot layout grew, so v6 snapshots must not
+ * replay.
  */
-inline constexpr std::uint32_t kResultSchemaVersion = 6;
+inline constexpr std::uint32_t kResultSchemaVersion = 7;
 
 /** FNV-1a over a stream of tagged fields. */
 class FingerprintHasher

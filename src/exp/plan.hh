@@ -21,6 +21,7 @@
 #include "apps/concurrent.hh"
 #include "apps/driver.hh"
 #include "sim/config.hh"
+#include "traffic/stream_mux.hh"
 
 namespace ede {
 namespace exp {
@@ -50,6 +51,20 @@ struct ExperimentPoint
     ConcApp concApp = ConcApp::MsQueue;
     int concOpsPerCore = 256;
     std::uint64_t concSeed = 42;
+    /// @}
+
+    /**
+     * @name Open-loop traffic cells (bench/fig_traffic).
+     *
+     * When `traffic` is set the point runs a traffic plan
+     * (traffic/stream_mux.hh) through RunRequest::ofTraffic on
+     * simParams.coreCount cores; `app`, `spec`, `appParams` and the
+     * conc fields are ignored.  Like the conc block, the traffic
+     * fields are fingerprinted only when set.
+     */
+    /// @{
+    bool traffic = false;
+    traffic::TrafficPlan trafficPlan{};
     /// @}
 };
 

@@ -23,6 +23,14 @@ putScalar(std::ostream &os, const char *key, std::uint64_t v)
 }
 
 void
+putLatency(std::ostream &os, const char *key,
+           const traffic::LatencySummary &s)
+{
+    os << key << ' ' << s.count << ' ' << s.p50 << ' ' << s.p99 << ' '
+       << s.p999 << ' ' << s.max << ' ' << s.sum << '\n';
+}
+
+void
 putCacheStats(std::ostream &os, const char *prefix, const CacheStats &c)
 {
     os << prefix << ' ' << c.hits << ' ' << c.misses << ' '
@@ -89,6 +97,15 @@ class SnapshotReader
             ok_ = false;
     }
 
+    void
+    latency(const char *key, traffic::LatencySummary &s)
+    {
+        expect(key);
+        if (!(is_ >> s.count >> s.p50 >> s.p99 >> s.p999 >> s.max
+                  >> s.sum))
+            ok_ = false;
+    }
+
   private:
     std::istringstream is_;
     bool ok_ = true;
@@ -104,8 +121,9 @@ serializeCell(const ExperimentCell &cell)
     os << kMagic << ' ' << kResultSchemaVersion << '\n';
     os << "fingerprint " << fingerprintHex(cell.fingerprint) << '\n';
     os << "app "
-       << (cell.point.conc ? concAppName(cell.point.concApp)
-                           : appName(cell.point.app))
+       << (cell.point.traffic ? "traffic"
+           : cell.point.conc ? concAppName(cell.point.concApp)
+                             : appName(cell.point.app))
        << '\n';
     os << "config " << configName(cell.point.config) << '\n';
     putScalar(os, "opCycles", cell.opCycles);
@@ -199,6 +217,21 @@ serializeCell(const ExperimentCell &cell)
             putCacheStats(os, "pcL1d", pc.l1d);
         }
     }
+
+    // Traffic cells append their exact tail-latency records.  The
+    // flag line itself is written for every cell -- the section is
+    // part of the v7 layout, not an optional trailer.
+    os << "traffic " << (r.traffic.enabled ? 1 : 0) << '\n';
+    if (r.traffic.enabled) {
+        putLatency(os, "tOpen", r.traffic.open);
+        putLatency(os, "tService", r.traffic.service);
+        os << "tStreams " << r.traffic.streams.size() << '\n';
+        for (const traffic::StreamLatency &sl : r.traffic.streams) {
+            os << "ts " << sl.stream << ' ' << sl.core << '\n';
+            putLatency(os, "tsOpen", sl.open);
+            putLatency(os, "tsService", sl.service);
+        }
+    }
     os << "end\n";
     return os.str();
 }
@@ -213,8 +246,9 @@ deserializeCell(const std::string &text, const ExperimentPoint &point,
     if (in.word("fingerprint") != fingerprintHex(fingerprint))
         return std::nullopt;
     if (in.word("app") !=
-        (point.conc ? concAppName(point.concApp)
-                    : appName(point.app)))
+        (point.traffic ? "traffic"
+         : point.conc ? concAppName(point.concApp)
+                      : appName(point.app)))
         return std::nullopt;
     if (in.word("config") != configName(point.config))
         return std::nullopt;
@@ -385,6 +419,29 @@ deserializeCell(const std::string &text, const ExperimentPoint &point,
             pc.wb.memRejected = w[5];
 
             in.cacheStats("pcL1d", pc.l1d);
+        }
+    }
+
+    const std::uint64_t traffic_on = in.scalar("traffic");
+    if (!in.ok() || traffic_on > 1)
+        return std::nullopt;
+    r.traffic.enabled = traffic_on == 1;
+    if (r.traffic.enabled) {
+        in.latency("tOpen", r.traffic.open);
+        in.latency("tService", r.traffic.service);
+        const std::uint64_t n = in.scalar("tStreams");
+        if (!in.ok())
+            return std::nullopt;
+        r.traffic.streams.resize(n);
+        for (traffic::StreamLatency &sl : r.traffic.streams) {
+            in.expect("ts");
+            const auto v = in.vec(2);
+            if (!in.ok())
+                return std::nullopt;
+            sl.stream = static_cast<unsigned>(v[0]);
+            sl.core = static_cast<unsigned>(v[1]);
+            in.latency("tsOpen", sl.open);
+            in.latency("tsService", sl.service);
         }
     }
     in.expect("end");

@@ -47,10 +47,42 @@ simulateConcCell(const ExperimentPoint &point, std::uint64_t fp,
                         .withCore(point.simParams.core)
                         .withMem(point.simParams.mem)
                         .withCoreCount(point.simParams.coreCount));
-    const SimResult r =
-        checked ? session.runChecked(traces) : session.run(traces);
+    const SimResult r = session.run(RunRequest::perCore(traces));
+    if (checked && !r.ok())
+        throw SimFaultError(r.error);
     if (!r.ok()) {
         ede_fatal("conc cell '", point.label, "' aborted: ",
+                  r.error.describe());
+    }
+    ExperimentCell cell;
+    cell.point = point;
+    cell.fingerprint = fp;
+    cell.opCycles = r.stats.cycles;
+    cell.result = r.stats;
+    cell.profile = r.profile;
+    return cell;
+}
+
+/**
+ * Simulate one open-loop traffic point (bench/fig_traffic): the plan
+ * expands into per-core traces inside Session::run, and the cell's
+ * result carries the exact tail-latency records in stats.traffic.
+ */
+ExperimentCell
+simulateTrafficCell(const ExperimentPoint &point, std::uint64_t fp,
+                    bool checked)
+{
+    const LogJobTag tag(point.label);
+    Session session(SimConfig::paper(point.config)
+                        .withCore(point.simParams.core)
+                        .withMem(point.simParams.mem)
+                        .withCoreCount(point.simParams.coreCount));
+    const SimResult r =
+        session.run(RunRequest::ofTraffic(point.trafficPlan));
+    if (checked && !r.ok())
+        throw SimFaultError(r.error);
+    if (!r.ok()) {
+        ede_fatal("traffic cell '", point.label, "' aborted: ",
                   r.error.describe());
     }
     ExperimentCell cell;
@@ -66,6 +98,8 @@ ExperimentCell
 simulateCell(const ExperimentPoint &point, std::uint64_t fp,
              bool checked)
 {
+    if (point.traffic)
+        return simulateTrafficCell(point, fp, checked);
     if (point.conc)
         return simulateConcCell(point, fp, checked);
     const LogJobTag tag(point.label);

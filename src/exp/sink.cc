@@ -46,6 +46,16 @@ jsonDouble(double v)
     return buf;
 }
 
+/** One exact latency record as an inline JSON object. */
+void
+emitLatency(std::ostream &os, const traffic::LatencySummary &s)
+{
+    os << "{\"count\": " << s.count << ", \"p50\": " << s.p50
+       << ", \"p99\": " << s.p99 << ", \"p999\": " << s.p999
+       << ", \"max\": " << s.max << ", \"mean\": "
+       << jsonDouble(s.mean()) << "}";
+}
+
 void
 emitCell(std::ostream &os, const ExperimentCell &c)
 {
@@ -53,8 +63,9 @@ emitCell(std::ostream &os, const ExperimentCell &c)
     os << "    {\n";
     os << "      \"label\": \"" << jsonEscape(c.point.label) << "\",\n";
     os << "      \"app\": \""
-       << (c.point.conc ? concAppName(c.point.concApp)
-                        : appName(c.point.app))
+       << (c.point.traffic ? "traffic"
+           : c.point.conc ? concAppName(c.point.concApp)
+                          : appName(c.point.app))
        << "\",\n";
     os << "      \"config\": \"" << configName(c.point.config)
        << "\",\n";
@@ -62,7 +73,24 @@ emitCell(std::ostream &os, const ExperimentCell &c)
        << "\",\n";
     os << "      \"from_cache\": " << (c.fromCache ? "true" : "false")
        << ",\n";
-    if (c.point.conc) {
+    if (c.point.traffic) {
+        // Traffic cells carry the offered-load point and the mix
+        // knobs instead of a transaction structure.
+        const traffic::TrafficPlan &tp = c.point.trafficPlan;
+        os << "      \"streams\": " << tp.streams << ",\n";
+        os << "      \"txns_per_stream\": " << tp.txnsPerStream
+           << ",\n";
+        os << "      \"ops_per_txn\": " << tp.opsPerTxn << ",\n";
+        os << "      \"arrival\": \""
+           << traffic::arrivalKindName(tp.arrival.kind) << "\",\n";
+        os << "      \"mean_gap\": " << jsonDouble(tp.arrival.meanGap)
+           << ",\n";
+        os << "      \"zipf_theta\": "
+           << jsonDouble(tp.mix.zipfTheta) << ",\n";
+        os << "      \"read_fraction\": "
+           << jsonDouble(tp.mix.readFraction) << ",\n";
+        os << "      \"seed\": " << tp.seed << ",\n";
+    } else if (c.point.conc) {
         // Concurrent-kernel cells have no transaction structure;
         // the workload knobs are per-core ops and the interleaving
         // seed.
@@ -122,6 +150,27 @@ emitCell(std::ostream &os, const ExperimentCell &c)
        << r.l3.misses << "},\n";
     os << "      \"dram\": {\"reads\": " << r.dram.reads
        << ", \"writes\": " << r.dram.writes << "},\n";
+    if (r.traffic.enabled) {
+        // Exact open-loop and closed-loop (service) tail latencies,
+        // aggregate and per stream.  Integer cycles throughout: the
+        // values are bit-identical across --jobs counts and tickers.
+        os << "      \"traffic\": {\n";
+        os << "        \"open\": ";
+        emitLatency(os, r.traffic.open);
+        os << ",\n        \"service\": ";
+        emitLatency(os, r.traffic.service);
+        os << ",\n        \"streams\": [";
+        for (std::size_t i = 0; i < r.traffic.streams.size(); ++i) {
+            const traffic::StreamLatency &sl = r.traffic.streams[i];
+            os << (i ? ", " : "") << "{\"stream\": " << sl.stream
+               << ", \"core\": " << sl.core << ", \"open\": ";
+            emitLatency(os, sl.open);
+            os << ", \"service\": ";
+            emitLatency(os, sl.service);
+            os << "}";
+        }
+        os << "]\n      },\n";
+    }
     // Host-side measurement of the simulation itself; all-zero for
     // cache-restored cells (host wall time is never cached).
     os << "      \"host_perf\": " << profileToJson(c.profile, "      ")

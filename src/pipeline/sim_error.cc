@@ -20,6 +20,10 @@ simErrorKindName(SimErrorKind kind)
         return "core-count-key-exhausted";
       case SimErrorKind::PacingDrift:
         return "pacing-drift";
+      case SimErrorKind::SessionReused:
+        return "session-reused";
+      case SimErrorKind::RunRequestInvalid:
+        return "run-request-invalid";
     }
     return "unknown";
 }
@@ -44,6 +48,8 @@ SimError::describe() const
     os << "sim error: " << simErrorKindName(kind) << " at cycle "
        << cycle << " (last progress at " << lastProgressCycle
        << ")\n";
+    if (!detail.empty())
+        os << "  detail: " << detail << "\n";
     os << "  fetch " << fetchIdx << "/" << traceSize << "  rob="
        << robOccupancy << "  iq=" << iqOccupancy << "  wb="
        << wbOccupancy << "\n";

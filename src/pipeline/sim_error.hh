@@ -59,6 +59,21 @@ enum class SimErrorKind
      * windows post-run and fails loudly with this kind instead.
      */
     PacingDrift,
+    /**
+     * A Session was asked to run twice.  Sessions are single-shot --
+     * the underlying System carries retired state that a second run
+     * would silently corrupt -- so reuse is reported as a structured
+     * error instead of a process abort, letting sweep drivers skip
+     * the offending cell and continue.
+     */
+    SessionReused,
+    /**
+     * A RunRequest failed validation before any simulation started:
+     * no workload at all, a trace-per-core count that does not match
+     * the configured machine, or a malformed traffic plan (the
+     * rejected knob is named in SimError::detail).
+     */
+    RunRequestInvalid,
 };
 
 const char *simErrorKindName(SimErrorKind kind);
@@ -134,6 +149,14 @@ struct SimError
     std::vector<WbChainInfo> wbChain;  ///< Write-buffer contents.
     std::vector<EdmLinkInfo> edmLinks; ///< Keys with live producers.
     std::vector<EdkChainNode> edkChain; ///< Unresolvable chain members.
+
+    /**
+     * Optional free-form detail for pre-simulation rejections
+     * (SessionReused / RunRequestInvalid): names the violated
+     * constraint.  Empty for machine-state aborts, whose diagnosis
+     * lives in the structured dump above.
+     */
+    std::string detail;
 
     /** True when the run aborted. */
     explicit operator bool() const { return kind != SimErrorKind::None; }

@@ -19,6 +19,16 @@ simFaultMessage(const SimError &error)
     return os.str();
 }
 
+/** A pre-simulation rejection as a result (no machine state). */
+SimResult
+rejected(SimErrorKind kind, std::string detail)
+{
+    SimResult r;
+    r.error.kind = kind;
+    r.error.detail = std::move(detail);
+    return r;
+}
+
 } // namespace
 
 SimFaultError::SimFaultError(SimError error)
@@ -33,26 +43,60 @@ Session::Session(const SimConfig &config)
 }
 
 SimResult
-Session::run(const Trace &trace)
+Session::run(const RunRequest &request)
 {
-    ede_assert(!ran_, "Session::run is single-shot; build a new "
-               "Session");
-    ran_ = true;
-    system_.run(trace);
-    return collect();
-}
+    if (ran_) {
+        return rejected(SimErrorKind::SessionReused,
+                        "Session::run is single-shot; build a new "
+                        "Session per run");
+    }
 
-SimResult
-Session::run(const std::vector<Trace> &traces)
-{
-    ede_assert(!ran_, "Session::run is single-shot; build a new "
-               "Session");
-    ede_assert(traces.size() == system_.coreCount(),
-               "Session::run needs one trace per core (",
-               system_.coreCount(), " cores, ", traces.size(),
-               " traces)");
+    if (request.hasTraffic) {
+        const traffic::TrafficCheck check =
+            traffic::validateTrafficPlan(request.traffic,
+                                         system_.config(),
+                                         system_.coreCount());
+        if (!check.ok())
+            return rejected(check.kind, check.message);
+        if (!request.traces.empty()) {
+            return rejected(SimErrorKind::RunRequestInvalid,
+                            "a traffic request builds its own "
+                            "traces; pass either traces or a plan");
+        }
+        const traffic::TrafficWorkload workload =
+            traffic::buildTrafficWorkload(request.traffic,
+                                          system_.config(),
+                                          system_.coreCount());
+        ran_ = true;
+        system_.recordCompletions(true);
+        system_.run(workload.traces);
+        SimResult r = collect();
+        if (r.ok()) {
+            std::vector<std::vector<Cycle>> completions;
+            completions.reserve(system_.coreCount());
+            for (unsigned c = 0; c < system_.coreCount(); ++c)
+                completions.push_back(system_.completionCycles(c));
+            r.stats.traffic = traffic::computeTrafficResult(
+                request.traffic, workload, completions);
+        }
+        return r;
+    }
+
+    if (request.traces.empty()) {
+        return rejected(SimErrorKind::RunRequestInvalid,
+                        "RunRequest names no workload: pass traces "
+                        "or a traffic plan");
+    }
+    if (request.traces.size() != system_.coreCount()) {
+        std::ostringstream os;
+        os << "RunRequest needs one trace per core ("
+           << system_.coreCount() << " cores, "
+           << request.traces.size() << " traces)";
+        return rejected(SimErrorKind::RunRequestInvalid, os.str());
+    }
+
     ran_ = true;
-    system_.run(traces);
+    system_.run(request.traces);
     return collect();
 }
 
@@ -64,24 +108,6 @@ Session::collect() const
     if (const SimError *e = system_.firstError())
         r.error = *e;
     r.profile = system_.profile();
-    return r;
-}
-
-SimResult
-Session::runChecked(const Trace &trace)
-{
-    SimResult r = run(trace);
-    if (!r.ok())
-        throw SimFaultError(r.error);
-    return r;
-}
-
-SimResult
-Session::runChecked(const std::vector<Trace> &traces)
-{
-    SimResult r = run(traces);
-    if (!r.ok())
-        throw SimFaultError(r.error);
     return r;
 }
 

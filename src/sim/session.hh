@@ -6,12 +6,20 @@
  * must never leak between runs), which used to leave every caller
  * hand-assembling MemSystem + OoOCore + images and separately
  * remembering to check simError() before trusting the cycle count.
- * Session packages that contract:
+ * Session packages that contract around one entry point:
  *
  *   Session s(SimConfig::paper(Config::WB));
- *   SimResult r = s.run(trace);
+ *   SimResult r = s.run(RunRequest::of(trace));
  *   if (!r.ok()) ...            // structured SimError
  *   use(r.cycles(), r.stats, r.profile);
+ *
+ * A RunRequest names the workload -- one trace, one trace per core,
+ * or an open-loop traffic plan (traffic/stream_mux.hh) -- and every
+ * outcome flows back through the same result-or-SimError channel:
+ * request validation failures (RunRequestInvalid, SessionReused,
+ * CoreCountKeyExhausted) are reported exactly like machine aborts,
+ * so sweep drivers handle one shape.  Callers who prefer an
+ * exception rethrow r.error as a SimFaultError themselves.
  *
  * The configuration is validated up front -- error diagnostics stop
  * construction with the full report, instead of a component assert
@@ -26,6 +34,7 @@
 #include "exp/profile.hh"
 #include "sim/sim_config.hh"
 #include "sim/system.hh"
+#include "traffic/stream_mux.hh"
 
 namespace ede {
 
@@ -63,6 +72,50 @@ struct SimResult
     Cycle cycles() const { return stats.cycles; }
 };
 
+/**
+ * One validated workload request: either explicit traces (one per
+ * core) or a traffic plan the session expands itself.  Built through
+ * the factories; Session::run rejects malformed requests with a
+ * structured RunRequestInvalid instead of asserting.
+ */
+struct RunRequest
+{
+    /** One trace per core, index order (trace i binds to core i). */
+    std::vector<Trace> traces;
+
+    /** When set, @ref traffic drives the run and traces are built. */
+    bool hasTraffic = false;
+    traffic::TrafficPlan traffic;
+
+    /** Single-core request. */
+    static RunRequest
+    of(Trace trace)
+    {
+        RunRequest req;
+        req.traces.push_back(std::move(trace));
+        return req;
+    }
+
+    /** Multi-core request; one trace per core. */
+    static RunRequest
+    perCore(std::vector<Trace> traces)
+    {
+        RunRequest req;
+        req.traces = std::move(traces);
+        return req;
+    }
+
+    /** Open-loop traffic request (see traffic/stream_mux.hh). */
+    static RunRequest
+    ofTraffic(const traffic::TrafficPlan &plan)
+    {
+        RunRequest req;
+        req.hasTraffic = true;
+        req.traffic = plan;
+        return req;
+    }
+};
+
 /** A single-shot simulation session over a validated SimConfig. */
 class Session
 {
@@ -71,34 +124,20 @@ class Session
     explicit Session(const SimConfig &config);
 
     /**
-     * Run @p trace to completion.  Single-shot, like the cores it
-     * wraps: build a fresh Session per run.  @pre the configuration
-     * has coreCount 1 -- multi-core machines take one trace per core
-     * through the vector overload.
+     * Run @p request to completion.  Single-shot, like the cores it
+     * wraps: a second call returns a SessionReused error without
+     * touching the machine.  Invalid requests (no workload, a
+     * trace-per-core mismatch, a malformed traffic plan) return
+     * RunRequestInvalid -- also without consuming the session, so a
+     * driver may correct the request and retry.
+     *
+     * Traffic requests expand the plan into per-core traces, enable
+     * completion recording, and fill stats.traffic with the exact
+     * open-loop tail-latency records after the machine run.
      */
-    SimResult run(const Trace &trace);
+    SimResult run(const RunRequest &request);
 
-    /**
-     * Run one trace per core, lock-step, to completion.  @p traces
-     * must hold exactly coreCount entries (trace i binds to core i).
-     * The result's error is the first core's structured abort in
-     * index order; stats.perCore carries each core's breakdown.
-     */
-    SimResult run(const std::vector<Trace> &traces);
-
-    /**
-     * As run(), but a structured simulator abort raises SimFaultError
-     * (carrying the full SimError) instead of returning it in the
-     * result -- the contract isolated experiment workers rely on to
-     * turn watchdog / max-cycles / EdkDependenceCycle aborts into
-     * typed failure records.
-     */
-    SimResult runChecked(const Trace &trace);
-
-    /** Multi-core runChecked; same contract as the vector run(). */
-    SimResult runChecked(const std::vector<Trace> &traces);
-
-    /** True once run() has been called. */
+    /** True once a request has actually reached the machine. */
     bool ran() const { return ran_; }
 
     /** @name Pre-run knobs and component access. */

@@ -25,6 +25,7 @@
 #include "pipeline/core.hh"
 #include "sim/config.hh"
 #include "sim/sim_config.hh"
+#include "traffic/latency.hh"
 
 namespace ede {
 
@@ -94,6 +95,12 @@ struct RunResult
     CacheStats l3;
     DramStats dram;
     CoherenceStats coherence; ///< Zero on a single-core machine.
+
+    /**
+     * Open-loop tail-latency records; enabled only when the run was
+     * driven by a traffic plan (RunRequest::ofTraffic).
+     */
+    traffic::TrafficResult traffic;
 };
 
 /** An N-core simulated machine sharing one hierarchy at the L2. */

@@ -1,0 +1,28 @@
+#include "traffic/arrival.hh"
+
+#include <cmath>
+
+namespace ede {
+namespace traffic {
+
+Cycle
+ArrivalProcess::next()
+{
+    double mean = spec_.meanGap;
+    if (spec_.kind == ArrivalKind::Bursty && burst_)
+        mean = spec_.meanGap / spec_.burstFactor;
+
+    // Inverse-CDF exponential draw.  real() is in [0, 1), so the
+    // argument of log stays in (0, 1] and the gap is finite.
+    const double u = rng_.real();
+    const double gap = -mean * std::log(1.0 - u);
+    clock_ += gap;
+
+    if (spec_.kind == ArrivalKind::Bursty && rng_.chance(spec_.pSwitch))
+        burst_ = !burst_;
+
+    return static_cast<Cycle>(clock_);
+}
+
+} // namespace traffic
+} // namespace ede

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Seeded open-loop arrival processes.
+ *
+ * An open-loop harness offers load on the clients' schedule, not the
+ * server's: arrivals keep coming whether or not the machine has
+ * caught up, which is exactly what exposes queueing delay and the
+ * overload knee that a closed-loop (back-to-back) run structurally
+ * cannot show.  Two processes are modelled:
+ *
+ *  - Poisson: i.i.d. exponential inter-arrival gaps around a mean --
+ *    the classic memoryless client population;
+ *  - Bursty: a two-state Markov-modulated Poisson process (MMPP).
+ *    The process flips between a calm state (the nominal mean gap)
+ *    and a burst state (mean gap divided by burstFactor) with
+ *    probability pSwitch after each arrival, producing the clumped
+ *    arrivals that hurt tails far more than their average rate
+ *    suggests.
+ *
+ * Determinism: every draw comes from an explicitly seeded Rng, and
+ * the accumulated arrival clock is quantized to integer cycles only
+ * at the observation point, so a (spec, seed) pair always yields the
+ * identical arrival sequence.
+ */
+
+#ifndef EDE_TRAFFIC_ARRIVAL_HH
+#define EDE_TRAFFIC_ARRIVAL_HH
+
+#include <string_view>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace ede {
+namespace traffic {
+
+/** The modelled arrival processes. */
+enum class ArrivalKind { Poisson, Bursty };
+
+/** Printable process name (JSON / labels). */
+constexpr std::string_view
+arrivalKindName(ArrivalKind k)
+{
+    switch (k) {
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Bursty: return "bursty";
+    }
+    return "<bad-arrival-kind>";
+}
+
+/** One offered-load point. */
+struct ArrivalSpec
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+
+    /** Mean inter-arrival gap per stream, in cycles (> 0). */
+    double meanGap = 2000.0;
+
+    /** @name Bursty (MMPP) only. */
+    /// @{
+    double burstFactor = 8.0;  ///< Burst-state rate multiplier (>= 1).
+    double pSwitch = 0.05;     ///< Per-arrival state-flip probability.
+    /// @}
+};
+
+/** A seeded generator of monotone arrival timestamps. */
+class ArrivalProcess
+{
+  public:
+    ArrivalProcess(const ArrivalSpec &spec, std::uint64_t seed)
+        : spec_(spec), rng_(seed)
+    {
+    }
+
+    /** The next arrival's cycle stamp (non-decreasing). */
+    Cycle next();
+
+  private:
+    ArrivalSpec spec_;
+    Rng rng_;
+    double clock_ = 0.0;  ///< Continuous time; quantized on read.
+    bool burst_ = false;  ///< MMPP state.
+};
+
+} // namespace traffic
+} // namespace ede
+
+#endif // EDE_TRAFFIC_ARRIVAL_HH

@@ -1,0 +1,45 @@
+#include "traffic/latency.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ede {
+namespace traffic {
+
+Cycle
+exactPermille(std::vector<Cycle> &samples, unsigned permille)
+{
+    ede_assert(!samples.empty(),
+               "exactPermille over an empty population");
+    ede_assert(permille >= 1 && permille <= 1000,
+               "permille must be in [1, 1000], got ", permille);
+    const std::uint64_t n = samples.size();
+    // Nearest rank: ceil(n * permille / 1000) - 1, in pure integer
+    // arithmetic so the selected index can never drift with the
+    // platform's floating-point rounding.
+    const std::uint64_t idx = (n * permille + 999) / 1000 - 1;
+    auto nth = samples.begin() + static_cast<std::ptrdiff_t>(idx);
+    std::nth_element(samples.begin(), nth, samples.end());
+    return *nth;
+}
+
+LatencySummary
+summarize(std::vector<Cycle> samples)
+{
+    LatencySummary s;
+    s.count = samples.size();
+    if (samples.empty())
+        return s;
+    for (Cycle c : samples) {
+        s.sum += c;
+        s.max = std::max(s.max, c);
+    }
+    s.p50 = exactPermille(samples, 500);
+    s.p99 = exactPermille(samples, 990);
+    s.p999 = exactPermille(samples, 999);
+    return s;
+}
+
+} // namespace traffic
+} // namespace ede

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Exact latency-percentile records for the traffic harness.
+ *
+ * Tail latency is the whole point of the open-loop harness, so the
+ * percentiles are *exact order statistics* over the integer cycle
+ * samples -- nearest-rank selection via nth_element -- never a
+ * histogram approximation whose bucket geometry could smear the very
+ * tail the sweep is hunting.  Integer in, integer out: summaries are
+ * trivially bit-identical across --jobs counts and ticking modes, so
+ * the determinism gates can cmp them byte for byte.
+ */
+
+#ifndef EDE_TRAFFIC_LATENCY_HH
+#define EDE_TRAFFIC_LATENCY_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ede {
+namespace traffic {
+
+/**
+ * Exact per-mille nearest-rank order statistic: the smallest sample
+ * such that at least permille/1000 of @p samples are <= it (index
+ * ceil(n * permille / 1000) - 1 of the sorted order).  Selection is
+ * done in place with nth_element; @p samples is reordered.
+ * @pre !samples.empty() && 1 <= permille <= 1000.
+ */
+Cycle exactPermille(std::vector<Cycle> &samples, unsigned permille);
+
+/** Exact order-statistics digest of one latency population. */
+struct LatencySummary
+{
+    std::uint64_t count = 0;
+    Cycle p50 = 0;        ///< Median (nearest rank).
+    Cycle p99 = 0;        ///< 99th percentile (exact, not binned).
+    Cycle p999 = 0;       ///< 99.9th percentile.
+    Cycle max = 0;
+    std::uint64_t sum = 0;  ///< For exact means downstream.
+
+    /** Mean as a double (0 for an empty population). */
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) /
+                           static_cast<double>(count)
+                     : 0.0;
+    }
+};
+
+/** Digest @p samples (consumed: selection reorders the vector). */
+LatencySummary summarize(std::vector<Cycle> samples);
+
+/** One stream's latency record. */
+struct StreamLatency
+{
+    unsigned stream = 0;     ///< Stream id.
+    unsigned core = 0;       ///< Core the stream was multiplexed onto.
+    LatencySummary open;     ///< Open-loop latency (depart - arrival).
+    LatencySummary service;  ///< Pure service time (machine cycles).
+};
+
+/** Everything a traffic run reports beyond the closed-loop counters. */
+struct TrafficResult
+{
+    bool enabled = false;          ///< True only for traffic runs.
+    LatencySummary open;           ///< Aggregate over every txn.
+    LatencySummary service;
+    std::vector<StreamLatency> streams;  ///< Stream-id order.
+};
+
+} // namespace traffic
+} // namespace ede
+
+#endif // EDE_TRAFFIC_LATENCY_HH

@@ -1,0 +1,46 @@
+#include "traffic/opmix.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ede {
+namespace traffic {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t keys, double theta)
+    : n_(keys), theta_(theta)
+{
+    ede_assert(keys >= 1, "zipfian keyspace must be non-empty");
+    ede_assert(theta >= 0.0 && theta < 1.0,
+               "zipfian theta must be in [0, 1)");
+    zetan_ = 0.0;
+    for (std::uint64_t i = 1; i <= n_; ++i)
+        zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 =
+        1.0 + 1.0 / std::pow(2.0, theta_);  // zeta(2, theta).
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_),
+                           1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+    halfPowTheta_ = std::pow(0.5, theta_);
+}
+
+std::uint64_t
+ZipfGenerator::next(Rng &rng)
+{
+    if (n_ == 1)
+        return 0;
+    const double u = rng.real();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + halfPowTheta_)
+        return 1;
+    const double frac = eta_ * u - eta_ + 1.0;
+    auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(frac, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+} // namespace traffic
+} // namespace ede

@@ -1,0 +1,345 @@
+#include "traffic/stream_mux.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "trace/builder.hh"
+
+namespace ede {
+namespace traffic {
+namespace {
+
+/** Decorrelate a stream's Rng lane from the master seed. */
+std::uint64_t
+streamSeed(std::uint64_t seed, unsigned stream, std::uint64_t lane)
+{
+    // Distinct odd multipliers per lane keep the key/kind draws and
+    // the arrival draws on unrelated xoshiro streams, so changing
+    // the arrival spec can never perturb the generated trace.
+    return seed ^ ((stream + 1) * 0x9e3779b97f4a7c15ull) ^
+           (lane * 0xbf58476d1ce4e5b9ull);
+}
+
+/** Per-core generation state (mirrors apps/concurrent.cc). */
+struct CoreGen
+{
+    explicit CoreGen(Trace &t) : b(t) {}
+
+    TraceBuilder b;
+    TempRegPool temps;
+};
+
+/** Per-stream generation state. */
+struct StreamGen
+{
+    StreamGen(const TrafficPlan &plan, unsigned stream)
+        : rng(streamSeed(plan.seed, stream, 1)),
+          zipf(plan.mix.keys, plan.mix.zipfTheta),
+          arrivals(plan.arrival, streamSeed(plan.seed, stream, 2))
+    {
+    }
+
+    Rng rng;
+    ZipfGenerator zipf;
+    ArrivalProcess arrivals;
+    std::uint64_t nextValue = 1;
+};
+
+/** The persist->publish ordering token (Table III lowering). */
+void
+emitOrderingToken(TraceBuilder &b, Config cfg)
+{
+    switch (cfg) {
+      case Config::B:
+        b.dsbSy();
+        break;
+      case Config::SU:
+        b.dmbSt();
+        break;
+      case Config::IQ:
+      case Config::WB:
+      case Config::U:
+        break;
+    }
+}
+
+/** The commit-durable drain that ends every update transaction. */
+void
+emitCommitDrain(TraceBuilder &b, Config cfg, Edk key)
+{
+    switch (cfg) {
+      case Config::B:
+        b.dsbSy();
+        break;
+      case Config::SU:
+        b.dmbSt();
+        break;
+      case Config::IQ:
+      case Config::WB:
+        b.waitKey(key);
+        break;
+      case Config::U:
+        break;
+    }
+}
+
+/** Zipf-keyed dependent load chain over the stream's shard. */
+void
+emitReadTxn(CoreGen &g, StreamGen &s, unsigned stream, int ops)
+{
+    RegIndex r_prev = g.temps.get();
+    for (int op = 0; op < ops; ++op) {
+        const std::uint64_t rank = s.zipf.next(s.rng);
+        const RegIndex r_next = g.temps.get();
+        // Dependent chain: base is the previous hop's destination,
+        // so the transaction's memory time is serial, as a real
+        // pointer-structured lookup's would be.
+        g.b.ldr(r_next, r_prev, trafficKeyAddr(stream, rank));
+        r_prev = r_next;
+    }
+}
+
+/**
+ * Write-ahead update: persist every dirtied key line with DC CVAP,
+ * order the publishing store behind the persists (ordering token /
+ * EDE key operands), then drain to make the commit durable.
+ */
+void
+emitUpdateTxn(CoreGen &g, StreamGen &s, Config cfg, unsigned stream,
+              unsigned core, int ops)
+{
+    const bool ede = configUsesEde(cfg);
+    const Edk k = trafficCoreKey(core);
+
+    std::uint64_t committed = 0;
+    for (int op = 0; op < ops; ++op) {
+        const std::uint64_t rank = s.zipf.next(s.rng);
+        const Addr addr = trafficKeyAddr(stream, rank);
+        const std::uint64_t val = s.nextValue++;
+        const RegIndex r_v = g.temps.get();
+        const RegIndex r_b = g.temps.get();
+        g.b.movImm(r_v, static_cast<std::int64_t>(val));
+        g.b.str(r_v, r_b, addr, val);
+        g.b.cvap(r_b, addr, ede ? EdkOps{k, kZeroEdk} : EdkOps{});
+        committed = val;
+    }
+    emitOrderingToken(g.b, cfg);
+
+    // Publish the commit record behind the key persists.
+    const RegIndex r_c = g.temps.get();
+    const RegIndex r_p = g.temps.get();
+    g.b.movImm(r_c, static_cast<std::int64_t>(committed));
+    g.b.str(r_c, r_p, trafficPublishAddr(stream), committed, 0,
+            ede ? EdkOps{kZeroEdk, k} : EdkOps{});
+    g.b.cvap(r_p, trafficPublishAddr(stream),
+             ede ? EdkOps{k, kZeroEdk} : EdkOps{});
+    emitCommitDrain(g.b, cfg, k);
+}
+
+/** Warm each resident stream's shard and close the setup phase. */
+void
+emitPreamble(CoreGen &g, const TrafficPlan &plan, unsigned core,
+             unsigned coreCount)
+{
+    for (unsigned s = core; s < plan.streams; s += coreCount) {
+        const RegIndex r_v = g.temps.get();
+        const RegIndex r_b = g.temps.get();
+        g.b.str(r_v, r_b, trafficPublishAddr(s), 0);
+    }
+    g.b.dsbSy();
+}
+
+} // namespace
+
+TrafficCheck
+validateTrafficPlan(const TrafficPlan &plan, Config cfg,
+                    unsigned coreCount)
+{
+    const auto invalid = [](const char *msg) {
+        return TrafficCheck{SimErrorKind::RunRequestInvalid, msg};
+    };
+    if (coreCount < 1)
+        return invalid("traffic plan needs >= 1 core");
+    if (plan.streams < 1)
+        return invalid("traffic plan needs >= 1 stream");
+    if (plan.txnsPerStream < 1)
+        return invalid("traffic plan needs >= 1 txn per stream");
+    if (plan.opsPerTxn < 1)
+        return invalid("traffic plan needs >= 1 op per txn");
+    if (plan.mix.keys < 1 || plan.mix.keys > kTrafficMaxKeys)
+        return invalid("traffic keyspace must be in [1, 4096]");
+    if (!(plan.mix.readFraction >= 0.0 &&
+          plan.mix.readFraction <= 1.0))
+        return invalid("traffic read fraction must be in [0, 1]");
+    if (!(plan.mix.zipfTheta >= 0.0 && plan.mix.zipfTheta < 1.0))
+        return invalid("traffic zipf theta must be in [0, 1)");
+    if (!(plan.arrival.meanGap > 0.0))
+        return invalid("traffic mean arrival gap must be > 0");
+    if (!(plan.arrival.burstFactor >= 1.0))
+        return invalid("traffic burst factor must be >= 1");
+    if (!(plan.arrival.pSwitch >= 0.0 && plan.arrival.pSwitch <= 1.0))
+        return invalid("traffic burst switch prob must be in [0, 1]");
+    if (configUsesEde(cfg) && coreCount > kMaxTrafficEdeCores) {
+        return TrafficCheck{
+            SimErrorKind::CoreCountKeyExhausted,
+            "EDE traffic dedicates one real key per core"};
+    }
+    return {};
+}
+
+TrafficWorkload
+buildTrafficWorkload(const TrafficPlan &plan, Config cfg,
+                     unsigned coreCount)
+{
+    ede_assert(validateTrafficPlan(plan, cfg, coreCount).ok(),
+               "buildTrafficWorkload requires a validated plan");
+
+    TrafficWorkload wl;
+    wl.traces.resize(coreCount);
+    std::vector<CoreGen> gens;
+    gens.reserve(coreCount);
+    for (Trace &t : wl.traces)
+        gens.emplace_back(t);
+
+    std::vector<StreamGen> streams;
+    streams.reserve(plan.streams);
+    for (unsigned s = 0; s < plan.streams; ++s)
+        streams.emplace_back(plan, s);
+
+    wl.preambleEnd.resize(coreCount);
+    for (unsigned c = 0; c < coreCount; ++c) {
+        emitPreamble(gens[c], plan, c, coreCount);
+        wl.preambleEnd[c] = wl.traces[c].size();
+    }
+
+    // Round-robin schedule: every round issues one transaction per
+    // stream, streams in id order.  A core therefore serves its
+    // resident streams in a fixed rotation that depends only on
+    // (plan shape, coreCount) -- never on arrivals -- which is what
+    // keeps the trace (and the machine's closed-loop cycles)
+    // bit-identical across offered loads.
+    wl.txns.reserve(static_cast<std::size_t>(plan.streams) *
+                    static_cast<std::size_t>(plan.txnsPerStream));
+    for (int t = 0; t < plan.txnsPerStream; ++t) {
+        for (unsigned s = 0; s < plan.streams; ++s) {
+            const unsigned core = s % coreCount;
+            StreamGen &sg = streams[s];
+
+            TxnRecord rec;
+            rec.stream = s;
+            rec.core = core;
+            rec.index = static_cast<std::uint32_t>(t);
+            rec.kind = drawTxnKind(plan.mix, sg.rng);
+            rec.arrival = sg.arrivals.next();
+            rec.first = wl.traces[core].size();
+            if (rec.kind == TxnKind::Read)
+                emitReadTxn(gens[core], sg, s, plan.opsPerTxn);
+            else
+                emitUpdateTxn(gens[core], sg, cfg, s, core,
+                              plan.opsPerTxn);
+            rec.last = wl.traces[core].size();
+            wl.txns.push_back(rec);
+        }
+    }
+    return wl;
+}
+
+TrafficResult
+computeTrafficResult(
+    const TrafficPlan &plan, const TrafficWorkload &workload,
+    const std::vector<std::vector<Cycle>> &completions)
+{
+    const unsigned coreCount =
+        static_cast<unsigned>(workload.traces.size());
+    ede_assert(completions.size() == coreCount,
+               "traffic completions must cover every core");
+    for (unsigned c = 0; c < coreCount; ++c) {
+        ede_assert(completions[c].size() == workload.traces[c].size(),
+                   "traffic completions must cover every trace index");
+    }
+
+    // Closed-loop service times: each transaction occupies its core
+    // from the previous transaction's retirement to its own, so
+    // S = F_i - F_{i-1} with the preamble's completion seeding the
+    // recursion.  The subtraction telescopes: per-core sums equal
+    // the core's total post-preamble cycles.
+    std::vector<Cycle> coreLast(coreCount);
+    for (unsigned c = 0; c < coreCount; ++c) {
+        ede_assert(workload.preambleEnd[c] >= 1,
+                   "traffic preamble must emit at least one inst");
+        coreLast[c] = completions[c][workload.preambleEnd[c] - 1];
+    }
+
+    // First pass, in emission order: measure every transaction's
+    // service time from the completion stamps.
+    struct Job
+    {
+        const TxnRecord *rec;
+        Cycle service;
+    };
+    std::vector<std::vector<Job>> coreJobs(coreCount);
+    for (const TxnRecord &rec : workload.txns) {
+        ede_assert(rec.last > rec.first,
+                   "traffic transactions emit at least one inst");
+        // The stamp is the *execution* completion of the final
+        // instruction, which an out-of-order core may deliver before
+        // an older transaction's straggler; monotonize so service
+        // times stay non-negative and still telescope.
+        const Cycle finish =
+            std::max(completions[rec.core][rec.last - 1],
+                     coreLast[rec.core]);
+        const Cycle service = finish - coreLast[rec.core];
+        coreLast[rec.core] = finish;
+        coreJobs[rec.core].push_back(Job{&rec, service});
+    }
+
+    // Open-loop replay (Lindley recursion) per core: the server
+    // takes jobs in ARRIVAL order -- not the round-robin emission
+    // order, whose interleaving of independently-drifting stream
+    // clocks would charge an early arrival for a late neighbour --
+    // and each job holds the server for its measured service time.
+    // The stable sort keeps ties in emission order, so the replay
+    // stays deterministic.
+    std::vector<std::vector<Cycle>> openByStream(plan.streams);
+    std::vector<std::vector<Cycle>> serviceByStream(plan.streams);
+    std::vector<Cycle> openAll;
+    std::vector<Cycle> serviceAll;
+    openAll.reserve(workload.txns.size());
+    serviceAll.reserve(workload.txns.size());
+
+    for (unsigned c = 0; c < coreCount; ++c) {
+        std::stable_sort(coreJobs[c].begin(), coreJobs[c].end(),
+                         [](const Job &a, const Job &b) {
+                             return a.rec->arrival < b.rec->arrival;
+                         });
+        Cycle depart = 0;
+        for (const Job &job : coreJobs[c]) {
+            const Cycle start = std::max(job.rec->arrival, depart);
+            depart = start + job.service;
+            const Cycle open = depart - job.rec->arrival;
+
+            openByStream[job.rec->stream].push_back(open);
+            serviceByStream[job.rec->stream].push_back(job.service);
+            openAll.push_back(open);
+            serviceAll.push_back(job.service);
+        }
+    }
+
+    TrafficResult result;
+    result.enabled = true;
+    result.open = summarize(std::move(openAll));
+    result.service = summarize(std::move(serviceAll));
+    result.streams.reserve(plan.streams);
+    for (unsigned s = 0; s < plan.streams; ++s) {
+        StreamLatency sl;
+        sl.stream = s;
+        sl.core = s % coreCount;
+        sl.open = summarize(std::move(openByStream[s]));
+        sl.service = summarize(std::move(serviceByStream[s]));
+        result.streams.push_back(sl);
+    }
+    return result;
+}
+
+} // namespace traffic
+} // namespace ede

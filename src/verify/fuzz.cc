@@ -492,7 +492,7 @@ runOnce(const GenProgram &p, EnforceMode mode, EdkRecoveryMode rec)
     if (p.cls == ProgClass::HardwareFault)
         session.system().core().corruptEdeLink(p.faultProducerIdx, 1);
 
-    const SimResult run = session.run(p.trace);
+    const SimResult run = session.run(RunRequest::of(p.trace));
 
     RunOut out;
     out.error = run.error;

@@ -48,7 +48,7 @@ struct MiniSim
     Cycle
     run(const Trace &trace)
     {
-        result = session.run(trace);
+        result = session.run(RunRequest::of(trace));
         return result.cycles();
     }
 

@@ -161,5 +161,62 @@ TEST(Cli, IsolationFlagsPopulateRunnerOptions)
     EXPECT_TRUE(ro.resume);
 }
 
+// ---------------------------------------------------------------- //
+// Traffic flags
+// ---------------------------------------------------------------- //
+
+TEST(Cli, TrafficFlagsPopulateOptions)
+{
+    bench::TrafficOptions t;
+    Cli cli("testprog");
+    bench::addTrafficFlags(cli, t);
+    // --arrival is repeatable: each use appends one sweep point.
+    Args args({"--streams", "8", "--zipf-theta", "0.5", "--arrival",
+               "4000", "--arrival", "125.5", "--bursty", "--seed",
+               "7"});
+    cli.parse(args.argc(), args.argv());
+
+    EXPECT_EQ(t.streams, 8u);
+    EXPECT_DOUBLE_EQ(t.zipfTheta, 0.5);
+    ASSERT_EQ(t.arrivalGaps.size(), 2u);
+    EXPECT_DOUBLE_EQ(t.arrivalGaps[0], 4000.0);
+    EXPECT_DOUBLE_EQ(t.arrivalGaps[1], 125.5);
+    EXPECT_TRUE(t.bursty);
+    EXPECT_EQ(t.seed, 7u);
+}
+
+TEST(CliDeathTest, ZeroStreamsIsRejected)
+{
+    bench::TrafficOptions t;
+    Cli cli("testprog");
+    bench::addTrafficFlags(cli, t);
+    Args args({"--streams", "0"});
+    EXPECT_EXIT(cli.parse(args.argc(), args.argv()),
+                ::testing::ExitedWithCode(2),
+                "--streams must be >= 1");
+}
+
+TEST(CliDeathTest, DivergentZipfThetaIsRejected)
+{
+    bench::TrafficOptions t;
+    Cli cli("testprog");
+    bench::addTrafficFlags(cli, t);
+    Args args({"--zipf-theta", "1.0"});
+    EXPECT_EXIT(cli.parse(args.argc(), args.argv()),
+                ::testing::ExitedWithCode(2),
+                "--zipf-theta must be in");
+}
+
+TEST(CliDeathTest, NonPositiveArrivalGapIsRejected)
+{
+    bench::TrafficOptions t;
+    Cli cli("testprog");
+    bench::addTrafficFlags(cli, t);
+    Args args({"--arrival", "0"});
+    EXPECT_EXIT(cli.parse(args.argc(), args.argv()),
+                ::testing::ExitedWithCode(2),
+                "--arrival must be > 0");
+}
+
 } // namespace
 } // namespace ede

@@ -80,7 +80,7 @@ TEST(Coherence, StoreInvalidatesPeerCopy)
         b.str(2, 1, dramLine(0), 0x22);
     }
     Session s(SimConfig::paper(Config::B).withCoreCount(2));
-    const SimResult r = s.run(traces);
+    const SimResult r = s.run(RunRequest::perCore(traces));
     ASSERT_TRUE(r.ok());
     EXPECT_GE(r.stats.coherence.snoops, 1u);
     EXPECT_GE(r.stats.coherence.invalidations, 1u);
@@ -104,7 +104,7 @@ TEST(Coherence, LoadDowngradesDirtyPeerAndHandsOff)
         b.ldr(3, 1, dramLine(1));
     }
     Session s(SimConfig::paper(Config::B).withCoreCount(2));
-    const SimResult r = s.run(traces);
+    const SimResult r = s.run(RunRequest::perCore(traces));
     ASSERT_TRUE(r.ok());
     EXPECT_GE(r.stats.coherence.downgrades, 1u);
     EXPECT_GE(r.stats.coherence.dirtyHandoffs, 1u);
@@ -123,7 +123,7 @@ TEST(Coherence, SingleCoreHasNoCoherenceTraffic)
         b.ldr(4, 1, dramLine(3));
     }
     Session s(SimConfig::paper(Config::B));
-    const SimResult r = s.run(t);
+    const SimResult r = s.run(RunRequest::of(t));
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r.stats.coreCount, 1);
     ASSERT_EQ(r.stats.perCore.size(), 1u);
@@ -172,7 +172,7 @@ class MpLitmus : public ::testing::TestWithParam<Config> {};
 TEST_P(MpLitmus, DataPersistsBeforeFlag)
 {
     Session s(SimConfig::paper(GetParam()).withCoreCount(2));
-    const SimResult r = s.run(mpTraces(GetParam()));
+    const SimResult r = s.run(RunRequest::perCore(mpTraces(GetParam())));
     ASSERT_TRUE(r.ok());
     const std::size_t data_at = persistIndexOf(s.system(), nvmLine(0));
     const std::size_t flag_at = persistIndexOf(s.system(), nvmLine(1));
@@ -190,8 +190,8 @@ TEST_P(MpLitmus, TickingModesAgree)
     Session ref(SimConfig::paper(GetParam())
                     .withCoreCount(2)
                     .withTicking(TickingMode::Reference));
-    const SimResult a = skip.run(mpTraces(GetParam()));
-    const SimResult b = ref.run(mpTraces(GetParam()));
+    const SimResult a = skip.run(RunRequest::perCore(mpTraces(GetParam())));
+    const SimResult b = ref.run(RunRequest::perCore(mpTraces(GetParam())));
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     ASSERT_EQ(a.stats.perCore.size(), b.stats.perCore.size());
@@ -241,7 +241,7 @@ waitKeyTraces(bool wait)
 TEST(CrossCoreWait, WaitKeyDrainsRemoteKeyedPersist)
 {
     Session s(SimConfig::paper(Config::IQ).withCoreCount(2));
-    const SimResult r = s.run(waitKeyTraces(/*wait=*/true));
+    const SimResult r = s.run(RunRequest::perCore(waitKeyTraces(/*wait=*/true)));
     ASSERT_TRUE(r.ok());
     // Core 0's keyed persist reaches the persistence domain before
     // core 1's dependent publish.
@@ -258,8 +258,8 @@ TEST(CrossCoreWait, WaitKeyActuallyGates)
     // earlier: the wait really does stall on the remote counter.
     Session waited(SimConfig::paper(Config::IQ).withCoreCount(2));
     Session free_run(SimConfig::paper(Config::IQ).withCoreCount(2));
-    const SimResult w = waited.run(waitKeyTraces(/*wait=*/true));
-    const SimResult f = free_run.run(waitKeyTraces(/*wait=*/false));
+    const SimResult w = waited.run(RunRequest::perCore(waitKeyTraces(/*wait=*/true)));
+    const SimResult f = free_run.run(RunRequest::perCore(waitKeyTraces(/*wait=*/false)));
     ASSERT_TRUE(w.ok());
     ASSERT_TRUE(f.ok());
     EXPECT_GT(w.stats.perCore.at(1).stats.cycles,
@@ -274,8 +274,8 @@ TEST(CrossCoreWait, TickingModesAgree)
     Session ref(SimConfig::paper(Config::IQ)
                     .withCoreCount(2)
                     .withTicking(TickingMode::Reference));
-    const SimResult a = skip.run(waitKeyTraces(/*wait=*/true));
-    const SimResult b = ref.run(waitKeyTraces(/*wait=*/true));
+    const SimResult a = skip.run(RunRequest::perCore(waitKeyTraces(/*wait=*/true)));
+    const SimResult b = ref.run(RunRequest::perCore(waitKeyTraces(/*wait=*/true)));
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(a.stats.perCore.at(0).stats.cycles,
@@ -318,7 +318,7 @@ lbTraces()
 TEST(Coherence, SbBothReadersSeePeerLines)
 {
     Session s(SimConfig::paper(Config::B).withCoreCount(2));
-    const SimResult r = s.run(sbTraces());
+    const SimResult r = s.run(RunRequest::perCore(sbTraces()));
     ASSERT_TRUE(r.ok());
     // Each reader pulled the peer's dirty line across the coherence
     // point.
@@ -335,8 +335,8 @@ TEST(Coherence, SbAndLbTickingModesAgree)
         Session ref(SimConfig::paper(Config::B)
                         .withCoreCount(2)
                         .withTicking(TickingMode::Reference));
-        const SimResult a = skip.run(sb ? sbTraces() : lbTraces());
-        const SimResult b = ref.run(sb ? sbTraces() : lbTraces());
+        const SimResult a = skip.run(RunRequest::perCore(sb ? sbTraces() : lbTraces()));
+        const SimResult b = ref.run(RunRequest::perCore(sb ? sbTraces() : lbTraces()));
         ASSERT_TRUE(a.ok());
         ASSERT_TRUE(b.ok());
         EXPECT_EQ(a.stats.cycles, b.stats.cycles)
@@ -367,8 +367,8 @@ TEST(Coherence, ConcurrentKernelsTickingParity)
         Session ref(SimConfig::paper(Config::WB)
                         .withCoreCount(2)
                         .withTicking(TickingMode::Reference));
-        const SimResult a = skip.run(traces);
-        const SimResult b = ref.run(traces);
+        const SimResult a = skip.run(RunRequest::perCore(traces));
+        const SimResult b = ref.run(RunRequest::perCore(traces));
         ASSERT_TRUE(a.ok()) << concAppName(app);
         ASSERT_TRUE(b.ok()) << concAppName(app);
         EXPECT_EQ(a.stats.cycles, b.stats.cycles) << concAppName(app);
@@ -396,7 +396,7 @@ TEST(SingleCoreEquivalence, SystemMatchesLegacyRunLoop)
 
     const SimConfig sc = SimConfig::paper(Config::IQ);
     Session session(sc);
-    const SimResult via_system = session.run(traces);
+    const SimResult via_system = session.run(RunRequest::perCore(traces));
     ASSERT_TRUE(via_system.ok());
 
     MemSystem mem(sc.params().mem);
@@ -443,7 +443,7 @@ TEST(MultiCoreConfig, CoreCountValidation)
 TEST(MultiCoreConfig, PerCoreResultSurface)
 {
     Session s(SimConfig::paper(Config::B).withCoreCount(2));
-    const SimResult r = s.run(mpTraces(Config::B));
+    const SimResult r = s.run(RunRequest::perCore(mpTraces(Config::B)));
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r.stats.coreCount, 2);
     ASSERT_EQ(r.stats.perCore.size(), 2u);

@@ -423,10 +423,10 @@ TEST(RunnerIsolation, ResumeKeepsAJournaledQuarantine)
 }
 
 // ---------------------------------------------------------------- //
-// SimFaultError propagation (Session / WorkloadHarness)
+// Structured-abort propagation (Session / WorkloadHarness)
 // ---------------------------------------------------------------- //
 
-TEST(SimFaultPropagation, RunCheckedRaisesMaxCyclesExceeded)
+TEST(SimFaultPropagation, RunReturnsMaxCyclesExceeded)
 {
     CoreParams overrides;
     overrides.maxCycles = 20;
@@ -435,18 +435,18 @@ TEST(SimFaultPropagation, RunCheckedRaisesMaxCyclesExceeded)
     TraceBuilder b(t);
     for (int i = 0; i < 64; ++i)
         b.str(8, 2, MiniSim::dramLine(i % 8), i);
-    try {
-        sim.session.runChecked(t);
-        FAIL() << "expected SimFaultError";
-    } catch (const SimFaultError &e) {
-        EXPECT_EQ(e.kind(), SimErrorKind::MaxCyclesExceeded);
-        EXPECT_NE(std::string(e.what()).find("max-cycles-exceeded"),
-                  std::string::npos)
-            << e.what();
-    }
+    const SimResult r = sim.session.run(RunRequest::of(t));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error.kind, SimErrorKind::MaxCyclesExceeded);
+    // Rethrowing the structured error keeps the historical what()
+    // formatting the isolated workers ship to their parents.
+    const SimFaultError e{r.error};
+    EXPECT_NE(std::string(e.what()).find("max-cycles-exceeded"),
+              std::string::npos)
+        << e.what();
 }
 
-TEST(SimFaultPropagation, RunCheckedRaisesEdkDependenceCycle)
+TEST(SimFaultPropagation, RunReturnsEdkDependenceCycle)
 {
     // The forged forward srcID link from the detector tests: the only
     // way this pipeline forms a genuine dependence cycle.
@@ -468,27 +468,33 @@ TEST(SimFaultPropagation, RunCheckedRaisesEdkDependenceCycle)
         b.str(14, 2, MiniSim::dramLine(4 + i), i);
     sim.core->corruptEdeLink(x, 1);
 
-    try {
-        sim.session.runChecked(t);
-        FAIL() << "expected SimFaultError";
-    } catch (const SimFaultError &e) {
-        EXPECT_EQ(e.kind(), SimErrorKind::EdkDependenceCycle);
-        EXPECT_FALSE(e.error().edkChain.empty());
-        EXPECT_NE(std::string(e.what()).find("edk-dependence-cycle"),
-                  std::string::npos)
-            << e.what();
-    }
+    const SimResult r = sim.session.run(RunRequest::of(t));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error.kind, SimErrorKind::EdkDependenceCycle);
+    EXPECT_FALSE(r.error.edkChain.empty());
+    const SimFaultError e{r.error};
+    EXPECT_NE(std::string(e.what()).find("edk-dependence-cycle"),
+              std::string::npos)
+        << e.what();
 }
 
-TEST(SimFaultPropagation, RunCheckedReturnsNormallyOnACleanRun)
+TEST(SimFaultPropagation, RunSucceedsThenRejectsReuse)
 {
     MiniSim sim(EnforceMode::None);
     Trace t;
     TraceBuilder b(t);
     b.str(8, 2, MiniSim::dramLine(0), 1);
-    const SimResult r = sim.session.runChecked(t);
+    const SimResult r = sim.session.run(RunRequest::of(t));
     EXPECT_TRUE(r.ok());
     EXPECT_GT(r.cycles(), 0u);
+
+    // The session is single-shot: a second run comes back as a
+    // structured SessionReused error, not a process abort.
+    const SimResult again = sim.session.run(RunRequest::of(t));
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(again.error.kind, SimErrorKind::SessionReused);
+    EXPECT_NE(again.error.detail.find("single-shot"),
+              std::string::npos);
 }
 
 TEST(SimFaultPropagation, HarnessSimulateCheckedThrowsTyped)
