@@ -288,6 +288,158 @@ addTrafficFlags(Cli &cli, TrafficOptions &opt)
     addSeedFlag(cli, opt.seed);
 }
 
+/** Parse an admission-policy name (see traffic/policy.hh). */
+inline traffic::AdmissionKind
+toAdmissionKind(const std::string &s)
+{
+    if (s == "none")
+        return traffic::AdmissionKind::None;
+    if (s == "drop-tail")
+        return traffic::AdmissionKind::DropTail;
+    if (s == "deadline")
+        return traffic::AdmissionKind::Deadline;
+    if (s == "token-bucket")
+        return traffic::AdmissionKind::TokenBucket;
+    throw CliError{"unknown admission policy '" + s +
+                   "' (none, drop-tail, deadline, token-bucket)"};
+}
+
+/**
+ * Serving-path overload knobs: the admission policy and its
+ * parameters, retry budgets, the degradation ladder, the
+ * warmup/window split and the closed-pool arrival option.  Range
+ * checks beyond simple positivity live in validateTrafficPlan, so
+ * the CLI and programmatic callers reject identically.
+ */
+struct OverloadOptions
+{
+    traffic::OverloadPolicy policy;
+    int totalTxns = 0;            ///< 0 = txnsPerStream semantics.
+    unsigned warmupPermille = 125;
+    unsigned latencyWindows = 8;
+    bool closedPool = false;      ///< ClosedPool arrivals.
+    unsigned poolSize = 4;
+    double thinkTime = 2000.0;
+};
+
+/** Register the overload-policy flags on @p cli. */
+inline void
+addOverloadFlags(Cli &cli, OverloadOptions &opt)
+{
+    cli.value("--admission", "KIND",
+              "admission policy: none | drop-tail | deadline | "
+              "token-bucket (default none)",
+              [&opt](const std::string &v) {
+                  opt.policy.admission = toAdmissionKind(v);
+              })
+        .value("--queue-depth", "N",
+               "finite service-queue depth before backpressure "
+               "scaling (default 16)",
+               [&opt](const std::string &v) {
+                   opt.policy.queueDepth = toU64(v);
+               })
+        .value("--deadline", "C",
+               "per-transaction deadline in cycles (deadline "
+               "admission sheds predicted misses; any policy counts "
+               "completions past it as timeouts)",
+               [&opt](const std::string &v) {
+                   opt.policy.deadline = toU64(v);
+               })
+        .value("--token-rate", "R",
+               "token-bucket refill: tokens per 1024 cycles",
+               [&opt](const std::string &v) {
+                   opt.policy.tokenRatePerKCycle = toU64(v);
+               })
+        .value("--token-burst", "B", "token-bucket capacity",
+               [&opt](const std::string &v) {
+                   opt.policy.tokenBurst = toU64(v);
+               })
+        .value("--retry-budget", "N",
+               "client retries per stream before permanent failure "
+               "(default 0 = no retries)",
+               [&opt](const std::string &v) {
+                   opt.policy.retryBudget = toU64(v);
+               })
+        .value("--retry-base", "C",
+               "exponential-backoff base in cycles (default 256)",
+               [&opt](const std::string &v) {
+                   opt.policy.retryBackoffBase = toU64(v);
+               })
+        .value("--retry-cap", "C",
+               "backoff ceiling in cycles (default 8192)",
+               [&opt](const std::string &v) {
+                   opt.policy.retryBackoffCap = toU64(v);
+               })
+        .toggle("--degrade",
+                "enable the graceful-degradation ladder (normal -> "
+                "read-mostly -> reject-all, hysteretic recovery)",
+                [&opt] { opt.policy.degrade = true; })
+        .value("--shed-window", "N",
+               "sliding pressure window for the ladder (default 32)",
+               [&opt](const std::string &v) {
+                   opt.policy.shedWindow = toUnsigned(v);
+               })
+        .value("--degrade-permille", "P",
+               "shed rate escalating the ladder (default 500)",
+               [&opt](const std::string &v) {
+                   opt.policy.degradePermille = toUnsigned(v);
+               })
+        .value("--recover-permille", "P",
+               "shed rate recovering one rung; must be below "
+               "--degrade-permille (default 125)",
+               [&opt](const std::string &v) {
+                   opt.policy.recoverPermille = toUnsigned(v);
+               })
+        .value("--warmup-permille", "P",
+               "leading fraction of each stream classified warmup "
+               "(default 125)",
+               [&opt](const std::string &v) {
+                   opt.warmupPermille = toUnsigned(v);
+               })
+        .value("--windows", "N",
+               "latency time-series windows, 1..64 (default 8)",
+               [&opt](const std::string &v) {
+                   opt.latencyWindows = toUnsigned(v);
+               })
+        .value("--total-txns", "N",
+               "exact total transactions split round-robin across "
+               "streams (0 = per-stream count)",
+               [&opt](const std::string &v) {
+                   opt.totalTxns = static_cast<int>(toUnsigned(v));
+               })
+        .value("--closed-pool", "N",
+               "closed-loop arrivals from a pool of N clients per "
+               "stream instead of open-loop",
+               [&opt](const std::string &v) {
+                   opt.closedPool = true;
+                   opt.poolSize = toUnsigned(v);
+                   if (opt.poolSize < 1)
+                       throw CliError{"--closed-pool must be >= 1"};
+               })
+        .value("--think-time", "T",
+               "mean closed-pool think time in cycles (default 2000)",
+               [&opt](const std::string &v) {
+                   opt.thinkTime = toF64(v);
+                   if (opt.thinkTime < 0)
+                       throw CliError{"--think-time must be >= 0"};
+               });
+}
+
+/** Fold @p o into @p plan (policy, split knobs, closed arrivals). */
+inline void
+applyOverload(traffic::TrafficPlan &plan, const OverloadOptions &o)
+{
+    plan.policy = o.policy;
+    plan.totalTxns = o.totalTxns;
+    plan.warmupPermille = o.warmupPermille;
+    plan.latencyWindows = o.latencyWindows;
+    if (o.closedPool) {
+        plan.arrival.kind = traffic::ArrivalKind::ClosedPool;
+        plan.arrival.poolSize = o.poolSize;
+        plan.arrival.thinkTime = o.thinkTime;
+    }
+}
+
 /** Process-isolation options shared by the sweeping drivers. */
 struct IsolationOptions
 {

@@ -179,6 +179,39 @@ fingerprintPoint(const ExperimentPoint &point)
         h.field("traffic.meanGap", tp.arrival.meanGap);
         h.field("traffic.burstFactor", tp.arrival.burstFactor);
         h.field("traffic.pSwitch", tp.arrival.pSwitch);
+        h.field("traffic.poolSize",
+                static_cast<std::uint64_t>(tp.arrival.poolSize));
+        h.field("traffic.thinkTime", tp.arrival.thinkTime);
+        h.field("traffic.totalTxns",
+                static_cast<std::uint64_t>(tp.totalTxns));
+        h.field("traffic.warmupPermille",
+                static_cast<std::uint64_t>(tp.warmupPermille));
+        h.field("traffic.latencyWindows",
+                static_cast<std::uint64_t>(tp.latencyWindows));
+        // The whole overload policy is hashed unconditionally inside
+        // the traffic block: every knob can change the overload
+        // records a snapshot carries.
+        const traffic::OverloadPolicy &pol = tp.policy;
+        h.field("traffic.admission",
+                traffic::admissionKindName(pol.admission));
+        h.field("traffic.queueDepth",
+                static_cast<std::uint64_t>(pol.queueDepth));
+        h.field("traffic.deadline", pol.deadline);
+        h.field("traffic.tokenRate",
+                static_cast<std::uint64_t>(pol.tokenRatePerKCycle));
+        h.field("traffic.tokenBurst",
+                static_cast<std::uint64_t>(pol.tokenBurst));
+        h.field("traffic.retryBudget",
+                static_cast<std::uint64_t>(pol.retryBudget));
+        h.field("traffic.retryBackoffBase", pol.retryBackoffBase);
+        h.field("traffic.retryBackoffCap", pol.retryBackoffCap);
+        h.field("traffic.degrade", pol.degrade);
+        h.field("traffic.shedWindow",
+                static_cast<std::uint64_t>(pol.shedWindow));
+        h.field("traffic.degradePermille",
+                static_cast<std::uint64_t>(pol.degradePermille));
+        h.field("traffic.recoverPermille",
+                static_cast<std::uint64_t>(pol.recoverPermille));
         h.field("traffic.seed", tp.seed);
     }
     return h.value();

@@ -71,8 +71,19 @@ namespace exp {
  * gated traffic-plan fields.  Timing of non-traffic cells is
  * unchanged, but the snapshot layout grew, so v6 snapshots must not
  * replay.
+ *
+ * v8: the overload-control layer landed.  TrafficPlan gained the
+ * exact-total/warmup/window knobs, the closed-pool arrival kind and
+ * the full OverloadPolicy (admission, finite queue, retry budget,
+ * degradation ladder) -- all hashed inside the gated traffic block.
+ * Traffic snapshots gained the warmup/steady split, the per-window
+ * series, per-stream shed/retry/failure counters and the overload
+ * section, and BENCH_*.json traffic objects grew the same fields
+ * (with count=0 summaries now emitting null percentiles).  Timing is
+ * unchanged, but the traffic snapshot layout grew, so v7 snapshots
+ * must not replay.
  */
-inline constexpr std::uint32_t kResultSchemaVersion = 7;
+inline constexpr std::uint32_t kResultSchemaVersion = 8;
 
 /** FNV-1a over a stream of tagged fields. */
 class FingerprintHasher

@@ -220,16 +220,45 @@ serializeCell(const ExperimentCell &cell)
 
     // Traffic cells append their exact tail-latency records.  The
     // flag line itself is written for every cell -- the section is
-    // part of the v7 layout, not an optional trailer.
+    // part of the v8 layout, not an optional trailer.
     os << "traffic " << (r.traffic.enabled ? 1 : 0) << '\n';
     if (r.traffic.enabled) {
         putLatency(os, "tOpen", r.traffic.open);
         putLatency(os, "tService", r.traffic.service);
+        putLatency(os, "tOpenWarm", r.traffic.openWarmup);
+        putLatency(os, "tOpenSteady", r.traffic.openSteady);
+        putLatency(os, "tServiceWarm", r.traffic.serviceWarmup);
+        putLatency(os, "tServiceSteady", r.traffic.serviceSteady);
+        os << "tWindows " << r.traffic.windows.size() << '\n';
+        for (const traffic::WindowLatency &w : r.traffic.windows) {
+            os << "tw " << w.window << ' ' << (w.warmup ? 1 : 0)
+               << '\n';
+            putLatency(os, "twOpen", w.open);
+            putLatency(os, "twService", w.service);
+        }
         os << "tStreams " << r.traffic.streams.size() << '\n';
         for (const traffic::StreamLatency &sl : r.traffic.streams) {
-            os << "ts " << sl.stream << ' ' << sl.core << '\n';
+            os << "ts " << sl.stream << ' ' << sl.core << ' '
+               << sl.shed << ' ' << sl.retries << ' ' << sl.failures
+               << '\n';
             putLatency(os, "tsOpen", sl.open);
             putLatency(os, "tsService", sl.service);
+        }
+        const traffic::OverloadResult &ov = r.traffic.overload;
+        os << "tOverload " << (ov.enabled ? 1 : 0) << '\n';
+        if (ov.enabled) {
+            os << "tOv " << ov.effectiveDepth << ' ' << ov.offered
+               << ' ' << ov.admitted << ' ' << ov.completed << ' '
+               << ov.goodput << ' ' << ov.timeouts << ' '
+               << ov.failures << ' ' << ov.steadyOffered << ' '
+               << ov.steadyGoodput << ' ' << ov.steadyHorizon << ' '
+               << ov.shedQueue << ' ' << ov.shedDeadline << ' '
+               << ov.shedToken << ' ' << ov.shedDegrade << ' '
+               << ov.retries << ' ' << ov.retryExhausted << ' '
+               << ov.degradeUp << ' ' << ov.degradeDown << ' '
+               << ov.maxDegradeLevel << '\n';
+            putLatency(os, "tOvOpen", ov.open);
+            putLatency(os, "tOvGoodput", ov.goodputOpen);
         }
     }
     os << "end\n";
@@ -429,19 +458,72 @@ deserializeCell(const std::string &text, const ExperimentPoint &point,
     if (r.traffic.enabled) {
         in.latency("tOpen", r.traffic.open);
         in.latency("tService", r.traffic.service);
+        in.latency("tOpenWarm", r.traffic.openWarmup);
+        in.latency("tOpenSteady", r.traffic.openSteady);
+        in.latency("tServiceWarm", r.traffic.serviceWarmup);
+        in.latency("tServiceSteady", r.traffic.serviceSteady);
+        const std::uint64_t wn = in.scalar("tWindows");
+        if (!in.ok() || wn > 64)
+            return std::nullopt;
+        r.traffic.windows.resize(wn);
+        for (traffic::WindowLatency &w : r.traffic.windows) {
+            in.expect("tw");
+            const auto v = in.vec(2);
+            if (!in.ok() || v[1] > 1)
+                return std::nullopt;
+            w.window = static_cast<unsigned>(v[0]);
+            w.warmup = v[1] == 1;
+            in.latency("twOpen", w.open);
+            in.latency("twService", w.service);
+        }
         const std::uint64_t n = in.scalar("tStreams");
         if (!in.ok())
             return std::nullopt;
         r.traffic.streams.resize(n);
         for (traffic::StreamLatency &sl : r.traffic.streams) {
             in.expect("ts");
-            const auto v = in.vec(2);
+            const auto v = in.vec(5);
             if (!in.ok())
                 return std::nullopt;
             sl.stream = static_cast<unsigned>(v[0]);
             sl.core = static_cast<unsigned>(v[1]);
+            sl.shed = v[2];
+            sl.retries = v[3];
+            sl.failures = v[4];
             in.latency("tsOpen", sl.open);
             in.latency("tsService", sl.service);
+        }
+        const std::uint64_t ov_on = in.scalar("tOverload");
+        if (!in.ok() || ov_on > 1)
+            return std::nullopt;
+        traffic::OverloadResult &ov = r.traffic.overload;
+        ov.enabled = ov_on == 1;
+        if (ov.enabled) {
+            in.expect("tOv");
+            const auto v = in.vec(19);
+            if (!in.ok())
+                return std::nullopt;
+            ov.effectiveDepth = v[0];
+            ov.offered = v[1];
+            ov.admitted = v[2];
+            ov.completed = v[3];
+            ov.goodput = v[4];
+            ov.timeouts = v[5];
+            ov.failures = v[6];
+            ov.steadyOffered = v[7];
+            ov.steadyGoodput = v[8];
+            ov.steadyHorizon = v[9];
+            ov.shedQueue = v[10];
+            ov.shedDeadline = v[11];
+            ov.shedToken = v[12];
+            ov.shedDegrade = v[13];
+            ov.retries = v[14];
+            ov.retryExhausted = v[15];
+            ov.degradeUp = v[16];
+            ov.degradeDown = v[17];
+            ov.maxDegradeLevel = static_cast<unsigned>(v[18]);
+            in.latency("tOvOpen", ov.open);
+            in.latency("tOvGoodput", ov.goodputOpen);
         }
     }
     in.expect("end");

@@ -46,10 +46,20 @@ jsonDouble(double v)
     return buf;
 }
 
-/** One exact latency record as an inline JSON object. */
+/**
+ * One exact latency record as an inline JSON object.  An empty
+ * population reports explicit nulls -- a zero percentile and a
+ * missing one are different claims, and shed-heavy overload cells
+ * produce genuinely empty populations.
+ */
 void
 emitLatency(std::ostream &os, const traffic::LatencySummary &s)
 {
+    if (s.count == 0) {
+        os << "{\"count\": 0, \"p50\": null, \"p99\": null, "
+              "\"p999\": null, \"max\": null, \"mean\": null}";
+        return;
+    }
     os << "{\"count\": " << s.count << ", \"p50\": " << s.p50
        << ", \"p99\": " << s.p99 << ", \"p999\": " << s.p999
        << ", \"max\": " << s.max << ", \"mean\": "
@@ -85,10 +95,21 @@ emitCell(std::ostream &os, const ExperimentCell &c)
            << traffic::arrivalKindName(tp.arrival.kind) << "\",\n";
         os << "      \"mean_gap\": " << jsonDouble(tp.arrival.meanGap)
            << ",\n";
+        if (tp.arrival.kind == traffic::ArrivalKind::ClosedPool) {
+            os << "      \"pool_size\": " << tp.arrival.poolSize
+               << ",\n";
+            os << "      \"think_time\": "
+               << jsonDouble(tp.arrival.thinkTime) << ",\n";
+        }
         os << "      \"zipf_theta\": "
            << jsonDouble(tp.mix.zipfTheta) << ",\n";
         os << "      \"read_fraction\": "
            << jsonDouble(tp.mix.readFraction) << ",\n";
+        os << "      \"warmup_permille\": " << tp.warmupPermille
+           << ",\n";
+        os << "      \"admission\": \""
+           << traffic::admissionKindName(tp.policy.admission)
+           << "\",\n";
         os << "      \"seed\": " << tp.seed << ",\n";
     } else if (c.point.conc) {
         // Concurrent-kernel cells have no transaction structure;
@@ -159,17 +180,75 @@ emitCell(std::ostream &os, const ExperimentCell &c)
         emitLatency(os, r.traffic.open);
         os << ",\n        \"service\": ";
         emitLatency(os, r.traffic.service);
-        os << ",\n        \"streams\": [";
+        // Headline steady-state numbers exclude the warmup fraction;
+        // the windows array is the per-window time series.
+        os << ",\n        \"open_warmup\": ";
+        emitLatency(os, r.traffic.openWarmup);
+        os << ",\n        \"open_steady\": ";
+        emitLatency(os, r.traffic.openSteady);
+        os << ",\n        \"service_warmup\": ";
+        emitLatency(os, r.traffic.serviceWarmup);
+        os << ",\n        \"service_steady\": ";
+        emitLatency(os, r.traffic.serviceSteady);
+        os << ",\n        \"windows\": [";
+        for (std::size_t i = 0; i < r.traffic.windows.size(); ++i) {
+            const traffic::WindowLatency &w = r.traffic.windows[i];
+            os << (i ? ", " : "") << "{\"window\": " << w.window
+               << ", \"warmup\": " << (w.warmup ? "true" : "false")
+               << ", \"open\": ";
+            emitLatency(os, w.open);
+            os << ", \"service\": ";
+            emitLatency(os, w.service);
+            os << "}";
+        }
+        os << "],\n        \"streams\": [";
         for (std::size_t i = 0; i < r.traffic.streams.size(); ++i) {
             const traffic::StreamLatency &sl = r.traffic.streams[i];
             os << (i ? ", " : "") << "{\"stream\": " << sl.stream
-               << ", \"core\": " << sl.core << ", \"open\": ";
+               << ", \"core\": " << sl.core << ", \"shed\": "
+               << sl.shed << ", \"retries\": " << sl.retries
+               << ", \"failures\": " << sl.failures << ", \"open\": ";
             emitLatency(os, sl.open);
             os << ", \"service\": ";
             emitLatency(os, sl.service);
             os << "}";
         }
-        os << "]\n      },\n";
+        os << "]";
+        if (r.traffic.overload.enabled) {
+            const traffic::OverloadResult &ov = r.traffic.overload;
+            os << ",\n        \"overload\": {\n";
+            os << "          \"effective_depth\": "
+               << ov.effectiveDepth << ",\n";
+            os << "          \"offered\": " << ov.offered << ",\n";
+            os << "          \"completed\": " << ov.completed
+               << ",\n";
+            os << "          \"goodput\": " << ov.goodput << ",\n";
+            os << "          \"timeouts\": " << ov.timeouts << ",\n";
+            os << "          \"failures\": " << ov.failures << ",\n";
+            os << "          \"steady_offered\": " << ov.steadyOffered
+               << ",\n";
+            os << "          \"steady_goodput\": " << ov.steadyGoodput
+               << ",\n";
+            os << "          \"steady_horizon\": " << ov.steadyHorizon
+               << ",\n";
+            os << "          \"shed\": {\"queue\": " << ov.shedQueue
+               << ", \"deadline\": " << ov.shedDeadline
+               << ", \"token\": " << ov.shedToken
+               << ", \"degrade\": " << ov.shedDegrade << "},\n";
+            os << "          \"retries\": " << ov.retries << ",\n";
+            os << "          \"retry_exhausted\": "
+               << ov.retryExhausted << ",\n";
+            os << "          \"degrade\": {\"up\": " << ov.degradeUp
+               << ", \"down\": " << ov.degradeDown
+               << ", \"max_level\": " << ov.maxDegradeLevel
+               << "},\n";
+            os << "          \"open\": ";
+            emitLatency(os, ov.open);
+            os << ",\n          \"goodput_open\": ";
+            emitLatency(os, ov.goodputOpen);
+            os << "\n        }";
+        }
+        os << "\n      },\n";
     }
     // Host-side measurement of the simulation itself; all-zero for
     // cache-restored cells (host wall time is never cached).

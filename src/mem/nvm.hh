@@ -124,6 +124,37 @@ class NvmDevice
     /** Fig. 10 distribution: occupancy sampled at each media write. */
     const Distribution &occupancyDist() const { return occupancy_; }
 
+    /**
+     * Mean sampled WPQ occupancy in permille of bufferSlots -- the
+     * congestion half of the traffic layer's backpressure signal.
+     * Integer arithmetic (0 with no samples) so downstream admission
+     * decisions are bit-stable.
+     */
+    std::uint64_t
+    meanOccupancyPermille() const
+    {
+        const std::uint64_t samples = occupancy_.totalSamples();
+        if (!samples || !params_.bufferSlots)
+            return 0;
+        return occupancy_.sampleSum() * 1000 /
+               (samples * params_.bufferSlots);
+    }
+
+    /**
+     * Accept rejections (buffer-full + fault-injected transient) in
+     * permille of all accept attempts -- the reject half of the
+     * backpressure signal.
+     */
+    std::uint64_t
+    rejectPermille() const
+    {
+        const std::uint64_t rejects =
+            stats_.bufferFullRejects + stats_.transientRejects;
+        const std::uint64_t attempts = stats_.writesAccepted +
+                                       stats_.cleansAccepted + rejects;
+        return attempts ? rejects * 1000 / attempts : 0;
+    }
+
     /** Install the persistence-domain entry hook. */
     void setPersistHook(PersistHook hook) { persistHook_ = std::move(hook); }
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "traffic/overload.hh"
 
 namespace ede {
 
@@ -76,8 +77,17 @@ Session::run(const RunRequest &request)
             completions.reserve(system_.coreCount());
             for (unsigned c = 0; c < system_.coreCount(); ++c)
                 completions.push_back(system_.completionCycles(c));
+            // The machine's own congestion feeds the replay's
+            // admission control: WPQ occupancy and accept rejects
+            // from this very run scale the finite queue depth.
+            const NvmDevice &nvm = system_.mem().controller().nvm();
+            traffic::BackpressureSignal signal;
+            signal.occupancyPermille = nvm.meanOccupancyPermille();
+            signal.rejectPermille = nvm.rejectPermille();
+            signal.transientRejects = nvm.stats().transientRejects;
+            signal.bufferFullRejects = nvm.stats().bufferFullRejects;
             r.stats.traffic = traffic::computeTrafficResult(
-                request.traffic, workload, completions);
+                request.traffic, workload, completions, signal);
         }
         return r;
     }

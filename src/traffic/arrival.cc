@@ -24,5 +24,13 @@ ArrivalProcess::next()
     return static_cast<Cycle>(clock_);
 }
 
+Cycle
+ArrivalProcess::thinkGap()
+{
+    const double u = rng_.real();
+    const double gap = -spec_.thinkTime * std::log(1.0 - u);
+    return static_cast<Cycle>(gap);
+}
+
 } // namespace traffic
 } // namespace ede

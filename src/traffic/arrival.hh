@@ -15,7 +15,17 @@
  *    and a burst state (mean gap divided by burstFactor) with
  *    probability pSwitch after each arrival, producing the clumped
  *    arrivals that hurt tails far more than their average rate
- *    suggests.
+ *    suggests;
+ *  - ClosedPool: a finite client pool per stream (the closed /
+ *    hybrid half of the classic open-vs-closed contrast).  Each of
+ *    poolSize clients thinks for a seeded exponential gap, issues
+ *    its next transaction, and only thinks again once that
+ *    transaction leaves the system -- so offered load is
+ *    self-limiting and the knee sweep can contrast how open load
+ *    diverges where closed load merely slows.  The per-transaction
+ *    think gaps are drawn at build time (thinkGap()); the actual
+ *    arrival stamps emerge in the replay, where completion times
+ *    are known.
  *
  * Determinism: every draw comes from an explicitly seeded Rng, and
  * the accumulated arrival clock is quantized to integer cycles only
@@ -35,7 +45,7 @@ namespace ede {
 namespace traffic {
 
 /** The modelled arrival processes. */
-enum class ArrivalKind { Poisson, Bursty };
+enum class ArrivalKind { Poisson, Bursty, ClosedPool };
 
 /** Printable process name (JSON / labels). */
 constexpr std::string_view
@@ -44,6 +54,7 @@ arrivalKindName(ArrivalKind k)
     switch (k) {
       case ArrivalKind::Poisson: return "poisson";
       case ArrivalKind::Bursty: return "bursty";
+      case ArrivalKind::ClosedPool: return "closed-pool";
     }
     return "<bad-arrival-kind>";
 }
@@ -61,6 +72,12 @@ struct ArrivalSpec
     double burstFactor = 8.0;  ///< Burst-state rate multiplier (>= 1).
     double pSwitch = 0.05;     ///< Per-arrival state-flip probability.
     /// @}
+
+    /** @name ClosedPool only. */
+    /// @{
+    unsigned poolSize = 4;      ///< Clients per stream (>= 1).
+    double thinkTime = 2000.0;  ///< Mean think gap, cycles (>= 0).
+    /// @}
 };
 
 /** A seeded generator of monotone arrival timestamps. */
@@ -74,6 +91,14 @@ class ArrivalProcess
 
     /** The next arrival's cycle stamp (non-decreasing). */
     Cycle next();
+
+    /**
+     * An independent think-gap draw (ClosedPool): exponential around
+     * thinkTime, quantized per draw -- no cumulative clock, since a
+     * closed client's arrival stamp is completion + think and only
+     * the replay knows the completion.
+     */
+    Cycle thinkGap();
 
   private:
     ArrivalSpec spec_;

@@ -53,13 +53,94 @@ struct LatencySummary
 /** Digest @p samples (consumed: selection reorders the vector). */
 LatencySummary summarize(std::vector<Cycle> samples);
 
-/** One stream's latency record. */
+/**
+ * One stream's latency record.  A count of zero in either summary is
+ * an explicit "no samples" verdict (the JSON sink emits absent
+ * percentiles, never zeros) -- it arises when every transaction of a
+ * stream was shed, or for an empty window slice.
+ */
 struct StreamLatency
 {
     unsigned stream = 0;     ///< Stream id.
     unsigned core = 0;       ///< Core the stream was multiplexed onto.
     LatencySummary open;     ///< Open-loop latency (depart - arrival).
     LatencySummary service;  ///< Pure service time (machine cycles).
+
+    /** @name Overload counters (zero unless a policy was active). */
+    /// @{
+    std::uint64_t shed = 0;      ///< Shed attempts (any reason).
+    std::uint64_t retries = 0;   ///< Budgeted retries spent.
+    std::uint64_t failures = 0;  ///< Permanently failed transactions.
+    /// @}
+};
+
+/**
+ * One progress window of the run: transactions are binned by their
+ * per-stream index (window = index * windows / txnsOfStream), so the
+ * series tracks run progression identically for open and closed-pool
+ * arrivals.  A window is flagged warmup when it lies entirely inside
+ * the warmup fraction of the run.
+ */
+struct WindowLatency
+{
+    unsigned window = 0;
+    bool warmup = false;
+    LatencySummary open;
+    LatencySummary service;
+};
+
+/**
+ * What the overload-control replay (traffic/overload.hh) reports when
+ * an admission policy is active.  Goodput counts transactions that
+ * completed AND met their deadline (every completion when no deadline
+ * is configured); completed-but-late transactions are timeouts.
+ * offered == completed + failures always holds.
+ */
+struct OverloadResult
+{
+    bool enabled = false;
+
+    /** Backpressure-scaled finite queue depth actually enforced. */
+    std::uint64_t effectiveDepth = 0;
+
+    std::uint64_t offered = 0;    ///< Distinct transactions offered.
+    std::uint64_t admitted = 0;   ///< Admission grants (= completions).
+    std::uint64_t completed = 0;
+    std::uint64_t goodput = 0;    ///< Completed within deadline.
+    std::uint64_t timeouts = 0;   ///< Completed but past deadline.
+    std::uint64_t failures = 0;   ///< Shed and never completed.
+
+    /** @name Steady-state slice (warmup transactions excluded). */
+    /// @{
+    std::uint64_t steadyOffered = 0;
+    std::uint64_t steadyGoodput = 0;
+    /** First steady arrival to last arrival, for goodput *rates*. */
+    Cycle steadyHorizon = 0;
+    /// @}
+
+    /** @name Shed attempts by reason. */
+    /// @{
+    std::uint64_t shedQueue = 0;     ///< Finite queue full.
+    std::uint64_t shedDeadline = 0;  ///< Predicted start past deadline.
+    std::uint64_t shedToken = 0;     ///< Token bucket empty.
+    std::uint64_t shedDegrade = 0;   ///< Escalation-ladder rejections.
+    /// @}
+
+    /** @name Retry budget. */
+    /// @{
+    std::uint64_t retries = 0;
+    std::uint64_t retryExhausted = 0;  ///< Failures with budget spent.
+    /// @}
+
+    /** @name Graceful-degradation ladder. */
+    /// @{
+    std::uint64_t degradeUp = 0;
+    std::uint64_t degradeDown = 0;
+    unsigned maxDegradeLevel = 0;  ///< Highest DegradeLevel reached.
+    /// @}
+
+    LatencySummary open;         ///< Completed txns, client-perceived.
+    LatencySummary goodputOpen;  ///< Deadline-met txns only.
 };
 
 /** Everything a traffic run reports beyond the closed-loop counters. */
@@ -68,7 +149,19 @@ struct TrafficResult
     bool enabled = false;          ///< True only for traffic runs.
     LatencySummary open;           ///< Aggregate over every txn.
     LatencySummary service;
+
+    /** @name Warmup vs steady-state split of the aggregates. */
+    /// @{
+    LatencySummary openWarmup;
+    LatencySummary openSteady;
+    LatencySummary serviceWarmup;
+    LatencySummary serviceSteady;
+    /// @}
+
+    std::vector<WindowLatency> windows;  ///< Progress time series.
     std::vector<StreamLatency> streams;  ///< Stream-id order.
+
+    OverloadResult overload;  ///< enabled only when a policy ran.
 };
 
 } // namespace traffic

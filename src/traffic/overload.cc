@@ -1,0 +1,516 @@
+#include "traffic/overload.hh"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace ede {
+namespace traffic {
+namespace {
+
+/** Seed of the jitter lane for one (stream, txn, attempt). */
+std::uint64_t
+jitterSeed(std::uint64_t seed, unsigned stream, std::uint32_t index,
+           unsigned attempt)
+{
+    return seed ^
+           ((static_cast<std::uint64_t>(stream) + 1) *
+            0x9e3779b97f4a7c15ull) ^
+           ((static_cast<std::uint64_t>(index) + 1) *
+            0xbf58476d1ce4e5b9ull) ^
+           (static_cast<std::uint64_t>(attempt) *
+            0x94d049bb133111ebull);
+}
+
+/**
+ * One queued admission attempt.  The heap pops strictly increasing
+ * (arrival, seq, attempt) triples: seq is the job's emission
+ * position, reproducing the old stable-sort's emission-order
+ * tie-break, and every insert carries an arrival >= the popping
+ * attempt's (retries back off forward, closed-pool releases happen
+ * at completion), so pop order is monotone in arrival.
+ */
+struct Attempt
+{
+    Cycle arrival = 0;
+    std::uint64_t seq = 0;
+    unsigned attempt = 0;    ///< 0 = first try.
+    Cycle origArrival = 0;   ///< Client-perceived start of the txn.
+    std::size_t jobIdx = 0;
+};
+
+struct AttemptAfter
+{
+    bool
+    operator()(const Attempt &a, const Attempt &b) const
+    {
+        if (a.arrival != b.arrival)
+            return a.arrival > b.arrival;
+        if (a.seq != b.seq)
+            return a.seq > b.seq;
+        return a.attempt > b.attempt;
+    }
+};
+
+enum class ShedReason { None, Queue, Deadline, Token, Degrade };
+
+} // namespace
+
+std::vector<std::vector<OverloadJob>>
+buildOverloadJobs(const TrafficPlan &plan,
+                  const TrafficWorkload &workload,
+                  const std::vector<std::vector<Cycle>> &completions)
+{
+    const unsigned coreCount =
+        static_cast<unsigned>(workload.traces.size());
+    ede_assert(completions.size() == coreCount,
+               "traffic completions must cover every core");
+    for (unsigned c = 0; c < coreCount; ++c) {
+        ede_assert(completions[c].size() == workload.traces[c].size(),
+                   "traffic completions must cover every trace index");
+    }
+
+    // Closed-loop service times: each transaction occupies its core
+    // from the previous transaction's retirement to its own, so
+    // S = F_i - F_{i-1} with the preamble's completion seeding the
+    // recursion.  The subtraction telescopes: per-core sums equal
+    // the core's total post-preamble cycles.
+    std::vector<Cycle> coreLast(coreCount);
+    for (unsigned c = 0; c < coreCount; ++c) {
+        ede_assert(workload.preambleEnd[c] >= 1,
+                   "traffic preamble must emit at least one inst");
+        coreLast[c] = completions[c][workload.preambleEnd[c] - 1];
+    }
+
+    std::vector<std::vector<OverloadJob>> coreJobs(coreCount);
+    for (const TxnRecord &rec : workload.txns) {
+        ede_assert(rec.last > rec.first,
+                   "traffic transactions emit at least one inst");
+        // The stamp is the *execution* completion of the final
+        // instruction, which an out-of-order core may deliver before
+        // an older transaction's straggler; monotonize so service
+        // times stay non-negative and still telescope.
+        const Cycle finish =
+            std::max(completions[rec.core][rec.last - 1],
+                     coreLast[rec.core]);
+        const Cycle service = finish - coreLast[rec.core];
+        coreLast[rec.core] = finish;
+
+        OverloadJob job;
+        job.stream = rec.stream;
+        job.core = rec.core;
+        job.index = rec.index;
+        job.kind = rec.kind;
+        job.arrival = rec.arrival;
+        job.think = rec.think;
+        job.service = service;
+        // Warmup/window classification by per-stream index: the
+        // first floor(n * permille / 1000) transactions of each
+        // stream are warmup, and window w covers per-stream progress
+        // fraction [w/W, (w+1)/W).  Index-based, not arrival-based,
+        // so the classification is identical for open and closed
+        // arrivals and never depends on the offered load.
+        const std::uint64_t n = trafficTxnsOfStream(plan, rec.stream);
+        job.warmup = rec.index < n * plan.warmupPermille / 1000;
+        job.window = static_cast<unsigned>(
+            rec.index * static_cast<std::uint64_t>(
+                            plan.latencyWindows) / n);
+        coreJobs[rec.core].push_back(job);
+    }
+    return coreJobs;
+}
+
+ReplayOutput
+replayOverload(const TrafficPlan &plan,
+               const std::vector<std::vector<OverloadJob>> &coreJobs,
+               const OverloadPolicy &policy,
+               const BackpressureSignal &signal)
+{
+    const bool active = policy.active();
+    const bool closed = plan.arrival.kind == ArrivalKind::ClosedPool;
+    const unsigned poolSize = plan.arrival.poolSize;
+
+    ReplayOutput out;
+    out.streams.resize(plan.streams);
+    out.totals.enabled = active;
+    const std::uint64_t effDepth =
+        active ? effectiveQueueDepth(policy, signal) : 0;
+    out.totals.effectiveDepth = effDepth;
+
+    std::size_t totalJobs = 0;
+    for (const auto &jobs : coreJobs)
+        totalJobs += jobs.size();
+    out.txns.reserve(totalJobs);
+
+    // The retry budget is per stream, and a stream lives on exactly
+    // one core, so a flat vector shared across the core loop is safe.
+    std::vector<std::uint64_t> retryBudget(plan.streams,
+                                           policy.retryBudget);
+
+    bool haveSteady = false;
+    Cycle steadyMin = 0;
+    Cycle arrMax = 0;
+
+    for (const std::vector<OverloadJob> &jobs : coreJobs) {
+        std::priority_queue<Attempt, std::vector<Attempt>,
+                            AttemptAfter> pq;
+
+        // Closed pool: per (stream, client) transaction lists in
+        // index order; a client's next transaction is released when
+        // its previous one leaves the system (completion or
+        // permanent failure) plus the next think gap.
+        std::vector<std::vector<std::vector<std::size_t>>> clientJobs;
+        std::vector<std::vector<std::size_t>> clientPos;
+        auto releaseNext = [&](unsigned stream, unsigned client,
+                               Cycle when) {
+            const std::vector<std::size_t> &list =
+                clientJobs[stream][client];
+            std::size_t &pos = clientPos[stream][client];
+            if (pos >= list.size())
+                return;
+            const std::size_t j = list[pos++];
+            const Cycle a = when + jobs[j].think;
+            pq.push(Attempt{a, j, 0, a, j});
+        };
+
+        if (closed) {
+            clientJobs.assign(
+                plan.streams,
+                std::vector<std::vector<std::size_t>>(poolSize));
+            clientPos.assign(plan.streams,
+                             std::vector<std::size_t>(poolSize, 0));
+            for (std::size_t j = 0; j < jobs.size(); ++j) {
+                clientJobs[jobs[j].stream][jobs[j].index % poolSize]
+                    .push_back(j);
+            }
+            for (unsigned s = 0; s < plan.streams; ++s)
+                for (unsigned c = 0; c < poolSize; ++c)
+                    releaseNext(s, c, 0);
+        } else {
+            for (std::size_t j = 0; j < jobs.size(); ++j) {
+                pq.push(Attempt{jobs[j].arrival, j, 0,
+                                jobs[j].arrival, j});
+            }
+        }
+
+        // Per-core server and policy state.
+        Cycle serverDepart = 0;
+        std::deque<Cycle> waiting;  ///< Starts of queued admissions.
+        std::uint64_t tokens1024 =
+            static_cast<std::uint64_t>(policy.tokenBurst) * 1024;
+        Cycle tokenLast = 0;
+        DegradeLevel level = DegradeLevel::Normal;
+        std::deque<bool> window;
+        std::uint64_t windowShed = 0;
+
+        while (!pq.empty()) {
+            const Attempt p = pq.top();
+            pq.pop();
+            const OverloadJob &job = jobs[p.jobIdx];
+            const Cycle a = p.arrival;
+
+            if (p.attempt == 0) {
+                ++out.totals.offered;
+                arrMax = std::max(arrMax, p.origArrival);
+                if (!job.warmup) {
+                    ++out.totals.steadyOffered;
+                    if (!haveSteady || p.origArrival < steadyMin) {
+                        haveSteady = true;
+                        steadyMin = p.origArrival;
+                    }
+                }
+            }
+
+            // Admissions whose start has passed left the waiting
+            // room (at most one is now in service).
+            while (!waiting.empty() && waiting.front() <= a)
+                waiting.pop_front();
+
+            ShedReason shed = ShedReason::None;
+            if (active) {
+                if (policy.admission == AdmissionKind::TokenBucket) {
+                    tokens1024 = std::min<std::uint64_t>(
+                        static_cast<std::uint64_t>(policy.tokenBurst)
+                            * 1024,
+                        tokens1024 + (a - tokenLast) *
+                                         policy.tokenRatePerKCycle);
+                    tokenLast = a;
+                }
+
+                // The pressure verdict: would the admission policy
+                // shed this attempt?  Evaluated even when the ladder
+                // is already rejecting, because the sliding window
+                // must see pressure *clear* for recovery to happen.
+                ShedReason pressure = ShedReason::None;
+                if (waiting.size() >= effDepth) {
+                    pressure = ShedReason::Queue;
+                } else if (policy.admission == AdmissionKind::Deadline) {
+                    // Completion-predictive shedding: reject when
+                    // the transaction, started as early as possible,
+                    // would still finish past its deadline.  Shedding
+                    // on the predicted *start* alone admits jobs that
+                    // start just under the wire and complete past it
+                    // -- under sustained overload those timeouts
+                    // concentrate at the boundary and burn server
+                    // capacity without producing goodput.
+                    const Cycle predictedDone =
+                        std::max(a, serverDepart) + job.service;
+                    if (predictedDone >
+                        p.origArrival + policy.deadline) {
+                        pressure = ShedReason::Deadline;
+                    }
+                } else if (policy.admission ==
+                           AdmissionKind::TokenBucket) {
+                    if (tokens1024 < 1024)
+                        pressure = ShedReason::Token;
+                }
+
+                if (policy.degrade) {
+                    window.push_back(pressure != ShedReason::None);
+                    if (window.back())
+                        ++windowShed;
+                    if (window.size() > policy.shedWindow) {
+                        if (window.front())
+                            --windowShed;
+                        window.pop_front();
+                    }
+                    // Transitions get a fresh observation window so
+                    // a saturated window can't ratchet straight to
+                    // reject-all (and, symmetrically, so recovery
+                    // re-earns each rung).
+                    if (window.size() == policy.shedWindow) {
+                        const std::uint64_t rate =
+                            windowShed * 1000 / policy.shedWindow;
+                        if (rate >= policy.degradePermille &&
+                            level < DegradeLevel::RejectAll) {
+                            level = static_cast<DegradeLevel>(
+                                static_cast<unsigned>(level) + 1);
+                            ++out.totals.degradeUp;
+                            out.totals.maxDegradeLevel = std::max(
+                                out.totals.maxDegradeLevel,
+                                static_cast<unsigned>(level));
+                            window.clear();
+                            windowShed = 0;
+                        } else if (rate <= policy.recoverPermille &&
+                                   level > DegradeLevel::Normal) {
+                            level = static_cast<DegradeLevel>(
+                                static_cast<unsigned>(level) - 1);
+                            ++out.totals.degradeDown;
+                            window.clear();
+                            windowShed = 0;
+                        }
+                    }
+                }
+
+                // Ladder rejections dominate the pressure verdict.
+                if (level == DegradeLevel::RejectAll) {
+                    shed = ShedReason::Degrade;
+                } else if (level == DegradeLevel::ReadMostly &&
+                           job.kind == TxnKind::Update) {
+                    shed = ShedReason::Degrade;
+                } else {
+                    shed = pressure;
+                }
+            }
+
+            if (shed == ShedReason::None) {
+                // Admit: the server takes the job FCFS.
+                ++out.totals.admitted;
+                if (active &&
+                    policy.admission == AdmissionKind::TokenBucket)
+                    tokens1024 -= 1024;
+                const Cycle start = std::max(a, serverDepart);
+                if (start > a)
+                    waiting.push_back(start);
+                const Cycle depart = start + job.service;
+                serverDepart = depart;
+
+                ++out.totals.completed;
+                const Cycle open = depart - p.origArrival;
+                bool good = true;
+                if (active && policy.deadline > 0 &&
+                    open > policy.deadline) {
+                    good = false;
+                    ++out.totals.timeouts;
+                } else {
+                    ++out.totals.goodput;
+                    if (!job.warmup)
+                        ++out.totals.steadyGoodput;
+                }
+                out.txns.push_back(
+                    ReplayedTxn{&job, true, good, open,
+                                p.attempt + 1});
+                if (closed) {
+                    releaseNext(job.stream, job.index % poolSize,
+                                depart);
+                }
+                continue;
+            }
+
+            // Shed.
+            ++out.streams[job.stream].shed;
+            switch (shed) {
+              case ShedReason::Queue:
+                ++out.totals.shedQueue;
+                break;
+              case ShedReason::Deadline:
+                ++out.totals.shedDeadline;
+                break;
+              case ShedReason::Token:
+                ++out.totals.shedToken;
+                break;
+              case ShedReason::Degrade:
+                ++out.totals.shedDegrade;
+                break;
+              case ShedReason::None:
+                break;
+            }
+
+            if (policy.retryBudget > 0 && retryBudget[job.stream] > 0) {
+                --retryBudget[job.stream];
+                ++out.totals.retries;
+                ++out.streams[job.stream].retries;
+                const Cycle backoff = std::min<Cycle>(
+                    policy.retryBackoffCap,
+                    policy.retryBackoffBase
+                        << std::min<unsigned>(p.attempt, 20));
+                Rng jrng(jitterSeed(plan.seed, job.stream, job.index,
+                                    p.attempt + 1));
+                const Cycle jitter = jrng.below(backoff / 2 + 1);
+                pq.push(Attempt{a + backoff + jitter, p.seq,
+                                p.attempt + 1, p.origArrival,
+                                p.jobIdx});
+            } else {
+                ++out.totals.failures;
+                ++out.streams[job.stream].failures;
+                if (policy.retryBudget > 0)
+                    ++out.totals.retryExhausted;
+                out.txns.push_back(
+                    ReplayedTxn{&job, false, false, 0,
+                                p.attempt + 1});
+                // A failed closed client gives up and thinks again.
+                if (closed)
+                    releaseNext(job.stream, job.index % poolSize, a);
+            }
+        }
+    }
+
+    ede_assert(out.totals.offered ==
+                   out.totals.completed + out.totals.failures,
+               "every offered transaction completes or fails");
+
+    out.totals.steadyHorizon =
+        haveSteady && arrMax > steadyMin ? arrMax - steadyMin : 0;
+
+    std::vector<Cycle> openSamples;
+    std::vector<Cycle> goodSamples;
+    openSamples.reserve(out.txns.size());
+    for (const ReplayedTxn &t : out.txns) {
+        if (!t.completed)
+            continue;
+        openSamples.push_back(t.open);
+        if (t.goodput)
+            goodSamples.push_back(t.open);
+    }
+    out.totals.open = summarize(std::move(openSamples));
+    out.totals.goodputOpen = summarize(std::move(goodSamples));
+    return out;
+}
+
+TrafficResult
+computeTrafficResult(
+    const TrafficPlan &plan, const TrafficWorkload &workload,
+    const std::vector<std::vector<Cycle>> &completions,
+    const BackpressureSignal &signal)
+{
+    const unsigned coreCount =
+        static_cast<unsigned>(workload.traces.size());
+    const std::vector<std::vector<OverloadJob>> coreJobs =
+        buildOverloadJobs(plan, workload, completions);
+
+    // The headline records come from the policy-free replay: the
+    // plain Lindley recursion, which completes every transaction.
+    const OverloadPolicy nullPolicy;
+    const ReplayOutput base =
+        replayOverload(plan, coreJobs, nullPolicy, signal);
+
+    const unsigned W = plan.latencyWindows;
+    std::vector<Cycle> openAll, serviceAll;
+    std::vector<Cycle> openWarm, openSteady;
+    std::vector<Cycle> serviceWarm, serviceSteady;
+    std::vector<std::vector<Cycle>> openByStream(plan.streams);
+    std::vector<std::vector<Cycle>> serviceByStream(plan.streams);
+    std::vector<std::vector<Cycle>> openByWin(W);
+    std::vector<std::vector<Cycle>> serviceByWin(W);
+    openAll.reserve(base.txns.size());
+    serviceAll.reserve(base.txns.size());
+
+    for (const ReplayedTxn &t : base.txns) {
+        ede_assert(t.completed,
+                   "the policy-free replay completes everything");
+        const OverloadJob &job = *t.job;
+        openAll.push_back(t.open);
+        serviceAll.push_back(job.service);
+        openByStream[job.stream].push_back(t.open);
+        serviceByStream[job.stream].push_back(job.service);
+        if (job.warmup) {
+            openWarm.push_back(t.open);
+            serviceWarm.push_back(job.service);
+        } else {
+            openSteady.push_back(t.open);
+            serviceSteady.push_back(job.service);
+        }
+        openByWin[job.window].push_back(t.open);
+        serviceByWin[job.window].push_back(job.service);
+    }
+
+    TrafficResult result;
+    result.enabled = true;
+    result.open = summarize(std::move(openAll));
+    result.service = summarize(std::move(serviceAll));
+    result.openWarmup = summarize(std::move(openWarm));
+    result.openSteady = summarize(std::move(openSteady));
+    result.serviceWarmup = summarize(std::move(serviceWarm));
+    result.serviceSteady = summarize(std::move(serviceSteady));
+
+    result.windows.reserve(W);
+    for (unsigned w = 0; w < W; ++w) {
+        WindowLatency wl;
+        wl.window = w;
+        // Flagged warmup when the whole window lies inside the
+        // warmup fraction of the run.
+        wl.warmup = (w + 1) * 1000 <=
+                    static_cast<std::uint64_t>(plan.warmupPermille) * W;
+        wl.open = summarize(std::move(openByWin[w]));
+        wl.service = summarize(std::move(serviceByWin[w]));
+        result.windows.push_back(wl);
+    }
+
+    result.streams.reserve(plan.streams);
+    for (unsigned s = 0; s < plan.streams; ++s) {
+        StreamLatency sl;
+        sl.stream = s;
+        sl.core = s % coreCount;
+        sl.open = summarize(std::move(openByStream[s]));
+        sl.service = summarize(std::move(serviceByStream[s]));
+        result.streams.push_back(sl);
+    }
+
+    if (plan.policy.active()) {
+        const ReplayOutput ov =
+            replayOverload(plan, coreJobs, plan.policy, signal);
+        result.overload = ov.totals;
+        for (unsigned s = 0; s < plan.streams; ++s) {
+            result.streams[s].shed = ov.streams[s].shed;
+            result.streams[s].retries = ov.streams[s].retries;
+            result.streams[s].failures = ov.streams[s].failures;
+        }
+    }
+    return result;
+}
+
+} // namespace traffic
+} // namespace ede

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic overload-control replay over measured service times.
+ *
+ * This is the serving-path half of the traffic harness: the machine
+ * run stays closed-loop and arrival-independent (stream_mux.hh), and
+ * this module replays the measured per-transaction service times
+ * through a single-server FCFS queue per core -- now with the
+ * control surface of a production serving stack in front of it
+ * (policy.hh): a backpressure-scaled finite queue, pluggable
+ * admission, budgeted retries, and a graceful-degradation ladder.
+ *
+ * One engine, two uses:
+ *
+ *  - with the policy inactive it *is* the PR-9 Lindley replay (every
+ *    job admitted, served in arrival order with emission-order
+ *    ties), and computeTrafficResult builds the headline latency
+ *    records from it;
+ *  - with a policy active it additionally replays the admission /
+ *    retry / degradation story and reports goodput, shed, retry,
+ *    timeout and ladder counters (OverloadResult).
+ *
+ * Determinism argument: every quantity is an integer cycle count or
+ * counter; jobs are processed in strictly increasing (arrival, seq,
+ * attempt) order from a priority queue whose inserts never precede
+ * the last pop (retries back off forward in time, closed-pool
+ * releases happen at completion), so the replay order is a pure
+ * function of (plan, measured service times, signal).  The policies
+ * consume service times, they never perturb the trace -- the machine
+ * run remains bit-identical across offered loads, --jobs counts and
+ * both tickers, and so do these records.
+ */
+
+#ifndef EDE_TRAFFIC_OVERLOAD_HH
+#define EDE_TRAFFIC_OVERLOAD_HH
+
+#include <vector>
+
+#include "traffic/policy.hh"
+#include "traffic/stream_mux.hh"
+
+namespace ede {
+namespace traffic {
+
+/**
+ * One transaction as the replay engine sees it: schedule identity,
+ * measured service time, and its precomputed warmup/window
+ * classification (by per-stream index, so the classification is
+ * arrival-independent and identical for open and closed arrivals).
+ */
+struct OverloadJob
+{
+    unsigned stream = 0;
+    unsigned core = 0;
+    std::uint32_t index = 0;  ///< Per-stream transaction index.
+    TxnKind kind = TxnKind::Read;
+    Cycle arrival = 0;   ///< Open-loop stamp (unused for ClosedPool).
+    Cycle think = 0;     ///< ClosedPool think gap preceding this txn.
+    Cycle service = 0;   ///< Measured closed-loop service time.
+    bool warmup = false;
+    unsigned window = 0;
+};
+
+/** One transaction's replay outcome. */
+struct ReplayedTxn
+{
+    const OverloadJob *job = nullptr;
+    bool completed = false;
+    bool goodput = false;   ///< Completed within the deadline.
+    Cycle open = 0;         ///< depart - original arrival (completed).
+    unsigned attempts = 0;  ///< Admission attempts consumed.
+};
+
+/** Per-stream overload counters. */
+struct StreamOverload
+{
+    std::uint64_t shed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t failures = 0;
+};
+
+/** Everything one replay pass produces. */
+struct ReplayOutput
+{
+    OverloadResult totals;
+    std::vector<ReplayedTxn> txns;      ///< Cores in order, pop order.
+    std::vector<StreamOverload> streams;  ///< Stream-id order.
+};
+
+/**
+ * Measure every transaction's service time from the completion
+ * stamps and classify it into warmup/window bins.  Jobs are grouped
+ * per core in emission (schedule) order.
+ */
+std::vector<std::vector<OverloadJob>> buildOverloadJobs(
+    const TrafficPlan &plan, const TrafficWorkload &workload,
+    const std::vector<std::vector<Cycle>> &completions);
+
+/**
+ * Replay @p coreJobs through the per-core FCFS servers under
+ * @p policy (an inactive policy admits everything -- the plain
+ * Lindley replay).  @p signal scales the finite queue depth; it is
+ * ignored when the policy is inactive.
+ */
+ReplayOutput replayOverload(
+    const TrafficPlan &plan,
+    const std::vector<std::vector<OverloadJob>> &coreJobs,
+    const OverloadPolicy &policy, const BackpressureSignal &signal);
+
+/**
+ * The full post-run traffic computation Session::run invokes: the
+ * base (policy-free) replay yields the headline open/service
+ * records, their warmup/steady split, the per-window series and the
+ * per-stream records; when plan.policy is active a second replay
+ * under the policy fills result.overload and the per-stream
+ * shed/retry/failure counters.  @p completions holds each core's
+ * per-trace-index completion cycles (System::completionCycles).
+ */
+TrafficResult computeTrafficResult(
+    const TrafficPlan &plan, const TrafficWorkload &workload,
+    const std::vector<std::vector<Cycle>> &completions,
+    const BackpressureSignal &signal);
+
+} // namespace traffic
+} // namespace ede
+
+#endif // EDE_TRAFFIC_OVERLOAD_HH

@@ -1,0 +1,21 @@
+#include "traffic/policy.hh"
+
+#include <algorithm>
+
+namespace ede {
+namespace traffic {
+
+std::uint64_t
+effectiveQueueDepth(const OverloadPolicy &policy,
+                    const BackpressureSignal &signal)
+{
+    const std::uint64_t pressure =
+        std::min<std::uint64_t>(1000, signal.occupancyPermille +
+                                          signal.rejectPermille);
+    const std::uint64_t depth =
+        policy.queueDepth * (1200 - pressure) / 1200;
+    return std::max<std::uint64_t>(1, depth);
+}
+
+} // namespace traffic
+} // namespace ede

@@ -164,8 +164,21 @@ validateTrafficPlan(const TrafficPlan &plan, Config cfg,
         return invalid("traffic plan needs >= 1 stream");
     if (plan.txnsPerStream < 1)
         return invalid("traffic plan needs >= 1 txn per stream");
+    if (plan.totalTxns < 0)
+        return invalid("traffic total txn count must be >= 0");
+    if (plan.totalTxns > 0 &&
+        static_cast<unsigned>(plan.totalTxns) < plan.streams) {
+        return invalid("traffic plan has more streams than "
+                       "transactions: every stream must issue at "
+                       "least one");
+    }
     if (plan.opsPerTxn < 1)
         return invalid("traffic plan needs >= 1 op per txn");
+    if (plan.warmupPermille > 999)
+        return invalid("traffic warmup fraction must be < 1000 "
+                       "permille");
+    if (plan.latencyWindows < 1 || plan.latencyWindows > 64)
+        return invalid("traffic latency windows must be in [1, 64]");
     if (plan.mix.keys < 1 || plan.mix.keys > kTrafficMaxKeys)
         return invalid("traffic keyspace must be in [1, 4096]");
     if (!(plan.mix.readFraction >= 0.0 &&
@@ -179,6 +192,52 @@ validateTrafficPlan(const TrafficPlan &plan, Config cfg,
         return invalid("traffic burst factor must be >= 1");
     if (!(plan.arrival.pSwitch >= 0.0 && plan.arrival.pSwitch <= 1.0))
         return invalid("traffic burst switch prob must be in [0, 1]");
+    if (plan.arrival.kind == ArrivalKind::ClosedPool) {
+        if (plan.arrival.poolSize < 1)
+            return invalid("closed-pool arrivals need >= 1 client");
+        if (!(plan.arrival.thinkTime >= 0.0))
+            return invalid("closed-pool think time must be >= 0");
+    }
+
+    // Overload-policy knobs: validated only when an admission policy
+    // gates the replay; retry/degrade knobs without one are a
+    // contradiction worth a typed rejection rather than a silent
+    // no-op.
+    const OverloadPolicy &pol = plan.policy;
+    if (!pol.active() && (pol.retryBudget > 0 || pol.degrade)) {
+        return invalid("overload retry/degrade knobs need an "
+                       "admission policy");
+    }
+    if (pol.active()) {
+        if (pol.queueDepth < 1)
+            return invalid("overload queue depth must be >= 1");
+        if (pol.admission == AdmissionKind::Deadline &&
+            pol.deadline < 1) {
+            return invalid("deadline admission needs a deadline "
+                           ">= 1 cycle");
+        }
+        if (pol.admission == AdmissionKind::TokenBucket &&
+            (pol.tokenRatePerKCycle < 1 || pol.tokenBurst < 1)) {
+            return invalid("token-bucket admission needs rate and "
+                           "burst >= 1");
+        }
+        if (pol.retryBudget > 0 &&
+            (pol.retryBackoffBase < 1 ||
+             pol.retryBackoffCap < pol.retryBackoffBase)) {
+            return invalid("retry backoff needs base >= 1 and "
+                           "cap >= base");
+        }
+        if (pol.degrade) {
+            if (pol.shedWindow < 1)
+                return invalid("degrade shed window must be >= 1");
+            if (pol.degradePermille < 1 || pol.degradePermille > 1000)
+                return invalid("degrade threshold must be in "
+                               "[1, 1000] permille");
+            if (pol.recoverPermille >= pol.degradePermille)
+                return invalid("degrade hysteresis needs recover "
+                               "threshold < degrade threshold");
+        }
+    }
     if (configUsesEde(cfg) && coreCount > kMaxTrafficEdeCores) {
         return TrafficCheck{
             SimErrorKind::CoreCountKeyExhausted,
@@ -217,11 +276,18 @@ buildTrafficWorkload(const TrafficPlan &plan, Config cfg,
     // resident streams in a fixed rotation that depends only on
     // (plan shape, coreCount) -- never on arrivals -- which is what
     // keeps the trace (and the machine's closed-loop cycles)
-    // bit-identical across offered loads.
-    wl.txns.reserve(static_cast<std::size_t>(plan.streams) *
-                    static_cast<std::size_t>(plan.txnsPerStream));
-    for (int t = 0; t < plan.txnsPerStream; ++t) {
+    // bit-identical across offered loads.  Stream 0 always carries
+    // the largest per-stream share, so its count bounds the rounds.
+    const bool closed = plan.arrival.kind == ArrivalKind::ClosedPool;
+    std::uint64_t total = 0;
+    for (unsigned s = 0; s < plan.streams; ++s)
+        total += trafficTxnsOfStream(plan, s);
+    wl.txns.reserve(total);
+    const std::uint64_t rounds = trafficTxnsOfStream(plan, 0);
+    for (std::uint64_t t = 0; t < rounds; ++t) {
         for (unsigned s = 0; s < plan.streams; ++s) {
+            if (t >= trafficTxnsOfStream(plan, s))
+                continue;
             const unsigned core = s % coreCount;
             StreamGen &sg = streams[s];
 
@@ -230,7 +296,10 @@ buildTrafficWorkload(const TrafficPlan &plan, Config cfg,
             rec.core = core;
             rec.index = static_cast<std::uint32_t>(t);
             rec.kind = drawTxnKind(plan.mix, sg.rng);
-            rec.arrival = sg.arrivals.next();
+            if (closed)
+                rec.think = sg.arrivals.thinkGap();
+            else
+                rec.arrival = sg.arrivals.next();
             rec.first = wl.traces[core].size();
             if (rec.kind == TxnKind::Read)
                 emitReadTxn(gens[core], sg, s, plan.opsPerTxn);
@@ -242,103 +311,6 @@ buildTrafficWorkload(const TrafficPlan &plan, Config cfg,
         }
     }
     return wl;
-}
-
-TrafficResult
-computeTrafficResult(
-    const TrafficPlan &plan, const TrafficWorkload &workload,
-    const std::vector<std::vector<Cycle>> &completions)
-{
-    const unsigned coreCount =
-        static_cast<unsigned>(workload.traces.size());
-    ede_assert(completions.size() == coreCount,
-               "traffic completions must cover every core");
-    for (unsigned c = 0; c < coreCount; ++c) {
-        ede_assert(completions[c].size() == workload.traces[c].size(),
-                   "traffic completions must cover every trace index");
-    }
-
-    // Closed-loop service times: each transaction occupies its core
-    // from the previous transaction's retirement to its own, so
-    // S = F_i - F_{i-1} with the preamble's completion seeding the
-    // recursion.  The subtraction telescopes: per-core sums equal
-    // the core's total post-preamble cycles.
-    std::vector<Cycle> coreLast(coreCount);
-    for (unsigned c = 0; c < coreCount; ++c) {
-        ede_assert(workload.preambleEnd[c] >= 1,
-                   "traffic preamble must emit at least one inst");
-        coreLast[c] = completions[c][workload.preambleEnd[c] - 1];
-    }
-
-    // First pass, in emission order: measure every transaction's
-    // service time from the completion stamps.
-    struct Job
-    {
-        const TxnRecord *rec;
-        Cycle service;
-    };
-    std::vector<std::vector<Job>> coreJobs(coreCount);
-    for (const TxnRecord &rec : workload.txns) {
-        ede_assert(rec.last > rec.first,
-                   "traffic transactions emit at least one inst");
-        // The stamp is the *execution* completion of the final
-        // instruction, which an out-of-order core may deliver before
-        // an older transaction's straggler; monotonize so service
-        // times stay non-negative and still telescope.
-        const Cycle finish =
-            std::max(completions[rec.core][rec.last - 1],
-                     coreLast[rec.core]);
-        const Cycle service = finish - coreLast[rec.core];
-        coreLast[rec.core] = finish;
-        coreJobs[rec.core].push_back(Job{&rec, service});
-    }
-
-    // Open-loop replay (Lindley recursion) per core: the server
-    // takes jobs in ARRIVAL order -- not the round-robin emission
-    // order, whose interleaving of independently-drifting stream
-    // clocks would charge an early arrival for a late neighbour --
-    // and each job holds the server for its measured service time.
-    // The stable sort keeps ties in emission order, so the replay
-    // stays deterministic.
-    std::vector<std::vector<Cycle>> openByStream(plan.streams);
-    std::vector<std::vector<Cycle>> serviceByStream(plan.streams);
-    std::vector<Cycle> openAll;
-    std::vector<Cycle> serviceAll;
-    openAll.reserve(workload.txns.size());
-    serviceAll.reserve(workload.txns.size());
-
-    for (unsigned c = 0; c < coreCount; ++c) {
-        std::stable_sort(coreJobs[c].begin(), coreJobs[c].end(),
-                         [](const Job &a, const Job &b) {
-                             return a.rec->arrival < b.rec->arrival;
-                         });
-        Cycle depart = 0;
-        for (const Job &job : coreJobs[c]) {
-            const Cycle start = std::max(job.rec->arrival, depart);
-            depart = start + job.service;
-            const Cycle open = depart - job.rec->arrival;
-
-            openByStream[job.rec->stream].push_back(open);
-            serviceByStream[job.rec->stream].push_back(job.service);
-            openAll.push_back(open);
-            serviceAll.push_back(job.service);
-        }
-    }
-
-    TrafficResult result;
-    result.enabled = true;
-    result.open = summarize(std::move(openAll));
-    result.service = summarize(std::move(serviceAll));
-    result.streams.reserve(plan.streams);
-    for (unsigned s = 0; s < plan.streams; ++s) {
-        StreamLatency sl;
-        sl.stream = s;
-        sl.core = s % coreCount;
-        sl.open = summarize(std::move(openByStream[s]));
-        sl.service = summarize(std::move(serviceByStream[s]));
-        result.streams.push_back(sl);
-    }
-    return result;
 }
 
 } // namespace traffic

@@ -53,6 +53,7 @@
 #include "traffic/arrival.hh"
 #include "traffic/latency.hh"
 #include "traffic/opmix.hh"
+#include "traffic/policy.hh"
 
 namespace ede {
 namespace traffic {
@@ -62,11 +63,46 @@ struct TrafficPlan
 {
     unsigned streams = 4;     ///< Concurrent client streams.
     int txnsPerStream = 64;   ///< Transactions per stream.
+
+    /**
+     * When > 0, overrides txnsPerStream with an exact run-wide
+     * transaction count distributed round-robin (stream s gets
+     * floor(total/streams) plus one of the remainder).  Must be >=
+     * streams: a plan asking for more streams than transactions is
+     * rejected with a RunRequestInvalid detail instead of silently
+     * producing empty streams.
+     */
+    int totalTxns = 0;
+
     int opsPerTxn = 4;        ///< Key operations per transaction.
     OpMix mix;                ///< Read/update split + zipf skew.
     ArrivalSpec arrival;      ///< Offered-load point.
+
+    /**
+     * First fraction of each stream's transactions (by index,
+     * permille) classified as warmup and excluded from the
+     * steady-state headline summaries.
+     */
+    unsigned warmupPermille = 125;
+
+    /** Progress windows in the per-window latency series (1..64). */
+    unsigned latencyWindows = 8;
+
+    OverloadPolicy policy;    ///< Overload control (inactive = none).
+
     std::uint64_t seed = 42;  ///< Master seed (keys, kinds, arrivals).
 };
+
+/** Transactions stream @p s issues under @p plan. */
+constexpr std::uint64_t
+trafficTxnsOfStream(const TrafficPlan &plan, unsigned s)
+{
+    if (plan.totalTxns <= 0)
+        return static_cast<std::uint64_t>(plan.txnsPerStream);
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(plan.totalTxns);
+    return total / plan.streams + (s < total % plan.streams ? 1 : 0);
+}
 
 /**
  * @name Shared NVM layout.
@@ -122,7 +158,8 @@ struct TxnRecord
     unsigned core = 0;        ///< Core it was multiplexed onto.
     std::uint32_t index = 0;  ///< Per-stream transaction index.
     TxnKind kind = TxnKind::Read;
-    Cycle arrival = 0;        ///< Seeded arrival stamp.
+    Cycle arrival = 0;        ///< Seeded arrival stamp (open kinds).
+    Cycle think = 0;          ///< Preceding think gap (ClosedPool).
     std::size_t first = 0;    ///< First trace index on its core.
     std::size_t last = 0;     ///< One past its final trace index.
 };
@@ -166,14 +203,10 @@ TrafficCheck validateTrafficPlan(const TrafficPlan &plan, Config cfg,
 TrafficWorkload buildTrafficWorkload(const TrafficPlan &plan,
                                      Config cfg, unsigned coreCount);
 
-/**
- * Apply the open-loop arrival replay (see file comment) to measured
- * completion cycles.  @p completions holds each core's per-trace-
- * index completion cycles (System::completionCycles).
- */
-TrafficResult computeTrafficResult(
-    const TrafficPlan &plan, const TrafficWorkload &workload,
-    const std::vector<std::vector<Cycle>> &completions);
+// The arrival replay over measured completions lives in
+// traffic/overload.hh (computeTrafficResult), where the plain
+// Lindley recursion and the overload-control policies share one
+// deterministic engine.
 
 } // namespace traffic
 } // namespace ede

@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Tests for the overload-control layer (src/traffic/overload.*,
+ * src/traffic/policy.*).
+ *
+ * The policy engine is exercised two ways:
+ *
+ *  - directly, on hand-built per-core job lists with hand-computed
+ *    expected schedules -- the deadline-miss boundary (strict
+ *    inequality), the token-bucket refill edge (1023 vs 1024
+ *    accumulated token-units), retry-budget exhaustion, and the full
+ *    degradation ladder walk up to reject-all and hysteretically
+ *    back down;
+ *  - end to end through Session / the experiment layer, where the
+ *    determinism contract is the point: policy-enabled cells must
+ *    serialize byte-identically across --jobs counts and both
+ *    tickers, and offered == completed + failures must hold under
+ *    retries and closed-pool arrivals alike.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/result_cache.hh"
+#include "exp/runner.hh"
+#include "exp/sink.hh"
+#include "sim/session.hh"
+#include "traffic/overload.hh"
+#include "traffic/policy.hh"
+
+namespace ede {
+namespace {
+
+using traffic::AdmissionKind;
+using traffic::ArrivalKind;
+using traffic::BackpressureSignal;
+using traffic::OverloadJob;
+using traffic::OverloadPolicy;
+using traffic::OverloadResult;
+using traffic::ReplayOutput;
+using traffic::TrafficPlan;
+using traffic::TxnKind;
+
+// ---------------------------------------------------------------- //
+// Backpressure
+// ---------------------------------------------------------------- //
+
+TEST(EffectiveQueueDepth, ScalesWithPressureAndNeverHitsZero)
+{
+    OverloadPolicy pol;
+    pol.queueDepth = 16;
+    // No pressure: the configured depth.
+    EXPECT_EQ(traffic::effectiveQueueDepth(pol, {}), 16u);
+    // Saturated (occupancy + rejects capped at 1000 permille):
+    // 16 * 200 / 1200 = 2.
+    BackpressureSignal hot;
+    hot.occupancyPermille = 600;
+    hot.rejectPermille = 600;
+    EXPECT_EQ(traffic::effectiveQueueDepth(pol, hot), 2u);
+    // A depth-1 queue stays serviceable under any pressure.
+    pol.queueDepth = 1;
+    EXPECT_EQ(traffic::effectiveQueueDepth(pol, hot), 1u);
+}
+
+// ---------------------------------------------------------------- //
+// Hand-built replays
+// ---------------------------------------------------------------- //
+
+OverloadJob
+job(unsigned stream, std::uint32_t index, Cycle arrival, Cycle service,
+    TxnKind kind = TxnKind::Read)
+{
+    OverloadJob j;
+    j.stream = stream;
+    j.core = 0;
+    j.index = index;
+    j.kind = kind;
+    j.arrival = arrival;
+    j.service = service;
+    return j;
+}
+
+/** An open-arrival plan matching hand-built single-core job lists. */
+TrafficPlan
+handPlan(unsigned streams, const OverloadPolicy &pol)
+{
+    TrafficPlan plan;
+    plan.streams = streams;
+    plan.policy = pol;
+    return plan;
+}
+
+ReplayOutput
+replay(const std::vector<OverloadJob> &jobs, const OverloadPolicy &pol,
+       unsigned streams = 1, BackpressureSignal signal = {})
+{
+    return traffic::replayOverload(handPlan(streams, pol), {jobs},
+                                   pol, signal);
+}
+
+TEST(ReplayOverload, InactivePolicyIsThePlainLindleyRecursion)
+{
+    // Two back-to-back jobs: the second waits for the first.
+    const ReplayOutput out =
+        replay({job(0, 0, 0, 100), job(0, 1, 10, 100)},
+               OverloadPolicy{});
+    EXPECT_FALSE(out.totals.enabled);
+    EXPECT_EQ(out.totals.offered, 2u);
+    EXPECT_EQ(out.totals.completed, 2u);
+    EXPECT_EQ(out.totals.failures, 0u);
+    ASSERT_EQ(out.txns.size(), 2u);
+    EXPECT_EQ(out.txns[0].open, 100u);   // start 0, depart 100.
+    EXPECT_EQ(out.txns[1].open, 190u);   // start 100, depart 200.
+}
+
+TEST(ReplayOverload, DeadlineShedBoundaryIsStrict)
+{
+    // Job 1 arrives at 10 and would start at 100 (job 0's depart)
+    // and complete at 200.  With deadline 190 the predicted
+    // completion equals arrival + deadline exactly -- NOT shed
+    // (strict >); with 189 it is shed.
+    OverloadPolicy pol;
+    pol.admission = AdmissionKind::Deadline;
+    pol.queueDepth = 64;
+    pol.deadline = 190;
+    const std::vector<OverloadJob> jobs{job(0, 0, 0, 100),
+                                        job(0, 1, 10, 100)};
+
+    const ReplayOutput onTime = replay(jobs, pol);
+    EXPECT_EQ(onTime.totals.shedDeadline, 0u);
+    EXPECT_EQ(onTime.totals.completed, 2u);
+    EXPECT_EQ(onTime.totals.goodput, 2u);
+    ASSERT_EQ(onTime.txns.size(), 2u);
+    EXPECT_EQ(onTime.txns[1].open, 190u);
+
+    pol.deadline = 189;
+    const ReplayOutput late = replay(jobs, pol);
+    EXPECT_EQ(late.totals.shedDeadline, 1u);
+    EXPECT_EQ(late.totals.completed, 1u);
+    EXPECT_EQ(late.totals.failures, 1u);
+    // Completion-predictive admission never produces timeouts:
+    // everything it admits meets its deadline.
+    EXPECT_EQ(late.totals.timeouts, 0u);
+    EXPECT_EQ(late.totals.goodput, late.totals.completed);
+}
+
+TEST(ReplayOverload, DropTailShedsWhenTheQueueIsFull)
+{
+    // Depth 1: one job in service, one waiter; the third arrival
+    // finds the waiting room full.
+    OverloadPolicy pol;
+    pol.admission = AdmissionKind::DropTail;
+    pol.queueDepth = 1;
+    const ReplayOutput out =
+        replay({job(0, 0, 0, 1000), job(0, 1, 10, 1000),
+                job(0, 2, 20, 1000)},
+               pol);
+    EXPECT_EQ(out.totals.effectiveDepth, 1u);
+    EXPECT_EQ(out.totals.shedQueue, 1u);
+    EXPECT_EQ(out.totals.completed, 2u);
+    EXPECT_EQ(out.totals.failures, 1u);
+}
+
+TEST(ReplayOverload, TokenBucketRefillEdge)
+{
+    // 1 token per 1024 cycles, burst 1.  The bucket starts full
+    // (first job admitted, bucket empty), has accumulated exactly
+    // 1023 token-units at cycle 1023 (shed), and tops back up by
+    // cycle 1025 (admitted; the cap kicks in).
+    OverloadPolicy pol;
+    pol.admission = AdmissionKind::TokenBucket;
+    pol.queueDepth = 64;
+    pol.tokenRatePerKCycle = 1;
+    pol.tokenBurst = 1;
+    const ReplayOutput out =
+        replay({job(0, 0, 0, 1), job(0, 1, 1023, 1),
+                job(0, 2, 1025, 1)},
+               pol);
+    EXPECT_EQ(out.totals.shedToken, 1u);
+    EXPECT_EQ(out.totals.completed, 2u);
+    ASSERT_EQ(out.txns.size(), 3u);
+    EXPECT_TRUE(out.txns[0].completed);
+    EXPECT_FALSE(out.txns[1].completed);
+    EXPECT_TRUE(out.txns[2].completed);
+}
+
+TEST(ReplayOverload, RetryBudgetExhaustionIsAPermanentFailure)
+{
+    // Stream 0's 10000-cycle job can never fit its 100-cycle
+    // deadline: every attempt predicts a miss, so two budgeted
+    // retries (backoff 256 then 512, both plus jitter) are spent
+    // and the third shed is a permanent failure.  Stream 1's short
+    // job slips in and completes.
+    OverloadPolicy pol;
+    pol.admission = AdmissionKind::Deadline;
+    pol.queueDepth = 64;
+    pol.deadline = 100;
+    pol.retryBudget = 2;
+    pol.retryBackoffBase = 256;
+    pol.retryBackoffCap = 8192;
+    const ReplayOutput out =
+        replay({job(0, 0, 0, 10000), job(1, 0, 1, 50)}, pol, 2);
+    EXPECT_EQ(out.totals.offered, 2u);
+    EXPECT_EQ(out.totals.retries, 2u);
+    EXPECT_EQ(out.totals.retryExhausted, 1u);
+    EXPECT_EQ(out.totals.failures, 1u);
+    EXPECT_EQ(out.totals.completed, 1u);
+    EXPECT_EQ(out.streams[0].retries, 2u);
+    EXPECT_EQ(out.streams[0].failures, 1u);
+    EXPECT_EQ(out.streams[1].retries, 0u);
+    EXPECT_EQ(out.streams[1].failures, 0u);
+    // The short job finished first (outcomes land in resolution
+    // order); the failed transaction consumed 1 + retryBudget
+    // attempts.
+    ASSERT_EQ(out.txns.size(), 2u);
+    EXPECT_TRUE(out.txns[0].completed);
+    EXPECT_FALSE(out.txns[1].completed);
+    EXPECT_EQ(out.txns[1].attempts, 3u);
+}
+
+TEST(ReplayOverload, DegradationLadderWalksUpAndRecovers)
+{
+    // shedWindow 2, escalate at 1000 permille, recover only at 0.
+    // j0/j1 admit (j1 queues behind j0 until cycle 10000); j2..j4
+    // find the queue full -> two consecutive all-shed windows walk
+    // the ladder to read-mostly then reject-all; j5/j6 are ladder
+    // rejections; j7 (pressure long clear) is still rejected by the
+    // ladder; j8's clean window recovers one rung but j8 is an
+    // Update, shed at read-mostly; j9 (Read) is admitted; j10's
+    // clean window recovers to normal.
+    OverloadPolicy pol;
+    pol.admission = AdmissionKind::DropTail;
+    pol.queueDepth = 1;
+    pol.degrade = true;
+    pol.shedWindow = 2;
+    pol.degradePermille = 1000;
+    pol.recoverPermille = 0;
+    const ReplayOutput out = replay(
+        {job(0, 0, 0, 10000), job(0, 1, 10, 10000),
+         job(0, 2, 20, 10), job(0, 3, 30, 10), job(0, 4, 40, 10),
+         job(0, 5, 50, 10), job(0, 6, 60, 10),
+         job(0, 7, 25000, 10),
+         job(0, 8, 25010, 10, TxnKind::Update),
+         job(0, 9, 25020, 10), job(0, 10, 25040, 10)},
+        pol);
+    EXPECT_EQ(out.totals.degradeUp, 2u);
+    EXPECT_EQ(out.totals.degradeDown, 2u);
+    EXPECT_EQ(out.totals.maxDegradeLevel,
+              static_cast<unsigned>(traffic::DegradeLevel::RejectAll));
+    EXPECT_EQ(out.totals.shedQueue, 3u);    // j2, j3, j4.
+    EXPECT_EQ(out.totals.shedDegrade, 4u);  // j5, j6, j7, j8.
+    EXPECT_EQ(out.totals.completed, 4u);    // j0, j1, j9, j10.
+    EXPECT_EQ(out.totals.failures, 7u);
+    EXPECT_EQ(out.totals.offered,
+              out.totals.completed + out.totals.failures);
+}
+
+// ---------------------------------------------------------------- //
+// End to end: Session and the experiment layer
+// ---------------------------------------------------------------- //
+
+TrafficPlan
+policyPlan(double meanGap = 120.0)
+{
+    TrafficPlan plan;
+    plan.streams = 4;
+    plan.txnsPerStream = 16;
+    plan.opsPerTxn = 2;
+    plan.mix.keys = 32;
+    plan.arrival.meanGap = meanGap;
+    plan.policy.admission = AdmissionKind::Deadline;
+    plan.policy.deadline = 2500;
+    plan.policy.retryBudget = 4;
+    plan.policy.degrade = true;
+    plan.policy.shedWindow = 8;
+    return plan;
+}
+
+TEST(OverloadSession, OfferedEqualsCompletedPlusFailures)
+{
+    Session s(SimConfig::paper(Config::WB).withCoreCount(2));
+    const SimResult r = s.run(RunRequest::ofTraffic(policyPlan()));
+    ASSERT_TRUE(r.ok());
+    const OverloadResult &ov = r.stats.traffic.overload;
+    ASSERT_TRUE(ov.enabled);
+    EXPECT_EQ(ov.offered, 4u * 16u);
+    EXPECT_EQ(ov.offered, ov.completed + ov.failures);
+    EXPECT_EQ(ov.completed, ov.goodput + ov.timeouts);
+    // At a 120-cycle mean gap the servers are overrun: the policy
+    // must actually have shed or timed out something.
+    EXPECT_GT(ov.shedDeadline + ov.timeouts, 0u);
+    // Per-stream counters roll up to the totals.
+    std::uint64_t shed = 0, retries = 0, failures = 0;
+    for (const traffic::StreamLatency &sl : r.stats.traffic.streams) {
+        shed += sl.shed;
+        retries += sl.retries;
+        failures += sl.failures;
+    }
+    EXPECT_EQ(retries, ov.retries);
+    EXPECT_EQ(failures, ov.failures);
+    EXPECT_EQ(shed, ov.shedQueue + ov.shedDeadline + ov.shedToken +
+                        ov.shedDegrade);
+}
+
+TEST(OverloadSession, ClosedPoolHonorsTheInvariantToo)
+{
+    TrafficPlan plan = policyPlan();
+    plan.arrival.kind = ArrivalKind::ClosedPool;
+    plan.arrival.poolSize = 2;
+    plan.arrival.thinkTime = 100.0;
+    Session s(SimConfig::paper(Config::WB).withCoreCount(2));
+    const SimResult r = s.run(RunRequest::ofTraffic(plan));
+    ASSERT_TRUE(r.ok());
+    const OverloadResult &ov = r.stats.traffic.overload;
+    ASSERT_TRUE(ov.enabled);
+    // A closed pool releases every transaction exactly once even
+    // when its predecessor failed.
+    EXPECT_EQ(ov.offered, 4u * 16u);
+    EXPECT_EQ(ov.offered, ov.completed + ov.failures);
+}
+
+TEST(OverloadSession, WarmupWindowsAndSteadySplitPartitionTheRun)
+{
+    TrafficPlan plan = policyPlan(2000.0);
+    plan.warmupPermille = 250;  // 4 of 16 txns per stream.
+    plan.latencyWindows = 4;
+    Session s(SimConfig::paper(Config::WB).withCoreCount(2));
+    const SimResult r = s.run(RunRequest::ofTraffic(plan));
+    ASSERT_TRUE(r.ok());
+    const traffic::TrafficResult &t = r.stats.traffic;
+    EXPECT_EQ(t.openWarmup.count, 4u * 4u);
+    EXPECT_EQ(t.openWarmup.count + t.openSteady.count, t.open.count);
+    EXPECT_EQ(t.serviceWarmup.count + t.serviceSteady.count,
+              t.service.count);
+    ASSERT_EQ(t.windows.size(), 4u);
+    std::uint64_t inWindows = 0;
+    for (const traffic::WindowLatency &w : t.windows)
+        inWindows += w.open.count;
+    EXPECT_EQ(inWindows, t.open.count);
+    // 250 permille of 4 windows: exactly the first window is wholly
+    // inside the warmup fraction.
+    EXPECT_TRUE(t.windows[0].warmup);
+    EXPECT_FALSE(t.windows[1].warmup);
+}
+
+exp::ExperimentPoint
+policyPoint(std::string label, TrafficPlan plan)
+{
+    exp::ExperimentPoint pt;
+    pt.label = std::move(label);
+    pt.config = Config::WB;
+    pt.simParams =
+        SimConfig::paper(Config::WB).withCoreCount(2).params();
+    pt.traffic = true;
+    pt.trafficPlan = std::move(plan);
+    return pt;
+}
+
+TEST(OverloadExp, PolicyCellsAreByteIdenticalAcrossJobsCounts)
+{
+    exp::ExperimentPlan plan;
+    plan.add(policyPoint("WB/pol120", policyPlan(120.0)));
+    plan.add(policyPoint("WB/pol2000", policyPlan(2000.0)));
+    TrafficPlan closed = policyPlan(120.0);
+    closed.arrival.kind = ArrivalKind::ClosedPool;
+    plan.add(policyPoint("WB/closed", closed));
+
+    exp::RunnerOptions serial;
+    serial.jobs = 1;
+    serial.printSummary = false;
+    exp::RunnerOptions parallel = serial;
+    parallel.jobs = 8;
+
+    const exp::ExperimentResults a = exp::runPlan(plan, serial);
+    const exp::ExperimentResults b = exp::runPlan(plan, parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(exp::serializeCell(a.cells()[i]),
+                  exp::serializeCell(b.cells()[i]));
+    }
+    EXPECT_TRUE(a.cells()[0].result.traffic.overload.enabled);
+}
+
+TEST(OverloadExp, PolicyCellsAreTickerInvariant)
+{
+    const auto runWith = [](TickingMode mode) {
+        SimConfig cfg = SimConfig::paper(Config::WB);
+        CoreParams core = cfg.params().core;
+        core.ticking = mode;
+        Session s(cfg.withCore(core).withCoreCount(2));
+        const SimResult r =
+            s.run(RunRequest::ofTraffic(policyPlan(120.0)));
+        EXPECT_TRUE(r.ok());
+        return r.stats.traffic.overload;
+    };
+    const OverloadResult skip = runWith(TickingMode::SkipAhead);
+    const OverloadResult ref = runWith(TickingMode::Reference);
+    EXPECT_EQ(skip.goodput, ref.goodput);
+    EXPECT_EQ(skip.timeouts, ref.timeouts);
+    EXPECT_EQ(skip.retries, ref.retries);
+    EXPECT_EQ(skip.shedDeadline, ref.shedDeadline);
+    EXPECT_EQ(skip.open.p99, ref.open.p99);
+    EXPECT_EQ(skip.goodputOpen.p99, ref.goodputOpen.p99);
+}
+
+TEST(OverloadExp, SnapshotRoundTripsTheOverloadSection)
+{
+    exp::ExperimentPlan plan;
+    plan.add(policyPoint("WB/pol", policyPlan(120.0)));
+    exp::RunnerOptions opt;
+    opt.jobs = 1;
+    opt.printSummary = false;
+    const exp::ExperimentResults results = exp::runPlan(plan, opt);
+    const exp::ExperimentCell &cell = results.cells().front();
+    ASSERT_TRUE(cell.result.traffic.overload.enabled);
+
+    const auto back = exp::deserializeCell(
+        exp::serializeCell(cell), cell.point, cell.fingerprint);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(exp::serializeCell(*back), exp::serializeCell(cell));
+    const OverloadResult &x = cell.result.traffic.overload;
+    const OverloadResult &y = back->result.traffic.overload;
+    EXPECT_EQ(x.goodput, y.goodput);
+    EXPECT_EQ(x.shedDeadline, y.shedDeadline);
+    EXPECT_EQ(x.retries, y.retries);
+    EXPECT_EQ(x.steadyHorizon, y.steadyHorizon);
+    EXPECT_EQ(x.maxDegradeLevel, y.maxDegradeLevel);
+    ASSERT_EQ(back->result.traffic.windows.size(),
+              cell.result.traffic.windows.size());
+}
+
+TEST(OverloadExp, EmptyPopulationsEmitNullPercentiles)
+{
+    // 2 txns per stream spread over 8 windows leaves most windows
+    // empty: their summaries must surface as explicit nulls, never
+    // fake zeros.
+    TrafficPlan plan;
+    plan.streams = 2;
+    plan.txnsPerStream = 2;
+    plan.opsPerTxn = 2;
+    plan.mix.keys = 32;
+    plan.latencyWindows = 8;
+    exp::ExperimentPlan eplan;
+    eplan.add(policyPoint("WB/sparse", plan));
+    exp::RunnerOptions opt;
+    opt.jobs = 1;
+    opt.printSummary = false;
+    const exp::ExperimentResults results = exp::runPlan(eplan, opt);
+    const std::string json = exp::resultsToJson("t", results);
+    EXPECT_NE(json.find("\"count\": 0, \"p50\": null"),
+              std::string::npos);
+    // Populated summaries still carry numbers.
+    EXPECT_NE(json.find("\"count\": 2, \"p50\": "),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace ede

@@ -250,6 +250,115 @@ TEST(ValidateTrafficPlan, RejectsEachMalformedKnob)
     expectInvalid(ok, 0);
 }
 
+TEST(ValidateTrafficPlan, RejectsOverloadAndSplitKnobMisuse)
+{
+    const auto expectInvalid = [](TrafficPlan p) {
+        const traffic::TrafficCheck check =
+            traffic::validateTrafficPlan(p, Config::WB, 2);
+        EXPECT_EQ(check.kind, SimErrorKind::RunRequestInvalid)
+            << check.message;
+        return check;
+    };
+    TrafficPlan ok;
+
+    // A plan with fewer transactions than streams would leave some
+    // stream empty; the detail names the contract.
+    TrafficPlan p = ok;
+    p.streams = 4;
+    p.totalTxns = 3;
+    const traffic::TrafficCheck starved = expectInvalid(p);
+    EXPECT_NE(std::string(starved.message)
+                  .find("more streams than transactions"),
+              std::string::npos);
+    p.totalTxns = 4;
+    EXPECT_TRUE(traffic::validateTrafficPlan(p, Config::WB, 2).ok());
+
+    p = ok;
+    p.totalTxns = -1;
+    expectInvalid(p);
+    p = ok;
+    p.warmupPermille = 1000;  // Everything warmup = no steady state.
+    expectInvalid(p);
+    p = ok;
+    p.latencyWindows = 0;
+    expectInvalid(p);
+    p = ok;
+    p.latencyWindows = 65;
+    expectInvalid(p);
+
+    // Closed-pool arrivals.
+    p = ok;
+    p.arrival.kind = ArrivalKind::ClosedPool;
+    EXPECT_TRUE(traffic::validateTrafficPlan(p, Config::WB, 2).ok());
+    p.arrival.poolSize = 0;
+    expectInvalid(p);
+    p.arrival.poolSize = 2;
+    p.arrival.thinkTime = -1.0;
+    expectInvalid(p);
+
+    // Retry/degrade knobs require an admission policy to act under.
+    p = ok;
+    p.policy.retryBudget = 4;
+    expectInvalid(p);
+    p = ok;
+    p.policy.degrade = true;
+    expectInvalid(p);
+
+    // Each policy's own parameters.
+    p = ok;
+    p.policy.admission = traffic::AdmissionKind::Deadline;
+    p.policy.deadline = 0;
+    expectInvalid(p);
+    p.policy.deadline = 1000;
+    EXPECT_TRUE(traffic::validateTrafficPlan(p, Config::WB, 2).ok());
+    p.policy.queueDepth = 0;
+    expectInvalid(p);
+    p = ok;
+    p.policy.admission = traffic::AdmissionKind::TokenBucket;
+    p.policy.tokenRatePerKCycle = 0;
+    p.policy.tokenBurst = 4;
+    expectInvalid(p);
+    p.policy.tokenRatePerKCycle = 8;
+    p.policy.tokenBurst = 0;
+    expectInvalid(p);
+    p.policy.tokenBurst = 4;
+    EXPECT_TRUE(traffic::validateTrafficPlan(p, Config::WB, 2).ok());
+    p.policy.retryBudget = 2;
+    p.policy.retryBackoffBase = 0;
+    expectInvalid(p);
+    p.policy.retryBackoffBase = 512;
+    p.policy.retryBackoffCap = 256;  // Cap below base.
+    expectInvalid(p);
+
+    // Hysteresis needs recover < degrade.
+    p = ok;
+    p.policy.admission = traffic::AdmissionKind::DropTail;
+    p.policy.degrade = true;
+    p.policy.shedWindow = 0;
+    expectInvalid(p);
+    p.policy.shedWindow = 16;
+    p.policy.degradePermille = 0;
+    expectInvalid(p);
+    p.policy.degradePermille = 500;
+    p.policy.recoverPermille = 500;
+    expectInvalid(p);
+    p.policy.recoverPermille = 100;
+    EXPECT_TRUE(traffic::validateTrafficPlan(p, Config::WB, 2).ok());
+}
+
+TEST(ValidateTrafficPlan, TotalTxnsSplitsRoundRobin)
+{
+    TrafficPlan p;
+    p.streams = 3;
+    p.totalTxns = 8;
+    EXPECT_EQ(traffic::trafficTxnsOfStream(p, 0), 3u);
+    EXPECT_EQ(traffic::trafficTxnsOfStream(p, 1), 3u);
+    EXPECT_EQ(traffic::trafficTxnsOfStream(p, 2), 2u);
+    p.totalTxns = 0;  // Fall back to the per-stream count.
+    EXPECT_EQ(traffic::trafficTxnsOfStream(p, 2),
+              static_cast<std::uint64_t>(p.txnsPerStream));
+}
+
 TEST(ValidateTrafficPlan, EdeConfigsAreKeyLimited)
 {
     TrafficPlan plan;
@@ -517,6 +626,39 @@ TEST(TrafficExp, EveryTrafficKnobIsFingerprintRelevant)
 
     // And an identical copy collides, or the cache never hits.
     EXPECT_EQ(exp::fingerprintPoint(trafficPoint(500.0, "base")), fp);
+}
+
+TEST(TrafficExp, EveryOverloadKnobIsFingerprintRelevant)
+{
+    const exp::ExperimentPoint base = trafficPoint(500.0, "base");
+    const std::uint64_t fp = exp::fingerprintPoint(base);
+    const auto differs = [&](auto mutate) {
+        exp::ExperimentPoint p = base;
+        mutate(p.trafficPlan);
+        EXPECT_NE(exp::fingerprintPoint(p), fp);
+    };
+    differs([](TrafficPlan &t) { t.totalTxns = 24; });
+    differs([](TrafficPlan &t) { t.warmupPermille = 250; });
+    differs([](TrafficPlan &t) { t.latencyWindows = 16; });
+    differs([](TrafficPlan &t) {
+        t.arrival.kind = ArrivalKind::ClosedPool;
+    });
+    differs([](TrafficPlan &t) { t.arrival.poolSize = 8; });
+    differs([](TrafficPlan &t) { t.arrival.thinkTime = 1234.0; });
+    differs([](TrafficPlan &t) {
+        t.policy.admission = traffic::AdmissionKind::DropTail;
+    });
+    differs([](TrafficPlan &t) { t.policy.queueDepth = 17; });
+    differs([](TrafficPlan &t) { t.policy.deadline = 9000; });
+    differs([](TrafficPlan &t) { t.policy.tokenRatePerKCycle = 3; });
+    differs([](TrafficPlan &t) { t.policy.tokenBurst = 3; });
+    differs([](TrafficPlan &t) { t.policy.retryBudget = 3; });
+    differs([](TrafficPlan &t) { t.policy.retryBackoffBase = 128; });
+    differs([](TrafficPlan &t) { t.policy.retryBackoffCap = 4096; });
+    differs([](TrafficPlan &t) { t.policy.degrade = true; });
+    differs([](TrafficPlan &t) { t.policy.shedWindow = 64; });
+    differs([](TrafficPlan &t) { t.policy.degradePermille = 700; });
+    differs([](TrafficPlan &t) { t.policy.recoverPermille = 50; });
 }
 
 } // namespace
